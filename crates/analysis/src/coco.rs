@@ -1,0 +1,223 @@
+//! CoCo ("Complementary Coordinates") stand-in.
+//!
+//! The paper's SAL workloads (Figs. 7–9) run Amber simulations followed by a
+//! *serial* CoCo analysis over all trajectories (Laughton et al. 2009): PCA
+//! of the sampled conformations, then generation of new starting structures
+//! in poorly-sampled regions of the projected space. This module implements
+//! that algorithm: occupancy grid over the leading PCs, frontier-bin
+//! selection, inverse projection back to conformation space.
+//!
+//! Cost is linear in the total number of frames — exactly the property the
+//! paper's analysis-time curves exhibit.
+
+use crate::pca::Pca;
+use serde::{Deserialize, Serialize};
+
+/// CoCo configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CocoConfig {
+    /// Number of principal components spanning the projection space (1–3).
+    pub n_components: usize,
+    /// Grid resolution per dimension.
+    pub grid: usize,
+}
+
+impl Default for CocoConfig {
+    fn default() -> Self {
+        CocoConfig {
+            n_components: 2,
+            grid: 10,
+        }
+    }
+}
+
+/// Result of one CoCo pass.
+#[derive(Debug, Clone)]
+pub struct CocoResult {
+    /// New starting conformations, one per requested output.
+    pub new_starts: Vec<Vec<f64>>,
+    /// Fraction of grid bins visited by the input ensemble.
+    pub occupancy: f64,
+    /// The PCA model fitted to the ensemble.
+    pub pca: Pca,
+}
+
+/// Runs CoCo over an ensemble of conformations (rows), returning `n_new`
+/// suggested starting structures in unexplored regions.
+pub fn coco(frames: &[Vec<f64>], n_new: usize, config: CocoConfig) -> CocoResult {
+    assert!(!frames.is_empty(), "CoCo needs at least one frame");
+    let d = config.n_components.clamp(1, 3);
+    let pca = Pca::fit(frames, d);
+    let projected: Vec<Vec<f64>> = frames.iter().map(|f| pca.project(f)).collect();
+
+    // Bounding box of the projected cloud, padded 10% so frontier bins
+    // extend slightly beyond sampled space.
+    let mut lo = vec![f64::INFINITY; d];
+    let mut hi = vec![f64::NEG_INFINITY; d];
+    for p in &projected {
+        for a in 0..d {
+            lo[a] = lo[a].min(p[a]);
+            hi[a] = hi[a].max(p[a]);
+        }
+    }
+    for a in 0..d {
+        let span = (hi[a] - lo[a]).max(1e-9);
+        lo[a] -= 0.1 * span;
+        hi[a] += 0.1 * span;
+    }
+
+    let g = config.grid.max(2);
+    let n_bins = g.pow(d as u32);
+    let mut counts = vec![0u32; n_bins];
+    let bin_of = |p: &[f64]| -> usize {
+        let mut idx = 0;
+        for a in 0..d {
+            let f = ((p[a] - lo[a]) / (hi[a] - lo[a])).clamp(0.0, 0.999_999);
+            idx = idx * g + (f * g as f64) as usize;
+        }
+        idx
+    };
+    for p in &projected {
+        counts[bin_of(p)] += 1;
+    }
+    let visited = counts.iter().filter(|&&c| c > 0).count();
+    let occupancy = visited as f64 / n_bins as f64;
+
+    // Rank empty bins by distance from the sampled centroid-of-mass of
+    // visited bins — farthest empty bins are the exploration frontier.
+    let centre_of = |idx: usize| -> Vec<f64> {
+        let mut c = vec![0.0; d];
+        let mut rest = idx;
+        for a in (0..d).rev() {
+            let k = rest % g;
+            rest /= g;
+            c[a] = lo[a] + (k as f64 + 0.5) * (hi[a] - lo[a]) / g as f64;
+        }
+        c
+    };
+    let mut sampled_centroid = vec![0.0; d];
+    for p in &projected {
+        for a in 0..d {
+            sampled_centroid[a] += p[a] / projected.len() as f64;
+        }
+    }
+    let mut empty: Vec<(f64, usize)> = counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c == 0)
+        .map(|(i, _)| {
+            let c = centre_of(i);
+            let dist2: f64 = c
+                .iter()
+                .zip(&sampled_centroid)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            (dist2, i)
+        })
+        .collect();
+    empty.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite distances"));
+
+    // Inverse-project frontier bin centres; if all bins are occupied, fall
+    // back to the least-sampled bins.
+    let mut new_starts = Vec::with_capacity(n_new);
+    for &(_, idx) in empty.iter().take(n_new) {
+        new_starts.push(pca.inverse(&centre_of(idx)));
+    }
+    if new_starts.len() < n_new {
+        let mut by_count: Vec<(u32, usize)> =
+            counts.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        by_count.sort_unstable();
+        for &(_, idx) in by_count.iter() {
+            if new_starts.len() >= n_new {
+                break;
+            }
+            new_starts.push(pca.inverse(&centre_of(idx)));
+        }
+    }
+    CocoResult {
+        new_starts,
+        occupancy,
+        pca,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A tight cluster in 6-D conformation space.
+    fn cluster(n: usize, centre: f64, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                (0..6)
+                    .map(|k| centre + (k as f64) * 0.3 + (rng.random::<f64>() - 0.5) * 0.4)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn returns_requested_number_of_starts() {
+        let frames = cluster(80, 0.0, 1);
+        let result = coco(&frames, 8, CocoConfig::default());
+        assert_eq!(result.new_starts.len(), 8);
+        assert!(result.new_starts.iter().all(|s| s.len() == 6));
+    }
+
+    #[test]
+    fn occupancy_is_low_for_tight_cluster() {
+        let frames = cluster(100, 0.0, 2);
+        let result = coco(&frames, 4, CocoConfig::default());
+        assert!(result.occupancy < 0.5, "occupancy {}", result.occupancy);
+    }
+
+    #[test]
+    fn new_starts_are_outside_sampled_region() {
+        let frames = cluster(200, 0.0, 3);
+        let result = coco(&frames, 4, CocoConfig::default());
+        // Project the new starts: they should be farther from the projected
+        // centroid than the typical sampled point.
+        let sampled: Vec<Vec<f64>> = frames.iter().map(|f| result.pca.project(f)).collect();
+        let mean_r: f64 = sampled
+            .iter()
+            .map(|p| p.iter().map(|x| x * x).sum::<f64>().sqrt())
+            .sum::<f64>()
+            / sampled.len() as f64;
+        for s in &result.new_starts {
+            let p = result.pca.project(s);
+            let r = p.iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!(r > mean_r, "frontier point not beyond mean radius: {r} vs {mean_r}");
+        }
+    }
+
+    #[test]
+    fn iterating_coco_grows_occupancy() {
+        // The adaptive-sampling premise: add CoCo's suggestions to the
+        // ensemble and coverage of projected space increases.
+        let mut frames = cluster(60, 0.0, 4);
+        let cfg = CocoConfig::default();
+        let occ0 = coco(&frames, 6, cfg).occupancy;
+        for _ in 0..3 {
+            let result = coco(&frames, 6, cfg);
+            frames.extend(result.new_starts);
+        }
+        let occ1 = coco(&frames, 6, cfg).occupancy;
+        assert!(occ1 > occ0, "occupancy {occ0} -> {occ1}");
+    }
+
+    #[test]
+    fn handles_degenerate_single_frame() {
+        let frames = vec![vec![1.0; 6]];
+        let result = coco(&frames, 3, CocoConfig::default());
+        assert_eq!(result.new_starts.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn empty_input_rejected() {
+        coco(&[], 1, CocoConfig::default());
+    }
+}

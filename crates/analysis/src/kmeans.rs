@@ -1,0 +1,172 @@
+//! k-means clustering, used to pick representative conformations when
+//! seeding new simulation generations (adaptive-sampling extension).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Assignment of each sample to a centroid index.
+    pub assignment: Vec<usize>,
+    /// Total within-cluster squared distance.
+    pub inertia: f64,
+    /// Iterations until convergence (or the cap).
+    pub iterations: usize,
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Lloyd's algorithm with k-means++-style seeding. `k` is clamped to the
+/// sample count; at most `max_iter` refinement passes run.
+pub fn kmeans(data: &[Vec<f64>], k: usize, max_iter: usize, seed: u64) -> KMeansResult {
+    assert!(!data.is_empty(), "k-means needs data");
+    let k = k.clamp(1, data.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++ seeding: first centroid uniform, then proportional to D².
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(data[rng.random_range(0..data.len())].clone());
+    while centroids.len() < k {
+        let d2: Vec<f64> = data
+            .iter()
+            .map(|x| {
+                centroids
+                    .iter()
+                    .map(|c| dist2(x, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        if total <= 0.0 {
+            // All points coincide with existing centroids.
+            centroids.push(data[rng.random_range(0..data.len())].clone());
+            continue;
+        }
+        let mut pick = rng.random::<f64>() * total;
+        let mut chosen = data.len() - 1;
+        for (i, &w) in d2.iter().enumerate() {
+            if pick < w {
+                chosen = i;
+                break;
+            }
+            pick -= w;
+        }
+        centroids.push(data[chosen].clone());
+    }
+
+    let dims = data[0].len();
+    let mut assignment = vec![0usize; data.len()];
+    let mut iterations = 0;
+    for it in 0..max_iter {
+        iterations = it + 1;
+        // Assign.
+        let mut changed = false;
+        for (i, x) in data.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    dist2(x, &centroids[a])
+                        .partial_cmp(&dist2(x, &centroids[b]))
+                        .expect("finite distances")
+                })
+                .expect("k >= 1");
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut sums = vec![vec![0.0; dims]; k];
+        let mut counts = vec![0usize; k];
+        for (x, &a) in data.iter().zip(&assignment) {
+            counts[a] += 1;
+            for (s, &v) in sums[a].iter_mut().zip(x) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for s in &mut sums[c] {
+                    *s /= counts[c] as f64;
+                }
+                centroids[c] = sums[c].clone();
+            }
+        }
+        if !changed && it > 0 {
+            break;
+        }
+    }
+    let inertia = data
+        .iter()
+        .zip(&assignment)
+        .map(|(x, &a)| dist2(x, &centroids[a]))
+        .sum();
+    KMeansResult {
+        centroids,
+        assignment,
+        inertia,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut data = Vec::new();
+        for b in 0..3 {
+            let c = b as f64 * 10.0;
+            for i in 0..20 {
+                data.push(vec![c + (i % 5) as f64 * 0.1, c - (i % 3) as f64 * 0.1]);
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn finds_three_obvious_clusters() {
+        let data = blobs();
+        let result = kmeans(&data, 3, 100, 1);
+        // Each blob maps to exactly one cluster.
+        for b in 0..3 {
+            let slice = &result.assignment[b * 20..(b + 1) * 20];
+            assert!(slice.iter().all(|&a| a == slice[0]), "blob {b} split");
+        }
+        assert!(result.inertia < 10.0, "inertia {}", result.inertia);
+    }
+
+    #[test]
+    fn k_clamped_to_sample_count() {
+        let data = vec![vec![0.0], vec![1.0]];
+        let result = kmeans(&data, 10, 50, 2);
+        assert_eq!(result.centroids.len(), 2);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let data = vec![vec![0.0, 0.0], vec![2.0, 4.0]];
+        let result = kmeans(&data, 1, 50, 3);
+        assert_eq!(result.centroids[0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn identical_points_do_not_crash() {
+        let data = vec![vec![5.0, 5.0]; 10];
+        let result = kmeans(&data, 3, 50, 4);
+        assert_eq!(result.assignment.len(), 10);
+        assert!(result.inertia < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let data = blobs();
+        let a = kmeans(&data, 3, 100, 7);
+        let b = kmeans(&data, 3, 100, 7);
+        assert_eq!(a.assignment, b.assignment);
+    }
+}

@@ -1,0 +1,23 @@
+//! # entk-analysis — analysis substrates (CoCo and LSDMap stand-ins)
+//!
+//! The paper's SAL workloads analyse MD ensembles with CoCo (PCA-based
+//! generation of new starting structures) and LSDMap (diffusion maps).
+//! Both are implemented from scratch on a small dense linear-algebra core
+//! with a cyclic Jacobi eigensolver, plus k-means for representative-
+//! structure selection in adaptive workflows.
+
+#![warn(missing_docs)]
+
+pub mod coco;
+pub mod kmeans;
+pub mod linalg;
+pub mod lsdmap;
+pub mod pca;
+pub mod wham;
+
+pub use coco::{coco, CocoConfig, CocoResult};
+pub use kmeans::{kmeans, KMeansResult};
+pub use linalg::{jacobi_eigen, Eigen, Matrix};
+pub use lsdmap::{lsdmap, LsdmapConfig, LsdmapResult};
+pub use pca::Pca;
+pub use wham::{pmf, wham, Pmf, WhamResult};

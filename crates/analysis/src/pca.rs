@@ -1,0 +1,208 @@
+//! Principal component analysis on conformation ensembles.
+
+use crate::linalg::{jacobi_eigen, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// A fitted PCA model.
+///
+/// ```
+/// use entk_analysis::Pca;
+///
+/// // Points on a line through the origin: one component explains them.
+/// let data: Vec<Vec<f64>> = (0..50).map(|i| {
+///     let t = i as f64 / 10.0;
+///     vec![t, 2.0 * t]
+/// }).collect();
+/// let pca = Pca::fit(&data, 1);
+/// assert!(pca.explained_fraction() > 0.999);
+/// let p = pca.project(&data[10]);
+/// let back = pca.inverse(&p);
+/// assert!((back[0] - data[10][0]).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pca {
+    /// Feature-wise mean of the training data.
+    pub mean: Vec<f64>,
+    /// Principal components as rows, ordered by decreasing variance.
+    pub components: Vec<Vec<f64>>,
+    /// Variance captured by each component.
+    pub variances: Vec<f64>,
+    /// Total variance of the training data (trace of the covariance).
+    pub total_variance: f64,
+}
+
+impl Pca {
+    /// Fits a PCA with `n_components` on `data` (rows are samples).
+    ///
+    /// Panics if `data` is empty or rows are ragged; `n_components` is
+    /// clamped to the feature dimensionality.
+    pub fn fit(data: &[Vec<f64>], n_components: usize) -> Pca {
+        assert!(!data.is_empty(), "PCA needs at least one sample");
+        let dims = data[0].len();
+        let n = data.len();
+        let n_components = n_components.min(dims).max(1);
+
+        let mut mean = vec![0.0; dims];
+        for row in data {
+            assert_eq!(row.len(), dims, "ragged samples");
+            for (m, &x) in mean.iter_mut().zip(row) {
+                *m += x / n as f64;
+            }
+        }
+        // Covariance matrix (biased, /n — the convention does not matter
+        // for component directions).
+        let mut cov = Matrix::zeros(dims, dims);
+        for row in data {
+            for i in 0..dims {
+                let di = row[i] - mean[i];
+                for j in i..dims {
+                    let dj = row[j] - mean[j];
+                    let v = cov.get(i, j) + di * dj / n as f64;
+                    cov.set(i, j, v);
+                    cov.set(j, i, v);
+                }
+            }
+        }
+        let total_variance = (0..dims).map(|i| cov.get(i, i)).sum();
+        let eig = jacobi_eigen(&cov);
+        let components = (0..n_components).map(|k| eig.vectors.col(k)).collect();
+        let variances = eig.values[..n_components].to_vec();
+        Pca {
+            mean,
+            components,
+            variances,
+            total_variance,
+        }
+    }
+
+    /// Dimensionality of the input space.
+    pub fn dims(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Projects one sample onto the components.
+    pub fn project(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dims(), "dimension mismatch");
+        self.components
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .zip(x.iter().zip(&self.mean))
+                    .map(|(w, (xi, mi))| w * (xi - mi))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Reconstructs a full-dimensional point from component scores.
+    pub fn inverse(&self, scores: &[f64]) -> Vec<f64> {
+        assert_eq!(scores.len(), self.components.len(), "score length mismatch");
+        let mut x = self.mean.clone();
+        for (s, c) in scores.iter().zip(&self.components) {
+            for (xi, w) in x.iter_mut().zip(c) {
+                *xi += s * w;
+            }
+        }
+        x
+    }
+
+    /// Fraction of total variance captured by the kept components.
+    pub fn explained_fraction(&self) -> f64 {
+        if self.total_variance <= 0.0 {
+            return 0.0;
+        }
+        (self.variances.iter().sum::<f64>() / self.total_variance).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Samples stretched along a known direction.
+    fn anisotropic_cloud(n: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dir = {
+            let raw: [f64; 3] = [1.0, 2.0, -1.0];
+            let norm = (raw.iter().map(|x| x * x).sum::<f64>()).sqrt();
+            [raw[0] / norm, raw[1] / norm, raw[2] / norm]
+        };
+        (0..n)
+            .map(|_| {
+                let major = (rng.random::<f64>() - 0.5) * 10.0;
+                let minor = |r: &mut StdRng| (r.random::<f64>() - 0.5) * 0.5;
+                let (m1, m2) = (minor(&mut rng), minor(&mut rng));
+                vec![
+                    5.0 + major * dir[0] + m1,
+                    -2.0 + major * dir[1] + m2,
+                    1.0 + major * dir[2],
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_dominant_direction() {
+        let data = anisotropic_cloud(500, 7);
+        let pca = Pca::fit(&data, 1);
+        let c = &pca.components[0];
+        let norm = (1.0f64 + 4.0 + 1.0).sqrt();
+        let expected = [1.0 / norm, 2.0 / norm, -1.0 / norm];
+        let dot: f64 = c.iter().zip(&expected).map(|(a, b)| a * b).sum();
+        assert!(dot.abs() > 0.99, "component {c:?}, |dot| {}", dot.abs());
+    }
+
+    #[test]
+    fn first_variance_dominates() {
+        let data = anisotropic_cloud(500, 8);
+        let pca = Pca::fit(&data, 3);
+        assert!(pca.variances[0] > 10.0 * pca.variances[1]);
+        assert!(pca.variances[1] >= pca.variances[2]);
+    }
+
+    #[test]
+    fn project_then_inverse_approximates_input() {
+        let data = anisotropic_cloud(300, 9);
+        let pca = Pca::fit(&data, 1);
+        // A point on the major axis reconstructs well from one component.
+        let x = &data[0];
+        let back = pca.inverse(&pca.project(x));
+        let err: f64 = x
+            .iter()
+            .zip(&back)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(err < 1.0, "reconstruction error {err}");
+    }
+
+    #[test]
+    fn mean_projects_to_origin() {
+        let data = anisotropic_cloud(100, 10);
+        let pca = Pca::fit(&data, 2);
+        let p = pca.project(&pca.mean.clone());
+        assert!(p.iter().all(|v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn explained_fraction_near_one_for_line() {
+        let data = anisotropic_cloud(400, 11);
+        let pca = Pca::fit(&data, 1);
+        assert!(pca.explained_fraction() > 0.95, "{}", pca.explained_fraction());
+    }
+
+    #[test]
+    fn component_count_clamped_to_dims() {
+        let data = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![0.0, 1.0]];
+        let pca = Pca::fit(&data, 10);
+        assert_eq!(pca.components.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_data_rejected() {
+        Pca::fit(&[], 1);
+    }
+}

@@ -1,0 +1,414 @@
+//! WHAM: the weighted-histogram analysis method for replica-exchange data.
+//!
+//! T-REMD (the paper's EE workload) produces potential-energy samples at a
+//! ladder of temperatures. WHAM combines their histograms into one estimate
+//! of the density of states Ω(E), from which observables at *any*
+//! temperature follow — the standard post-processing step downstream of an
+//! ensemble-exchange run (kB = 1 throughout).
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a WHAM iteration over energy histograms.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WhamResult {
+    /// Energy-bin centres.
+    pub energy_bins: Vec<f64>,
+    /// ln Ω(E) per bin (up to an additive constant).
+    pub log_dos: Vec<f64>,
+    /// Dimensionless free energies f_k of each input temperature.
+    pub f_k: Vec<f64>,
+    /// Iterations until convergence (or the cap).
+    pub iterations: usize,
+    /// Max |Δf_k| of the final iteration.
+    pub residual: f64,
+}
+
+impl WhamResult {
+    /// ln Z(β) via log-sum-exp over bins.
+    fn log_z(&self, beta: f64) -> f64 {
+        log_sum_exp(
+            self.energy_bins
+                .iter()
+                .zip(&self.log_dos)
+                .filter(|(_, &ld)| ld.is_finite())
+                .map(|(&e, &ld)| ld - beta * e),
+        )
+    }
+
+    /// Mean potential energy at temperature `t`, by reweighting the DOS.
+    pub fn mean_energy_at(&self, t: f64) -> f64 {
+        assert!(t > 0.0, "temperature must be positive");
+        let beta = 1.0 / t;
+        let log_z = self.log_z(beta);
+        self.energy_bins
+            .iter()
+            .zip(&self.log_dos)
+            .filter(|(_, &ld)| ld.is_finite())
+            .map(|(&e, &ld)| e * (ld - beta * e - log_z).exp())
+            .sum()
+    }
+
+    /// Heat capacity at temperature `t`: C = (⟨E²⟩ − ⟨E⟩²) / T².
+    pub fn heat_capacity_at(&self, t: f64) -> f64 {
+        let beta = 1.0 / t;
+        let log_z = self.log_z(beta);
+        let (mut e1, mut e2) = (0.0, 0.0);
+        for (&e, &ld) in self.energy_bins.iter().zip(&self.log_dos) {
+            if !ld.is_finite() {
+                continue;
+            }
+            let p = (ld - beta * e - log_z).exp();
+            e1 += e * p;
+            e2 += e * e * p;
+        }
+        (e2 - e1 * e1) / (t * t)
+    }
+}
+
+fn log_sum_exp(values: impl Iterator<Item = f64>) -> f64 {
+    let vals: Vec<f64> = values.collect();
+    let m = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !m.is_finite() {
+        return f64::NEG_INFINITY;
+    }
+    m + vals.iter().map(|v| (v - m).exp()).sum::<f64>().ln()
+}
+
+/// Runs WHAM over per-replica energy samples.
+///
+/// `energy_samples[k]` are samples collected at `temps[k]`. Energies are
+/// binned into `n_bins` equal bins spanning the observed range; the f_k and
+/// DOS are iterated to self-consistency (at most `max_iters` rounds,
+/// stopping when max |Δf_k| < 1e-8).
+pub fn wham(
+    energy_samples: &[Vec<f64>],
+    temps: &[f64],
+    n_bins: usize,
+    max_iters: usize,
+) -> WhamResult {
+    assert_eq!(
+        energy_samples.len(),
+        temps.len(),
+        "one sample set per temperature"
+    );
+    assert!(!temps.is_empty(), "WHAM needs at least one temperature");
+    assert!(temps.iter().all(|&t| t > 0.0), "temperatures must be positive");
+    assert!(n_bins >= 2, "need at least two energy bins");
+    let total: usize = energy_samples.iter().map(Vec::len).sum();
+    assert!(total > 0, "WHAM needs samples");
+
+    let lo = energy_samples
+        .iter()
+        .flatten()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let hi = energy_samples
+        .iter()
+        .flatten()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    let width = span / n_bins as f64;
+    let bin_of = |e: f64| (((e - lo) / width) as usize).min(n_bins - 1);
+
+    // Joint histogram over all replicas.
+    let mut hist = vec![0.0f64; n_bins];
+    for samples in energy_samples {
+        for &e in samples {
+            hist[bin_of(e)] += 1.0;
+        }
+    }
+    let n_k: Vec<f64> = energy_samples.iter().map(|s| s.len() as f64).collect();
+    let betas: Vec<f64> = temps.iter().map(|&t| 1.0 / t).collect();
+    let bins: Vec<f64> = (0..n_bins).map(|i| lo + (i as f64 + 0.5) * width).collect();
+
+    let mut f_k = vec![0.0f64; temps.len()];
+    let mut log_dos = vec![f64::NEG_INFINITY; n_bins];
+    let mut iterations = 0;
+    let mut residual = f64::INFINITY;
+    for it in 0..max_iters {
+        iterations = it + 1;
+        // Ω(E) = H(E) / Σ_k n_k exp(f_k − β_k E)
+        for (i, &e) in bins.iter().enumerate() {
+            if hist[i] == 0.0 {
+                log_dos[i] = f64::NEG_INFINITY;
+                continue;
+            }
+            let log_denominator = log_sum_exp(
+                betas
+                    .iter()
+                    .zip(&f_k)
+                    .zip(&n_k)
+                    .map(|((&b, &f), &n)| n.ln() + f - b * e),
+            );
+            log_dos[i] = hist[i].ln() - log_denominator;
+        }
+        // exp(−f_k) = Σ_E Ω(E) exp(−β_k E)
+        let mut new_f = Vec::with_capacity(f_k.len());
+        for &b in &betas {
+            let log_z = log_sum_exp(
+                bins.iter()
+                    .zip(&log_dos)
+                    .filter(|(_, &ld)| ld.is_finite())
+                    .map(|(&e, &ld)| ld - b * e),
+            );
+            new_f.push(-log_z);
+        }
+        // Fix the gauge: f_0 = 0.
+        let shift = new_f[0];
+        for f in &mut new_f {
+            *f -= shift;
+        }
+        residual = f_k
+            .iter()
+            .zip(&new_f)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        f_k = new_f;
+        if residual < 1e-8 {
+            break;
+        }
+    }
+    WhamResult {
+        energy_bins: bins,
+        log_dos,
+        f_k,
+        iterations,
+        residual,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Samples E from a d-DOF harmonic system at temperature t:
+    /// E = Σ_d (t/2)·z² with z ~ N(0,1), i.e. Gamma(d/2, t).
+    fn harmonic_energies(d: usize, t: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                (0..d)
+                    .map(|_| {
+                        let u1: f64 = 1.0 - rng.random::<f64>();
+                        let u2: f64 = rng.random::<f64>();
+                        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                        0.5 * t * z * z
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_mean_energy_at_intermediate_temperature() {
+        // 10-DOF harmonic system: ⟨E⟩(T) = 5 T exactly.
+        let d = 10;
+        let temps = [0.8, 1.0, 1.25, 1.5625];
+        let samples: Vec<Vec<f64>> = temps
+            .iter()
+            .enumerate()
+            .map(|(k, &t)| harmonic_energies(d, t, 20_000, k as u64 + 1))
+            .collect();
+        let result = wham(&samples, &temps, 80, 500);
+        assert!(result.residual < 1e-6, "converged: {}", result.residual);
+        for &t in &[0.9, 1.1, 1.4] {
+            let mean = result.mean_energy_at(t);
+            let exact = 5.0 * t;
+            assert!(
+                (mean - exact).abs() / exact < 0.05,
+                "⟨E⟩({t}) = {mean}, exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn heat_capacity_of_harmonic_system_is_constant() {
+        // C(T) = d/2 for a d-DOF harmonic system, independent of T.
+        let d = 10;
+        let temps = [0.8, 1.0, 1.25];
+        let samples: Vec<Vec<f64>> = temps
+            .iter()
+            .enumerate()
+            .map(|(k, &t)| harmonic_energies(d, t, 20_000, k as u64 + 10))
+            .collect();
+        let result = wham(&samples, &temps, 80, 500);
+        let c = result.heat_capacity_at(1.0);
+        assert!((c - 5.0).abs() < 0.6, "C = {c}, expected ≈ 5");
+    }
+
+    #[test]
+    fn f_k_increase_with_beta_for_positive_energies() {
+        // With E ≥ 0, Z(β) decreases in β, so f = −ln Z increases
+        // relative to the hottest replica (f is gauged to f_0 = 0 at the
+        // first temperature).
+        let temps = [2.0, 1.0, 0.5]; // decreasing T = increasing beta
+        let samples: Vec<Vec<f64>> = temps
+            .iter()
+            .enumerate()
+            .map(|(k, &t)| harmonic_energies(6, t, 5_000, k as u64 + 20))
+            .collect();
+        let result = wham(&samples, &temps, 60, 500);
+        assert!(result.f_k[1] > result.f_k[0]);
+        assert!(result.f_k[2] > result.f_k[1]);
+    }
+
+    #[test]
+    fn single_temperature_degenerates_to_histogram() {
+        let samples = vec![harmonic_energies(4, 1.0, 10_000, 30)];
+        let result = wham(&samples, &[1.0], 40, 200);
+        let mean = result.mean_energy_at(1.0);
+        assert!((mean - 2.0).abs() < 0.1, "⟨E⟩ = {mean}, expected 2");
+    }
+
+    #[test]
+    #[should_panic(expected = "one sample set per temperature")]
+    fn mismatched_inputs_rejected() {
+        wham(&[vec![1.0]], &[1.0, 2.0], 10, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs samples")]
+    fn empty_samples_rejected() {
+        wham(&[vec![]], &[1.0], 10, 10);
+    }
+}
+
+/// A potential of mean force F(x) over a collective variable.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pmf {
+    /// CV-bin centres.
+    pub x: Vec<f64>,
+    /// Free energy per bin at the target temperature, shifted so the
+    /// minimum is zero; unvisited bins are `f64::INFINITY`.
+    pub f: Vec<f64>,
+}
+
+/// Computes a 1-D potential of mean force at temperature `target_t` by
+/// reweighting samples from all replicas with WHAM's `f_k`.
+///
+/// `samples` are `(cv_value, potential_energy, replica_index)` triples;
+/// `wham_result` must come from [`wham`] over the same replica
+/// temperatures `temps`.
+pub fn pmf(
+    samples: &[(f64, f64, usize)],
+    temps: &[f64],
+    wham_result: &WhamResult,
+    target_t: f64,
+    n_bins: usize,
+) -> Pmf {
+    assert!(target_t > 0.0, "temperature must be positive");
+    assert!(n_bins >= 2, "need at least two CV bins");
+    assert!(!samples.is_empty(), "PMF needs samples");
+    assert_eq!(temps.len(), wham_result.f_k.len(), "temps must match WHAM input");
+    let beta = 1.0 / target_t;
+
+    let lo = samples.iter().map(|s| s.0).fold(f64::INFINITY, f64::min);
+    let hi = samples.iter().map(|s| s.0).fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    let width = span / n_bins as f64;
+    let bin_of = |x: f64| (((x - lo) / width) as usize).min(n_bins - 1);
+
+    // Log-weights per bin, accumulated with log-sum-exp for stability.
+    let mut log_w: Vec<Vec<f64>> = vec![Vec::new(); n_bins];
+    for &(x, e, k) in samples {
+        assert!(k < temps.len(), "replica index out of range");
+        let beta_k = 1.0 / temps[k];
+        // w ∝ exp(f_k − (β − β_k) E)
+        log_w[bin_of(x)].push(wham_result.f_k[k] - (beta - beta_k) * e);
+    }
+    let mut f: Vec<f64> = log_w
+        .into_iter()
+        .map(|ws| {
+            if ws.is_empty() {
+                f64::INFINITY
+            } else {
+                -target_t * log_sum_exp(ws.into_iter())
+            }
+        })
+        .collect();
+    let fmin = f.iter().cloned().fold(f64::INFINITY, f64::min);
+    if fmin.is_finite() {
+        for v in &mut f {
+            if v.is_finite() {
+                *v -= fmin;
+            }
+        }
+    }
+    let x = (0..n_bins).map(|i| lo + (i as f64 + 0.5) * width).collect();
+    Pmf { x, f }
+}
+
+#[cfg(test)]
+mod pmf_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// 1-D harmonic oscillator samples at temperature t: x ~ N(0, t/k),
+    /// E = k x²/2.
+    fn harmonic_cv(k_spring: f64, t: f64, n: usize, seed: u64) -> Vec<(f64, f64)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u1: f64 = 1.0 - rng.random::<f64>();
+                let u2: f64 = rng.random::<f64>();
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                let x = z * (t / k_spring).sqrt();
+                (x, 0.5 * k_spring * x * x)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pmf_recovers_harmonic_well() {
+        let k_spring = 4.0;
+        let temps = [0.8, 1.0, 1.3];
+        let mut samples = Vec::new();
+        let mut per_replica_energies = Vec::new();
+        for (k, &t) in temps.iter().enumerate() {
+            let s = harmonic_cv(k_spring, t, 15_000, k as u64 + 1);
+            per_replica_energies.push(s.iter().map(|&(_, e)| e).collect::<Vec<_>>());
+            samples.extend(s.into_iter().map(|(x, e)| (x, e, k)));
+        }
+        let w = wham(&per_replica_energies, &temps, 60, 500);
+        let profile = pmf(&samples, &temps, &w, 1.0, 40);
+        // Compare against k x²/2 where sampling is dense (|x| < 1).
+        for (&x, &f) in profile.x.iter().zip(&profile.f) {
+            if x.abs() < 1.0 && f.is_finite() {
+                let exact = 0.5 * k_spring * x * x;
+                assert!(
+                    (f - exact).abs() < 0.25,
+                    "F({x:.2}) = {f:.3}, exact {exact:.3}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pmf_minimum_is_zero() {
+        let temps = [1.0];
+        let s = harmonic_cv(2.0, 1.0, 5000, 9);
+        let energies = vec![s.iter().map(|&(_, e)| e).collect::<Vec<_>>()];
+        let w = wham(&energies, &temps, 40, 200);
+        let samples: Vec<(f64, f64, usize)> = s.into_iter().map(|(x, e)| (x, e, 0)).collect();
+        let profile = pmf(&samples, &temps, &w, 1.0, 20);
+        let fmin = profile.f.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(fmin.abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "PMF needs samples")]
+    fn empty_samples_rejected() {
+        let w = WhamResult {
+            energy_bins: vec![0.0, 1.0],
+            log_dos: vec![0.0, 0.0],
+            f_k: vec![0.0],
+            iterations: 1,
+            residual: 0.0,
+        };
+        pmf(&[], &[1.0], &w, 1.0, 10);
+    }
+}

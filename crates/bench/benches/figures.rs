@@ -1,0 +1,97 @@
+//! Criterion benches: one group per paper figure plus the ablations, timing
+//! the same code paths as the `bin/figN` harnesses at reduced scale so a
+//! full `cargo bench` stays tractable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_patterns");
+    g.sample_size(10);
+    g.bench_function("char_count_three_patterns_24_192", |b| {
+        b.iter(|| black_box(entk_bench::fig3(black_box(1))))
+    });
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_kernels");
+    g.sample_size(10);
+    g.bench_function("gromacs_lsdmap_sal_24_192", |b| {
+        b.iter(|| black_box(entk_bench::fig4(black_box(1))))
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_ee_strong");
+    g.sample_size(10);
+    g.bench_function("ee_strong_scaled_div8", |b| {
+        b.iter(|| black_box(entk_bench::fig5(black_box(1), 8)))
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_ee_weak");
+    g.sample_size(10);
+    g.bench_function("ee_weak_scaled_div8", |b| {
+        b.iter(|| black_box(entk_bench::fig6(black_box(1), 8)))
+    });
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_sal_strong");
+    g.sample_size(10);
+    g.bench_function("sal_strong_scaled_div8", |b| {
+        b.iter(|| black_box(entk_bench::fig7(black_box(1), 8)))
+    });
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_sal_weak");
+    g.sample_size(10);
+    g.bench_function("sal_weak_scaled_div8", |b| {
+        b.iter(|| black_box(entk_bench::fig8(black_box(1), 8)))
+    });
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_mpi");
+    g.sample_size(10);
+    g.bench_function("mpi_cores_per_sim_scaled_div4", |b| {
+        b.iter(|| black_box(entk_bench::fig9(black_box(1), 4)))
+    });
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("exchange_topology", |b| {
+        b.iter(|| black_box(entk_bench::ablation_exchange(black_box(1))))
+    });
+    g.bench_function("overhead_sensitivity", |b| {
+        b.iter(|| black_box(entk_bench::ablation_overhead(black_box(1))))
+    });
+    g.bench_function("unit_scheduler", |b| {
+        b.iter(|| black_box(entk_bench::ablation_scheduler(black_box(1))))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9,
+    bench_ablations
+);
+criterion_main!(figures);

@@ -1,0 +1,156 @@
+//! Micro-benchmarks of the substrate crates: the discrete-event engine, the
+//! MD force loop (cell list vs naive), the analysis eigensolvers, and a
+//! full-stack throughput case.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    use entk_sim::{EventQueue, SimTime};
+    let mut g = c.benchmark_group("sim_event_queue");
+    g.bench_function("push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_micros((i * 7919) % 100_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, _, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_md_forces(c: &mut Criterion) {
+    use entk_md::{alanine_dipeptide_surrogate, ForceField};
+    let mut g = c.benchmark_group("md_forces");
+    g.sample_size(20);
+    for &n in &[256usize, 1024] {
+        let sys = alanine_dipeptide_surrogate(n, 1);
+        let ff = ForceField::default();
+        g.bench_with_input(BenchmarkId::new("cell_list", n), &n, |b, _| {
+            let mut forces = Vec::new();
+            b.iter(|| black_box(ff.compute(&sys, &mut forces)))
+        });
+        g.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            let mut forces = Vec::new();
+            b.iter(|| black_box(ff.compute_naive(&sys, &mut forces)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_md_segment(c: &mut Criterion) {
+    use entk_md::{alanine_dipeptide_surrogate, EngineFlavor, MdEngine};
+    let mut g = c.benchmark_group("md_segment");
+    g.sample_size(10);
+    g.bench_function("langevin_100steps_256atoms", |b| {
+        let engine = MdEngine::new(EngineFlavor::Amber);
+        b.iter(|| {
+            let mut sys = alanine_dipeptide_surrogate(256, 2);
+            sys.thermalize(1.0, 3);
+            black_box(engine.run(&mut sys, 100, 4))
+        })
+    });
+    g.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    use entk_analysis::{coco, jacobi_eigen, lsdmap, CocoConfig, LsdmapConfig, Matrix};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut g = c.benchmark_group("analysis");
+    g.sample_size(20);
+
+    // Symmetric 48x48 eigendecomposition.
+    let mut rng = StdRng::seed_from_u64(5);
+    let n = 48;
+    let mut m = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            let v = rng.random::<f64>() - 0.5;
+            m.set(i, j, v);
+            m.set(j, i, v);
+        }
+    }
+    g.bench_function("jacobi_eigen_48", |b| b.iter(|| black_box(jacobi_eigen(&m))));
+
+    let frames: Vec<Vec<f64>> = (0..96)
+        .map(|i| {
+            let c = if i % 2 == 0 { 0.0 } else { 8.0 };
+            (0..12).map(|k| c + ((i * k) % 7) as f64 * 0.1).collect()
+        })
+        .collect();
+    g.bench_function("lsdmap_96_frames", |b| {
+        b.iter(|| black_box(lsdmap(&frames, LsdmapConfig::default())))
+    });
+    g.bench_function("coco_96_frames", |b| {
+        b.iter(|| black_box(coco(&frames, 8, CocoConfig::default())))
+    });
+    g.finish();
+}
+
+fn bench_wham(c: &mut Criterion) {
+    use entk_analysis::wham;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut g = c.benchmark_group("wham");
+    g.sample_size(10);
+    let temps = [0.8, 1.0, 1.25, 1.5625];
+    let samples: Vec<Vec<f64>> = temps
+        .iter()
+        .enumerate()
+        .map(|(k, &t)| {
+            let mut rng = StdRng::seed_from_u64(k as u64);
+            (0..5000)
+                .map(|_| {
+                    (0..10)
+                        .map(|_| {
+                            let u1: f64 = 1.0 - rng.random::<f64>();
+                            let u2: f64 = rng.random::<f64>();
+                            let z =
+                                (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                            0.5 * t * z * z
+                        })
+                        .sum()
+                })
+                .collect()
+        })
+        .collect();
+    g.bench_function("wham_4temps_20k_samples", |b| {
+        b.iter(|| black_box(wham(&samples, &temps, 60, 200)))
+    });
+    g.finish();
+}
+
+fn bench_full_stack(c: &mut Criterion) {
+    use entk_core::prelude::*;
+    use serde_json::json;
+    let mut g = c.benchmark_group("full_stack");
+    g.sample_size(10);
+    g.bench_function("bag_1000_tasks_256_cores", |b| {
+        b.iter(|| {
+            let config =
+                ResourceConfig::new("xsede.comet", 256, SimDuration::from_secs(1_000_000));
+            let mut pattern = BagOfTasks::new(1000, |_| {
+                KernelCall::new("misc.sleep", json!({ "secs": 60.0 }))
+            });
+            black_box(run_simulated(config, SimulatedConfig::default(), &mut pattern).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    substrates,
+    bench_event_queue,
+    bench_md_forces,
+    bench_md_segment,
+    bench_analysis,
+    bench_wham,
+    bench_full_stack
+);
+criterion_main!(substrates);

@@ -1,0 +1,550 @@
+//! Workloads and runners regenerating every figure of the paper's
+//! evaluation (§IV). Each `figN` function returns the same series the paper
+//! plots; the `bin/figN` harnesses print them, the criterion benches time
+//! the underlying code paths, and integration tests assert their shape.
+
+use entk_core::prelude::*;
+use entk_core::ExecutionReport;
+use serde::Serialize;
+use serde_json::json;
+
+/// A generous pilot wall time so experiments never hit the limit.
+fn walltime() -> SimDuration {
+    SimDuration::from_secs(10_000_000)
+}
+
+/// One row of a figure's data.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Series / subplot label.
+    pub series: String,
+    /// X value (tasks, cores, or cores-per-simulation).
+    pub x: f64,
+    /// Named Y values in seconds.
+    pub values: Vec<(String, f64)>,
+}
+
+impl Row {
+    fn new(series: impl Into<String>, x: f64) -> Self {
+        Row {
+            series: series.into(),
+            x,
+            values: Vec::new(),
+        }
+    }
+
+    fn with(mut self, name: impl Into<String>, v: f64) -> Self {
+        self.values.push((name.into(), v));
+        self
+    }
+
+    /// Y value by name.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.values
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// Prints rows in a stable whitespace-separated format.
+pub fn print_rows(title: &str, rows: &[Row]) {
+    println!("# {title}");
+    for row in rows {
+        let mut line = format!("series={} x={}", row.series, row.x);
+        for (name, v) in &row.values {
+            line.push_str(&format!(" {name}={v:.3}"));
+        }
+        println!("{line}");
+    }
+}
+
+fn common_rows(series: &str, x: f64, report: &ExecutionReport) -> Row {
+    Row::new(series, x)
+        .with("ttc", report.ttc.as_secs_f64())
+        .with("exec_time", report.exec_time().as_secs_f64())
+        .with("core_overhead", report.overheads.core.as_secs_f64())
+        .with("pattern_overhead", report.overheads.pattern.as_secs_f64())
+        .with(
+            "resource_wait",
+            report.overheads.resource_wait.as_secs_f64(),
+        )
+}
+
+// ---------------------------------------------------------------- Figure 3
+
+/// The char-count application under one of the three patterns.
+fn char_count_pattern(kind: &str, n: usize) -> Box<dyn ExecutionPattern + Send> {
+    let mk = |_p: usize| KernelCall::new("misc.mkfile", json!({ "bytes": 1024 }));
+    match kind {
+        "pipeline" => Box::new(
+            EnsembleOfPipelines::new(n, 2, move |_, s| {
+                if s == 0 {
+                    KernelCall::new("misc.mkfile", json!({ "bytes": 1024 }))
+                } else {
+                    KernelCall::new("misc.ccount", json!({ "bytes": 1024 }))
+                }
+            })
+            .with_stage_labels(vec!["mkfile".into(), "ccount".into()]),
+        ),
+        "sal" => Box::new(SimulationAnalysisLoop::new(
+            1,
+            n,
+            move |_, p| mk(p),
+            move |_, outs| {
+                (0..outs.len())
+                    .map(|_| KernelCall::new("misc.ccount", json!({ "bytes": 1024 })))
+                    .collect()
+            },
+        )),
+        "ee" => Box::new(EnsembleExchange::new(
+            n,
+            1,
+            TemperatureLadder::geometric(n, 1.0, 2.0),
+            move |p, _, _| mk(p),
+        )),
+        other => panic!("unknown pattern kind {other:?}"),
+    }
+}
+
+/// Fig. 3: char-count app with all three patterns on Comet, tasks = cores ∈
+/// {24, 48, 96, 192}; per-pattern execution time plus the EnTK overhead
+/// decomposition.
+pub fn fig3(seed: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &n in &[24usize, 48, 96, 192] {
+        for kind in ["pipeline", "sal", "ee"] {
+            let mut pattern = char_count_pattern(kind, n);
+            let config = ResourceConfig::new("xsede.comet", n, walltime());
+            let sim = SimulatedConfig { seed: seed ^ n as u64, ..Default::default() };
+            let report = run_simulated(config, sim, pattern.as_mut()).expect("fig3 run");
+            rows.push(common_rows(kind, n as f64, &report));
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- Figure 4
+
+/// Fig. 4: Gromacs + LSDMap via SAL on Comet, tasks = cores ∈ {24..192} —
+/// validates that swapping kernels leaves EnTK overheads unchanged.
+pub fn fig4(seed: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &n in &[24usize, 48, 96, 192] {
+        let mut pattern = SimulationAnalysisLoop::new(
+            1,
+            n,
+            |_, i| {
+                KernelCall::new(
+                    "md.gromacs",
+                    json!({ "steps": 300, "n_atoms": 2881, "seed": i }),
+                )
+            },
+            move |_, outs| {
+                vec![KernelCall::new(
+                    "ana.lsdmap",
+                    json!({ "n_sims": outs.len() }),
+                )]
+            },
+        );
+        let config = ResourceConfig::new("xsede.comet", n, walltime());
+        let sim = SimulatedConfig { seed: seed ^ (n as u64) << 1, ..Default::default() };
+        let report = run_simulated(config, sim, &mut pattern).expect("fig4 run");
+        rows.push(
+            common_rows("gromacs-lsdmap", n as f64, &report)
+                .with("simulation_time", report.stage_time("simulation").as_secs_f64())
+                .with("analysis_time", report.stage_time("analysis").as_secs_f64()),
+        );
+    }
+    rows
+}
+
+// ----------------------------------------------------------- Figures 5 & 6
+
+fn ee_experiment(replicas: usize, cores: usize, cycles: usize, seed: u64) -> Row {
+    let mut pattern = EnsembleExchange::new(
+        replicas,
+        cycles,
+        TemperatureLadder::geometric(replicas, 0.8, 2.4),
+        |r, c, t| {
+            KernelCall::new(
+                "md.amber",
+                json!({
+                    // 6 ps = 3000 steps of the 2881-atom system, 1 core.
+                    "steps": 3000, "n_atoms": 2881, "temperature": t,
+                    "seed": (r * 31 + c) as u64,
+                }),
+            )
+        },
+    );
+    let config = ResourceConfig::new("lsu.supermic", cores, walltime());
+    let sim = SimulatedConfig { seed: seed ^ (replicas * 7 + cores) as u64, ..Default::default() };
+    let report = run_simulated(config, sim, &mut pattern).expect("ee run");
+    Row::new(format!("replicas={replicas}"), cores as f64)
+        .with("simulation_time", report.stage_time("simulation").as_secs_f64())
+        .with("exchange_time", report.stage_time("exchange").as_secs_f64())
+        .with("ttc", report.ttc.as_secs_f64())
+}
+
+/// Fig. 5: EE strong scaling on SuperMIC — 2560 replicas (scaled by
+/// `scale` for cheap runs), cores 20 → replicas.
+pub fn fig5(seed: u64, scale: usize) -> Vec<Row> {
+    let replicas = 2560 / scale.max(1);
+    let mut rows = Vec::new();
+    let mut cores = (20 / scale.clamp(1, 20)).max(1);
+    while cores <= replicas {
+        rows.push(ee_experiment(replicas, cores, 1, seed));
+        cores *= 2;
+    }
+    if rows.last().map(|r| r.x as usize) != Some(replicas) {
+        rows.push(ee_experiment(replicas, replicas, 1, seed));
+    }
+    rows
+}
+
+/// Fig. 6: EE weak scaling on SuperMIC — replicas = cores, 20 → 2560
+/// (divided by `scale`).
+pub fn fig6(seed: u64, scale: usize) -> Vec<Row> {
+    let max = 2560 / scale.max(1);
+    let mut rows = Vec::new();
+    let mut n = (20 / scale.max(1)).max(2);
+    while n <= max {
+        rows.push(ee_experiment(n, n, 1, seed));
+        n *= 2;
+    }
+    rows
+}
+
+// ----------------------------------------------------------- Figures 7 & 8
+
+fn sal_experiment(
+    sims: usize,
+    cores: usize,
+    cores_per_sim: usize,
+    steps: u64,
+    seed: u64,
+) -> Row {
+    let mut pattern = SimulationAnalysisLoop::new(
+        1,
+        sims,
+        move |_, i| {
+            KernelCall::new(
+                "md.amber",
+                json!({ "steps": steps, "n_atoms": 2881, "seed": i }),
+            )
+            .with_cores(cores_per_sim)
+        },
+        move |_, outs| {
+            vec![KernelCall::new(
+                "ana.coco",
+                json!({ "n_sims": outs.len() }),
+            )]
+        },
+    );
+    let config = ResourceConfig::new("xsede.stampede", cores, walltime());
+    let sim = SimulatedConfig { seed: seed ^ (sims * 13 + cores) as u64, ..Default::default() };
+    let report = run_simulated(config, sim, &mut pattern).expect("sal run");
+    let sim_summary = report.stage_exec_summary("simulation");
+    Row::new(format!("sims={sims}"), cores as f64)
+        .with("simulation_time", report.stage_time("simulation").as_secs_f64())
+        .with("analysis_time", report.stage_time("analysis").as_secs_f64())
+        .with("mean_sim_exec", sim_summary.mean())
+        .with("ttc", report.ttc.as_secs_f64())
+}
+
+/// Fig. 7: SAL strong scaling on Stampede — 1024 simulations (÷ `scale`),
+/// 0.6 ps (300 steps) each, cores 64 → 1024.
+pub fn fig7(seed: u64, scale: usize) -> Vec<Row> {
+    let sims = 1024 / scale.max(1);
+    let mut rows = Vec::new();
+    let mut cores = (64 / scale.max(1)).max(2);
+    while cores <= sims {
+        rows.push(sal_experiment(sims, cores, 1, 300, seed));
+        cores *= 2;
+    }
+    rows
+}
+
+/// Fig. 8: SAL weak scaling on Stampede — sims = cores, 64 → 4096
+/// (÷ `scale`).
+pub fn fig8(seed: u64, scale: usize) -> Vec<Row> {
+    let max = 4096 / scale.max(1);
+    let mut rows = Vec::new();
+    let mut n = (64 / scale.max(1)).max(2);
+    while n <= max {
+        rows.push(sal_experiment(n, n, 1, 300, seed));
+        n *= 2;
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- Figure 9
+
+/// Fig. 9: MPI capability on Stampede — 64 simulations (÷ `scale`) of 6 ps
+/// each, cores per simulation ∈ {1, 16, 32, 64}; per-simulation execution
+/// time drops linearly with cores per simulation.
+pub fn fig9(seed: u64, scale: usize) -> Vec<Row> {
+    let sims = (64 / scale.max(1)).max(2);
+    let mut rows = Vec::new();
+    for &cps in &[1usize, 16, 32, 64] {
+        let total_cores = sims * cps;
+        let row = sal_experiment(sims, total_cores, cps, 3000, seed);
+        let mut renamed = Row::new(format!("sims={sims}"), cps as f64);
+        renamed.values = row.values;
+        rows.push(renamed);
+    }
+    rows
+}
+
+// --------------------------------------------------------------- Ablations
+
+/// Ablation: EE exchange topology — global-synchronous vs pairwise-async
+/// TTC at fixed replicas/cores.
+pub fn ablation_exchange(seed: u64) -> Vec<Row> {
+    let replicas = 64;
+    let cores = 32;
+    let mut rows = Vec::new();
+    for (label, mode) in [
+        ("global-sync", ExchangeMode::GlobalSynchronous),
+        ("pairwise-async", ExchangeMode::PairwiseAsync),
+    ] {
+        let mut pattern = EnsembleExchange::new(
+            replicas,
+            4,
+            TemperatureLadder::geometric(replicas, 0.8, 2.4),
+            |r, c, t| {
+                KernelCall::new(
+                    "md.amber",
+                    json!({ "steps": 3000, "n_atoms": 2881, "temperature": t,
+                            "seed": (r * 31 + c) as u64 }),
+                )
+            },
+        )
+        .with_mode(mode);
+        let config = ResourceConfig::new("lsu.supermic", cores, walltime());
+        let sim = SimulatedConfig { seed, ..Default::default() };
+        let report = run_simulated(config, sim, &mut pattern).expect("ablation run");
+        rows.push(
+            Row::new(label, replicas as f64)
+                .with("ttc", report.ttc.as_secs_f64())
+                .with("exchange_time", report.stage_time("exchange").as_secs_f64()),
+        );
+    }
+    rows
+}
+
+/// Ablation: runtime-overhead sensitivity — scale all RP overheads and
+/// watch TTC for a 512-task bag.
+pub fn ablation_overhead(seed: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &factor in &[0.0, 1.0, 10.0] {
+        let mut pattern = BagOfTasks::new(512, |_| {
+            KernelCall::new("misc.sleep", json!({ "secs": 10.0 }))
+        });
+        let config = ResourceConfig::new("xsede.comet", 256, walltime());
+        let sim = SimulatedConfig {
+            seed,
+            runtime_overheads: entk_pilot::RuntimeOverheads::radical_pilot().scaled(factor),
+            ..Default::default()
+        };
+        let report = run_simulated(config, sim, &mut pattern).expect("ablation run");
+        rows.push(Row::new("overhead-scale", factor).with("ttc", report.ttc.as_secs_f64()));
+    }
+    rows
+}
+
+/// Ablation: fault tolerance — TTC and failure outcomes vs injected
+/// unit-failure rate, with and without retries.
+pub fn ablation_faults(seed: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &rate in &[0.0, 0.1, 0.3] {
+        for retries in [0u32, 5] {
+            let mut pattern = BagOfTasks::new(256, |_| {
+                KernelCall::new("misc.sleep", json!({ "secs": 30.0 }))
+            });
+            let config = ResourceConfig::new("xsede.comet", 128, walltime());
+            let sim = SimulatedConfig {
+                seed,
+                unit_failure_rate: rate,
+                fault: entk_core::FaultConfig::retries(retries),
+                ..Default::default()
+            };
+            let report = run_simulated(config, sim, &mut pattern).expect("ablation run");
+            rows.push(
+                Row::new(format!("retries={retries}"), rate)
+                    .with("ttc", report.ttc.as_secs_f64())
+                    .with("failed", report.failed_tasks as f64)
+                    .with("resubmissions", report.total_retries as f64),
+            );
+        }
+    }
+    rows
+}
+
+/// Ablation: pilot-splitting execution strategy under size-dependent
+/// queue wait (paper §V / Ref.\[23\]).
+pub fn ablation_pilots(seed: u64) -> Vec<Row> {
+    let mut platform = entk_cluster::PlatformSpec::comet();
+    platform.queue_wait_per_core = 2.0;
+    let mut rows = Vec::new();
+    for &count in &[1usize, 2, 4, 8] {
+        let mut pattern = BagOfTasks::new(128, |_| {
+            KernelCall::new("misc.sleep", json!({ "secs": 30.0 }))
+        });
+        let config = ResourceConfig::new("xsede.comet", 128, walltime());
+        let sim = SimulatedConfig {
+            seed,
+            platform: Some(platform.clone()),
+            pilot_strategy: if count == 1 {
+                entk_core::PilotStrategy::single()
+            } else {
+                entk_core::PilotStrategy::split(count)
+            },
+            ..Default::default()
+        };
+        let report = run_simulated(config, sim, &mut pattern).expect("ablation run");
+        rows.push(Row::new("pilots", count as f64).with("ttc", report.ttc.as_secs_f64()));
+    }
+    rows
+}
+
+/// Ablation: unit-scheduler policy on a mixed MPI workload.
+/// Factory producing a fresh unit scheduler per run.
+type SchedulerFactory = Box<dyn Fn() -> Box<dyn entk_pilot::UnitScheduler>>;
+
+/// Ablation: unit-scheduler policy on a mixed MPI workload.
+pub fn ablation_scheduler(seed: u64) -> Vec<Row> {
+    use entk_pilot::{FirstFitScheduler, LargestFirstScheduler};
+    let mk_sched: Vec<(&str, SchedulerFactory)> = vec![
+        ("first-fit", Box::new(|| Box::new(FirstFitScheduler))),
+        ("largest-first", Box::new(|| Box::new(LargestFirstScheduler))),
+    ];
+    let mut rows = Vec::new();
+    for (label, mk) in mk_sched {
+        // Mixed 1/4/8-core tasks.
+        let mut pattern = BagOfTasks::new(96, |i| {
+            let cores = [1usize, 4, 8][i % 3];
+            KernelCall::new("misc.sleep", json!({ "secs": 30.0 })).with_cores(cores)
+        });
+        let config = ResourceConfig::new("xsede.comet", 48, walltime());
+        let mut handle = ResourceHandle::simulated(config, SimulatedConfig { seed, ..Default::default() })
+            .expect("handle");
+        handle.set_unit_scheduler(mk());
+        handle.allocate().expect("allocate");
+        let report = handle.run(&mut pattern).expect("run");
+        handle.deallocate().expect("deallocate");
+        rows.push(Row::new(label, 96.0).with("exec_time", report.exec_time().as_secs_f64()));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_small_scale_has_flat_exec_time() {
+        // Scaled-down: tasks=cores means exec time stays flat per pattern.
+        let rows = fig3(1);
+        for kind in ["pipeline", "sal", "ee"] {
+            let series: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.series == kind)
+                .map(|r| r.value("exec_time").unwrap())
+                .collect();
+            assert_eq!(series.len(), 4);
+            let min = series.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = series.iter().cloned().fold(0.0, f64::max);
+            assert!(
+                max / min < 2.5,
+                "{kind} exec time should stay roughly flat: {series:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig3_overheads_have_paper_shape() {
+        let rows = fig3(9);
+        // Core overhead constant across sizes (within 25%).
+        let core: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.series == "pipeline")
+            .map(|r| r.value("core_overhead").unwrap())
+            .collect();
+        let cmin = core.iter().cloned().fold(f64::INFINITY, f64::min);
+        let cmax = core.iter().cloned().fold(0.0, f64::max);
+        assert!(cmax / cmin < 1.25, "core overhead ~constant: {core:?}");
+        // Pattern overhead grows ~linearly: 8x tasks => >4x overhead.
+        let pat: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.series == "pipeline")
+            .map(|r| r.value("pattern_overhead").unwrap())
+            .collect();
+        assert!(
+            pat.last().unwrap() > &(4.0 * pat[0]),
+            "pattern overhead ∝ tasks: {pat:?}"
+        );
+    }
+
+    #[test]
+    fn fault_ablation_retries_absorb_failures() {
+        let rows = ablation_faults(3);
+        for r in &rows {
+            let retries = r.series == "retries=5";
+            let failed = r.value("failed").unwrap();
+            if retries {
+                assert_eq!(failed, 0.0, "retries must absorb failures at rate {}", r.x);
+            } else if r.x > 0.0 {
+                assert!(failed > 0.0, "no-retry run should lose tasks at rate {}", r.x);
+            }
+        }
+    }
+
+    #[test]
+    fn fig5_small_scale_halves_simulation_time() {
+        let rows = fig5(2, 32); // 80 replicas, cores 1..80
+        assert!(rows.len() >= 3);
+        for pair in rows.windows(2) {
+            let a = pair[0].value("simulation_time").unwrap();
+            let b = pair[1].value("simulation_time").unwrap();
+            assert!(b < a, "strong scaling must decrease sim time: {a} -> {b}");
+        }
+        // Exchange time roughly constant (depends only on replica count).
+        let ex: Vec<f64> = rows.iter().map(|r| r.value("exchange_time").unwrap()).collect();
+        let min = ex.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = ex.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min < 1.5, "exchange time ~constant: {ex:?}");
+    }
+
+    #[test]
+    fn fig8_small_scale_grows_analysis_only() {
+        let rows = fig8(3, 32); // sims = cores ∈ {2..128}
+        let sim_t: Vec<f64> = rows.iter().map(|r| r.value("simulation_time").unwrap()).collect();
+        let ana_t: Vec<f64> = rows.iter().map(|r| r.value("analysis_time").unwrap()).collect();
+        // Weak scaling: simulation time ~flat, analysis grows monotonically.
+        let min = sim_t.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = sim_t.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min < 2.0, "weak-scaled sim time flat: {sim_t:?}");
+        // Growth dominates once n is large enough to beat base-cost jitter.
+        assert!(
+            ana_t.last().unwrap() > &(1.5 * ana_t[0]),
+            "analysis grows with sims: {ana_t:?}"
+        );
+        assert!(
+            ana_t[2..].windows(2).all(|w| w[1] > w[0]),
+            "analysis monotonic beyond tiny n: {ana_t:?}"
+        );
+    }
+
+    #[test]
+    fn fig9_small_scale_speeds_up_with_cores_per_sim() {
+        let rows = fig9(4, 16); // 4 sims
+        let exec: Vec<f64> = rows.iter().map(|r| r.value("mean_sim_exec").unwrap()).collect();
+        assert!(
+            exec.windows(2).all(|w| w[1] < w[0]),
+            "more cores per sim must be faster: {exec:?}"
+        );
+        // Roughly linear: 64× cores ⇒ ≥ 20× faster (base cost bounds it).
+        assert!(exec[0] / exec[3] > 20.0, "speedup {}", exec[0] / exec[3]);
+    }
+}

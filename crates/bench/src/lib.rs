@@ -1,0 +1,15 @@
+//! # entk-bench — figure harnesses for the EnTK paper reproduction
+//!
+//! One runner per figure of the paper's evaluation (Figs. 3–9), plus
+//! ablations over the design choices DESIGN.md calls out. Binaries under
+//! `src/bin/` print each figure's series; criterion benches under
+//! `benches/` time the same code paths at reduced scale.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+
+pub use figures::{
+    ablation_exchange, ablation_faults, ablation_overhead, ablation_pilots, ablation_scheduler, fig3, fig4, fig5, fig6, fig7, fig8,
+    fig9, print_rows, Row,
+};

@@ -1,0 +1,83 @@
+//! `entk` — run Ensemble Toolkit workloads from JSON specs.
+//!
+//! ```text
+//! entk run <spec.json> [--json]     execute a workload, print the report
+//! entk check <spec.json>            validate a spec without running it
+//! entk kernels                      list available kernel plugins
+//! ```
+
+use entk_cli::WorkloadSpec;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: entk run <spec.json> [--json]");
+                return ExitCode::FAILURE;
+            };
+            let as_json = args.iter().any(|a| a == "--json");
+            match load(path).and_then(|spec| spec.run().map_err(|e| e.to_string())) {
+                Ok(report) => {
+                    if as_json {
+                        println!(
+                            "{}",
+                            serde_json::to_string_pretty(&report).expect("report serializes")
+                        );
+                    } else {
+                        print!("{report}");
+                    }
+                    if report.failed_tasks > 0 {
+                        ExitCode::FAILURE
+                    } else {
+                        ExitCode::SUCCESS
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("check") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: entk check <spec.json>");
+                return ExitCode::FAILURE;
+            };
+            match load(path) {
+                Ok(spec) => {
+                    // Building the pattern exercises shape validation.
+                    let pattern = spec.build_pattern();
+                    println!(
+                        "ok: {} on {} ({} cores, backend {})",
+                        pattern.name(),
+                        spec.resource.name,
+                        spec.resource.cores,
+                        spec.backend
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("kernels") => {
+            for name in entk_kernels::KernelRegistry::with_builtins().names() {
+                println!("{name}");
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: entk <run|check|kernels> [args]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load(path: &str) -> Result<WorkloadSpec, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path:?}: {e}"))?;
+    WorkloadSpec::from_json(&text).map_err(|e| e.to_string())
+}

@@ -1,0 +1,476 @@
+//! JSON workload specifications: declare a resource, a pattern, and the
+//! kernels of each stage; the CLI compiles the spec into toolkit calls.
+//!
+//! Kernel arguments support placeholder substitution so one template
+//! describes a whole ensemble: any string value `"$index"`, `"$iteration"`,
+//! `"$cycle"`, `"$replica"`, `"$temperature"`, or `"$n_sims"` is replaced
+//! by the corresponding number at task-creation time.
+
+use entk_core::prelude::*;
+use entk_core::EntkError;
+use serde::{Deserialize, Serialize};
+use serde_json::{json, Value};
+
+/// Top-level workload specification.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Resource request.
+    pub resource: ResourceSpec,
+    /// Backend selection: `"simulated"` (default) or `"local"`.
+    #[serde(default = "default_backend")]
+    pub backend: String,
+    /// Master seed for simulated runs.
+    #[serde(default = "default_seed")]
+    pub seed: u64,
+    /// The pattern to run.
+    pub pattern: PatternSpec,
+    /// Simulated-backend tuning (ignored by the local backend).
+    #[serde(default)]
+    pub tuning: TuningSpec,
+}
+
+/// Optional simulated-backend tuning knobs.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TuningSpec {
+    /// Batch policy: `"fifo"` (default), `"backfill"`, or `"fair_share"`.
+    #[serde(default)]
+    pub batch_policy: Option<String>,
+    /// Split the request across this many pilots with late binding.
+    #[serde(default)]
+    pub pilots: Option<usize>,
+    /// Extra queue-wait seconds per requested core.
+    #[serde(default)]
+    pub queue_wait_per_core: Option<f64>,
+    /// Competing background load on the machine.
+    #[serde(default)]
+    pub background: Option<BackgroundSpec>,
+    /// Retry budget for failed tasks.
+    #[serde(default)]
+    pub retries: Option<u32>,
+}
+
+/// Background-load description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BackgroundSpec {
+    /// Mean inter-arrival of competing jobs (seconds, exponential).
+    pub mean_interarrival_secs: f64,
+    /// Cores per competing job.
+    pub cores: usize,
+    /// Runtime of competing jobs in seconds.
+    pub runtime_secs: f64,
+    /// Jobs already queued at submission time.
+    #[serde(default)]
+    pub initial_jobs: usize,
+}
+
+fn default_backend() -> String {
+    "simulated".into()
+}
+
+fn default_seed() -> u64 {
+    2016
+}
+
+/// Resource request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResourceSpec {
+    /// Resource label (`"xsede.comet"`, `"local"`, …).
+    pub name: String,
+    /// Cores to acquire.
+    pub cores: usize,
+    /// Wall time in seconds.
+    pub walltime_secs: u64,
+}
+
+/// A kernel invocation template.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelSpec {
+    /// Registry name, e.g. `"md.amber"`.
+    pub plugin: String,
+    /// Arguments; string values may contain placeholders.
+    #[serde(default)]
+    pub args: Value,
+    /// Cores per task.
+    #[serde(default = "one")]
+    pub cores: usize,
+}
+
+fn one() -> usize {
+    1
+}
+
+/// The supported pattern shapes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum PatternSpec {
+    /// A bag of `n` independent tasks.
+    Bag {
+        /// Task count.
+        n: usize,
+        /// Kernel template (placeholder: `$index`).
+        kernel: KernelSpec,
+    },
+    /// An ensemble of `n` pipelines with one kernel per stage.
+    Pipelines {
+        /// Pipeline count.
+        n: usize,
+        /// One kernel template per stage (placeholder: `$index`).
+        stages: Vec<KernelSpec>,
+    },
+    /// A simulation-analysis loop.
+    Sal {
+        /// Loop iterations.
+        iterations: usize,
+        /// Simulations per iteration.
+        sims: usize,
+        /// Simulation kernel (placeholders: `$index`, `$iteration`).
+        simulation: KernelSpec,
+        /// Analysis kernel (placeholders: `$iteration`, `$n_sims`).
+        analysis: KernelSpec,
+    },
+    /// Temperature replica exchange.
+    Exchange {
+        /// Replica count (= ladder size).
+        replicas: usize,
+        /// MD+exchange cycles.
+        cycles: usize,
+        /// Coldest ladder temperature.
+        t_min: f64,
+        /// Hottest ladder temperature.
+        t_max: f64,
+        /// MD segment kernel (placeholders: `$replica`, `$cycle`,
+        /// `$temperature`).
+        kernel: KernelSpec,
+    },
+}
+
+/// Substitutes `$name` placeholders in string values by numbers.
+fn substitute(value: &Value, vars: &[(&str, f64)]) -> Value {
+    match value {
+        Value::String(s) => {
+            for (name, v) in vars {
+                if s == &format!("${name}") {
+                    // Integral values stay integers for u64-typed kernel args.
+                    if v.fract() == 0.0 && *v >= 0.0 {
+                        return json!(*v as u64);
+                    }
+                    return json!(v);
+                }
+            }
+            value.clone()
+        }
+        Value::Array(items) => Value::Array(items.iter().map(|i| substitute(i, vars)).collect()),
+        Value::Object(map) => Value::Object(
+            map.iter()
+                .map(|(k, v)| (k.clone(), substitute(v, vars)))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+fn bind(spec: &KernelSpec, vars: &[(&str, f64)]) -> KernelCall {
+    let args = if spec.args.is_null() {
+        json!({})
+    } else {
+        substitute(&spec.args, vars)
+    };
+    KernelCall::new(spec.plugin.clone(), args).with_cores(spec.cores)
+}
+
+impl WorkloadSpec {
+    /// Parses a spec from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, EntkError> {
+        serde_json::from_str(text).map_err(|e| EntkError::Usage(format!("bad spec: {e}")))
+    }
+
+    /// Compiles the pattern description into an executable pattern.
+    pub fn build_pattern(&self) -> Box<dyn ExecutionPattern + Send> {
+        match self.pattern.clone() {
+            PatternSpec::Bag { n, kernel } => Box::new(BagOfTasks::new(n, move |i| {
+                bind(&kernel, &[("index", i as f64)])
+            })),
+            PatternSpec::Pipelines { n, stages } => {
+                let labels: Vec<String> =
+                    (0..stages.len()).map(|s| format!("stage-{s}")).collect();
+                Box::new(
+                    EnsembleOfPipelines::new(n, stages.len(), move |p, s| {
+                        bind(&stages[s], &[("index", p as f64)])
+                    })
+                    .with_stage_labels(labels),
+                )
+            }
+            PatternSpec::Sal {
+                iterations,
+                sims,
+                simulation,
+                analysis,
+            } => Box::new(SimulationAnalysisLoop::new(
+                iterations,
+                sims,
+                move |iter, i| {
+                    bind(
+                        &simulation,
+                        &[("index", i as f64), ("iteration", iter as f64)],
+                    )
+                },
+                move |iter, outs| {
+                    vec![bind(
+                        &analysis,
+                        &[("iteration", iter as f64), ("n_sims", outs.len() as f64)],
+                    )]
+                },
+            )),
+            PatternSpec::Exchange {
+                replicas,
+                cycles,
+                t_min,
+                t_max,
+                kernel,
+            } => Box::new(EnsembleExchange::new(
+                replicas,
+                cycles,
+                TemperatureLadder::geometric(replicas, t_min, t_max),
+                move |r, c, t| {
+                    bind(
+                        &kernel,
+                        &[
+                            ("replica", r as f64),
+                            ("cycle", c as f64),
+                            ("temperature", t),
+                        ],
+                    )
+                },
+            )),
+        }
+    }
+
+    /// Runs the workload and returns the report.
+    pub fn run(&self) -> Result<entk_core::ExecutionReport, EntkError> {
+        let mut pattern = self.build_pattern();
+        match self.backend.as_str() {
+            "simulated" => {
+                let config = ResourceConfig::new(
+                    self.resource.name.clone(),
+                    self.resource.cores,
+                    SimDuration::from_secs(self.resource.walltime_secs),
+                );
+                let mut sim = SimulatedConfig {
+                    seed: self.seed,
+                    ..Default::default()
+                };
+                if let Some(policy) = &self.tuning.batch_policy {
+                    sim.batch_policy = match policy.as_str() {
+                        "fifo" => entk_pilot::BatchPolicy::Fifo,
+                        "backfill" => entk_pilot::BatchPolicy::Backfill,
+                        "fair_share" => entk_pilot::BatchPolicy::FairShare,
+                        other => {
+                            return Err(EntkError::Usage(format!(
+                                "unknown batch_policy {other:?}"
+                            )))
+                        }
+                    };
+                }
+                if let Some(n) = self.tuning.pilots {
+                    sim.pilot_strategy = if n <= 1 {
+                        entk_core::PilotStrategy::single()
+                    } else {
+                        entk_core::PilotStrategy::split(n)
+                    };
+                }
+                if let Some(retries) = self.tuning.retries {
+                    sim.fault = entk_core::FaultConfig::retries(retries);
+                }
+                if self.tuning.queue_wait_per_core.is_some() || self.tuning.background.is_some() {
+                    let mut platform = entk_cluster::PlatformSpec::by_name(&self.resource.name)
+                        .ok_or_else(|| {
+                            EntkError::Resource(format!(
+                                "unknown resource {:?}",
+                                self.resource.name
+                            ))
+                        })?;
+                    if let Some(per_core) = self.tuning.queue_wait_per_core {
+                        platform.queue_wait_per_core = per_core;
+                    }
+                    sim.platform = Some(platform);
+                }
+                if let Some(bg) = &self.tuning.background {
+                    sim.background_load = Some(entk_cluster::BackgroundLoad {
+                        mean_interarrival_secs: bg.mean_interarrival_secs,
+                        cores: entk_sim::Dist::Constant(bg.cores as f64),
+                        runtime: entk_sim::Dist::Constant(bg.runtime_secs),
+                        initial_jobs: bg.initial_jobs,
+                    });
+                }
+                run_simulated(config, sim, pattern.as_mut())
+            }
+            "local" => {
+                let mut handle = ResourceHandle::local(self.resource.cores);
+                handle.allocate()?;
+                let report = handle.run(pattern.as_mut())?;
+                handle.deallocate()?;
+                Ok(report)
+            }
+            other => Err(EntkError::Usage(format!(
+                "unknown backend {other:?} (use \"simulated\" or \"local\")"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placeholder_substitution_types() {
+        let v = json!({ "seed": "$index", "temperature": "$temperature", "keep": "plain" });
+        let out = substitute(&v, &[("index", 3.0), ("temperature", 1.25)]);
+        assert_eq!(out["seed"], 3); // integral → u64
+        assert_eq!(out["temperature"], 1.25);
+        assert_eq!(out["keep"], "plain");
+    }
+
+    #[test]
+    fn substitution_recurses_into_arrays() {
+        let v = json!([{ "x": "$index" }, "$index"]);
+        let out = substitute(&v, &[("index", 7.0)]);
+        assert_eq!(out[0]["x"], 7);
+        assert_eq!(out[1], 7);
+    }
+
+    #[test]
+    fn parses_a_full_spec() {
+        let text = r#"{
+            "resource": { "name": "xsede.comet", "cores": 24, "walltime_secs": 3600 },
+            "pattern": {
+                "kind": "pipelines",
+                "n": 24,
+                "stages": [
+                    { "plugin": "misc.mkfile", "args": { "bytes": 1024 } },
+                    { "plugin": "misc.ccount", "args": { "bytes": 1024 } }
+                ]
+            }
+        }"#;
+        let spec = WorkloadSpec::from_json(text).unwrap();
+        assert_eq!(spec.backend, "simulated");
+        assert_eq!(spec.seed, 2016);
+        let report = spec.run().unwrap();
+        assert_eq!(report.task_count(), 48);
+        assert_eq!(report.failed_tasks, 0);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(WorkloadSpec::from_json("{}").is_err());
+        assert!(WorkloadSpec::from_json("not json").is_err());
+        let bad_backend = r#"{
+            "resource": { "name": "local", "cores": 2, "walltime_secs": 10 },
+            "backend": "cloud",
+            "pattern": { "kind": "bag", "n": 1,
+                         "kernel": { "plugin": "misc.sleep", "args": { "secs": 0.1 } } }
+        }"#;
+        let spec = WorkloadSpec::from_json(bad_backend).unwrap();
+        assert!(spec.run().is_err());
+    }
+
+    #[test]
+    fn sal_spec_runs_with_placeholders() {
+        let text = r#"{
+            "resource": { "name": "xsede.stampede", "cores": 8, "walltime_secs": 100000 },
+            "seed": 7,
+            "pattern": {
+                "kind": "sal",
+                "iterations": 2,
+                "sims": 8,
+                "simulation": { "plugin": "md.amber",
+                                "args": { "steps": 300, "seed": "$index" } },
+                "analysis": { "plugin": "ana.coco", "args": { "n_sims": "$n_sims" } }
+            }
+        }"#;
+        let report = WorkloadSpec::from_json(text).unwrap().run().unwrap();
+        assert_eq!(report.task_count(), 2 * 9);
+        assert_eq!(report.failed_tasks, 0);
+    }
+
+    #[test]
+    fn exchange_spec_uses_ladder_temperatures() {
+        let text = r#"{
+            "resource": { "name": "lsu.supermic", "cores": 4, "walltime_secs": 100000 },
+            "pattern": {
+                "kind": "exchange",
+                "replicas": 4,
+                "cycles": 2,
+                "t_min": 0.8,
+                "t_max": 2.0,
+                "kernel": { "plugin": "md.amber",
+                            "args": { "steps": 300, "n_atoms": 200,
+                                       "temperature": "$temperature",
+                                       "seed": "$replica" } }
+            }
+        }"#;
+        let report = WorkloadSpec::from_json(text).unwrap().run().unwrap();
+        assert_eq!(
+            report.tasks.iter().filter(|t| t.stage == "simulation").count(),
+            8
+        );
+        assert_eq!(report.failed_tasks, 0);
+    }
+}
+
+#[cfg(test)]
+mod tuning_tests {
+    use super::*;
+
+    #[test]
+    fn tuned_spec_runs_under_contention() {
+        let text = r#"{
+            "resource": { "name": "xsede.comet", "cores": 48, "walltime_secs": 1000000 },
+            "seed": 5,
+            "tuning": {
+                "batch_policy": "backfill",
+                "pilots": 4,
+                "queue_wait_per_core": 1.0,
+                "retries": 2,
+                "background": {
+                    "mean_interarrival_secs": 300.0,
+                    "cores": 24,
+                    "runtime_secs": 120.0,
+                    "initial_jobs": 1
+                }
+            },
+            "pattern": { "kind": "bag", "n": 32,
+                         "kernel": { "plugin": "misc.sleep", "args": { "secs": 10.0 } } }
+        }"#;
+        let spec = WorkloadSpec::from_json(text).unwrap();
+        let report = spec.run().unwrap();
+        assert_eq!(report.task_count(), 32);
+        assert_eq!(report.failed_tasks, 0);
+        // Contention + per-core queue wait visible in the resource wait.
+        assert!(report.overheads.resource_wait.as_secs_f64() > 10.0);
+    }
+
+    #[test]
+    fn unknown_batch_policy_is_rejected() {
+        let text = r#"{
+            "resource": { "name": "local", "cores": 2, "walltime_secs": 100 },
+            "tuning": { "batch_policy": "priority" },
+            "pattern": { "kind": "bag", "n": 1,
+                         "kernel": { "plugin": "misc.sleep", "args": { "secs": 0.1 } } }
+        }"#;
+        let spec = WorkloadSpec::from_json(text).unwrap();
+        assert!(spec.run().is_err());
+    }
+
+    #[test]
+    fn tuning_defaults_to_empty() {
+        let text = r#"{
+            "resource": { "name": "local", "cores": 2, "walltime_secs": 100 },
+            "pattern": { "kind": "bag", "n": 1,
+                         "kernel": { "plugin": "misc.sleep", "args": { "secs": 0.1 } } }
+        }"#;
+        let spec = WorkloadSpec::from_json(text).unwrap();
+        assert!(spec.tuning.batch_policy.is_none());
+        assert!(spec.tuning.background.is_none());
+    }
+}

@@ -1,0 +1,176 @@
+//! Node/core allocation bookkeeping.
+//!
+//! Tracks free cores per node and packs batch-job requests onto nodes.
+//! The invariant — no core is ever double-booked — is what makes scaling
+//! results trustworthy, and is covered by property tests.
+
+use serde::{Deserialize, Serialize};
+
+/// Cores assigned to one job on one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeSlice {
+    /// Node index within the cluster.
+    pub node: usize,
+    /// Number of cores taken on that node.
+    pub cores: usize,
+}
+
+/// Per-node free-core tracking with first-fit packing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AllocationMap {
+    cores_per_node: usize,
+    free: Vec<usize>,
+    total_free: usize,
+}
+
+impl AllocationMap {
+    /// Creates a map for `nodes` nodes of `cores_per_node` cores, all free.
+    pub fn new(nodes: usize, cores_per_node: usize) -> Self {
+        AllocationMap {
+            cores_per_node,
+            free: vec![cores_per_node; nodes],
+            total_free: nodes * cores_per_node,
+        }
+    }
+
+    /// Total free cores across the machine.
+    pub fn free_cores(&self) -> usize {
+        self.total_free
+    }
+
+    /// Total cores on the machine.
+    pub fn total_cores(&self) -> usize {
+        self.free.len() * self.cores_per_node
+    }
+
+    /// Cores currently allocated.
+    pub fn used_cores(&self) -> usize {
+        self.total_cores() - self.total_free
+    }
+
+    /// Attempts to allocate `cores`, packing nodes first-fit (fullest-first
+    /// packing is not modelled; batch systems vary and the paper's results
+    /// are insensitive to packing order). Returns `None` if not enough
+    /// cores are free anywhere.
+    pub fn allocate(&mut self, cores: usize) -> Option<Vec<NodeSlice>> {
+        if cores == 0 || cores > self.total_free {
+            return None;
+        }
+        let mut remaining = cores;
+        let mut slices = Vec::new();
+        for (node, free) in self.free.iter_mut().enumerate() {
+            if *free == 0 {
+                continue;
+            }
+            let take = remaining.min(*free);
+            *free -= take;
+            slices.push(NodeSlice { node, cores: take });
+            remaining -= take;
+            if remaining == 0 {
+                break;
+            }
+        }
+        debug_assert_eq!(remaining, 0, "total_free said allocation fits");
+        self.total_free -= cores;
+        Some(slices)
+    }
+
+    /// Returns a previous allocation's cores to the free pool.
+    pub fn release(&mut self, slices: &[NodeSlice]) {
+        for s in slices {
+            assert!(
+                self.free[s.node] + s.cores <= self.cores_per_node,
+                "release would overflow node {} capacity",
+                s.node
+            );
+            self.free[s.node] += s.cores;
+            self.total_free += s.cores;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn allocate_and_release_roundtrip() {
+        let mut map = AllocationMap::new(4, 8);
+        let a = map.allocate(10).expect("fits");
+        assert_eq!(a.iter().map(|s| s.cores).sum::<usize>(), 10);
+        assert_eq!(map.free_cores(), 22);
+        map.release(&a);
+        assert_eq!(map.free_cores(), 32);
+    }
+
+    #[test]
+    fn allocation_spans_nodes_when_needed() {
+        let mut map = AllocationMap::new(3, 4);
+        let a = map.allocate(9).expect("fits");
+        assert!(a.len() >= 3, "9 cores need at least 3 of the 4-core nodes");
+    }
+
+    #[test]
+    fn oversized_request_fails_without_side_effects() {
+        let mut map = AllocationMap::new(2, 4);
+        assert!(map.allocate(9).is_none());
+        assert_eq!(map.free_cores(), 8);
+    }
+
+    #[test]
+    fn zero_request_fails() {
+        let mut map = AllocationMap::new(2, 4);
+        assert!(map.allocate(0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "release would overflow")]
+    fn double_release_is_detected() {
+        let mut map = AllocationMap::new(1, 4);
+        let a = map.allocate(4).unwrap();
+        map.release(&a);
+        map.release(&a);
+    }
+
+    proptest! {
+        /// Under arbitrary allocate/release interleavings: free counts stay in
+        /// bounds and no node is oversubscribed.
+        #[test]
+        fn prop_no_oversubscription(ops in proptest::collection::vec(1usize..20, 1..60)) {
+            let mut map = AllocationMap::new(8, 8);
+            let mut live: Vec<Vec<NodeSlice>> = Vec::new();
+            for (i, cores) in ops.into_iter().enumerate() {
+                if i % 3 == 2 && !live.is_empty() {
+                    let a = live.swap_remove(i % live.len());
+                    map.release(&a);
+                } else if let Some(a) = map.allocate(cores) {
+                    prop_assert_eq!(a.iter().map(|s| s.cores).sum::<usize>(), cores);
+                    live.push(a);
+                }
+                let used: usize = live.iter().flatten().map(|s| s.cores).sum();
+                prop_assert_eq!(map.used_cores(), used);
+                prop_assert!(map.free_cores() <= map.total_cores());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod accounting_tests {
+    use super::*;
+
+    #[test]
+    fn used_cores_tracks_allocations() {
+        let mut map = AllocationMap::new(2, 8);
+        assert_eq!(map.used_cores(), 0);
+        let a = map.allocate(5).unwrap();
+        assert_eq!(map.used_cores(), 5);
+        let b = map.allocate(11).unwrap();
+        assert_eq!(map.used_cores(), 16);
+        map.release(&a);
+        map.release(&b);
+        assert_eq!(map.used_cores(), 0);
+        assert_eq!(map.total_cores(), 16);
+    }
+}

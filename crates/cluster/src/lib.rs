@@ -1,0 +1,22 @@
+//! # entk-cluster — discrete-event HPC cluster model
+//!
+//! Simulates the batch machines the paper ran on (XSEDE Comet and Stampede,
+//! LSU SuperMIC): nodes and cores, a batch queue with FIFO or EASY-backfill
+//! scheduling, modelled queue-wait / startup / per-task-launch overheads,
+//! and a shared-filesystem transfer model. The pilot runtime (`entk-pilot`)
+//! acquires resources here through the SAGA layer (`entk-saga`).
+
+#![warn(missing_docs)]
+
+pub mod allocation;
+pub mod cluster;
+pub mod job;
+pub mod platform;
+pub mod scheduler;
+
+pub use allocation::{AllocationMap, NodeSlice};
+pub use cluster::{Cluster, ClusterEvent, ClusterNotification};
+pub use job::{BatchJob, BatchJobDescription, BatchJobId, BatchJobState};
+pub use platform::PlatformSpec;
+pub use cluster::BackgroundLoad;
+pub use scheduler::{BatchScheduler, EasyBackfillScheduler, FairShareScheduler, FifoScheduler};

@@ -1,0 +1,410 @@
+//! Batch-queue scheduling policies: FIFO and EASY backfill.
+//!
+//! The policy decides which queued (eligible) jobs start when cores free up.
+//! EnTK's pilot jobs are large container allocations, so head-of-line
+//! behaviour matters for time-to-completion when multiple pilots compete.
+
+use entk_sim::{SimDuration, SimTime};
+
+/// Scheduler-facing view of one queued job.
+#[derive(Debug, Clone)]
+pub struct PendingView {
+    /// Cores requested.
+    pub cores: usize,
+    /// Requested wall time (used as the runtime estimate for backfill).
+    pub walltime: SimDuration,
+    /// Project / allocation charged (used by fair-share policies).
+    pub project: String,
+}
+
+/// Scheduler-facing view of one running job.
+#[derive(Debug, Clone, Copy)]
+pub struct RunningView {
+    /// Cores held.
+    pub cores: usize,
+    /// Latest possible end (start + walltime).
+    pub expected_end: SimTime,
+}
+
+/// A batch scheduling policy. Returns the indices (into `queue`) of jobs to
+/// start now; indices must be unique and the selected jobs' total core
+/// request must fit in `free_cores`.
+pub trait BatchScheduler: Send {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Selects jobs to start now. Stateful policies (fair share) may
+    /// update internal accounting for the jobs they start.
+    fn select(
+        &mut self,
+        queue: &[PendingView],
+        free_cores: usize,
+        now: SimTime,
+        running: &[RunningView],
+    ) -> Vec<usize>;
+}
+
+/// Strict first-in-first-out: jobs start in arrival order and the queue head
+/// blocks everything behind it.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FifoScheduler;
+
+impl BatchScheduler for FifoScheduler {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn select(
+        &mut self,
+        queue: &[PendingView],
+        free_cores: usize,
+        _now: SimTime,
+        _running: &[RunningView],
+    ) -> Vec<usize> {
+        let mut picked = Vec::new();
+        let mut free = free_cores;
+        for (i, job) in queue.iter().enumerate() {
+            if job.cores <= free {
+                free -= job.cores;
+                picked.push(i);
+            } else {
+                break; // head-of-line blocking
+            }
+        }
+        picked
+    }
+}
+
+/// EASY backfill: like FIFO, but once the head job blocks, later jobs may
+/// start immediately if doing so cannot delay the head job's earliest
+/// possible start (the "shadow time").
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EasyBackfillScheduler;
+
+impl EasyBackfillScheduler {
+    /// Earliest time at which `needed` cores will be free, given currently
+    /// running jobs end at their walltime limits, and the spare cores left
+    /// at that moment ("extra" cores a backfilled job may hold past the
+    /// shadow time).
+    fn shadow(
+        free_now: usize,
+        needed: usize,
+        now: SimTime,
+        running: &[RunningView],
+    ) -> (SimTime, usize) {
+        let mut ends: Vec<_> = running.iter().map(|r| (r.expected_end, r.cores)).collect();
+        ends.sort_by_key(|&(t, _)| t);
+        let mut free = free_now;
+        for (t, cores) in ends {
+            if free >= needed {
+                break;
+            }
+            free += cores;
+            if free >= needed {
+                return (t, free - needed);
+            }
+        }
+        if free >= needed {
+            (now, free - needed)
+        } else {
+            // Head job can never run (request exceeds machine); treat the
+            // shadow as infinitely far so everything may backfill.
+            (SimTime::MAX, free_now)
+        }
+    }
+}
+
+impl BatchScheduler for EasyBackfillScheduler {
+    fn name(&self) -> &'static str {
+        "easy-backfill"
+    }
+
+    fn select(
+        &mut self,
+        queue: &[PendingView],
+        free_cores: usize,
+        now: SimTime,
+        running: &[RunningView],
+    ) -> Vec<usize> {
+        let mut picked = Vec::new();
+        let mut free = free_cores;
+        let mut i = 0;
+        // Phase 1: FIFO prefix.
+        while i < queue.len() && queue[i].cores <= free {
+            free -= queue[i].cores;
+            picked.push(i);
+            i += 1;
+        }
+        if i >= queue.len() {
+            return picked;
+        }
+        // Phase 2: backfill behind the blocked head `queue[i]`.
+        let (shadow_time, extra) = Self::shadow(free, queue[i].cores, now, running);
+        let mut extra = extra;
+        for (j, job) in queue.iter().enumerate().skip(i + 1) {
+            if job.cores > free {
+                continue;
+            }
+            let fits_past_shadow = job.cores <= extra;
+            let ends_before_shadow = now + job.walltime <= shadow_time;
+            if fits_past_shadow || ends_before_shadow {
+                free -= job.cores;
+                if fits_past_shadow {
+                    extra -= job.cores;
+                }
+                picked.push(j);
+            }
+        }
+        picked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    trait SelectHelper: BatchScheduler + Sized {
+        fn select_helper(
+            mut self,
+            queue: &[PendingView],
+            free: usize,
+            now: SimTime,
+            running: &[RunningView],
+        ) -> Vec<usize> {
+            self.select(queue, free, now, running)
+        }
+    }
+    impl<T: BatchScheduler + Sized> SelectHelper for T {}
+
+    fn pv(cores: usize, wall_secs: u64) -> PendingView {
+        PendingView {
+            cores,
+            walltime: SimDuration::from_secs(wall_secs),
+            project: "default".into(),
+        }
+    }
+
+    #[test]
+    fn fifo_starts_prefix_that_fits() {
+        let queue = [pv(4, 100), pv(4, 100), pv(4, 100)];
+        let picked = FifoScheduler.select_helper(&queue, 8, SimTime::ZERO, &[]);
+        assert_eq!(picked, vec![0, 1]);
+    }
+
+    #[test]
+    fn fifo_blocks_behind_large_head() {
+        let queue = [pv(16, 100), pv(1, 100)];
+        let picked = FifoScheduler.select_helper(&queue, 8, SimTime::ZERO, &[]);
+        assert!(picked.is_empty(), "small job must not jump the head in FIFO");
+    }
+
+    #[test]
+    fn backfill_lets_short_jobs_jump() {
+        // Head needs 16 cores; 8 free now; a running 8-core job ends at t=100.
+        // A 4-core 50 s job finishes before the shadow (t=100) and may start.
+        let queue = [pv(16, 1000), pv(4, 50)];
+        let running = [RunningView {
+            cores: 8,
+            expected_end: SimTime::from_secs(100),
+        }];
+        let picked = EasyBackfillScheduler.select_helper(&queue, 8, SimTime::ZERO, &running);
+        assert_eq!(picked, vec![1]);
+    }
+
+    #[test]
+    fn backfill_does_not_delay_head() {
+        // Same setup but the candidate runs 200 s > shadow at t=100 and would
+        // use cores the head needs -> must not start.
+        let queue = [pv(16, 1000), pv(4, 200)];
+        let running = [RunningView {
+            cores: 8,
+            expected_end: SimTime::from_secs(100),
+        }];
+        let picked = EasyBackfillScheduler.select_helper(&queue, 8, SimTime::ZERO, &running);
+        assert!(picked.is_empty());
+    }
+
+    #[test]
+    fn backfill_allows_long_jobs_on_extra_cores() {
+        // Head needs 10: 8 free + first completion (4 cores at t=100) gives 12,
+        // so 2 cores are "extra" and a long 2-core job may hold them.
+        let queue = [pv(10, 1000), pv(2, 10_000)];
+        let running = [
+            RunningView {
+                cores: 4,
+                expected_end: SimTime::from_secs(100),
+            },
+            RunningView {
+                cores: 4,
+                expected_end: SimTime::from_secs(500),
+            },
+        ];
+        let picked = EasyBackfillScheduler.select_helper(&queue, 8, SimTime::ZERO, &running);
+        assert_eq!(picked, vec![1]);
+    }
+
+    #[test]
+    fn backfill_equals_fifo_when_everything_fits() {
+        let queue = [pv(2, 10), pv(2, 10), pv(2, 10)];
+        let fifo = FifoScheduler.select_helper(&queue, 8, SimTime::ZERO, &[]);
+        let easy = EasyBackfillScheduler.select_helper(&queue, 8, SimTime::ZERO, &[]);
+        assert_eq!(fifo, easy);
+    }
+
+    #[test]
+    fn selected_jobs_always_fit() {
+        // Sanity across both policies with a crowded queue.
+        let queue: Vec<_> = (1..10).map(|i| pv(i, 100 * i as u64)).collect();
+        let mut fifo = FifoScheduler;
+        let mut easy = EasyBackfillScheduler;
+        let scheds: [&mut dyn BatchScheduler; 2] = [&mut fifo, &mut easy];
+        for sched in scheds {
+            let picked = sched.select(&queue, 12, SimTime::ZERO, &[]);
+            let total: usize = picked.iter().map(|&i| queue[i].cores).sum();
+            assert!(total <= 12, "{} oversubscribed", sched.name());
+            let mut sorted = picked.clone();
+            sorted.dedup();
+            assert_eq!(sorted.len(), picked.len(), "duplicate selection");
+        }
+    }
+}
+
+/// Fair-share scheduling: jobs are prioritized by their project's
+/// accumulated (exponentially decayed) core-seconds charge — light users
+/// jump ahead of heavy ones. Within the reordered queue, first-fit applies
+/// without head-of-line blocking.
+#[derive(Debug, Default)]
+pub struct FairShareScheduler {
+    /// Decayed core-second usage per project.
+    usage: std::collections::HashMap<String, f64>,
+    /// Decay half-life in virtual seconds (0 = no decay).
+    pub half_life_secs: f64,
+    last_decay: Option<SimTime>,
+}
+
+impl FairShareScheduler {
+    /// Creates a fair-share policy with the given usage half-life.
+    pub fn new(half_life_secs: f64) -> Self {
+        FairShareScheduler {
+            usage: std::collections::HashMap::new(),
+            half_life_secs,
+            last_decay: None,
+        }
+    }
+
+    /// Current decayed usage charged to a project.
+    pub fn usage_of(&self, project: &str) -> f64 {
+        self.usage.get(project).copied().unwrap_or(0.0)
+    }
+
+    fn decay(&mut self, now: SimTime) {
+        if self.half_life_secs <= 0.0 {
+            self.last_decay = Some(now);
+            return;
+        }
+        if let Some(last) = self.last_decay {
+            let dt = now.saturating_since(last).as_secs_f64();
+            if dt > 0.0 {
+                let factor = 0.5f64.powf(dt / self.half_life_secs);
+                for v in self.usage.values_mut() {
+                    *v *= factor;
+                }
+            }
+        }
+        self.last_decay = Some(now);
+    }
+}
+
+impl BatchScheduler for FairShareScheduler {
+    fn name(&self) -> &'static str {
+        "fair-share"
+    }
+
+    fn select(
+        &mut self,
+        queue: &[PendingView],
+        free_cores: usize,
+        now: SimTime,
+        _running: &[RunningView],
+    ) -> Vec<usize> {
+        self.decay(now);
+        // Order queue indices by project usage (ties: arrival order).
+        let mut order: Vec<usize> = (0..queue.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ua = self.usage_of(&queue[a].project);
+            let ub = self.usage_of(&queue[b].project);
+            ua.partial_cmp(&ub).expect("finite usage").then(a.cmp(&b))
+        });
+        let mut free = free_cores;
+        let mut picked = Vec::new();
+        for i in order {
+            let job = &queue[i];
+            if job.cores <= free {
+                free -= job.cores;
+                picked.push(i);
+                // Charge the request up front (cores × requested walltime).
+                *self.usage.entry(job.project.clone()).or_insert(0.0) +=
+                    job.cores as f64 * job.walltime.as_secs_f64();
+            }
+        }
+        picked
+    }
+}
+
+#[cfg(test)]
+mod fairshare_tests {
+    use super::*;
+
+    fn pv(cores: usize, wall: u64, project: &str) -> PendingView {
+        PendingView {
+            cores,
+            walltime: SimDuration::from_secs(wall),
+            project: project.into(),
+        }
+    }
+
+    #[test]
+    fn light_users_jump_heavy_users() {
+        let mut fs = FairShareScheduler::new(0.0);
+        // Project A starts a big job: charged heavily.
+        let first = fs.select(&[pv(8, 1000, "A")], 8, SimTime::ZERO, &[]);
+        assert_eq!(first, vec![0]);
+        // Later: A's next job queued before B's, but only 8 cores free —
+        // B goes first because A's usage is high.
+        let picked = fs.select(
+            &[pv(8, 1000, "A"), pv(8, 10, "B")],
+            8,
+            SimTime::from_secs(10),
+            &[],
+        );
+        assert_eq!(picked, vec![1]);
+    }
+
+    #[test]
+    fn no_head_of_line_blocking() {
+        let mut fs = FairShareScheduler::new(0.0);
+        // Head needs 16 of 8 free; the next fits and starts.
+        let picked = fs.select(&[pv(16, 10, "A"), pv(4, 10, "B")], 8, SimTime::ZERO, &[]);
+        assert_eq!(picked, vec![1]);
+    }
+
+    #[test]
+    fn usage_decays_over_time() {
+        let mut fs = FairShareScheduler::new(100.0);
+        fs.select(&[pv(10, 100, "A")], 10, SimTime::ZERO, &[]);
+        let early = fs.usage_of("A");
+        fs.select(&[], 10, SimTime::from_secs(200), &[]);
+        let late = fs.usage_of("A");
+        assert!((late - early / 4.0).abs() < 1e-9, "two half-lives: {early} -> {late}");
+    }
+
+    #[test]
+    fn respects_capacity() {
+        let mut fs = FairShareScheduler::new(0.0);
+        let queue = [pv(4, 10, "A"), pv(4, 10, "B"), pv(4, 10, "C")];
+        let picked = fs.select(&queue, 8, SimTime::ZERO, &[]);
+        let total: usize = picked.iter().map(|&i| queue[i].cores).sum();
+        assert!(total <= 8);
+        assert_eq!(picked.len(), 2);
+    }
+}

@@ -1,0 +1,97 @@
+//! Binding policies: the execution plugin's step from "simple translation
+//! layer" to "intelligent middleware component" (paper §V).
+//!
+//! A binding policy may adjust a task's core count at submission time using
+//! resource-state information (free cores, backlog) — the paper's execution
+//! strategies of Ref.\[23\]: adapt the workload to optimally use a
+//! pre-specified set of resources.
+
+/// Decides the core count a task is bound with.
+pub trait BindingPolicy: Send {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Returns the core count to bind `stage`'s task with, given the
+    /// pattern-requested count, currently free pilot cores, and the number
+    /// of tasks being bound in the same batch. Must return ≥ 1; the driver
+    /// clamps to the largest pilot.
+    fn bind(
+        &mut self,
+        stage: &str,
+        requested: usize,
+        free_cores: usize,
+        batch_size: usize,
+    ) -> usize;
+}
+
+/// The paper's prototype behaviour: bind exactly what the pattern asked
+/// for ("currently supports static binding and translation", §III-B).
+#[derive(Debug, Default)]
+pub struct StaticBinding;
+
+impl BindingPolicy for StaticBinding {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+    fn bind(&mut self, _stage: &str, requested: usize, _free: usize, _batch: usize) -> usize {
+        requested.max(1)
+    }
+}
+
+/// Adaptive MPI widening: when the batch is smaller than the free
+/// capacity, divide idle cores evenly among the batch's tasks (capped at
+/// `max_cores_per_task`), so MPI-capable kernels exploit otherwise-idle
+/// cores. Never shrinks below the requested count.
+#[derive(Debug)]
+pub struct AdaptiveMpiBinding {
+    /// Upper bound on the widened core count.
+    pub max_cores_per_task: usize,
+}
+
+impl BindingPolicy for AdaptiveMpiBinding {
+    fn name(&self) -> &'static str {
+        "adaptive-mpi"
+    }
+    fn bind(&mut self, _stage: &str, requested: usize, free: usize, batch: usize) -> usize {
+        let fair_share = free / batch.max(1);
+        fair_share
+            .max(requested)
+            .min(self.max_cores_per_task.max(1))
+            .max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_binding_is_identity() {
+        let mut b = StaticBinding;
+        assert_eq!(b.bind("simulation", 4, 100, 2), 4);
+        assert_eq!(b.bind("simulation", 0, 100, 2), 1, "clamped to 1");
+    }
+
+    #[test]
+    fn adaptive_widens_to_fair_share() {
+        let mut b = AdaptiveMpiBinding { max_cores_per_task: 64 };
+        // 4 tasks, 64 free: each gets 16.
+        assert_eq!(b.bind("simulation", 1, 64, 4), 16);
+        // Cap applies.
+        let mut capped = AdaptiveMpiBinding { max_cores_per_task: 8 };
+        assert_eq!(capped.bind("simulation", 1, 64, 4), 8);
+    }
+
+    #[test]
+    fn adaptive_never_shrinks_requests() {
+        let mut b = AdaptiveMpiBinding { max_cores_per_task: 64 };
+        // 32 tasks on 16 free cores: fair share is 0, but the request wins.
+        assert_eq!(b.bind("simulation", 4, 16, 32), 4);
+    }
+
+    #[test]
+    fn adaptive_handles_empty_batch_and_zero_free() {
+        let mut b = AdaptiveMpiBinding { max_cores_per_task: 8 };
+        assert_eq!(b.bind("x", 1, 0, 0), 1);
+    }
+}

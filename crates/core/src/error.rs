@@ -1,0 +1,40 @@
+//! Toolkit error type.
+
+use std::fmt;
+
+/// Errors surfaced by the Ensemble Toolkit API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EntkError {
+    /// The resource configuration is invalid or the resource is unknown.
+    Resource(String),
+    /// A kernel binding failed (unknown plugin, bad arguments).
+    Kernel(String),
+    /// The runtime rejected or lost the work.
+    Runtime(String),
+    /// API misuse (run before allocate, double allocate, …).
+    Usage(String),
+}
+
+impl fmt::Display for EntkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EntkError::Resource(m) => write!(f, "resource error: {m}"),
+            EntkError::Kernel(m) => write!(f, "kernel error: {m}"),
+            EntkError::Runtime(m) => write!(f, "runtime error: {m}"),
+            EntkError::Usage(m) => write!(f, "usage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EntkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category() {
+        assert!(EntkError::Resource("x".into()).to_string().contains("resource"));
+        assert!(EntkError::Usage("y".into()).to_string().contains("usage"));
+    }
+}

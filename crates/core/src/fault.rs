@@ -1,0 +1,60 @@
+//! Fault-tolerance policies (paper §I: "running large ensembles in a
+//! fault-tolerant way"; §V: kill-replace of tasks).
+
+use entk_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Per-task fault handling applied by the execution plugin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// How many times a failed task is resubmitted before its failure is
+    /// reported to the pattern.
+    pub max_retries: u32,
+    /// Kill-replace: a task executing longer than this is cancelled and
+    /// resubmitted (consuming a retry). `None` disables the watchdog.
+    pub task_timeout: Option<SimDuration>,
+}
+
+impl FaultConfig {
+    /// No retries, no watchdog.
+    pub fn none() -> Self {
+        FaultConfig {
+            max_retries: 0,
+            task_timeout: None,
+        }
+    }
+
+    /// Retry failed tasks up to `n` times.
+    pub fn retries(n: u32) -> Self {
+        FaultConfig {
+            max_retries: n,
+            task_timeout: None,
+        }
+    }
+
+    /// Adds a kill-replace watchdog (builder style).
+    pub fn with_timeout(mut self, timeout: SimDuration) -> Self {
+        self.task_timeout = Some(timeout);
+        self
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let f = FaultConfig::retries(3).with_timeout(SimDuration::from_secs(60));
+        assert_eq!(f.max_retries, 3);
+        assert_eq!(f.task_timeout, Some(SimDuration::from_secs(60)));
+        assert_eq!(FaultConfig::none().max_retries, 0);
+        assert!(FaultConfig::default().task_timeout.is_none());
+    }
+}

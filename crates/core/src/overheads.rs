@@ -1,0 +1,81 @@
+//! EnTK-level overhead model (paper Fig. 3's decomposition).
+//!
+//! The paper splits Ensemble-toolkit overhead into a **core overhead** —
+//! initializing the toolkit, launching and cancelling resource requests —
+//! that is constant per session, and a **pattern overhead** — creating
+//! tasks and submitting them to the runtime — that grows with the number
+//! of tasks. These distributions model the EnTK side; `entk-pilot`'s
+//! [`entk_pilot::RuntimeOverheads`] models the runtime side.
+
+use entk_sim::Dist;
+use serde::{Deserialize, Serialize};
+
+/// Delay model for the toolkit's own machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EntkOverheads {
+    /// Toolkit initialization (module loading, session setup).
+    pub init: Dist,
+    /// Assembling and issuing the resource request (before the pilot
+    /// submission overhead paid inside the runtime).
+    pub resource_request: Dist,
+    /// Cancelling the resource allocation at teardown.
+    pub teardown: Dist,
+    /// Per-task creation cost when a pattern stage emits tasks.
+    pub task_create_per_task: Dist,
+    /// Fixed per-batch submission cost.
+    pub task_submit_fixed: Dist,
+}
+
+impl EntkOverheads {
+    /// Calibrated defaults: constant seconds-scale core costs, ~10 ms/task
+    /// pattern costs — the magnitudes Fig. 3 reports.
+    pub fn calibrated() -> Self {
+        EntkOverheads {
+            init: Dist::Normal { mean: 1.5, sd: 0.1 },
+            resource_request: Dist::Normal { mean: 1.0, sd: 0.1 },
+            teardown: Dist::Normal { mean: 1.2, sd: 0.1 },
+            task_create_per_task: Dist::Normal {
+                mean: 0.010,
+                sd: 0.002,
+            },
+            task_submit_fixed: Dist::Normal { mean: 0.05, sd: 0.005 },
+        }
+    }
+
+    /// All-zero overheads for ablations.
+    pub fn zero() -> Self {
+        EntkOverheads {
+            init: Dist::ZERO,
+            resource_request: Dist::ZERO,
+            teardown: Dist::ZERO,
+            task_create_per_task: Dist::ZERO,
+            task_submit_fixed: Dist::ZERO,
+        }
+    }
+}
+
+impl Default for EntkOverheads {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_magnitudes() {
+        let o = EntkOverheads::calibrated();
+        assert!(o.init.mean() >= 1.0);
+        assert!(o.task_create_per_task.mean() < 0.1);
+    }
+
+    #[test]
+    fn zero_is_zero() {
+        let o = EntkOverheads::zero();
+        let mut rng = entk_sim::SimRng::seed_from_u64(1);
+        assert_eq!(o.init.sample(&mut rng), 0.0);
+        assert_eq!(o.task_create_per_task.sample(&mut rng), 0.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Execution patterns (paper §III-B component 1, §III-D).
+//!
+//! A pattern is "a high-level object that represents the synchronization and
+//! communication patterns of ensembles … a parametrized template". Patterns
+//! are event-driven state machines: the execution plugin calls
+//! [`ExecutionPattern::on_start`] for the initial task batch and
+//! [`ExecutionPattern::on_task_done`] for every completion; each call may
+//! emit follow-up tasks. This shape expresses all three unit patterns —
+//! ensembles of pipelines, ensemble exchange, and the simulation-analysis
+//! loop — as well as their compositions and adaptive variants.
+
+pub mod compose;
+pub mod exchange;
+pub mod pipeline;
+pub mod pst;
+pub mod sal;
+
+use crate::task::{Task, TaskResult};
+
+/// An ensemble execution pattern.
+pub trait ExecutionPattern {
+    /// Pattern name for reports.
+    fn name(&self) -> &str;
+
+    /// Emits the initial batch of tasks. Called exactly once.
+    fn on_start(&mut self) -> Vec<Task>;
+
+    /// Handles a task completion (success or terminal failure) and emits
+    /// follow-up tasks.
+    fn on_task_done(&mut self, result: &TaskResult) -> Vec<Task>;
+
+    /// True once the pattern has no more work (all emitted tasks completed
+    /// and no further tasks will be produced).
+    fn is_done(&self) -> bool;
+
+    /// Short human-readable progress line.
+    fn progress(&self) -> String {
+        String::new()
+    }
+}
+
+/// Mutable references to patterns are themselves patterns, so wrappers and
+/// drivers can borrow rather than own.
+impl<P: ExecutionPattern + ?Sized> ExecutionPattern for &mut P {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn on_start(&mut self) -> Vec<Task> {
+        (**self).on_start()
+    }
+    fn on_task_done(&mut self, result: &TaskResult) -> Vec<Task> {
+        (**self).on_task_done(result)
+    }
+    fn is_done(&self) -> bool {
+        (**self).is_done()
+    }
+    fn progress(&self) -> String {
+        (**self).progress()
+    }
+}
+
+pub use compose::{ConcurrentPatterns, SequencePattern};
+pub use exchange::{EnsembleExchange, ExchangeMode};
+pub use pipeline::{BagOfTasks, EnsembleOfPipelines};
+pub use pst::{Pipeline, PstTask, PstWorkflow, Stage};
+pub use sal::SimulationAnalysisLoop;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! A tiny synchronous pattern driver used by pattern unit tests: executes
+    //! tasks by calling a provided "executor" closure immediately, in
+    //! submission order. No overheads, no concurrency — pure pattern logic.
+
+    use super::*;
+    use serde_json::Value;
+    use std::collections::VecDeque;
+
+    /// Drives `pattern` to completion, executing every task with `exec`.
+    /// Returns all task results in completion order. Panics after
+    /// `max_tasks` executions (runaway-pattern guard).
+    pub fn drive<P: ExecutionPattern>(
+        pattern: &mut P,
+        mut exec: impl FnMut(&Task) -> Result<Value, String>,
+        max_tasks: usize,
+    ) -> Vec<TaskResult> {
+        let mut queue: VecDeque<Task> = pattern.on_start().into();
+        let mut results = Vec::new();
+        let mut executed = 0;
+        while let Some(task) = queue.pop_front() {
+            executed += 1;
+            assert!(
+                executed <= max_tasks,
+                "pattern emitted more than {max_tasks} tasks"
+            );
+            let result = match exec(&task) {
+                Ok(output) => TaskResult::ok(task.tag, task.stage.clone(), output),
+                Err(e) => TaskResult::failed(task.tag, task.stage.clone(), e),
+            };
+            queue.extend(pattern.on_task_done(&result));
+            results.push(result);
+        }
+        assert!(
+            pattern.is_done(),
+            "pattern queue drained but is_done() is false: {}",
+            pattern.progress()
+        );
+        results
+    }
+}

@@ -1,0 +1,263 @@
+//! The execution plugin for real local runs.
+//!
+//! Binds pattern tasks to the kernels' *real* `execute` implementations and
+//! runs them on the local pilot-like runtime (host threads under a
+//! core-slot discipline). Used by the validation experiments and examples:
+//! same patterns, same kernels API, actual computation.
+
+use crate::error::EntkError;
+use crate::fault::FaultConfig;
+use crate::pattern::ExecutionPattern;
+use crate::report::{ExecutionReport, OverheadBreakdown, TaskRecord};
+use crate::task::{Task, TaskResult};
+use entk_kernels::KernelRegistry;
+use entk_pilot::{LocalRuntime, UnitDescription, UnitId, UnitState, UnitWork};
+use entk_sim::{SimDuration, SimTime};
+use parking_lot::Mutex;
+use serde_json::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Output slot a kernel closure fills: (result, start offset s, end offset s).
+type Slot = Arc<Mutex<Option<(Result<Value, String>, f64, f64)>>>;
+
+struct LocalEntry {
+    task: Task,
+    record: TaskRecord,
+    slot: Slot,
+    terminal: bool,
+}
+
+/// The local-backend driver behind a `ResourceHandle`.
+pub(crate) struct LocalDriver {
+    runtime: LocalRuntime,
+    registry: KernelRegistry,
+    fault: FaultConfig,
+    tasks: HashMap<u64, LocalEntry>,
+    unit_to_task: HashMap<UnitId, u64>,
+    next_uid: u64,
+    live_tasks: usize,
+    failed_tasks: usize,
+    total_retries: u32,
+    t0: Instant,
+    allocated: bool,
+}
+
+impl LocalDriver {
+    pub(crate) fn new(cores: usize, registry: KernelRegistry, fault: FaultConfig) -> Self {
+        LocalDriver {
+            runtime: LocalRuntime::new(cores),
+            registry,
+            fault,
+            tasks: HashMap::new(),
+            unit_to_task: HashMap::new(),
+            next_uid: 0,
+            live_tasks: 0,
+            failed_tasks: 0,
+            total_retries: 0,
+            t0: Instant::now(),
+            allocated: false,
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs_f64(self.t0.elapsed().as_secs_f64())
+    }
+
+    pub(crate) fn allocate(&mut self) -> Result<(), EntkError> {
+        if self.allocated {
+            return Err(EntkError::Usage("allocate() called twice".into()));
+        }
+        self.allocated = true;
+        self.t0 = Instant::now();
+        Ok(())
+    }
+
+    pub(crate) fn run(
+        &mut self,
+        pattern: &mut dyn ExecutionPattern,
+    ) -> Result<ExecutionReport, EntkError> {
+        if !self.allocated {
+            return Err(EntkError::Usage("run() requires allocate() first".into()));
+        }
+        let initial = pattern.on_start();
+        self.submit(initial, pattern)?;
+        while !(pattern.is_done() && self.live_tasks == 0) {
+            if self.live_tasks == 0 {
+                return Err(EntkError::Runtime(format!(
+                    "no work in flight but pattern not done: {}",
+                    pattern.progress()
+                )));
+            }
+            let completion = self.runtime.wait_any();
+            let uid = *self
+                .unit_to_task
+                .get(&completion.unit)
+                .expect("completion for a submitted unit");
+            self.unit_to_task.remove(&completion.unit);
+            let now = self.now();
+            let entry = self.tasks.get_mut(&uid).expect("entry exists");
+            let slot_value = entry.slot.lock().take();
+            let (result, start_off, end_off) = match slot_value {
+                Some(v) => v,
+                None => (
+                    Err("kernel produced no output".to_string()),
+                    0.0,
+                    completion.wall_secs,
+                ),
+            };
+            entry.record.exec_start = Some(SimTime::ZERO + SimDuration::from_secs_f64(start_off));
+            entry.record.exec_stop = Some(SimTime::ZERO + SimDuration::from_secs_f64(end_off));
+            let outcome = match (completion.state, result) {
+                (UnitState::Done, Ok(output)) => Ok(output),
+                (_, Err(e)) => Err(e),
+                (state, Ok(_)) => Err(format!("unit ended in {state:?}")),
+            };
+            match outcome {
+                Ok(output) => {
+                    entry.terminal = true;
+                    entry.record.success = true;
+                    entry.record.finished = Some(now);
+                    self.live_tasks -= 1;
+                    let result = TaskResult::ok(entry.task.tag, entry.task.stage.clone(), output);
+                    let follow = pattern.on_task_done(&result);
+                    self.submit(follow, pattern)?;
+                }
+                Err(reason) => {
+                    if entry.record.retries < self.fault.max_retries {
+                        entry.record.retries += 1;
+                        self.total_retries += 1;
+                        let task = entry.task.clone();
+                        self.resubmit(uid, task)?;
+                    } else {
+                        entry.terminal = true;
+                        entry.record.success = false;
+                        entry.record.finished = Some(now);
+                        self.live_tasks -= 1;
+                        self.failed_tasks += 1;
+                        let result =
+                            TaskResult::failed(entry.task.tag, entry.task.stage.clone(), reason);
+                        let follow = pattern.on_task_done(&result);
+                        self.submit(follow, pattern)?;
+                    }
+                }
+            }
+        }
+        Ok(self.build_report(pattern.name()))
+    }
+
+    pub(crate) fn deallocate(&mut self) -> Result<ExecutionReport, EntkError> {
+        if !self.allocated {
+            return Err(EntkError::Usage("deallocate() requires allocate()".into()));
+        }
+        self.allocated = false;
+        Ok(self.build_report("session"))
+    }
+
+    fn submit(
+        &mut self,
+        tasks: Vec<Task>,
+        pattern: &mut dyn ExecutionPattern,
+    ) -> Result<(), EntkError> {
+        for task in tasks {
+            let uid = self.next_uid;
+            self.next_uid += 1;
+            self.live_tasks += 1;
+            let record = TaskRecord {
+                uid,
+                tag: task.tag,
+                stage: task.stage.clone(),
+                created: self.now(),
+                exec_start: None,
+                exec_stop: None,
+                finished: None,
+                success: false,
+                retries: 0,
+            };
+            let task_clone = task.clone();
+            self.tasks.insert(
+                uid,
+                LocalEntry {
+                    task,
+                    record,
+                    slot: Arc::new(Mutex::new(None)),
+                    terminal: false,
+                },
+            );
+            if let Err(e) = self.dispatch(uid, task_clone) {
+                // Kernel-binding failure: terminal immediately.
+                let now = self.now();
+                let entry = self.tasks.get_mut(&uid).expect("entry exists");
+                entry.terminal = true;
+                entry.record.success = false;
+                entry.record.finished = Some(now);
+                self.live_tasks -= 1;
+                self.failed_tasks += 1;
+                let result =
+                    TaskResult::failed(entry.task.tag, entry.task.stage.clone(), e.to_string());
+                let follow = pattern.on_task_done(&result);
+                self.submit(follow, pattern)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn resubmit(&mut self, uid: u64, task: Task) -> Result<(), EntkError> {
+        self.dispatch(uid, task)
+    }
+
+    fn dispatch(&mut self, uid: u64, task: Task) -> Result<(), EntkError> {
+        let plugin = self
+            .registry
+            .get(&task.kernel.plugin)
+            .map_err(|e| EntkError::Kernel(e.to_string()))?;
+        plugin
+            .validate(&task.kernel.args)
+            .map_err(|e| EntkError::Kernel(e.to_string()))?;
+        let slot = Arc::clone(&self.tasks[&uid].slot);
+        let args = task.kernel.args.clone();
+        let t0 = self.t0;
+        let work: Arc<dyn Fn() -> Result<(), String> + Send + Sync> = Arc::new(move || {
+            let start = t0.elapsed().as_secs_f64();
+            let result = plugin.execute(&args).map_err(|e| e.to_string());
+            let end = t0.elapsed().as_secs_f64();
+            let ok = result.is_ok();
+            *slot.lock() = Some((result, start, end));
+            if ok {
+                Ok(())
+            } else {
+                Err("kernel failed".into())
+            }
+        });
+        let ud = UnitDescription {
+            name: format!("{}:{}", task.stage, uid),
+            cores: task.kernel.cores,
+            mpi: task.kernel.mpi || task.kernel.cores > 1,
+            work: UnitWork::Real(work),
+            input_staging: Vec::new(),
+            output_staging: Vec::new(),
+        };
+        let units = self
+            .runtime
+            .submit_units(vec![ud])
+            .map_err(EntkError::Runtime)?;
+        self.unit_to_task.insert(units[0], uid);
+        Ok(())
+    }
+
+    fn build_report(&self, pattern_name: &str) -> ExecutionReport {
+        let mut tasks: Vec<TaskRecord> = self.tasks.values().map(|e| e.record.clone()).collect();
+        tasks.sort_by_key(|t| t.uid);
+        ExecutionReport {
+            pattern: pattern_name.to_string(),
+            resource: "fork://localhost".into(),
+            cores: self.runtime.cores(),
+            ttc: self.now().saturating_since(SimTime::ZERO),
+            overheads: OverheadBreakdown::default(),
+            tasks,
+            failed_tasks: self.failed_tasks,
+            total_retries: self.total_retries,
+        }
+    }
+}

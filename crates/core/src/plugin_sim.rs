@@ -1,0 +1,703 @@
+//! The execution plugin for simulated runs (paper §III-B component 4).
+//!
+//! "The execution plugin binds the kernel plugins and the execution
+//! pattern, and translates the tasks into executable units … forwarded to
+//! the underlying runtime system, thus decoupling execution from the
+//! expression of the application."
+//!
+//! This driver owns the discrete-event engine, the pilot runtime, and the
+//! kernel registry. Pattern tasks are bound to cost-model durations and
+//! submitted as compute units; completions are model-executed and fed back
+//! to the pattern. Fault policies (retry, kill-replace) apply here, below
+//! the pattern's view.
+
+use crate::binding::{BindingPolicy, StaticBinding};
+use crate::fault::FaultConfig;
+use crate::overheads::EntkOverheads;
+use crate::pattern::ExecutionPattern;
+use crate::report::{ExecutionReport, OverheadBreakdown, TaskRecord};
+use crate::resource::ResourceConfig;
+use crate::task::{Task, TaskResult};
+use entk_cluster::{ClusterEvent, PlatformSpec};
+use entk_kernels::KernelRegistry;
+use entk_pilot::{
+    PilotDescription, PilotId, PilotState, RuntimeEvent, RuntimeNotification, SimRuntime,
+    SimRuntimeConfig, UnitDescription, UnitId, UnitState, UnitWork,
+};
+use entk_sim::{Context, Engine, RunOutcome, SimDuration, SimRng, SimTime};
+use crate::error::EntkError;
+use crate::resource::PilotStrategy;
+use std::collections::{HashMap, HashSet};
+
+/// Top-level event type of the simulated toolkit stack.
+#[derive(Debug, Clone)]
+pub(crate) enum Ev {
+    /// Pilot runtime event.
+    Rt(RuntimeEvent),
+    /// Batch-system event.
+    Cl(ClusterEvent),
+    /// Toolkit init + resource request done: submit the pilot.
+    Boot,
+    /// Pattern overhead paid: submit these tasks' units.
+    TasksReady(Vec<u64>),
+    /// Kill-replace watchdog for a task.
+    TaskTimeout(u64),
+    /// Graceful pilot shutdown.
+    Shutdown,
+    /// Clock-advancing no-op (teardown time).
+    Nop,
+}
+
+impl From<RuntimeEvent> for Ev {
+    fn from(e: RuntimeEvent) -> Ev {
+        Ev::Rt(e)
+    }
+}
+impl From<ClusterEvent> for Ev {
+    fn from(e: ClusterEvent) -> Ev {
+        Ev::Cl(e)
+    }
+}
+
+struct TaskEntry {
+    task: Task,
+    unit: Option<UnitId>,
+    record: TaskRecord,
+    terminal: bool,
+}
+
+enum DriverState {
+    Created,
+    Allocated,
+    Deallocated,
+}
+
+/// The simulated-backend driver behind a `ResourceHandle`.
+pub(crate) struct SimDriver {
+    engine: Engine<Ev>,
+    runtime: SimRuntime,
+    registry: KernelRegistry,
+    entk: EntkOverheads,
+    fault: FaultConfig,
+    rng: SimRng,
+    config: ResourceConfig,
+    strategy: PilotStrategy,
+    binding: Box<dyn BindingPolicy>,
+    background_load: Option<entk_cluster::cluster::BackgroundLoad>,
+    pilots: Vec<PilotId>,
+    dead_pilots: HashSet<PilotId>,
+    state: DriverState,
+    tasks: HashMap<u64, TaskEntry>,
+    unit_to_task: HashMap<UnitId, u64>,
+    next_uid: u64,
+    live_tasks: usize,
+    failed_tasks: usize,
+    total_retries: u32,
+    core_overhead: SimDuration,
+    pattern_overhead: SimDuration,
+    teardown_reached: bool,
+    outbox: Vec<(SimDuration, Ev)>,
+    /// Task results awaiting delivery to the pattern.
+    pending_results: Vec<TaskResult>,
+}
+
+impl SimDriver {
+    #[allow(clippy::too_many_arguments)] // construction-time wiring of config groups
+    pub(crate) fn new(
+        config: ResourceConfig,
+        platform: PlatformSpec,
+        registry: KernelRegistry,
+        entk: EntkOverheads,
+        runtime_config: SimRuntimeConfig,
+        fault: FaultConfig,
+        seed: u64,
+        strategy: PilotStrategy,
+        background_load: Option<entk_cluster::cluster::BackgroundLoad>,
+    ) -> Self {
+        SimDriver {
+            engine: Engine::new(),
+            runtime: SimRuntime::new(platform, runtime_config),
+            registry,
+            entk,
+            fault,
+            rng: SimRng::seed_from_u64(seed),
+            config,
+            strategy,
+            binding: Box::new(StaticBinding),
+            background_load,
+            pilots: Vec::new(),
+            dead_pilots: HashSet::new(),
+            state: DriverState::Created,
+            tasks: HashMap::new(),
+            unit_to_task: HashMap::new(),
+            next_uid: 0,
+            live_tasks: 0,
+            failed_tasks: 0,
+            total_retries: 0,
+            core_overhead: SimDuration::ZERO,
+            pattern_overhead: SimDuration::ZERO,
+            teardown_reached: false,
+            outbox: Vec::new(),
+            pending_results: Vec::new(),
+        }
+    }
+
+    /// Replaces the unit scheduler before allocation (ablation hook).
+    pub(crate) fn set_unit_scheduler(&mut self, s: Box<dyn entk_pilot::UnitScheduler>) {
+        self.runtime.set_scheduler(s);
+    }
+
+    /// Replaces the binding policy (paper §V: intelligent execution plugin).
+    pub(crate) fn set_binding_policy(&mut self, b: Box<dyn BindingPolicy>) {
+        self.binding = b;
+    }
+
+    /// True when every pilot has failed or been cancelled.
+    fn all_pilots_dead(&self) -> bool {
+        !self.pilots.is_empty() && self.dead_pilots.len() == self.pilots.len()
+    }
+
+    /// True when the allocation is usable per the wait policy.
+    fn allocation_ready(&self) -> bool {
+        if self.pilots.is_empty() {
+            return false;
+        }
+        let active = |p: &PilotId| self.runtime.pilot_state(*p) == Some(PilotState::Active);
+        match self.strategy.wait_all {
+            false => self.pilots.iter().any(active),
+            true => self.pilots.iter().all(active),
+        }
+    }
+
+    // ---------------------------------------------------------- lifecycle
+
+    pub(crate) fn allocate(&mut self) -> Result<(), EntkError> {
+        if !matches!(self.state, DriverState::Created) {
+            return Err(EntkError::Usage("allocate() called twice".into()));
+        }
+        let init = self.entk.init.sample_duration(&mut self.rng)
+            + self.entk.resource_request.sample_duration(&mut self.rng);
+        self.core_overhead += init;
+        self.engine.schedule_in(init, Ev::Boot);
+        self.pump(None, |d| d.allocation_ready())?;
+        self.state = DriverState::Allocated;
+        Ok(())
+    }
+
+    pub(crate) fn run(
+        &mut self,
+        pattern: &mut dyn ExecutionPattern,
+    ) -> Result<ExecutionReport, EntkError> {
+        if !matches!(self.state, DriverState::Allocated) {
+            return Err(EntkError::Usage("run() requires allocate() first".into()));
+        }
+        let initial = pattern.on_start();
+        if initial.is_empty() && !pattern.is_done() {
+            return Err(EntkError::Usage(
+                "pattern emitted no initial tasks but is not done".into(),
+            ));
+        }
+        self.spawn_tasks(initial);
+        self.flush_outbox_direct();
+        // pump's stop closure cannot see the pattern; poll manually.
+        loop {
+            if pattern.is_done() && self.live_tasks == 0 {
+                break;
+            }
+            if self.all_pilots_dead() {
+                return Err(EntkError::Runtime(format!(
+                    "all pilots terminated mid-run; pattern at: {}",
+                    pattern.progress()
+                )));
+            }
+            let stepped = self.step_one(Some(pattern))?;
+            if !stepped {
+                if pattern.is_done() && self.live_tasks == 0 {
+                    break;
+                }
+                return Err(EntkError::Runtime(format!(
+                    "simulation drained before pattern completion: {}",
+                    pattern.progress()
+                )));
+            }
+        }
+        Ok(self.build_report(pattern.name()))
+    }
+
+    pub(crate) fn deallocate(&mut self) -> Result<ExecutionReport, EntkError> {
+        if !matches!(self.state, DriverState::Allocated) {
+            return Err(EntkError::Usage("deallocate() requires allocate()".into()));
+        }
+        self.engine.schedule_in(SimDuration::ZERO, Ev::Shutdown);
+        self.pump(None, |d| {
+            d.pilots.iter().all(|&p| {
+                d.runtime
+                    .pilot_state(p)
+                    .map(PilotState::is_terminal)
+                    .unwrap_or(true)
+            })
+        })?;
+        let teardown = self.entk.teardown.sample_duration(&mut self.rng);
+        self.core_overhead += teardown;
+        self.teardown_reached = false;
+        self.engine.schedule_in(teardown, Ev::Nop);
+        // Do not drain to empty: background-load models keep the event
+        // queue alive forever; stop once the teardown marker fires.
+        self.pump(None, |d| d.teardown_reached)?;
+        self.state = DriverState::Deallocated;
+        Ok(self.build_report("session"))
+    }
+
+    // ------------------------------------------------------------- engine
+
+    /// Processes one event; returns false when the queue is empty.
+    fn step_one<'a, 'b>(
+        &mut self,
+        mut pattern: Option<&'a mut (dyn ExecutionPattern + 'b)>,
+    ) -> Result<bool, EntkError> {
+        let mut engine = std::mem::take(&mut self.engine);
+        let outcome = engine.run_bounded(1, SimTime::MAX, &mut |ev, ctx| {
+            self.handle(ev, ctx, pattern.as_deref_mut());
+        });
+        self.engine = engine;
+        Ok(outcome != RunOutcome::Drained)
+    }
+
+    /// Pumps events until `stop(self)` holds (pattern-independent phases).
+    fn pump<'a, 'b>(
+        &mut self,
+        mut pattern: Option<&'a mut (dyn ExecutionPattern + 'b)>,
+        stop: impl Fn(&Self) -> bool,
+    ) -> Result<(), EntkError> {
+        loop {
+            if stop(self) {
+                return Ok(());
+            }
+            if self.all_pilots_dead() && pattern.is_none() {
+                // During allocate: all pilots dead means allocation failed.
+                return Err(EntkError::Resource("pilots failed to start".into()));
+            }
+            if !self.step_one(pattern.as_deref_mut())? {
+                if stop(self) {
+                    return Ok(());
+                }
+                return Err(EntkError::Runtime(
+                    "simulation drained before reaching the expected state".into(),
+                ));
+            }
+        }
+    }
+
+    fn handle<'a, 'b>(
+        &mut self,
+        ev: Ev,
+        ctx: &mut Context<'_, Ev>,
+        pattern: Option<&'a mut (dyn ExecutionPattern + 'b)>,
+    ) {
+        let mut notes = Vec::new();
+        match ev {
+            Ev::Boot => {
+                if let Some(load) = self.background_load {
+                    self.runtime.cluster_mut().enable_background_load(load, ctx);
+                }
+                // Split the requested cores across the strategy's pilots;
+                // the first pilot absorbs any remainder.
+                let n = self.strategy.count.max(1).min(self.config.cores);
+                let base = self.config.cores / n;
+                for i in 0..n {
+                    let cores = if i == 0 {
+                        base + self.config.cores % n
+                    } else {
+                        base
+                    };
+                    let pd = PilotDescription::new(
+                        self.config.resource.clone(),
+                        cores,
+                        self.config.walltime,
+                    );
+                    match self.runtime.submit_pilot(pd, ctx, &mut notes) {
+                        Ok(id) => self.pilots.push(id),
+                        Err(e) => {
+                            debug_assert!(false, "pilot description invalid: {e}");
+                        }
+                    }
+                }
+            }
+            Ev::Rt(re) => self.runtime.handle(re, ctx, &mut notes),
+            Ev::Cl(ce) => self.runtime.handle_cluster(ce, ctx, &mut notes),
+            Ev::TasksReady(uids) => self.submit_units(uids, ctx, &mut notes),
+            Ev::TaskTimeout(uid) => self.on_timeout(uid, ctx, &mut notes),
+            Ev::Shutdown => {
+                self.runtime.cluster_mut().disable_background_load();
+                for p in self.pilots.clone() {
+                    self.runtime.finish_pilot(p, ctx, &mut notes);
+                }
+            }
+            Ev::Nop => self.teardown_reached = true,
+        }
+        self.process_notifications(notes, ctx, pattern);
+        self.flush_outbox(ctx);
+    }
+
+    fn flush_outbox(&mut self, ctx: &mut Context<'_, Ev>) {
+        for (delay, ev) in self.outbox.drain(..) {
+            ctx.schedule_in(delay, ev);
+        }
+    }
+
+    fn flush_outbox_direct(&mut self) {
+        for (delay, ev) in self.outbox.drain(..) {
+            self.engine.schedule_in(delay, ev);
+        }
+    }
+
+    // -------------------------------------------------------------- tasks
+
+    /// Registers pattern-emitted tasks and schedules their submission after
+    /// the EnTK pattern overhead.
+    fn spawn_tasks(&mut self, tasks: Vec<Task>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let n = tasks.len() as f64;
+        let per = self.entk.task_create_per_task.sample(&mut self.rng);
+        let fixed = self.entk.task_submit_fixed.sample(&mut self.rng);
+        let delay = SimDuration::from_secs_f64(fixed + per * n);
+        self.pattern_overhead += delay;
+        let now = self.engine.now();
+        let mut uids = Vec::with_capacity(tasks.len());
+        for task in tasks {
+            let uid = self.next_uid;
+            self.next_uid += 1;
+            self.live_tasks += 1;
+            self.tasks.insert(
+                uid,
+                TaskEntry {
+                    record: TaskRecord {
+                        uid,
+                        tag: task.tag,
+                        stage: task.stage.clone(),
+                        created: now,
+                        exec_start: None,
+                        exec_stop: None,
+                        finished: None,
+                        success: false,
+                        retries: 0,
+                    },
+                    task,
+                    unit: None,
+                    terminal: false,
+                },
+            );
+            uids.push(uid);
+        }
+        self.outbox.push((delay, Ev::TasksReady(uids)));
+    }
+
+    /// Binds tasks to unit descriptions and submits them to the runtime.
+    fn submit_units(
+        &mut self,
+        uids: Vec<u64>,
+        ctx: &mut Context<'_, Ev>,
+        notes: &mut Vec<RuntimeNotification>,
+    ) {
+        let mut descriptions = Vec::with_capacity(uids.len());
+        let mut submit_uids = Vec::with_capacity(uids.len());
+        let free_cores = self.runtime.free_cores();
+        let batch_size = uids.len();
+        let max_pilot = self
+            .pilots
+            .iter()
+            .filter_map(|&p| {
+                (self.runtime.pilot_state(p) != Some(entk_pilot::PilotState::Failed))
+                    .then_some(self.config.cores / self.strategy.count.max(1).min(self.config.cores))
+            })
+            .max()
+            .unwrap_or(self.config.cores)
+            .max(1);
+        for uid in uids {
+            let entry = match self.tasks.get(&uid) {
+                Some(e) if !e.terminal => e,
+                _ => continue,
+            };
+            let call = entry.task.kernel.clone();
+            let stage = entry.task.stage.clone();
+            let plugin = match self.registry.get(&call.plugin) {
+                Ok(p) => p,
+                Err(e) => {
+                    self.fail_now(uid, e.to_string(), ctx);
+                    continue;
+                }
+            };
+            if let Err(e) = plugin.validate(&call.args) {
+                self.fail_now(uid, e.to_string(), ctx);
+                continue;
+            }
+            let bound_cores = self
+                .binding
+                .bind(&stage, call.cores, free_cores, batch_size)
+                .clamp(1, max_pilot);
+            let cost =
+                plugin.cost(&call.args, bound_cores, self.runtime.platform(), &mut self.rng);
+            let mut ud = UnitDescription {
+                name: format!("{stage}:{uid}"),
+                cores: bound_cores,
+                mpi: call.mpi || bound_cores > 1,
+                work: UnitWork::Modeled(cost),
+                input_staging: Vec::new(),
+                output_staging: Vec::new(),
+            };
+            let in_b = plugin.input_bytes(&call.args);
+            if in_b > 0 {
+                ud = ud.with_input("input", in_b);
+            }
+            let out_b = plugin.output_bytes(&call.args);
+            if out_b > 0 {
+                ud = ud.with_output("output", out_b);
+            }
+            descriptions.push(ud);
+            submit_uids.push(uid);
+        }
+        if descriptions.is_empty() {
+            return;
+        }
+        let unit_ids = self
+            .runtime
+            .submit_units(descriptions, ctx, notes)
+            .expect("descriptions validated above");
+        for (uid, unit) in submit_uids.into_iter().zip(unit_ids) {
+            let entry = self.tasks.get_mut(&uid).expect("entry exists");
+            entry.unit = Some(unit);
+            self.unit_to_task.insert(unit, uid);
+            if let Some(timeout) = self.fault.task_timeout {
+                ctx.schedule_in(timeout, Ev::TaskTimeout(uid));
+            }
+        }
+    }
+
+    /// A task failed before it could even be submitted (bad kernel); it is
+    /// terminal immediately. The pattern notification goes through the
+    /// deferred-failure queue processed with the next notification batch —
+    /// here we just mark the record; `process_notifications` owns pattern
+    /// callbacks, so synthesize a unit-less failure via the outbox.
+    fn fail_now(&mut self, uid: u64, reason: String, ctx: &mut Context<'_, Ev>) {
+        let entry = self.tasks.get_mut(&uid).expect("entry exists");
+        entry.terminal = true;
+        entry.record.finished = Some(ctx.now());
+        entry.record.success = false;
+        self.live_tasks -= 1;
+        self.failed_tasks += 1;
+        // Defer the pattern callback so it happens in a clean handler pass.
+        self.outbox
+            .push((SimDuration::ZERO, Ev::TaskTimeout(uid | KERNEL_FAIL_FLAG)));
+        let _ = reason;
+    }
+
+    fn on_timeout(
+        &mut self,
+        raw: u64,
+        ctx: &mut Context<'_, Ev>,
+        _notes: &mut [RuntimeNotification],
+    ) {
+        if raw & KERNEL_FAIL_FLAG != 0 {
+            // Deferred kernel-binding failure: deliver to the pattern via
+            // the pending-results queue.
+            let uid = raw & !KERNEL_FAIL_FLAG;
+            if let Some(entry) = self.tasks.get(&uid) {
+                self.pending_results.push(TaskResult::failed(
+                    entry.task.tag,
+                    entry.task.stage.clone(),
+                    "kernel binding failed",
+                ));
+            }
+            return;
+        }
+        let uid = raw;
+        let Some(entry) = self.tasks.get(&uid) else { return };
+        if entry.terminal {
+            return;
+        }
+        // Kill-replace: cancel the running unit and retry.
+        if let Some(unit) = entry.unit {
+            let state = self.runtime.unit_state(unit);
+            if state.map(UnitState::is_terminal).unwrap_or(true) {
+                return; // already finishing; let the normal path handle it
+            }
+            self.unit_to_task.remove(&unit);
+            let mut notes = Vec::new();
+            self.runtime.cancel_unit(unit, ctx, &mut notes);
+            // Swallow the cancellation notifications for this unit.
+            self.retry_or_fail(uid, "kill-replace: task exceeded timeout", ctx);
+        }
+    }
+
+    fn retry_or_fail(&mut self, uid: u64, reason: &str, ctx: &mut Context<'_, Ev>) {
+        let now = ctx.now();
+        let entry = self.tasks.get_mut(&uid).expect("entry exists");
+        if entry.record.retries < self.fault.max_retries {
+            entry.record.retries += 1;
+            self.total_retries += 1;
+            entry.unit = None;
+            self.outbox
+                .push((SimDuration::ZERO, Ev::TasksReady(vec![uid])));
+        } else {
+            entry.terminal = true;
+            entry.record.finished = Some(now);
+            entry.record.success = false;
+            self.live_tasks -= 1;
+            self.failed_tasks += 1;
+            self.pending_results.push(TaskResult::failed(
+                entry.task.tag,
+                entry.task.stage.clone(),
+                reason,
+            ));
+        }
+    }
+
+    fn process_notifications<'a, 'b>(
+        &mut self,
+        notes: Vec<RuntimeNotification>,
+        ctx: &mut Context<'_, Ev>,
+        pattern: Option<&'a mut (dyn ExecutionPattern + 'b)>,
+    ) {
+        for note in notes {
+            match note {
+                RuntimeNotification::Pilot { id, state, .. } => {
+                    if state == PilotState::Failed || state == PilotState::Canceled {
+                        self.dead_pilots.insert(id);
+                    }
+                }
+                RuntimeNotification::Unit {
+                    id, state, time, detail,
+                } => {
+                    let Some(&uid) = self.unit_to_task.get(&id) else {
+                        continue;
+                    };
+                    match state {
+                        UnitState::Executing => {
+                            if let Some(e) = self.tasks.get_mut(&uid) {
+                                e.record.exec_start = Some(time);
+                            }
+                        }
+                        UnitState::Done => {
+                            self.unit_to_task.remove(&id);
+                            self.complete_task(uid, id, time);
+                        }
+                        UnitState::Failed | UnitState::Canceled => {
+                            self.unit_to_task.remove(&id);
+                            let reason = detail.unwrap_or_else(|| format!("{state:?}"));
+                            self.retry_or_fail(uid, &reason, ctx);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        // Deliver queued results to the pattern, spawning follow-up tasks.
+        if let Some(p) = pattern {
+            let results = std::mem::take(&mut self.pending_results);
+            for result in results {
+                let follow_ups = p.on_task_done(&result);
+                self.spawn_tasks(follow_ups);
+            }
+        }
+    }
+
+    fn complete_task(&mut self, uid: u64, unit: UnitId, time: SimTime) {
+        // Record execution timestamps from the runtime profiler.
+        let (exec_start, exec_stop) = self
+            .runtime
+            .profiler()
+            .unit(unit)
+            .map(|p| (p.exec_start, p.exec_stop))
+            .unwrap_or((None, None));
+        let entry = self.tasks.get_mut(&uid).expect("entry exists");
+        entry.record.exec_start = exec_start.or(entry.record.exec_start);
+        entry.record.exec_stop = exec_stop;
+        // Model-execute the kernel for semantic output.
+        let call = entry.task.kernel.clone();
+        let plugin = self
+            .registry
+            .get(&call.plugin)
+            .expect("validated at submission");
+        match plugin.execute_model(&call.args, &mut self.rng) {
+            Ok(output) => {
+                entry.terminal = true;
+                entry.record.finished = Some(time);
+                entry.record.success = true;
+                self.live_tasks -= 1;
+                self.pending_results.push(TaskResult::ok(
+                    entry.task.tag,
+                    entry.task.stage.clone(),
+                    output,
+                ));
+            }
+            Err(e) => {
+                // Semantic failure after execution: retry path.
+                let reason = e.to_string();
+                let entry_retries = entry.record.retries;
+                if entry_retries < self.fault.max_retries {
+                    entry.record.retries += 1;
+                    self.total_retries += 1;
+                    entry.unit = None;
+                    self.outbox
+                        .push((SimDuration::ZERO, Ev::TasksReady(vec![uid])));
+                } else {
+                    entry.terminal = true;
+                    entry.record.finished = Some(time);
+                    entry.record.success = false;
+                    self.live_tasks -= 1;
+                    self.failed_tasks += 1;
+                    self.pending_results.push(TaskResult::failed(
+                        entry.task.tag,
+                        entry.task.stage.clone(),
+                        reason,
+                    ));
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- report
+
+    fn build_report(&self, pattern_name: &str) -> ExecutionReport {
+        let (runtime_pilot, resource_wait) = self
+            .pilots
+            .first()
+            .and_then(|&p| self.runtime.profiler().pilot(p).copied())
+            .map(|prof| {
+                let submit = prof
+                    .launched
+                    .zip(prof.submitted)
+                    .map(|(l, s)| l.saturating_since(s))
+                    .unwrap_or(SimDuration::ZERO);
+                let wait = prof
+                    .active
+                    .zip(prof.launched)
+                    .map(|(a, l)| a.saturating_since(l))
+                    .unwrap_or(SimDuration::ZERO);
+                (submit, wait)
+            })
+            .unwrap_or((SimDuration::ZERO, SimDuration::ZERO));
+        let mut tasks: Vec<TaskRecord> = self.tasks.values().map(|e| e.record.clone()).collect();
+        tasks.sort_by_key(|t| t.uid);
+        ExecutionReport {
+            pattern: pattern_name.to_string(),
+            resource: self.config.resource.clone(),
+            cores: self.config.cores,
+            ttc: self.engine.now().saturating_since(SimTime::ZERO),
+            overheads: OverheadBreakdown {
+                core: self.core_overhead,
+                pattern: self.pattern_overhead,
+                runtime_pilot,
+                resource_wait,
+            },
+            tasks,
+            failed_tasks: self.failed_tasks,
+            total_retries: self.total_retries,
+        }
+    }
+}
+
+/// Sentinel bit marking deferred kernel-binding failures in `TaskTimeout`.
+const KERNEL_FAIL_FLAG: u64 = 1 << 63;

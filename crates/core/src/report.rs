@@ -1,0 +1,283 @@
+//! Execution reports: time-to-completion and its decomposition.
+//!
+//! Every figure in the paper's evaluation is a view over these fields:
+//! per-stage execution times (Figs. 3–9), EnTK core and pattern overheads
+//! (Fig. 3's bottom subplot), and runtime-side latencies.
+
+use entk_sim::{SimDuration, SimTime, Summary};
+use serde::{Deserialize, Serialize};
+
+/// Timeline of one task as executed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// Driver-assigned unique id.
+    pub uid: u64,
+    /// Pattern correlation tag.
+    pub tag: u64,
+    /// Stage label.
+    pub stage: String,
+    /// When the pattern emitted the task.
+    pub created: SimTime,
+    /// Execution start on pilot cores, if it ran.
+    pub exec_start: Option<SimTime>,
+    /// Execution end, if it ran.
+    pub exec_stop: Option<SimTime>,
+    /// When the task reached a terminal state.
+    pub finished: Option<SimTime>,
+    /// Final success.
+    pub success: bool,
+    /// Resubmissions consumed (failures and kill-replace).
+    pub retries: u32,
+}
+
+impl TaskRecord {
+    /// Pure execution duration, if the task executed.
+    pub fn exec_duration(&self) -> Option<SimDuration> {
+        Some(self.exec_stop?.saturating_since(self.exec_start?))
+    }
+}
+
+/// The paper's overhead decomposition.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct OverheadBreakdown {
+    /// EnTK core overhead: init + resource request + teardown (constant
+    /// per session).
+    pub core: SimDuration,
+    /// EnTK pattern overhead: task creation/submission (∝ tasks).
+    pub pattern: SimDuration,
+    /// Runtime (pilot) overhead: pilot submission bookkeeping.
+    pub runtime_pilot: SimDuration,
+    /// Batch-system time: queue wait + job startup until the agent ran.
+    pub resource_wait: SimDuration,
+}
+
+/// Result of executing one pattern on one resource allocation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// Pattern name.
+    pub pattern: String,
+    /// Resource label.
+    pub resource: String,
+    /// Cores acquired.
+    pub cores: usize,
+    /// Total session time: allocate → pattern completion → deallocate.
+    pub ttc: SimDuration,
+    /// Overhead decomposition.
+    pub overheads: OverheadBreakdown,
+    /// Per-task timelines.
+    pub tasks: Vec<TaskRecord>,
+    /// Tasks whose final state was failure.
+    pub failed_tasks: usize,
+    /// Total resubmissions across all tasks.
+    pub total_retries: u32,
+}
+
+impl ExecutionReport {
+    /// Number of tasks executed (including failures).
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Union length of `[exec_start, exec_stop]` intervals for one stage —
+    /// "time spent executing stage X", robust to stages interleaving across
+    /// iterations.
+    pub fn stage_time(&self, stage: &str) -> SimDuration {
+        let mut intervals: Vec<(SimTime, SimTime)> = self
+            .tasks
+            .iter()
+            .filter(|t| t.stage == stage)
+            .filter_map(|t| Some((t.exec_start?, t.exec_stop?)))
+            .collect();
+        union_length(&mut intervals)
+    }
+
+    /// Union length of execution intervals across all stages.
+    pub fn exec_time(&self) -> SimDuration {
+        let mut intervals: Vec<(SimTime, SimTime)> = self
+            .tasks
+            .iter()
+            .filter_map(|t| Some((t.exec_start?, t.exec_stop?)))
+            .collect();
+        union_length(&mut intervals)
+    }
+
+    /// Summary of per-task execution durations for one stage (seconds).
+    pub fn stage_exec_summary(&self, stage: &str) -> Summary {
+        let mut s = Summary::new();
+        for t in &self.tasks {
+            if t.stage == stage {
+                if let Some(d) = t.exec_duration() {
+                    s.add_duration(d);
+                }
+            }
+        }
+        s
+    }
+
+    /// Stage labels present, in first-appearance order.
+    pub fn stages(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for t in &self.tasks {
+            if !seen.contains(&t.stage.as_str()) {
+                seen.push(t.stage.as_str());
+            }
+        }
+        seen
+    }
+
+    /// Total EnTK-attributable overhead (core + pattern).
+    pub fn entk_overhead(&self) -> SimDuration {
+        self.overheads.core + self.overheads.pattern
+    }
+}
+
+/// Total length of the union of (possibly overlapping) intervals.
+fn union_length(intervals: &mut [(SimTime, SimTime)]) -> SimDuration {
+    if intervals.is_empty() {
+        return SimDuration::ZERO;
+    }
+    intervals.sort_by_key(|&(s, _)| s);
+    let mut total = SimDuration::ZERO;
+    let (mut cur_start, mut cur_end) = intervals[0];
+    for &(s, e) in intervals[1..].iter() {
+        if s <= cur_end {
+            cur_end = cur_end.max(e);
+        } else {
+            total += cur_end.saturating_since(cur_start);
+            cur_start = s;
+            cur_end = e;
+        }
+    }
+    total += cur_end.saturating_since(cur_start);
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(stage: &str, start: u64, stop: u64) -> TaskRecord {
+        TaskRecord {
+            uid: 0,
+            tag: 0,
+            stage: stage.into(),
+            created: SimTime::ZERO,
+            exec_start: Some(SimTime::from_secs(start)),
+            exec_stop: Some(SimTime::from_secs(stop)),
+            finished: Some(SimTime::from_secs(stop)),
+            success: true,
+            retries: 0,
+        }
+    }
+
+    fn report(tasks: Vec<TaskRecord>) -> ExecutionReport {
+        ExecutionReport {
+            pattern: "test".into(),
+            resource: "local".into(),
+            cores: 4,
+            ttc: SimDuration::from_secs(100),
+            overheads: OverheadBreakdown::default(),
+            tasks,
+            failed_tasks: 0,
+            total_retries: 0,
+        }
+    }
+
+    #[test]
+    fn stage_time_unions_overlapping_intervals() {
+        let r = report(vec![
+            record("sim", 0, 10),
+            record("sim", 5, 15), // overlaps
+            record("sim", 20, 25), // disjoint
+            record("analysis", 15, 20),
+        ]);
+        assert_eq!(r.stage_time("sim"), SimDuration::from_secs(20));
+        assert_eq!(r.stage_time("analysis"), SimDuration::from_secs(5));
+        assert_eq!(r.exec_time(), SimDuration::from_secs(25));
+        assert_eq!(r.stage_time("nonexistent"), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn stage_summary_and_listing() {
+        let r = report(vec![
+            record("sim", 0, 10),
+            record("sim", 0, 20),
+            record("analysis", 20, 21),
+        ]);
+        let s = r.stage_exec_summary("sim");
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), 15.0);
+        assert_eq!(r.stages(), vec!["sim", "analysis"]);
+        assert_eq!(r.task_count(), 3);
+    }
+
+    #[test]
+    fn tasks_without_execution_are_ignored() {
+        let mut t = record("sim", 0, 5);
+        t.exec_start = None;
+        t.exec_stop = None;
+        let r = report(vec![t]);
+        assert_eq!(r.stage_time("sim"), SimDuration::ZERO);
+        assert_eq!(r.stage_exec_summary("sim").count(), 0);
+    }
+}
+
+impl std::fmt::Display for ExecutionReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "pattern {} on {} ({} cores): {} tasks, {} failed, {} retries",
+            self.pattern,
+            self.resource,
+            self.cores,
+            self.task_count(),
+            self.failed_tasks,
+            self.total_retries
+        )?;
+        writeln!(
+            f,
+            "  TTC {}  (exec {}, core ovh {}, pattern ovh {}, pilot ovh {}, resource wait {})",
+            self.ttc,
+            self.exec_time(),
+            self.overheads.core,
+            self.overheads.pattern,
+            self.overheads.runtime_pilot,
+            self.overheads.resource_wait
+        )?;
+        for stage in self.stages() {
+            let s = self.stage_exec_summary(stage);
+            writeln!(
+                f,
+                "  stage {stage}: {} tasks, mean {:.3}s, span {}",
+                s.count(),
+                s.mean(),
+                self.stage_time(stage)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod display_tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let r = ExecutionReport {
+            pattern: "bag-of-tasks".into(),
+            resource: "xsede.comet".into(),
+            cores: 24,
+            ttc: SimDuration::from_secs(100),
+            overheads: OverheadBreakdown::default(),
+            tasks: vec![],
+            failed_tasks: 2,
+            total_retries: 3,
+        };
+        let text = r.to_string();
+        assert!(text.contains("bag-of-tasks"));
+        assert!(text.contains("xsede.comet"));
+        assert!(text.contains("2 failed"));
+        assert!(text.contains("3 retries"));
+    }
+}

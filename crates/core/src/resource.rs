@@ -1,0 +1,246 @@
+//! The Resource Handle (paper §III-B component 3): allocate resources, run
+//! execution patterns on them, deallocate.
+
+use crate::error::EntkError;
+use crate::fault::FaultConfig;
+use crate::overheads::EntkOverheads;
+use crate::pattern::ExecutionPattern;
+use crate::plugin_local::LocalDriver;
+use crate::plugin_sim::SimDriver;
+use crate::report::ExecutionReport;
+use entk_cluster::PlatformSpec;
+use entk_kernels::KernelRegistry;
+use entk_pilot::{BatchPolicy, RuntimeOverheads, SimRuntimeConfig, UnitScheduler};
+use entk_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// What resources the application asks for.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResourceConfig {
+    /// Resource label: `"xsede.comet"`, `"xsede.stampede"`, `"lsu.supermic"`
+    /// or `"local"`.
+    pub resource: String,
+    /// Cores to acquire (the pilot size).
+    pub cores: usize,
+    /// Allocation wall time.
+    pub walltime: SimDuration,
+}
+
+impl ResourceConfig {
+    /// Creates a config.
+    pub fn new(resource: impl Into<String>, cores: usize, walltime: SimDuration) -> Self {
+        ResourceConfig {
+            resource: resource.into(),
+            cores,
+            walltime,
+        }
+    }
+}
+
+/// How the requested cores are acquired: one big pilot (the paper's
+/// configuration) or several smaller ones (the "execution strategy"
+/// extension of paper §V / Ref.\[23\] — smaller pilots clear shared batch
+/// queues faster when queue wait grows with allocation size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PilotStrategy {
+    /// Number of pilots the cores are split across.
+    pub count: usize,
+    /// Wait for all pilots to activate before `allocate()` returns
+    /// (`true`), or for just the first (`false`, late binding).
+    pub wait_all: bool,
+}
+
+impl PilotStrategy {
+    /// The paper's configuration: one pilot holding all cores.
+    pub fn single() -> Self {
+        PilotStrategy {
+            count: 1,
+            wait_all: true,
+        }
+    }
+
+    /// `count` equal pilots; `allocate()` returns at the first active one.
+    pub fn split(count: usize) -> Self {
+        PilotStrategy {
+            count,
+            wait_all: false,
+        }
+    }
+}
+
+impl Default for PilotStrategy {
+    fn default() -> Self {
+        Self::single()
+    }
+}
+
+/// Tuning of the simulated backend.
+#[derive(Debug, Clone)]
+pub struct SimulatedConfig {
+    /// Master seed; every stochastic component derives from it.
+    pub seed: u64,
+    /// Platform override; `None` resolves `ResourceConfig::resource` by name.
+    pub platform: Option<PlatformSpec>,
+    /// EnTK-side overhead model.
+    pub entk_overheads: EntkOverheads,
+    /// Runtime-side overhead model.
+    pub runtime_overheads: RuntimeOverheads,
+    /// Probability a unit execution fails (failure injection).
+    pub unit_failure_rate: f64,
+    /// Retry / kill-replace policy.
+    pub fault: FaultConfig,
+    /// Pilot acquisition strategy.
+    pub pilot_strategy: PilotStrategy,
+    /// Synthetic competing workload on the target machine (queue
+    /// contention); `None` models a dedicated allocation.
+    pub background_load: Option<entk_cluster::cluster::BackgroundLoad>,
+    /// Batch-queue policy of the target machine.
+    pub batch_policy: BatchPolicy,
+}
+
+impl Default for SimulatedConfig {
+    fn default() -> Self {
+        SimulatedConfig {
+            seed: 2016,
+            platform: None,
+            entk_overheads: EntkOverheads::calibrated(),
+            runtime_overheads: RuntimeOverheads::radical_pilot(),
+            unit_failure_rate: 0.0,
+            fault: FaultConfig::none(),
+            pilot_strategy: PilotStrategy::single(),
+            background_load: None,
+            batch_policy: BatchPolicy::Fifo,
+        }
+    }
+}
+
+enum Inner {
+    Sim(Box<SimDriver>),
+    Local(Box<LocalDriver>),
+}
+
+/// A handle to allocated (simulated or local) resources.
+///
+/// Lifecycle: [`ResourceHandle::allocate`] → one or more
+/// [`ResourceHandle::run`] calls → [`ResourceHandle::deallocate`].
+pub struct ResourceHandle {
+    inner: Inner,
+}
+
+impl ResourceHandle {
+    /// Creates a handle on the simulated backend with built-in kernels.
+    pub fn simulated(config: ResourceConfig, sim: SimulatedConfig) -> Result<Self, EntkError> {
+        Self::simulated_with_registry(config, sim, KernelRegistry::with_builtins())
+    }
+
+    /// Creates a simulated handle with a custom kernel registry.
+    pub fn simulated_with_registry(
+        config: ResourceConfig,
+        sim: SimulatedConfig,
+        registry: KernelRegistry,
+    ) -> Result<Self, EntkError> {
+        let platform = match sim.platform.clone() {
+            Some(p) => p,
+            None => PlatformSpec::by_name(&config.resource).ok_or_else(|| {
+                EntkError::Resource(format!("unknown resource {:?}", config.resource))
+            })?,
+        };
+        if config.cores == 0 || config.cores > platform.total_cores() {
+            return Err(EntkError::Resource(format!(
+                "requested {} cores; {} has {}",
+                config.cores,
+                platform.name,
+                platform.total_cores()
+            )));
+        }
+        let runtime_config = SimRuntimeConfig {
+            overheads: sim.runtime_overheads,
+            unit_failure_rate: sim.unit_failure_rate,
+            seed: sim.seed ^ 0x52_55_4E,
+            batch_policy: sim.batch_policy,
+        };
+        Ok(ResourceHandle {
+            inner: Inner::Sim(Box::new(SimDriver::new(
+                config,
+                platform,
+                registry,
+                sim.entk_overheads,
+                runtime_config,
+                sim.fault,
+                sim.seed,
+                sim.pilot_strategy,
+                sim.background_load,
+            ))),
+        })
+    }
+
+    /// Creates a handle executing kernels for real on `cores` local
+    /// core slots.
+    pub fn local(cores: usize) -> Self {
+        Self::local_with(cores, KernelRegistry::with_builtins(), FaultConfig::none())
+    }
+
+    /// Local handle with custom registry and fault policy.
+    pub fn local_with(cores: usize, registry: KernelRegistry, fault: FaultConfig) -> Self {
+        ResourceHandle {
+            inner: Inner::Local(Box::new(LocalDriver::new(cores, registry, fault))),
+        }
+    }
+
+    /// Replaces the unit scheduler (simulated backend only; ablation hook).
+    pub fn set_unit_scheduler(&mut self, s: Box<dyn UnitScheduler>) {
+        if let Inner::Sim(d) = &mut self.inner {
+            d.set_unit_scheduler(s);
+        }
+    }
+
+    /// Replaces the task-binding policy (simulated backend only) — the
+    /// paper's §V "intelligent" execution plugin.
+    pub fn set_binding_policy(&mut self, b: Box<dyn crate::binding::BindingPolicy>) {
+        if let Inner::Sim(d) = &mut self.inner {
+            d.set_binding_policy(b);
+        }
+    }
+
+    /// Acquires resources: submits the pilot and waits (in virtual time)
+    /// until its agent is active.
+    pub fn allocate(&mut self) -> Result<(), EntkError> {
+        match &mut self.inner {
+            Inner::Sim(d) => d.allocate(),
+            Inner::Local(d) => d.allocate(),
+        }
+    }
+
+    /// Runs an execution pattern to completion on the allocated resources.
+    pub fn run(&mut self, pattern: &mut dyn ExecutionPattern) -> Result<ExecutionReport, EntkError> {
+        match &mut self.inner {
+            Inner::Sim(d) => d.run(pattern),
+            Inner::Local(d) => d.run(pattern),
+        }
+    }
+
+    /// Releases resources; returns the final session report (including
+    /// teardown in the core overhead and total TTC).
+    pub fn deallocate(&mut self) -> Result<ExecutionReport, EntkError> {
+        match &mut self.inner {
+            Inner::Sim(d) => d.deallocate(),
+            Inner::Local(d) => d.deallocate(),
+        }
+    }
+}
+
+/// Convenience: allocate → run → deallocate on the simulated backend.
+/// Returns the session report: the pattern's task records with the full
+/// session TTC and complete overhead decomposition.
+pub fn run_simulated(
+    config: ResourceConfig,
+    sim: SimulatedConfig,
+    pattern: &mut dyn ExecutionPattern,
+) -> Result<ExecutionReport, EntkError> {
+    let mut handle = ResourceHandle::simulated(config, sim)?;
+    handle.allocate()?;
+    let run_report = handle.run(pattern)?;
+    let mut session = handle.deallocate()?;
+    session.pattern = run_report.pattern;
+    Ok(session)
+}

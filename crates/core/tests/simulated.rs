@@ -1,0 +1,445 @@
+//! End-to-end tests of the simulated backend: EnTK → pilot runtime →
+//! cluster, in virtual time.
+
+use entk_core::prelude::*;
+use entk_core::{EntkError, EntkOverheads};
+use serde_json::json;
+
+fn quiet_sim(seed: u64) -> SimulatedConfig {
+    SimulatedConfig {
+        seed,
+        entk_overheads: EntkOverheads::zero(),
+        runtime_overheads: entk_pilot::RuntimeOverheads::zero(),
+        ..Default::default()
+    }
+}
+
+fn sleep_bag(n: usize, secs: f64) -> BagOfTasks {
+    BagOfTasks::new(n, move |_| KernelCall::new("misc.sleep", json!({ "secs": secs })))
+}
+
+#[test]
+fn bag_of_tasks_completes_with_correct_ttc_shape() {
+    // 8 tasks of 10 s on 4 cores: two waves => exec time ≈ 20 s.
+    let config = ResourceConfig::new("local", 4, SimDuration::from_secs(100_000));
+    let mut pattern = sleep_bag(8, 10.0);
+    let report = run_simulated(config, quiet_sim(1), &mut pattern).unwrap();
+    assert_eq!(report.task_count(), 8);
+    assert_eq!(report.failed_tasks, 0);
+    let exec = report.exec_time().as_secs_f64();
+    assert!((20.0..21.5).contains(&exec), "exec time {exec}");
+    assert!(report.ttc.as_secs_f64() >= exec);
+}
+
+#[test]
+fn char_count_pipeline_on_comet() {
+    // The paper's Fig. 3 app: mkfile then ccount, tasks == cores == 24.
+    let n = 24;
+    let config = ResourceConfig::new("xsede.comet", n, SimDuration::from_secs(100_000));
+    let mut pattern = EnsembleOfPipelines::new(n, 2, |_, s| {
+        if s == 0 {
+            KernelCall::new("misc.mkfile", json!({ "bytes": 1024 }))
+        } else {
+            KernelCall::new("misc.ccount", json!({ "bytes": 1024 }))
+        }
+    })
+    .with_stage_labels(vec!["mkfile".into(), "ccount".into()]);
+    let report = run_simulated(config, SimulatedConfig::default(), &mut pattern).unwrap();
+    assert_eq!(report.task_count(), 2 * n);
+    assert_eq!(report.failed_tasks, 0);
+    // Both stages ran, each ≈1 s (fully concurrent), so stage times ≈ 1 s.
+    let mk = report.stage_time("mkfile").as_secs_f64();
+    let cc = report.stage_time("ccount").as_secs_f64();
+    assert!((0.7..2.0).contains(&mk), "mkfile stage {mk}");
+    assert!((0.7..2.0).contains(&cc), "ccount stage {cc}");
+    // Overheads recorded: core constant parts and per-task pattern part.
+    assert!(report.overheads.core.as_secs_f64() > 1.0);
+    assert!(report.overheads.pattern.as_secs_f64() > 0.0);
+    assert!(report.overheads.resource_wait.as_secs_f64() > 10.0); // job startup
+}
+
+#[test]
+fn sal_with_md_and_coco_on_stampede() {
+    let n_sims = 16;
+    let iterations = 2;
+    let config = ResourceConfig::new("xsede.stampede", n_sims, SimDuration::from_secs(1_000_000));
+    let mut pattern = SimulationAnalysisLoop::new(
+        iterations,
+        n_sims,
+        |_, i| {
+            KernelCall::new(
+                "md.amber",
+                json!({ "steps": 300, "n_atoms": 2881, "seed": i }),
+            )
+        },
+        move |_, outs| vec![KernelCall::new("ana.coco", json!({ "n_sims": outs.len() }))],
+    );
+    let report = run_simulated(config, quiet_sim(2), &mut pattern).unwrap();
+    assert_eq!(report.task_count(), iterations * (n_sims + 1));
+    assert_eq!(report.failed_tasks, 0);
+    assert!(report.stage_time("simulation") > SimDuration::ZERO);
+    assert!(report.stage_time("analysis") > SimDuration::ZERO);
+    assert_eq!(pattern.completed_iterations(), iterations);
+}
+
+#[test]
+fn ensemble_exchange_on_supermic_swaps_replicas() {
+    let n = 8;
+    let cycles = 3;
+    let config = ResourceConfig::new("lsu.supermic", n, SimDuration::from_secs(1_000_000));
+    let mut pattern = EnsembleExchange::new(
+        n,
+        cycles,
+        TemperatureLadder::geometric(n, 0.8, 2.0),
+        |r, _c, t| {
+            KernelCall::new(
+                "md.amber",
+                json!({ "steps": 300, "n_atoms": 500, "temperature": t, "seed": r }),
+            )
+        },
+    );
+    let report = run_simulated(config, quiet_sim(3), &mut pattern).unwrap();
+    assert_eq!(report.failed_tasks, 0);
+    assert_eq!(
+        report
+            .tasks
+            .iter()
+            .filter(|t| t.stage == "simulation")
+            .count(),
+        n * cycles
+    );
+    assert_eq!(
+        report.tasks.iter().filter(|t| t.stage == "exchange").count(),
+        cycles
+    );
+    let (_, attempted) = pattern.swap_stats();
+    assert!(attempted > 0);
+}
+
+#[test]
+fn identical_seeds_give_identical_reports() {
+    let run = || {
+        let config = ResourceConfig::new("xsede.comet", 16, SimDuration::from_secs(100_000));
+        let mut pattern = sleep_bag(32, 5.0);
+        run_simulated(config, SimulatedConfig { seed: 77, ..Default::default() }, &mut pattern)
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.ttc, b.ttc);
+    assert_eq!(a.overheads.pattern, b.overheads.pattern);
+    let starts = |r: &ExecutionReport| {
+        r.tasks.iter().map(|t| t.exec_start).collect::<Vec<_>>()
+    };
+    assert_eq!(starts(&a), starts(&b));
+}
+
+#[test]
+fn different_seeds_perturb_overheads() {
+    let run = |seed| {
+        let config = ResourceConfig::new("xsede.comet", 16, SimDuration::from_secs(100_000));
+        let mut pattern = sleep_bag(32, 5.0);
+        run_simulated(config, SimulatedConfig { seed, ..Default::default() }, &mut pattern).unwrap()
+    };
+    assert_ne!(run(1).ttc, run(2).ttc);
+}
+
+#[test]
+fn failure_injection_with_retries_recovers() {
+    let config = ResourceConfig::new("local", 8, SimDuration::from_secs(1_000_000));
+    let sim = SimulatedConfig {
+        seed: 5,
+        unit_failure_rate: 0.3,
+        fault: entk_core::FaultConfig::retries(10),
+        entk_overheads: EntkOverheads::zero(),
+        runtime_overheads: entk_pilot::RuntimeOverheads::zero(),
+        ..Default::default()
+    };
+    let mut pattern = sleep_bag(30, 1.0);
+    let report = run_simulated(config, sim, &mut pattern).unwrap();
+    assert_eq!(report.failed_tasks, 0, "all tasks recovered via retry");
+    assert!(report.total_retries > 0, "some retries happened");
+}
+
+#[test]
+fn failure_without_retries_reaches_pattern() {
+    let config = ResourceConfig::new("local", 8, SimDuration::from_secs(1_000_000));
+    let sim = SimulatedConfig {
+        seed: 6,
+        unit_failure_rate: 0.5,
+        fault: entk_core::FaultConfig::none(),
+        entk_overheads: EntkOverheads::zero(),
+        runtime_overheads: entk_pilot::RuntimeOverheads::zero(),
+        ..Default::default()
+    };
+    let mut pattern = sleep_bag(40, 1.0);
+    let report = run_simulated(config, sim, &mut pattern).unwrap();
+    assert!(report.failed_tasks > 0);
+    assert!(report.failed_tasks < 40, "some tasks still succeed");
+    assert_eq!(report.total_retries, 0);
+}
+
+#[test]
+fn kill_replace_times_out_stragglers() {
+    let config = ResourceConfig::new("local", 4, SimDuration::from_secs(1_000_000));
+    let sim = SimulatedConfig {
+        seed: 7,
+        fault: entk_core::FaultConfig::retries(1).with_timeout(SimDuration::from_secs(10)),
+        entk_overheads: EntkOverheads::zero(),
+        runtime_overheads: entk_pilot::RuntimeOverheads::zero(),
+        ..Default::default()
+    };
+    // One task runs 1000 s: killed at 10 s, retried once, killed again, fails.
+    let mut pattern = sleep_bag(1, 1000.0);
+    let report = run_simulated(config, sim, &mut pattern).unwrap();
+    assert_eq!(report.failed_tasks, 1);
+    assert_eq!(report.total_retries, 1);
+    assert!(
+        report.ttc.as_secs_f64() < 100.0,
+        "kill-replace bounded TTC at {}",
+        report.ttc
+    );
+}
+
+#[test]
+fn unknown_resource_is_rejected() {
+    let config = ResourceConfig::new("xsede.frontera", 8, SimDuration::from_secs(100));
+    let err = ResourceHandle::simulated(config, SimulatedConfig::default()).err();
+    assert!(matches!(err, Some(EntkError::Resource(_))));
+}
+
+#[test]
+fn oversized_request_is_rejected() {
+    let config = ResourceConfig::new("lsu.supermic", 1_000_000, SimDuration::from_secs(100));
+    assert!(ResourceHandle::simulated(config, SimulatedConfig::default()).is_err());
+}
+
+#[test]
+fn lifecycle_misuse_is_reported() {
+    let config = ResourceConfig::new("local", 4, SimDuration::from_secs(100));
+    let mut handle = ResourceHandle::simulated(config, quiet_sim(1)).unwrap();
+    let mut pattern = sleep_bag(1, 1.0);
+    assert!(matches!(handle.run(&mut pattern), Err(EntkError::Usage(_))));
+    handle.allocate().unwrap();
+    assert!(matches!(handle.allocate(), Err(EntkError::Usage(_))));
+}
+
+#[test]
+fn multiple_patterns_share_one_allocation() {
+    let config = ResourceConfig::new("local", 8, SimDuration::from_secs(1_000_000));
+    let mut handle = ResourceHandle::simulated(config, quiet_sim(9)).unwrap();
+    handle.allocate().unwrap();
+    let mut first = sleep_bag(8, 2.0);
+    let r1 = handle.run(&mut first).unwrap();
+    let mut second = sleep_bag(8, 2.0);
+    let r2 = handle.run(&mut second).unwrap();
+    let session = handle.deallocate().unwrap();
+    assert!(r2.ttc > r1.ttc, "virtual clock advances across runs");
+    assert_eq!(session.task_count(), 16);
+}
+
+#[test]
+fn pilot_walltime_expiry_fails_the_run() {
+    // Pilot wall time shorter than the workload: run() must error.
+    let config = ResourceConfig::new("local", 2, SimDuration::from_secs(30));
+    let mut handle = ResourceHandle::simulated(config, quiet_sim(4)).unwrap();
+    handle.allocate().unwrap();
+    let mut pattern = sleep_bag(10, 100.0);
+    let err = handle.run(&mut pattern);
+    assert!(matches!(err, Err(EntkError::Runtime(_))), "{err:?}");
+}
+
+#[test]
+fn mpi_tasks_occupy_multiple_cores() {
+    // Two 4-core MPI sleeps on 4 cores must serialize.
+    let config = ResourceConfig::new("local", 4, SimDuration::from_secs(100_000));
+    let mut pattern = BagOfTasks::new(2, |_| {
+        KernelCall::new("misc.sleep", json!({ "secs": 10.0 })).with_cores(4)
+    });
+    let report = run_simulated(config, quiet_sim(8), &mut pattern).unwrap();
+    let exec = report.exec_time().as_secs_f64();
+    assert!(exec >= 20.0, "serialized MPI tasks, exec {exec}");
+}
+
+#[test]
+fn pattern_overhead_scales_with_task_count() {
+    let run = |n: usize| {
+        let config = ResourceConfig::new("xsede.comet", 64, SimDuration::from_secs(1_000_000));
+        let mut pattern = sleep_bag(n, 1.0);
+        run_simulated(
+            config,
+            SimulatedConfig { seed: 11, ..Default::default() },
+            &mut pattern,
+        )
+        .unwrap()
+    };
+    let small = run(16).overheads.pattern.as_secs_f64();
+    let large = run(256).overheads.pattern.as_secs_f64();
+    assert!(
+        large > 4.0 * small,
+        "pattern overhead ∝ tasks: {small} vs {large}"
+    );
+}
+
+#[test]
+fn core_overhead_is_constant_in_task_count() {
+    let run = |n: usize| {
+        let config = ResourceConfig::new("xsede.comet", 64, SimDuration::from_secs(1_000_000));
+        let mut pattern = sleep_bag(n, 1.0);
+        run_simulated(
+            config,
+            SimulatedConfig { seed: 12, ..Default::default() },
+            &mut pattern,
+        )
+        .unwrap()
+    };
+    let small = run(16).overheads.core.as_secs_f64();
+    let large = run(256).overheads.core.as_secs_f64();
+    assert!(
+        (small - large).abs() < 0.25 * small.max(large),
+        "core overhead roughly constant: {small} vs {large}"
+    );
+}
+
+#[test]
+fn multi_pilot_strategy_completes_workload() {
+    let config = ResourceConfig::new("xsede.comet", 64, SimDuration::from_secs(1_000_000));
+    let sim = SimulatedConfig {
+        seed: 21,
+        pilot_strategy: entk_core::PilotStrategy { count: 4, wait_all: true },
+        ..Default::default()
+    };
+    let mut pattern = sleep_bag(128, 5.0);
+    let report = run_simulated(config, sim, &mut pattern).unwrap();
+    assert_eq!(report.task_count(), 128);
+    assert_eq!(report.failed_tasks, 0);
+}
+
+#[test]
+fn split_pilots_beat_one_big_pilot_under_size_dependent_queue_wait() {
+    // When queue wait grows with allocation size (shared batch queues),
+    // splitting the request clears the queue faster — the "execution
+    // strategy" rationale of paper §V / Ref.\[23\].
+    let mut platform = entk_cluster::PlatformSpec::comet();
+    platform.queue_wait_per_core = 2.0; // 2 s per requested core
+    let run = |strategy: entk_core::PilotStrategy| {
+        let config = ResourceConfig::new("xsede.comet", 64, SimDuration::from_secs(1_000_000));
+        let sim = SimulatedConfig {
+            seed: 22,
+            platform: Some(platform.clone()),
+            pilot_strategy: strategy,
+            ..Default::default()
+        };
+        let mut pattern = sleep_bag(64, 30.0);
+        run_simulated(config, sim, &mut pattern).unwrap().ttc.as_secs_f64()
+    };
+    let single = run(entk_core::PilotStrategy::single());
+    let split = run(entk_core::PilotStrategy::split(8));
+    assert!(
+        split < single,
+        "8 small pilots (late binding) should beat one big pilot: {split} vs {single}"
+    );
+}
+
+#[test]
+fn background_load_inflates_resource_wait() {
+    use entk_cluster::cluster::BackgroundLoad;
+    use entk_sim::Dist;
+    let run = |load: Option<BackgroundLoad>| {
+        let mut platform = entk_cluster::PlatformSpec::local(2, 16); // 32 cores
+        platform.job_startup = Dist::Constant(1.0);
+        let config = ResourceConfig::new("local", 24, SimDuration::from_secs(1_000_000));
+        let sim = SimulatedConfig {
+            seed: 31,
+            platform: Some(platform),
+            background_load: load,
+            entk_overheads: EntkOverheads::zero(),
+            runtime_overheads: entk_pilot::RuntimeOverheads::zero(),
+            ..Default::default()
+        };
+        let mut pattern = sleep_bag(24, 5.0);
+        run_simulated(config, sim, &mut pattern)
+            .unwrap()
+            .overheads
+            .resource_wait
+            .as_secs_f64()
+    };
+    let clean = run(None);
+    let contended = run(Some(BackgroundLoad {
+        // Two 24-core 120 s competitors already queued when the pilot is
+        // submitted: it reliably waits behind them.
+        mean_interarrival_secs: 1_000.0,
+        cores: Dist::Constant(24.0),
+        runtime: Dist::Constant(120.0),
+        initial_jobs: 2,
+    }));
+    assert!(
+        contended > clean + 30.0,
+        "contention should delay pilot activation: {clean} vs {contended}"
+    );
+}
+
+#[test]
+fn adaptive_binding_widens_mpi_tasks() {
+    // 4 MD tasks on a 64-core pilot: static binding runs them on 1 core
+    // each; adaptive binding widens each to 16 cores, cutting exec time.
+    let run = |adaptive: bool| {
+        let config = ResourceConfig::new("xsede.stampede", 64, SimDuration::from_secs(1_000_000));
+        let mut handle = ResourceHandle::simulated(config, quiet_sim(41)).unwrap();
+        if adaptive {
+            handle.set_binding_policy(Box::new(entk_core::AdaptiveMpiBinding {
+                max_cores_per_task: 64,
+            }));
+        }
+        handle.allocate().unwrap();
+        let mut pattern = BagOfTasks::new(4, |i| {
+            KernelCall::new("md.amber", json!({ "steps": 3000, "n_atoms": 2881, "seed": i }))
+        });
+        let report = handle.run(&mut pattern).unwrap();
+        handle.deallocate().unwrap();
+        report.exec_time().as_secs_f64()
+    };
+    let static_t = run(false);
+    let adaptive_t = run(true);
+    assert!(
+        adaptive_t < static_t / 4.0,
+        "adaptive binding should exploit idle cores: static {static_t}, adaptive {adaptive_t}"
+    );
+}
+
+#[test]
+fn backfill_beats_fifo_behind_a_blocked_head() {
+    // Split-pilot strategy + a huge background head job: with FIFO the
+    // small pilots wait behind it; with EASY backfill they jump it.
+    use entk_cluster::cluster::BackgroundLoad;
+    use entk_sim::Dist;
+    let run = |policy: entk_pilot::BatchPolicy| {
+        let mut platform = entk_cluster::PlatformSpec::local(4, 8); // 32 cores
+        platform.job_startup = Dist::Constant(1.0);
+        let config = ResourceConfig::new("local", 8, SimDuration::from_secs(1_000_000));
+        let sim = SimulatedConfig {
+            seed: 51,
+            platform: Some(platform),
+            batch_policy: policy,
+            // A 24-core, 500 s competitor is already queued: it starts
+            // immediately and a second one queues as the blocked head.
+            background_load: Some(BackgroundLoad {
+                mean_interarrival_secs: 10_000.0,
+                cores: Dist::Constant(24.0),
+                runtime: Dist::Constant(500.0),
+                initial_jobs: 2,
+            }),
+            entk_overheads: EntkOverheads::zero(),
+            runtime_overheads: entk_pilot::RuntimeOverheads::zero(),
+            ..Default::default()
+        };
+        let mut pattern = sleep_bag(8, 5.0);
+        run_simulated(config, sim, &mut pattern).unwrap().ttc.as_secs_f64()
+    };
+    let fifo = run(entk_pilot::BatchPolicy::Fifo);
+    let backfill = run(entk_pilot::BatchPolicy::Backfill);
+    assert!(
+        backfill + 100.0 < fifo,
+        "backfill should jump the blocked 24-core head: fifo {fifo}, backfill {backfill}"
+    );
+}

@@ -1,0 +1,375 @@
+//! Analysis kernels: `ana.coco` and `ana.lsdmap`.
+//!
+//! Both are *serial* analyses over the whole ensemble, so their cost grows
+//! linearly with the number of contributing simulations — the property the
+//! paper's SAL scaling figures (7 and 8) exhibit.
+
+use crate::plugin::{argutil, KernelError, KernelPlugin};
+use entk_analysis::{coco, lsdmap, CocoConfig, LsdmapConfig};
+use entk_cluster::PlatformSpec;
+use entk_sim::{SimDuration, SimRng};
+use serde_json::{json, Value};
+
+/// CoCo analysis kernel (`ana.coco`).
+///
+/// Real mode consumes `frames` (rows) and emits `n_new` suggested starting
+/// conformations. Model mode consumes `n_sims` and emits placeholder
+/// bookkeeping. Cost: `base_secs + per_sim_secs × n_sims` (defaults 5.0 and
+/// 0.05), serial regardless of cores.
+#[derive(Debug, Default)]
+pub struct CocoKernel;
+
+impl KernelPlugin for CocoKernel {
+    fn name(&self) -> &str {
+        "ana.coco"
+    }
+
+    fn validate(&self, args: &Value) -> Result<(), KernelError> {
+        if args.get("frames").is_none() && args.get("n_sims").is_none() {
+            return Err(KernelError::new("need frames (real) or n_sims (model)"));
+        }
+        Ok(())
+    }
+
+    fn cost(
+        &self,
+        args: &Value,
+        _cores: usize,
+        platform: &PlatformSpec,
+        rng: &mut SimRng,
+    ) -> SimDuration {
+        let n_sims = argutil::u64_or(args, "n_sims", 0) as f64;
+        let base = argutil::f64_or(args, "base_secs", 5.0);
+        let per = argutil::f64_or(args, "per_sim_secs", 0.05);
+        let jitter = (1.0 + 0.02 * rng.standard_normal()).max(0.5);
+        SimDuration::from_secs_f64((base / platform.perf_factor + per * n_sims) * jitter)
+    }
+
+    fn execute_model(&self, args: &Value, rng: &mut SimRng) -> Result<Value, KernelError> {
+        self.validate(args)?;
+        let n_new = argutil::u64_or(args, "n_new", 1);
+        Ok(json!({
+            "n_new": n_new,
+            "occupancy": 0.1 + 0.4 * rng.uniform(),
+            "modeled": true,
+        }))
+    }
+
+    fn execute(&self, args: &Value) -> Result<Value, KernelError> {
+        let frames = argutil::rows_opt(args, "frames")
+            .ok_or_else(|| KernelError::new("missing frames for real CoCo"))?;
+        if frames.is_empty() {
+            return Err(KernelError::new("CoCo needs at least one frame"));
+        }
+        let n_new = argutil::u64_or(args, "n_new", 1) as usize;
+        let config = CocoConfig {
+            n_components: argutil::u64_or(args, "n_components", 2) as usize,
+            grid: argutil::u64_or(args, "grid", 10) as usize,
+        };
+        let result = coco(&frames, n_new, config);
+        Ok(json!({
+            "n_new": result.new_starts.len(),
+            "new_starts": result.new_starts,
+            "occupancy": result.occupancy,
+            "modeled": false,
+        }))
+    }
+
+    fn input_bytes(&self, args: &Value) -> u64 {
+        argutil::u64_or(args, "n_sims", 1) * 16 * 1024
+    }
+
+    fn output_bytes(&self, args: &Value) -> u64 {
+        argutil::u64_or(args, "n_new", 1) * 8 * 1024
+    }
+}
+
+/// LSDMap analysis kernel (`ana.lsdmap`).
+///
+/// Real mode runs a diffusion map over `frames` and returns the leading
+/// diffusion coordinates; model mode uses `n_sims`. Cost: `base_secs +
+/// per_sim_secs × n_sims` (defaults 4.0 and 0.04).
+#[derive(Debug, Default)]
+pub struct LsdmapKernel;
+
+impl KernelPlugin for LsdmapKernel {
+    fn name(&self) -> &str {
+        "ana.lsdmap"
+    }
+
+    fn validate(&self, args: &Value) -> Result<(), KernelError> {
+        if args.get("frames").is_none() && args.get("n_sims").is_none() {
+            return Err(KernelError::new("need frames (real) or n_sims (model)"));
+        }
+        Ok(())
+    }
+
+    fn cost(
+        &self,
+        args: &Value,
+        _cores: usize,
+        platform: &PlatformSpec,
+        rng: &mut SimRng,
+    ) -> SimDuration {
+        let n_sims = argutil::u64_or(args, "n_sims", 0) as f64;
+        let base = argutil::f64_or(args, "base_secs", 4.0);
+        let per = argutil::f64_or(args, "per_sim_secs", 0.04);
+        let jitter = (1.0 + 0.02 * rng.standard_normal()).max(0.5);
+        SimDuration::from_secs_f64((base / platform.perf_factor + per * n_sims) * jitter)
+    }
+
+    fn execute_model(&self, args: &Value, rng: &mut SimRng) -> Result<Value, KernelError> {
+        self.validate(args)?;
+        Ok(json!({
+            "spectral_gap": 0.2 + 0.6 * rng.uniform(),
+            "modeled": true,
+        }))
+    }
+
+    fn execute(&self, args: &Value) -> Result<Value, KernelError> {
+        let frames = argutil::rows_opt(args, "frames")
+            .ok_or_else(|| KernelError::new("missing frames for real LSDMap"))?;
+        if frames.len() < 2 {
+            return Err(KernelError::new("LSDMap needs at least two frames"));
+        }
+        let config = LsdmapConfig {
+            n_coords: argutil::u64_or(args, "n_coords", 2) as usize,
+            epsilon_scale: argutil::f64_or(args, "epsilon_scale", 1.0),
+        };
+        let result = lsdmap(&frames, config);
+        let gap = if result.eigenvalues.len() > 2 {
+            result.eigenvalues[1] - result.eigenvalues[2]
+        } else {
+            0.0
+        };
+        Ok(json!({
+            "coords": result.coords,
+            "eigenvalues": result.eigenvalues[..result.eigenvalues.len().min(8)],
+            "spectral_gap": gap,
+            "epsilon": result.epsilon,
+            "modeled": false,
+        }))
+    }
+
+    fn input_bytes(&self, args: &Value) -> u64 {
+        argutil::u64_or(args, "n_sims", 1) * 16 * 1024
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(1)
+    }
+
+    fn blob_frames(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let c = if i % 2 == 0 { 0.0 } else { 15.0 };
+                vec![c + (i % 5) as f64 * 0.1, c - (i % 3) as f64 * 0.1, c]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn coco_real_returns_new_starts() {
+        let out = CocoKernel
+            .execute(&json!({ "frames": blob_frames(40), "n_new": 5 }))
+            .unwrap();
+        assert_eq!(out["n_new"], 5);
+        assert_eq!(out["new_starts"].as_array().unwrap().len(), 5);
+        assert!(out["occupancy"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn coco_model_needs_n_sims() {
+        assert!(CocoKernel.validate(&json!({})).is_err());
+        let out = CocoKernel
+            .execute_model(&json!({ "n_sims": 64, "n_new": 8 }), &mut rng())
+            .unwrap();
+        assert_eq!(out["n_new"], 8);
+        assert_eq!(out["modeled"], true);
+    }
+
+    #[test]
+    fn analysis_cost_is_serial_and_linear() {
+        let spec = PlatformSpec::stampede();
+        let mut r = rng();
+        let avg = |n: u64, cores: usize, r: &mut SimRng| {
+            (0..16)
+                .map(|_| {
+                    CocoKernel
+                        .cost(&json!({ "n_sims": n }), cores, &spec, r)
+                        .as_secs_f64()
+                })
+                .sum::<f64>()
+                / 16.0
+        };
+        // Serial: cores do not help.
+        let c1 = avg(1024, 1, &mut r);
+        let c64 = avg(1024, 64, &mut r);
+        assert!((c1 - c64).abs() / c1 < 0.1, "serial analysis: {c1} vs {c64}");
+        // Linear growth in simulations (Fig. 8's analysis curve).
+        let small = avg(64, 1, &mut r);
+        let large = avg(4096, 1, &mut r);
+        assert!(large / small > 10.0, "growth {small} -> {large}");
+    }
+
+    #[test]
+    fn lsdmap_real_separates_two_blobs() {
+        let out = LsdmapKernel
+            .execute(&json!({ "frames": blob_frames(30), "n_coords": 2 }))
+            .unwrap();
+        assert!(out["spectral_gap"].as_f64().unwrap() > 0.0);
+        assert_eq!(out["coords"].as_array().unwrap().len(), 30);
+    }
+
+    #[test]
+    fn lsdmap_rejects_tiny_inputs() {
+        assert!(LsdmapKernel
+            .execute(&json!({ "frames": [[1.0, 2.0]] }))
+            .is_err());
+        assert!(LsdmapKernel.execute(&json!({})).is_err());
+    }
+
+    #[test]
+    fn staging_grows_with_ensemble() {
+        assert!(
+            CocoKernel.input_bytes(&json!({ "n_sims": 1024 }))
+                > CocoKernel.input_bytes(&json!({ "n_sims": 64 }))
+        );
+    }
+}
+
+/// WHAM post-processing kernel (`ana.wham`): combines per-replica energy
+/// histograms from a T-REMD run into density-of-states estimates and
+/// thermodynamic observables at arbitrary temperatures.
+///
+/// Real mode: `energy_samples` (array of arrays), `temperatures` (array),
+/// `target_temps` (array, default = input temperatures), `n_bins`
+/// (default 60). Model mode: `n_samples` drives the cost only.
+#[derive(Debug, Default)]
+pub struct WhamKernel;
+
+impl KernelPlugin for WhamKernel {
+    fn name(&self) -> &str {
+        "ana.wham"
+    }
+
+    fn validate(&self, args: &Value) -> Result<(), KernelError> {
+        if args.get("energy_samples").is_none() && args.get("n_samples").is_none() {
+            return Err(KernelError::new("need energy_samples (real) or n_samples (model)"));
+        }
+        Ok(())
+    }
+
+    fn cost(
+        &self,
+        args: &Value,
+        _cores: usize,
+        platform: &PlatformSpec,
+        rng: &mut SimRng,
+    ) -> SimDuration {
+        let n = argutil::u64_or(args, "n_samples", 10_000) as f64;
+        let base = argutil::f64_or(args, "base_secs", 2.0);
+        let per = argutil::f64_or(args, "per_sample_secs", 2e-5);
+        let jitter = (1.0 + 0.02 * rng.standard_normal()).max(0.5);
+        SimDuration::from_secs_f64((base / platform.perf_factor + per * n) * jitter)
+    }
+
+    fn execute_model(&self, args: &Value, rng: &mut SimRng) -> Result<Value, KernelError> {
+        self.validate(args)?;
+        Ok(json!({ "converged": true, "residual": 1e-9 * rng.uniform(), "modeled": true }))
+    }
+
+    fn execute(&self, args: &Value) -> Result<Value, KernelError> {
+        let samples = argutil::rows_opt(args, "energy_samples")
+            .ok_or_else(|| KernelError::new("missing energy_samples"))?;
+        let temps: Vec<f64> = args
+            .get("temperatures")
+            .and_then(Value::as_array)
+            .ok_or_else(|| KernelError::new("missing temperatures"))?
+            .iter()
+            .map(|v| v.as_f64().ok_or_else(|| KernelError::new("bad temperature")))
+            .collect::<Result<_, _>>()?;
+        if samples.len() != temps.len() {
+            return Err(KernelError::new("energy_samples/temperatures length mismatch"));
+        }
+        if samples.iter().all(Vec::is_empty) {
+            return Err(KernelError::new("no energy samples"));
+        }
+        let n_bins = argutil::u64_or(args, "n_bins", 60) as usize;
+        let result = entk_analysis::wham(&samples, &temps, n_bins.max(2), 500);
+        let targets: Vec<f64> = args
+            .get("target_temps")
+            .and_then(Value::as_array)
+            .map(|a| a.iter().filter_map(Value::as_f64).collect())
+            .unwrap_or_else(|| temps.clone());
+        let mean_energies: Vec<f64> = targets.iter().map(|&t| result.mean_energy_at(t)).collect();
+        let heat_capacities: Vec<f64> =
+            targets.iter().map(|&t| result.heat_capacity_at(t)).collect();
+        Ok(json!({
+            "target_temps": targets,
+            "mean_energies": mean_energies,
+            "heat_capacities": heat_capacities,
+            "f_k": result.f_k,
+            "residual": result.residual,
+            "iterations": result.iterations,
+            "modeled": false,
+        }))
+    }
+
+    fn input_bytes(&self, args: &Value) -> u64 {
+        argutil::u64_or(args, "n_samples", 10_000) * 8
+    }
+}
+
+#[cfg(test)]
+mod wham_kernel_tests {
+    use super::*;
+
+    #[test]
+    fn wham_kernel_computes_observables() {
+        // Energies scaling with temperature (like a real system).
+        let samples: Vec<Vec<f64>> = [0.5, 1.0, 2.0]
+            .iter()
+            .map(|&t: &f64| (0..2000).map(|i| t * (4.0 + ((i * 37) % 100) as f64 / 50.0)).collect())
+            .collect();
+        let out = WhamKernel
+            .execute(&json!({
+                "energy_samples": samples,
+                "temperatures": [0.5, 1.0, 2.0],
+                "target_temps": [0.75, 1.5],
+            }))
+            .unwrap();
+        let means = out["mean_energies"].as_array().unwrap();
+        assert_eq!(means.len(), 2);
+        assert!(means[0].as_f64().unwrap() < means[1].as_f64().unwrap());
+    }
+
+    #[test]
+    fn wham_kernel_validates_inputs() {
+        assert!(WhamKernel.validate(&json!({})).is_err());
+        assert!(WhamKernel
+            .execute(&json!({ "energy_samples": [[1.0]], "temperatures": [1.0, 2.0] }))
+            .is_err());
+        assert!(WhamKernel
+            .execute(&json!({ "energy_samples": [[]], "temperatures": [1.0] }))
+            .is_err());
+    }
+
+    #[test]
+    fn wham_cost_scales_with_samples() {
+        let spec = PlatformSpec::supermic();
+        let mut r = SimRng::seed_from_u64(1);
+        let small = WhamKernel
+            .cost(&json!({ "n_samples": 1000 }), 1, &spec, &mut r)
+            .as_secs_f64();
+        let large = WhamKernel
+            .cost(&json!({ "n_samples": 1_000_000 }), 1, &spec, &mut r)
+            .as_secs_f64();
+        assert!(large > small + 10.0);
+    }
+}

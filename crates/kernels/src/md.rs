@@ -1,0 +1,411 @@
+//! MD kernels: `md.amber`, `md.gromacs`, and `md.exchange`.
+//!
+//! The science kernels of the paper's workloads. Real execution integrates
+//! the toy MD engine on the alanine-dipeptide surrogate; model execution
+//! samples energies from the temperature-dependent distribution the real
+//! engine produces. Cost models reproduce the runtime properties the paper
+//! measures: MD time ∝ steps × atoms / cores, exchange time ∝ replicas.
+
+use crate::plugin::{argutil, KernelError, KernelPlugin};
+use entk_cluster::PlatformSpec;
+use entk_md::{
+    alanine_dipeptide_surrogate, exchange_probability, EngineFlavor, MdEngine,
+};
+use entk_sim::{SimDuration, SimRng};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::{json, Value};
+
+/// Seconds per MD step per atom per core at perf_factor 1.0: calibrated so a
+/// 2881-atom, 3000-step (6 ps) single-core segment costs ≈ 22 s.
+const SECS_PER_STEP_ATOM: f64 = 2.5e-6;
+
+/// An MD-segment kernel standing in for Amber (`md.amber`) or Gromacs
+/// (`md.gromacs`).
+///
+/// Args: `n_atoms` (u64, default 2881), `steps` (u64, default 3000),
+/// `temperature` (f64, default 1.0), `seed` (u64, default 0),
+/// `record_every` (u64, default 100), `start` (rows, optional solute start
+/// conformation for real runs).
+#[derive(Debug)]
+pub struct MdKernel {
+    flavor: EngineFlavor,
+}
+
+impl MdKernel {
+    /// Amber-flavored kernel.
+    pub fn amber() -> Self {
+        MdKernel {
+            flavor: EngineFlavor::Amber,
+        }
+    }
+
+    /// Gromacs-flavored kernel.
+    pub fn gromacs() -> Self {
+        MdKernel {
+            flavor: EngineFlavor::Gromacs,
+        }
+    }
+
+    fn params(args: &Value) -> (usize, usize, f64, u64, usize) {
+        (
+            argutil::u64_or(args, "n_atoms", 2881) as usize,
+            argutil::u64_or(args, "steps", 3000) as usize,
+            argutil::f64_or(args, "temperature", 1.0),
+            argutil::u64_or(args, "seed", 0),
+            argutil::u64_or(args, "record_every", 100) as usize,
+        )
+    }
+}
+
+impl KernelPlugin for MdKernel {
+    fn name(&self) -> &str {
+        match self.flavor {
+            EngineFlavor::Amber => "md.amber",
+            EngineFlavor::Gromacs => "md.gromacs",
+        }
+    }
+
+    fn validate(&self, args: &Value) -> Result<(), KernelError> {
+        let (n_atoms, steps, t, _, _) = Self::params(args);
+        if n_atoms == 0 || steps == 0 {
+            return Err(KernelError::new("n_atoms and steps must be positive"));
+        }
+        if t <= 0.0 {
+            return Err(KernelError::new("temperature must be positive"));
+        }
+        Ok(())
+    }
+
+    fn cost(
+        &self,
+        args: &Value,
+        cores: usize,
+        platform: &PlatformSpec,
+        rng: &mut SimRng,
+    ) -> SimDuration {
+        let (n_atoms, steps, _, _, _) = Self::params(args);
+        let base = 0.5;
+        let compute = SECS_PER_STEP_ATOM * steps as f64 * n_atoms as f64
+            / (cores.max(1) as f64 * platform.perf_factor);
+        let jitter = (1.0 + 0.03 * rng.standard_normal()).max(0.5);
+        SimDuration::from_secs_f64((base + compute) * jitter)
+    }
+
+    fn execute_model(&self, args: &Value, rng: &mut SimRng) -> Result<Value, KernelError> {
+        self.validate(args)?;
+        let (n_atoms, steps, t, _, record_every) = Self::params(args);
+        // Potential-energy model matching the toy engine's behaviour:
+        // per-particle mean rises roughly linearly with temperature.
+        let mean = n_atoms as f64 * (-2.5 + 1.4 * t);
+        let sd = (n_atoms as f64).sqrt() * 0.9;
+        let potential = rng.normal(mean, sd);
+        Ok(json!({
+            "engine": self.name(),
+            "potential": potential,
+            "temperature": t,
+            "n_frames": (steps / record_every.max(1)).max(1),
+            "modeled": true,
+        }))
+    }
+
+    fn execute(&self, args: &Value) -> Result<Value, KernelError> {
+        self.validate(args)?;
+        let (n_atoms, steps, t, seed, record_every) = Self::params(args);
+        let mut sys = alanine_dipeptide_surrogate(n_atoms, seed);
+        if let Some(start) = argutil::rows_opt(args, "start") {
+            // Apply a provided solute conformation (relative coordinates
+            // around the current solute centroid).
+            if let Some(conf) = start.first() {
+                if conf.len() == 3 * sys.n_solute {
+                    let centre = sys.box_len / 2.0;
+                    for i in 0..sys.n_solute {
+                        for a in 0..3 {
+                            sys.positions[i][a] =
+                                (centre + conf[3 * i + a]).rem_euclid(sys.box_len);
+                        }
+                    }
+                }
+            }
+        }
+        sys.thermalize(t, seed ^ 0xBEEF);
+        let mut engine = MdEngine::new(self.flavor);
+        engine.config.temperature = t;
+        engine.config.record_every = record_every;
+        let result = engine.run(&mut sys, steps, seed ^ 0xD1CE);
+        let frames: Vec<Vec<f64>> = result.trajectory.frames().to_vec();
+        Ok(json!({
+            "engine": self.name(),
+            "potential": result.final_potential,
+            "temperature": result.mean_temperature,
+            "n_frames": frames.len(),
+            "frames": frames,
+            "modeled": false,
+        }))
+    }
+
+    fn input_bytes(&self, args: &Value) -> u64 {
+        // Coordinates + velocities, 6 f64 per atom.
+        let (n_atoms, _, _, _, _) = Self::params(args);
+        (n_atoms * 48) as u64
+    }
+
+    fn output_bytes(&self, args: &Value) -> u64 {
+        let (n_atoms, steps, _, _, record_every) = Self::params(args);
+        let frames = (steps / record_every.max(1)).max(1);
+        (frames * n_atoms.min(22) * 24) as u64
+    }
+}
+
+/// The temperature-exchange kernel (`md.exchange`) used in the EE pattern's
+/// exchange stage.
+///
+/// Stateless Metropolis sweep: given each replica's potential energy and
+/// current temperature, decide neighbour swaps for the given `phase`
+/// (even/odd pairing). Real and model execution are identical — the
+/// decision *is* the computation.
+///
+/// Args: `energies` (array of f64), `temperatures` (array of f64, same
+/// length, ladder-ordered per replica), `phase` (u64 0/1, default 0),
+/// `seed` (u64, default 0), `per_replica_secs` (f64 cost slope, default
+/// 0.005), `base_secs` (f64, default 1.0).
+#[derive(Debug, Default)]
+pub struct ExchangeKernel;
+
+impl ExchangeKernel {
+    fn decide(args: &Value) -> Result<Value, KernelError> {
+        let energies: Vec<f64> = args
+            .get("energies")
+            .and_then(Value::as_array)
+            .ok_or_else(|| KernelError::new("missing energies"))?
+            .iter()
+            .map(|v| v.as_f64().ok_or_else(|| KernelError::new("bad energy")))
+            .collect::<Result<_, _>>()?;
+        let temps: Vec<f64> = args
+            .get("temperatures")
+            .and_then(Value::as_array)
+            .ok_or_else(|| KernelError::new("missing temperatures"))?
+            .iter()
+            .map(|v| v.as_f64().ok_or_else(|| KernelError::new("bad temperature")))
+            .collect::<Result<_, _>>()?;
+        if energies.len() != temps.len() {
+            return Err(KernelError::new("energies/temperatures length mismatch"));
+        }
+        let phase = argutil::u64_or(args, "phase", 0) as usize % 2;
+        let seed = argutil::u64_or(args, "seed", 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Order replicas by temperature, pair ladder neighbours.
+        let n = energies.len();
+        let mut by_temp: Vec<usize> = (0..n).collect();
+        by_temp.sort_by(|&a, &b| temps[a].partial_cmp(&temps[b]).expect("finite temps"));
+        let mut swaps = Vec::new();
+        let mut attempted = 0u64;
+        let mut k = phase;
+        while k + 1 < n {
+            let (ra, rb) = (by_temp[k], by_temp[k + 1]);
+            let p = exchange_probability(energies[ra], temps[ra], energies[rb], temps[rb]);
+            attempted += 1;
+            if rng.random::<f64>() < p {
+                swaps.push(json!([ra, rb]));
+            }
+            k += 2;
+        }
+        let accepted = swaps.len() as u64;
+        Ok(json!({
+            "swaps": swaps,
+            "attempted": attempted,
+            "accepted": accepted,
+        }))
+    }
+}
+
+impl KernelPlugin for ExchangeKernel {
+    fn name(&self) -> &str {
+        "md.exchange"
+    }
+
+    fn validate(&self, args: &Value) -> Result<(), KernelError> {
+        if args.get("energies").is_none() && args.get("n_replicas").is_none() {
+            return Err(KernelError::new("need energies or n_replicas"));
+        }
+        Ok(())
+    }
+
+    fn cost(
+        &self,
+        args: &Value,
+        _cores: usize,
+        platform: &PlatformSpec,
+        rng: &mut SimRng,
+    ) -> SimDuration {
+        let n = args
+            .get("energies")
+            .and_then(Value::as_array)
+            .map(Vec::len)
+            .or_else(|| argutil::u64_req(args, "n_replicas").ok().map(|v| v as usize))
+            .unwrap_or(0) as f64;
+        let base = argutil::f64_or(args, "base_secs", 1.0);
+        let per = argutil::f64_or(args, "per_replica_secs", 0.005);
+        let jitter = (1.0 + 0.02 * rng.standard_normal()).max(0.5);
+        SimDuration::from_secs_f64((base / platform.perf_factor + per * n) * jitter)
+    }
+
+    fn execute_model(&self, args: &Value, _rng: &mut SimRng) -> Result<Value, KernelError> {
+        Self::decide(args)
+    }
+
+    fn execute(&self, args: &Value) -> Result<Value, KernelError> {
+        Self::decide(args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn amber_real_run_produces_frames_and_energy() {
+        let out = MdKernel::amber()
+            .execute(&json!({ "n_atoms": 60, "steps": 100, "record_every": 50, "seed": 3 }))
+            .unwrap();
+        assert_eq!(out["engine"], "md.amber");
+        assert_eq!(out["n_frames"], 2);
+        assert!(out["potential"].as_f64().unwrap().is_finite());
+        assert_eq!(out["frames"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn model_energy_tracks_temperature() {
+        let mut r = rng();
+        let sample = |t: f64, r: &mut SimRng| {
+            (0..32)
+                .map(|i| {
+                    MdKernel::amber()
+                        .execute_model(
+                            &json!({ "n_atoms": 500, "temperature": t, "seed": i }),
+                            r,
+                        )
+                        .unwrap()["potential"]
+                        .as_f64()
+                        .unwrap()
+                })
+                .sum::<f64>()
+                / 32.0
+        };
+        let cold = sample(0.5, &mut r);
+        let hot = sample(2.0, &mut r);
+        assert!(hot > cold, "model energies: cold {cold}, hot {hot}");
+    }
+
+    #[test]
+    fn md_cost_matches_paper_calibration() {
+        // 2881 atoms, 6 ps (3000 steps), 1 core: ≈ 22 s on perf 1.0.
+        let mut r = rng();
+        let c = MdKernel::amber()
+            .cost(&json!({}), 1, &PlatformSpec::comet(), &mut r)
+            .as_secs_f64();
+        assert!((15.0..30.0).contains(&c), "cost {c}");
+    }
+
+    #[test]
+    fn md_cost_scales_with_cores_steps_atoms() {
+        let spec = PlatformSpec::comet();
+        let mut r = SimRng::seed_from_u64(0);
+        let mut cost = |args: Value, cores| {
+            // Average over draws to suppress jitter.
+            (0..16)
+                .map(|_| MdKernel::amber().cost(&args, cores, &spec, &mut r).as_secs_f64())
+                .sum::<f64>()
+                / 16.0
+        };
+        let base = cost(json!({ "steps": 3000 }), 1);
+        let mpi16 = cost(json!({ "steps": 3000 }), 16);
+        assert!(base / mpi16 > 8.0, "MPI speedup {}", base / mpi16);
+        let short = cost(json!({ "steps": 300 }), 1);
+        assert!(base / short > 5.0, "step scaling {}", base / short);
+    }
+
+    #[test]
+    fn md_validation_rejects_nonsense() {
+        let k = MdKernel::gromacs();
+        assert!(k.validate(&json!({ "steps": 0 })).is_err());
+        assert!(k.validate(&json!({ "temperature": -1.0 })).is_err());
+        assert!(k.validate(&json!({})).is_ok());
+    }
+
+    #[test]
+    fn start_conformation_is_applied() {
+        let conf: Vec<f64> = (0..66).map(|i| (i % 7) as f64 * 0.1).collect();
+        let out = MdKernel::amber()
+            .execute(&json!({
+                "n_atoms": 60, "steps": 1, "record_every": 1, "seed": 5,
+                "start": [conf],
+            }))
+            .unwrap();
+        assert!(out["potential"].as_f64().unwrap().is_finite());
+    }
+
+    #[test]
+    fn exchange_swaps_hot_low_energy_pairs() {
+        // Replica 0: cold with high energy; replica 1: hot with low energy
+        // => certain swap.
+        let out = ExchangeKernel
+            .execute(&json!({
+                "energies": [100.0, -100.0],
+                "temperatures": [0.5, 2.0],
+                "seed": 1,
+            }))
+            .unwrap();
+        assert_eq!(out["attempted"], 1);
+        assert_eq!(out["accepted"], 1);
+        assert_eq!(out["swaps"][0][0], 0);
+        assert_eq!(out["swaps"][0][1], 1);
+    }
+
+    #[test]
+    fn exchange_phase_shifts_pairing() {
+        let args = |phase: u64| {
+            json!({
+                "energies": [0.0, 0.0, 0.0, 0.0],
+                "temperatures": [1.0, 1.2, 1.4, 1.6],
+                "phase": phase,
+            })
+        };
+        let even = ExchangeKernel.execute(&args(0)).unwrap();
+        let odd = ExchangeKernel.execute(&args(1)).unwrap();
+        assert_eq!(even["attempted"], 2);
+        assert_eq!(odd["attempted"], 1);
+    }
+
+    #[test]
+    fn exchange_cost_linear_in_replicas() {
+        let spec = PlatformSpec::supermic();
+        let mut r = SimRng::seed_from_u64(2);
+        let avg_cost = |n: u64, r: &mut SimRng| {
+            (0..16)
+                .map(|_| {
+                    ExchangeKernel
+                        .cost(&json!({ "n_replicas": n }), 1, &spec, r)
+                        .as_secs_f64()
+                })
+                .sum::<f64>()
+                / 16.0
+        };
+        let small = avg_cost(20, &mut r);
+        let large = avg_cost(2560, &mut r);
+        assert!(large > small + 10.0, "exchange cost: {small} -> {large}");
+    }
+
+    #[test]
+    fn exchange_rejects_mismatched_arrays() {
+        let err = ExchangeKernel
+            .execute(&json!({ "energies": [1.0], "temperatures": [1.0, 2.0] }))
+            .unwrap_err();
+        assert!(err.0.contains("mismatch"));
+    }
+}

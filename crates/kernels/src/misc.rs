@@ -1,0 +1,280 @@
+//! Utility kernels: `misc.mkfile`, `misc.ccount`, `misc.sleep`, `misc.stress`.
+//!
+//! `mkfile` and `ccount` are the two kernels of the paper's validation
+//! application (Fig. 3): stage 1 creates a file per task, stage 2 counts the
+//! characters in it.
+
+use crate::plugin::{argutil, KernelError, KernelPlugin};
+use entk_cluster::PlatformSpec;
+use entk_sim::{SimDuration, SimRng};
+use serde_json::{json, Value};
+use std::io::{Read, Write};
+
+/// Creates a file of `bytes` characters at `path` (real mode), or models a
+/// constant-time file creation (simulated mode).
+///
+/// Args: `path` (string, real mode), `bytes` (u64, default 1024),
+/// `base_secs` (f64 cost-model base, default 1.0).
+#[derive(Debug, Default)]
+pub struct MkfileKernel;
+
+impl KernelPlugin for MkfileKernel {
+    fn name(&self) -> &str {
+        "misc.mkfile"
+    }
+
+    fn cost(
+        &self,
+        args: &Value,
+        _cores: usize,
+        platform: &PlatformSpec,
+        rng: &mut SimRng,
+    ) -> SimDuration {
+        let base = argutil::f64_or(args, "base_secs", 1.0);
+        let bytes = argutil::u64_or(args, "bytes", 1024) as f64;
+        let io = bytes / platform.fs_bandwidth;
+        let jitter = 1.0 + 0.02 * rng.standard_normal();
+        SimDuration::from_secs_f64((base / platform.perf_factor + io) * jitter.max(0.5))
+    }
+
+    fn execute_model(&self, args: &Value, _rng: &mut SimRng) -> Result<Value, KernelError> {
+        let bytes = argutil::u64_or(args, "bytes", 1024);
+        Ok(json!({ "bytes": bytes }))
+    }
+
+    fn execute(&self, args: &Value) -> Result<Value, KernelError> {
+        let path = argutil::str_req(args, "path")?;
+        let bytes = argutil::u64_or(args, "bytes", 1024) as usize;
+        let mut f = std::fs::File::create(path)
+            .map_err(|e| KernelError::new(format!("mkfile {path:?}: {e}")))?;
+        let chunk = vec![b'x'; 8192.min(bytes.max(1))];
+        let mut written = 0;
+        while written < bytes {
+            let n = chunk.len().min(bytes - written);
+            f.write_all(&chunk[..n])
+                .map_err(|e| KernelError::new(format!("mkfile write: {e}")))?;
+            written += n;
+        }
+        Ok(json!({ "bytes": written, "path": path }))
+    }
+
+    fn output_bytes(&self, args: &Value) -> u64 {
+        argutil::u64_or(args, "bytes", 1024)
+    }
+}
+
+/// Counts characters in a file (real mode) or reports the modelled size
+/// (simulated mode).
+///
+/// Args: `path` (string, real mode), `bytes` (u64 model input, default 1024),
+/// `base_secs` (f64, default 1.0).
+#[derive(Debug, Default)]
+pub struct CcountKernel;
+
+impl KernelPlugin for CcountKernel {
+    fn name(&self) -> &str {
+        "misc.ccount"
+    }
+
+    fn cost(
+        &self,
+        args: &Value,
+        _cores: usize,
+        platform: &PlatformSpec,
+        rng: &mut SimRng,
+    ) -> SimDuration {
+        let base = argutil::f64_or(args, "base_secs", 1.0);
+        let bytes = argutil::u64_or(args, "bytes", 1024) as f64;
+        let io = bytes / platform.fs_bandwidth;
+        let jitter = 1.0 + 0.02 * rng.standard_normal();
+        SimDuration::from_secs_f64((base / platform.perf_factor + io) * jitter.max(0.5))
+    }
+
+    fn execute_model(&self, args: &Value, _rng: &mut SimRng) -> Result<Value, KernelError> {
+        let bytes = argutil::u64_or(args, "bytes", 1024);
+        Ok(json!({ "chars": bytes }))
+    }
+
+    fn execute(&self, args: &Value) -> Result<Value, KernelError> {
+        let path = argutil::str_req(args, "path")?;
+        let mut f = std::fs::File::open(path)
+            .map_err(|e| KernelError::new(format!("ccount {path:?}: {e}")))?;
+        let mut buf = [0u8; 8192];
+        let mut count: u64 = 0;
+        loop {
+            let n = f
+                .read(&mut buf)
+                .map_err(|e| KernelError::new(format!("ccount read: {e}")))?;
+            if n == 0 {
+                break;
+            }
+            count += n as u64;
+        }
+        Ok(json!({ "chars": count, "path": path }))
+    }
+
+    fn input_bytes(&self, args: &Value) -> u64 {
+        argutil::u64_or(args, "bytes", 1024)
+    }
+}
+
+/// Fixed-duration kernel for tests and calibration.
+///
+/// Args: `secs` (f64, required).
+#[derive(Debug, Default)]
+pub struct SleepKernel;
+
+impl KernelPlugin for SleepKernel {
+    fn name(&self) -> &str {
+        "misc.sleep"
+    }
+
+    fn validate(&self, args: &Value) -> Result<(), KernelError> {
+        argutil::f64_req(args, "secs").map(|_| ())
+    }
+
+    fn cost(
+        &self,
+        args: &Value,
+        _cores: usize,
+        _platform: &PlatformSpec,
+        _rng: &mut SimRng,
+    ) -> SimDuration {
+        SimDuration::from_secs_f64(argutil::f64_or(args, "secs", 0.0))
+    }
+
+    fn execute_model(&self, args: &Value, _rng: &mut SimRng) -> Result<Value, KernelError> {
+        Ok(json!({ "slept": argutil::f64_or(args, "secs", 0.0) }))
+    }
+
+    fn execute(&self, args: &Value) -> Result<Value, KernelError> {
+        let secs = argutil::f64_req(args, "secs")?;
+        std::thread::sleep(std::time::Duration::from_secs_f64(secs.min(5.0)));
+        Ok(json!({ "slept": secs }))
+    }
+}
+
+/// CPU-burning kernel for local throughput experiments.
+///
+/// Args: `iters` (u64, default 1e6).
+#[derive(Debug, Default)]
+pub struct StressKernel;
+
+impl KernelPlugin for StressKernel {
+    fn name(&self) -> &str {
+        "misc.stress"
+    }
+
+    fn cost(
+        &self,
+        args: &Value,
+        cores: usize,
+        platform: &PlatformSpec,
+        _rng: &mut SimRng,
+    ) -> SimDuration {
+        let iters = argutil::u64_or(args, "iters", 1_000_000) as f64;
+        // ~50 M simple float ops per second per modelled core.
+        SimDuration::from_secs_f64(iters / (5e7 * platform.perf_factor * cores as f64))
+    }
+
+    fn execute_model(&self, args: &Value, _rng: &mut SimRng) -> Result<Value, KernelError> {
+        Ok(json!({ "iters": argutil::u64_or(args, "iters", 1_000_000) }))
+    }
+
+    fn execute(&self, args: &Value) -> Result<Value, KernelError> {
+        let iters = argutil::u64_or(args, "iters", 1_000_000);
+        let mut acc = 0.0f64;
+        for i in 0..iters {
+            acc += ((i % 1000) as f64).sqrt();
+        }
+        Ok(json!({ "iters": iters, "acc": acc }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn mkfile_then_ccount_roundtrip_on_disk() {
+        let dir = std::env::temp_dir().join("entk-kernels-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mkfile-roundtrip.txt");
+        let path_s = path.to_str().unwrap();
+
+        let out = MkfileKernel
+            .execute(&json!({ "path": path_s, "bytes": 20_000 }))
+            .unwrap();
+        assert_eq!(out["bytes"], 20_000);
+
+        let counted = CcountKernel.execute(&json!({ "path": path_s })).unwrap();
+        assert_eq!(counted["chars"], 20_000);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ccount_missing_file_fails() {
+        let err = CcountKernel
+            .execute(&json!({ "path": "/nonexistent/entk/file" }))
+            .unwrap_err();
+        assert!(err.0.contains("ccount"));
+    }
+
+    #[test]
+    fn mkfile_model_matches_bytes() {
+        let out = MkfileKernel
+            .execute_model(&json!({ "bytes": 4096 }), &mut rng())
+            .unwrap();
+        assert_eq!(out["bytes"], 4096);
+    }
+
+    #[test]
+    fn costs_are_near_base_and_platform_scaled() {
+        let comet = PlatformSpec::comet();
+        let mut r = rng();
+        let c = MkfileKernel
+            .cost(&json!({ "base_secs": 2.0 }), 1, &comet, &mut r)
+            .as_secs_f64();
+        assert!((c - 2.0).abs() < 0.3, "cost {c}");
+        // Slower platform (perf_factor < 1) costs more.
+        let supermic = PlatformSpec::supermic();
+        let c2 = CcountKernel
+            .cost(&json!({ "base_secs": 2.0 }), 1, &supermic, &mut r)
+            .as_secs_f64();
+        assert!(c2 > 2.0, "cost {c2}");
+    }
+
+    #[test]
+    fn sleep_validates_and_models() {
+        assert!(SleepKernel.validate(&json!({})).is_err());
+        assert!(SleepKernel.validate(&json!({ "secs": 3.0 })).is_ok());
+        let d = SleepKernel.cost(&json!({ "secs": 3.0 }), 1, &PlatformSpec::comet(), &mut rng());
+        assert_eq!(d, SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn stress_cost_scales_inverse_with_cores() {
+        let comet = PlatformSpec::comet();
+        let mut r = rng();
+        let args = json!({ "iters": 100_000_000u64 });
+        let c1 = StressKernel.cost(&args, 1, &comet, &mut r).as_secs_f64();
+        let c4 = StressKernel.cost(&args, 4, &comet, &mut r).as_secs_f64();
+        assert!((c1 / c4 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stress_executes_real_work() {
+        let out = StressKernel.execute(&json!({ "iters": 10_000u64 })).unwrap();
+        assert!(out["acc"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn staging_sizes_follow_bytes() {
+        assert_eq!(MkfileKernel.output_bytes(&json!({ "bytes": 555 })), 555);
+        assert_eq!(CcountKernel.input_bytes(&json!({ "bytes": 777 })), 777);
+    }
+}

@@ -1,0 +1,286 @@
+//! The kernel-plugin abstraction (paper §III-B, component 2).
+//!
+//! A kernel plugin "abstracts a computational task … an instantiation of a
+//! specific science tool along with the required software environment",
+//! hiding tool- and resource-specific peculiarities. Here a plugin exposes
+//! three faces:
+//!
+//! * a **cost model** — platform-aware estimated runtime, used when units
+//!   execute in virtual time;
+//! * a **model execution** — a cheap surrogate producing the *semantic*
+//!   outputs patterns need (energies for exchanges, new starts from
+//!   analysis) during simulated runs;
+//! * a **real execution** — the actual computation (file I/O, toy MD,
+//!   PCA/diffusion maps) for local runs.
+
+use entk_cluster::PlatformSpec;
+use entk_sim::{SimDuration, SimRng};
+use serde_json::Value;
+use std::fmt;
+
+/// Error raised by kernel validation or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelError(pub String);
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "kernel error: {}", self.0)
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+impl KernelError {
+    /// Convenience constructor.
+    pub fn new(msg: impl Into<String>) -> Self {
+        KernelError(msg.into())
+    }
+}
+
+/// A bound kernel invocation: plugin name plus instantiation arguments.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct KernelCall {
+    /// Registry key, e.g. `"md.amber"`.
+    pub plugin: String,
+    /// Kernel-specific arguments.
+    pub args: Value,
+    /// Cores the task uses.
+    pub cores: usize,
+    /// Whether the task is MPI (multi-core).
+    pub mpi: bool,
+}
+
+impl KernelCall {
+    /// Creates a single-core call.
+    pub fn new(plugin: impl Into<String>, args: Value) -> Self {
+        KernelCall {
+            plugin: plugin.into(),
+            args,
+            cores: 1,
+            mpi: false,
+        }
+    }
+
+    /// Sets core count and MPI flag (builder style).
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores = cores;
+        self.mpi = cores > 1;
+        self
+    }
+}
+
+/// The kernel-plugin interface.
+pub trait KernelPlugin: Send + Sync {
+    /// Registry name, e.g. `"md.amber"`.
+    fn name(&self) -> &str;
+
+    /// Validates instantiation arguments.
+    fn validate(&self, _args: &Value) -> Result<(), KernelError> {
+        Ok(())
+    }
+
+    /// Estimated wall time on `platform` using `cores` cores.
+    fn cost(
+        &self,
+        args: &Value,
+        cores: usize,
+        platform: &PlatformSpec,
+        rng: &mut SimRng,
+    ) -> SimDuration;
+
+    /// Cheap surrogate execution for simulated runs.
+    fn execute_model(&self, args: &Value, rng: &mut SimRng) -> Result<Value, KernelError>;
+
+    /// Real execution for local runs.
+    fn execute(&self, args: &Value) -> Result<Value, KernelError>;
+
+    /// Modelled input staging volume in bytes.
+    fn input_bytes(&self, _args: &Value) -> u64 {
+        0
+    }
+
+    /// Modelled output staging volume in bytes.
+    fn output_bytes(&self, _args: &Value) -> u64 {
+        0
+    }
+}
+
+/// Helpers for pulling typed fields out of kernel args.
+pub mod argutil {
+    use super::KernelError;
+    use serde_json::Value;
+
+    /// Required f64 field.
+    pub fn f64_req(args: &Value, key: &str) -> Result<f64, KernelError> {
+        args.get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| KernelError::new(format!("missing/invalid f64 field {key:?}")))
+    }
+
+    /// Optional f64 field with default.
+    pub fn f64_or(args: &Value, key: &str, default: f64) -> f64 {
+        args.get(key).and_then(Value::as_f64).unwrap_or(default)
+    }
+
+    /// Required u64 field.
+    pub fn u64_req(args: &Value, key: &str) -> Result<u64, KernelError> {
+        args.get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| KernelError::new(format!("missing/invalid u64 field {key:?}")))
+    }
+
+    /// Optional u64 field with default.
+    pub fn u64_or(args: &Value, key: &str, default: u64) -> u64 {
+        args.get(key).and_then(Value::as_u64).unwrap_or(default)
+    }
+
+    /// Required string field.
+    pub fn str_req<'a>(args: &'a Value, key: &str) -> Result<&'a str, KernelError> {
+        args.get(key)
+            .and_then(Value::as_str)
+            .ok_or_else(|| KernelError::new(format!("missing/invalid string field {key:?}")))
+    }
+
+    /// Optional nested array of f64 rows (e.g. conformations).
+    pub fn rows_opt(args: &Value, key: &str) -> Option<Vec<Vec<f64>>> {
+        let arr = args.get(key)?.as_array()?;
+        let mut rows = Vec::with_capacity(arr.len());
+        for row in arr {
+            let row = row
+                .as_array()?
+                .iter()
+                .map(|v| v.as_f64())
+                .collect::<Option<Vec<f64>>>()?;
+            rows.push(row);
+        }
+        Some(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::argutil::*;
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn kernel_call_builder() {
+        let call = KernelCall::new("md.amber", json!({"steps": 100})).with_cores(16);
+        assert_eq!(call.cores, 16);
+        assert!(call.mpi);
+        let single = KernelCall::new("misc.mkfile", json!({}));
+        assert!(!single.mpi);
+    }
+
+    #[test]
+    fn argutil_extracts_typed_fields() {
+        let args = json!({"a": 1.5, "b": 7, "c": "hi", "rows": [[1.0, 2.0], [3.0, 4.0]]});
+        assert_eq!(f64_req(&args, "a").unwrap(), 1.5);
+        assert_eq!(u64_req(&args, "b").unwrap(), 7);
+        assert_eq!(str_req(&args, "c").unwrap(), "hi");
+        assert_eq!(f64_or(&args, "missing", 9.0), 9.0);
+        assert_eq!(u64_or(&args, "missing", 3), 3);
+        let rows = rows_opt(&args, "rows").unwrap();
+        assert_eq!(rows, vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+    }
+
+    #[test]
+    fn argutil_reports_missing_fields() {
+        let args = json!({});
+        assert!(f64_req(&args, "x").is_err());
+        assert!(u64_req(&args, "x").is_err());
+        assert!(str_req(&args, "x").is_err());
+        assert!(rows_opt(&args, "x").is_none());
+    }
+
+    #[test]
+    fn argutil_rejects_wrong_types() {
+        let args = json!({"x": "not a number", "rows": [[1.0], ["bad"]]});
+        assert!(f64_req(&args, "x").is_err());
+        assert!(rows_opt(&args, "rows").is_none());
+    }
+}
+
+#[cfg(test)]
+mod serde_tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn kernel_call_serde_roundtrip() {
+        let call = KernelCall::new("md.amber", json!({"steps": 100, "temperature": 1.5}))
+            .with_cores(8);
+        let text = serde_json::to_string(&call).unwrap();
+        let back: KernelCall = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, call);
+        assert!(back.mpi);
+    }
+}
+
+#[cfg(test)]
+mod cost_model_props {
+    use crate::registry::KernelRegistry;
+    use entk_cluster::PlatformSpec;
+    use entk_sim::SimRng;
+    use proptest::prelude::*;
+    use serde_json::json;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Every built-in kernel's cost model yields a finite, bounded
+        /// duration on every platform for arbitrary basic parameters.
+        #[test]
+        fn prop_costs_are_sane(
+            steps in 1u64..10_000,
+            n_atoms in 1u64..5_000,
+            cores in 1usize..64,
+            seed in 0u64..100,
+        ) {
+            let registry = KernelRegistry::with_builtins();
+            let mut rng = SimRng::seed_from_u64(seed);
+            let platforms = [
+                PlatformSpec::comet(),
+                PlatformSpec::stampede(),
+                PlatformSpec::supermic(),
+            ];
+            let args = json!({
+                "steps": steps, "n_atoms": n_atoms, "bytes": n_atoms,
+                "secs": steps as f64 / 1000.0, "iters": steps,
+                "n_sims": n_atoms, "n_replicas": n_atoms, "n_samples": steps,
+            });
+            for platform in &platforms {
+                for name in registry.names() {
+                    let plugin = registry.get(name).unwrap();
+                    let cost = plugin.cost(&args, cores, platform, &mut rng);
+                    let secs = cost.as_secs_f64();
+                    prop_assert!(secs.is_finite(), "{name} cost not finite");
+                    prop_assert!(secs >= 0.0, "{name} cost negative");
+                    prop_assert!(secs < 1e7, "{name} cost absurd: {secs}");
+                }
+            }
+        }
+
+        /// MPI-capable kernels never cost more with more cores.
+        #[test]
+        fn prop_md_cost_monotone_in_cores(steps in 100u64..5_000, seed in 0u64..50) {
+            let registry = KernelRegistry::with_builtins();
+            let plugin = registry.get("md.amber").unwrap();
+            let platform = PlatformSpec::stampede();
+            let args = json!({ "steps": steps, "n_atoms": 2881 });
+            // Average over draws to suppress jitter.
+            let avg = |cores: usize, seed: u64| {
+                let mut rng = SimRng::seed_from_u64(seed);
+                (0..16)
+                    .map(|_| plugin.cost(&args, cores, &platform, &mut rng).as_secs_f64())
+                    .sum::<f64>()
+                    / 16.0
+            };
+            let c1 = avg(1, seed);
+            let c8 = avg(8, seed);
+            let c64 = avg(64, seed);
+            prop_assert!(c8 < c1, "8 cores faster than 1: {c8} vs {c1}");
+            prop_assert!(c64 < c8, "64 cores faster than 8: {c64} vs {c8}");
+        }
+    }
+}

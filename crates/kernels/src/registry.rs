@@ -1,0 +1,150 @@
+//! The kernel-plugin registry: name → plugin lookup, with all built-in
+//! kernels pre-registered. Applications may register custom kernels, which
+//! is the paper's "define kernel plugins for the stages of the pattern"
+//! step (Fig. 1, step 2).
+
+use crate::analysis::{CocoKernel, LsdmapKernel, WhamKernel};
+use crate::md::{ExchangeKernel, MdKernel};
+use crate::misc::{CcountKernel, MkfileKernel, SleepKernel, StressKernel};
+use crate::plugin::{KernelError, KernelPlugin};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A shared, thread-safe kernel registry.
+///
+/// ```
+/// use entk_kernels::KernelRegistry;
+/// use serde_json::json;
+///
+/// let registry = KernelRegistry::with_builtins();
+/// let kernel = registry.get("misc.ccount").unwrap();
+/// let out = kernel
+///     .execute_model(&json!({ "bytes": 42 }), &mut entk_sim::SimRng::seed_from_u64(1))
+///     .unwrap();
+/// assert_eq!(out["chars"], 42);
+/// ```
+#[derive(Clone)]
+pub struct KernelRegistry {
+    plugins: HashMap<String, Arc<dyn KernelPlugin>>,
+}
+
+impl KernelRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        KernelRegistry {
+            plugins: HashMap::new(),
+        }
+    }
+
+    /// A registry with every built-in kernel.
+    pub fn with_builtins() -> Self {
+        let mut r = Self::empty();
+        r.register(Arc::new(MkfileKernel));
+        r.register(Arc::new(CcountKernel));
+        r.register(Arc::new(SleepKernel));
+        r.register(Arc::new(StressKernel));
+        r.register(Arc::new(MdKernel::amber()));
+        r.register(Arc::new(MdKernel::gromacs()));
+        r.register(Arc::new(ExchangeKernel));
+        r.register(Arc::new(CocoKernel));
+        r.register(Arc::new(LsdmapKernel));
+        r.register(Arc::new(WhamKernel));
+        r
+    }
+
+    /// Registers (or replaces) a plugin under its own name.
+    pub fn register(&mut self, plugin: Arc<dyn KernelPlugin>) {
+        self.plugins.insert(plugin.name().to_string(), plugin);
+    }
+
+    /// Looks up a plugin.
+    pub fn get(&self, name: &str) -> Result<Arc<dyn KernelPlugin>, KernelError> {
+        self.plugins
+            .get(name)
+            .cloned()
+            .ok_or_else(|| KernelError::new(format!("unknown kernel plugin {name:?}")))
+    }
+
+    /// Registered plugin names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.plugins.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+impl Default for KernelRegistry {
+    fn default() -> Self {
+        Self::with_builtins()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entk_cluster::PlatformSpec;
+    use entk_sim::SimRng;
+    use serde_json::json;
+
+    #[test]
+    fn builtins_are_registered() {
+        let r = KernelRegistry::with_builtins();
+        for name in [
+            "misc.mkfile",
+            "misc.ccount",
+            "misc.sleep",
+            "misc.stress",
+            "md.amber",
+            "md.gromacs",
+            "md.exchange",
+            "ana.coco",
+            "ana.lsdmap",
+            "ana.wham",
+        ] {
+            assert!(r.get(name).is_ok(), "{name} missing");
+        }
+        assert_eq!(r.names().len(), 10);
+    }
+
+    #[test]
+    fn unknown_kernel_is_an_error() {
+        let r = KernelRegistry::with_builtins();
+        let err = r.get("md.namd").err().expect("lookup fails");
+        assert!(err.0.contains("md.namd"));
+    }
+
+    #[test]
+    fn custom_kernel_can_be_registered() {
+        struct Custom;
+        impl KernelPlugin for Custom {
+            fn name(&self) -> &str {
+                "custom.k"
+            }
+            fn cost(
+                &self,
+                _: &serde_json::Value,
+                _: usize,
+                _: &PlatformSpec,
+                _: &mut SimRng,
+            ) -> entk_sim::SimDuration {
+                entk_sim::SimDuration::from_secs(1)
+            }
+            fn execute_model(
+                &self,
+                _: &serde_json::Value,
+                _: &mut SimRng,
+            ) -> Result<serde_json::Value, crate::plugin::KernelError> {
+                Ok(json!({}))
+            }
+            fn execute(
+                &self,
+                _: &serde_json::Value,
+            ) -> Result<serde_json::Value, crate::plugin::KernelError> {
+                Ok(json!({}))
+            }
+        }
+        let mut r = KernelRegistry::empty();
+        r.register(Arc::new(Custom));
+        assert!(r.get("custom.k").is_ok());
+    }
+}

@@ -1,0 +1,191 @@
+//! Cell lists: O(N) neighbour finding for the Lennard-Jones pair loop.
+//!
+//! The naive pair loop in [`crate::forcefield`] is O(N²); for the paper's
+//! 2881-atom system executed locally that cost dominates. A cell list bins
+//! particles into cubic cells no smaller than the cutoff, so interaction
+//! candidates come only from the 27 neighbouring cells. Falls back to the
+//! naive loop when the box is too small for at least 3 cells per side
+//! (otherwise neighbour cells alias under periodic wrap).
+
+use crate::system::MolecularSystem;
+
+/// A cell decomposition of the simulation box.
+pub struct CellList {
+    /// Cells per side.
+    cells_per_side: usize,
+    /// Particle indices per cell, flattened `ix·m² + iy·m + iz`.
+    bins: Vec<Vec<usize>>,
+    cell_len: f64,
+}
+
+impl CellList {
+    /// Builds a cell list for `sys` with cells at least `min_cell` long
+    /// (use the force-field cutoff). Returns `None` when fewer than 3
+    /// cells fit per side — callers should fall back to the naive loop.
+    pub fn build(sys: &MolecularSystem, min_cell: f64) -> Option<CellList> {
+        assert!(min_cell > 0.0, "cell size must be positive");
+        let m = (sys.box_len / min_cell).floor() as usize;
+        if m < 3 {
+            return None;
+        }
+        let cell_len = sys.box_len / m as f64;
+        let mut bins = vec![Vec::new(); m * m * m];
+        for (i, p) in sys.positions.iter().enumerate() {
+            let idx = Self::cell_index(p, cell_len, m);
+            bins[idx].push(i);
+        }
+        Some(CellList {
+            cells_per_side: m,
+            bins,
+            cell_len,
+        })
+    }
+
+    fn cell_index(p: &[f64; 3], cell_len: f64, m: usize) -> usize {
+        let mut idx = 0;
+        for a in 0..3 {
+            let mut k = (p[a] / cell_len) as usize;
+            if k >= m {
+                k = m - 1; // guard against p == box_len edge
+            }
+            idx = idx * m + k;
+        }
+        idx
+    }
+
+    /// Cells per side.
+    pub fn cells_per_side(&self) -> usize {
+        self.cells_per_side
+    }
+
+    /// Edge length of one cell.
+    pub fn cell_len(&self) -> f64 {
+        self.cell_len
+    }
+
+    /// Calls `f(i, j)` for every candidate pair `(i < j)` within the same
+    /// or neighbouring (periodic) cells. Pairs farther than one cell apart
+    /// are never visited; pairs within the cutoff always are (cell length
+    /// ≥ cutoff by construction).
+    pub fn for_each_pair(&self, mut f: impl FnMut(usize, usize)) {
+        let m = self.cells_per_side as isize;
+        let cell_of = |x: isize, y: isize, z: isize| -> usize {
+            let w = |v: isize| v.rem_euclid(m) as usize;
+            (w(x) * self.cells_per_side + w(y)) * self.cells_per_side + w(z)
+        };
+        for x in 0..m {
+            for y in 0..m {
+                for z in 0..m {
+                    let home = cell_of(x, y, z);
+                    let home_bin = &self.bins[home];
+                    // Within the home cell.
+                    for (a, &i) in home_bin.iter().enumerate() {
+                        for &j in &home_bin[a + 1..] {
+                            f(i.min(j), i.max(j));
+                        }
+                    }
+                    // Against half the neighbour cells (13 of 26) so each
+                    // cell pair is visited once.
+                    for &(dx, dy, dz) in HALF_NEIGHBOURS {
+                        let other = cell_of(x + dx, y + dy, z + dz);
+                        if other == home {
+                            continue; // aliasing cannot happen for m >= 3
+                        }
+                        for &i in home_bin {
+                            for &j in &self.bins[other] {
+                                f(i.min(j), i.max(j));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Half of the 26 neighbour offsets: each unordered cell pair appears once.
+const HALF_NEIGHBOURS: &[(isize, isize, isize)] = &[
+    (1, 0, 0),
+    (0, 1, 0),
+    (0, 0, 1),
+    (1, 1, 0),
+    (1, -1, 0),
+    (1, 0, 1),
+    (1, 0, -1),
+    (0, 1, 1),
+    (0, 1, -1),
+    (1, 1, 1),
+    (1, 1, -1),
+    (1, -1, 1),
+    (1, -1, -1),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::alanine_dipeptide_surrogate;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_close_pairs_are_candidates() {
+        let sys = alanine_dipeptide_surrogate(200, 3);
+        let cutoff = 2.5;
+        let cl = CellList::build(&sys, cutoff).expect("box large enough");
+        let mut candidates = HashSet::new();
+        cl.for_each_pair(|i, j| {
+            candidates.insert((i, j));
+        });
+        for i in 0..sys.len() {
+            for j in (i + 1)..sys.len() {
+                let d = sys.min_image(i, j);
+                let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+                if r2 < cutoff * cutoff {
+                    assert!(
+                        candidates.contains(&(i, j)),
+                        "pair ({i},{j}) at r={} missed",
+                        r2.sqrt()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_pair_visited_twice() {
+        let sys = alanine_dipeptide_surrogate(150, 4);
+        let cl = CellList::build(&sys, 2.5).expect("box large enough");
+        let mut seen = HashSet::new();
+        cl.for_each_pair(|i, j| {
+            assert!(i < j, "pairs must be ordered");
+            assert!(seen.insert((i, j)), "pair ({i},{j}) visited twice");
+        });
+    }
+
+    #[test]
+    fn candidate_count_is_subquadratic() {
+        let sys = alanine_dipeptide_surrogate(1000, 5);
+        let cl = CellList::build(&sys, 2.5).expect("box large enough");
+        let mut count = 0usize;
+        cl.for_each_pair(|_, _| count += 1);
+        let all_pairs = 1000 * 999 / 2;
+        assert!(
+            count < all_pairs / 2,
+            "cell list should prune most pairs: {count} of {all_pairs}"
+        );
+    }
+
+    #[test]
+    fn tiny_box_returns_none() {
+        let sys = alanine_dipeptide_surrogate(8, 1);
+        // Cutoff comparable to the box: fewer than 3 cells per side.
+        assert!(CellList::build(&sys, sys.box_len / 2.0).is_none());
+    }
+
+    #[test]
+    fn every_particle_lands_in_exactly_one_cell() {
+        let sys = alanine_dipeptide_surrogate(300, 6);
+        let cl = CellList::build(&sys, 2.5).expect("box large enough");
+        let total: usize = cl.bins.iter().map(Vec::len).sum();
+        assert_eq!(total, sys.len());
+    }
+}

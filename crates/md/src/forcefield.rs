@@ -1,0 +1,390 @@
+//! Force field: truncated-shifted Lennard-Jones + harmonic bonds.
+
+use crate::system::{MolecularSystem, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Force-field parameters (reduced units).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForceField {
+    /// LJ well depth.
+    pub epsilon: f64,
+    /// LJ diameter.
+    pub sigma: f64,
+    /// LJ cutoff radius.
+    pub cutoff: f64,
+}
+
+impl Default for ForceField {
+    fn default() -> Self {
+        ForceField {
+            epsilon: 1.0,
+            sigma: 1.0,
+            cutoff: 2.5,
+        }
+    }
+}
+
+/// Particle count above which the cell-list path is attempted.
+const CELL_LIST_THRESHOLD: usize = 128;
+
+impl ForceField {
+    /// Computes forces into `forces` (overwritten) and returns the potential
+    /// energy. Uses an O(N) cell list when the system is large enough and
+    /// the box fits at least 3 cells per side; falls back to the O(N²)
+    /// minimum-image pair loop otherwise. Both paths produce identical
+    /// results (covered by a property test).
+    pub fn compute(&self, sys: &MolecularSystem, forces: &mut Vec<Vec3>) -> f64 {
+        let n = sys.len();
+        forces.clear();
+        forces.resize(n, [0.0; 3]);
+        let mut potential = 0.0;
+        let rc2 = self.cutoff * self.cutoff;
+        // Energy shift so the potential is continuous at the cutoff.
+        let sr6c = (self.sigma * self.sigma / rc2).powi(3);
+        let shift = 4.0 * self.epsilon * (sr6c * sr6c - sr6c);
+
+        let pair = |i: usize, j: usize, forces: &mut Vec<Vec3>, potential: &mut f64| {
+            let d = sys.min_image(i, j);
+            let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+            if r2 >= rc2 || r2 == 0.0 {
+                return;
+            }
+            let sr2 = self.sigma * self.sigma / r2;
+            let sr6 = sr2 * sr2 * sr2;
+            let sr12 = sr6 * sr6;
+            *potential += 4.0 * self.epsilon * (sr12 - sr6) - shift;
+            let fmag = 24.0 * self.epsilon * (2.0 * sr12 - sr6) / r2;
+            for a in 0..3 {
+                forces[i][a] += fmag * d[a];
+                forces[j][a] -= fmag * d[a];
+            }
+        };
+
+        let cell_list = if n >= CELL_LIST_THRESHOLD && self.epsilon != 0.0 {
+            crate::celllist::CellList::build(sys, self.cutoff)
+        } else {
+            None
+        };
+        match cell_list {
+            Some(cl) => cl.for_each_pair(|i, j| pair(i, j, forces, &mut potential)),
+            None => {
+                if self.epsilon != 0.0 {
+                    for i in 0..n {
+                        for j in (i + 1)..n {
+                            pair(i, j, forces, &mut potential);
+                        }
+                    }
+                }
+            }
+        }
+        // Harmonic bonds.
+        for b in &sys.bonds {
+            let d = sys.min_image(b.i, b.j);
+            let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+            if r == 0.0 {
+                continue;
+            }
+            let dr = r - b.r0;
+            potential += 0.5 * b.k * dr * dr;
+            let fmag = -b.k * dr / r;
+            for a in 0..3 {
+                forces[b.i][a] += fmag * d[a];
+                forces[b.j][a] -= fmag * d[a];
+            }
+        }
+        potential
+    }
+
+    /// Reference O(N²) implementation, kept for verification: the cell-list
+    /// path must agree with this exactly (up to floating-point summation
+    /// order).
+    pub fn compute_naive(&self, sys: &MolecularSystem, forces: &mut Vec<Vec3>) -> f64 {
+        let n = sys.len();
+        forces.clear();
+        forces.resize(n, [0.0; 3]);
+        let mut potential = 0.0;
+        let rc2 = self.cutoff * self.cutoff;
+        let sr6c = (self.sigma * self.sigma / rc2).powi(3);
+        let shift = 4.0 * self.epsilon * (sr6c * sr6c - sr6c);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = sys.min_image(i, j);
+                let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+                if r2 >= rc2 || r2 == 0.0 {
+                    continue;
+                }
+                let sr2 = self.sigma * self.sigma / r2;
+                let sr6 = sr2 * sr2 * sr2;
+                let sr12 = sr6 * sr6;
+                potential += 4.0 * self.epsilon * (sr12 - sr6) - shift;
+                let fmag = 24.0 * self.epsilon * (2.0 * sr12 - sr6) / r2;
+                for a in 0..3 {
+                    forces[i][a] += fmag * d[a];
+                    forces[j][a] -= fmag * d[a];
+                }
+            }
+        }
+        for b in &sys.bonds {
+            let d = sys.min_image(b.i, b.j);
+            let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+            if r == 0.0 {
+                continue;
+            }
+            let dr = r - b.r0;
+            potential += 0.5 * b.k * dr * dr;
+            let fmag = -b.k * dr / r;
+            for a in 0..3 {
+                forces[b.i][a] += fmag * d[a];
+                forces[b.j][a] -= fmag * d[a];
+            }
+        }
+        potential
+    }
+
+    /// Potential energy only.
+    pub fn potential_energy(&self, sys: &MolecularSystem) -> f64 {
+        let mut scratch = Vec::new();
+        self.compute(sys, &mut scratch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::Bond;
+
+    /// Two particles at given separation in a huge box (no periodic effects).
+    fn dimer(r: f64, bonded: bool) -> MolecularSystem {
+        MolecularSystem {
+            positions: vec![[0.0; 3], [r, 0.0, 0.0]],
+            velocities: vec![[0.0; 3]; 2],
+            masses: vec![1.0; 2],
+            bonds: if bonded {
+                vec![Bond {
+                    i: 0,
+                    j: 1,
+                    r0: 1.0,
+                    k: 10.0,
+                }]
+            } else {
+                Vec::new()
+            },
+            n_solute: 2,
+            box_len: 1000.0,
+        }
+    }
+
+    #[test]
+    fn lj_minimum_at_two_sixth_sigma() {
+        let ff = ForceField::default();
+        let rmin = 2f64.powf(1.0 / 6.0);
+        let mut forces = Vec::new();
+        let e_min = ff.compute(&dimer(rmin, false), &mut forces);
+        // Force ~0 at the minimum.
+        assert!(forces[0][0].abs() < 1e-9, "force {forces:?}");
+        // Energy below neighbours.
+        let e_lo = ff.potential_energy(&dimer(rmin - 0.05, false));
+        let e_hi = ff.potential_energy(&dimer(rmin + 0.05, false));
+        assert!(e_min < e_lo && e_min < e_hi);
+    }
+
+    #[test]
+    fn forces_are_equal_and_opposite() {
+        let ff = ForceField::default();
+        let mut forces = Vec::new();
+        ff.compute(&dimer(1.1, true), &mut forces);
+        for a in 0..3 {
+            assert!((forces[0][a] + forces[1][a]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn potential_is_zero_beyond_cutoff() {
+        let ff = ForceField::default();
+        assert_eq!(ff.potential_energy(&dimer(3.0, false)), 0.0);
+    }
+
+    #[test]
+    fn potential_is_continuous_at_cutoff() {
+        let ff = ForceField::default();
+        let just_in = ff.potential_energy(&dimer(2.499_999, false));
+        let just_out = ff.potential_energy(&dimer(2.500_001, false));
+        assert!((just_in - just_out).abs() < 1e-4, "{just_in} vs {just_out}");
+    }
+
+    #[test]
+    fn bond_energy_is_harmonic() {
+        let ff = ForceField {
+            epsilon: 0.0, // isolate the bond term
+            ..Default::default()
+        };
+        let e = ff.potential_energy(&dimer(1.3, true));
+        assert!((e - 0.5 * 10.0 * 0.3 * 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cell_list_path_matches_naive_reference() {
+        use crate::system::alanine_dipeptide_surrogate;
+        let ff = ForceField::default();
+        // 300 particles: compute() takes the cell-list path.
+        for seed in [1u64, 7, 42] {
+            let sys = alanine_dipeptide_surrogate(300, seed);
+            let mut f_fast = Vec::new();
+            let mut f_ref = Vec::new();
+            let e_fast = ff.compute(&sys, &mut f_fast);
+            let e_ref = ff.compute_naive(&sys, &mut f_ref);
+            assert!(
+                (e_fast - e_ref).abs() < 1e-9 * e_ref.abs().max(1.0),
+                "energy mismatch: {e_fast} vs {e_ref} (seed {seed})"
+            );
+            for (a, b) in f_fast.iter().zip(&f_ref) {
+                for k in 0..3 {
+                    assert!(
+                        (a[k] - b[k]).abs() < 1e-8,
+                        "force mismatch {a:?} vs {b:?} (seed {seed})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_systems_use_naive_path_consistently() {
+        use crate::system::alanine_dipeptide_surrogate;
+        let ff = ForceField::default();
+        let sys = alanine_dipeptide_surrogate(50, 9);
+        let mut f1 = Vec::new();
+        let mut f2 = Vec::new();
+        assert_eq!(ff.compute(&sys, &mut f1), ff.compute_naive(&sys, &mut f2));
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn force_matches_numerical_gradient() {
+        let ff = ForceField::default();
+        let base = dimer(1.17, true);
+        let mut forces = Vec::new();
+        ff.compute(&base, &mut forces);
+        let h = 1e-6;
+        for a in 0..3 {
+            let mut plus = base.clone();
+            plus.positions[0][a] += h;
+            let mut minus = base.clone();
+            minus.positions[0][a] -= h;
+            let grad = (ff.potential_energy(&plus) - ff.potential_energy(&minus)) / (2.0 * h);
+            assert!(
+                (forces[0][a] + grad).abs() < 1e-5,
+                "axis {a}: force {} vs -grad {}",
+                forces[0][a],
+                -grad
+            );
+        }
+    }
+}
+
+impl ForceField {
+    /// Steepest-descent energy minimization: moves particles along the
+    /// force direction with a displacement-capped step until the maximum
+    /// force component drops below `f_tol` or `max_steps` pass. Returns the
+    /// final potential energy. Standard preparation before dynamics on a
+    /// strained starting structure.
+    pub fn minimize(
+        &self,
+        sys: &mut MolecularSystem,
+        max_steps: usize,
+        max_disp: f64,
+        f_tol: f64,
+    ) -> f64 {
+        assert!(max_disp > 0.0 && f_tol >= 0.0, "invalid minimizer parameters");
+        let mut forces = Vec::new();
+        let mut energy = self.compute(sys, &mut forces);
+        for _ in 0..max_steps {
+            let fmax = forces
+                .iter()
+                .flat_map(|f| f.iter())
+                .fold(0.0f64, |m, &v| m.max(v.abs()));
+            if fmax <= f_tol {
+                break;
+            }
+            let scale = max_disp / fmax;
+            for (p, f) in sys.positions.iter_mut().zip(&forces) {
+                for a in 0..3 {
+                    p[a] = (p[a] + scale * f[a]).rem_euclid(sys.box_len);
+                }
+            }
+            let new_energy = self.compute(sys, &mut forces);
+            if new_energy > energy {
+                // Overshot: undo and take a smaller effective step by
+                // simply stopping — callers wanting line search can loop.
+                for (p, f) in sys.positions.iter_mut().zip(&forces) {
+                    for a in 0..3 {
+                        p[a] = (p[a] - scale * f[a]).rem_euclid(sys.box_len);
+                    }
+                }
+                energy = self.compute(sys, &mut forces);
+                break;
+            }
+            energy = new_energy;
+        }
+        energy
+    }
+}
+
+#[cfg(test)]
+mod minimize_tests {
+    use super::*;
+    use crate::system::alanine_dipeptide_surrogate;
+
+    #[test]
+    fn minimization_lowers_energy() {
+        let ff = ForceField::default();
+        let mut sys = alanine_dipeptide_surrogate(120, 3);
+        // Strain the structure: compress every bond.
+        for i in 0..sys.n_solute {
+            sys.positions[i][0] *= 0.98;
+        }
+        let before = ff.potential_energy(&sys);
+        let after = ff.minimize(&mut sys, 200, 0.02, 1e-3);
+        assert!(after < before, "minimizer must not raise energy: {before} -> {after}");
+    }
+
+    #[test]
+    fn minimized_oscillator_reaches_bond_length() {
+        use crate::system::Bond;
+        let ff = ForceField {
+            epsilon: 0.0,
+            ..Default::default()
+        };
+        let mut sys = MolecularSystem {
+            positions: vec![[0.0; 3], [1.6, 0.0, 0.0]],
+            velocities: vec![[0.0; 3]; 2],
+            masses: vec![1.0; 2],
+            bonds: vec![Bond { i: 0, j: 1, r0: 1.0, k: 50.0 }],
+            n_solute: 2,
+            box_len: 100.0,
+        };
+        ff.minimize(&mut sys, 2000, 0.01, 1e-6);
+        let d = sys.min_image(0, 1);
+        let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+        assert!((r - 1.0).abs() < 1e-3, "bond relaxed to {r}");
+    }
+
+    #[test]
+    fn converged_system_stops_early() {
+        let ff = ForceField {
+            epsilon: 0.0,
+            ..Default::default()
+        };
+        use crate::system::Bond;
+        let mut sys = MolecularSystem {
+            positions: vec![[0.0; 3], [1.0, 0.0, 0.0]],
+            velocities: vec![[0.0; 3]; 2],
+            masses: vec![1.0; 2],
+            bonds: vec![Bond { i: 0, j: 1, r0: 1.0, k: 50.0 }],
+            n_solute: 2,
+            box_len: 100.0,
+        };
+        let e = ff.minimize(&mut sys, 10, 0.01, 1e-6);
+        assert!(e.abs() < 1e-12, "already at the minimum: {e}");
+    }
+}

@@ -1,0 +1,248 @@
+//! Time integration: velocity Verlet (NVE) and Langevin (NVT).
+
+use crate::forcefield::ForceField;
+use crate::system::{MolecularSystem, Vec3};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The thermostat coupling applied on top of velocity Verlet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Ensemble {
+    /// Microcanonical: pure velocity Verlet (energy-conserving).
+    Nve,
+    /// Canonical via Langevin dynamics at temperature `t` with friction
+    /// `gamma` (BAOAB-style O-step between half-kicks).
+    Langevin {
+        /// Target temperature.
+        t: f64,
+        /// Friction coefficient.
+        gamma: f64,
+    },
+}
+
+/// A reusable integrator holding force scratch space and the RNG stream.
+pub struct Integrator {
+    ff: ForceField,
+    ensemble: Ensemble,
+    dt: f64,
+    forces: Vec<Vec3>,
+    rng: StdRng,
+    /// Potential energy at the most recent step.
+    last_potential: f64,
+    initialized: bool,
+}
+
+impl Integrator {
+    /// Creates an integrator; `seed` drives the Langevin noise.
+    pub fn new(ff: ForceField, ensemble: Ensemble, dt: f64, seed: u64) -> Self {
+        assert!(dt > 0.0, "time step must be positive");
+        Integrator {
+            ff,
+            ensemble,
+            dt,
+            forces: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            last_potential: 0.0,
+            initialized: false,
+        }
+    }
+
+    /// Potential energy recorded at the last completed step.
+    pub fn potential(&self) -> f64 {
+        self.last_potential
+    }
+
+    /// Total energy (kinetic + potential) at the last completed step.
+    pub fn total_energy(&self, sys: &MolecularSystem) -> f64 {
+        sys.kinetic_energy() + self.last_potential
+    }
+
+    /// Advances the system by `steps` time steps.
+    pub fn run(&mut self, sys: &mut MolecularSystem, steps: usize) {
+        if !self.initialized {
+            self.last_potential = self.ff.compute(sys, &mut self.forces);
+            self.initialized = true;
+        }
+        for _ in 0..steps {
+            self.step(sys);
+        }
+    }
+
+    fn step(&mut self, sys: &mut MolecularSystem) {
+        let dt = self.dt;
+        let n = sys.len();
+        // B: half kick.
+        for i in 0..n {
+            let inv_m = 1.0 / sys.masses[i];
+            for a in 0..3 {
+                sys.velocities[i][a] += 0.5 * dt * self.forces[i][a] * inv_m;
+            }
+        }
+        // A: half drift.
+        for i in 0..n {
+            for a in 0..3 {
+                sys.positions[i][a] += 0.5 * dt * sys.velocities[i][a];
+            }
+        }
+        // O: Ornstein–Uhlenbeck velocity refresh (Langevin only).
+        if let Ensemble::Langevin { t, gamma } = self.ensemble {
+            let c1 = (-gamma * dt).exp();
+            let c2 = (1.0 - c1 * c1).sqrt();
+            for i in 0..n {
+                let sd = (t / sys.masses[i]).sqrt();
+                for a in 0..3 {
+                    let u1: f64 = 1.0 - self.rng.random::<f64>();
+                    let u2: f64 = self.rng.random::<f64>();
+                    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                    sys.velocities[i][a] = c1 * sys.velocities[i][a] + c2 * sd * z;
+                }
+            }
+        }
+        // A: half drift.
+        for i in 0..n {
+            for a in 0..3 {
+                sys.positions[i][a] += 0.5 * dt * sys.velocities[i][a];
+                // Wrap into the periodic box.
+                sys.positions[i][a] = sys.positions[i][a].rem_euclid(sys.box_len);
+            }
+        }
+        // Recompute forces, then B: half kick.
+        self.last_potential = self.ff.compute(sys, &mut self.forces);
+        for i in 0..n {
+            let inv_m = 1.0 / sys.masses[i];
+            for a in 0..3 {
+                sys.velocities[i][a] += 0.5 * dt * self.forces[i][a] * inv_m;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{alanine_dipeptide_surrogate, Bond};
+
+    /// A single bonded dimer: an analytically tractable oscillator.
+    fn oscillator() -> MolecularSystem {
+        MolecularSystem {
+            positions: vec![[0.0; 3], [1.3, 0.0, 0.0]],
+            velocities: vec![[0.0; 3]; 2],
+            masses: vec![1.0; 2],
+            bonds: vec![Bond {
+                i: 0,
+                j: 1,
+                r0: 1.0,
+                k: 50.0,
+            }],
+            n_solute: 2,
+            box_len: 1000.0,
+        }
+    }
+
+    #[test]
+    fn nve_conserves_energy() {
+        let ff = ForceField {
+            epsilon: 0.0,
+            ..Default::default()
+        };
+        let mut sys = oscillator();
+        let mut integ = Integrator::new(ff, Ensemble::Nve, 1e-3, 1);
+        integ.run(&mut sys, 1);
+        let e0 = integ.total_energy(&sys);
+        integ.run(&mut sys, 5000);
+        let e1 = integ.total_energy(&sys);
+        assert!(
+            (e1 - e0).abs() < 1e-4 * e0.abs().max(1.0),
+            "energy drifted {e0} -> {e1}"
+        );
+    }
+
+    #[test]
+    fn nve_oscillator_period_is_correct() {
+        // Reduced-mass oscillator: omega = sqrt(k/mu), mu = 0.5.
+        let ff = ForceField {
+            epsilon: 0.0,
+            ..Default::default()
+        };
+        let mut sys = oscillator();
+        let dt = 1e-4;
+        let mut integ = Integrator::new(ff, Ensemble::Nve, dt, 1);
+        let period = std::f64::consts::TAU / (50.0f64 / 0.5).sqrt();
+        let steps = (period / dt).round() as usize;
+        let x0 = sys.positions[1][0] - sys.positions[0][0];
+        integ.run(&mut sys, steps);
+        let x1 = sys.positions[1][0] - sys.positions[0][0];
+        assert!((x1 - x0).abs() < 1e-3, "after one period: {x0} vs {x1}");
+    }
+
+    #[test]
+    fn langevin_reaches_target_temperature() {
+        let mut sys = alanine_dipeptide_surrogate(120, 11);
+        sys.thermalize(0.5, 3);
+        let mut integ = Integrator::new(
+            ForceField::default(),
+            Ensemble::Langevin { t: 1.2, gamma: 2.0 },
+            2e-3,
+            42,
+        );
+        integ.run(&mut sys, 500); // equilibrate
+        // Average over a window.
+        let mut acc = 0.0;
+        let windows = 40;
+        for _ in 0..windows {
+            integ.run(&mut sys, 25);
+            acc += sys.temperature();
+        }
+        let t = acc / windows as f64;
+        assert!((t - 1.2).abs() < 0.15, "temperature {t}");
+    }
+
+    #[test]
+    fn hotter_replica_has_higher_mean_potential() {
+        // The property replica exchange relies on.
+        let run_at = |t: f64| {
+            let mut sys = alanine_dipeptide_surrogate(80, 21);
+            sys.thermalize(t, 5);
+            let mut integ = Integrator::new(
+                ForceField::default(),
+                Ensemble::Langevin { t, gamma: 2.0 },
+                2e-3,
+                7,
+            );
+            integ.run(&mut sys, 400);
+            let mut acc = 0.0;
+            for _ in 0..20 {
+                integ.run(&mut sys, 20);
+                acc += integ.potential();
+            }
+            acc / 20.0
+        };
+        let cold = run_at(0.4);
+        let hot = run_at(2.0);
+        assert!(hot > cold, "potential: cold {cold}, hot {hot}");
+    }
+
+    #[test]
+    fn positions_stay_in_box() {
+        let mut sys = alanine_dipeptide_surrogate(60, 9);
+        sys.thermalize(2.0, 1);
+        let mut integ = Integrator::new(
+            ForceField::default(),
+            Ensemble::Langevin { t: 2.0, gamma: 1.0 },
+            2e-3,
+            3,
+        );
+        integ.run(&mut sys, 300);
+        for p in &sys.positions {
+            for a in 0..3 {
+                assert!(p[a] >= 0.0 && p[a] < sys.box_len, "escaped: {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "time step must be positive")]
+    fn zero_dt_is_rejected() {
+        Integrator::new(ForceField::default(), Ensemble::Nve, 0.0, 1);
+    }
+}

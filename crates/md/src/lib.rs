@@ -1,0 +1,31 @@
+//! # entk-md — toy molecular-dynamics substrate (Amber/Gromacs stand-in)
+//!
+//! The paper's science workloads run Amber and Gromacs on a solvated alanine
+//! dipeptide (2881 atoms). This crate provides the closest synthetic
+//! equivalent: a harmonic-chain solute in a Lennard-Jones bath, velocity
+//! Verlet + Langevin dynamics, replica-exchange (temperature) machinery, and
+//! trajectory I/O. It gives EnTK kernels real energies, real conformations,
+//! and runtimes that scale with steps × atoms — everything the toolkit
+//! experiments actually exercise.
+
+#![warn(missing_docs)]
+// Fixed 3-axis index loops read naturally as `for a in 0..3`.
+#![allow(clippy::needless_range_loop)]
+
+pub mod celllist;
+pub mod engine;
+pub mod forcefield;
+pub mod integrator;
+pub mod observables;
+pub mod remd;
+pub mod system;
+pub mod trajectory;
+
+pub use celllist::CellList;
+pub use engine::{EngineFlavor, MdConfig, MdEngine, MdResult};
+pub use forcefield::ForceField;
+pub use integrator::{Ensemble, Integrator};
+pub use observables::{msd, rdf, velocity_autocorrelation, Rdf};
+pub use remd::{exchange_probability, ExchangeCoordinator, ExchangeStats, TemperatureLadder};
+pub use system::{alanine_dipeptide_surrogate, Bond, MolecularSystem, Vec3};
+pub use trajectory::Trajectory;

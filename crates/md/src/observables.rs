@@ -1,0 +1,182 @@
+//! Structural and dynamical observables over MD output: radial
+//! distribution functions, mean-squared displacement, and velocity
+//! autocorrelation. These are the quantities the paper's science users
+//! compute from ensemble trajectories.
+
+use crate::system::MolecularSystem;
+use serde::{Deserialize, Serialize};
+
+/// A radial distribution function g(r).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Rdf {
+    /// Bin centres (r values).
+    pub r: Vec<f64>,
+    /// g(r) per bin.
+    pub g: Vec<f64>,
+}
+
+/// Computes g(r) of the current configuration up to `r_max` with `bins`
+/// bins, normalized against the ideal-gas shell density.
+pub fn rdf(sys: &MolecularSystem, r_max: f64, bins: usize) -> Rdf {
+    assert!(r_max > 0.0 && bins > 0, "invalid RDF parameters");
+    assert!(
+        r_max <= sys.box_len / 2.0 + 1e-9,
+        "r_max beyond the minimum-image radius"
+    );
+    let n = sys.len();
+    let width = r_max / bins as f64;
+    let mut counts = vec![0u64; bins];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = sys.min_image(i, j);
+            let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+            if r < r_max {
+                counts[(r / width) as usize] += 1;
+            }
+        }
+    }
+    let volume = sys.box_len.powi(3);
+    let density = n as f64 / volume;
+    let mut r_centres = Vec::with_capacity(bins);
+    let mut g = Vec::with_capacity(bins);
+    for (k, &c) in counts.iter().enumerate() {
+        let r_lo = k as f64 * width;
+        let r_hi = r_lo + width;
+        let shell = 4.0 / 3.0 * std::f64::consts::PI * (r_hi.powi(3) - r_lo.powi(3));
+        // Each of the n(n-1)/2 pairs was counted once.
+        let ideal = 0.5 * n as f64 * density * shell;
+        r_centres.push(r_lo + width / 2.0);
+        g.push(if ideal > 0.0 { c as f64 / ideal } else { 0.0 });
+    }
+    Rdf { r: r_centres, g }
+}
+
+/// Mean-squared displacement between two *unwrapped* position snapshots
+/// (callers must track unwrapped coordinates; periodic wrapping would
+/// artificially bound the MSD).
+pub fn msd(reference: &[[f64; 3]], current: &[[f64; 3]]) -> f64 {
+    assert_eq!(reference.len(), current.len(), "snapshot size mismatch");
+    assert!(!reference.is_empty(), "empty snapshots");
+    reference
+        .iter()
+        .zip(current)
+        .map(|(a, b)| {
+            (0..3)
+                .map(|k| (b[k] - a[k]) * (b[k] - a[k]))
+                .sum::<f64>()
+        })
+        .sum::<f64>()
+        / reference.len() as f64
+}
+
+/// Normalized velocity autocorrelation between two velocity snapshots:
+/// `⟨v(0)·v(t)⟩ / ⟨v(0)·v(0)⟩`.
+pub fn velocity_autocorrelation(v0: &[[f64; 3]], vt: &[[f64; 3]]) -> f64 {
+    assert_eq!(v0.len(), vt.len(), "snapshot size mismatch");
+    assert!(!v0.is_empty(), "empty snapshots");
+    let dot: f64 = v0
+        .iter()
+        .zip(vt)
+        .map(|(a, b)| a[0] * b[0] + a[1] * b[1] + a[2] * b[2])
+        .sum();
+    let norm: f64 = v0.iter().map(|a| a[0] * a[0] + a[1] * a[1] + a[2] * a[2]).sum();
+    if norm == 0.0 {
+        0.0
+    } else {
+        dot / norm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forcefield::ForceField;
+    use crate::integrator::{Ensemble, Integrator};
+    use crate::system::alanine_dipeptide_surrogate;
+
+    #[test]
+    fn rdf_has_excluded_core_and_contact_peak() {
+        // Equilibrate a small LJ fluid, then measure g(r).
+        let mut sys = alanine_dipeptide_surrogate(250, 1);
+        sys.thermalize(1.0, 2);
+        let mut integ = Integrator::new(
+            ForceField::default(),
+            Ensemble::Langevin { t: 1.0, gamma: 2.0 },
+            2e-3,
+            3,
+        );
+        integ.run(&mut sys, 400);
+        let result = rdf(&sys, sys.box_len / 2.0, 50);
+        // Hard core: g ≈ 0 below ~0.8σ.
+        let core: f64 = result
+            .r
+            .iter()
+            .zip(&result.g)
+            .filter(|(&r, _)| r < 0.8)
+            .map(|(_, &g)| g)
+            .sum();
+        assert!(core < 0.1, "core not excluded: {core}");
+        // First peak near the LJ minimum exceeds the long-range plateau.
+        let peak = result
+            .r
+            .iter()
+            .zip(&result.g)
+            .filter(|(&r, _)| (1.0..1.5).contains(&r))
+            .map(|(_, &g)| g)
+            .fold(0.0f64, f64::max);
+        assert!(peak > 1.2, "no contact peak: {peak}");
+        // Long-range: g → 1.
+        let tail: Vec<f64> = result
+            .r
+            .iter()
+            .zip(&result.g)
+            .filter(|(&r, _)| r > 0.8 * sys.box_len / 2.0)
+            .map(|(_, &g)| g)
+            .collect();
+        let tail_mean = tail.iter().sum::<f64>() / tail.len() as f64;
+        assert!((tail_mean - 1.0).abs() < 0.3, "tail {tail_mean}");
+    }
+
+    #[test]
+    fn msd_zero_for_identical_snapshots() {
+        let snap = vec![[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]];
+        assert_eq!(msd(&snap, &snap), 0.0);
+    }
+
+    #[test]
+    fn msd_matches_uniform_translation() {
+        let a = vec![[0.0; 3]; 10];
+        let b = vec![[3.0, 4.0, 0.0]; 10]; // displacement 5
+        assert!((msd(&a, &b) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vacf_is_one_at_zero_lag_and_decays() {
+        let mut sys = alanine_dipeptide_surrogate(150, 5);
+        sys.thermalize(1.0, 6);
+        let v0 = sys.velocities.clone();
+        assert!((velocity_autocorrelation(&v0, &v0) - 1.0).abs() < 1e-12);
+        let mut integ = Integrator::new(
+            ForceField::default(),
+            Ensemble::Langevin { t: 1.0, gamma: 5.0 },
+            2e-3,
+            7,
+        );
+        integ.run(&mut sys, 500);
+        let late = velocity_autocorrelation(&v0, &sys.velocities);
+        assert!(late.abs() < 0.3, "correlation should decay: {late}");
+    }
+
+    #[test]
+    #[should_panic(expected = "minimum-image radius")]
+    fn rdf_rejects_oversized_rmax() {
+        let sys = alanine_dipeptide_surrogate(50, 1);
+        rdf(&sys, sys.box_len, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn msd_rejects_mismatched_snapshots() {
+        msd(&[[0.0; 3]], &[[0.0; 3], [1.0; 3]]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Replica-exchange molecular dynamics: temperature ladders and the
+//! Metropolis exchange criterion.
+//!
+//! This is the algorithmic content of the paper's Ensemble Exchange pattern
+//! (Figs. 5–6): replicas simulate at different temperatures and periodically
+//! attempt pairwise temperature swaps with their ladder neighbours.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A geometric temperature ladder.
+///
+/// ```
+/// use entk_md::TemperatureLadder;
+///
+/// let ladder = TemperatureLadder::geometric(4, 1.0, 8.0);
+/// assert_eq!(ladder.len(), 4);
+/// assert!((ladder.temp(0) - 1.0).abs() < 1e-12);
+/// assert!((ladder.temp(3) - 8.0).abs() < 1e-9);
+/// // Geometric: constant ratio between rungs.
+/// assert!((ladder.temp(1) / ladder.temp(0) - 2.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemperatureLadder {
+    temps: Vec<f64>,
+}
+
+impl TemperatureLadder {
+    /// Builds a geometric ladder of `n` temperatures spanning `[t_min, t_max]`.
+    pub fn geometric(n: usize, t_min: f64, t_max: f64) -> Self {
+        assert!(n >= 1 && t_min > 0.0 && t_max >= t_min, "invalid ladder");
+        if n == 1 {
+            return TemperatureLadder { temps: vec![t_min] };
+        }
+        let ratio = (t_max / t_min).powf(1.0 / (n - 1) as f64);
+        let temps = (0..n).map(|i| t_min * ratio.powi(i as i32)).collect();
+        TemperatureLadder { temps }
+    }
+
+    /// Number of rungs.
+    pub fn len(&self) -> usize {
+        self.temps.len()
+    }
+
+    /// True if the ladder is empty (never: constructor enforces n ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        self.temps.is_empty()
+    }
+
+    /// Temperature of rung `i`.
+    pub fn temp(&self, i: usize) -> f64 {
+        self.temps[i]
+    }
+
+    /// All temperatures, ascending.
+    pub fn temps(&self) -> &[f64] {
+        &self.temps
+    }
+}
+
+/// Metropolis acceptance probability for swapping configurations between
+/// temperatures `t_i < t_j` with potential energies `e_i`, `e_j` (kB = 1):
+/// `min(1, exp((1/t_i - 1/t_j) * (e_i - e_j)))`.
+pub fn exchange_probability(e_i: f64, t_i: f64, e_j: f64, t_j: f64) -> f64 {
+    let delta = (1.0 / t_i - 1.0 / t_j) * (e_i - e_j);
+    delta.exp().min(1.0)
+}
+
+/// Bookkeeping for one exchange stage over a set of replicas.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ExchangeStats {
+    /// Swap attempts.
+    pub attempted: u64,
+    /// Accepted swaps.
+    pub accepted: u64,
+}
+
+impl ExchangeStats {
+    /// Acceptance ratio (0 when nothing was attempted).
+    pub fn acceptance(&self) -> f64 {
+        if self.attempted == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.attempted as f64
+        }
+    }
+}
+
+/// The exchange coordinator: tracks which temperature rung each replica
+/// holds and performs neighbour-wise exchange sweeps.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExchangeCoordinator {
+    ladder: TemperatureLadder,
+    /// `rung_of[r]` = ladder rung currently assigned to replica `r`.
+    rung_of: Vec<usize>,
+    stats: ExchangeStats,
+    /// Alternate between even and odd neighbour pairs each sweep.
+    phase: bool,
+    seed_counter: u64,
+    seed: u64,
+}
+
+impl ExchangeCoordinator {
+    /// Creates a coordinator for `n` replicas on the given ladder
+    /// (`n == ladder.len()`), replica `i` starting on rung `i`.
+    pub fn new(ladder: TemperatureLadder, seed: u64) -> Self {
+        let n = ladder.len();
+        ExchangeCoordinator {
+            ladder,
+            rung_of: (0..n).collect(),
+            stats: ExchangeStats::default(),
+            phase: false,
+            seed_counter: 0,
+            seed,
+        }
+    }
+
+    /// Temperature currently assigned to replica `r`.
+    pub fn temperature_of(&self, r: usize) -> f64 {
+        self.ladder.temp(self.rung_of[r])
+    }
+
+    /// Current rung of replica `r`.
+    pub fn rung_of(&self, r: usize) -> usize {
+        self.rung_of[r]
+    }
+
+    /// Cumulative exchange statistics.
+    pub fn stats(&self) -> &ExchangeStats {
+        &self.stats
+    }
+
+    /// Performs one neighbour-exchange sweep given each replica's current
+    /// potential energy. Returns the list of swapped replica pairs.
+    ///
+    /// Pairing alternates between (0,1)(2,3)… and (1,2)(3,4)… sweeps — the
+    /// standard even/odd scheme; exchanges are pairwise, not globally
+    /// synchronized, matching the paper's EE description.
+    pub fn sweep(&mut self, energies: &[f64]) -> Vec<(usize, usize)> {
+        assert_eq!(
+            energies.len(),
+            self.rung_of.len(),
+            "one energy per replica required"
+        );
+        let n = self.rung_of.len();
+        // Replicas ordered by rung so neighbours on the ladder pair up.
+        let mut by_rung: Vec<usize> = (0..n).collect();
+        by_rung.sort_by_key(|&r| self.rung_of[r]);
+
+        let mut rng = StdRng::seed_from_u64(self.seed ^ self.seed_counter.wrapping_mul(0x9E37));
+        self.seed_counter += 1;
+
+        let start = usize::from(self.phase);
+        self.phase = !self.phase;
+        let mut swapped = Vec::new();
+        let mut k = start;
+        while k + 1 < n {
+            let (ra, rb) = (by_rung[k], by_rung[k + 1]);
+            let (ta, tb) = (self.temperature_of(ra), self.temperature_of(rb));
+            let p = exchange_probability(energies[ra], ta, energies[rb], tb);
+            self.stats.attempted += 1;
+            if rng.random::<f64>() < p {
+                self.rung_of.swap(ra, rb);
+                self.stats.accepted += 1;
+                swapped.push((ra, rb));
+            }
+            k += 2;
+        }
+        swapped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn geometric_ladder_endpoints_and_monotonicity() {
+        let l = TemperatureLadder::geometric(8, 0.5, 4.0);
+        assert_eq!(l.len(), 8);
+        assert!((l.temp(0) - 0.5).abs() < 1e-12);
+        assert!((l.temp(7) - 4.0).abs() < 1e-9);
+        for w in l.temps().windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn single_rung_ladder() {
+        let l = TemperatureLadder::geometric(1, 1.0, 5.0);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.temp(0), 1.0);
+    }
+
+    #[test]
+    fn exchange_probability_limits() {
+        // Lower-energy config at lower temperature: swap disfavoured.
+        assert!(exchange_probability(-100.0, 1.0, 0.0, 2.0) < 1e-10);
+        // Higher-energy config at lower temperature: always swap.
+        assert_eq!(exchange_probability(50.0, 1.0, -50.0, 2.0), 1.0);
+        // Equal energies: probability exactly 1.
+        assert_eq!(exchange_probability(5.0, 1.0, 5.0, 2.0), 1.0);
+    }
+
+    #[test]
+    fn exchange_probability_is_detailed_balanced() {
+        // p(i->j at Ti,Tj) / p(j->i with energies swapped) consistency:
+        // swapping both energy labels and temperatures inverts delta.
+        let p_fwd = exchange_probability(3.0, 1.0, 7.0, 2.0);
+        let p_rev = exchange_probability(7.0, 1.0, 3.0, 2.0);
+        assert!(p_fwd <= 1.0 && p_rev <= 1.0);
+        // One of the directions must be certain.
+        assert!((p_fwd - 1.0).abs() < 1e-12 || (p_rev - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_swaps_rungs_not_replicas() {
+        let mut coord = ExchangeCoordinator::new(TemperatureLadder::geometric(4, 1.0, 2.0), 1);
+        // Make every attempt certain: give lower rungs higher energies.
+        let energies = vec![100.0, 50.0, 10.0, 5.0];
+        let swapped = coord.sweep(&energies);
+        assert_eq!(swapped.len(), 2, "pairs (0,1) and (2,3) both certain");
+        // Replica 0 moved up the ladder.
+        assert_eq!(coord.rung_of(0), 1);
+        assert_eq!(coord.rung_of(1), 0);
+        assert_eq!(coord.stats().accepted, 2);
+    }
+
+    #[test]
+    fn sweeps_alternate_pairing_phase() {
+        let mut coord = ExchangeCoordinator::new(TemperatureLadder::geometric(4, 1.0, 2.0), 1);
+        let energies = vec![0.0; 4];
+        coord.sweep(&energies); // even phase: 2 attempts
+        coord.sweep(&energies); // odd phase: 1 attempt (pairs (1,2))
+        assert_eq!(coord.stats().attempted, 3);
+    }
+
+    #[test]
+    fn rungs_remain_a_permutation() {
+        let n = 16;
+        let mut coord = ExchangeCoordinator::new(TemperatureLadder::geometric(n, 0.8, 3.0), 9);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let energies: Vec<f64> = (0..n).map(|_| rng.random::<f64>() * 100.0).collect();
+            coord.sweep(&energies);
+            let mut rungs: Vec<usize> = (0..n).map(|r| coord.rung_of(r)).collect();
+            rungs.sort_unstable();
+            assert_eq!(rungs, (0..n).collect::<Vec<_>>());
+        }
+        assert!(coord.stats().acceptance() > 0.0);
+    }
+
+    proptest! {
+        /// Exchange probability is always a valid probability.
+        #[test]
+        fn prop_probability_in_unit_interval(
+            e_i in -1e3f64..1e3, e_j in -1e3f64..1e3,
+            t_i in 0.1f64..10.0, dt in 0.01f64..10.0,
+        ) {
+            let p = exchange_probability(e_i, t_i, e_j, t_i + dt);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Particle systems in reduced units (kB = 1, ε = σ = m = 1).
+//!
+//! The paper's science workloads simulate a solvated alanine dipeptide
+//! (2881 atoms) with Amber/Gromacs. The stand-in here is a harmonic-chain
+//! "solute" solvated in a Lennard-Jones bath: chemically naive, but it has
+//! the properties the toolkit experiments exercise — a real energy function
+//! for replica exchange, conformations for CoCo/LSDMap analysis, and a
+//! runtime that scales with steps × atoms.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A 3-vector.
+pub type Vec3 = [f64; 3];
+
+/// A harmonic bond between two particles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bond {
+    /// First particle index.
+    pub i: usize,
+    /// Second particle index.
+    pub j: usize,
+    /// Equilibrium length.
+    pub r0: f64,
+    /// Spring constant.
+    pub k: f64,
+}
+
+/// A molecular system: positions, velocities, masses, bonded topology, and
+/// a cubic periodic box.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MolecularSystem {
+    /// Particle positions.
+    pub positions: Vec<Vec3>,
+    /// Particle velocities.
+    pub velocities: Vec<Vec3>,
+    /// Particle masses.
+    pub masses: Vec<f64>,
+    /// Harmonic bonds (the "solute" chain).
+    pub bonds: Vec<Bond>,
+    /// Number of leading particles considered solute (analysed conformers).
+    pub n_solute: usize,
+    /// Cubic box edge length (periodic boundary conditions).
+    pub box_len: f64,
+}
+
+impl MolecularSystem {
+    /// Number of particles.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True if the system has no particles.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Minimum-image displacement from particle `j` to particle `i`.
+    pub fn min_image(&self, i: usize, j: usize) -> Vec3 {
+        let mut d = [0.0; 3];
+        for a in 0..3 {
+            let mut x = self.positions[i][a] - self.positions[j][a];
+            x -= self.box_len * (x / self.box_len).round();
+            d[a] = x;
+        }
+        d
+    }
+
+    /// Total kinetic energy.
+    pub fn kinetic_energy(&self) -> f64 {
+        self.velocities
+            .iter()
+            .zip(&self.masses)
+            .map(|(v, &m)| 0.5 * m * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]))
+            .sum()
+    }
+
+    /// Instantaneous temperature from equipartition (kB = 1).
+    pub fn temperature(&self) -> f64 {
+        let dof = (3 * self.len()) as f64;
+        if dof == 0.0 {
+            0.0
+        } else {
+            2.0 * self.kinetic_energy() / dof
+        }
+    }
+
+    /// Draws Maxwell–Boltzmann velocities for temperature `t` and removes
+    /// centre-of-mass drift.
+    pub fn thermalize(&mut self, t: f64, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for (v, &m) in self.velocities.iter_mut().zip(&self.masses) {
+            let sd = (t / m).sqrt();
+            for a in 0..3 {
+                // Box–Muller.
+                let u1: f64 = 1.0 - rng.random::<f64>();
+                let u2: f64 = rng.random::<f64>();
+                v[a] = sd * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            }
+        }
+        // Remove net momentum.
+        let total_m: f64 = self.masses.iter().sum();
+        let mut p = [0.0; 3];
+        for (v, &m) in self.velocities.iter().zip(&self.masses) {
+            for a in 0..3 {
+                p[a] += m * v[a];
+            }
+        }
+        // All particles lose the same centre-of-mass velocity P / M.
+        for v in self.velocities.iter_mut() {
+            for a in 0..3 {
+                v[a] -= p[a] / total_m;
+            }
+        }
+    }
+
+    /// The solute conformation as a flat feature vector (positions relative
+    /// to the solute centroid, so the descriptor is translation-invariant).
+    pub fn solute_conformation(&self) -> Vec<f64> {
+        let n = self.n_solute.max(1).min(self.len());
+        let mut centroid = [0.0; 3];
+        for p in &self.positions[..n] {
+            for a in 0..3 {
+                centroid[a] += p[a] / n as f64;
+            }
+        }
+        let mut flat = Vec::with_capacity(3 * n);
+        for p in &self.positions[..n] {
+            for a in 0..3 {
+                flat.push(p[a] - centroid[a]);
+            }
+        }
+        flat
+    }
+
+    /// End-to-end distance of the solute chain (a cheap collective variable).
+    pub fn end_to_end(&self) -> f64 {
+        if self.n_solute < 2 {
+            return 0.0;
+        }
+        let d = self.min_image(self.n_solute - 1, 0);
+        (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt()
+    }
+}
+
+/// Builds the "alanine dipeptide surrogate": a 22-particle harmonic chain
+/// (alanine dipeptide has 22 atoms) solvated in an LJ bath, `total` particles
+/// overall. The paper's system has 2881 atoms; tests and examples use
+/// smaller baths for speed, which preserves every property the toolkit
+/// experiments measure.
+pub fn alanine_dipeptide_surrogate(total: usize, seed: u64) -> MolecularSystem {
+    let n_solute = 22.min(total);
+    let n = total.max(n_solute);
+    // Size the box from a fixed lattice pitch of 1.3σ so no initial pair
+    // sits on the steep LJ wall (number density ≈ 0.45).
+    let spacing = 1.3;
+    let cells = (n as f64).cbrt().ceil() as usize + 1;
+    let box_len = spacing * cells as f64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut positions = Vec::with_capacity(n);
+    // Solute: a serpentine chain near the box centre. Rows of length
+    // `row_len` fold back with 1.1σ row spacing, so the chain never
+    // self-overlaps even in boxes shorter than the chain.
+    let bond_r0 = 1.0;
+    let row_len = ((box_len - 1.5) / bond_r0).floor().max(2.0) as usize;
+    let row_gap = 1.1;
+    for i in 0..n_solute {
+        let jitter = |r: &mut StdRng| (r.random::<f64>() - 0.5) * 0.05;
+        let row = i / row_len;
+        let col = i % row_len;
+        let x_col = if row.is_multiple_of(2) { col } else { row_len - 1 - col };
+        positions.push([
+            (0.75 + x_col as f64 * bond_r0 + jitter(&mut rng)).rem_euclid(box_len),
+            (box_len / 2.0 + row as f64 * row_gap + jitter(&mut rng)).rem_euclid(box_len),
+            (box_len / 2.0 + jitter(&mut rng)).rem_euclid(box_len),
+        ]);
+    }
+    // Solvent: jittered cubic lattice, skipping sites near the solute —
+    // deterministic and overlap-free by construction.
+    'fill: for ix in 0..cells {
+        for iy in 0..cells {
+            for iz in 0..cells {
+                if positions.len() >= n {
+                    break 'fill;
+                }
+                let jitter = |r: &mut StdRng| (r.random::<f64>() - 0.5) * 0.1 * spacing;
+                let cand = [
+                    (ix as f64 + 0.5) * spacing + jitter(&mut rng),
+                    (iy as f64 + 0.5) * spacing + jitter(&mut rng),
+                    (iz as f64 + 0.5) * spacing + jitter(&mut rng),
+                ];
+                let clear = positions[..n_solute.min(positions.len())].iter().all(|p| {
+                    let mut r2 = 0.0;
+                    for a in 0..3 {
+                        let mut x = cand[a] - p[a];
+                        x -= box_len * (x / box_len).round();
+                        r2 += x * x;
+                    }
+                    r2 > 1.0
+                });
+                if clear {
+                    positions.push([
+                        cand[0].rem_euclid(box_len),
+                        cand[1].rem_euclid(box_len),
+                        cand[2].rem_euclid(box_len),
+                    ]);
+                }
+            }
+        }
+    }
+    // Near-jamming edge case: top up with pure lattice points if skipping
+    // solute sites left us short (possible only for tiny boxes).
+    let mut extra = 0usize;
+    while positions.len() < n {
+        let i = positions.len() + extra;
+        let (ix, iy, iz) = (i % cells, (i / cells) % cells, i / (cells * cells));
+        // BCC-like second sub-lattice: ≥ spacing·√3/2 from primary sites.
+        positions.push([
+            (ix as f64 * spacing).rem_euclid(box_len),
+            (iy as f64 * spacing).rem_euclid(box_len),
+            (iz as f64 * spacing).rem_euclid(box_len),
+        ]);
+        extra += 1;
+    }
+    let bonds = (0..n_solute.saturating_sub(1))
+        .map(|i| Bond {
+            i,
+            j: i + 1,
+            r0: bond_r0,
+            k: 100.0,
+        })
+        .collect();
+    MolecularSystem {
+        velocities: vec![[0.0; 3]; n],
+        masses: vec![1.0; n],
+        positions,
+        bonds,
+        n_solute,
+        box_len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surrogate_has_requested_size_and_chain() {
+        let sys = alanine_dipeptide_surrogate(100, 1);
+        assert_eq!(sys.len(), 100);
+        assert_eq!(sys.n_solute, 22);
+        assert_eq!(sys.bonds.len(), 21);
+        assert!(sys.box_len > 0.0);
+    }
+
+    #[test]
+    fn paper_scale_system_builds() {
+        let sys = alanine_dipeptide_surrogate(2881, 7);
+        assert_eq!(sys.len(), 2881);
+        assert_eq!(sys.n_solute, 22);
+    }
+
+    #[test]
+    fn thermalize_hits_target_temperature() {
+        let mut sys = alanine_dipeptide_surrogate(500, 2);
+        sys.thermalize(1.5, 99);
+        let t = sys.temperature();
+        assert!((t - 1.5).abs() < 0.15, "temperature {t}");
+    }
+
+    #[test]
+    fn thermalize_removes_momentum() {
+        let mut sys = alanine_dipeptide_surrogate(200, 3);
+        sys.thermalize(2.0, 5);
+        let mut p = [0.0; 3];
+        for (v, &m) in sys.velocities.iter().zip(&sys.masses) {
+            for a in 0..3 {
+                p[a] += m * v[a];
+            }
+        }
+        for a in 0..3 {
+            assert!(p[a].abs() < 1e-9, "net momentum {p:?}");
+        }
+    }
+
+    #[test]
+    fn min_image_wraps_across_box() {
+        let mut sys = alanine_dipeptide_surrogate(30, 4);
+        let l = sys.box_len;
+        sys.positions[0] = [0.1, 0.0, 0.0];
+        sys.positions[1] = [l - 0.1, 0.0, 0.0];
+        let d = sys.min_image(0, 1);
+        assert!((d[0] - 0.2).abs() < 1e-12, "wrapped distance {d:?}");
+    }
+
+    #[test]
+    fn conformation_is_translation_invariant() {
+        let sys = alanine_dipeptide_surrogate(50, 5);
+        let c1 = sys.solute_conformation();
+        let mut moved = sys.clone();
+        for p in &mut moved.positions {
+            p[0] += 1.234;
+        }
+        let c2 = moved.solute_conformation();
+        for (a, b) in c1.iter().zip(&c2) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn no_initial_overlaps() {
+        let sys = alanine_dipeptide_surrogate(300, 6);
+        for i in 22..sys.len() {
+            for j in 0..i {
+                let d = sys.min_image(i, j);
+                let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+                assert!(r2 > 0.5, "overlap between {i} and {j}: r2={r2}");
+            }
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Trajectories: sequences of solute conformations with simple I/O.
+//!
+//! Analysis kernels (CoCo, LSDMap) consume these frames; the `.xyzl`
+//! format ("xyz-lite") is a plain-text frame dump so examples can stage
+//! real files the way the paper's workloads do.
+
+use crate::system::MolecularSystem;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+
+/// A recorded trajectory of flat conformation vectors (3·n_solute each).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    dims: usize,
+    frames: Vec<Vec<f64>>,
+}
+
+impl Trajectory {
+    /// Creates an empty trajectory of `dims`-dimensional frames.
+    pub fn new(dims: usize) -> Self {
+        Trajectory {
+            dims,
+            frames: Vec::new(),
+        }
+    }
+
+    /// Dimensionality of each frame.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True when no frames are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Records the current solute conformation of `sys`.
+    pub fn record(&mut self, sys: &MolecularSystem) {
+        let frame = sys.solute_conformation();
+        assert_eq!(frame.len(), self.dims, "frame dimensionality mismatch");
+        self.frames.push(frame);
+    }
+
+    /// Appends a raw frame.
+    pub fn push(&mut self, frame: Vec<f64>) {
+        assert_eq!(frame.len(), self.dims, "frame dimensionality mismatch");
+        self.frames.push(frame);
+    }
+
+    /// Frame accessor.
+    pub fn frame(&self, i: usize) -> &[f64] {
+        &self.frames[i]
+    }
+
+    /// All frames.
+    pub fn frames(&self) -> &[Vec<f64>] {
+        &self.frames
+    }
+
+    /// Concatenates another trajectory of the same dimensionality.
+    pub fn extend(&mut self, other: &Trajectory) {
+        assert_eq!(self.dims, other.dims, "dimensionality mismatch");
+        self.frames.extend(other.frames.iter().cloned());
+    }
+
+    /// Writes the trajectory in `.xyzl` text form.
+    pub fn write_xyzl<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "# xyzl dims={} frames={}", self.dims, self.len())?;
+        for frame in &self.frames {
+            // Rust's float Display is shortest-roundtrip: lossless re-read.
+            let line: Vec<String> = frame.iter().map(|v| format!("{v}")).collect();
+            writeln!(w, "{}", line.join(" "))?;
+        }
+        Ok(())
+    }
+
+    /// Reads a `.xyzl` stream written by [`Self::write_xyzl`].
+    pub fn read_xyzl<R: BufRead>(r: R) -> std::io::Result<Trajectory> {
+        let mut lines = r.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "empty file"))??;
+        let dims: usize = header
+            .split("dims=")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "bad xyzl header")
+            })?;
+        let mut traj = Trajectory::new(dims);
+        for line in lines {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let frame: Result<Vec<f64>, _> =
+                line.split_whitespace().map(str::parse::<f64>).collect();
+            let frame = frame
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+            if frame.len() != dims {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("frame has {} values, expected {dims}", frame.len()),
+                ));
+            }
+            traj.frames.push(frame);
+        }
+        Ok(traj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::alanine_dipeptide_surrogate;
+
+    #[test]
+    fn record_and_access_frames() {
+        let sys = alanine_dipeptide_surrogate(60, 1);
+        let mut traj = Trajectory::new(3 * sys.n_solute);
+        traj.record(&sys);
+        traj.record(&sys);
+        assert_eq!(traj.len(), 2);
+        assert_eq!(traj.frame(0).len(), 66);
+        assert_eq!(traj.frame(0), traj.frame(1));
+    }
+
+    #[test]
+    fn xyzl_roundtrip() {
+        let mut traj = Trajectory::new(3);
+        traj.push(vec![1.0, -2.5, 3.25]);
+        traj.push(vec![0.0, 0.125, -9.0]);
+        let mut buf = Vec::new();
+        traj.write_xyzl(&mut buf).unwrap();
+        let back = Trajectory::read_xyzl(buf.as_slice()).unwrap();
+        assert_eq!(back, traj);
+    }
+
+    #[test]
+    fn read_rejects_ragged_frames() {
+        let text = "# xyzl dims=3 frames=1\n1.0 2.0\n";
+        assert!(Trajectory::read_xyzl(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn read_rejects_garbage() {
+        assert!(Trajectory::read_xyzl("nonsense".as_bytes()).is_err());
+        assert!(Trajectory::read_xyzl("".as_bytes()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn push_checks_dims() {
+        Trajectory::new(3).push(vec![1.0]);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = Trajectory::new(2);
+        a.push(vec![1.0, 2.0]);
+        let mut b = Trajectory::new(2);
+        b.push(vec![3.0, 4.0]);
+        b.push(vec![5.0, 6.0]);
+        a.extend(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.frame(2), &[5.0, 6.0]);
+    }
+}
+
+#[cfg(test)]
+mod file_io_tests {
+    use super::*;
+    use crate::system::alanine_dipeptide_surrogate;
+
+    #[test]
+    fn xyzl_roundtrips_through_a_real_file() {
+        let sys = alanine_dipeptide_surrogate(60, 1);
+        let mut traj = Trajectory::new(3 * sys.n_solute);
+        traj.record(&sys);
+        traj.record(&sys);
+        let dir = std::env::temp_dir().join("entk-md-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("traj.xyzl");
+        traj.write_xyzl(std::fs::File::create(&path).unwrap()).unwrap();
+        let back =
+            Trajectory::read_xyzl(std::io::BufReader::new(std::fs::File::open(&path).unwrap()))
+                .unwrap();
+        assert_eq!(back, traj);
+        std::fs::remove_file(&path).ok();
+    }
+}

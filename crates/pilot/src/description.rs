@@ -1,0 +1,225 @@
+//! Descriptions of pilots and compute units.
+
+use entk_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Request for a pilot: a container job on a target resource whose cores are
+/// then scheduled at the application level.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PilotDescription {
+    /// Target resource label, e.g. `"xsede.comet"`.
+    pub resource: String,
+    /// Cores the container job requests.
+    pub cores: usize,
+    /// Container job wall time.
+    pub walltime: SimDuration,
+    /// Batch queue (bookkeeping).
+    pub queue: String,
+    /// Project / allocation charged (bookkeeping).
+    pub project: String,
+}
+
+impl PilotDescription {
+    /// Creates a description with defaults for queue/project.
+    pub fn new(resource: impl Into<String>, cores: usize, walltime: SimDuration) -> Self {
+        PilotDescription {
+            resource: resource.into(),
+            cores,
+            walltime,
+            queue: "normal".into(),
+            project: "TG-MCB090174".into(),
+        }
+    }
+
+    /// Validates the description.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.resource.is_empty() {
+            return Err("pilot resource must not be empty".into());
+        }
+        if self.cores == 0 {
+            return Err("pilot must request at least one core".into());
+        }
+        if self.walltime.is_zero() {
+            return Err("pilot wall time must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Direction of a staging directive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StagingDirection {
+    /// Move data to the resource before execution.
+    In,
+    /// Move data from the resource after execution.
+    Out,
+}
+
+/// A data-movement directive attached to a unit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StagingDirective {
+    /// Logical file label.
+    pub label: String,
+    /// Payload size in bytes (drives modelled transfer time).
+    pub bytes: u64,
+    /// Transfer direction.
+    pub direction: StagingDirection,
+}
+
+/// The work a unit performs.
+///
+/// Simulated experiments carry a pre-sampled duration (from the kernel's
+/// cost model); local execution carries a real closure.
+#[derive(Clone)]
+pub enum UnitWork {
+    /// Simulated execution: occupy cores for this long in virtual time.
+    Modeled(SimDuration),
+    /// Real execution: run this closure on host threads.
+    Real(Arc<dyn Fn() -> Result<(), String> + Send + Sync>),
+}
+
+impl fmt::Debug for UnitWork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnitWork::Modeled(d) => write!(f, "Modeled({d})"),
+            UnitWork::Real(_) => write!(f, "Real(<closure>)"),
+        }
+    }
+}
+
+/// Request for one compute unit (task).
+#[derive(Debug, Clone)]
+pub struct UnitDescription {
+    /// Task name (used in traces and reports).
+    pub name: String,
+    /// Cores the unit occupies while executing.
+    pub cores: usize,
+    /// Whether the unit is an MPI task (may span nodes).
+    pub mpi: bool,
+    /// The work itself.
+    pub work: UnitWork,
+    /// Input staging directives.
+    pub input_staging: Vec<StagingDirective>,
+    /// Output staging directives.
+    pub output_staging: Vec<StagingDirective>,
+}
+
+impl UnitDescription {
+    /// Creates a single-core modeled unit with no staging.
+    pub fn modeled(name: impl Into<String>, duration: SimDuration) -> Self {
+        UnitDescription {
+            name: name.into(),
+            cores: 1,
+            mpi: false,
+            work: UnitWork::Modeled(duration),
+            input_staging: Vec::new(),
+            output_staging: Vec::new(),
+        }
+    }
+
+    /// Sets the core count (builder style).
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Marks the unit as MPI (builder style).
+    pub fn with_mpi(mut self, mpi: bool) -> Self {
+        self.mpi = mpi;
+        self
+    }
+
+    /// Adds an input staging directive (builder style).
+    pub fn with_input(mut self, label: impl Into<String>, bytes: u64) -> Self {
+        self.input_staging.push(StagingDirective {
+            label: label.into(),
+            bytes,
+            direction: StagingDirection::In,
+        });
+        self
+    }
+
+    /// Adds an output staging directive (builder style).
+    pub fn with_output(mut self, label: impl Into<String>, bytes: u64) -> Self {
+        self.output_staging.push(StagingDirective {
+            label: label.into(),
+            bytes,
+            direction: StagingDirection::Out,
+        });
+        self
+    }
+
+    /// Validates the description.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cores == 0 {
+            return Err(format!("unit {:?} must use at least one core", self.name));
+        }
+        if self.cores > 1 && !self.mpi {
+            return Err(format!(
+                "unit {:?} uses {} cores but is not marked MPI",
+                self.name, self.cores
+            ));
+        }
+        Ok(())
+    }
+
+    /// Total bytes staged in.
+    pub fn input_bytes(&self) -> u64 {
+        self.input_staging.iter().map(|s| s.bytes).sum()
+    }
+
+    /// Total bytes staged out.
+    pub fn output_bytes(&self) -> u64 {
+        self.output_staging.iter().map(|s| s.bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pilot_description_validation() {
+        assert!(PilotDescription::new("xsede.comet", 192, SimDuration::from_secs(3600))
+            .validate()
+            .is_ok());
+        assert!(PilotDescription::new("", 192, SimDuration::from_secs(1))
+            .validate()
+            .is_err());
+        assert!(PilotDescription::new("x", 0, SimDuration::from_secs(1))
+            .validate()
+            .is_err());
+        assert!(PilotDescription::new("x", 1, SimDuration::ZERO)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn unit_builder_accumulates_staging() {
+        let u = UnitDescription::modeled("sim", SimDuration::from_secs(6))
+            .with_cores(16)
+            .with_mpi(true)
+            .with_input("coords.crd", 1 << 20)
+            .with_output("traj.nc", 4 << 20);
+        assert_eq!(u.cores, 16);
+        assert!(u.mpi);
+        assert_eq!(u.input_bytes(), 1 << 20);
+        assert_eq!(u.output_bytes(), 4 << 20);
+        assert!(u.validate().is_ok());
+    }
+
+    #[test]
+    fn multicore_requires_mpi_flag() {
+        let u = UnitDescription::modeled("sim", SimDuration::from_secs(1)).with_cores(4);
+        assert!(u.validate().is_err());
+        assert!(u.with_mpi(true).validate().is_ok());
+    }
+
+    #[test]
+    fn zero_core_unit_rejected() {
+        let u = UnitDescription::modeled("sim", SimDuration::from_secs(1)).with_cores(0);
+        assert!(u.validate().is_err());
+    }
+}

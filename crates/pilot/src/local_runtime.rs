@@ -1,0 +1,199 @@
+//! Real-execution runtime: compute units run as closures on host threads.
+//!
+//! The paper's validation experiments execute real kernels (mkfile/ccount,
+//! MD engines). This runtime proves the same toolkit API drives real work:
+//! units carry [`UnitWork::Real`] closures and execute under the `fork://`
+//! SAGA adapter's core-slot discipline. Modeled units are honoured by
+//! sleeping, so mixed workloads behave sensibly in examples.
+
+use crate::description::{UnitDescription, UnitWork};
+use crate::states::{UnitId, UnitState};
+use entk_saga::{ForkJobService, JobState, SagaJobId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Completion report for a locally executed unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalCompletion {
+    /// The unit.
+    pub unit: UnitId,
+    /// `Done` or `Failed`.
+    pub state: UnitState,
+    /// Failure reason, if failed.
+    pub error: Option<String>,
+    /// Wall-clock execution seconds.
+    pub wall_secs: f64,
+}
+
+/// A pilot-like runtime executing units for real on the local host.
+pub struct LocalRuntime {
+    service: ForkJobService,
+    job_to_unit: Mutex<HashMap<SagaJobId, UnitId>>,
+    states: Mutex<HashMap<UnitId, UnitState>>,
+    next_unit: Mutex<u64>,
+    live: Mutex<usize>,
+}
+
+impl LocalRuntime {
+    /// Creates a runtime with `cores` concurrently usable core slots —
+    /// the local analogue of a pilot of that size.
+    pub fn new(cores: usize) -> Self {
+        LocalRuntime {
+            service: ForkJobService::new(cores),
+            job_to_unit: Mutex::new(HashMap::new()),
+            states: Mutex::new(HashMap::new()),
+            next_unit: Mutex::new(0),
+            live: Mutex::new(0),
+        }
+    }
+
+    /// Core slots available.
+    pub fn cores(&self) -> usize {
+        self.service.total_cores()
+    }
+
+    /// Units submitted but not yet completed.
+    pub fn live_units(&self) -> usize {
+        *self.live.lock()
+    }
+
+    /// Submits units for real execution; returns their ids immediately.
+    pub fn submit_units(&self, descriptions: Vec<UnitDescription>) -> Result<Vec<UnitId>, String> {
+        for d in &descriptions {
+            d.validate()?;
+            if d.cores > self.service.total_cores() {
+                return Err(format!(
+                    "unit {:?} needs {} cores; local runtime has {}",
+                    d.name,
+                    d.cores,
+                    self.service.total_cores()
+                ));
+            }
+        }
+        let mut ids = Vec::with_capacity(descriptions.len());
+        for d in descriptions {
+            let id = {
+                let mut next = self.next_unit.lock();
+                let id = UnitId(*next);
+                *next += 1;
+                id
+            };
+            self.states.lock().insert(id, UnitState::Scheduling);
+            *self.live.lock() += 1;
+            let payload: Box<dyn FnOnce() -> Result<(), String> + Send> = match d.work {
+                UnitWork::Real(f) => Box::new(move || f()),
+                UnitWork::Modeled(dur) => Box::new(move || {
+                    std::thread::sleep(std::time::Duration::from_secs_f64(
+                        dur.as_secs_f64().min(5.0), // cap so examples stay snappy
+                    ));
+                    Ok(())
+                }),
+            };
+            let job = self.service.submit(d.cores, payload);
+            self.job_to_unit.lock().insert(job, id);
+            ids.push(id);
+        }
+        Ok(ids)
+    }
+
+    /// Blocks until some unit completes.
+    pub fn wait_any(&self) -> LocalCompletion {
+        let completion = self.service.wait_any();
+        let unit = *self
+            .job_to_unit
+            .lock()
+            .get(&completion.id)
+            .expect("completion for a submitted job");
+        let state = match completion.state {
+            JobState::Done => UnitState::Done,
+            _ => UnitState::Failed,
+        };
+        self.states.lock().insert(unit, state);
+        *self.live.lock() -= 1;
+        LocalCompletion {
+            unit,
+            state,
+            error: completion.error,
+            wall_secs: completion.wall_secs,
+        }
+    }
+
+    /// Current state of a unit.
+    pub fn unit_state(&self, id: UnitId) -> Option<UnitState> {
+        self.states.lock().get(&id).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entk_sim::SimDuration;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn real_unit(name: &str, f: impl Fn() -> Result<(), String> + Send + Sync + 'static) -> UnitDescription {
+        UnitDescription {
+            name: name.into(),
+            cores: 1,
+            mpi: false,
+            work: UnitWork::Real(Arc::new(f)),
+            input_staging: Vec::new(),
+            output_staging: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn real_units_execute_and_complete() {
+        let rt = LocalRuntime::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let units: Vec<_> = (0..6)
+            .map(|i| {
+                let c = Arc::clone(&counter);
+                real_unit(&format!("t{i}"), move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    Ok(())
+                })
+            })
+            .collect();
+        rt.submit_units(units).unwrap();
+        for _ in 0..6 {
+            let c = rt.wait_any();
+            assert_eq!(c.state, UnitState::Done);
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 6);
+        assert_eq!(rt.live_units(), 0);
+    }
+
+    #[test]
+    fn failing_unit_reports_error() {
+        let rt = LocalRuntime::new(1);
+        rt.submit_units(vec![real_unit("bad", || Err("boom".into()))])
+            .unwrap();
+        let c = rt.wait_any();
+        assert_eq!(c.state, UnitState::Failed);
+        assert_eq!(c.error.as_deref(), Some("boom"));
+    }
+
+    #[test]
+    fn oversized_unit_rejected_up_front() {
+        let rt = LocalRuntime::new(2);
+        let d = UnitDescription::modeled("big", SimDuration::from_secs(1))
+            .with_cores(8)
+            .with_mpi(true);
+        assert!(rt.submit_units(vec![d]).is_err());
+        assert_eq!(rt.live_units(), 0);
+    }
+
+    #[test]
+    fn modeled_units_sleep_briefly() {
+        let rt = LocalRuntime::new(1);
+        rt.submit_units(vec![UnitDescription::modeled(
+            "nap",
+            SimDuration::from_millis(20),
+        )])
+        .unwrap();
+        let c = rt.wait_any();
+        assert_eq!(c.state, UnitState::Done);
+        assert!(c.wall_secs >= 0.015, "slept {}", c.wall_secs);
+    }
+}

@@ -1,0 +1,1105 @@
+//! The simulated pilot runtime: pilot manager + unit manager + agent,
+//! advanced by discrete events.
+//!
+//! Reproduces the RADICAL-Pilot execution model (paper §III-C2): pilots are
+//! container jobs acquired through SAGA; compute units are scheduled onto
+//! pilot cores at the application level, so more tasks than cores can be
+//! expressed and executed as capacity frees up.
+
+use crate::description::{PilotDescription, UnitDescription, UnitWork};
+use crate::overheads::RuntimeOverheads;
+use crate::profiler::Profiler;
+use crate::scheduler::{FirstFitScheduler, PilotView, UnitScheduler, UnitView};
+use crate::states::{PilotId, PilotState, UnitId, UnitState};
+use entk_cluster::{
+    Cluster, ClusterEvent, EasyBackfillScheduler, FairShareScheduler, FifoScheduler,
+    PlatformSpec,
+};
+use entk_saga::{JobDescription, JobState, JobUpdate, SagaJobId, SimJobService};
+use entk_sim::{Context, SimDuration, SimRng, SimTime, Tracer};
+use std::collections::HashMap;
+
+/// Events the runtime schedules for itself.
+#[derive(Debug, Clone)]
+pub enum RuntimeEvent {
+    /// Pilot submission overhead paid; hand the container job to SAGA.
+    PilotSubmitted(PilotId),
+    /// Unit submission overhead paid; units enter scheduling.
+    UnitsSubmitted(Vec<UnitId>),
+    /// Run a unit-scheduler pass.
+    SchedulePass,
+    /// A unit's input staging finished.
+    StageInDone(UnitId),
+    /// A unit's launch overhead was paid; execution begins.
+    LaunchDone(UnitId),
+    /// A unit's modelled execution finished.
+    ExecDone(UnitId),
+    /// A unit's output staging finished.
+    StageOutDone(UnitId),
+}
+
+/// State changes reported to the application layer (EnTK).
+#[derive(Debug, Clone)]
+pub enum RuntimeNotification {
+    /// A pilot changed state.
+    Pilot {
+        /// The pilot.
+        id: PilotId,
+        /// New state.
+        state: PilotState,
+        /// When.
+        time: SimTime,
+    },
+    /// A unit changed state.
+    Unit {
+        /// The unit.
+        id: UnitId,
+        /// New state.
+        state: UnitState,
+        /// When.
+        time: SimTime,
+        /// Failure reason, when `state == Failed`.
+        detail: Option<String>,
+    },
+}
+
+/// Batch-queue policy the target machine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchPolicy {
+    /// Strict FIFO with head-of-line blocking (default).
+    #[default]
+    Fifo,
+    /// EASY backfill.
+    Backfill,
+    /// Fair share with the given usage half-life in seconds.
+    FairShare,
+}
+
+/// Configuration of a simulated runtime session.
+#[derive(Debug, Clone)]
+pub struct SimRuntimeConfig {
+    /// Runtime overhead model.
+    pub overheads: RuntimeOverheads,
+    /// Probability that a unit's execution fails (failure injection).
+    pub unit_failure_rate: f64,
+    /// RNG seed for the runtime's own draws.
+    pub seed: u64,
+    /// Batch-queue policy of the target machine.
+    pub batch_policy: BatchPolicy,
+}
+
+impl Default for SimRuntimeConfig {
+    fn default() -> Self {
+        SimRuntimeConfig {
+            overheads: RuntimeOverheads::radical_pilot(),
+            unit_failure_rate: 0.0,
+            seed: 0x5EED,
+            batch_policy: BatchPolicy::Fifo,
+        }
+    }
+}
+
+struct PilotRecord {
+    description: PilotDescription,
+    state: PilotState,
+    saga_job: Option<SagaJobId>,
+    free_cores: usize,
+}
+
+struct UnitRecord {
+    description: UnitDescription,
+    state: UnitState,
+    pilot: Option<PilotId>,
+    /// Cores currently held on the pilot (released at exec end).
+    holding: usize,
+    /// Pending `ExecDone` event, cancellable if the unit dies early.
+    exec_event: Option<entk_sim::EventId>,
+}
+
+/// Driver event bound: the top-level enum must absorb both runtime and
+/// cluster events.
+pub trait RuntimeEventSink: From<RuntimeEvent> + From<ClusterEvent> {}
+impl<T: From<RuntimeEvent> + From<ClusterEvent>> RuntimeEventSink for T {}
+
+/// The simulated pilot runtime for one target resource.
+pub struct SimRuntime {
+    service: SimJobService,
+    config: SimRuntimeConfig,
+    rng: SimRng,
+    scheduler: Box<dyn UnitScheduler>,
+    pilots: HashMap<PilotId, PilotRecord>,
+    saga_to_pilot: HashMap<SagaJobId, PilotId>,
+    units: HashMap<UnitId, UnitRecord>,
+    /// Units in `Scheduling` not yet placed, in submission order.
+    waiting: Vec<UnitId>,
+    profiler: Profiler,
+    tracer: Tracer,
+    next_pilot: u64,
+    next_unit: u64,
+}
+
+impl SimRuntime {
+    /// Creates a runtime targeting one simulated machine.
+    pub fn new(spec: PlatformSpec, config: SimRuntimeConfig) -> Self {
+        let seed = config.seed;
+        let scheduler: Box<dyn entk_cluster::BatchScheduler> = match config.batch_policy {
+            BatchPolicy::Fifo => Box::new(FifoScheduler),
+            BatchPolicy::Backfill => Box::new(EasyBackfillScheduler),
+            BatchPolicy::FairShare => Box::new(FairShareScheduler::new(3600.0)),
+        };
+        let cluster = Cluster::with_scheduler(spec, seed ^ 0xC1u64, scheduler);
+        SimRuntime {
+            service: SimJobService::from_cluster(cluster),
+            rng: SimRng::seed_from_u64(seed),
+            config,
+            scheduler: Box::new(FirstFitScheduler),
+            pilots: HashMap::new(),
+            saga_to_pilot: HashMap::new(),
+            units: HashMap::new(),
+            waiting: Vec::new(),
+            profiler: Profiler::new(),
+            tracer: Tracer::new(),
+            next_pilot: 0,
+            next_unit: 0,
+        }
+    }
+
+    /// Replaces the unit scheduler (ablation hook).
+    pub fn set_scheduler(&mut self, scheduler: Box<dyn UnitScheduler>) {
+        self.scheduler = scheduler;
+    }
+
+    /// The machine this runtime targets.
+    pub fn platform(&self) -> &PlatformSpec {
+        self.service.cluster().spec()
+    }
+
+    /// Collected profiles.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Structured event trace of the session (RADICAL-Pilot-style profiler
+    /// records: `unit_scheduled`, `unit_exec_start`, `unit_done`, …).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Current state of a pilot.
+    pub fn pilot_state(&self, id: PilotId) -> Option<PilotState> {
+        self.pilots.get(&id).map(|p| p.state)
+    }
+
+    /// Current state of a unit.
+    pub fn unit_state(&self, id: UnitId) -> Option<UnitState> {
+        self.units.get(&id).map(|u| u.state)
+    }
+
+    /// Free cores across active pilots.
+    pub fn free_cores(&self) -> usize {
+        self.pilots
+            .values()
+            .filter(|p| p.state == PilotState::Active)
+            .map(|p| p.free_cores)
+            .sum()
+    }
+
+    /// Number of units not yet in a terminal state.
+    pub fn live_units(&self) -> usize {
+        self.units.values().filter(|u| !u.state.is_terminal()).count()
+    }
+
+    /// Submits a pilot. The pilot-submission overhead is paid before the
+    /// container job reaches SAGA.
+    pub fn submit_pilot<E: RuntimeEventSink>(
+        &mut self,
+        description: PilotDescription,
+        ctx: &mut Context<'_, E>,
+        out: &mut Vec<RuntimeNotification>,
+    ) -> Result<PilotId, String> {
+        description.validate()?;
+        let id = PilotId(self.next_pilot);
+        self.next_pilot += 1;
+        self.profiler.pilot_mut(id).submitted = Some(ctx.now());
+        self.pilots.insert(
+            id,
+            PilotRecord {
+                free_cores: description.cores,
+                description,
+                state: PilotState::New,
+                saga_job: None,
+            },
+        );
+        self.tracer
+            .record(ctx.now(), "pilot", "pilot_submitted", id.to_string());
+        let delay = self.config.overheads.pilot_submission.sample_duration(&mut self.rng);
+        ctx.schedule_in(delay, RuntimeEvent::PilotSubmitted(id));
+        out.push(RuntimeNotification::Pilot {
+            id,
+            state: PilotState::New,
+            time: ctx.now(),
+        });
+        Ok(id)
+    }
+
+    /// Submits a batch of units. Per-call and per-unit submission overheads
+    /// are paid before the units become schedulable.
+    pub fn submit_units<E: RuntimeEventSink>(
+        &mut self,
+        descriptions: Vec<UnitDescription>,
+        ctx: &mut Context<'_, E>,
+        out: &mut Vec<RuntimeNotification>,
+    ) -> Result<Vec<UnitId>, String> {
+        let mut ids = Vec::with_capacity(descriptions.len());
+        for d in &descriptions {
+            d.validate()?;
+        }
+        let n = descriptions.len() as u64;
+        for description in descriptions {
+            let id = UnitId(self.next_unit);
+            self.next_unit += 1;
+            self.profiler.unit_mut(id).submitted = Some(ctx.now());
+            self.units.insert(
+                id,
+                UnitRecord {
+                    description,
+                    state: UnitState::New,
+                    pilot: None,
+                    holding: 0,
+                    exec_event: None,
+                },
+            );
+            out.push(RuntimeNotification::Unit {
+                id,
+                state: UnitState::New,
+                time: ctx.now(),
+                detail: None,
+            });
+            ids.push(id);
+        }
+        let fixed = self.config.overheads.unit_submit_fixed.sample(&mut self.rng);
+        let per = self.config.overheads.unit_submit_per_unit.sample(&mut self.rng);
+        let delay = SimDuration::from_secs_f64(fixed + per * n as f64);
+        ctx.schedule_in(delay, RuntimeEvent::UnitsSubmitted(ids.clone()));
+        Ok(ids)
+    }
+
+    /// Cancels a unit that has not finished.
+    pub fn cancel_unit<E: RuntimeEventSink>(
+        &mut self,
+        id: UnitId,
+        ctx: &mut Context<'_, E>,
+        out: &mut Vec<RuntimeNotification>,
+    ) {
+        let Some(unit) = self.units.get_mut(&id) else { return };
+        if unit.state.is_terminal() || !unit.state.can_transition_to(UnitState::Canceled) {
+            return;
+        }
+        let released = unit.holding;
+        let pilot = unit.pilot;
+        unit.holding = 0;
+        unit.state = UnitState::Canceled;
+        if let Some(ev) = unit.exec_event.take() {
+            ctx.cancel(ev);
+        }
+        self.waiting.retain(|&w| w != id);
+        self.profiler.unit_mut(id).done = Some(ctx.now());
+        if let (Some(pid), true) = (pilot, released > 0) {
+            if let Some(p) = self.pilots.get_mut(&pid) {
+                p.free_cores += released;
+            }
+            ctx.schedule_in(SimDuration::ZERO, RuntimeEvent::SchedulePass);
+        }
+        out.push(RuntimeNotification::Unit {
+            id,
+            state: UnitState::Canceled,
+            time: ctx.now(),
+            detail: None,
+        });
+    }
+
+    /// Cancels a pilot: its container job is cancelled and units currently
+    /// on it fail; waiting units stay queued for other pilots.
+    pub fn cancel_pilot<E: RuntimeEventSink>(
+        &mut self,
+        id: PilotId,
+        ctx: &mut Context<'_, E>,
+        out: &mut Vec<RuntimeNotification>,
+    ) {
+        let Some(p) = self.pilots.get(&id) else { return };
+        if p.state.is_terminal() {
+            return;
+        }
+        if let Some(saga) = p.saga_job {
+            let mut updates = Vec::new();
+            self.service.cancel(saga, ctx, &mut updates);
+            self.apply_saga_updates(updates, ctx, out);
+        } else {
+            self.set_pilot_state(id, PilotState::Canceled, ctx.now(), out);
+        }
+    }
+
+    /// Completes a pilot gracefully: releases the allocation back to the
+    /// batch system (used by the resource handle's `deallocate`).
+    pub fn finish_pilot<E: RuntimeEventSink>(
+        &mut self,
+        id: PilotId,
+        ctx: &mut Context<'_, E>,
+        out: &mut Vec<RuntimeNotification>,
+    ) {
+        let Some(p) = self.pilots.get(&id) else { return };
+        match p.state {
+            PilotState::Active => {
+                if let Some(saga) = p.saga_job {
+                    let mut updates = Vec::new();
+                    self.service.finish(saga, ctx, &mut updates);
+                    self.apply_saga_updates(updates, ctx, out);
+                }
+            }
+            PilotState::New | PilotState::Launching => self.cancel_pilot(id, ctx, out),
+            _ => {}
+        }
+    }
+
+    /// Handles a runtime event.
+    pub fn handle<E: RuntimeEventSink>(
+        &mut self,
+        event: RuntimeEvent,
+        ctx: &mut Context<'_, E>,
+        out: &mut Vec<RuntimeNotification>,
+    ) {
+        match event {
+            RuntimeEvent::PilotSubmitted(id) => self.on_pilot_submitted(id, ctx, out),
+            RuntimeEvent::UnitsSubmitted(ids) => {
+                for id in ids {
+                    let unit = self.units.get_mut(&id).expect("submitted unit exists");
+                    if unit.state == UnitState::New {
+                        unit.state = UnitState::Scheduling;
+                        self.waiting.push(id);
+                        out.push(RuntimeNotification::Unit {
+                            id,
+                            state: UnitState::Scheduling,
+                            time: ctx.now(),
+                            detail: None,
+                        });
+                    }
+                }
+                self.schedule_pass(ctx, out);
+            }
+            RuntimeEvent::SchedulePass => self.schedule_pass(ctx, out),
+            RuntimeEvent::StageInDone(id) => self.on_stagein_done(id, ctx),
+            RuntimeEvent::LaunchDone(id) => self.on_launch_done(id, ctx, out),
+            RuntimeEvent::ExecDone(id) => self.on_exec_done(id, ctx, out),
+            RuntimeEvent::StageOutDone(id) => self.on_stageout_done(id, ctx, out),
+        }
+    }
+
+    /// Handles a cluster event (queue movement, walltime, etc.).
+    pub fn handle_cluster<E: RuntimeEventSink>(
+        &mut self,
+        event: ClusterEvent,
+        ctx: &mut Context<'_, E>,
+        out: &mut Vec<RuntimeNotification>,
+    ) {
+        let mut updates = Vec::new();
+        self.service.handle_cluster(event, ctx, &mut updates);
+        self.apply_saga_updates(updates, ctx, out);
+    }
+
+    /// Mutable access to the cluster, for tests and transfer modelling.
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        self.service.cluster_mut()
+    }
+
+    fn on_pilot_submitted<E: RuntimeEventSink>(
+        &mut self,
+        id: PilotId,
+        ctx: &mut Context<'_, E>,
+        out: &mut Vec<RuntimeNotification>,
+    ) {
+        let p = self.pilots.get_mut(&id).expect("pilot exists");
+        if p.state != PilotState::New {
+            return;
+        }
+        let jd = JobDescription {
+            executable: "radical-pilot-agent".into(),
+            total_cpu_count: p.description.cores,
+            wall_time_limit: p.description.walltime,
+            queue: p.description.queue.clone(),
+            project: p.description.project.clone(),
+            ..Default::default()
+        };
+        let mut updates = Vec::new();
+        let saga = self
+            .service
+            .submit(jd, ctx, &mut updates)
+            .expect("pilot job description is valid");
+        self.pilots.get_mut(&id).expect("pilot exists").saga_job = Some(saga);
+        self.saga_to_pilot.insert(saga, id);
+        self.profiler.pilot_mut(id).launched = Some(ctx.now());
+        self.set_pilot_state(id, PilotState::Launching, ctx.now(), out);
+        self.apply_saga_updates(updates, ctx, out);
+    }
+
+    fn apply_saga_updates<E: RuntimeEventSink>(
+        &mut self,
+        updates: Vec<JobUpdate>,
+        ctx: &mut Context<'_, E>,
+        out: &mut Vec<RuntimeNotification>,
+    ) {
+        for u in updates {
+            let Some(&pid) = self.saga_to_pilot.get(&u.id) else {
+                continue;
+            };
+            match u.state {
+                JobState::Running => {
+                    self.tracer
+                        .record(u.time, "pilot", "pilot_active", pid.to_string());
+                    self.profiler.pilot_mut(pid).active = Some(u.time);
+                    self.set_pilot_state(pid, PilotState::Active, u.time, out);
+                    ctx.schedule_in(SimDuration::ZERO, RuntimeEvent::SchedulePass);
+                }
+                JobState::Done => {
+                    self.on_pilot_gone(pid, PilotState::Done, u.time, ctx, out);
+                }
+                JobState::Canceled => {
+                    self.on_pilot_gone(pid, PilotState::Canceled, u.time, ctx, out);
+                }
+                JobState::Failed => {
+                    self.on_pilot_gone(pid, PilotState::Failed, u.time, ctx, out);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn on_pilot_gone<E: RuntimeEventSink>(
+        &mut self,
+        pid: PilotId,
+        state: PilotState,
+        time: SimTime,
+        ctx: &mut Context<'_, E>,
+        out: &mut Vec<RuntimeNotification>,
+    ) {
+        self.profiler.pilot_mut(pid).finished = Some(time);
+        self.set_pilot_state(pid, state, time, out);
+        // Units in flight on this pilot fail (they lose their cores).
+        let victims: Vec<UnitId> = self
+            .units
+            .iter()
+            .filter(|(_, u)| u.pilot == Some(pid) && !u.state.is_terminal())
+            .map(|(&id, _)| id)
+            .collect();
+        for id in victims {
+            let unit = self.units.get_mut(&id).expect("unit exists");
+            if unit.state.can_transition_to(UnitState::Failed) {
+                unit.state = UnitState::Failed;
+                unit.holding = 0;
+                if let Some(ev) = unit.exec_event.take() {
+                    ctx.cancel(ev);
+                }
+                self.profiler.unit_mut(id).done = Some(time);
+                out.push(RuntimeNotification::Unit {
+                    id,
+                    state: UnitState::Failed,
+                    time,
+                    detail: Some(format!("{pid} terminated ({state:?})")),
+                });
+            }
+        }
+        // Remaining waiting units may still run on other pilots.
+        ctx.schedule_in(SimDuration::ZERO, RuntimeEvent::SchedulePass);
+    }
+
+    fn set_pilot_state(
+        &mut self,
+        id: PilotId,
+        state: PilotState,
+        time: SimTime,
+        out: &mut Vec<RuntimeNotification>,
+    ) {
+        let p = self.pilots.get_mut(&id).expect("pilot exists");
+        if p.state == state || !p.state.can_transition_to(state) {
+            return;
+        }
+        p.state = state;
+        out.push(RuntimeNotification::Pilot { id, state, time });
+    }
+
+    fn schedule_pass<E: RuntimeEventSink>(
+        &mut self,
+        ctx: &mut Context<'_, E>,
+        out: &mut Vec<RuntimeNotification>,
+    ) {
+        if self.waiting.is_empty() {
+            return;
+        }
+        // Fail units that can never fit any non-terminal pilot.
+        let max_pilot_cores = self
+            .pilots
+            .values()
+            .filter(|p| !p.state.is_terminal())
+            .map(|p| p.description.cores)
+            .max()
+            .unwrap_or(0);
+        let (fitting, doomed): (Vec<UnitId>, Vec<UnitId>) = self
+            .waiting
+            .iter()
+            .partition(|&&id| self.units[&id].description.cores <= max_pilot_cores);
+        self.waiting = fitting;
+        for id in doomed {
+            let unit = self.units.get_mut(&id).expect("unit exists");
+            unit.state = UnitState::Failed;
+            self.profiler.unit_mut(id).done = Some(ctx.now());
+            out.push(RuntimeNotification::Unit {
+                id,
+                state: UnitState::Failed,
+                time: ctx.now(),
+                detail: Some("no pilot large enough for this unit".into()),
+            });
+        }
+        if self.waiting.is_empty() {
+            return;
+        }
+
+        let views: Vec<UnitView> = self
+            .waiting
+            .iter()
+            .map(|&id| UnitView {
+                id,
+                cores: self.units[&id].description.cores,
+            })
+            .collect();
+        let mut pilot_views: Vec<PilotView> = self
+            .pilots
+            .iter()
+            .map(|(&id, p)| PilotView {
+                id,
+                active: p.state == PilotState::Active,
+                free_cores: p.free_cores,
+                total_cores: p.description.cores,
+            })
+            .collect();
+        pilot_views.sort_by_key(|p| p.id);
+        let placements = self.scheduler.assign(&views, &pilot_views);
+        for placement in placements {
+            let unit = self.units.get_mut(&placement.unit).expect("unit exists");
+            let pilot = self.pilots.get_mut(&placement.pilot).expect("pilot exists");
+            assert!(
+                pilot.free_cores >= unit.description.cores,
+                "unit scheduler oversubscribed {}",
+                placement.pilot
+            );
+            pilot.free_cores -= unit.description.cores;
+            unit.pilot = Some(placement.pilot);
+            unit.holding = unit.description.cores;
+            unit.state = UnitState::StagingInput;
+            self.waiting.retain(|&w| w != placement.unit);
+            self.tracer.record(
+                ctx.now(),
+                "pilot",
+                "unit_scheduled",
+                placement.unit.to_string(),
+            );
+            self.profiler.unit_mut(placement.unit).scheduled = Some(ctx.now());
+            out.push(RuntimeNotification::Unit {
+                id: placement.unit,
+                state: UnitState::StagingInput,
+                time: ctx.now(),
+                detail: None,
+            });
+            // Scheduling bookkeeping cost + staged input bytes.
+            let sched_cost = self.config.overheads.scheduling_per_unit.sample(&mut self.rng);
+            let bytes = self.units[&placement.unit].description.input_bytes();
+            let stage = self.service.cluster_mut().transfer_duration(bytes);
+            let delay = SimDuration::from_secs_f64(sched_cost) + stage;
+            ctx.schedule_in(delay, RuntimeEvent::StageInDone(placement.unit));
+        }
+    }
+
+    fn on_stagein_done<E: RuntimeEventSink>(&mut self, id: UnitId, ctx: &mut Context<'_, E>) {
+        let Some(unit) = self.units.get(&id) else { return };
+        if unit.state != UnitState::StagingInput {
+            return;
+        }
+        self.profiler.unit_mut(id).stagein_done = Some(ctx.now());
+        let dispatch = self.config.overheads.agent_dispatch.sample(&mut self.rng);
+        let launch = self.service.cluster_mut().sample_task_launch();
+        ctx.schedule_in(
+            SimDuration::from_secs_f64(dispatch) + launch,
+            RuntimeEvent::LaunchDone(id),
+        );
+    }
+
+    fn on_launch_done<E: RuntimeEventSink>(
+        &mut self,
+        id: UnitId,
+        ctx: &mut Context<'_, E>,
+        out: &mut Vec<RuntimeNotification>,
+    ) {
+        let Some(unit) = self.units.get_mut(&id) else { return };
+        if unit.state != UnitState::StagingInput {
+            return;
+        }
+        unit.state = UnitState::Executing;
+        self.tracer
+            .record(ctx.now(), "pilot", "unit_exec_start", id.to_string());
+        let duration = match &unit.description.work {
+            UnitWork::Modeled(d) => *d,
+            UnitWork::Real(_) => SimDuration::ZERO, // real work has no place in virtual time
+        };
+        self.profiler.unit_mut(id).exec_start = Some(ctx.now());
+        out.push(RuntimeNotification::Unit {
+            id,
+            state: UnitState::Executing,
+            time: ctx.now(),
+            detail: None,
+        });
+        let ev = ctx.schedule_in(duration, RuntimeEvent::ExecDone(id));
+        self.units.get_mut(&id).expect("unit exists").exec_event = Some(ev);
+    }
+
+    fn on_exec_done<E: RuntimeEventSink>(
+        &mut self,
+        id: UnitId,
+        ctx: &mut Context<'_, E>,
+        out: &mut Vec<RuntimeNotification>,
+    ) {
+        let Some(unit) = self.units.get_mut(&id) else { return };
+        if unit.state != UnitState::Executing {
+            return;
+        }
+        self.tracer
+            .record(ctx.now(), "pilot", "unit_exec_stop", id.to_string());
+        self.profiler.unit_mut(id).exec_stop = Some(ctx.now());
+        unit.exec_event = None;
+        // Release cores regardless of outcome.
+        let released = unit.holding;
+        unit.holding = 0;
+        let pilot = unit.pilot;
+        let failed = self.config.unit_failure_rate > 0.0
+            && self.rng.chance(self.config.unit_failure_rate);
+        if failed {
+            unit.state = UnitState::Failed;
+            self.profiler.unit_mut(id).done = Some(ctx.now());
+            out.push(RuntimeNotification::Unit {
+                id,
+                state: UnitState::Failed,
+                time: ctx.now(),
+                detail: Some("injected execution failure".into()),
+            });
+        } else if unit.description.output_bytes() > 0 {
+            unit.state = UnitState::StagingOutput;
+            out.push(RuntimeNotification::Unit {
+                id,
+                state: UnitState::StagingOutput,
+                time: ctx.now(),
+                detail: None,
+            });
+            let bytes = unit.description.output_bytes();
+            let stage = self.service.cluster_mut().transfer_duration(bytes);
+            ctx.schedule_in(stage, RuntimeEvent::StageOutDone(id));
+        } else {
+            unit.state = UnitState::Done;
+            self.profiler.unit_mut(id).done = Some(ctx.now());
+            out.push(RuntimeNotification::Unit {
+                id,
+                state: UnitState::Done,
+                time: ctx.now(),
+                detail: None,
+            });
+        }
+        if let (Some(pid), true) = (pilot, released > 0) {
+            if let Some(p) = self.pilots.get_mut(&pid) {
+                p.free_cores += released;
+            }
+            ctx.schedule_in(SimDuration::ZERO, RuntimeEvent::SchedulePass);
+        }
+    }
+
+    fn on_stageout_done<E: RuntimeEventSink>(
+        &mut self,
+        id: UnitId,
+        ctx: &mut Context<'_, E>,
+        out: &mut Vec<RuntimeNotification>,
+    ) {
+        let Some(unit) = self.units.get_mut(&id) else { return };
+        if unit.state != UnitState::StagingOutput {
+            return;
+        }
+        unit.state = UnitState::Done;
+        self.profiler.unit_mut(id).done = Some(ctx.now());
+        let _ = ctx;
+        out.push(RuntimeNotification::Unit {
+            id,
+            state: UnitState::Done,
+            time: ctx.now(),
+            detail: None,
+        });
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use entk_sim::Engine;
+
+    /// Top-level event enum for tests.
+    #[derive(Debug)]
+    pub(crate) enum Ev {
+        Rt(RuntimeEvent),
+        Cl(ClusterEvent),
+    }
+    impl From<RuntimeEvent> for Ev {
+        fn from(e: RuntimeEvent) -> Ev {
+            Ev::Rt(e)
+        }
+    }
+    impl From<ClusterEvent> for Ev {
+        fn from(e: ClusterEvent) -> Ev {
+            Ev::Cl(e)
+        }
+    }
+
+    pub(crate) fn quiet_spec(nodes: usize, cpn: usize) -> PlatformSpec {
+        let mut s = PlatformSpec::local(nodes, cpn);
+        s.job_startup = entk_sim::Dist::Constant(1.0);
+        s.task_launch = entk_sim::Dist::Constant(0.01);
+        s
+    }
+
+    pub(crate) fn quiet_config() -> SimRuntimeConfig {
+        SimRuntimeConfig {
+            overheads: RuntimeOverheads::zero(),
+            unit_failure_rate: 0.0,
+            seed: 7,
+            batch_policy: BatchPolicy::Fifo,
+        }
+    }
+
+    /// Boots a pilot, submits `units`, runs to completion; returns
+    /// notifications and the runtime.
+    pub(crate) fn run_session(
+        spec: PlatformSpec,
+        config: SimRuntimeConfig,
+        pilot_cores: usize,
+        units: Vec<UnitDescription>,
+    ) -> (Vec<RuntimeNotification>, SimRuntime) {
+        let mut rt = SimRuntime::new(spec, config);
+        let mut engine: Engine<Ev> = Engine::new();
+        let mut log = Vec::new();
+        let mut booted = false;
+        engine.schedule_in(SimDuration::ZERO, RuntimeEvent::SchedulePass);
+        engine.run(|ev, ctx| {
+            let mut out = Vec::new();
+            if !booted {
+                booted = true;
+                rt.submit_pilot(
+                    PilotDescription::new("local", pilot_cores, SimDuration::from_secs(100_000)),
+                    ctx,
+                    &mut out,
+                )
+                .unwrap();
+                rt.submit_units(units.clone(), ctx, &mut out).unwrap();
+            }
+            match ev {
+                Ev::Rt(re) => rt.handle(re, ctx, &mut out),
+                Ev::Cl(ce) => rt.handle_cluster(ce, ctx, &mut out),
+            }
+            // Tear the pilot down once all units are terminal.
+            if rt.live_units() == 0 && rt.pilot_state(PilotId(0)) == Some(PilotState::Active) {
+                rt.finish_pilot(PilotId(0), ctx, &mut out);
+            }
+            log.extend(out);
+        });
+        (log, rt)
+    }
+
+    fn unit_terminal_states(log: &[RuntimeNotification]) -> HashMap<UnitId, UnitState> {
+        let mut m = HashMap::new();
+        for n in log {
+            if let RuntimeNotification::Unit { id, state, .. } = n {
+                if state.is_terminal() {
+                    m.insert(*id, *state);
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn all_units_complete_exactly_once() {
+        let units: Vec<_> = (0..10)
+            .map(|i| UnitDescription::modeled(format!("t{i}"), SimDuration::from_secs(5)))
+            .collect();
+        let (log, rt) = run_session(quiet_spec(1, 4), quiet_config(), 4, units);
+        let terminals = unit_terminal_states(&log);
+        assert_eq!(terminals.len(), 10);
+        assert!(terminals.values().all(|&s| s == UnitState::Done));
+        // Exactly one Done notification per unit.
+        let done_count = log
+            .iter()
+            .filter(|n| matches!(n, RuntimeNotification::Unit { state: UnitState::Done, .. }))
+            .count();
+        assert_eq!(done_count, 10);
+        assert_eq!(rt.profiler().exec_durations().count(), 10);
+    }
+
+    #[test]
+    fn more_units_than_cores_run_in_waves() {
+        // 8 units of 5 s on 4 cores => exec span ~ 2 waves.
+        let units: Vec<_> = (0..8)
+            .map(|i| UnitDescription::modeled(format!("t{i}"), SimDuration::from_secs(5)))
+            .collect();
+        let (_, rt) = run_session(quiet_spec(1, 4), quiet_config(), 4, units);
+        let span = rt.profiler().exec_span().unwrap().as_secs_f64();
+        assert!(span >= 10.0, "two waves of 5 s, got {span}");
+        assert!(span < 12.0, "launch overheads only, got {span}");
+    }
+
+    #[test]
+    fn mpi_units_hold_multiple_cores() {
+        // Two 4-core MPI units on a 4-core pilot must serialize.
+        let units: Vec<_> = (0..2)
+            .map(|i| {
+                UnitDescription::modeled(format!("mpi{i}"), SimDuration::from_secs(5))
+                    .with_cores(4)
+                    .with_mpi(true)
+            })
+            .collect();
+        let (_, rt) = run_session(quiet_spec(1, 4), quiet_config(), 4, units);
+        let span = rt.profiler().exec_span().unwrap().as_secs_f64();
+        assert!(span >= 10.0, "serialized MPI units, got {span}");
+    }
+
+    #[test]
+    fn oversized_unit_fails_cleanly() {
+        let units = vec![
+            UnitDescription::modeled("huge", SimDuration::from_secs(1))
+                .with_cores(64)
+                .with_mpi(true),
+            UnitDescription::modeled("ok", SimDuration::from_secs(1)),
+        ];
+        let (log, _) = run_session(quiet_spec(1, 4), quiet_config(), 4, units);
+        let terminals = unit_terminal_states(&log);
+        assert_eq!(terminals[&UnitId(0)], UnitState::Failed);
+        assert_eq!(terminals[&UnitId(1)], UnitState::Done);
+    }
+
+    #[test]
+    fn staging_adds_time_and_states() {
+        let units = vec![UnitDescription::modeled("st", SimDuration::from_secs(1))
+            .with_input("in.dat", 50_000_000) // 10 ms at 5 GB/s
+            .with_output("out.dat", 50_000_000)];
+        let (log, _) = run_session(quiet_spec(1, 4), quiet_config(), 4, units);
+        let states: Vec<UnitState> = log
+            .iter()
+            .filter_map(|n| match n {
+                RuntimeNotification::Unit { id, state, .. } if *id == UnitId(0) => Some(*state),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            states,
+            vec![
+                UnitState::New,
+                UnitState::Scheduling,
+                UnitState::StagingInput,
+                UnitState::Executing,
+                UnitState::StagingOutput,
+                UnitState::Done
+            ]
+        );
+    }
+
+    #[test]
+    fn failure_injection_fails_some_units() {
+        let mut cfg = quiet_config();
+        cfg.unit_failure_rate = 0.5;
+        let units: Vec<_> = (0..40)
+            .map(|i| UnitDescription::modeled(format!("t{i}"), SimDuration::from_secs(1)))
+            .collect();
+        let (log, _) = run_session(quiet_spec(1, 8), cfg, 8, units);
+        let terminals = unit_terminal_states(&log);
+        let failed = terminals.values().filter(|&&s| s == UnitState::Failed).count();
+        let done = terminals.values().filter(|&&s| s == UnitState::Done).count();
+        assert_eq!(failed + done, 40);
+        assert!(failed > 5, "expected some failures, got {failed}");
+        assert!(done > 5, "expected some successes, got {done}");
+    }
+
+    #[test]
+    fn cancel_pilot_fails_inflight_units() {
+        let mut rt = SimRuntime::new(quiet_spec(1, 4), quiet_config());
+        let mut engine: Engine<Ev> = Engine::new();
+        let mut log = Vec::new();
+        let mut booted = false;
+        let mut cancelled = false;
+        engine.schedule_in(SimDuration::ZERO, RuntimeEvent::SchedulePass);
+        engine.run(|ev, ctx| {
+            let mut out = Vec::new();
+            if !booted {
+                booted = true;
+                rt.submit_pilot(
+                    PilotDescription::new("local", 4, SimDuration::from_secs(100_000)),
+                    ctx,
+                    &mut out,
+                )
+                .unwrap();
+                rt.submit_units(
+                    vec![UnitDescription::modeled("long", SimDuration::from_secs(1000))],
+                    ctx,
+                    &mut out,
+                )
+                .unwrap();
+            }
+            match ev {
+                Ev::Rt(re) => rt.handle(re, ctx, &mut out),
+                Ev::Cl(ce) => rt.handle_cluster(ce, ctx, &mut out),
+            }
+            // Cancel the pilot as soon as the unit starts executing.
+            if !cancelled
+                && out.iter().any(|n| {
+                    matches!(
+                        n,
+                        RuntimeNotification::Unit {
+                            state: UnitState::Executing,
+                            ..
+                        }
+                    )
+                })
+            {
+                cancelled = true;
+                rt.cancel_pilot(PilotId(0), ctx, &mut out);
+            }
+            log.extend(out);
+        });
+        assert!(cancelled);
+        let terminals = unit_terminal_states(&log);
+        assert_eq!(terminals[&UnitId(0)], UnitState::Failed);
+        assert_eq!(rt.pilot_state(PilotId(0)), Some(PilotState::Canceled));
+    }
+
+    #[test]
+    fn walltime_expiry_fails_pilot_and_units() {
+        let units = vec![UnitDescription::modeled("too-long", SimDuration::from_secs(500))];
+        // Pilot walltime is 10 s; the unit needs 500 s.
+        let mut rt = SimRuntime::new(quiet_spec(1, 4), quiet_config());
+        let mut engine: Engine<Ev> = Engine::new();
+        let mut log = Vec::new();
+        let mut booted = false;
+        engine.schedule_in(SimDuration::ZERO, RuntimeEvent::SchedulePass);
+        engine.run(|ev, ctx| {
+            let mut out = Vec::new();
+            if !booted {
+                booted = true;
+                rt.submit_pilot(
+                    PilotDescription::new("local", 4, SimDuration::from_secs(10)),
+                    ctx,
+                    &mut out,
+                )
+                .unwrap();
+                rt.submit_units(units.clone(), ctx, &mut out).unwrap();
+            }
+            match ev {
+                Ev::Rt(re) => rt.handle(re, ctx, &mut out),
+                Ev::Cl(ce) => rt.handle_cluster(ce, ctx, &mut out),
+            }
+            log.extend(out);
+        });
+        assert_eq!(rt.pilot_state(PilotId(0)), Some(PilotState::Failed));
+        let terminals = unit_terminal_states(&log);
+        assert_eq!(terminals[&UnitId(0)], UnitState::Failed);
+    }
+
+    #[test]
+    fn cancel_waiting_unit_before_any_pilot() {
+        let mut rt = SimRuntime::new(quiet_spec(1, 4), quiet_config());
+        let mut engine: Engine<Ev> = Engine::new();
+        let mut booted = false;
+        let mut log = Vec::new();
+        engine.schedule_in(SimDuration::ZERO, RuntimeEvent::SchedulePass);
+        engine.run(|ev, ctx| {
+            let mut out = Vec::new();
+            if !booted {
+                booted = true;
+                let ids = rt
+                    .submit_units(
+                        vec![UnitDescription::modeled("w", SimDuration::from_secs(1))],
+                        ctx,
+                        &mut out,
+                    )
+                    .unwrap();
+                rt.cancel_unit(ids[0], ctx, &mut out);
+            }
+            match ev {
+                Ev::Rt(re) => rt.handle(re, ctx, &mut out),
+                Ev::Cl(ce) => rt.handle_cluster(ce, ctx, &mut out),
+            }
+            log.extend(out);
+        });
+        assert_eq!(rt.unit_state(UnitId(0)), Some(UnitState::Canceled));
+    }
+
+    #[test]
+    fn per_unit_overheads_scale_with_task_count() {
+        // The unit-submission delay (fixed + per-unit * n) gates when units
+        // become schedulable: with constant overheads the gap from t=0 to the
+        // first Scheduling notification must be exactly fixed + per * n.
+        let mk_units = |n: usize| {
+            (0..n)
+                .map(|i| UnitDescription::modeled(format!("t{i}"), SimDuration::from_secs(1)))
+                .collect::<Vec<_>>()
+        };
+        let mut cfg = quiet_config();
+        cfg.overheads.unit_submit_per_unit = entk_sim::Dist::Constant(0.01);
+        cfg.overheads.unit_submit_fixed = entk_sim::Dist::Constant(0.1);
+        let first_scheduling = |log: &[RuntimeNotification]| {
+            log.iter()
+                .find_map(|n| match n {
+                    RuntimeNotification::Unit {
+                        state: UnitState::Scheduling,
+                        time,
+                        ..
+                    } => Some(time.as_secs_f64()),
+                    _ => None,
+                })
+                .expect("units entered scheduling")
+        };
+        let (log_small, _) = run_session(quiet_spec(8, 24), cfg.clone(), 64, mk_units(16));
+        let (log_large, _) = run_session(quiet_spec(8, 24), cfg, 64, mk_units(64));
+        let small = first_scheduling(&log_small);
+        let large = first_scheduling(&log_large);
+        assert!((small - (0.1 + 0.01 * 16.0)).abs() < 1e-6, "small gap {small}");
+        assert!((large - (0.1 + 0.01 * 64.0)).abs() < 1e-6, "large gap {large}");
+    }
+}
+
+#[cfg(test)]
+mod tracer_tests {
+    use super::tests::*;
+    use super::*;
+    use entk_sim::SimDuration;
+
+    #[test]
+    fn tracer_records_session_events_in_causal_order() {
+        let units: Vec<_> = (0..3)
+            .map(|i| UnitDescription::modeled(format!("t{i}"), SimDuration::from_secs(5)))
+            .collect();
+        let (_, rt) = run_session(quiet_spec(1, 4), quiet_config(), 4, units);
+        let tracer = rt.tracer();
+        assert_eq!(tracer.filter("pilot", "pilot_submitted").count(), 1);
+        assert_eq!(tracer.filter("pilot", "pilot_active").count(), 1);
+        assert_eq!(tracer.filter("pilot", "unit_scheduled").count(), 3);
+        assert_eq!(tracer.filter("pilot", "unit_exec_start").count(), 3);
+        assert_eq!(tracer.filter("pilot", "unit_exec_stop").count(), 3);
+        // Causality per unit: scheduled <= exec_start <= exec_stop.
+        for u in 0..3u64 {
+            let subject = UnitId(u).to_string();
+            let sched = tracer.time_of("pilot", "unit_scheduled", &subject).unwrap();
+            let start = tracer.time_of("pilot", "unit_exec_start", &subject).unwrap();
+            let stop = tracer.time_of("pilot", "unit_exec_stop", &subject).unwrap();
+            assert!(sched <= start && start <= stop);
+        }
+    }
+}

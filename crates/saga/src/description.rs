@@ -1,0 +1,123 @@
+//! JSDL-style job descriptions (SAGA job model).
+//!
+//! The paper (§III-C1) notes EnTK "follows a standard job submission
+//! language" — the Job Submission Description Language — through the SAGA
+//! API. This module models the JSDL attributes that matter for pilot jobs.
+
+use entk_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A JSDL-style description of a job to submit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobDescription {
+    /// Executable path or logical name.
+    pub executable: String,
+    /// Command-line arguments.
+    pub arguments: Vec<String>,
+    /// Environment variables.
+    pub environment: Vec<(String, String)>,
+    /// Working directory on the target resource.
+    pub working_directory: String,
+    /// Total CPU cores requested (JSDL `TotalCPUCount`).
+    pub total_cpu_count: usize,
+    /// Wall-time limit (JSDL `WallTimeLimit`).
+    pub wall_time_limit: SimDuration,
+    /// Batch queue name.
+    pub queue: String,
+    /// Allocation / project to charge.
+    pub project: String,
+    /// Total physical memory requested in MB (JSDL `TotalPhysicalMemory`).
+    pub total_physical_memory_mb: u64,
+    /// Whether the job spans processes via MPI (JSDL `SPMDVariation`).
+    pub spmd_variation: Option<String>,
+}
+
+impl Default for JobDescription {
+    fn default() -> Self {
+        JobDescription {
+            executable: String::new(),
+            arguments: Vec::new(),
+            environment: Vec::new(),
+            working_directory: "/tmp".into(),
+            total_cpu_count: 1,
+            wall_time_limit: SimDuration::from_secs(3600),
+            queue: "normal".into(),
+            project: String::new(),
+            total_physical_memory_mb: 0,
+            spmd_variation: None,
+        }
+    }
+}
+
+impl JobDescription {
+    /// Creates a description with the required fields set.
+    pub fn new(executable: impl Into<String>, cores: usize, walltime: SimDuration) -> Self {
+        JobDescription {
+            executable: executable.into(),
+            total_cpu_count: cores,
+            wall_time_limit: walltime,
+            ..Default::default()
+        }
+    }
+
+    /// Validates the description; returns a human-readable reason on failure.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.executable.is_empty() {
+            return Err("executable must not be empty".into());
+        }
+        if self.total_cpu_count == 0 {
+            return Err("total_cpu_count must be positive".into());
+        }
+        if self.wall_time_limit.is_zero() {
+            return Err("wall_time_limit must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates_after_setting_executable() {
+        let mut jd = JobDescription::default();
+        assert!(jd.validate().is_err());
+        jd.executable = "pilot-agent".into();
+        assert!(jd.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_cores_and_walltime() {
+        let mut jd = JobDescription::new("x", 0, SimDuration::from_secs(10));
+        assert!(jd.validate().is_err());
+        jd.total_cpu_count = 4;
+        jd.wall_time_limit = SimDuration::ZERO;
+        assert!(jd.validate().is_err());
+    }
+
+    #[test]
+    fn constructor_sets_fields() {
+        let jd = JobDescription::new("agent", 128, SimDuration::from_secs(7200));
+        assert_eq!(jd.total_cpu_count, 128);
+        assert_eq!(jd.wall_time_limit, SimDuration::from_secs(7200));
+        assert!(jd.validate().is_ok());
+    }
+}
+
+#[cfg(test)]
+mod serde_tests {
+    use super::*;
+
+    #[test]
+    fn job_description_serde_roundtrip() {
+        let mut jd = JobDescription::new("agent", 16, SimDuration::from_secs(600));
+        jd.environment.push(("OMP_NUM_THREADS".into(), "4".into()));
+        jd.spmd_variation = Some("MPI".into());
+        let json = serde_json::to_string(&jd).unwrap();
+        let back: JobDescription = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.total_cpu_count, 16);
+        assert_eq!(back.spmd_variation.as_deref(), Some("MPI"));
+        assert_eq!(back.environment.len(), 1);
+    }
+}

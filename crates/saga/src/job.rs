@@ -1,0 +1,166 @@
+//! SAGA job handles and the SAGA job state model.
+
+use crate::description::JobDescription;
+use entk_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a SAGA job within one service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SagaJobId(pub u64);
+
+impl fmt::Display for SagaJobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "saga.job.{:06}", self.0)
+    }
+}
+
+/// SAGA job states (GFD.90 model, without `Suspended` which no adapter here
+/// produces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JobState {
+    /// Created, not yet accepted by the backend.
+    New,
+    /// Accepted; waiting for resources.
+    Pending,
+    /// Executing.
+    Running,
+    /// Finished successfully.
+    Done,
+    /// Cancelled by the user.
+    Canceled,
+    /// Failed (including wall-time kills).
+    Failed,
+}
+
+impl JobState {
+    /// True for states a job can never leave.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Canceled | JobState::Failed)
+    }
+
+    /// Whether `self -> next` is legal in the SAGA state diagram.
+    pub fn can_transition_to(self, next: JobState) -> bool {
+        use JobState::*;
+        matches!(
+            (self, next),
+            (New, Pending)
+                | (New, Failed)
+                | (New, Canceled)
+                | (Pending, Running)
+                | (Pending, Canceled)
+                | (Pending, Failed)
+                | (Running, Done)
+                | (Running, Canceled)
+                | (Running, Failed)
+        )
+    }
+}
+
+/// A state-change notification delivered to the submitting layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobUpdate {
+    /// The job.
+    pub id: SagaJobId,
+    /// New state.
+    pub state: JobState,
+    /// When it changed.
+    pub time: SimTime,
+    /// Optional adapter detail (e.g. failure reason).
+    pub detail: Option<String>,
+}
+
+/// A SAGA job record held by a service.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Job {
+    /// Job id.
+    pub id: SagaJobId,
+    /// Submitted description.
+    pub description: JobDescription,
+    /// Current state.
+    pub state: JobState,
+    /// Submission time.
+    pub submitted_at: SimTime,
+    /// Time execution began.
+    pub started_at: Option<SimTime>,
+    /// Time a terminal state was reached.
+    pub finished_at: Option<SimTime>,
+}
+
+impl Job {
+    /// Creates a new job record in state `New`.
+    pub fn new(id: SagaJobId, description: JobDescription, now: SimTime) -> Self {
+        Job {
+            id,
+            description,
+            state: JobState::New,
+            submitted_at: now,
+            started_at: None,
+            finished_at: None,
+        }
+    }
+
+    /// Applies a transition, panicking on illegal ones (simulator invariant).
+    pub fn transition(&mut self, next: JobState, now: SimTime) {
+        assert!(
+            self.state.can_transition_to(next),
+            "illegal SAGA job transition {:?} -> {:?} for {}",
+            self.state,
+            next,
+            self.id
+        );
+        self.state = next;
+        match next {
+            JobState::Running => self.started_at = Some(now),
+            s if s.is_terminal() => self.finished_at = Some(now),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entk_sim::SimDuration;
+
+    #[test]
+    fn lifecycle_happy_path() {
+        let jd = JobDescription::new("agent", 4, SimDuration::from_secs(60));
+        let mut job = Job::new(SagaJobId(0), jd, SimTime::ZERO);
+        job.transition(JobState::Pending, SimTime::ZERO);
+        job.transition(JobState::Running, SimTime::from_secs(5));
+        job.transition(JobState::Done, SimTime::from_secs(50));
+        assert_eq!(job.started_at, Some(SimTime::from_secs(5)));
+        assert_eq!(job.finished_at, Some(SimTime::from_secs(50)));
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal SAGA job transition")]
+    fn done_is_terminal() {
+        let jd = JobDescription::new("agent", 4, SimDuration::from_secs(60));
+        let mut job = Job::new(SagaJobId(0), jd, SimTime::ZERO);
+        job.transition(JobState::Pending, SimTime::ZERO);
+        job.transition(JobState::Running, SimTime::ZERO);
+        job.transition(JobState::Done, SimTime::ZERO);
+        job.transition(JobState::Running, SimTime::ZERO);
+    }
+
+    #[test]
+    fn every_terminal_state_is_reachable() {
+        use JobState::*;
+        for (path, end) in [
+            (vec![Pending, Running, Done], Done),
+            (vec![Pending, Canceled], Canceled),
+            (vec![Pending, Running, Failed], Failed),
+            (vec![Failed], Failed),
+        ] {
+            let jd = JobDescription::new("x", 1, SimDuration::from_secs(1));
+            let mut job = Job::new(SagaJobId(0), jd, SimTime::ZERO);
+            for s in path {
+                job.transition(s, SimTime::ZERO);
+            }
+            assert_eq!(job.state, end);
+            assert!(job.state.is_terminal());
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! The simulated-batch SAGA adapter: translates SAGA jobs to batch jobs on a
+//! discrete-event [`Cluster`] and maps cluster notifications back to SAGA
+//! state changes.
+
+use crate::description::JobDescription;
+use crate::job::{Job, JobState, JobUpdate, SagaJobId};
+use entk_cluster::{
+    BatchJobDescription, BatchJobId, BatchJobState, Cluster, ClusterEvent, ClusterNotification,
+    NodeSlice, PlatformSpec,
+};
+use entk_sim::Context;
+#[cfg(test)]
+use entk_sim::SimDuration;
+use std::collections::HashMap;
+
+/// A SAGA job service backed by a simulated cluster.
+///
+/// Generic methods take the driver's event type `E: From<ClusterEvent>` so
+/// the service can schedule cluster events on the shared engine.
+pub struct SimJobService {
+    cluster: Cluster,
+    jobs: HashMap<SagaJobId, Job>,
+    to_batch: HashMap<SagaJobId, BatchJobId>,
+    from_batch: HashMap<BatchJobId, SagaJobId>,
+    /// Node slices assigned to each running job, for the pilot agent.
+    placements: HashMap<SagaJobId, Vec<NodeSlice>>,
+    next_id: u64,
+}
+
+impl SimJobService {
+    /// Creates a service for the given machine model.
+    pub fn new(spec: PlatformSpec, seed: u64) -> Self {
+        SimJobService {
+            cluster: Cluster::new(spec, seed),
+            jobs: HashMap::new(),
+            to_batch: HashMap::new(),
+            from_batch: HashMap::new(),
+            placements: HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Wraps an existing cluster (e.g. one with a custom batch scheduler).
+    pub fn from_cluster(cluster: Cluster) -> Self {
+        SimJobService {
+            cluster,
+            jobs: HashMap::new(),
+            to_batch: HashMap::new(),
+            from_batch: HashMap::new(),
+            placements: HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The underlying cluster (e.g. for transfer-time sampling).
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+
+    /// Read access to the underlying cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Read access to a job record.
+    pub fn job(&self, id: SagaJobId) -> Option<&Job> {
+        self.jobs.get(&id)
+    }
+
+    /// Node slices assigned to a running job.
+    pub fn placement(&self, id: SagaJobId) -> Option<&[NodeSlice]> {
+        self.placements.get(&id).map(Vec::as_slice)
+    }
+
+    /// Submits a job. Validation failures surface as `Err`; resource-level
+    /// rejections surface as a `Failed` update from [`Self::handle_cluster`]
+    /// or immediately in the returned updates.
+    pub fn submit<E: From<ClusterEvent>>(
+        &mut self,
+        description: JobDescription,
+        ctx: &mut Context<'_, E>,
+        updates: &mut Vec<JobUpdate>,
+    ) -> Result<SagaJobId, String> {
+        description.validate()?;
+        let id = SagaJobId(self.next_id);
+        self.next_id += 1;
+        let mut job = Job::new(id, description.clone(), ctx.now());
+
+        let bd = BatchJobDescription {
+            name: description.executable.clone(),
+            cores: description.total_cpu_count,
+            walltime: description.wall_time_limit,
+            queue: description.queue.clone(),
+            project: description.project.clone(),
+        };
+        let mut notes = Vec::new();
+        match self.cluster.submit(bd, ctx, &mut notes) {
+            Ok(bid) => {
+                self.to_batch.insert(id, bid);
+                self.from_batch.insert(bid, id);
+                job.transition(JobState::Pending, ctx.now());
+                updates.push(JobUpdate {
+                    id,
+                    state: JobState::Pending,
+                    time: ctx.now(),
+                    detail: None,
+                });
+                self.jobs.insert(id, job);
+                Ok(id)
+            }
+            Err(reason) => {
+                job.transition(JobState::Failed, ctx.now());
+                updates.push(JobUpdate {
+                    id,
+                    state: JobState::Failed,
+                    time: ctx.now(),
+                    detail: Some(reason.clone()),
+                });
+                self.jobs.insert(id, job);
+                Ok(id)
+            }
+        }
+    }
+
+    /// Requests cancellation of a job.
+    pub fn cancel<E: From<ClusterEvent>>(
+        &mut self,
+        id: SagaJobId,
+        ctx: &mut Context<'_, E>,
+        updates: &mut Vec<JobUpdate>,
+    ) {
+        if let Some(&bid) = self.to_batch.get(&id) {
+            let mut notes = Vec::new();
+            self.cluster.cancel(bid, ctx, &mut notes);
+            self.route(notes, updates);
+        }
+    }
+
+    /// Marks a running job as finished by its owner (pilot releases early).
+    pub fn finish<E: From<ClusterEvent>>(
+        &mut self,
+        id: SagaJobId,
+        ctx: &mut Context<'_, E>,
+        updates: &mut Vec<JobUpdate>,
+    ) {
+        if let Some(&bid) = self.to_batch.get(&id) {
+            let mut notes = Vec::new();
+            self.cluster.complete(bid, ctx, &mut notes);
+            self.route(notes, updates);
+        }
+    }
+
+    /// Delivers a cluster event and translates resulting notifications into
+    /// SAGA job updates.
+    pub fn handle_cluster<E: From<ClusterEvent>>(
+        &mut self,
+        event: ClusterEvent,
+        ctx: &mut Context<'_, E>,
+        updates: &mut Vec<JobUpdate>,
+    ) {
+        let mut notes = Vec::new();
+        self.cluster.handle(event, ctx, &mut notes);
+        self.route(notes, updates);
+    }
+
+    fn route(&mut self, notes: Vec<ClusterNotification>, updates: &mut Vec<JobUpdate>) {
+        for note in notes {
+            let ClusterNotification::JobState {
+                id: bid,
+                state,
+                time,
+                nodes,
+            } = note;
+            let Some(&sid) = self.from_batch.get(&bid) else {
+                continue;
+            };
+            let job = self.jobs.get_mut(&sid).expect("mapped job exists");
+            let (saga_state, detail) = match state {
+                BatchJobState::Queued | BatchJobState::Starting => continue, // still Pending
+                BatchJobState::Running => (JobState::Running, None),
+                BatchJobState::Completed => (JobState::Done, None),
+                BatchJobState::TimedOut => {
+                    (JobState::Failed, Some("wall time exceeded".to_string()))
+                }
+                BatchJobState::Cancelled => (JobState::Canceled, None),
+                BatchJobState::Failed => (JobState::Failed, Some("rejected".to_string())),
+            };
+            if job.state == saga_state || !job.state.can_transition_to(saga_state) {
+                continue;
+            }
+            job.transition(saga_state, time);
+            if saga_state == JobState::Running {
+                self.placements.insert(sid, nodes.clone());
+            }
+            updates.push(JobUpdate {
+                id: sid,
+                state: saga_state,
+                time,
+                detail,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entk_sim::{Engine, SimTime};
+
+    #[derive(Debug)]
+    enum Ev {
+        Cluster(ClusterEvent),
+        FinishPilot(SagaJobId),
+    }
+    impl From<ClusterEvent> for Ev {
+        fn from(e: ClusterEvent) -> Ev {
+            Ev::Cluster(e)
+        }
+    }
+
+    fn spec() -> PlatformSpec {
+        let mut s = PlatformSpec::local(2, 8);
+        s.job_startup = entk_sim::Dist::Constant(2.0);
+        s
+    }
+
+    #[test]
+    fn job_runs_and_finishes_on_owner_request() {
+        let mut svc = SimJobService::new(spec(), 3);
+        let mut engine: Engine<Ev> = Engine::new();
+        engine.schedule_in(SimDuration::ZERO, Ev::Cluster(ClusterEvent::Kick));
+        let mut log: Vec<(JobState, SimTime)> = Vec::new();
+        let mut booted = false;
+        engine.run(|ev, ctx| {
+            let mut updates = Vec::new();
+            if !booted {
+                booted = true;
+                let jd = JobDescription::new("pilot-agent", 8, SimDuration::from_secs(600));
+                svc.submit(jd, ctx, &mut updates).unwrap();
+            }
+            match ev {
+                Ev::Cluster(ce) => svc.handle_cluster(ce, ctx, &mut updates),
+                Ev::FinishPilot(id) => svc.finish(id, ctx, &mut updates),
+            }
+            for u in updates {
+                if u.state == JobState::Running {
+                    ctx.schedule_in(SimDuration::from_secs(30), Ev::FinishPilot(u.id));
+                }
+                log.push((u.state, u.time));
+            }
+        });
+        let states: Vec<_> = log.iter().map(|(s, _)| *s).collect();
+        assert_eq!(states, vec![JobState::Pending, JobState::Running, JobState::Done]);
+        assert_eq!(log[1].1, SimTime::from_secs(2)); // startup
+        assert_eq!(log[2].1, SimTime::from_secs(32));
+    }
+
+    #[test]
+    fn invalid_description_is_rejected_synchronously() {
+        let mut svc = SimJobService::new(spec(), 3);
+        let mut engine: Engine<Ev> = Engine::new();
+        engine.schedule_in(SimDuration::ZERO, Ev::Cluster(ClusterEvent::Kick));
+        engine.run(|ev, ctx| {
+            if let Ev::Cluster(ce) = ev {
+                let mut updates = Vec::new();
+                let jd = JobDescription::new("", 8, SimDuration::from_secs(600));
+                assert!(svc.submit(jd, ctx, &mut updates).is_err());
+                svc.handle_cluster(ce, ctx, &mut updates);
+            }
+        });
+    }
+
+    #[test]
+    fn oversized_job_fails_with_detail() {
+        let mut svc = SimJobService::new(spec(), 3);
+        let mut engine: Engine<Ev> = Engine::new();
+        engine.schedule_in(SimDuration::ZERO, Ev::Cluster(ClusterEvent::Kick));
+        let mut saw_failed = false;
+        let mut booted = false;
+        engine.run(|ev, ctx| {
+            let mut updates = Vec::new();
+            if !booted {
+                booted = true;
+                let jd = JobDescription::new("agent", 10_000, SimDuration::from_secs(600));
+                svc.submit(jd, ctx, &mut updates).unwrap();
+            }
+            if let Ev::Cluster(ce) = ev {
+                svc.handle_cluster(ce, ctx, &mut updates);
+            }
+            for u in &updates {
+                if u.state == JobState::Failed {
+                    assert!(u.detail.is_some());
+                    saw_failed = true;
+                }
+            }
+        });
+        assert!(saw_failed);
+    }
+
+    #[test]
+    fn walltime_expiry_maps_to_failed() {
+        let mut svc = SimJobService::new(spec(), 3);
+        let mut engine: Engine<Ev> = Engine::new();
+        engine.schedule_in(SimDuration::ZERO, Ev::Cluster(ClusterEvent::Kick));
+        let mut final_state = None;
+        let mut booted = false;
+        engine.run(|ev, ctx| {
+            let mut updates = Vec::new();
+            if !booted {
+                booted = true;
+                // Job whose owner never finishes it: dies at walltime.
+                let jd = JobDescription::new("agent", 4, SimDuration::from_secs(5));
+                svc.submit(jd, ctx, &mut updates).unwrap();
+            }
+            if let Ev::Cluster(ce) = ev {
+                svc.handle_cluster(ce, ctx, &mut updates);
+            }
+            for u in updates {
+                if u.state.is_terminal() {
+                    final_state = Some((u.state, u.detail));
+                }
+            }
+        });
+        let (state, detail) = final_state.expect("job terminated");
+        assert_eq!(state, JobState::Failed);
+        assert_eq!(detail.as_deref(), Some("wall time exceeded"));
+    }
+
+    #[test]
+    fn placement_is_recorded_when_running() {
+        let mut svc = SimJobService::new(spec(), 3);
+        let mut engine: Engine<Ev> = Engine::new();
+        engine.schedule_in(SimDuration::ZERO, Ev::Cluster(ClusterEvent::Kick));
+        let mut booted = false;
+        let mut jid = None;
+        engine.run(|ev, ctx| {
+            let mut updates = Vec::new();
+            if !booted {
+                booted = true;
+                let jd = JobDescription::new("agent", 12, SimDuration::from_secs(600));
+                jid = Some(svc.submit(jd, ctx, &mut updates).unwrap());
+            }
+            match ev {
+                Ev::Cluster(ce) => svc.handle_cluster(ce, ctx, &mut updates),
+                Ev::FinishPilot(_) => {}
+            }
+            for u in updates {
+                if u.state == JobState::Running {
+                    let placement = svc.placement(u.id).expect("placement recorded");
+                    let cores: usize = placement.iter().map(|s| s.cores).sum();
+                    assert_eq!(cores, 12);
+                    ctx.schedule_in(SimDuration::from_secs(1), Ev::FinishPilot(u.id));
+                }
+            }
+        });
+        assert!(svc.job(jid.unwrap()).unwrap().state.is_terminal());
+    }
+}

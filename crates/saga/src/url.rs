@@ -1,0 +1,112 @@
+//! Resource URLs selecting a SAGA adapter and target machine.
+//!
+//! Mirrors SAGA's adapter-selection-by-scheme: `batch+sim://xsede.comet`
+//! picks the simulated batch adapter targeting the Comet model, while
+//! `fork://localhost` picks real in-process execution.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Which adapter family a URL selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Simulated batch system (discrete-event cluster model).
+    BatchSim,
+    /// Real in-process execution on the local host.
+    Fork,
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scheme::BatchSim => write!(f, "batch+sim"),
+            Scheme::Fork => write!(f, "fork"),
+        }
+    }
+}
+
+/// A parsed resource URL.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceUrl {
+    /// Adapter selector.
+    pub scheme: Scheme,
+    /// Target host/machine label, e.g. `xsede.comet`.
+    pub host: String,
+}
+
+/// Error from parsing a resource URL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UrlParseError(pub String);
+
+impl fmt::Display for UrlParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid resource URL: {}", self.0)
+    }
+}
+
+impl std::error::Error for UrlParseError {}
+
+impl FromStr for ResourceUrl {
+    type Err = UrlParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (scheme_str, rest) = s
+            .split_once("://")
+            .ok_or_else(|| UrlParseError(format!("missing '://' in {s:?}")))?;
+        let scheme = match scheme_str {
+            "batch+sim" | "slurm+sim" | "pbs+sim" | "sim" => Scheme::BatchSim,
+            "fork" | "local" => Scheme::Fork,
+            other => return Err(UrlParseError(format!("unknown scheme {other:?}"))),
+        };
+        let host = rest.trim_end_matches('/');
+        if host.is_empty() {
+            return Err(UrlParseError(format!("missing host in {s:?}")));
+        }
+        Ok(ResourceUrl {
+            scheme,
+            host: host.to_string(),
+        })
+    }
+}
+
+impl fmt::Display for ResourceUrl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}://{}", self.scheme, self.host)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sim_and_fork_urls() {
+        let u: ResourceUrl = "batch+sim://xsede.comet".parse().unwrap();
+        assert_eq!(u.scheme, Scheme::BatchSim);
+        assert_eq!(u.host, "xsede.comet");
+
+        let u: ResourceUrl = "fork://localhost".parse().unwrap();
+        assert_eq!(u.scheme, Scheme::Fork);
+    }
+
+    #[test]
+    fn scheme_aliases_are_accepted() {
+        for s in ["slurm+sim://supermic", "pbs+sim://x", "sim://y", "local://z"] {
+            assert!(s.parse::<ResourceUrl>().is_ok(), "{s}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_urls() {
+        assert!("comet".parse::<ResourceUrl>().is_err());
+        assert!("http://x".parse::<ResourceUrl>().is_err());
+        assert!("fork://".parse::<ResourceUrl>().is_err());
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        let u: ResourceUrl = "batch+sim://lsu.supermic/".parse().unwrap();
+        assert_eq!(u.to_string(), "batch+sim://lsu.supermic");
+    }
+}

@@ -1,0 +1,285 @@
+//! The discrete-event engine: a virtual clock driving an event queue.
+//!
+//! The engine is generic over the event type `E`. Layered simulations (the
+//! cluster, pilot-runtime, and toolkit stack) define one top-level event enum
+//! with `From` conversions from each layer's private event type; handlers
+//! receive a [`Context`] through which they schedule follow-up events.
+
+use crate::event::{EventId, EventQueue};
+use crate::time::{SimDuration, SimTime};
+
+/// Handler-side view of the engine: current time plus scheduling operations.
+pub struct Context<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+}
+
+impl<'a, E> Context<'a, E> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` after `delay` from now.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: impl Into<E>) -> EventId {
+        self.queue.push(self.now + delay, event.into())
+    }
+
+    /// Schedules `event` at absolute `time`. Times in the past are clamped
+    /// to *now* so causality is never violated.
+    pub fn schedule_at(&mut self, time: SimTime, event: impl Into<E>) -> EventId {
+        self.queue.push(time.max(self.now), event.into())
+    }
+
+    /// Cancels a scheduled event.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+}
+
+/// Outcome of a bounded run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    Drained,
+    /// The step limit was reached with events still pending.
+    StepLimit,
+    /// The time horizon was reached with events still pending.
+    Horizon,
+}
+
+/// A deterministic discrete-event engine.
+///
+/// ```
+/// use entk_sim::{Engine, SimDuration};
+///
+/// let mut engine: Engine<u32> = Engine::new();
+/// engine.schedule_in(SimDuration::from_secs(3), 7u32);
+/// let mut seen = Vec::new();
+/// engine.run(|event, ctx| {
+///     seen.push((event, ctx.now()));
+/// });
+/// assert_eq!(seen.len(), 1);
+/// assert_eq!(engine.now(), entk_sim::SimTime::from_secs(3));
+/// ```
+pub struct Engine<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    steps: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine at t = 0 with an empty queue.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            steps: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Number of live pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules an initial event before the run starts (or between runs).
+    pub fn schedule_in(&mut self, delay: SimDuration, event: impl Into<E>) -> EventId {
+        self.queue.push(self.now + delay, event.into())
+    }
+
+    /// Schedules an event at an absolute time (clamped to now).
+    pub fn schedule_at(&mut self, time: SimTime, event: impl Into<E>) -> EventId {
+        self.queue.push(time.max(self.now), event.into())
+    }
+
+    /// Cancels a pre-run scheduled event (test helper).
+    #[cfg(test)]
+    pub(crate) fn queue_cancel_for_test(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Runs until the queue drains. `handler` is called for every event and
+    /// may schedule more through the [`Context`].
+    pub fn run(&mut self, mut handler: impl FnMut(E, &mut Context<'_, E>)) -> RunOutcome {
+        self.run_bounded(u64::MAX, SimTime::MAX, &mut handler)
+    }
+
+    /// Runs until the queue drains, `max_steps` events have been handled, or
+    /// virtual time would exceed `horizon`.
+    pub fn run_bounded(
+        &mut self,
+        max_steps: u64,
+        horizon: SimTime,
+        handler: &mut impl FnMut(E, &mut Context<'_, E>),
+    ) -> RunOutcome {
+        let mut budget = max_steps;
+        loop {
+            if budget == 0 {
+                return RunOutcome::StepLimit;
+            }
+            match self.queue.peek_time() {
+                None => return RunOutcome::Drained,
+                Some(t) if t > horizon => return RunOutcome::Horizon,
+                Some(_) => {}
+            }
+            let (time, _, event) = self.queue.pop().expect("peeked event exists");
+            debug_assert!(time >= self.now, "event queue went back in time");
+            self.now = time;
+            self.steps += 1;
+            budget -= 1;
+            let mut ctx = Context {
+                now: self.now,
+                queue: &mut self.queue,
+            };
+            handler(event, &mut ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Ping(u32),
+        Stop,
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut engine: Engine<Ev> = Engine::new();
+        engine.schedule_in(SimDuration::from_secs(2), Ev::Ping(0));
+        engine.schedule_in(SimDuration::from_secs(1), Ev::Ping(1));
+        let mut observed = Vec::new();
+        engine.run(|ev, ctx| {
+            observed.push((ctx.now(), format!("{ev:?}")));
+        });
+        assert_eq!(observed.len(), 2);
+        assert!(observed[0].0 < observed[1].0);
+        assert_eq!(engine.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn handlers_can_schedule_followups() {
+        let mut engine: Engine<Ev> = Engine::new();
+        engine.schedule_in(SimDuration::ZERO, Ev::Ping(3));
+        let mut count = 0;
+        engine.run(|ev, ctx| {
+            if let Ev::Ping(n) = ev {
+                count += 1;
+                if n > 0 {
+                    ctx.schedule_in(SimDuration::from_secs(1), Ev::Ping(n - 1));
+                } else {
+                    ctx.schedule_in(SimDuration::ZERO, Ev::Stop);
+                }
+            }
+        });
+        assert_eq!(count, 4);
+        assert_eq!(engine.now(), SimTime::from_secs(3));
+        assert_eq!(engine.steps(), 5);
+    }
+
+    #[test]
+    fn step_limit_stops_runaway_simulation() {
+        let mut engine: Engine<u32> = Engine::new();
+        engine.schedule_in(SimDuration::ZERO, 0u32);
+        let outcome = engine.run_bounded(100, SimTime::MAX, &mut |n, ctx| {
+            ctx.schedule_in(SimDuration::from_micros(1), n + 1);
+        });
+        assert_eq!(outcome, RunOutcome::StepLimit);
+        assert_eq!(engine.steps(), 100);
+    }
+
+    #[test]
+    fn horizon_stops_before_processing_late_events() {
+        let mut engine: Engine<u32> = Engine::new();
+        engine.schedule_in(SimDuration::from_secs(1), 1u32);
+        engine.schedule_in(SimDuration::from_secs(10), 2u32);
+        let mut seen = Vec::new();
+        let outcome = engine.run_bounded(u64::MAX, SimTime::from_secs(5), &mut |n, _| {
+            seen.push(n);
+        });
+        assert_eq!(outcome, RunOutcome::Horizon);
+        assert_eq!(seen, vec![1]);
+        // The late event is still pending and runs if the horizon extends.
+        let outcome = engine.run_bounded(u64::MAX, SimTime::MAX, &mut |n, _| seen.push(n));
+        assert_eq!(outcome, RunOutcome::Drained);
+        assert_eq!(seen, vec![1, 2]);
+    }
+
+    #[test]
+    fn schedule_at_clamps_past_times() {
+        let mut engine: Engine<u32> = Engine::new();
+        engine.schedule_in(SimDuration::from_secs(5), 1u32);
+        let mut fired_at = Vec::new();
+        engine.run(|n, ctx| {
+            fired_at.push((n, ctx.now()));
+            if n == 1 {
+                // attempt to schedule in the past
+                ctx.schedule_at(SimTime::from_secs(1), 2u32);
+            }
+        });
+        assert_eq!(fired_at[1], (2, SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn identical_runs_are_deterministic() {
+        fn run_once() -> Vec<(u64, u32)> {
+            let mut engine: Engine<u32> = Engine::new();
+            for i in 0..10 {
+                engine.schedule_in(SimDuration::from_micros(i % 3), i as u32);
+            }
+            let mut log = Vec::new();
+            engine.run(|n, ctx| log.push((ctx.now().as_micros(), n)));
+            log
+        }
+        assert_eq!(run_once(), run_once());
+    }
+}
+
+#[cfg(test)]
+mod reuse_tests {
+    use super::*;
+
+    #[test]
+    fn engine_resumes_after_drain() {
+        let mut engine: Engine<u32> = Engine::new();
+        engine.schedule_in(SimDuration::from_secs(1), 1u32);
+        let mut seen = Vec::new();
+        assert_eq!(engine.run(|n, _| seen.push(n)), RunOutcome::Drained);
+        // New events after a drain keep the monotonic clock.
+        engine.schedule_in(SimDuration::from_secs(1), 2u32);
+        engine.run(|n, _| seen.push(n));
+        assert_eq!(seen, vec![1, 2]);
+        assert_eq!(engine.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn cancelled_initial_event_never_fires() {
+        let mut engine: Engine<u32> = Engine::new();
+        let id = engine.schedule_in(SimDuration::from_secs(1), 1u32);
+        engine.schedule_in(SimDuration::from_secs(2), 2u32);
+        assert!(engine.queue_cancel_for_test(id));
+        let mut seen = Vec::new();
+        engine.run(|n, _| seen.push(n));
+        assert_eq!(seen, vec![2]);
+    }
+}

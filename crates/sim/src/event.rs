@@ -1,0 +1,220 @@
+//! Priority event queue with deterministic FIFO tie-breaking and cancellation.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Identifier of a scheduled event; used for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// Raw sequence number, unique per queue.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+struct Entry<E> {
+    time: SimTime,
+    id: EventId,
+    payload: E,
+}
+
+// BinaryHeap is a max-heap: invert ordering so the earliest time pops first,
+// breaking ties by insertion order (lower id first) for determinism.
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.id == other.id
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+/// A time-ordered queue of events.
+///
+/// Events scheduled for the same instant pop in insertion order, which makes
+/// simulation runs bit-for-bit reproducible. Cancellation is lazy: cancelled
+/// ids are skipped at pop time.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<EventId>,
+    next_id: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Schedules `payload` at absolute time `time`, returning a cancellable id.
+    pub fn push(&mut self, time: SimTime, payload: E) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.heap.push(Entry { time, id, payload });
+        id
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an already-popped or
+    /// unknown id is a no-op. Returns whether the id was newly marked.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_id {
+            return false;
+        }
+        self.cancelled.insert(id)
+    }
+
+    /// Pops the earliest non-cancelled event.
+    pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            return Some((entry.time, entry.id, entry.payload));
+        }
+        None
+    }
+
+    /// Time of the earliest pending (non-cancelled) event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.id) {
+                let entry = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&entry.id);
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+
+    /// Number of pending entries, including lazily-cancelled ones.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use proptest::prelude::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(3), "c");
+        q.push(t(1), "a");
+        q.push(t(2), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, _, p)| p).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for name in ["first", "second", "third"] {
+            q.push(t(7), name);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, _, p)| p).collect();
+        assert_eq!(order, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn cancelled_events_are_skipped() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), 1);
+        q.push(t(2), 2);
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel is a no-op");
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some(2));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_noop() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        q.push(t(5), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(5)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..5).map(|i| q.push(t(i), i)).collect();
+        q.cancel(ids[1]);
+        q.cancel(ids[3]);
+        assert_eq!(q.len(), 3);
+    }
+
+    proptest! {
+        /// Popped events are always in non-decreasing time order, and every
+        /// non-cancelled event appears exactly once.
+        #[test]
+        fn prop_queue_ordering(times in proptest::collection::vec(0u64..1000, 1..100),
+                               cancel_mask in proptest::collection::vec(any::<bool>(), 1..100)) {
+            let mut q = EventQueue::new();
+            let mut expected = Vec::new();
+            for (i, &secs) in times.iter().enumerate() {
+                let id = q.push(SimTime::from_micros(secs), i);
+                let cancel = cancel_mask.get(i).copied().unwrap_or(false);
+                if cancel {
+                    q.cancel(id);
+                } else {
+                    expected.push(i);
+                }
+            }
+            let mut last = SimTime::ZERO;
+            let mut seen = Vec::new();
+            while let Some((time, _, payload)) = q.pop() {
+                prop_assert!(time >= last);
+                last = time + SimDuration::ZERO;
+                seen.push(payload);
+            }
+            seen.sort_unstable();
+            expected.sort_unstable();
+            prop_assert_eq!(seen, expected);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Virtual time for the discrete-event simulation.
+//!
+//! Simulated experiments in this repository (the paper's Figs. 3–9) run on
+//! clusters of up to 4096 cores; wall-clock execution is replaced by a
+//! virtual clock with microsecond resolution. `SimTime` is an absolute
+//! instant since simulation start, `SimDuration` a non-negative span.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// Microseconds per second, the base resolution of the virtual clock.
+const MICROS_PER_SEC: u64 = 1_000_000;
+
+/// An absolute instant in virtual time, in microseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A non-negative span of virtual time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; useful as an "infinity" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Instant `micros` microseconds after the epoch.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// Instant `secs` seconds after the epoch.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * MICROS_PER_SEC)
+    }
+
+    /// Microseconds since the epoch.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch as a float (lossy for very large times).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Span from `earlier` to `self`; saturates to zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable span.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Span of `micros` microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros)
+    }
+
+    /// Span of `millis` milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000)
+    }
+
+    /// Span of `secs` whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * MICROS_PER_SEC)
+    }
+
+    /// Span of `secs` fractional seconds, rounded to the nearest microsecond.
+    /// Negative and non-finite inputs clamp to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if !secs.is_finite() || secs <= 0.0 {
+            return SimDuration(0);
+        }
+        SimDuration((secs * MICROS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Microseconds in this span.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds in this span as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Saturating subtraction of two spans.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// True if this span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Panics in debug builds if `rhs > self`; use [`SimTime::saturating_since`]
+    /// when ordering is not guaranteed.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(rhs <= self, "SimTime subtraction underflow");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs.max(1))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl std::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> Self {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t = SimTime::from_secs(5);
+        let d = SimDuration::from_millis(1500);
+        assert_eq!((t + d).as_micros(), 6_500_000);
+        assert_eq!((t + d) - t, d);
+    }
+
+    #[test]
+    fn duration_from_secs_f64_rounds() {
+        assert_eq!(SimDuration::from_secs_f64(1.5).as_micros(), 1_500_000);
+        assert_eq!(SimDuration::from_secs_f64(0.000_000_4).as_micros(), 0);
+        assert_eq!(SimDuration::from_secs_f64(0.000_000_6).as_micros(), 1);
+    }
+
+    #[test]
+    fn negative_and_nan_durations_clamp_to_zero() {
+        assert_eq!(SimDuration::from_secs_f64(-2.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn saturating_since_handles_reversed_order() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_secs(2);
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+        assert_eq!(b.saturating_since(a), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_secs(10);
+        assert_eq!(d * 3, SimDuration::from_secs(30));
+        assert_eq!(d / 4, SimDuration::from_secs_f64(2.5));
+        assert_eq!(d * 0.5, SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_secs).sum();
+        assert_eq!(total, SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(SimTime::from_secs(2).to_string(), "2.000000s");
+        assert_eq!(SimDuration::from_millis(1).to_string(), "0.001000s");
+    }
+}

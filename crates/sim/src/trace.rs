@@ -1,0 +1,125 @@
+//! Structured trace of simulation events, mirroring RADICAL-Pilot's profiler.
+//!
+//! Every layer (cluster, pilot, toolkit) appends timestamped records to a
+//! shared [`Tracer`]; the overhead decomposition in the paper's Fig. 3 is
+//! computed from intervals between these records.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One timestamped trace record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Virtual time of the record.
+    pub time: SimTime,
+    /// Emitting layer, e.g. `"entk"`, `"pilot"`, `"cluster"`.
+    pub layer: String,
+    /// Event name, e.g. `"unit_scheduled"`.
+    pub name: String,
+    /// Subject entity, e.g. a unit or job id rendered as a string.
+    pub subject: String,
+}
+
+/// An append-only collection of trace records.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Tracer {
+    records: Vec<TraceRecord>,
+    enabled: bool,
+}
+
+impl Tracer {
+    /// Creates an enabled tracer.
+    pub fn new() -> Self {
+        Tracer {
+            records: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Creates a tracer that drops all records (zero overhead bookkeeping).
+    pub fn disabled() -> Self {
+        Tracer {
+            records: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Appends a record if tracing is enabled.
+    pub fn record(
+        &mut self,
+        time: SimTime,
+        layer: impl Into<String>,
+        name: impl Into<String>,
+        subject: impl Into<String>,
+    ) {
+        if self.enabled {
+            self.records.push(TraceRecord {
+                time,
+                layer: layer.into(),
+                name: name.into(),
+                subject: subject.into(),
+            });
+        }
+    }
+
+    /// All records in append order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Records matching a layer and event name.
+    pub fn filter<'a>(
+        &'a self,
+        layer: &'a str,
+        name: &'a str,
+    ) -> impl Iterator<Item = &'a TraceRecord> + 'a {
+        self.records
+            .iter()
+            .filter(move |r| r.layer == layer && r.name == name)
+    }
+
+    /// First record time for (layer, name, subject), if any.
+    pub fn time_of(&self, layer: &str, name: &str, subject: &str) -> Option<SimTime> {
+        self.records
+            .iter()
+            .find(|r| r.layer == layer && r.name == name && r.subject == subject)
+            .map(|r| r.time)
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records were captured.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_filters() {
+        let mut t = Tracer::new();
+        t.record(SimTime::from_secs(1), "pilot", "unit_scheduled", "u.0");
+        t.record(SimTime::from_secs(2), "pilot", "unit_started", "u.0");
+        t.record(SimTime::from_secs(2), "entk", "unit_scheduled", "u.0");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.filter("pilot", "unit_scheduled").count(), 1);
+        assert_eq!(
+            t.time_of("pilot", "unit_started", "u.0"),
+            Some(SimTime::from_secs(2))
+        );
+        assert_eq!(t.time_of("pilot", "unit_started", "u.1"), None);
+    }
+
+    #[test]
+    fn disabled_tracer_drops_records() {
+        let mut t = Tracer::disabled();
+        t.record(SimTime::ZERO, "x", "y", "z");
+        assert!(t.is_empty());
+    }
+}

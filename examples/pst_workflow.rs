@@ -1,0 +1,72 @@
+//! PST (pipeline–stage–task) workflow: the application model the Ensemble
+//! Toolkit adopted after the paper, built here as a higher-order pattern.
+//!
+//! Two concurrent pipelines run on one simulated Comet allocation: an MD
+//! pipeline (equilibrate → production ensemble → analysis) and an
+//! independent data-processing pipeline (generate → reduce).
+//!
+//! Run with: `cargo run --release --example pst_workflow`
+
+use entk_core::prelude::*;
+use serde_json::json;
+
+fn main() {
+    let md_pipeline = Pipeline::new("md-campaign")
+        .with_stage(Stage::new("equilibrate").with_task(PstTask::new(
+            "equil",
+            KernelCall::new("md.amber", json!({ "steps": 1500, "n_atoms": 2881, "seed": 1 })),
+        )))
+        .with_stage({
+            let mut stage = Stage::new("production");
+            for i in 0..8 {
+                stage = stage.with_task(PstTask::new(
+                    format!("prod-{i}"),
+                    KernelCall::new(
+                        "md.amber",
+                        json!({ "steps": 3000, "n_atoms": 2881, "seed": 100 + i }),
+                    ),
+                ));
+            }
+            stage
+        })
+        .with_stage(Stage::new("analysis").with_task(PstTask::new(
+            "coco",
+            KernelCall::new("ana.coco", json!({ "n_sims": 8, "n_new": 4 })),
+        )));
+
+    let data_pipeline = Pipeline::new("data-prep")
+        .with_stage({
+            let mut stage = Stage::new("generate");
+            for i in 0..4 {
+                stage = stage.with_task(PstTask::new(
+                    format!("gen-{i}"),
+                    KernelCall::new("misc.mkfile", json!({ "bytes": 1 << 20 })),
+                ));
+            }
+            stage
+        })
+        .with_stage(Stage::new("reduce").with_task(PstTask::new(
+            "count",
+            KernelCall::new("misc.ccount", json!({ "bytes": 4 << 20 })),
+        )));
+
+    let mut workflow = PstWorkflow::new(vec![md_pipeline, data_pipeline]);
+    println!("PST workflow: {} total tasks", workflow.total_tasks());
+
+    let config = ResourceConfig::new("xsede.comet", 24, SimDuration::from_secs(36_000));
+    let report = run_simulated(config, SimulatedConfig::default(), &mut workflow)
+        .expect("workflow completes");
+
+    println!("TTC {}   exec {}", report.ttc, report.exec_time());
+    for stage in report.stages() {
+        let s = report.stage_exec_summary(stage);
+        println!(
+            "  stage {stage:<12} {} tasks, mean exec {:>7.2}s, stage span {:>8.2}s",
+            s.count(),
+            s.mean(),
+            report.stage_time(stage).as_secs_f64()
+        );
+    }
+    assert_eq!(report.failed_tasks, 0);
+    assert_eq!(workflow.failed_pipelines(), 0);
+}

@@ -1,0 +1,25 @@
+//! Scaling demo: a miniature of the paper's Figs. 5–8 on the simulated
+//! SuperMIC and Stampede models — strong and weak scaling of the EE and
+//! SAL patterns, printed as tables.
+//!
+//! Run with: `cargo run --release --example scaling_demo`
+//! (Full-scale figure regeneration lives in `entk-bench`:
+//! `cargo run --release -p entk-bench --bin fig5` etc.)
+
+use entk_bench::{fig5, fig6, fig7, fig8, print_rows};
+
+fn main() {
+    // scale=16 divides the paper's problem sizes by 16 so the demo runs in
+    // seconds; shapes (who wins, slopes) are unchanged.
+    let scale = 16;
+    let seed = 42;
+
+    println!("== EE pattern on SuperMIC (T-REMD, alanine dipeptide surrogate) ==");
+    print_rows("strong scaling (Fig. 5 /16)", &fig5(seed, scale));
+    print_rows("weak scaling (Fig. 6 /16)", &fig6(seed, scale));
+
+    println!();
+    println!("== SAL pattern on Stampede (Amber + CoCo) ==");
+    print_rows("strong scaling (Fig. 7 /16)", &fig7(seed, scale));
+    print_rows("weak scaling (Fig. 8 /16)", &fig8(seed, scale));
+}

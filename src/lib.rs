@@ -1,0 +1,15 @@
+//! # ensemble-toolkit — umbrella crate
+//!
+//! Rust reproduction of *Ensemble Toolkit: Scalable and Flexible Execution of
+//! Ensembles of Tasks* (ICPP 2016). Re-exports the user-facing API from
+//! [`entk_core`] and the substrate crates; see `README.md` for a quickstart
+//! and `DESIGN.md` for the architecture.
+
+pub use entk_analysis as analysis;
+pub use entk_cluster as cluster;
+pub use entk_core as entk;
+pub use entk_kernels as kernels;
+pub use entk_md as md;
+pub use entk_pilot as pilot;
+pub use entk_saga as saga;
+pub use entk_sim as sim;
