@@ -1,0 +1,172 @@
+//! End-to-end sweep benchmark: times every figure (and ablation) sweep,
+//! serial versus parallel, and emits a machine-readable `BENCH.json` so the
+//! performance trajectory can be tracked across changes.
+//!
+//! ```text
+//! cargo run --release -p entk-bench --bin bench -- [OPTIONS]
+//!
+//!   --parallel        time parallel sweeps against the serial baseline
+//!                     (the default; kept as an explicit opt-in flag)
+//!   --serial          time the serial path only (no comparison)
+//!   --scale N         divide fig5–fig9 problem sizes by N   [default: 32]
+//!   --seed S          sweep seed                            [default: 2016]
+//!   --threads N       worker threads for the parallel mode (sets
+//!                     ENTK_THREADS; default: host cores)
+//!   --only a,b        run only the named sweeps (e.g. fig3,fig4)
+//!   --out PATH        output path                   [default: BENCH.json]
+//! ```
+//!
+//! Every figure entry records `serial_secs`, `parallel_secs`, `speedup`,
+//! and `identical` — whether the parallel rows were bit-for-bit equal to
+//! the serial ones (they must always be; see `entk_bench::sweep`).
+
+use entk_bench::{figures, Row, SweepRunner};
+use serde_json::json;
+use std::time::Instant;
+
+struct Options {
+    serial_only: bool,
+    scale: usize,
+    seed: u64,
+    only: Option<Vec<String>>,
+    out: String,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        serial_only: false,
+        scale: 32,
+        seed: 2016,
+        only: None,
+        out: "BENCH.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--parallel" => opts.serial_only = false,
+            "--serial" => opts.serial_only = true,
+            "--scale" => opts.scale = value("--scale").parse().expect("--scale: integer"),
+            "--seed" => opts.seed = value("--seed").parse().expect("--seed: integer"),
+            "--threads" => std::env::set_var("ENTK_THREADS", value("--threads")),
+            "--only" => {
+                opts.only = Some(
+                    value("--only")
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .collect(),
+                )
+            }
+            "--out" => opts.out = value("--out"),
+            other => panic!("unknown argument {other:?} (see --help in the module docs)"),
+        }
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let seed = opts.seed;
+    let scale = opts.scale;
+
+    type Sweep = (&'static str, Box<dyn Fn(&SweepRunner) -> Vec<Row>>);
+    let sweeps: Vec<Sweep> = vec![
+        ("fig3", Box::new(move |r| figures::fig3_with(r, seed))),
+        ("fig4", Box::new(move |r| figures::fig4_with(r, seed))),
+        ("fig5", Box::new(move |r| figures::fig5_with(r, seed, scale))),
+        ("fig6", Box::new(move |r| figures::fig6_with(r, seed, scale))),
+        ("fig7", Box::new(move |r| figures::fig7_with(r, seed, scale))),
+        ("fig8", Box::new(move |r| figures::fig8_with(r, seed, scale))),
+        ("fig9", Box::new(move |r| figures::fig9_with(r, seed, scale))),
+        (
+            "ablation_exchange",
+            Box::new(move |r| figures::ablation_exchange_with(r, seed)),
+        ),
+        (
+            "ablation_overhead",
+            Box::new(move |r| figures::ablation_overhead_with(r, seed)),
+        ),
+        (
+            "ablation_faults",
+            Box::new(move |r| figures::ablation_faults_with(r, seed)),
+        ),
+        (
+            "ablation_pilots",
+            Box::new(move |r| figures::ablation_pilots_with(r, seed)),
+        ),
+        (
+            "ablation_scheduler",
+            Box::new(move |r| figures::ablation_scheduler_with(r, seed)),
+        ),
+    ];
+
+    let threads = rayon::current_num_threads();
+    let mut entries = Vec::new();
+    let mut total_serial = 0.0f64;
+    let mut total_parallel = 0.0f64;
+    let mut all_identical = true;
+
+    for (name, sweep) in &sweeps {
+        if let Some(only) = &opts.only {
+            if !only.iter().any(|o| o == name) {
+                continue;
+            }
+        }
+        let t0 = Instant::now();
+        let serial_rows = sweep(&SweepRunner::serial());
+        let serial_secs = t0.elapsed().as_secs_f64();
+        total_serial += serial_secs;
+
+        let mut entry = json!({
+            "name": *name,
+            "rows": serial_rows.len(),
+            "serial_secs": serial_secs,
+        });
+        if opts.serial_only {
+            println!("{name:>20}: serial {serial_secs:.3}s ({} rows)", serial_rows.len());
+        } else {
+            let t1 = Instant::now();
+            let parallel_rows = sweep(&SweepRunner::parallel());
+            let parallel_secs = t1.elapsed().as_secs_f64();
+            total_parallel += parallel_secs;
+            let identical = parallel_rows == serial_rows;
+            all_identical &= identical;
+            let speedup = serial_secs / parallel_secs.max(1e-12);
+            entry["parallel_secs"] = json!(parallel_secs);
+            entry["speedup"] = json!(speedup);
+            entry["identical"] = json!(identical);
+            println!(
+                "{name:>20}: serial {serial_secs:.3}s  parallel {parallel_secs:.3}s  \
+                 speedup {speedup:.2}x  identical={identical}"
+            );
+            assert!(identical, "{name}: parallel rows diverged from serial rows");
+        }
+        entries.push(entry);
+    }
+
+    let mut bench = json!({
+        "version": 1,
+        "threads": threads,
+        "scale": scale,
+        "seed": seed,
+        "figures": entries,
+        "total_serial_secs": total_serial,
+    });
+    if !opts.serial_only {
+        bench["total_parallel_secs"] = json!(total_parallel);
+        bench["overall_speedup"] = json!(total_serial / total_parallel.max(1e-12));
+        bench["identical"] = json!(all_identical);
+        println!(
+            "{:>20}: serial {total_serial:.3}s  parallel {total_parallel:.3}s  \
+             speedup {:.2}x  ({threads} threads)",
+            "total",
+            total_serial / total_parallel.max(1e-12),
+        );
+    }
+    let rendered = serde_json::to_string_pretty(&bench).expect("serialize BENCH.json");
+    std::fs::write(&opts.out, rendered + "\n").expect("write BENCH.json");
+    println!("wrote {}", opts.out);
+}

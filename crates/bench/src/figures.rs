@@ -3,6 +3,7 @@
 //! plots; the `bin/figN` harnesses print them, the criterion benches time
 //! the underlying code paths, and integration tests assert their shape.
 
+use crate::sweep::SweepRunner;
 use entk_core::prelude::*;
 use entk_core::ExecutionReport;
 use serde::Serialize;
@@ -14,7 +15,7 @@ fn walltime() -> SimDuration {
 }
 
 /// One row of a figure's data.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Row {
     /// Series / subplot label.
     pub series: String,
@@ -25,7 +26,7 @@ pub struct Row {
 }
 
 impl Row {
-    fn new(series: impl Into<String>, x: f64) -> Self {
+    pub(crate) fn new(series: impl Into<String>, x: f64) -> Self {
         Row {
             series: series.into(),
             x,
@@ -111,17 +112,26 @@ fn char_count_pattern(kind: &str, n: usize) -> Box<dyn ExecutionPattern + Send> 
 /// {24, 48, 96, 192}; per-pattern execution time plus the EnTK overhead
 /// decomposition.
 pub fn fig3(seed: u64) -> Vec<Row> {
-    let mut rows = Vec::new();
-    for &n in &[24usize, 48, 96, 192] {
-        for kind in ["pipeline", "sal", "ee"] {
-            let mut pattern = char_count_pattern(kind, n);
-            let config = ResourceConfig::new("xsede.comet", n, walltime());
-            let sim = SimulatedConfig { seed: seed ^ n as u64, ..Default::default() };
-            let report = run_simulated(config, sim, pattern.as_mut()).expect("fig3 run");
-            rows.push(common_rows(kind, n as f64, &report));
-        }
-    }
-    rows
+    fig3_with(&SweepRunner::from_env(), seed)
+}
+
+/// [`fig3`] through an explicit [`SweepRunner`].
+pub fn fig3_with(runner: &SweepRunner, seed: u64) -> Vec<Row> {
+    let points: Vec<(f64, (usize, &str))> = [24usize, 48, 96, 192]
+        .iter()
+        .flat_map(|&n| {
+            ["pipeline", "sal", "ee"]
+                .into_iter()
+                .map(move |kind| (n as f64, (n, kind)))
+        })
+        .collect();
+    runner.run_weighted(points, |(n, kind)| {
+        let mut pattern = char_count_pattern(kind, n);
+        let config = ResourceConfig::new("xsede.comet", n, walltime());
+        let sim = SimulatedConfig { seed: seed ^ n as u64, ..Default::default() };
+        let report = run_simulated(config, sim, pattern.as_mut()).expect("fig3 run");
+        vec![common_rows(kind, n as f64, &report)]
+    })
 }
 
 // ---------------------------------------------------------------- Figure 4
@@ -129,8 +139,16 @@ pub fn fig3(seed: u64) -> Vec<Row> {
 /// Fig. 4: Gromacs + LSDMap via SAL on Comet, tasks = cores ∈ {24..192} —
 /// validates that swapping kernels leaves EnTK overheads unchanged.
 pub fn fig4(seed: u64) -> Vec<Row> {
-    let mut rows = Vec::new();
-    for &n in &[24usize, 48, 96, 192] {
+    fig4_with(&SweepRunner::from_env(), seed)
+}
+
+/// [`fig4`] through an explicit [`SweepRunner`].
+pub fn fig4_with(runner: &SweepRunner, seed: u64) -> Vec<Row> {
+    let points: Vec<(f64, usize)> = [24usize, 48, 96, 192]
+        .iter()
+        .map(|&n| (n as f64, n))
+        .collect();
+    runner.run_weighted(points, |n| {
         let mut pattern = SimulationAnalysisLoop::new(
             1,
             n,
@@ -150,13 +168,12 @@ pub fn fig4(seed: u64) -> Vec<Row> {
         let config = ResourceConfig::new("xsede.comet", n, walltime());
         let sim = SimulatedConfig { seed: seed ^ (n as u64) << 1, ..Default::default() };
         let report = run_simulated(config, sim, &mut pattern).expect("fig4 run");
-        rows.push(
+        vec![
             common_rows("gromacs-lsdmap", n as f64, &report)
                 .with("simulation_time", report.stage_time("simulation").as_secs_f64())
                 .with("analysis_time", report.stage_time("analysis").as_secs_f64()),
-        );
-    }
-    rows
+        ]
+    })
 }
 
 // ----------------------------------------------------------- Figures 5 & 6
@@ -189,30 +206,45 @@ fn ee_experiment(replicas: usize, cores: usize, cycles: usize, seed: u64) -> Row
 /// Fig. 5: EE strong scaling on SuperMIC — 2560 replicas (scaled by
 /// `scale` for cheap runs), cores 20 → replicas.
 pub fn fig5(seed: u64, scale: usize) -> Vec<Row> {
+    fig5_with(&SweepRunner::from_env(), seed, scale)
+}
+
+/// [`fig5`] through an explicit [`SweepRunner`].
+pub fn fig5_with(runner: &SweepRunner, seed: u64, scale: usize) -> Vec<Row> {
     let replicas = 2560 / scale.max(1);
-    let mut rows = Vec::new();
+    let mut core_counts = Vec::new();
     let mut cores = (20 / scale.clamp(1, 20)).max(1);
     while cores <= replicas {
-        rows.push(ee_experiment(replicas, cores, 1, seed));
+        core_counts.push(cores);
         cores *= 2;
     }
-    if rows.last().map(|r| r.x as usize) != Some(replicas) {
-        rows.push(ee_experiment(replicas, replicas, 1, seed));
+    if core_counts.last() != Some(&replicas) {
+        core_counts.push(replicas);
     }
-    rows
+    // Fixed total work per point: uniform cost.
+    runner.run(core_counts, |cores| {
+        vec![ee_experiment(replicas, cores, 1, seed)]
+    })
 }
 
 /// Fig. 6: EE weak scaling on SuperMIC — replicas = cores, 20 → 2560
 /// (divided by `scale`).
 pub fn fig6(seed: u64, scale: usize) -> Vec<Row> {
+    fig6_with(&SweepRunner::from_env(), seed, scale)
+}
+
+/// [`fig6`] through an explicit [`SweepRunner`].
+pub fn fig6_with(runner: &SweepRunner, seed: u64, scale: usize) -> Vec<Row> {
     let max = 2560 / scale.max(1);
-    let mut rows = Vec::new();
+    let mut sizes = Vec::new();
     let mut n = (20 / scale.max(1)).max(2);
     while n <= max {
-        rows.push(ee_experiment(n, n, 1, seed));
+        sizes.push(n);
         n *= 2;
     }
-    rows
+    // Weak scaling: point cost grows with the replica count.
+    let points = sizes.into_iter().map(|n| (n as f64, n)).collect();
+    runner.run_weighted(points, |n| vec![ee_experiment(n, n, 1, seed)])
 }
 
 // ----------------------------------------------------------- Figures 7 & 8
@@ -255,27 +287,40 @@ fn sal_experiment(
 /// Fig. 7: SAL strong scaling on Stampede — 1024 simulations (÷ `scale`),
 /// 0.6 ps (300 steps) each, cores 64 → 1024.
 pub fn fig7(seed: u64, scale: usize) -> Vec<Row> {
+    fig7_with(&SweepRunner::from_env(), seed, scale)
+}
+
+/// [`fig7`] through an explicit [`SweepRunner`].
+pub fn fig7_with(runner: &SweepRunner, seed: u64, scale: usize) -> Vec<Row> {
     let sims = 1024 / scale.max(1);
-    let mut rows = Vec::new();
+    let mut core_counts = Vec::new();
     let mut cores = (64 / scale.max(1)).max(2);
     while cores <= sims {
-        rows.push(sal_experiment(sims, cores, 1, 300, seed));
+        core_counts.push(cores);
         cores *= 2;
     }
-    rows
+    runner.run(core_counts, |cores| {
+        vec![sal_experiment(sims, cores, 1, 300, seed)]
+    })
 }
 
 /// Fig. 8: SAL weak scaling on Stampede — sims = cores, 64 → 4096
 /// (÷ `scale`).
 pub fn fig8(seed: u64, scale: usize) -> Vec<Row> {
+    fig8_with(&SweepRunner::from_env(), seed, scale)
+}
+
+/// [`fig8`] through an explicit [`SweepRunner`].
+pub fn fig8_with(runner: &SweepRunner, seed: u64, scale: usize) -> Vec<Row> {
     let max = 4096 / scale.max(1);
-    let mut rows = Vec::new();
+    let mut sizes = Vec::new();
     let mut n = (64 / scale.max(1)).max(2);
     while n <= max {
-        rows.push(sal_experiment(n, n, 1, 300, seed));
+        sizes.push(n);
         n *= 2;
     }
-    rows
+    let points = sizes.into_iter().map(|n| (n as f64, n)).collect();
+    runner.run_weighted(points, |n| vec![sal_experiment(n, n, 1, 300, seed)])
 }
 
 // ---------------------------------------------------------------- Figure 9
@@ -284,16 +329,19 @@ pub fn fig8(seed: u64, scale: usize) -> Vec<Row> {
 /// each, cores per simulation ∈ {1, 16, 32, 64}; per-simulation execution
 /// time drops linearly with cores per simulation.
 pub fn fig9(seed: u64, scale: usize) -> Vec<Row> {
+    fig9_with(&SweepRunner::from_env(), seed, scale)
+}
+
+/// [`fig9`] through an explicit [`SweepRunner`].
+pub fn fig9_with(runner: &SweepRunner, seed: u64, scale: usize) -> Vec<Row> {
     let sims = (64 / scale.max(1)).max(2);
-    let mut rows = Vec::new();
-    for &cps in &[1usize, 16, 32, 64] {
+    runner.run(vec![1usize, 16, 32, 64], |cps| {
         let total_cores = sims * cps;
         let row = sal_experiment(sims, total_cores, cps, 3000, seed);
         let mut renamed = Row::new(format!("sims={sims}"), cps as f64);
         renamed.values = row.values;
-        rows.push(renamed);
-    }
-    rows
+        vec![renamed]
+    })
 }
 
 // --------------------------------------------------------------- Ablations
@@ -301,13 +349,18 @@ pub fn fig9(seed: u64, scale: usize) -> Vec<Row> {
 /// Ablation: EE exchange topology — global-synchronous vs pairwise-async
 /// TTC at fixed replicas/cores.
 pub fn ablation_exchange(seed: u64) -> Vec<Row> {
+    ablation_exchange_with(&SweepRunner::from_env(), seed)
+}
+
+/// [`ablation_exchange`] through an explicit [`SweepRunner`].
+pub fn ablation_exchange_with(runner: &SweepRunner, seed: u64) -> Vec<Row> {
     let replicas = 64;
     let cores = 32;
-    let mut rows = Vec::new();
-    for (label, mode) in [
+    let points = vec![
         ("global-sync", ExchangeMode::GlobalSynchronous),
         ("pairwise-async", ExchangeMode::PairwiseAsync),
-    ] {
+    ];
+    runner.run(points, |(label, mode)| {
         let mut pattern = EnsembleExchange::new(
             replicas,
             4,
@@ -324,20 +377,23 @@ pub fn ablation_exchange(seed: u64) -> Vec<Row> {
         let config = ResourceConfig::new("lsu.supermic", cores, walltime());
         let sim = SimulatedConfig { seed, ..Default::default() };
         let report = run_simulated(config, sim, &mut pattern).expect("ablation run");
-        rows.push(
+        vec![
             Row::new(label, replicas as f64)
                 .with("ttc", report.ttc.as_secs_f64())
                 .with("exchange_time", report.stage_time("exchange").as_secs_f64()),
-        );
-    }
-    rows
+        ]
+    })
 }
 
 /// Ablation: runtime-overhead sensitivity — scale all RP overheads and
 /// watch TTC for a 512-task bag.
 pub fn ablation_overhead(seed: u64) -> Vec<Row> {
-    let mut rows = Vec::new();
-    for &factor in &[0.0, 1.0, 10.0] {
+    ablation_overhead_with(&SweepRunner::from_env(), seed)
+}
+
+/// [`ablation_overhead`] through an explicit [`SweepRunner`].
+pub fn ablation_overhead_with(runner: &SweepRunner, seed: u64) -> Vec<Row> {
+    runner.run(vec![0.0, 1.0, 10.0], |factor| {
         let mut pattern = BagOfTasks::new(512, |_| {
             KernelCall::new("misc.sleep", json!({ "secs": 10.0 }))
         });
@@ -348,46 +404,54 @@ pub fn ablation_overhead(seed: u64) -> Vec<Row> {
             ..Default::default()
         };
         let report = run_simulated(config, sim, &mut pattern).expect("ablation run");
-        rows.push(Row::new("overhead-scale", factor).with("ttc", report.ttc.as_secs_f64()));
-    }
-    rows
+        vec![Row::new("overhead-scale", factor).with("ttc", report.ttc.as_secs_f64())]
+    })
 }
 
 /// Ablation: fault tolerance — TTC and failure outcomes vs injected
 /// unit-failure rate, with and without retries.
 pub fn ablation_faults(seed: u64) -> Vec<Row> {
-    let mut rows = Vec::new();
-    for &rate in &[0.0, 0.1, 0.3] {
-        for retries in [0u32, 5] {
-            let mut pattern = BagOfTasks::new(256, |_| {
-                KernelCall::new("misc.sleep", json!({ "secs": 30.0 }))
-            });
-            let config = ResourceConfig::new("xsede.comet", 128, walltime());
-            let sim = SimulatedConfig {
-                seed,
-                unit_failure_rate: rate,
-                fault: entk_core::FaultConfig::retries(retries),
-                ..Default::default()
-            };
-            let report = run_simulated(config, sim, &mut pattern).expect("ablation run");
-            rows.push(
-                Row::new(format!("retries={retries}"), rate)
-                    .with("ttc", report.ttc.as_secs_f64())
-                    .with("failed", report.failed_tasks as f64)
-                    .with("resubmissions", report.total_retries as f64),
-            );
-        }
-    }
-    rows
+    ablation_faults_with(&SweepRunner::from_env(), seed)
+}
+
+/// [`ablation_faults`] through an explicit [`SweepRunner`].
+pub fn ablation_faults_with(runner: &SweepRunner, seed: u64) -> Vec<Row> {
+    let points: Vec<(f64, u32)> = [0.0, 0.1, 0.3]
+        .iter()
+        .flat_map(|&rate| [0u32, 5].into_iter().map(move |retries| (rate, retries)))
+        .collect();
+    runner.run(points, |(rate, retries)| {
+        let mut pattern = BagOfTasks::new(256, |_| {
+            KernelCall::new("misc.sleep", json!({ "secs": 30.0 }))
+        });
+        let config = ResourceConfig::new("xsede.comet", 128, walltime());
+        let sim = SimulatedConfig {
+            seed,
+            unit_failure_rate: rate,
+            fault: entk_core::FaultConfig::retries(retries),
+            ..Default::default()
+        };
+        let report = run_simulated(config, sim, &mut pattern).expect("ablation run");
+        vec![
+            Row::new(format!("retries={retries}"), rate)
+                .with("ttc", report.ttc.as_secs_f64())
+                .with("failed", report.failed_tasks as f64)
+                .with("resubmissions", report.total_retries as f64),
+        ]
+    })
 }
 
 /// Ablation: pilot-splitting execution strategy under size-dependent
 /// queue wait (paper §V / Ref.\[23\]).
 pub fn ablation_pilots(seed: u64) -> Vec<Row> {
+    ablation_pilots_with(&SweepRunner::from_env(), seed)
+}
+
+/// [`ablation_pilots`] through an explicit [`SweepRunner`].
+pub fn ablation_pilots_with(runner: &SweepRunner, seed: u64) -> Vec<Row> {
     let mut platform = entk_cluster::PlatformSpec::comet();
     platform.queue_wait_per_core = 2.0;
-    let mut rows = Vec::new();
-    for &count in &[1usize, 2, 4, 8] {
+    runner.run(vec![1usize, 2, 4, 8], |count| {
         let mut pattern = BagOfTasks::new(128, |_| {
             KernelCall::new("misc.sleep", json!({ "secs": 30.0 }))
         });
@@ -403,24 +467,23 @@ pub fn ablation_pilots(seed: u64) -> Vec<Row> {
             ..Default::default()
         };
         let report = run_simulated(config, sim, &mut pattern).expect("ablation run");
-        rows.push(Row::new("pilots", count as f64).with("ttc", report.ttc.as_secs_f64()));
-    }
-    rows
+        vec![Row::new("pilots", count as f64).with("ttc", report.ttc.as_secs_f64())]
+    })
 }
 
 /// Ablation: unit-scheduler policy on a mixed MPI workload.
-/// Factory producing a fresh unit scheduler per run.
-type SchedulerFactory = Box<dyn Fn() -> Box<dyn entk_pilot::UnitScheduler>>;
-
-/// Ablation: unit-scheduler policy on a mixed MPI workload.
 pub fn ablation_scheduler(seed: u64) -> Vec<Row> {
+    ablation_scheduler_with(&SweepRunner::from_env(), seed)
+}
+
+/// [`ablation_scheduler`] through an explicit [`SweepRunner`].
+pub fn ablation_scheduler_with(runner: &SweepRunner, seed: u64) -> Vec<Row> {
     use entk_pilot::{FirstFitScheduler, LargestFirstScheduler};
-    let mk_sched: Vec<(&str, SchedulerFactory)> = vec![
-        ("first-fit", Box::new(|| Box::new(FirstFitScheduler))),
-        ("largest-first", Box::new(|| Box::new(LargestFirstScheduler))),
-    ];
-    let mut rows = Vec::new();
-    for (label, mk) in mk_sched {
+    runner.run(vec!["first-fit", "largest-first"], |label| {
+        let scheduler: Box<dyn entk_pilot::UnitScheduler> = match label {
+            "first-fit" => Box::new(FirstFitScheduler),
+            _ => Box::new(LargestFirstScheduler),
+        };
         // Mixed 1/4/8-core tasks.
         let mut pattern = BagOfTasks::new(96, |i| {
             let cores = [1usize, 4, 8][i % 3];
@@ -429,13 +492,12 @@ pub fn ablation_scheduler(seed: u64) -> Vec<Row> {
         let config = ResourceConfig::new("xsede.comet", 48, walltime());
         let mut handle = ResourceHandle::simulated(config, SimulatedConfig { seed, ..Default::default() })
             .expect("handle");
-        handle.set_unit_scheduler(mk());
+        handle.set_unit_scheduler(scheduler);
         handle.allocate().expect("allocate");
         let report = handle.run(&mut pattern).expect("run");
         handle.deallocate().expect("deallocate");
-        rows.push(Row::new(label, 96.0).with("exec_time", report.exec_time().as_secs_f64()));
-    }
-    rows
+        vec![Row::new(label, 96.0).with("exec_time", report.exec_time().as_secs_f64())]
+    })
 }
 
 #[cfg(test)]

@@ -23,22 +23,41 @@ impl CellList {
     /// (use the force-field cutoff). Returns `None` when fewer than 3
     /// cells fit per side — callers should fall back to the naive loop.
     pub fn build(sys: &MolecularSystem, min_cell: f64) -> Option<CellList> {
+        let mut slot = None;
+        Self::rebuild(&mut slot, sys, min_cell);
+        slot
+    }
+
+    /// Like [`CellList::build`], but reuses `slot`'s bin allocations when the
+    /// grid dimensions are unchanged (the common case: same system, every
+    /// step). After the call `slot` is `Some` exactly when the box fits at
+    /// least 3 cells per side.
+    pub fn rebuild(slot: &mut Option<CellList>, sys: &MolecularSystem, min_cell: f64) {
         assert!(min_cell > 0.0, "cell size must be positive");
         let m = (sys.box_len / min_cell).floor() as usize;
         if m < 3 {
-            return None;
+            *slot = None;
+            return;
         }
         let cell_len = sys.box_len / m as f64;
-        let mut bins = vec![Vec::new(); m * m * m];
+        let cl = match slot {
+            Some(cl) if cl.cells_per_side == m => {
+                for bin in &mut cl.bins {
+                    bin.clear();
+                }
+                cl.cell_len = cell_len;
+                cl
+            }
+            _ => slot.insert(CellList {
+                cells_per_side: m,
+                bins: vec![Vec::new(); m * m * m],
+                cell_len,
+            }),
+        };
         for (i, p) in sys.positions.iter().enumerate() {
             let idx = Self::cell_index(p, cell_len, m);
-            bins[idx].push(i);
+            cl.bins[idx].push(i);
         }
-        Some(CellList {
-            cells_per_side: m,
-            bins,
-            cell_len,
-        })
     }
 
     fn cell_index(p: &[f64; 3], cell_len: f64, m: usize) -> usize {
@@ -68,33 +87,43 @@ impl CellList {
     /// are never visited; pairs within the cutoff always are (cell length
     /// ≥ cutoff by construction).
     pub fn for_each_pair(&self, mut f: impl FnMut(usize, usize)) {
+        for x in 0..self.cells_per_side {
+            self.for_each_pair_in_x_layer(x, &mut f);
+        }
+    }
+
+    /// The pairs of [`CellList::for_each_pair`] whose *home* cell sits in
+    /// x-layer `x`, in the same relative order. Every [`HALF_NEIGHBOURS`]
+    /// offset has `dx ∈ {0, 1}`, so layer `x` only reads particles binned
+    /// in layers `x` and `x + 1` (mod `m`): distinct layers emit disjoint
+    /// pair sets and may run concurrently against read-only state.
+    pub fn for_each_pair_in_x_layer(&self, x: usize, mut f: impl FnMut(usize, usize)) {
         let m = self.cells_per_side as isize;
         let cell_of = |x: isize, y: isize, z: isize| -> usize {
             let w = |v: isize| v.rem_euclid(m) as usize;
             (w(x) * self.cells_per_side + w(y)) * self.cells_per_side + w(z)
         };
-        for x in 0..m {
-            for y in 0..m {
-                for z in 0..m {
-                    let home = cell_of(x, y, z);
-                    let home_bin = &self.bins[home];
-                    // Within the home cell.
-                    for (a, &i) in home_bin.iter().enumerate() {
-                        for &j in &home_bin[a + 1..] {
-                            f(i.min(j), i.max(j));
-                        }
+        let x = x as isize;
+        for y in 0..m {
+            for z in 0..m {
+                let home = cell_of(x, y, z);
+                let home_bin = &self.bins[home];
+                // Within the home cell.
+                for (a, &i) in home_bin.iter().enumerate() {
+                    for &j in &home_bin[a + 1..] {
+                        f(i.min(j), i.max(j));
                     }
-                    // Against half the neighbour cells (13 of 26) so each
-                    // cell pair is visited once.
-                    for &(dx, dy, dz) in HALF_NEIGHBOURS {
-                        let other = cell_of(x + dx, y + dy, z + dz);
-                        if other == home {
-                            continue; // aliasing cannot happen for m >= 3
-                        }
-                        for &i in home_bin {
-                            for &j in &self.bins[other] {
-                                f(i.min(j), i.max(j));
-                            }
+                }
+                // Against half the neighbour cells (13 of 26) so each
+                // cell pair is visited once.
+                for &(dx, dy, dz) in HALF_NEIGHBOURS {
+                    let other = cell_of(x + dx, y + dy, z + dz);
+                    if other == home {
+                        continue; // aliasing cannot happen for m >= 3
+                    }
+                    for &i in home_bin {
+                        for &j in &self.bins[other] {
+                            f(i.min(j), i.max(j));
                         }
                     }
                 }
@@ -179,6 +208,62 @@ mod tests {
         let sys = alanine_dipeptide_surrogate(8, 1);
         // Cutoff comparable to the box: fewer than 3 cells per side.
         assert!(CellList::build(&sys, sys.box_len / 2.0).is_none());
+    }
+
+    #[test]
+    fn layered_iteration_composes_to_full_iteration() {
+        let sys = alanine_dipeptide_surrogate(250, 8);
+        let cl = CellList::build(&sys, 2.5).expect("box large enough");
+        let mut whole = Vec::new();
+        cl.for_each_pair(|i, j| whole.push((i, j)));
+        let mut layered = Vec::new();
+        let mut per_layer_sets: Vec<HashSet<(usize, usize)>> = Vec::new();
+        for x in 0..cl.cells_per_side() {
+            let mut set = HashSet::new();
+            cl.for_each_pair_in_x_layer(x, |i, j| {
+                layered.push((i, j));
+                set.insert((i, j));
+            });
+            per_layer_sets.push(set);
+        }
+        assert_eq!(whole, layered, "layer concatenation must match full order");
+        for (a, sa) in per_layer_sets.iter().enumerate() {
+            for (b, sb) in per_layer_sets.iter().enumerate().skip(a + 1) {
+                assert!(
+                    sa.is_disjoint(sb),
+                    "layers {a} and {b} emit overlapping pairs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_reuses_allocation_and_matches_fresh_build() {
+        let sys_a = alanine_dipeptide_surrogate(300, 6);
+        let mut slot = None;
+        CellList::rebuild(&mut slot, &sys_a, 2.5);
+        assert!(slot.is_some());
+        // Rebuild over a different configuration with the same grid.
+        let sys_b = alanine_dipeptide_surrogate(300, 7);
+        CellList::rebuild(&mut slot, &sys_b, 2.5);
+        let pooled = slot.take().expect("box large enough");
+        let fresh = CellList::build(&sys_b, 2.5).expect("box large enough");
+        let mut p = Vec::new();
+        pooled.for_each_pair(|i, j| p.push((i, j)));
+        let mut f = Vec::new();
+        fresh.for_each_pair(|i, j| f.push((i, j)));
+        assert_eq!(p, f, "pooled rebuild must bin identically to a fresh build");
+    }
+
+    #[test]
+    fn rebuild_clears_slot_when_box_is_too_small() {
+        let big = alanine_dipeptide_surrogate(300, 6);
+        let mut slot = None;
+        CellList::rebuild(&mut slot, &big, 2.5);
+        assert!(slot.is_some());
+        let tiny = alanine_dipeptide_surrogate(8, 1);
+        CellList::rebuild(&mut slot, &tiny, tiny.box_len / 2.0);
+        assert!(slot.is_none(), "unusable grid must clear the slot");
     }
 
     #[test]

@@ -1,6 +1,14 @@
 //! Force field: truncated-shifted Lennard-Jones + harmonic bonds.
+//!
+//! The cell-list LJ evaluation is organised as per-x-layer partial sums so
+//! it can run on multiple threads while staying bit-for-bit deterministic:
+//! partials are keyed by *layer*, not by worker thread, and are reduced in
+//! layer order, so the floating-point summation order never depends on the
+//! thread count (see [`ForceField::compute_with_scratch`]).
 
+use crate::celllist::CellList;
 use crate::system::{MolecularSystem, Vec3};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Force-field parameters (reduced units).
@@ -27,13 +35,44 @@ impl Default for ForceField {
 /// Particle count above which the cell-list path is attempted.
 const CELL_LIST_THRESHOLD: usize = 128;
 
+/// Reusable allocations for [`ForceField::compute_with_scratch`]: the cell
+/// list (whose bins keep their capacity across rebuilds) and the pool of
+/// per-layer partial force buffers. One scratch per integrator; forces
+/// computed through a scratch are identical to forces computed without one.
+#[derive(Default)]
+pub struct ForceScratch {
+    cell: Option<CellList>,
+    layer_buffers: Vec<Vec<Vec3>>,
+}
+
 impl ForceField {
     /// Computes forces into `forces` (overwritten) and returns the potential
     /// energy. Uses an O(N) cell list when the system is large enough and
     /// the box fits at least 3 cells per side; falls back to the O(N²)
     /// minimum-image pair loop otherwise. Both paths produce identical
     /// results (covered by a property test).
+    ///
+    /// Convenience wrapper over [`ForceField::compute_with_scratch`] with a
+    /// throwaway scratch; per-step callers should hold a [`ForceScratch`]
+    /// to reuse the cell-list bins and layer buffers.
     pub fn compute(&self, sys: &MolecularSystem, forces: &mut Vec<Vec3>) -> f64 {
+        self.compute_with_scratch(sys, forces, &mut ForceScratch::default())
+    }
+
+    /// [`ForceField::compute`] with caller-owned scratch allocations.
+    ///
+    /// On the cell-list path the LJ sum is split into per-x-layer partials
+    /// executed through `rayon` (thread count: `ENTK_THREADS`, then
+    /// `RAYON_NUM_THREADS`, then the core count) and reduced in layer
+    /// order. Distinct layers emit disjoint pair sets and each partial is
+    /// keyed by layer rather than by worker thread, so the result is
+    /// bit-identical at any thread count.
+    pub fn compute_with_scratch(
+        &self,
+        sys: &MolecularSystem,
+        forces: &mut Vec<Vec3>,
+        scratch: &mut ForceScratch,
+    ) -> f64 {
         let n = sys.len();
         forces.clear();
         forces.resize(n, [0.0; 3]);
@@ -43,35 +82,27 @@ impl ForceField {
         let sr6c = (self.sigma * self.sigma / rc2).powi(3);
         let shift = 4.0 * self.epsilon * (sr6c * sr6c - sr6c);
 
-        let pair = |i: usize, j: usize, forces: &mut Vec<Vec3>, potential: &mut f64| {
-            let d = sys.min_image(i, j);
-            let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
-            if r2 >= rc2 || r2 == 0.0 {
-                return;
-            }
-            let sr2 = self.sigma * self.sigma / r2;
-            let sr6 = sr2 * sr2 * sr2;
-            let sr12 = sr6 * sr6;
-            *potential += 4.0 * self.epsilon * (sr12 - sr6) - shift;
-            let fmag = 24.0 * self.epsilon * (2.0 * sr12 - sr6) / r2;
-            for a in 0..3 {
-                forces[i][a] += fmag * d[a];
-                forces[j][a] -= fmag * d[a];
-            }
-        };
-
-        let cell_list = if n >= CELL_LIST_THRESHOLD && self.epsilon != 0.0 {
-            crate::celllist::CellList::build(sys, self.cutoff)
+        if n >= CELL_LIST_THRESHOLD && self.epsilon != 0.0 {
+            CellList::rebuild(&mut scratch.cell, sys, self.cutoff);
         } else {
-            None
-        };
-        match cell_list {
-            Some(cl) => cl.for_each_pair(|i, j| pair(i, j, forces, &mut potential)),
+            scratch.cell = None;
+        }
+        match &scratch.cell {
+            Some(cl) => {
+                potential += self.lj_layered(
+                    sys,
+                    cl,
+                    rc2,
+                    shift,
+                    forces,
+                    &mut scratch.layer_buffers,
+                );
+            }
             None => {
                 if self.epsilon != 0.0 {
                     for i in 0..n {
                         for j in (i + 1)..n {
-                            pair(i, j, forces, &mut potential);
+                            self.lj_pair(sys, i, j, (rc2, shift), forces, &mut potential);
                         }
                     }
                 }
@@ -91,6 +122,79 @@ impl ForceField {
                 forces[b.i][a] += fmag * d[a];
                 forces[b.j][a] -= fmag * d[a];
             }
+        }
+        potential
+    }
+
+    /// One truncated-shifted LJ pair interaction accumulated into
+    /// `forces`/`potential`. `(rc2, shift)` are the squared cutoff and the
+    /// continuity shift, precomputed once per evaluation.
+    #[inline]
+    fn lj_pair(
+        &self,
+        sys: &MolecularSystem,
+        i: usize,
+        j: usize,
+        (rc2, shift): (f64, f64),
+        forces: &mut [Vec3],
+        potential: &mut f64,
+    ) {
+        let d = sys.min_image(i, j);
+        let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+        if r2 >= rc2 || r2 == 0.0 {
+            return;
+        }
+        let sr2 = self.sigma * self.sigma / r2;
+        let sr6 = sr2 * sr2 * sr2;
+        let sr12 = sr6 * sr6;
+        *potential += 4.0 * self.epsilon * (sr12 - sr6) - shift;
+        let fmag = 24.0 * self.epsilon * (2.0 * sr12 - sr6) / r2;
+        for a in 0..3 {
+            forces[i][a] += fmag * d[a];
+            forces[j][a] -= fmag * d[a];
+        }
+    }
+
+    /// Cell-list LJ evaluation as per-x-layer partial sums, fanned across
+    /// threads with a deterministic layer-order reduction into `forces`.
+    /// Returns the LJ potential. Layer buffers are drawn from and returned
+    /// to `pool`.
+    fn lj_layered(
+        &self,
+        sys: &MolecularSystem,
+        cl: &CellList,
+        rc2: f64,
+        shift: f64,
+        forces: &mut [Vec3],
+        pool: &mut Vec<Vec<Vec3>>,
+    ) -> f64 {
+        let n = sys.len();
+        let layers: Vec<(usize, Vec<Vec3>)> = (0..cl.cells_per_side())
+            .map(|x| (x, pool.pop().unwrap_or_default()))
+            .collect();
+        // Ordered parallel map: results come back indexed by layer no
+        // matter which worker ran them.
+        let partials: Vec<(Vec<Vec3>, f64)> = layers
+            .into_par_iter()
+            .map(|(x, mut buf)| {
+                buf.clear();
+                buf.resize(n, [0.0; 3]);
+                let mut pot = 0.0;
+                cl.for_each_pair_in_x_layer(x, |i, j| {
+                    self.lj_pair(sys, i, j, (rc2, shift), &mut buf, &mut pot)
+                });
+                (buf, pot)
+            })
+            .collect();
+        let mut potential = 0.0;
+        for (buf, pot) in partials {
+            potential += pot;
+            for (f, p) in forces.iter_mut().zip(&buf) {
+                for a in 0..3 {
+                    f[a] += p[a];
+                }
+            }
+            pool.push(buf);
         }
         potential
     }
@@ -259,6 +363,55 @@ mod tests {
         assert_eq!(f1, f2);
     }
 
+    /// The parallel cell-list path must be bit-identical to its own serial
+    /// execution: partials are keyed by x-layer and reduced in layer order,
+    /// so the floating-point summation order is independent of the thread
+    /// count. `ENTK_THREADS` is re-read on every compute, which lets one
+    /// process compare both executions. (Other tests may observe the
+    /// temporary setting; that is harmless precisely because results do not
+    /// depend on it.)
+    #[test]
+    fn parallel_force_path_is_bit_identical_to_serial() {
+        use crate::system::alanine_dipeptide_surrogate;
+        let ff = ForceField::default();
+        let run_with = |threads: &str| {
+            std::env::set_var("ENTK_THREADS", threads);
+            let mut out = Vec::new();
+            for seed in [5u64, 12, 99] {
+                let sys = alanine_dipeptide_surrogate(400, seed);
+                let mut forces = Vec::new();
+                let energy = ff.compute(&sys, &mut forces);
+                out.push((energy, forces));
+            }
+            out
+        };
+        let serial = run_with("1");
+        let parallel = run_with("4");
+        std::env::remove_var("ENTK_THREADS");
+        for ((e1, f1), (e4, f4)) in serial.iter().zip(&parallel) {
+            assert_eq!(e1, e4, "potential differs between 1 and 4 threads");
+            assert_eq!(f1, f4, "forces differ between 1 and 4 threads");
+        }
+    }
+
+    /// Reusing one scratch across different systems gives exactly the same
+    /// forces as a fresh scratch per call (pooling must not leak state).
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_scratch() {
+        use crate::system::alanine_dipeptide_surrogate;
+        let ff = ForceField::default();
+        let mut scratch = ForceScratch::default();
+        for (n, seed) in [(300, 1u64), (300, 2), (150, 3), (50, 4), (400, 5)] {
+            let sys = alanine_dipeptide_surrogate(n, seed);
+            let mut f_pooled = Vec::new();
+            let mut f_fresh = Vec::new();
+            let e_pooled = ff.compute_with_scratch(&sys, &mut f_pooled, &mut scratch);
+            let e_fresh = ff.compute(&sys, &mut f_fresh);
+            assert_eq!(e_pooled, e_fresh, "energy differs with pooled scratch");
+            assert_eq!(f_pooled, f_fresh, "forces differ with pooled scratch");
+        }
+    }
+
     #[test]
     fn force_matches_numerical_gradient() {
         let ff = ForceField::default();
@@ -297,7 +450,8 @@ impl ForceField {
     ) -> f64 {
         assert!(max_disp > 0.0 && f_tol >= 0.0, "invalid minimizer parameters");
         let mut forces = Vec::new();
-        let mut energy = self.compute(sys, &mut forces);
+        let mut scratch = ForceScratch::default();
+        let mut energy = self.compute_with_scratch(sys, &mut forces, &mut scratch);
         for _ in 0..max_steps {
             let fmax = forces
                 .iter()
@@ -312,7 +466,7 @@ impl ForceField {
                     p[a] = (p[a] + scale * f[a]).rem_euclid(sys.box_len);
                 }
             }
-            let new_energy = self.compute(sys, &mut forces);
+            let new_energy = self.compute_with_scratch(sys, &mut forces, &mut scratch);
             if new_energy > energy {
                 // Overshot: undo and take a smaller effective step by
                 // simply stopping — callers wanting line search can loop.
@@ -321,7 +475,7 @@ impl ForceField {
                         p[a] = (p[a] - scale * f[a]).rem_euclid(sys.box_len);
                     }
                 }
-                energy = self.compute(sys, &mut forces);
+                energy = self.compute_with_scratch(sys, &mut forces, &mut scratch);
                 break;
             }
             energy = new_energy;

@@ -1,6 +1,6 @@
 //! Time integration: velocity Verlet (NVE) and Langevin (NVT).
 
-use crate::forcefield::ForceField;
+use crate::forcefield::{ForceField, ForceScratch};
 use crate::system::{MolecularSystem, Vec3};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -26,6 +26,7 @@ pub struct Integrator {
     ensemble: Ensemble,
     dt: f64,
     forces: Vec<Vec3>,
+    scratch: ForceScratch,
     rng: StdRng,
     /// Potential energy at the most recent step.
     last_potential: f64,
@@ -41,6 +42,7 @@ impl Integrator {
             ensemble,
             dt,
             forces: Vec::new(),
+            scratch: ForceScratch::default(),
             rng: StdRng::seed_from_u64(seed),
             last_potential: 0.0,
             initialized: false,
@@ -60,7 +62,9 @@ impl Integrator {
     /// Advances the system by `steps` time steps.
     pub fn run(&mut self, sys: &mut MolecularSystem, steps: usize) {
         if !self.initialized {
-            self.last_potential = self.ff.compute(sys, &mut self.forces);
+            self.last_potential = self
+                .ff
+                .compute_with_scratch(sys, &mut self.forces, &mut self.scratch);
             self.initialized = true;
         }
         for _ in 0..steps {
@@ -107,7 +111,9 @@ impl Integrator {
             }
         }
         // Recompute forces, then B: half kick.
-        self.last_potential = self.ff.compute(sys, &mut self.forces);
+        self.last_potential = self
+            .ff
+            .compute_with_scratch(sys, &mut self.forces, &mut self.scratch);
         for i in 0..n {
             let inv_m = 1.0 / sys.masses[i];
             for a in 0..3 {

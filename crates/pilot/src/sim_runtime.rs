@@ -17,7 +17,7 @@ use entk_cluster::{
 };
 use entk_saga::{JobDescription, JobState, JobUpdate, SagaJobId, SimJobService};
 use entk_sim::{Context, SimDuration, SimRng, SimTime, Tracer};
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 /// Events the runtime schedules for itself.
 #[derive(Debug, Clone)]
@@ -127,9 +127,11 @@ pub struct SimRuntime {
     config: SimRuntimeConfig,
     rng: SimRng,
     scheduler: Box<dyn UnitScheduler>,
-    pilots: HashMap<PilotId, PilotRecord>,
-    saga_to_pilot: HashMap<SagaJobId, PilotId>,
-    units: HashMap<UnitId, UnitRecord>,
+    // Fx hashing: these maps sit on the per-event hot path and their keys
+    // are small sequential ids, where SipHash cost dominates lookups.
+    pilots: FxHashMap<PilotId, PilotRecord>,
+    saga_to_pilot: FxHashMap<SagaJobId, PilotId>,
+    units: FxHashMap<UnitId, UnitRecord>,
     /// Units in `Scheduling` not yet placed, in submission order.
     waiting: Vec<UnitId>,
     profiler: Profiler,
@@ -153,9 +155,9 @@ impl SimRuntime {
             rng: SimRng::seed_from_u64(seed),
             config,
             scheduler: Box::new(FirstFitScheduler),
-            pilots: HashMap::new(),
-            saga_to_pilot: HashMap::new(),
-            units: HashMap::new(),
+            pilots: FxHashMap::default(),
+            saga_to_pilot: FxHashMap::default(),
+            units: FxHashMap::default(),
             waiting: Vec::new(),
             profiler: Profiler::new(),
             tracer: Tracer::new(),
@@ -743,6 +745,7 @@ impl SimRuntime {
 pub(crate) mod tests {
     use super::*;
     use entk_sim::Engine;
+    use std::collections::HashMap;
 
     /// Top-level event enum for tests.
     #[derive(Debug)]

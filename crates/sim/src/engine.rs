@@ -134,12 +134,15 @@ impl<E> Engine<E> {
             if budget == 0 {
                 return RunOutcome::StepLimit;
             }
-            match self.queue.peek_time() {
-                None => return RunOutcome::Drained,
-                Some(t) if t > horizon => return RunOutcome::Horizon,
-                Some(_) => {}
-            }
-            let (time, _, event) = self.queue.pop().expect("peeked event exists");
+            // Single heap traversal: pop the next live event only if it is
+            // within the horizon (replaces a peek-then-pop double descent).
+            let Some((time, _, event)) = self.queue.pop_at_or_before(horizon) else {
+                return if self.queue.is_empty() {
+                    RunOutcome::Drained
+                } else {
+                    RunOutcome::Horizon
+                };
+            };
             debug_assert!(time >= self.now, "event queue went back in time");
             self.now = time;
             self.steps += 1;

@@ -2,7 +2,7 @@
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 /// Identifier of a scheduled event; used for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -47,10 +47,23 @@ impl<E> Eq for Entry<E> {}
 ///
 /// Events scheduled for the same instant pop in insertion order, which makes
 /// simulation runs bit-for-bit reproducible. Cancellation is lazy: cancelled
-/// ids are skipped at pop time.
+/// entries stay in the heap and are skipped when they surface.
+///
+/// Because ids are dense sequence numbers, liveness is tracked in a bitset
+/// rather than a hash set: `pending` bit `i` is set while event `i` is
+/// scheduled and neither popped nor cancelled. This keeps the hot pop path
+/// free of hashing, makes `len` an O(1) counter read (the previous
+/// `heap.len() - cancelled.len()` underflowed when an already-popped id was
+/// cancelled), and lets pop/peek skip the liveness probe entirely while no
+/// lazily-cancelled entries remain in the heap.
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    cancelled: HashSet<EventId>,
+    /// Bit `i` set ⇔ event id `i` is scheduled, unpopped, and uncancelled.
+    pending: Vec<u64>,
+    /// Number of set bits in `pending` (live events).
+    live: usize,
+    /// Cancelled entries still sitting in the heap awaiting lazy removal.
+    lazy_cancelled: usize,
     next_id: u64,
 }
 
@@ -65,8 +78,29 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            pending: Vec::new(),
+            live: 0,
+            lazy_cancelled: 0,
             next_id: 0,
+        }
+    }
+
+    fn is_pending(&self, id: EventId) -> bool {
+        let (word, bit) = (id.0 as usize / 64, id.0 % 64);
+        self.pending
+            .get(word)
+            .is_some_and(|w| w & (1 << bit) != 0)
+    }
+
+    /// Clears the pending bit; returns whether it was set.
+    fn clear_pending(&mut self, id: EventId) -> bool {
+        let (word, bit) = (id.0 as usize / 64, id.0 % 64);
+        match self.pending.get_mut(word) {
+            Some(w) if *w & (1 << bit) != 0 => {
+                *w &= !(1 << bit);
+                true
+            }
+            _ => false,
         }
     }
 
@@ -74,25 +108,43 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, time: SimTime, payload: E) -> EventId {
         let id = EventId(self.next_id);
         self.next_id += 1;
+        let word = id.0 as usize / 64;
+        if word >= self.pending.len() {
+            self.pending.resize(word + 1, 0);
+        }
+        self.pending[word] |= 1 << (id.0 % 64);
+        self.live += 1;
         self.heap.push(Entry { time, id, payload });
         id
     }
 
-    /// Cancels a previously scheduled event. Cancelling an already-popped or
-    /// unknown id is a no-op. Returns whether the id was newly marked.
+    /// Cancels a previously scheduled event. Cancelling an already-popped,
+    /// already-cancelled, or unknown id is a no-op. Returns whether the id
+    /// was newly cancelled.
     pub fn cancel(&mut self, id: EventId) -> bool {
         if id.0 >= self.next_id {
             return false;
         }
-        self.cancelled.insert(id)
+        if self.clear_pending(id) {
+            self.live -= 1;
+            self.lazy_cancelled += 1;
+            true
+        } else {
+            false
+        }
     }
 
     /// Pops the earliest non-cancelled event.
     pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.id) {
+            // Fast path: with no lazy cancellations in the heap, every
+            // entry is live — skip the liveness probe.
+            if self.lazy_cancelled > 0 && !self.is_pending(entry.id) {
+                self.lazy_cancelled -= 1;
                 continue;
             }
+            self.clear_pending(entry.id);
+            self.live -= 1;
             return Some((entry.time, entry.id, entry.payload));
         }
         None
@@ -101,9 +153,9 @@ impl<E> EventQueue<E> {
     /// Time of the earliest pending (non-cancelled) event without popping it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.id) {
-                let entry = self.heap.pop().expect("peeked entry exists");
-                self.cancelled.remove(&entry.id);
+            if self.lazy_cancelled > 0 && !self.is_pending(entry.id) {
+                self.heap.pop().expect("peeked entry exists");
+                self.lazy_cancelled -= 1;
                 continue;
             }
             return Some(entry.time);
@@ -111,14 +163,35 @@ impl<E> EventQueue<E> {
         None
     }
 
-    /// Number of pending entries, including lazily-cancelled ones.
+    /// Pops the earliest non-cancelled event only if it is scheduled at or
+    /// before `horizon`. One heap traversal replaces the peek-then-pop pair
+    /// in bounded-run loops.
+    pub fn pop_at_or_before(&mut self, horizon: SimTime) -> Option<(SimTime, EventId, E)> {
+        while let Some(entry) = self.heap.peek() {
+            if self.lazy_cancelled > 0 && !self.is_pending(entry.id) {
+                self.heap.pop().expect("peeked entry exists");
+                self.lazy_cancelled -= 1;
+                continue;
+            }
+            if entry.time > horizon {
+                return None;
+            }
+            let entry = self.heap.pop().expect("peeked entry exists");
+            self.clear_pending(entry.id);
+            self.live -= 1;
+            return Some((entry.time, entry.id, entry.payload));
+        }
+        None
+    }
+
+    /// Number of live (scheduled, unpopped, uncancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.live
     }
 
     /// True if no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live == 0
     }
 }
 
@@ -186,6 +259,38 @@ mod tests {
         q.cancel(ids[1]);
         q.cancel(ids[3]);
         assert_eq!(q.len(), 3);
+    }
+
+    /// Regression: cancelling an id that was already popped used to record
+    /// a phantom cancellation, making `len()` underflow (debug panic) and
+    /// report wrong counts in release builds.
+    #[test]
+    fn cancel_after_pop_keeps_len_consistent() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        let _b = q.push(t(2), "b");
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some("a"));
+        assert!(!q.cancel(a), "cancelling a popped id is a no-op");
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some("b"));
+        assert!(q.is_empty());
+        assert!(!q.cancel(a));
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn pop_at_or_before_respects_horizon() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        q.push(t(5), "b");
+        q.push(t(3), "c");
+        q.cancel(a);
+        assert!(q.pop_at_or_before(SimTime::ZERO).is_none());
+        assert_eq!(q.pop_at_or_before(t(3)).map(|(_, _, p)| p), Some("c"));
+        assert!(q.pop_at_or_before(t(4)).is_none(), "b is past the horizon");
+        assert_eq!(q.pop_at_or_before(t(5)).map(|(_, _, p)| p), Some("b"));
+        assert!(q.is_empty());
     }
 
     proptest! {

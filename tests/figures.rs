@@ -2,7 +2,7 @@
 //! statement the evaluation section makes must hold in this reproduction.
 //! (Full-scale numbers live in EXPERIMENTS.md / `cargo run -p entk-bench`.)
 
-use entk_bench::{fig3, fig4, fig5, fig6, fig7, fig9, Row};
+use entk_bench::{fig3, fig4, fig5, fig6, fig7, fig9, Row, SweepRunner};
 
 fn series(rows: &[Row], name: &str, value: &str) -> Vec<f64> {
     rows.iter()
@@ -109,6 +109,35 @@ fn fig7_claims_sim_linear_analysis_constant() {
     let amin = ana.iter().cloned().fold(f64::INFINITY, f64::min);
     let amax = ana.iter().cloned().fold(0.0, f64::max);
     assert!(amax / amin < 1.3, "analysis constant: {ana:?}");
+}
+
+/// Parallel sweeps must be bit-identical to serial ones: each point's
+/// simulation is deterministic in its seed, and the runner reassembles rows
+/// in input-point order. `ENTK_THREADS` forces multi-threaded execution
+/// even on single-core hosts; it is harmless to concurrent tests because
+/// results never depend on the thread count.
+#[test]
+fn parallel_sweep_rows_are_bit_identical_to_serial() {
+    std::env::set_var("ENTK_THREADS", "4");
+    type SweepFn = Box<dyn Fn(&SweepRunner) -> Vec<Row>>;
+    let checks: Vec<(&str, SweepFn)> = vec![
+        ("fig3", Box::new(|r| entk_bench::fig3_with(r, 2016))),
+        ("fig4", Box::new(|r| entk_bench::fig4_with(r, 2016))),
+        ("fig5", Box::new(|r| entk_bench::fig5_with(r, 2016, 64))),
+        ("fig8", Box::new(|r| entk_bench::fig8_with(r, 2016, 64))),
+        ("fig9", Box::new(|r| entk_bench::fig9_with(r, 2016, 16))),
+        (
+            "ablation_faults",
+            Box::new(|r| entk_bench::ablation_faults_with(r, 2016)),
+        ),
+    ];
+    for (name, sweep) in checks {
+        let serial = sweep(&SweepRunner::serial());
+        let parallel = sweep(&SweepRunner::parallel());
+        assert_eq!(serial, parallel, "{name}: parallel rows diverged");
+        assert!(!serial.is_empty(), "{name}: sweep produced no rows");
+    }
+    std::env::remove_var("ENTK_THREADS");
 }
 
 #[test]

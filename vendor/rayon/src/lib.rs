@@ -1,0 +1,236 @@
+//! Minimal offline stand-in for `rayon`.
+//!
+//! Provides the subset this workspace uses: `into_par_iter()` /
+//! `par_iter()` followed by `map(..).collect::<Vec<_>>()`, plus [`join`]
+//! and [`current_num_threads`]. Work is distributed dynamically over scoped
+//! std threads through an atomic index dispenser (greedy work-stealing-ish
+//! load balance for heterogeneous task costs), and results are returned in
+//! the **original item order**, so a parallel map is a drop-in,
+//! order-deterministic replacement for a serial one.
+//!
+//! Thread count resolution: `ENTK_THREADS` env var, then
+//! `RAYON_NUM_THREADS`, then `std::thread::available_parallelism()`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    for var in ["ENTK_THREADS", "RAYON_NUM_THREADS"] {
+        if let Ok(v) = std::env::var(var) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs both closures, in parallel when more than one thread is available.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("joined closure panicked");
+        (ra, rb)
+    })
+}
+
+/// A source of owned items for a parallel map.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A pending parallel map; executed by [`ParMap::collect`].
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Lazily attaches the mapping function.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Accepted for API compatibility; chunking here is always per-item.
+    pub fn with_min_len(self, _n: usize) -> Self {
+        self
+    }
+}
+
+/// Maps `f` over `items` on up to `threads` scoped workers; results come
+/// back in input order.
+fn parallel_map<T, R, F>(items: Vec<T>, f: &F, threads: usize) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let dispenser = AtomicUsize::new(0);
+    let workers = threads.min(n);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let slots = &slots;
+                let dispenser = &dispenser;
+                s.spawn(move || {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = dispenser.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let item = slots[i]
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .take()
+                            .expect("each slot is taken exactly once");
+                        local.push((i, f(item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("worker panicked") {
+                out[i] = Some(r);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every index was mapped"))
+        .collect()
+}
+
+impl<T: Send, F, R> ParMap<T, F>
+where
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Executes the map and gathers results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        parallel_map(self.items, &self.f, current_num_threads())
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Conversion into a parallel iterator over owned items.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Starts a parallel pipeline.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Conversion into a parallel iterator over borrowed items.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Send;
+    /// Starts a parallel pipeline over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Glob-import module mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn order_is_preserved() {
+        let out: Vec<usize> = (0..100).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v = vec![1, 2, 3];
+        let out: Vec<i32> = v.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn heavy_fan_out_matches_serial() {
+        let serial: Vec<u64> = (0..1000u64).map(|i| i.wrapping_mul(i)).collect();
+        let par: Vec<u64> = (0..1000usize)
+            .into_par_iter()
+            .map(|i| (i as u64).wrapping_mul(i as u64))
+            .collect();
+        assert_eq!(serial, par);
+    }
+}

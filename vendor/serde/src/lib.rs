@@ -1,0 +1,449 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! Instead of serde's visitor architecture, this shim routes all
+//! (de)serialization through one concrete data model: [`Value`], a JSON-like
+//! tree. [`Serialize`] renders a type into a `Value`; [`Deserialize`] reads
+//! one back. The companion `serde_shim_macros` crate provides the
+//! `#[derive(Serialize, Deserialize)]` macros (re-exported here) supporting
+//! the `#[serde(default)]`, `#[serde(default = "fn")]`, and
+//! `#[serde(tag = "...", rename_all = "snake_case")]` attributes used in
+//! this workspace. `serde_json` (the sibling shim) adds the JSON text layer
+//! and re-exports [`Value`].
+
+pub use serde_shim_macros::{Deserialize, Serialize};
+
+mod value;
+
+pub use value::{Map, Number, Value};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Error produced when a [`Value`] cannot be read back as the target type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    /// Wraps the error with the field it occurred under.
+    pub fn in_field(self, field: &str) -> Self {
+        DeError {
+            message: format!("{field}: {}", self.message),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Renders `self` into the [`Value`] data model.
+pub trait Serialize {
+    /// The value representation of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstructs `Self` from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Parses `v`, failing with a description of the first mismatch.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ------------------------------------------------------------- primitives
+
+macro_rules! ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| DeError::custom(format!("expected unsigned integer, got {v:?}")))?;
+                <$t>::try_from(n).map_err(|_| DeError::custom(format!("{n} out of range")))
+            }
+        }
+    )*};
+}
+
+ser_de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 {
+                    Value::Number(Number::PosInt(n as u64))
+                } else {
+                    Value::Number(Number::NegInt(n))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| DeError::custom(format!("expected integer, got {v:?}")))?;
+                <$t>::try_from(n).map_err(|_| DeError::custom(format!("{n} out of range")))
+            }
+        }
+    )*};
+}
+
+ser_de_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::Float(*self as f64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                v.as_f64()
+                    .map(|f| f as $t)
+                    .ok_or_else(|| DeError::custom(format!("expected number, got {v:?}")))
+            }
+        }
+    )*};
+}
+
+ser_de_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool()
+            .ok_or_else(|| DeError::custom(format!("expected bool, got {v:?}")))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::custom(format!("expected string, got {v:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| DeError::custom(format!("expected single-char string, got {v:?}")))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom(format!("expected single-char string, got {s:?}"))),
+        }
+    }
+}
+
+// ------------------------------------------------------------- containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| DeError::custom(format!("expected array, got {v:?}")))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| DeError::custom(format!("expected array, got {v:?}")))?;
+        if items.len() != N {
+            return Err(DeError::custom(format!(
+                "expected array of length {N}, got {}",
+                items.len()
+            )));
+        }
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(items) {
+            *slot = T::from_value(item)?;
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| DeError::custom(format!("expected tuple array, got {v:?}")))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of {expected}, got {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+ser_de_tuple! {
+    (A:0)
+    (A:0, B:1)
+    (A:0, B:1, C:2)
+    (A:0, B:1, C:2, D:3)
+}
+
+/// Map keys usable with JSON objects: rendered to / parsed from strings.
+///
+/// Blanket-implemented via the value model, so strings, integers, and
+/// integer-like newtypes (whose derives serialize to a number) all work
+/// as keys.
+pub trait MapKey: Sized {
+    /// String form of the key.
+    fn to_key(&self) -> String;
+    /// Parses the string form back.
+    fn from_key(s: &str) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + Deserialize> MapKey for T {
+    fn to_key(&self) -> String {
+        match self.to_value() {
+            Value::String(s) => s,
+            Value::Number(n) => n.to_string(),
+            Value::Bool(b) => b.to_string(),
+            other => panic!("unsupported map key representation: {other:?}"),
+        }
+    }
+
+    fn from_key(s: &str) -> Result<Self, DeError> {
+        if let Ok(v) = T::from_value(&Value::String(s.to_string())) {
+            return Ok(v);
+        }
+        if let Ok(n) = s.parse::<u64>() {
+            if let Ok(v) = T::from_value(&Value::Number(Number::PosInt(n))) {
+                return Ok(v);
+            }
+        }
+        if let Ok(n) = s.parse::<i64>() {
+            if let Ok(v) = T::from_value(&Value::Number(if n >= 0 {
+                Number::PosInt(n as u64)
+            } else {
+                Number::NegInt(n)
+            })) {
+                return Ok(v);
+            }
+        }
+        if let Ok(b) = s.parse::<bool>() {
+            if let Ok(v) = T::from_value(&Value::Bool(b)) {
+                return Ok(v);
+            }
+        }
+        Err(DeError::custom(format!("cannot parse map key {s:?}")))
+    }
+}
+
+impl<K: MapKey, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Sort keys so serialization is deterministic regardless of hasher.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries.into_iter().collect())
+    }
+}
+
+impl<K: MapKey + std::hash::Hash + Eq, V: Deserialize, S: std::hash::BuildHasher + Default>
+    Deserialize for HashMap<K, V, S>
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v
+            .as_object()
+            .ok_or_else(|| DeError::custom(format!("expected object, got {v:?}")))?;
+        m.iter()
+            .map(|(k, val)| Ok((K::from_key(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v
+            .as_object()
+            .ok_or_else(|| DeError::custom(format!("expected object, got {v:?}")))?;
+        m.iter()
+            .map(|(k, val)| Ok((K::from_key(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn floats_accept_integers() {
+        assert_eq!(f64::from_value(&3u64.to_value()).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn options_and_vecs() {
+        let v: Option<u32> = None;
+        assert_eq!(v.to_value(), Value::Null);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        let xs = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&xs.to_value()).unwrap(), xs);
+    }
+
+    #[test]
+    fn tuples_round_trip() {
+        let t = ("a".to_string(), 2.5f64);
+        let back: (String, f64) = Deserialize::from_value(&t.to_value()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn int_keyed_maps_round_trip() {
+        let mut m = HashMap::new();
+        m.insert(3u64, "x".to_string());
+        let back: HashMap<u64, String> = Deserialize::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,531 @@
+//! The JSON-like tree all (de)serialization in this shim flows through.
+//! `serde_json` re-exports [`Value`], so the two crates share one model.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Object representation: ordered map for deterministic serialization.
+pub type Map = BTreeMap<String, Value>;
+
+/// A JSON number, preserving integer-ness like `serde_json::Number`.
+#[derive(Clone, Copy, Debug)]
+pub enum Number {
+    /// Non-negative integer.
+    PosInt(u64),
+    /// Negative integer.
+    NegInt(i64),
+    /// Floating point.
+    Float(f64),
+}
+
+impl Number {
+    /// Numeric value as `f64` (always possible).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(n) => n as f64,
+            Number::NegInt(n) => n as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    /// As `u64` if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(n) => Some(n),
+            Number::NegInt(n) => u64::try_from(n).ok(),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// As `i64` if this is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(n) => i64::try_from(n).ok(),
+            Number::NegInt(n) => Some(n),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// True if this is an integer (not a float).
+    pub fn is_integer(&self) -> bool {
+        !matches!(self, Number::Float(_))
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::Float(a), Number::Float(b)) => a == b,
+            (Number::Float(_), _) | (_, Number::Float(_)) => false,
+            _ => match (self.as_i64(), other.as_i64()) {
+                (Some(a), Some(b)) => a == b,
+                // Both integers but at least one exceeds i64: compare as u64.
+                _ => self.as_u64() == other.as_u64() && self.as_u64().is_some(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::PosInt(n) => write!(f, "{n}"),
+            Number::NegInt(n) => write!(f, "{n}"),
+            Number::Float(x) => {
+                if x.is_finite() {
+                    if x == x.trunc() && x.abs() < 1e15 {
+                        write!(f, "{x:.1}")
+                    } else {
+                        write!(f, "{x}")
+                    }
+                } else {
+                    // JSON has no Inf/NaN; serialize as null like serde_json.
+                    write!(f, "null")
+                }
+            }
+        }
+    }
+}
+
+/// A JSON value tree (`serde_json::Value` stand-in).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object.
+    Object(Map),
+}
+
+impl Value {
+    /// True if this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// As bool, if boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// As f64, if numeric (integers convert).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// As u64, if a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// As i64, if an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// As string slice, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As array slice, if an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Mutable array access, if an array.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// As object map, if an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Mutable object access, if an object.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Field / element lookup by string key or array position; `None`
+    /// for missing entries or mismatched container kinds.
+    pub fn get<I: ValueIndex>(&self, index: I) -> Option<&Value> {
+        index.index_into(self)
+    }
+}
+
+/// Index types accepted by [`Value::get`] and `value[...]`.
+pub trait ValueIndex {
+    /// Looks `self` up inside `v`.
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value>;
+    /// Mutable lookup for `value[...] = ...`; inserts into objects
+    /// (turning `Null` into an object first) like `serde_json` does.
+    fn index_into_mut<'a>(&self, v: &'a mut Value) -> &'a mut Value;
+}
+
+impl ValueIndex for str {
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        match v {
+            Value::Object(m) => m.get(self),
+            _ => None,
+        }
+    }
+
+    fn index_into_mut<'a>(&self, v: &'a mut Value) -> &'a mut Value {
+        if v.is_null() {
+            *v = Value::Object(Map::new());
+        }
+        match v {
+            Value::Object(m) => m.entry(self.to_string()).or_insert(Value::Null),
+            other => panic!("cannot index non-object value {other:?} with string {self:?}"),
+        }
+    }
+}
+
+impl ValueIndex for &str {
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        (*self).index_into(v)
+    }
+
+    fn index_into_mut<'a>(&self, v: &'a mut Value) -> &'a mut Value {
+        (*self).index_into_mut(v)
+    }
+}
+
+impl ValueIndex for String {
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        self.as_str().index_into(v)
+    }
+
+    fn index_into_mut<'a>(&self, v: &'a mut Value) -> &'a mut Value {
+        self.as_str().index_into_mut(v)
+    }
+}
+
+impl ValueIndex for usize {
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        match v {
+            Value::Array(a) => a.get(*self),
+            _ => None,
+        }
+    }
+
+    fn index_into_mut<'a>(&self, v: &'a mut Value) -> &'a mut Value {
+        match v {
+            Value::Array(a) => a
+                .get_mut(*self)
+                .unwrap_or_else(|| panic!("array index {self} out of bounds")),
+            other => panic!("cannot index non-array value {other:?} with {self}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON rendering, matching `serde_json::Value`'s `Display`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => write!(f, "{s:?}"),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(m) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{k:?}:{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+const NULL: Value = Value::Null;
+
+impl<I: ValueIndex> std::ops::Index<I> for Value {
+    type Output = Value;
+    fn index(&self, index: I) -> &Value {
+        index.index_into(self).unwrap_or(&NULL)
+    }
+}
+
+impl<I: ValueIndex> std::ops::IndexMut<I> for Value {
+    fn index_mut(&mut self, index: I) -> &mut Value {
+        index.index_into_mut(self)
+    }
+}
+
+// ----------------------------------------------------------- From impls
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(n: $t) -> Self {
+                Value::Number(Number::PosInt(n as u64))
+            }
+        }
+    )*};
+}
+
+from_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(n: $t) -> Self {
+                let n = n as i64;
+                if n >= 0 {
+                    Value::Number(Number::PosInt(n as u64))
+                } else {
+                    Value::Number(Number::NegInt(n))
+                }
+            }
+        }
+    )*};
+}
+
+from_signed!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Number(Number::Float(f))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(f: f32) -> Self {
+        Value::Number(Number::Float(f as f64))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(s: &String) -> Self {
+        Value::String(s.clone())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(xs: Vec<T>) -> Self {
+        Value::Array(xs.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Clone + Into<Value>> From<&[T]> for Value {
+    fn from(xs: &[T]) -> Self {
+        Value::Array(xs.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl From<Map> for Value {
+    fn from(m: Map) -> Self {
+        Value::Object(m)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(o: Option<T>) -> Self {
+        match o {
+            Some(v) => v.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+macro_rules! from_ref_numeric {
+    ($($t:ty),*) => {$(
+        impl From<&$t> for Value {
+            fn from(n: &$t) -> Self {
+                Value::from(*n)
+            }
+        }
+    )*};
+}
+
+from_ref_numeric!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool);
+
+// -------------------------------------------------- PartialEq shortcuts
+
+macro_rules! eq_numeric {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                match self {
+                    Value::Number(n) => *n == Number::from_prim(*other),
+                    _ => false,
+                }
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+impl Number {
+    fn from_prim<T: Into<NumPrim>>(t: T) -> Number {
+        match t.into() {
+            NumPrim::U(n) => Number::PosInt(n),
+            NumPrim::I(n) => {
+                if n >= 0 {
+                    Number::PosInt(n as u64)
+                } else {
+                    Number::NegInt(n)
+                }
+            }
+            NumPrim::F(f) => Number::Float(f),
+        }
+    }
+}
+
+enum NumPrim {
+    U(u64),
+    I(i64),
+    F(f64),
+}
+
+macro_rules! numprim_u {
+    ($($t:ty),*) => {$(impl From<$t> for NumPrim { fn from(n: $t) -> Self { NumPrim::U(n as u64) } })*};
+}
+macro_rules! numprim_i {
+    ($($t:ty),*) => {$(impl From<$t> for NumPrim { fn from(n: $t) -> Self { NumPrim::I(n as i64) } })*};
+}
+macro_rules! numprim_f {
+    ($($t:ty),*) => {$(impl From<$t> for NumPrim { fn from(n: $t) -> Self { NumPrim::F(n as f64) } })*};
+}
+
+numprim_u!(u8, u16, u32, u64, usize);
+numprim_i!(i8, i16, i32, i64, isize);
+numprim_f!(f32, f64);
+
+eq_numeric!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<Value> for String {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_comparisons_cross_variant() {
+        assert_eq!(Value::from(3u64), 3);
+        assert_eq!(Value::from(3i32), 3u64);
+        assert_ne!(Value::from(3.0f64), Value::from(3u64));
+        assert_eq!(Value::from(-2i32), -2i64);
+    }
+
+    #[test]
+    fn indexing_missing_yields_null() {
+        let v = Value::Object(Map::new());
+        assert!(v["absent"].is_null());
+        assert!(v[3].is_null());
+    }
+
+    #[test]
+    fn float_display_keeps_decimal_point() {
+        assert_eq!(Number::Float(1.0).to_string(), "1.0");
+        assert_eq!(Number::Float(1.5).to_string(), "1.5");
+        assert_eq!(Number::PosInt(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,638 @@
+//! Proc macros backing the offline serde shim: `#[derive(Serialize)]`,
+//! `#[derive(Deserialize)]`, and `json!`.
+//!
+//! Everything is hand-rolled on `proc_macro::TokenTree` (no syn/quote in
+//! this container). Delimited groups make that workable: braces, brackets,
+//! and parens arrive pre-matched, so item parsing is a linear scan and
+//! `json!` is a short recursion. Code is generated as strings and re-parsed
+//! into a `TokenStream`.
+//!
+//! Supported `#[serde(...)]` attributes (the set this workspace uses):
+//! `default`, `default = "path"`, `tag = "..."`, `rename_all =
+//! "snake_case"`. Generics are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ============================================================== parsing
+
+#[derive(Default)]
+struct SerdeAttrs {
+    /// `default` / `default = "path"` on a field.
+    default: Option<Option<String>>,
+    /// `tag = "..."` on a container (internal tagging).
+    tag: Option<String>,
+    /// `rename_all = "..."` on a container.
+    rename_all: Option<String>,
+}
+
+struct Field {
+    name: String,
+    default: Option<Option<String>>,
+}
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    attrs: SerdeAttrs,
+    body: Body,
+}
+
+fn lit_str(text: &str) -> String {
+    let t = text.trim();
+    t.strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .unwrap_or(t)
+        .to_string()
+}
+
+/// Consumes leading attributes at `*i`, folding any `#[serde(...)]` keys
+/// into `attrs`.
+fn take_attrs(tokens: &[TokenTree], i: &mut usize, attrs: &mut SerdeAttrs) {
+    while *i + 1 < tokens.len() {
+        let is_hash = matches!(&tokens[*i], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_hash {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[*i + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    parse_serde_args(args.stream(), attrs);
+                }
+            }
+        }
+        *i += 2;
+    }
+}
+
+fn parse_serde_args(stream: TokenStream, attrs: &mut SerdeAttrs) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        let TokenTree::Ident(key) = &tokens[i] else {
+            panic!("serde shim: unsupported attribute syntax near {:?}", tokens[i].to_string());
+        };
+        let key = key.to_string();
+        let mut value = None;
+        i += 1;
+        if i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == '=' {
+                    value = Some(lit_str(&tokens[i + 1].to_string()));
+                    i += 2;
+                }
+            }
+        }
+        match key.as_str() {
+            "default" => attrs.default = Some(value),
+            "tag" => attrs.tag = value,
+            "rename_all" => attrs.rename_all = value,
+            other => panic!("serde shim: unsupported serde attribute `{other}`"),
+        }
+        if i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+                _ => panic!("serde shim: expected `,` in serde attribute list"),
+            }
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Splits `tokens` on commas at angle-bracket depth zero (groups already
+/// hide their interior, so only `<`/`>` need explicit tracking).
+fn split_top_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut parts = vec![Vec::new()];
+    let mut angle = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    parts.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        parts.last_mut().expect("parts is never empty").push(t.clone());
+    }
+    if parts.last().map(Vec::is_empty).unwrap_or(false) {
+        parts.pop();
+    }
+    parts
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut attrs = SerdeAttrs::default();
+        take_attrs(&tokens, &mut i, &mut attrs);
+        skip_visibility(&tokens, &mut i);
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("serde shim: expected field name, found {:?}", tokens[i].to_string());
+        };
+        let name = name.to_string();
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim: expected `:` after field `{name}`, found {:?}", other.to_string()),
+        }
+        // Skip the type: everything up to the next comma outside angles.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        if i < tokens.len() {
+            i += 1; // consume the comma
+        }
+        fields.push(Field {
+            name,
+            default: attrs.default,
+        });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    for part in split_top_commas(&tokens) {
+        let mut i = 0;
+        let mut attrs = SerdeAttrs::default();
+        take_attrs(&part, &mut i, &mut attrs);
+        let TokenTree::Ident(name) = &part[i] else {
+            panic!("serde shim: expected variant name, found {:?}", part[i].to_string());
+        };
+        let name = name.to_string();
+        i += 1;
+        let fields = match part.get(i) {
+            None => Fields::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Fields::Tuple(split_top_commas(&inner).len())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(other) => panic!(
+                "serde shim: unsupported token after variant `{name}`: {:?}",
+                other.to_string()
+            ),
+        };
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut attrs = SerdeAttrs::default();
+    take_attrs(&tokens, &mut i, &mut attrs);
+    skip_visibility(&tokens, &mut i);
+    let TokenTree::Ident(kw) = &tokens[i] else {
+        panic!("serde shim: expected `struct` or `enum`");
+    };
+    let kw = kw.to_string();
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("serde shim: expected type name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim: generic types are not supported (deriving for `{name}`)");
+        }
+    }
+    let body = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Body::Struct(Fields::Tuple(split_top_commas(&inner).len()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Struct(Fields::Unit),
+            other => panic!(
+                "serde shim: unsupported struct body for `{name}`: {:?}",
+                other.map(|t| t.to_string())
+            ),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde shim: expected enum body for `{name}`"),
+        },
+        other => panic!("serde shim: cannot derive for `{other}` items"),
+    };
+    Input { name, attrs, body }
+}
+
+fn to_snake_case(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 4);
+    for (i, c) in s.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn wire_name(variant: &str, attrs: &SerdeAttrs) -> String {
+    match attrs.rename_all.as_deref() {
+        Some("snake_case") => to_snake_case(variant),
+        Some("lowercase") => variant.to_lowercase(),
+        Some(other) => panic!("serde shim: unsupported rename_all = \"{other}\""),
+        None => variant.to_string(),
+    }
+}
+
+// ===================================================== Serialize derive
+
+fn ser_named_fields(fields: &[Field], map: &str, access: &str) -> String {
+    let mut code = String::new();
+    for f in fields {
+        code.push_str(&format!(
+            "{map}.insert(::std::string::String::from(\"{n}\"), \
+             ::serde::Serialize::to_value({access}{n}));\n",
+            n = f.name
+        ));
+    }
+    code
+}
+
+/// Derives `Serialize` by rendering the type into the shim's `Value` model.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Body::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::Struct(Fields::Named(fields)) => format!(
+            "let mut m = ::serde::Map::new();\n{}::serde::Value::Object(m)",
+            ser_named_fields(fields, "m", "&self.")
+        ),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let wire = wire_name(&v.name, &input.attrs);
+                let arm = if let Some(tag) = &input.attrs.tag {
+                    // Internal tagging: flatten fields next to the tag key.
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{v} => {{ let mut m = ::serde::Map::new(); \
+                             m.insert(::std::string::String::from(\"{tag}\"), \
+                             ::serde::Value::String(::std::string::String::from(\"{wire}\"))); \
+                             ::serde::Value::Object(m) }}",
+                            v = v.name
+                        ),
+                        Fields::Named(fields) => {
+                            let binds: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            format!(
+                                "{name}::{v} {{ {binds} }} => {{ \
+                                 let mut m = ::serde::Map::new(); \
+                                 m.insert(::std::string::String::from(\"{tag}\"), \
+                                 ::serde::Value::String(::std::string::String::from(\"{wire}\"))); \
+                                 {inserts} ::serde::Value::Object(m) }}",
+                                v = v.name,
+                                binds = binds.join(", "),
+                                inserts = ser_named_fields(fields, "m", "")
+                            )
+                        }
+                        Fields::Tuple(_) => panic!(
+                            "serde shim: tuple variants unsupported with tag (in `{name}`)"
+                        ),
+                    }
+                } else {
+                    // External tagging: {"Variant": payload} or "Variant".
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{v} => ::serde::Value::String(\
+                             ::std::string::String::from(\"{wire}\"))",
+                            v = v.name
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{v}({binds}) => {{ let mut m = ::serde::Map::new(); \
+                                 m.insert(::std::string::String::from(\"{wire}\"), {payload}); \
+                                 ::serde::Value::Object(m) }}",
+                                v = v.name,
+                                binds = binds.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            format!(
+                                "{name}::{v} {{ {binds} }} => {{ \
+                                 let mut inner = ::serde::Map::new(); {inserts} \
+                                 let mut m = ::serde::Map::new(); \
+                                 m.insert(::std::string::String::from(\"{wire}\"), \
+                                 ::serde::Value::Object(inner)); ::serde::Value::Object(m) }}",
+                                v = v.name,
+                                binds = binds.join(", "),
+                                inserts = ser_named_fields(fields, "inner", "")
+                            )
+                        }
+                    }
+                };
+                arms.push_str(&arm);
+                arms.push_str(",\n");
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let code = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    );
+    code.parse().expect("serde shim: generated Serialize impl failed to parse")
+}
+
+// =================================================== Deserialize derive
+
+/// Expression reading field `f` out of map expression `map` for type
+/// `owner`, honoring `#[serde(default)]`.
+fn de_named_field(owner: &str, map: &str, f: &Field) -> String {
+    let missing = match &f.default {
+        Some(None) => "::std::default::Default::default()".to_string(),
+        Some(Some(path)) => format!("{path}()"),
+        None => format!(
+            "return ::std::result::Result::Err(::serde::DeError::custom(\
+             \"{owner}: missing field `{n}`\"))",
+            n = f.name
+        ),
+    };
+    format!(
+        "{n}: match {map}.get(\"{n}\") {{\n\
+         ::std::option::Option::Some(x) => \
+         ::serde::Deserialize::from_value(x).map_err(|e| e.in_field(\"{n}\"))?,\n\
+         ::std::option::Option::None => {missing},\n}}",
+        n = f.name
+    )
+}
+
+fn de_named_struct_body(owner: &str, path: &str, map: &str, fields: &[Field]) -> String {
+    let inits: Vec<String> = fields.iter().map(|f| de_named_field(owner, map, f)).collect();
+    format!(
+        "::std::result::Result::Ok({path} {{\n{}\n}})",
+        inits.join(",\n")
+    )
+}
+
+fn de_tuple_body(owner: &str, path: &str, src: &str, n: usize) -> String {
+    if n == 1 {
+        return format!(
+            "::std::result::Result::Ok({path}(::serde::Deserialize::from_value({src})?))"
+        );
+    }
+    format!(
+        "{{ let a = {src}.as_array().ok_or_else(|| ::serde::DeError::custom(\
+         \"{owner}: expected array payload\"))?;\n\
+         if a.len() != {n} {{ return ::std::result::Result::Err(\
+         ::serde::DeError::custom(\"{owner}: expected {n} elements\")); }}\n\
+         ::std::result::Result::Ok({path}({items})) }}",
+        items = (0..n)
+            .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    )
+}
+
+/// Derives `Deserialize` by reading the type back out of the shim's
+/// `Value` model.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
+        Body::Struct(Fields::Tuple(n)) => de_tuple_body(name, name, "v", *n),
+        Body::Struct(Fields::Named(fields)) => format!(
+            "let m = v.as_object().ok_or_else(|| ::serde::DeError::custom(\
+             \"{name}: expected object\"))?;\n{}",
+            de_named_struct_body(name, name, "m", fields)
+        ),
+        Body::Enum(variants) => {
+            if let Some(tag) = &input.attrs.tag {
+                let mut arms = String::new();
+                for v in variants {
+                    let wire = wire_name(&v.name, &input.attrs);
+                    let path = format!("{name}::{v}", v = v.name);
+                    let arm_body = match &v.fields {
+                        Fields::Unit => format!("::std::result::Result::Ok({path})"),
+                        Fields::Named(fields) => de_named_struct_body(name, &path, "m", fields),
+                        Fields::Tuple(_) => panic!(
+                            "serde shim: tuple variants unsupported with tag (in `{name}`)"
+                        ),
+                    };
+                    arms.push_str(&format!("\"{wire}\" => {arm_body},\n"));
+                }
+                format!(
+                    "let m = v.as_object().ok_or_else(|| ::serde::DeError::custom(\
+                     \"{name}: expected object\"))?;\n\
+                     let tag = m.get(\"{tag}\").and_then(|t| t.as_str()).ok_or_else(|| \
+                     ::serde::DeError::custom(\"{name}: missing `{tag}` tag\"))?;\n\
+                     match tag {{\n{arms}\
+                     other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"{name}: unknown kind `{{other}}`\"))),\n}}"
+                )
+            } else {
+                let mut unit_arms = String::new();
+                let mut payload_arms = String::new();
+                for v in variants {
+                    let wire = wire_name(&v.name, &input.attrs);
+                    let path = format!("{name}::{v}", v = v.name);
+                    match &v.fields {
+                        Fields::Unit => {
+                            unit_arms.push_str(&format!(
+                                "\"{wire}\" => ::std::result::Result::Ok({path}),\n"
+                            ));
+                        }
+                        Fields::Tuple(n) => {
+                            payload_arms.push_str(&format!(
+                                "\"{wire}\" => {},\n",
+                                de_tuple_body(name, &path, "inner", *n)
+                            ));
+                        }
+                        Fields::Named(fields) => {
+                            payload_arms.push_str(&format!(
+                                "\"{wire}\" => {{ let mm = inner.as_object().ok_or_else(|| \
+                                 ::serde::DeError::custom(\"{name}: expected object payload\"))?;\n\
+                                 {} }},\n",
+                                de_named_struct_body(name, &path, "mm", fields)
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "match v {{\n\
+                     ::serde::Value::String(s) => match s.as_str() {{\n{unit_arms}\
+                     other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"{name}: unknown variant `{{other}}`\"))),\n}},\n\
+                     ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+                     let (k, inner) = m.iter().next().expect(\"len checked\");\n\
+                     match k.as_str() {{\n{payload_arms}\
+                     other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"{name}: unknown variant `{{other}}`\"))),\n}}\n}},\n\
+                     _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                     \"{name}: expected variant\")),\n}}"
+                )
+            }
+        }
+    };
+    let code = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    );
+    code.parse().expect("serde shim: generated Deserialize impl failed to parse")
+}
+
+// ================================================================ json!
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    tokens
+        .iter()
+        .cloned()
+        .collect::<TokenStream>()
+        .to_string()
+}
+
+fn json_value(tokens: &[TokenTree]) -> String {
+    if tokens.len() == 1 {
+        match &tokens[0] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                return json_object(g.stream());
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket => {
+                return json_array(g.stream());
+            }
+            TokenTree::Ident(id) => match id.to_string().as_str() {
+                "null" => return "::serde_json::Value::Null".to_string(),
+                "true" => return "::serde_json::Value::Bool(true)".to_string(),
+                "false" => return "::serde_json::Value::Bool(false)".to_string(),
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    // Anything else is a Rust expression; serialize it by reference so
+    // unsized place expressions (e.g. slices) work too.
+    format!("::serde_json::__json_value(&({}))", tokens_to_string(tokens))
+}
+
+fn json_object(stream: TokenStream) -> String {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut code = String::from("{ let mut m = ::serde_json::Map::new();\n");
+    for entry in split_top_commas(&tokens) {
+        if entry.is_empty() {
+            continue;
+        }
+        let TokenTree::Literal(key) = &entry[0] else {
+            panic!("json!: object keys must be string literals, found {:?}", entry[0].to_string());
+        };
+        match entry.get(1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => panic!("json!: expected `:` after key {key}"),
+        }
+        let value = json_value(&entry[2..]);
+        code.push_str(&format!(
+            "m.insert(::std::string::String::from({key}), {value});\n"
+        ));
+    }
+    code.push_str("::serde_json::Value::Object(m) }");
+    code
+}
+
+fn json_array(stream: TokenStream) -> String {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let items: Vec<String> = split_top_commas(&tokens)
+        .iter()
+        .filter(|part| !part.is_empty())
+        .map(|part| json_value(part))
+        .collect();
+    format!("::serde_json::Value::Array(vec![{}])", items.join(", "))
+}
+
+/// `json!` literal macro building a `::serde_json::Value` tree.
+#[proc_macro]
+pub fn json(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    json_value(&tokens)
+        .parse()
+        .expect("json!: generated expression failed to parse")
+}
