@@ -189,7 +189,10 @@ mod tests {
         for s in &result.new_starts {
             let p = result.pca.project(s);
             let r = p.iter().map(|x| x * x).sum::<f64>().sqrt();
-            assert!(r > mean_r, "frontier point not beyond mean radius: {r} vs {mean_r}");
+            assert!(
+                r > mean_r,
+                "frontier point not beyond mean radius: {r} vs {mean_r}"
+            );
         }
     }
 

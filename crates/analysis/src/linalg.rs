@@ -144,15 +144,16 @@ pub struct Eigen {
 /// input; symmetry is assumed (the strictly lower triangle is ignored in
 /// the sense that rotations keep the matrix symmetric).
 pub fn jacobi_eigen(a: &Matrix) -> Eigen {
-    assert_eq!(a.rows(), a.cols(), "eigendecomposition needs a square matrix");
+    assert_eq!(
+        a.rows(),
+        a.cols(),
+        "eigendecomposition needs a square matrix"
+    );
     let n = a.rows();
     let mut m = a.clone();
     let mut v = Matrix::identity(n);
     let max_sweeps = 100;
-    let tol = 1e-12
-        * (0..n)
-            .map(|i| m.get(i, i).abs())
-            .fold(1.0f64, f64::max);
+    let tol = 1e-12 * (0..n).map(|i| m.get(i, i).abs()).fold(1.0f64, f64::max);
 
     for _ in 0..max_sweeps {
         if m.max_offdiag() <= tol {

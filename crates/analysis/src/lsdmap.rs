@@ -157,8 +157,7 @@ mod tests {
         // within each blob and well separated between blobs.
         let stats = |xs: &[f64]| {
             let m = xs.iter().sum::<f64>() / xs.len() as f64;
-            let sd =
-                (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt();
+            let sd = (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt();
             (m, sd)
         };
         let (ma, sa) = stats(&first[..per]);
@@ -174,7 +173,11 @@ mod tests {
         let frames = two_blobs(10, 3);
         let result = lsdmap(&frames, LsdmapConfig::default());
         // λ1 close to 1 (two components), λ2 markedly smaller.
-        assert!(result.eigenvalues[1] > 0.9, "λ1 = {}", result.eigenvalues[1]);
+        assert!(
+            result.eigenvalues[1] > 0.9,
+            "λ1 = {}",
+            result.eigenvalues[1]
+        );
         assert!(
             result.eigenvalues[1] - result.eigenvalues[2] > 0.2,
             "gap too small: {:?}",

@@ -190,7 +190,11 @@ mod tests {
     fn explained_fraction_near_one_for_line() {
         let data = anisotropic_cloud(400, 11);
         let pca = Pca::fit(&data, 1);
-        assert!(pca.explained_fraction() > 0.95, "{}", pca.explained_fraction());
+        assert!(
+            pca.explained_fraction() > 0.95,
+            "{}",
+            pca.explained_fraction()
+        );
     }
 
     #[test]

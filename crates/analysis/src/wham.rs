@@ -92,7 +92,10 @@ pub fn wham(
         "one sample set per temperature"
     );
     assert!(!temps.is_empty(), "WHAM needs at least one temperature");
-    assert!(temps.iter().all(|&t| t > 0.0), "temperatures must be positive");
+    assert!(
+        temps.iter().all(|&t| t > 0.0),
+        "temperatures must be positive"
+    );
     assert!(n_bins >= 2, "need at least two energy bins");
     let total: usize = energy_samples.iter().map(Vec::len).sum();
     assert!(total > 0, "WHAM needs samples");
@@ -302,11 +305,18 @@ pub fn pmf(
     assert!(target_t > 0.0, "temperature must be positive");
     assert!(n_bins >= 2, "need at least two CV bins");
     assert!(!samples.is_empty(), "PMF needs samples");
-    assert_eq!(temps.len(), wham_result.f_k.len(), "temps must match WHAM input");
+    assert_eq!(
+        temps.len(),
+        wham_result.f_k.len(),
+        "temps must match WHAM input"
+    );
     let beta = 1.0 / target_t;
 
     let lo = samples.iter().map(|s| s.0).fold(f64::INFINITY, f64::min);
-    let hi = samples.iter().map(|s| s.0).fold(f64::NEG_INFINITY, f64::max);
+    let hi = samples
+        .iter()
+        .map(|s| s.0)
+        .fold(f64::NEG_INFINITY, f64::max);
     let span = (hi - lo).max(1e-12);
     let width = span / n_bins as f64;
     let bin_of = |x: f64| (((x - lo) / width) as usize).min(n_bins - 1);

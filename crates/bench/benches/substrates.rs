@@ -76,7 +76,9 @@ fn bench_analysis(c: &mut Criterion) {
             m.set(j, i, v);
         }
     }
-    g.bench_function("jacobi_eigen_48", |b| b.iter(|| black_box(jacobi_eigen(&m))));
+    g.bench_function("jacobi_eigen_48", |b| {
+        b.iter(|| black_box(jacobi_eigen(&m)))
+    });
 
     let frames: Vec<Vec<f64>> = (0..96)
         .map(|i| {
@@ -111,8 +113,7 @@ fn bench_wham(c: &mut Criterion) {
                         .map(|_| {
                             let u1: f64 = 1.0 - rng.random::<f64>();
                             let u2: f64 = rng.random::<f64>();
-                            let z =
-                                (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
                             0.5 * t * z * z
                         })
                         .sum()
@@ -133,8 +134,7 @@ fn bench_full_stack(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("bag_1000_tasks_256_cores", |b| {
         b.iter(|| {
-            let config =
-                ResourceConfig::new("xsede.comet", 256, SimDuration::from_secs(1_000_000));
+            let config = ResourceConfig::new("xsede.comet", 256, SimDuration::from_secs(1_000_000));
             let mut pattern = BagOfTasks::new(1000, |_| {
                 KernelCall::new("misc.sleep", json!({ "secs": 60.0 }))
             });

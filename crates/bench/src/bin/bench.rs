@@ -76,11 +76,26 @@ fn main() {
     let sweeps: Vec<Sweep> = vec![
         ("fig3", Box::new(move |r| figures::fig3_with(r, seed))),
         ("fig4", Box::new(move |r| figures::fig4_with(r, seed))),
-        ("fig5", Box::new(move |r| figures::fig5_with(r, seed, scale))),
-        ("fig6", Box::new(move |r| figures::fig6_with(r, seed, scale))),
-        ("fig7", Box::new(move |r| figures::fig7_with(r, seed, scale))),
-        ("fig8", Box::new(move |r| figures::fig8_with(r, seed, scale))),
-        ("fig9", Box::new(move |r| figures::fig9_with(r, seed, scale))),
+        (
+            "fig5",
+            Box::new(move |r| figures::fig5_with(r, seed, scale)),
+        ),
+        (
+            "fig6",
+            Box::new(move |r| figures::fig6_with(r, seed, scale)),
+        ),
+        (
+            "fig7",
+            Box::new(move |r| figures::fig7_with(r, seed, scale)),
+        ),
+        (
+            "fig8",
+            Box::new(move |r| figures::fig8_with(r, seed, scale)),
+        ),
+        (
+            "fig9",
+            Box::new(move |r| figures::fig9_with(r, seed, scale)),
+        ),
         (
             "ablation_exchange",
             Box::new(move |r| figures::ablation_exchange_with(r, seed)),
@@ -126,7 +141,10 @@ fn main() {
             "serial_secs": serial_secs,
         });
         if opts.serial_only {
-            println!("{name:>20}: serial {serial_secs:.3}s ({} rows)", serial_rows.len());
+            println!(
+                "{name:>20}: serial {serial_secs:.3}s ({} rows)",
+                serial_rows.len()
+            );
         } else {
             let t1 = Instant::now();
             let parallel_rows = sweep(&SweepRunner::parallel());

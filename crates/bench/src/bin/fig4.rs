@@ -1,6 +1,9 @@
 //! Regenerates the paper's Fig. 4 series. Usage: `cargo run --release -p entk-bench --bin fig4 [seed]`.
 fn main() {
-    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2016);
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2016);
     let rows = entk_bench::fig4(seed);
     entk_bench::print_rows("Figure 4", &rows);
 }

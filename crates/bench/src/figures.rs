@@ -41,10 +41,7 @@ impl Row {
 
     /// Y value by name.
     pub fn value(&self, name: &str) -> Option<f64> {
-        self.values
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|&(_, v)| v)
+        self.values.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
     }
 }
 
@@ -128,7 +125,10 @@ pub fn fig3_with(runner: &SweepRunner, seed: u64) -> Vec<Row> {
     runner.run_weighted(points, |(n, kind)| {
         let mut pattern = char_count_pattern(kind, n);
         let config = ResourceConfig::new("xsede.comet", n, walltime());
-        let sim = SimulatedConfig { seed: seed ^ n as u64, ..Default::default() };
+        let sim = SimulatedConfig {
+            seed: seed ^ n as u64,
+            ..Default::default()
+        };
         let report = run_simulated(config, sim, pattern.as_mut()).expect("fig3 run");
         vec![common_rows(kind, n as f64, &report)]
     })
@@ -166,13 +166,17 @@ pub fn fig4_with(runner: &SweepRunner, seed: u64) -> Vec<Row> {
             },
         );
         let config = ResourceConfig::new("xsede.comet", n, walltime());
-        let sim = SimulatedConfig { seed: seed ^ (n as u64) << 1, ..Default::default() };
+        let sim = SimulatedConfig {
+            seed: seed ^ (n as u64) << 1,
+            ..Default::default()
+        };
         let report = run_simulated(config, sim, &mut pattern).expect("fig4 run");
-        vec![
-            common_rows("gromacs-lsdmap", n as f64, &report)
-                .with("simulation_time", report.stage_time("simulation").as_secs_f64())
-                .with("analysis_time", report.stage_time("analysis").as_secs_f64()),
-        ]
+        vec![common_rows("gromacs-lsdmap", n as f64, &report)
+            .with(
+                "simulation_time",
+                report.stage_time("simulation").as_secs_f64(),
+            )
+            .with("analysis_time", report.stage_time("analysis").as_secs_f64())]
     })
 }
 
@@ -195,10 +199,16 @@ fn ee_experiment(replicas: usize, cores: usize, cycles: usize, seed: u64) -> Row
         },
     );
     let config = ResourceConfig::new("lsu.supermic", cores, walltime());
-    let sim = SimulatedConfig { seed: seed ^ (replicas * 7 + cores) as u64, ..Default::default() };
+    let sim = SimulatedConfig {
+        seed: seed ^ (replicas * 7 + cores) as u64,
+        ..Default::default()
+    };
     let report = run_simulated(config, sim, &mut pattern).expect("ee run");
     Row::new(format!("replicas={replicas}"), cores as f64)
-        .with("simulation_time", report.stage_time("simulation").as_secs_f64())
+        .with(
+            "simulation_time",
+            report.stage_time("simulation").as_secs_f64(),
+        )
         .with("exchange_time", report.stage_time("exchange").as_secs_f64())
         .with("ttc", report.ttc.as_secs_f64())
 }
@@ -249,13 +259,7 @@ pub fn fig6_with(runner: &SweepRunner, seed: u64, scale: usize) -> Vec<Row> {
 
 // ----------------------------------------------------------- Figures 7 & 8
 
-fn sal_experiment(
-    sims: usize,
-    cores: usize,
-    cores_per_sim: usize,
-    steps: u64,
-    seed: u64,
-) -> Row {
+fn sal_experiment(sims: usize, cores: usize, cores_per_sim: usize, steps: u64, seed: u64) -> Row {
     let mut pattern = SimulationAnalysisLoop::new(
         1,
         sims,
@@ -266,19 +270,20 @@ fn sal_experiment(
             )
             .with_cores(cores_per_sim)
         },
-        move |_, outs| {
-            vec![KernelCall::new(
-                "ana.coco",
-                json!({ "n_sims": outs.len() }),
-            )]
-        },
+        move |_, outs| vec![KernelCall::new("ana.coco", json!({ "n_sims": outs.len() }))],
     );
     let config = ResourceConfig::new("xsede.stampede", cores, walltime());
-    let sim = SimulatedConfig { seed: seed ^ (sims * 13 + cores) as u64, ..Default::default() };
+    let sim = SimulatedConfig {
+        seed: seed ^ (sims * 13 + cores) as u64,
+        ..Default::default()
+    };
     let report = run_simulated(config, sim, &mut pattern).expect("sal run");
     let sim_summary = report.stage_exec_summary("simulation");
     Row::new(format!("sims={sims}"), cores as f64)
-        .with("simulation_time", report.stage_time("simulation").as_secs_f64())
+        .with(
+            "simulation_time",
+            report.stage_time("simulation").as_secs_f64(),
+        )
         .with("analysis_time", report.stage_time("analysis").as_secs_f64())
         .with("mean_sim_exec", sim_summary.mean())
         .with("ttc", report.ttc.as_secs_f64())
@@ -375,13 +380,14 @@ pub fn ablation_exchange_with(runner: &SweepRunner, seed: u64) -> Vec<Row> {
         )
         .with_mode(mode);
         let config = ResourceConfig::new("lsu.supermic", cores, walltime());
-        let sim = SimulatedConfig { seed, ..Default::default() };
+        let sim = SimulatedConfig {
+            seed,
+            ..Default::default()
+        };
         let report = run_simulated(config, sim, &mut pattern).expect("ablation run");
-        vec![
-            Row::new(label, replicas as f64)
-                .with("ttc", report.ttc.as_secs_f64())
-                .with("exchange_time", report.stage_time("exchange").as_secs_f64()),
-        ]
+        vec![Row::new(label, replicas as f64)
+            .with("ttc", report.ttc.as_secs_f64())
+            .with("exchange_time", report.stage_time("exchange").as_secs_f64())]
     })
 }
 
@@ -432,12 +438,10 @@ pub fn ablation_faults_with(runner: &SweepRunner, seed: u64) -> Vec<Row> {
             ..Default::default()
         };
         let report = run_simulated(config, sim, &mut pattern).expect("ablation run");
-        vec![
-            Row::new(format!("retries={retries}"), rate)
-                .with("ttc", report.ttc.as_secs_f64())
-                .with("failed", report.failed_tasks as f64)
-                .with("resubmissions", report.total_retries as f64),
-        ]
+        vec![Row::new(format!("retries={retries}"), rate)
+            .with("ttc", report.ttc.as_secs_f64())
+            .with("failed", report.failed_tasks as f64)
+            .with("resubmissions", report.total_retries as f64)]
     })
 }
 
@@ -490,8 +494,14 @@ pub fn ablation_scheduler_with(runner: &SweepRunner, seed: u64) -> Vec<Row> {
             KernelCall::new("misc.sleep", json!({ "secs": 30.0 })).with_cores(cores)
         });
         let config = ResourceConfig::new("xsede.comet", 48, walltime());
-        let mut handle = ResourceHandle::simulated(config, SimulatedConfig { seed, ..Default::default() })
-            .expect("handle");
+        let mut handle = ResourceHandle::simulated(
+            config,
+            SimulatedConfig {
+                seed,
+                ..Default::default()
+            },
+        )
+        .expect("handle");
         handle.set_unit_scheduler(scheduler);
         handle.allocate().expect("allocate");
         let report = handle.run(&mut pattern).expect("run");
@@ -557,7 +567,11 @@ mod tests {
             if retries {
                 assert_eq!(failed, 0.0, "retries must absorb failures at rate {}", r.x);
             } else if r.x > 0.0 {
-                assert!(failed > 0.0, "no-retry run should lose tasks at rate {}", r.x);
+                assert!(
+                    failed > 0.0,
+                    "no-retry run should lose tasks at rate {}",
+                    r.x
+                );
             }
         }
     }
@@ -572,7 +586,10 @@ mod tests {
             assert!(b < a, "strong scaling must decrease sim time: {a} -> {b}");
         }
         // Exchange time roughly constant (depends only on replica count).
-        let ex: Vec<f64> = rows.iter().map(|r| r.value("exchange_time").unwrap()).collect();
+        let ex: Vec<f64> = rows
+            .iter()
+            .map(|r| r.value("exchange_time").unwrap())
+            .collect();
         let min = ex.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = ex.iter().cloned().fold(0.0, f64::max);
         assert!(max / min < 1.5, "exchange time ~constant: {ex:?}");
@@ -581,8 +598,14 @@ mod tests {
     #[test]
     fn fig8_small_scale_grows_analysis_only() {
         let rows = fig8(3, 32); // sims = cores ∈ {2..128}
-        let sim_t: Vec<f64> = rows.iter().map(|r| r.value("simulation_time").unwrap()).collect();
-        let ana_t: Vec<f64> = rows.iter().map(|r| r.value("analysis_time").unwrap()).collect();
+        let sim_t: Vec<f64> = rows
+            .iter()
+            .map(|r| r.value("simulation_time").unwrap())
+            .collect();
+        let ana_t: Vec<f64> = rows
+            .iter()
+            .map(|r| r.value("analysis_time").unwrap())
+            .collect();
         // Weak scaling: simulation time ~flat, analysis grows monotonically.
         let min = sim_t.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = sim_t.iter().cloned().fold(0.0, f64::max);
@@ -601,7 +624,10 @@ mod tests {
     #[test]
     fn fig9_small_scale_speeds_up_with_cores_per_sim() {
         let rows = fig9(4, 16); // 4 sims
-        let exec: Vec<f64> = rows.iter().map(|r| r.value("mean_sim_exec").unwrap()).collect();
+        let exec: Vec<f64> = rows
+            .iter()
+            .map(|r| r.value("mean_sim_exec").unwrap())
+            .collect();
         assert!(
             exec.windows(2).all(|w| w[1] < w[0]),
             "more cores per sim must be faster: {exec:?}"

@@ -128,8 +128,9 @@ mod tests {
 
     #[test]
     fn parallel_rows_are_bit_identical_to_serial() {
-        let points: Vec<(f64, (usize, f64))> =
-            (0..25).map(|i| ((25 - i) as f64, (i, 0.25 * i as f64))).collect();
+        let points: Vec<(f64, (usize, f64))> = (0..25)
+            .map(|i| ((25 - i) as f64, (i, 0.25 * i as f64)))
+            .collect();
         std::env::set_var("ENTK_THREADS", "4");
         let par = SweepRunner::parallel().run_weighted(points.clone(), eval_point);
         std::env::remove_var("ENTK_THREADS");
@@ -140,8 +141,7 @@ mod tests {
 
     #[test]
     fn weights_do_not_affect_row_order() {
-        let ascending: Vec<(f64, (usize, f64))> =
-            (0..10).map(|i| (i as f64, (i, 1.0))).collect();
+        let ascending: Vec<(f64, (usize, f64))> = (0..10).map(|i| (i as f64, (i, 1.0))).collect();
         let uniform: Vec<(usize, f64)> = (0..10).map(|i| (i, 1.0)).collect();
         let a = SweepRunner::parallel().run_weighted(ascending, eval_point);
         let b = SweepRunner::parallel().run(uniform, eval_point);

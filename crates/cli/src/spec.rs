@@ -191,8 +191,7 @@ impl WorkloadSpec {
                 bind(&kernel, &[("index", i as f64)])
             })),
             PatternSpec::Pipelines { n, stages } => {
-                let labels: Vec<String> =
-                    (0..stages.len()).map(|s| format!("stage-{s}")).collect();
+                let labels: Vec<String> = (0..stages.len()).map(|s| format!("stage-{s}")).collect();
                 Box::new(
                     EnsembleOfPipelines::new(n, stages.len(), move |p, s| {
                         bind(&stages[s], &[("index", p as f64)])
@@ -265,9 +264,7 @@ impl WorkloadSpec {
                         "backfill" => entk_pilot::BatchPolicy::Backfill,
                         "fair_share" => entk_pilot::BatchPolicy::FairShare,
                         other => {
-                            return Err(EntkError::Usage(format!(
-                                "unknown batch_policy {other:?}"
-                            )))
+                            return Err(EntkError::Usage(format!("unknown batch_policy {other:?}")))
                         }
                     };
                 }
@@ -411,7 +408,11 @@ mod tests {
         }"#;
         let report = WorkloadSpec::from_json(text).unwrap().run().unwrap();
         assert_eq!(
-            report.tasks.iter().filter(|t| t.stage == "simulation").count(),
+            report
+                .tasks
+                .iter()
+                .filter(|t| t.stage == "simulation")
+                .count(),
             8
         );
         assert_eq!(report.failed_tasks, 0);

@@ -85,7 +85,11 @@ impl Cluster {
     }
 
     /// Creates a cluster with an explicit scheduling policy.
-    pub fn with_scheduler(spec: PlatformSpec, seed: u64, scheduler: Box<dyn BatchScheduler>) -> Self {
+    pub fn with_scheduler(
+        spec: PlatformSpec,
+        seed: u64,
+        scheduler: Box<dyn BatchScheduler>,
+    ) -> Self {
         let alloc = AllocationMap::new(spec.nodes, spec.cores_per_node);
         Cluster {
             spec,
@@ -116,13 +120,16 @@ impl Cluster {
             self.submit_background(ctx);
         }
         let gap = self.rng.exponential(load.mean_interarrival_secs.max(1e-6));
-        ctx.schedule_in(SimDuration::from_secs_f64(gap), ClusterEvent::BackgroundArrival);
+        ctx.schedule_in(
+            SimDuration::from_secs_f64(gap),
+            ClusterEvent::BackgroundArrival,
+        );
     }
 
     fn submit_background<E: From<ClusterEvent>>(&mut self, ctx: &mut Context<'_, E>) {
         let Some(load) = self.background else { return };
-        let cores = (load.cores.sample(&mut self.rng).round() as usize)
-            .clamp(1, self.alloc.total_cores());
+        let cores =
+            (load.cores.sample(&mut self.rng).round() as usize).clamp(1, self.alloc.total_cores());
         let runtime = SimDuration::from_secs_f64(load.runtime.sample(&mut self.rng).max(1.0));
         let desc = BatchJobDescription {
             name: "background".into(),
@@ -246,7 +253,9 @@ impl Cluster {
         ctx: &mut Context<'_, E>,
         out: &mut Vec<ClusterNotification>,
     ) {
-        let Some(job) = self.jobs.get(&id) else { return };
+        let Some(job) = self.jobs.get(&id) else {
+            return;
+        };
         match job.state {
             BatchJobState::Queued => {
                 self.pending.retain(|&p| p != id);
@@ -276,7 +285,11 @@ impl Cluster {
     ) {
         match event {
             ClusterEvent::JobEligible(id) => {
-                if self.jobs.get(&id).is_some_and(|j| j.state == BatchJobState::Queued) {
+                if self
+                    .jobs
+                    .get(&id)
+                    .is_some_and(|j| j.state == BatchJobState::Queued)
+                {
                     let job = self.jobs.get_mut(&id).expect("job exists");
                     job.eligible_at = Some(ctx.now());
                     self.pending.push(id);
@@ -284,7 +297,11 @@ impl Cluster {
                 }
             }
             ClusterEvent::JobLaunched(id) => {
-                if self.jobs.get(&id).is_some_and(|j| j.state == BatchJobState::Starting) {
+                if self
+                    .jobs
+                    .get(&id)
+                    .is_some_and(|j| j.state == BatchJobState::Starting)
+                {
                     let job = self.jobs.get_mut(&id).expect("job exists");
                     job.transition(BatchJobState::Running, ctx.now());
                     let nodes = self.held.get(&id).cloned().unwrap_or_default();
@@ -335,7 +352,9 @@ impl Cluster {
         ctx: &mut Context<'_, E>,
         out: &mut Vec<ClusterNotification>,
     ) {
-        let Some(job) = self.jobs.get_mut(&id) else { return };
+        let Some(job) = self.jobs.get_mut(&id) else {
+            return;
+        };
         if !job.state.can_transition_to(state) {
             return;
         }
@@ -462,7 +481,9 @@ mod tests {
                 Ev::CompletePilot(id) => cluster.complete(id, ctx, &mut out),
             }
             for n in out {
-                let ClusterNotification::JobState { id, state, time, .. } = n;
+                let ClusterNotification::JobState {
+                    id, state, time, ..
+                } = n;
                 if state == BatchJobState::Running {
                     ctx.schedule_in(complete_after, Ev::CompletePilot(id));
                 }
@@ -482,7 +503,11 @@ mod tests {
     fn single_job_full_lifecycle() {
         let log = drive(
             small_spec(),
-            vec![BatchJobDescription::new("p", 4, SimDuration::from_secs(100))],
+            vec![BatchJobDescription::new(
+                "p",
+                4,
+                SimDuration::from_secs(100),
+            )],
             SimDuration::from_secs(10),
         );
         let states: Vec<_> = log.iter().map(|(_, s, _)| *s).collect();
@@ -526,9 +551,7 @@ mod tests {
             vec![BatchJobDescription::new("p", 4, SimDuration::from_secs(5))],
             SimDuration::from_secs(60), // completes only after walltime
         );
-        assert!(log
-            .iter()
-            .any(|(_, s, _)| *s == BatchJobState::TimedOut));
+        assert!(log.iter().any(|(_, s, _)| *s == BatchJobState::TimedOut));
         assert!(!log.iter().any(|(_, s, _)| *s == BatchJobState::Completed));
     }
 
@@ -623,7 +646,10 @@ mod tests {
                 (*id == b).then_some(*state)
             })
             .collect();
-        assert_eq!(b_states, vec![BatchJobState::Queued, BatchJobState::Cancelled]);
+        assert_eq!(
+            b_states,
+            vec![BatchJobState::Queued, BatchJobState::Cancelled]
+        );
     }
 
     #[test]
@@ -632,7 +658,11 @@ mod tests {
         spec.queue_wait = entk_sim::Dist::ZERO;
         let log = drive(
             spec,
-            vec![BatchJobDescription::new("p", 8, SimDuration::from_secs(100))],
+            vec![BatchJobDescription::new(
+                "p",
+                8,
+                SimDuration::from_secs(100),
+            )],
             SimDuration::from_secs(10),
         );
         assert!(!log.is_empty());
@@ -671,50 +701,56 @@ mod background_tests {
         let mut started_at = None;
         let mut notes_seen = 0usize;
         // The background generator never drains the queue: bound the run.
-        engine.run_bounded(200_000, entk_sim::SimTime::from_secs(5_000), &mut |ev, ctx| {
-            let mut out = Vec::new();
-            if !booted {
-                booted = true;
-                if let Some(l) = load {
-                    cluster.enable_background_load(l, ctx);
+        engine.run_bounded(
+            200_000,
+            entk_sim::SimTime::from_secs(5_000),
+            &mut |ev, ctx| {
+                let mut out = Vec::new();
+                if !booted {
+                    booted = true;
+                    if let Some(l) = load {
+                        cluster.enable_background_load(l, ctx);
+                    }
+                    return; // t = 0 bootstrap event consumed
                 }
-                return; // t = 0 bootstrap event consumed
-            }
-            match ev {
-                Ev::Cluster(ClusterEvent::Kick)
-                    if owner_id.is_none() && ctx.now() >= entk_sim::SimTime::from_secs(600) =>
-                {
-                    owner_id = Some(
-                        cluster
-                            .submit(
-                                BatchJobDescription::new(
-                                    "pilot",
-                                    24,
-                                    SimDuration::from_secs(10_000),
-                                ),
-                                ctx,
-                                &mut out,
-                            )
-                            .unwrap(),
+                match ev {
+                    Ev::Cluster(ClusterEvent::Kick)
+                        if owner_id.is_none() && ctx.now() >= entk_sim::SimTime::from_secs(600) =>
+                    {
+                        owner_id = Some(
+                            cluster
+                                .submit(
+                                    BatchJobDescription::new(
+                                        "pilot",
+                                        24,
+                                        SimDuration::from_secs(10_000),
+                                    ),
+                                    ctx,
+                                    &mut out,
+                                )
+                                .unwrap(),
+                        );
+                        cluster.handle(ClusterEvent::Kick, ctx, &mut out);
+                    }
+                    Ev::Cluster(ce) => cluster.handle(ce, ctx, &mut out),
+                    Ev::CompletePilot(id) => cluster.complete(id, ctx, &mut out),
+                }
+                notes_seen += out.len();
+                for n in out {
+                    let ClusterNotification::JobState {
+                        id, state, time, ..
+                    } = n;
+                    assert!(
+                        !cluster.is_background(id),
+                        "background notification leaked to owner"
                     );
-                    cluster.handle(ClusterEvent::Kick, ctx, &mut out);
+                    if Some(id) == owner_id && state == BatchJobState::Starting {
+                        started_at = Some(time);
+                        ctx.schedule_in(SimDuration::from_secs(30), Ev::CompletePilot(id));
+                    }
                 }
-                Ev::Cluster(ce) => cluster.handle(ce, ctx, &mut out),
-                Ev::CompletePilot(id) => cluster.complete(id, ctx, &mut out),
-            }
-            notes_seen += out.len();
-            for n in out {
-                let ClusterNotification::JobState { id, state, time, .. } = n;
-                assert!(
-                    !cluster.is_background(id),
-                    "background notification leaked to owner"
-                );
-                if Some(id) == owner_id && state == BatchJobState::Starting {
-                    started_at = Some(time);
-                    ctx.schedule_in(SimDuration::from_secs(30), Ev::CompletePilot(id));
-                }
-            }
-        });
+            },
+        );
         let wait = started_at.expect("owner job started").as_secs_f64() - 600.0;
         (wait, notes_seen)
     }

@@ -157,7 +157,8 @@ impl BatchJob {
 
     /// Queue wait actually experienced (submission to node assignment).
     pub fn queue_wait(&self) -> Option<SimDuration> {
-        self.started_at.map(|s| s.saturating_since(self.submitted_at))
+        self.started_at
+            .map(|s| s.saturating_since(self.submitted_at))
     }
 }
 

@@ -15,8 +15,8 @@ pub mod platform;
 pub mod scheduler;
 
 pub use allocation::{AllocationMap, NodeSlice};
+pub use cluster::BackgroundLoad;
 pub use cluster::{Cluster, ClusterEvent, ClusterNotification};
 pub use job::{BatchJob, BatchJobDescription, BatchJobId, BatchJobState};
 pub use platform::PlatformSpec;
-pub use cluster::BackgroundLoad;
 pub use scheduler::{BatchScheduler, EasyBackfillScheduler, FairShareScheduler, FifoScheduler};

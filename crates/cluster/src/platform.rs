@@ -60,8 +60,14 @@ impl PlatformSpec {
             perf_factor: 1.0,
             queue_wait: Dist::Constant(0.0),
             queue_wait_per_core: 0.0,
-            job_startup: Dist::Normal { mean: 45.0, sd: 5.0 },
-            task_launch: Dist::Normal { mean: 0.10, sd: 0.01 },
+            job_startup: Dist::Normal {
+                mean: 45.0,
+                sd: 5.0,
+            },
+            task_launch: Dist::Normal {
+                mean: 0.10,
+                sd: 0.01,
+            },
             control_latency: Dist::Constant(0.05),
             fs_bandwidth: 2.0e9,
             fs_latency: Dist::Constant(0.002),
@@ -78,8 +84,14 @@ impl PlatformSpec {
             perf_factor: 0.9,
             queue_wait: Dist::Constant(0.0),
             queue_wait_per_core: 0.0,
-            job_startup: Dist::Normal { mean: 60.0, sd: 8.0 },
-            task_launch: Dist::Normal { mean: 0.12, sd: 0.015 },
+            job_startup: Dist::Normal {
+                mean: 60.0,
+                sd: 8.0,
+            },
+            task_launch: Dist::Normal {
+                mean: 0.12,
+                sd: 0.015,
+            },
             control_latency: Dist::Constant(0.06),
             fs_bandwidth: 1.5e9,
             fs_latency: Dist::Constant(0.003),
@@ -96,8 +108,14 @@ impl PlatformSpec {
             perf_factor: 0.85,
             queue_wait: Dist::Constant(0.0),
             queue_wait_per_core: 0.0,
-            job_startup: Dist::Normal { mean: 50.0, sd: 6.0 },
-            task_launch: Dist::Normal { mean: 0.11, sd: 0.012 },
+            job_startup: Dist::Normal {
+                mean: 50.0,
+                sd: 6.0,
+            },
+            task_launch: Dist::Normal {
+                mean: 0.11,
+                sd: 0.012,
+            },
             control_latency: Dist::Constant(0.08),
             fs_bandwidth: 1.0e9,
             fs_latency: Dist::Constant(0.004),
@@ -160,7 +178,10 @@ mod tests {
     #[test]
     fn lookup_by_name_and_aliases() {
         assert_eq!(PlatformSpec::by_name("xsede.comet").unwrap().nodes, 1984);
-        assert_eq!(PlatformSpec::by_name("supermic").unwrap().cores_per_node, 20);
+        assert_eq!(
+            PlatformSpec::by_name("supermic").unwrap().cores_per_node,
+            20
+        );
         assert!(PlatformSpec::by_name("nonexistent").is_none());
     }
 

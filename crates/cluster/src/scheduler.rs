@@ -195,7 +195,10 @@ mod tests {
     fn fifo_blocks_behind_large_head() {
         let queue = [pv(16, 100), pv(1, 100)];
         let picked = FifoScheduler.select_helper(&queue, 8, SimTime::ZERO, &[]);
-        assert!(picked.is_empty(), "small job must not jump the head in FIFO");
+        assert!(
+            picked.is_empty(),
+            "small job must not jump the head in FIFO"
+        );
     }
 
     #[test]
@@ -395,7 +398,10 @@ mod fairshare_tests {
         let early = fs.usage_of("A");
         fs.select(&[], 10, SimTime::from_secs(200), &[]);
         let late = fs.usage_of("A");
-        assert!((late - early / 4.0).abs() < 1e-9, "two half-lives: {early} -> {late}");
+        assert!(
+            (late - early / 4.0).abs() < 1e-9,
+            "two half-lives: {early} -> {late}"
+        );
     }
 
     #[test]

@@ -74,24 +74,32 @@ mod tests {
 
     #[test]
     fn adaptive_widens_to_fair_share() {
-        let mut b = AdaptiveMpiBinding { max_cores_per_task: 64 };
+        let mut b = AdaptiveMpiBinding {
+            max_cores_per_task: 64,
+        };
         // 4 tasks, 64 free: each gets 16.
         assert_eq!(b.bind("simulation", 1, 64, 4), 16);
         // Cap applies.
-        let mut capped = AdaptiveMpiBinding { max_cores_per_task: 8 };
+        let mut capped = AdaptiveMpiBinding {
+            max_cores_per_task: 8,
+        };
         assert_eq!(capped.bind("simulation", 1, 64, 4), 8);
     }
 
     #[test]
     fn adaptive_never_shrinks_requests() {
-        let mut b = AdaptiveMpiBinding { max_cores_per_task: 64 };
+        let mut b = AdaptiveMpiBinding {
+            max_cores_per_task: 64,
+        };
         // 32 tasks on 16 free cores: fair share is 0, but the request wins.
         assert_eq!(b.bind("simulation", 4, 16, 32), 4);
     }
 
     #[test]
     fn adaptive_handles_empty_batch_and_zero_free() {
-        let mut b = AdaptiveMpiBinding { max_cores_per_task: 8 };
+        let mut b = AdaptiveMpiBinding {
+            max_cores_per_task: 8,
+        };
         assert_eq!(b.bind("x", 1, 0, 0), 1);
     }
 }

@@ -34,7 +34,9 @@ mod tests {
 
     #[test]
     fn display_includes_category() {
-        assert!(EntkError::Resource("x".into()).to_string().contains("resource"));
+        assert!(EntkError::Resource("x".into())
+            .to_string()
+            .contains("resource"));
         assert!(EntkError::Usage("y".into()).to_string().contains("usage"));
     }
 }

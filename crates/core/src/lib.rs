@@ -63,11 +63,13 @@ pub mod prelude {
     pub use crate::overheads::EntkOverheads;
     pub use crate::pattern::{
         BagOfTasks, ConcurrentPatterns, EnsembleExchange, EnsembleOfPipelines, ExchangeMode,
-        ExecutionPattern, Pipeline, PstTask, PstWorkflow, SequencePattern,
-        SimulationAnalysisLoop, Stage,
+        ExecutionPattern, Pipeline, PstTask, PstWorkflow, SequencePattern, SimulationAnalysisLoop,
+        Stage,
     };
     pub use crate::report::ExecutionReport;
-    pub use crate::resource::{run_simulated, PilotStrategy, ResourceConfig, ResourceHandle, SimulatedConfig};
+    pub use crate::resource::{
+        run_simulated, PilotStrategy, ResourceConfig, ResourceHandle, SimulatedConfig,
+    };
     pub use crate::task::{Task, TaskResult};
     pub use entk_kernels::{KernelCall, KernelRegistry};
     pub use entk_md::TemperatureLadder;

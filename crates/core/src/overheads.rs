@@ -38,7 +38,10 @@ impl EntkOverheads {
                 mean: 0.010,
                 sd: 0.002,
             },
-            task_submit_fixed: Dist::Normal { mean: 0.05, sd: 0.005 },
+            task_submit_fixed: Dist::Normal {
+                mean: 0.05,
+                sd: 0.005,
+            },
         }
     }
 

@@ -142,7 +142,10 @@ mod tests {
             },
             100,
         );
-        assert_eq!(stages, vec!["task", "task", "simulation", "simulation", "analysis"]);
+        assert_eq!(
+            stages,
+            vec!["task", "task", "simulation", "simulation", "analysis"]
+        );
     }
 
     #[test]

@@ -127,7 +127,11 @@ impl EnsembleExchange {
     fn md_task(&mut self, replica: usize) -> Task {
         let t = self.ladder.temp(self.rung_of[replica]);
         let cycle = self.cycle_of[replica];
-        Task::new(replica as u64, "simulation", (self.md_kernel)(replica, cycle, t))
+        Task::new(
+            replica as u64,
+            "simulation",
+            (self.md_kernel)(replica, cycle, t),
+        )
     }
 
     fn exchange_task(&mut self, participants: Vec<usize>) -> Task {

@@ -101,7 +101,11 @@ impl ExecutionPattern for EnsembleOfPipelines {
     }
 
     fn is_done(&self) -> bool {
-        self.started && self.pipes.iter().all(|p| !matches!(p, PipeState::Running(_)))
+        self.started
+            && self
+                .pipes
+                .iter()
+                .all(|p| !matches!(p, PipeState::Running(_)))
     }
 
     fn progress(&self) -> String {

@@ -119,7 +119,10 @@ impl PstWorkflow {
         }
         let states = pipelines
             .iter()
-            .map(|_| PipeState::Running { stage: 0, pending: 0 })
+            .map(|_| PipeState::Running {
+                stage: 0,
+                pending: 0,
+            })
             .collect();
         PstWorkflow {
             pipelines,
@@ -132,7 +135,10 @@ impl PstWorkflow {
 
     /// Number of pipelines that failed.
     pub fn failed_pipelines(&self) -> usize {
-        self.states.iter().filter(|s| **s == PipeState::Failed).count()
+        self.states
+            .iter()
+            .filter(|s| **s == PipeState::Failed)
+            .count()
     }
 
     /// Total tasks across all pipelines and stages.
@@ -181,7 +187,11 @@ impl ExecutionPattern for PstWorkflow {
             panic!("completion for unknown PST tag {}", result.tag);
         };
         self.tags.remove(&result.tag);
-        let PipeState::Running { stage: cur, pending } = self.states[pipe] else {
+        let PipeState::Running {
+            stage: cur,
+            pending,
+        } = self.states[pipe]
+        else {
             return Vec::new(); // pipeline already failed; drain stragglers
         };
         debug_assert_eq!(cur, stage, "completion from a stale stage");
@@ -205,20 +215,20 @@ impl ExecutionPattern for PstWorkflow {
 
     fn is_done(&self) -> bool {
         self.started
-            && self
-                .states
-                .iter()
-                .zip(0..)
-                .all(|(s, pipe)| match *s {
-                    PipeState::Running { .. } => false,
-                    PipeState::Done => true,
-                    // A failed pipeline is finished once its stragglers drained.
-                    PipeState::Failed => !self.tags.values().any(|&(p, _)| p == pipe),
-                })
+            && self.states.iter().zip(0..).all(|(s, pipe)| match *s {
+                PipeState::Running { .. } => false,
+                PipeState::Done => true,
+                // A failed pipeline is finished once its stragglers drained.
+                PipeState::Failed => !self.tags.values().any(|&(p, _)| p == pipe),
+            })
     }
 
     fn progress(&self) -> String {
-        let done = self.states.iter().filter(|s| **s == PipeState::Done).count();
+        let done = self
+            .states
+            .iter()
+            .filter(|s| **s == PipeState::Done)
+            .count();
         format!(
             "{}/{} pipelines done ({} failed)",
             done,

@@ -225,8 +225,7 @@ mod tests {
 
     #[test]
     fn barrier_orders_simulations_before_analysis() {
-        let mut pattern =
-            SimulationAnalysisLoop::new(2, 3, sim_k, |_, outs| serial_analysis(outs));
+        let mut pattern = SimulationAnalysisLoop::new(2, 3, sim_k, |_, outs| serial_analysis(outs));
         let mut log: Vec<String> = Vec::new();
         let results = drive(
             &mut pattern,
@@ -257,14 +256,9 @@ mod tests {
     #[test]
     fn analysis_sees_all_sim_outputs() {
         let mut observed = Vec::new();
-        let mut pattern = SimulationAnalysisLoop::new(
-            1,
-            4,
-            sim_k,
-            move |_, outs| {
-                vec![KernelCall::new("ana.coco", json!({"n_sims": outs.len()}))]
-            },
-        );
+        let mut pattern = SimulationAnalysisLoop::new(1, 4, sim_k, move |_, outs| {
+            vec![KernelCall::new("ana.coco", json!({"n_sims": outs.len()}))]
+        });
         drive(
             &mut pattern,
             |t| {
@@ -299,12 +293,9 @@ mod tests {
     #[test]
     fn tolerant_mode_analyses_survivors() {
         let mut analysed = 0u64;
-        let mut pattern = SimulationAnalysisLoop::new(
-            1,
-            3,
-            sim_k,
-            move |_, outs| vec![KernelCall::new("ana.coco", json!({"n_sims": outs.len()}))],
-        )
+        let mut pattern = SimulationAnalysisLoop::new(1, 3, sim_k, move |_, outs| {
+            vec![KernelCall::new("ana.coco", json!({"n_sims": outs.len()}))]
+        })
         .tolerate_failures();
         drive(
             &mut pattern,

@@ -12,10 +12,12 @@
 //! the pattern's view.
 
 use crate::binding::{BindingPolicy, StaticBinding};
+use crate::error::EntkError;
 use crate::fault::FaultConfig;
 use crate::overheads::EntkOverheads;
 use crate::pattern::ExecutionPattern;
 use crate::report::{ExecutionReport, OverheadBreakdown, TaskRecord};
+use crate::resource::PilotStrategy;
 use crate::resource::ResourceConfig;
 use crate::task::{Task, TaskResult};
 use entk_cluster::{ClusterEvent, PlatformSpec};
@@ -25,8 +27,6 @@ use entk_pilot::{
     SimRuntimeConfig, UnitDescription, UnitId, UnitState, UnitWork,
 };
 use entk_sim::{Context, Engine, RunOutcome, SimDuration, SimRng, SimTime};
-use crate::error::EntkError;
-use crate::resource::PilotStrategy;
 use std::collections::{HashMap, HashSet};
 
 /// Top-level event type of the simulated toolkit stack.
@@ -409,8 +409,9 @@ impl SimDriver {
             .pilots
             .iter()
             .filter_map(|&p| {
-                (self.runtime.pilot_state(p) != Some(entk_pilot::PilotState::Failed))
-                    .then_some(self.config.cores / self.strategy.count.max(1).min(self.config.cores))
+                (self.runtime.pilot_state(p) != Some(entk_pilot::PilotState::Failed)).then_some(
+                    self.config.cores / self.strategy.count.max(1).min(self.config.cores),
+                )
             })
             .max()
             .unwrap_or(self.config.cores)
@@ -437,8 +438,12 @@ impl SimDriver {
                 .binding
                 .bind(&stage, call.cores, free_cores, batch_size)
                 .clamp(1, max_pilot);
-            let cost =
-                plugin.cost(&call.args, bound_cores, self.runtime.platform(), &mut self.rng);
+            let cost = plugin.cost(
+                &call.args,
+                bound_cores,
+                self.runtime.platform(),
+                &mut self.rng,
+            );
             let mut ud = UnitDescription {
                 name: format!("{stage}:{uid}"),
                 cores: bound_cores,
@@ -513,7 +518,9 @@ impl SimDriver {
             return;
         }
         let uid = raw;
-        let Some(entry) = self.tasks.get(&uid) else { return };
+        let Some(entry) = self.tasks.get(&uid) else {
+            return;
+        };
         if entry.terminal {
             return;
         }
@@ -568,7 +575,10 @@ impl SimDriver {
                     }
                 }
                 RuntimeNotification::Unit {
-                    id, state, time, detail,
+                    id,
+                    state,
+                    time,
+                    detail,
                 } => {
                     let Some(&uid) = self.unit_to_task.get(&id) else {
                         continue;

@@ -187,7 +187,7 @@ mod tests {
     fn stage_time_unions_overlapping_intervals() {
         let r = report(vec![
             record("sim", 0, 10),
-            record("sim", 5, 15), // overlaps
+            record("sim", 5, 15),  // overlaps
             record("sim", 20, 25), // disjoint
             record("analysis", 15, 20),
         ]);

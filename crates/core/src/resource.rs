@@ -212,7 +212,10 @@ impl ResourceHandle {
     }
 
     /// Runs an execution pattern to completion on the allocated resources.
-    pub fn run(&mut self, pattern: &mut dyn ExecutionPattern) -> Result<ExecutionReport, EntkError> {
+    pub fn run(
+        &mut self,
+        pattern: &mut dyn ExecutionPattern,
+    ) -> Result<ExecutionReport, EntkError> {
         match &mut self.inner {
             Inner::Sim(d) => d.run(pattern),
             Inner::Local(d) => d.run(pattern),

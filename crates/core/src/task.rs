@@ -76,7 +76,11 @@ mod tests {
 
     #[test]
     fn constructors_set_fields() {
-        let t = Task::new(7, "simulation", KernelCall::new("misc.sleep", json!({"secs": 1.0})));
+        let t = Task::new(
+            7,
+            "simulation",
+            KernelCall::new("misc.sleep", json!({"secs": 1.0})),
+        );
         assert_eq!(t.tag, 7);
         assert_eq!(t.stage, "simulation");
 

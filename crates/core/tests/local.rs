@@ -116,11 +116,8 @@ fn local_failures_retry_then_report() {
             KernelCall::new("misc.stress", json!({ "iters": 1000u64 }))
         }
     });
-    let mut handle = ResourceHandle::local_with(
-        2,
-        KernelRegistry::with_builtins(),
-        FaultConfig::retries(2),
-    );
+    let mut handle =
+        ResourceHandle::local_with(2, KernelRegistry::with_builtins(), FaultConfig::retries(2));
     handle.allocate().unwrap();
     let report = handle.run(&mut pattern).unwrap();
     assert_eq!(report.failed_tasks, 1);

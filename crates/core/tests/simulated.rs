@@ -15,7 +15,9 @@ fn quiet_sim(seed: u64) -> SimulatedConfig {
 }
 
 fn sleep_bag(n: usize, secs: f64) -> BagOfTasks {
-    BagOfTasks::new(n, move |_| KernelCall::new("misc.sleep", json!({ "secs": secs })))
+    BagOfTasks::new(n, move |_| {
+        KernelCall::new("misc.sleep", json!({ "secs": secs }))
+    })
 }
 
 #[test]
@@ -109,7 +111,11 @@ fn ensemble_exchange_on_supermic_swaps_replicas() {
         n * cycles
     );
     assert_eq!(
-        report.tasks.iter().filter(|t| t.stage == "exchange").count(),
+        report
+            .tasks
+            .iter()
+            .filter(|t| t.stage == "exchange")
+            .count(),
         cycles
     );
     let (_, attempted) = pattern.swap_stats();
@@ -121,16 +127,21 @@ fn identical_seeds_give_identical_reports() {
     let run = || {
         let config = ResourceConfig::new("xsede.comet", 16, SimDuration::from_secs(100_000));
         let mut pattern = sleep_bag(32, 5.0);
-        run_simulated(config, SimulatedConfig { seed: 77, ..Default::default() }, &mut pattern)
-            .unwrap()
+        run_simulated(
+            config,
+            SimulatedConfig {
+                seed: 77,
+                ..Default::default()
+            },
+            &mut pattern,
+        )
+        .unwrap()
     };
     let a = run();
     let b = run();
     assert_eq!(a.ttc, b.ttc);
     assert_eq!(a.overheads.pattern, b.overheads.pattern);
-    let starts = |r: &ExecutionReport| {
-        r.tasks.iter().map(|t| t.exec_start).collect::<Vec<_>>()
-    };
+    let starts = |r: &ExecutionReport| r.tasks.iter().map(|t| t.exec_start).collect::<Vec<_>>();
     assert_eq!(starts(&a), starts(&b));
 }
 
@@ -139,7 +150,15 @@ fn different_seeds_perturb_overheads() {
     let run = |seed| {
         let config = ResourceConfig::new("xsede.comet", 16, SimDuration::from_secs(100_000));
         let mut pattern = sleep_bag(32, 5.0);
-        run_simulated(config, SimulatedConfig { seed, ..Default::default() }, &mut pattern).unwrap()
+        run_simulated(
+            config,
+            SimulatedConfig {
+                seed,
+                ..Default::default()
+            },
+            &mut pattern,
+        )
+        .unwrap()
     };
     assert_ne!(run(1).ttc, run(2).ttc);
 }
@@ -268,7 +287,10 @@ fn pattern_overhead_scales_with_task_count() {
         let mut pattern = sleep_bag(n, 1.0);
         run_simulated(
             config,
-            SimulatedConfig { seed: 11, ..Default::default() },
+            SimulatedConfig {
+                seed: 11,
+                ..Default::default()
+            },
             &mut pattern,
         )
         .unwrap()
@@ -288,7 +310,10 @@ fn core_overhead_is_constant_in_task_count() {
         let mut pattern = sleep_bag(n, 1.0);
         run_simulated(
             config,
-            SimulatedConfig { seed: 12, ..Default::default() },
+            SimulatedConfig {
+                seed: 12,
+                ..Default::default()
+            },
             &mut pattern,
         )
         .unwrap()
@@ -306,7 +331,10 @@ fn multi_pilot_strategy_completes_workload() {
     let config = ResourceConfig::new("xsede.comet", 64, SimDuration::from_secs(1_000_000));
     let sim = SimulatedConfig {
         seed: 21,
-        pilot_strategy: entk_core::PilotStrategy { count: 4, wait_all: true },
+        pilot_strategy: entk_core::PilotStrategy {
+            count: 4,
+            wait_all: true,
+        },
         ..Default::default()
     };
     let mut pattern = sleep_bag(128, 5.0);
@@ -331,7 +359,10 @@ fn split_pilots_beat_one_big_pilot_under_size_dependent_queue_wait() {
             ..Default::default()
         };
         let mut pattern = sleep_bag(64, 30.0);
-        run_simulated(config, sim, &mut pattern).unwrap().ttc.as_secs_f64()
+        run_simulated(config, sim, &mut pattern)
+            .unwrap()
+            .ttc
+            .as_secs_f64()
     };
     let single = run(entk_core::PilotStrategy::single());
     let split = run(entk_core::PilotStrategy::split(8));
@@ -393,7 +424,10 @@ fn adaptive_binding_widens_mpi_tasks() {
         }
         handle.allocate().unwrap();
         let mut pattern = BagOfTasks::new(4, |i| {
-            KernelCall::new("md.amber", json!({ "steps": 3000, "n_atoms": 2881, "seed": i }))
+            KernelCall::new(
+                "md.amber",
+                json!({ "steps": 3000, "n_atoms": 2881, "seed": i }),
+            )
         });
         let report = handle.run(&mut pattern).unwrap();
         handle.deallocate().unwrap();
@@ -434,7 +468,10 @@ fn backfill_beats_fifo_behind_a_blocked_head() {
             ..Default::default()
         };
         let mut pattern = sleep_bag(8, 5.0);
-        run_simulated(config, sim, &mut pattern).unwrap().ttc.as_secs_f64()
+        run_simulated(config, sim, &mut pattern)
+            .unwrap()
+            .ttc
+            .as_secs_f64()
     };
     let fifo = run(entk_pilot::BatchPolicy::Fifo);
     let backfill = run(entk_pilot::BatchPolicy::Backfill);

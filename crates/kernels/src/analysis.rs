@@ -210,7 +210,10 @@ mod tests {
         // Serial: cores do not help.
         let c1 = avg(1024, 1, &mut r);
         let c64 = avg(1024, 64, &mut r);
-        assert!((c1 - c64).abs() / c1 < 0.1, "serial analysis: {c1} vs {c64}");
+        assert!(
+            (c1 - c64).abs() / c1 < 0.1,
+            "serial analysis: {c1} vs {c64}"
+        );
         // Linear growth in simulations (Fig. 8's analysis curve).
         let small = avg(64, 1, &mut r);
         let large = avg(4096, 1, &mut r);
@@ -260,7 +263,9 @@ impl KernelPlugin for WhamKernel {
 
     fn validate(&self, args: &Value) -> Result<(), KernelError> {
         if args.get("energy_samples").is_none() && args.get("n_samples").is_none() {
-            return Err(KernelError::new("need energy_samples (real) or n_samples (model)"));
+            return Err(KernelError::new(
+                "need energy_samples (real) or n_samples (model)",
+            ));
         }
         Ok(())
     }
@@ -292,10 +297,15 @@ impl KernelPlugin for WhamKernel {
             .and_then(Value::as_array)
             .ok_or_else(|| KernelError::new("missing temperatures"))?
             .iter()
-            .map(|v| v.as_f64().ok_or_else(|| KernelError::new("bad temperature")))
+            .map(|v| {
+                v.as_f64()
+                    .ok_or_else(|| KernelError::new("bad temperature"))
+            })
             .collect::<Result<_, _>>()?;
         if samples.len() != temps.len() {
-            return Err(KernelError::new("energy_samples/temperatures length mismatch"));
+            return Err(KernelError::new(
+                "energy_samples/temperatures length mismatch",
+            ));
         }
         if samples.iter().all(Vec::is_empty) {
             return Err(KernelError::new("no energy samples"));
@@ -308,8 +318,10 @@ impl KernelPlugin for WhamKernel {
             .map(|a| a.iter().filter_map(Value::as_f64).collect())
             .unwrap_or_else(|| temps.clone());
         let mean_energies: Vec<f64> = targets.iter().map(|&t| result.mean_energy_at(t)).collect();
-        let heat_capacities: Vec<f64> =
-            targets.iter().map(|&t| result.heat_capacity_at(t)).collect();
+        let heat_capacities: Vec<f64> = targets
+            .iter()
+            .map(|&t| result.heat_capacity_at(t))
+            .collect();
         Ok(json!({
             "target_temps": targets,
             "mean_energies": mean_energies,
@@ -335,7 +347,11 @@ mod wham_kernel_tests {
         // Energies scaling with temperature (like a real system).
         let samples: Vec<Vec<f64>> = [0.5, 1.0, 2.0]
             .iter()
-            .map(|&t: &f64| (0..2000).map(|i| t * (4.0 + ((i * 37) % 100) as f64 / 50.0)).collect())
+            .map(|&t: &f64| {
+                (0..2000)
+                    .map(|i| t * (4.0 + ((i * 37) % 100) as f64 / 50.0))
+                    .collect()
+            })
             .collect();
         let out = WhamKernel
             .execute(&json!({

@@ -8,9 +8,7 @@
 
 use crate::plugin::{argutil, KernelError, KernelPlugin};
 use entk_cluster::PlatformSpec;
-use entk_md::{
-    alanine_dipeptide_surrogate, exchange_probability, EngineFlavor, MdEngine,
-};
+use entk_md::{alanine_dipeptide_surrogate, exchange_probability, EngineFlavor, MdEngine};
 use entk_sim::{SimDuration, SimRng};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -186,7 +184,10 @@ impl ExchangeKernel {
             .and_then(Value::as_array)
             .ok_or_else(|| KernelError::new("missing temperatures"))?
             .iter()
-            .map(|v| v.as_f64().ok_or_else(|| KernelError::new("bad temperature")))
+            .map(|v| {
+                v.as_f64()
+                    .ok_or_else(|| KernelError::new("bad temperature"))
+            })
             .collect::<Result<_, _>>()?;
         if energies.len() != temps.len() {
             return Err(KernelError::new("energies/temperatures length mismatch"));
@@ -243,7 +244,11 @@ impl KernelPlugin for ExchangeKernel {
             .get("energies")
             .and_then(Value::as_array)
             .map(Vec::len)
-            .or_else(|| argutil::u64_req(args, "n_replicas").ok().map(|v| v as usize))
+            .or_else(|| {
+                argutil::u64_req(args, "n_replicas")
+                    .ok()
+                    .map(|v| v as usize)
+            })
             .unwrap_or(0) as f64;
         let base = argutil::f64_or(args, "base_secs", 1.0);
         let per = argutil::f64_or(args, "per_replica_secs", 0.005);
@@ -286,10 +291,7 @@ mod tests {
             (0..32)
                 .map(|i| {
                     MdKernel::amber()
-                        .execute_model(
-                            &json!({ "n_atoms": 500, "temperature": t, "seed": i }),
-                            r,
-                        )
+                        .execute_model(&json!({ "n_atoms": 500, "temperature": t, "seed": i }), r)
                         .unwrap()["potential"]
                         .as_f64()
                         .unwrap()
@@ -319,7 +321,11 @@ mod tests {
         let mut cost = |args: Value, cores| {
             // Average over draws to suppress jitter.
             (0..16)
-                .map(|_| MdKernel::amber().cost(&args, cores, &spec, &mut r).as_secs_f64())
+                .map(|_| {
+                    MdKernel::amber()
+                        .cost(&args, cores, &spec, &mut r)
+                        .as_secs_f64()
+                })
                 .sum::<f64>()
                 / 16.0
         };

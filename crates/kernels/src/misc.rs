@@ -252,7 +252,12 @@ mod tests {
     fn sleep_validates_and_models() {
         assert!(SleepKernel.validate(&json!({})).is_err());
         assert!(SleepKernel.validate(&json!({ "secs": 3.0 })).is_ok());
-        let d = SleepKernel.cost(&json!({ "secs": 3.0 }), 1, &PlatformSpec::comet(), &mut rng());
+        let d = SleepKernel.cost(
+            &json!({ "secs": 3.0 }),
+            1,
+            &PlatformSpec::comet(),
+            &mut rng(),
+        );
         assert_eq!(d, SimDuration::from_secs(3));
     }
 
@@ -268,7 +273,9 @@ mod tests {
 
     #[test]
     fn stress_executes_real_work() {
-        let out = StressKernel.execute(&json!({ "iters": 10_000u64 })).unwrap();
+        let out = StressKernel
+            .execute(&json!({ "iters": 10_000u64 }))
+            .unwrap();
         assert!(out["acc"].as_f64().unwrap() > 0.0);
     }
 

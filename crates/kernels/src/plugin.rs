@@ -208,8 +208,8 @@ mod serde_tests {
 
     #[test]
     fn kernel_call_serde_roundtrip() {
-        let call = KernelCall::new("md.amber", json!({"steps": 100, "temperature": 1.5}))
-            .with_cores(8);
+        let call =
+            KernelCall::new("md.amber", json!({"steps": 100, "temperature": 1.5})).with_cores(8);
         let text = serde_json::to_string(&call).unwrap();
         let back: KernelCall = serde_json::from_str(&text).unwrap();
         assert_eq!(back, call);

@@ -92,7 +92,11 @@ impl MdEngine {
         let every = self.config.record_every;
         let mut done = 0;
         while done < steps {
-            let chunk = if every == 0 { steps - done } else { every.min(steps - done) };
+            let chunk = if every == 0 {
+                steps - done
+            } else {
+                every.min(steps - done)
+            };
             integrator.run(sys, chunk);
             done += chunk;
             trajectory.record(sys);
@@ -102,7 +106,11 @@ impl MdEngine {
         MdResult {
             trajectory,
             final_potential: integrator.potential(),
-            mean_temperature: if temp_n == 0 { 0.0 } else { temp_acc / f64::from(temp_n) },
+            mean_temperature: if temp_n == 0 {
+                0.0
+            } else {
+                temp_acc / f64::from(temp_n)
+            },
             steps: done,
         }
     }

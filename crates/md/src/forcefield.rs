@@ -89,14 +89,8 @@ impl ForceField {
         }
         match &scratch.cell {
             Some(cl) => {
-                potential += self.lj_layered(
-                    sys,
-                    cl,
-                    rc2,
-                    shift,
-                    forces,
-                    &mut scratch.layer_buffers,
-                );
+                potential +=
+                    self.lj_layered(sys, cl, rc2, shift, forces, &mut scratch.layer_buffers);
             }
             None => {
                 if self.epsilon != 0.0 {
@@ -448,7 +442,10 @@ impl ForceField {
         max_disp: f64,
         f_tol: f64,
     ) -> f64 {
-        assert!(max_disp > 0.0 && f_tol >= 0.0, "invalid minimizer parameters");
+        assert!(
+            max_disp > 0.0 && f_tol >= 0.0,
+            "invalid minimizer parameters"
+        );
         let mut forces = Vec::new();
         let mut scratch = ForceScratch::default();
         let mut energy = self.compute_with_scratch(sys, &mut forces, &mut scratch);
@@ -499,7 +496,10 @@ mod minimize_tests {
         }
         let before = ff.potential_energy(&sys);
         let after = ff.minimize(&mut sys, 200, 0.02, 1e-3);
-        assert!(after < before, "minimizer must not raise energy: {before} -> {after}");
+        assert!(
+            after < before,
+            "minimizer must not raise energy: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -513,7 +513,12 @@ mod minimize_tests {
             positions: vec![[0.0; 3], [1.6, 0.0, 0.0]],
             velocities: vec![[0.0; 3]; 2],
             masses: vec![1.0; 2],
-            bonds: vec![Bond { i: 0, j: 1, r0: 1.0, k: 50.0 }],
+            bonds: vec![Bond {
+                i: 0,
+                j: 1,
+                r0: 1.0,
+                k: 50.0,
+            }],
             n_solute: 2,
             box_len: 100.0,
         };
@@ -534,7 +539,12 @@ mod minimize_tests {
             positions: vec![[0.0; 3], [1.0, 0.0, 0.0]],
             velocities: vec![[0.0; 3]; 2],
             masses: vec![1.0; 2],
-            bonds: vec![Bond { i: 0, j: 1, r0: 1.0, k: 50.0 }],
+            bonds: vec![Bond {
+                i: 0,
+                j: 1,
+                r0: 1.0,
+                k: 50.0,
+            }],
             n_solute: 2,
             box_len: 100.0,
         };

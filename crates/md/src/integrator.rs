@@ -62,9 +62,9 @@ impl Integrator {
     /// Advances the system by `steps` time steps.
     pub fn run(&mut self, sys: &mut MolecularSystem, steps: usize) {
         if !self.initialized {
-            self.last_potential = self
-                .ff
-                .compute_with_scratch(sys, &mut self.forces, &mut self.scratch);
+            self.last_potential =
+                self.ff
+                    .compute_with_scratch(sys, &mut self.forces, &mut self.scratch);
             self.initialized = true;
         }
         for _ in 0..steps {
@@ -111,9 +111,9 @@ impl Integrator {
             }
         }
         // Recompute forces, then B: half kick.
-        self.last_potential = self
-            .ff
-            .compute_with_scratch(sys, &mut self.forces, &mut self.scratch);
+        self.last_potential =
+            self.ff
+                .compute_with_scratch(sys, &mut self.forces, &mut self.scratch);
         for i in 0..n {
             let inv_m = 1.0 / sys.masses[i];
             for a in 0..3 {
@@ -192,7 +192,7 @@ mod tests {
             42,
         );
         integ.run(&mut sys, 500); // equilibrate
-        // Average over a window.
+                                  // Average over a window.
         let mut acc = 0.0;
         let windows = 40;
         for _ in 0..windows {

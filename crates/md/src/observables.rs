@@ -60,11 +60,7 @@ pub fn msd(reference: &[[f64; 3]], current: &[[f64; 3]]) -> f64 {
     reference
         .iter()
         .zip(current)
-        .map(|(a, b)| {
-            (0..3)
-                .map(|k| (b[k] - a[k]) * (b[k] - a[k]))
-                .sum::<f64>()
-        })
+        .map(|(a, b)| (0..3).map(|k| (b[k] - a[k]) * (b[k] - a[k])).sum::<f64>())
         .sum::<f64>()
         / reference.len() as f64
 }
@@ -79,7 +75,10 @@ pub fn velocity_autocorrelation(v0: &[[f64; 3]], vt: &[[f64; 3]]) -> f64 {
         .zip(vt)
         .map(|(a, b)| a[0] * b[0] + a[1] * b[1] + a[2] * b[2])
         .sum();
-    let norm: f64 = v0.iter().map(|a| a[0] * a[0] + a[1] * a[1] + a[2] * a[2]).sum();
+    let norm: f64 = v0
+        .iter()
+        .map(|a| a[0] * a[0] + a[1] * a[1] + a[2] * a[2])
+        .sum();
     if norm == 0.0 {
         0.0
     } else {

@@ -169,7 +169,11 @@ pub fn alanine_dipeptide_surrogate(total: usize, seed: u64) -> MolecularSystem {
         let jitter = |r: &mut StdRng| (r.random::<f64>() - 0.5) * 0.05;
         let row = i / row_len;
         let col = i % row_len;
-        let x_col = if row.is_multiple_of(2) { col } else { row_len - 1 - col };
+        let x_col = if row.is_multiple_of(2) {
+            col
+        } else {
+            row_len - 1 - col
+        };
         positions.push([
             (0.75 + x_col as f64 * bond_r0 + jitter(&mut rng)).rem_euclid(box_len),
             (box_len / 2.0 + row as f64 * row_gap + jitter(&mut rng)).rem_euclid(box_len),

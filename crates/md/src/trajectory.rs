@@ -187,7 +187,8 @@ mod file_io_tests {
         let dir = std::env::temp_dir().join("entk-md-tests");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("traj.xyzl");
-        traj.write_xyzl(std::fs::File::create(&path).unwrap()).unwrap();
+        traj.write_xyzl(std::fs::File::create(&path).unwrap())
+            .unwrap();
         let back =
             Trajectory::read_xyzl(std::io::BufReader::new(std::fs::File::open(&path).unwrap()))
                 .unwrap();

@@ -182,9 +182,11 @@ mod tests {
 
     #[test]
     fn pilot_description_validation() {
-        assert!(PilotDescription::new("xsede.comet", 192, SimDuration::from_secs(3600))
-            .validate()
-            .is_ok());
+        assert!(
+            PilotDescription::new("xsede.comet", 192, SimDuration::from_secs(3600))
+                .validate()
+                .is_ok()
+        );
         assert!(PilotDescription::new("", 192, SimDuration::from_secs(1))
             .validate()
             .is_err());

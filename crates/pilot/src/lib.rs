@@ -20,10 +20,17 @@ pub mod scheduler;
 pub mod sim_runtime;
 pub mod states;
 
-pub use description::{PilotDescription, StagingDirection, StagingDirective, UnitDescription, UnitWork};
+pub use description::{
+    PilotDescription, StagingDirection, StagingDirective, UnitDescription, UnitWork,
+};
 pub use local_runtime::{LocalCompletion, LocalRuntime};
 pub use overheads::RuntimeOverheads;
 pub use profiler::{PilotProfile, Profiler, UnitProfile};
-pub use scheduler::{FirstFitScheduler, LargestFirstScheduler, Placement, PilotView, RoundRobinScheduler, UnitScheduler, UnitView};
-pub use sim_runtime::{BatchPolicy, RuntimeEvent, RuntimeEventSink, RuntimeNotification, SimRuntime, SimRuntimeConfig};
+pub use scheduler::{
+    FirstFitScheduler, LargestFirstScheduler, PilotView, Placement, RoundRobinScheduler,
+    UnitScheduler, UnitView,
+};
+pub use sim_runtime::{
+    BatchPolicy, RuntimeEvent, RuntimeEventSink, RuntimeNotification, SimRuntime, SimRuntimeConfig,
+};
 pub use states::{PilotId, PilotState, UnitId, UnitState};

@@ -131,7 +131,10 @@ mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
-    fn real_unit(name: &str, f: impl Fn() -> Result<(), String> + Send + Sync + 'static) -> UnitDescription {
+    fn real_unit(
+        name: &str,
+        f: impl Fn() -> Result<(), String> + Send + Sync + 'static,
+    ) -> UnitDescription {
         UnitDescription {
             name: name.into(),
             cores: 1,

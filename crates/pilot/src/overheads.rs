@@ -32,7 +32,10 @@ impl RuntimeOverheads {
     pub fn radical_pilot() -> Self {
         RuntimeOverheads {
             pilot_submission: Dist::Normal { mean: 2.0, sd: 0.2 },
-            unit_submit_fixed: Dist::Normal { mean: 0.5, sd: 0.05 },
+            unit_submit_fixed: Dist::Normal {
+                mean: 0.5,
+                sd: 0.05,
+            },
             unit_submit_per_unit: Dist::Normal {
                 mean: 0.012,
                 sd: 0.002,
@@ -64,8 +67,14 @@ impl RuntimeOverheads {
         fn scale(d: Dist, f: f64) -> Dist {
             match d {
                 Dist::Constant(v) => Dist::Constant(v * f),
-                Dist::Uniform { lo, hi } => Dist::Uniform { lo: lo * f, hi: hi * f },
-                Dist::Normal { mean, sd } => Dist::Normal { mean: mean * f, sd: sd * f },
+                Dist::Uniform { lo, hi } => Dist::Uniform {
+                    lo: lo * f,
+                    hi: hi * f,
+                },
+                Dist::Normal { mean, sd } => Dist::Normal {
+                    mean: mean * f,
+                    sd: sd * f,
+                },
                 Dist::Exponential { mean } => Dist::Exponential { mean: mean * f },
                 Dist::LogNormal { mu, sigma } => Dist::LogNormal {
                     mu: mu + f.ln(),
@@ -116,7 +125,9 @@ mod tests {
     fn scaling_multiplies_means() {
         let o = RuntimeOverheads::radical_pilot().scaled(10.0);
         let base = RuntimeOverheads::radical_pilot();
-        assert!((o.unit_submit_per_unit.mean() - 10.0 * base.unit_submit_per_unit.mean()).abs() < 1e-9);
+        assert!(
+            (o.unit_submit_per_unit.mean() - 10.0 * base.unit_submit_per_unit.mean()).abs() < 1e-9
+        );
         assert!((o.pilot_submission.mean() - 10.0 * base.pilot_submission.mean()).abs() < 1e-9);
     }
 }

@@ -181,7 +181,11 @@ mod summary_tests {
         p.pilot_mut(id).launched = Some(SimTime::from_secs(2));
         p.pilot_mut(id).active = Some(SimTime::from_secs(50));
         let prof = p.pilot(id).unwrap();
-        assert_eq!(prof.active.unwrap().saturating_since(prof.launched.unwrap()),
-                   entk_sim::SimDuration::from_secs(48));
+        assert_eq!(
+            prof.active
+                .unwrap()
+                .saturating_since(prof.launched.unwrap()),
+            entk_sim::SimDuration::from_secs(48)
+        );
     }
 }

@@ -221,7 +221,13 @@ mod tests {
     #[test]
     fn big_unit_waits_small_unit_proceeds() {
         let placements = FirstFitScheduler.assign(&[uv(0, 8), uv(1, 1)], &[pv(0, true, 4)]);
-        assert_eq!(placements, vec![Placement { unit: UnitId(1), pilot: PilotId(0) }]);
+        assert_eq!(
+            placements,
+            vec![Placement {
+                unit: UnitId(1),
+                pilot: PilotId(0)
+            }]
+        );
     }
 
     #[test]

@@ -12,8 +12,7 @@ use crate::profiler::Profiler;
 use crate::scheduler::{FirstFitScheduler, PilotView, UnitScheduler, UnitView};
 use crate::states::{PilotId, PilotState, UnitId, UnitState};
 use entk_cluster::{
-    Cluster, ClusterEvent, EasyBackfillScheduler, FairShareScheduler, FifoScheduler,
-    PlatformSpec,
+    Cluster, ClusterEvent, EasyBackfillScheduler, FairShareScheduler, FifoScheduler, PlatformSpec,
 };
 use entk_saga::{JobDescription, JobState, JobUpdate, SagaJobId, SimJobService};
 use entk_sim::{Context, SimDuration, SimRng, SimTime, Tracer};
@@ -208,7 +207,10 @@ impl SimRuntime {
 
     /// Number of units not yet in a terminal state.
     pub fn live_units(&self) -> usize {
-        self.units.values().filter(|u| !u.state.is_terminal()).count()
+        self.units
+            .values()
+            .filter(|u| !u.state.is_terminal())
+            .count()
     }
 
     /// Submits a pilot. The pilot-submission overhead is paid before the
@@ -234,7 +236,11 @@ impl SimRuntime {
         );
         self.tracer
             .record(ctx.now(), "pilot", "pilot_submitted", id.to_string());
-        let delay = self.config.overheads.pilot_submission.sample_duration(&mut self.rng);
+        let delay = self
+            .config
+            .overheads
+            .pilot_submission
+            .sample_duration(&mut self.rng);
         ctx.schedule_in(delay, RuntimeEvent::PilotSubmitted(id));
         out.push(RuntimeNotification::Pilot {
             id,
@@ -279,8 +285,16 @@ impl SimRuntime {
             });
             ids.push(id);
         }
-        let fixed = self.config.overheads.unit_submit_fixed.sample(&mut self.rng);
-        let per = self.config.overheads.unit_submit_per_unit.sample(&mut self.rng);
+        let fixed = self
+            .config
+            .overheads
+            .unit_submit_fixed
+            .sample(&mut self.rng);
+        let per = self
+            .config
+            .overheads
+            .unit_submit_per_unit
+            .sample(&mut self.rng);
         let delay = SimDuration::from_secs_f64(fixed + per * n as f64);
         ctx.schedule_in(delay, RuntimeEvent::UnitsSubmitted(ids.clone()));
         Ok(ids)
@@ -293,7 +307,9 @@ impl SimRuntime {
         ctx: &mut Context<'_, E>,
         out: &mut Vec<RuntimeNotification>,
     ) {
-        let Some(unit) = self.units.get_mut(&id) else { return };
+        let Some(unit) = self.units.get_mut(&id) else {
+            return;
+        };
         if unit.state.is_terminal() || !unit.state.can_transition_to(UnitState::Canceled) {
             return;
         }
@@ -328,7 +344,9 @@ impl SimRuntime {
         ctx: &mut Context<'_, E>,
         out: &mut Vec<RuntimeNotification>,
     ) {
-        let Some(p) = self.pilots.get(&id) else { return };
+        let Some(p) = self.pilots.get(&id) else {
+            return;
+        };
         if p.state.is_terminal() {
             return;
         }
@@ -349,7 +367,9 @@ impl SimRuntime {
         ctx: &mut Context<'_, E>,
         out: &mut Vec<RuntimeNotification>,
     ) {
-        let Some(p) = self.pilots.get(&id) else { return };
+        let Some(p) = self.pilots.get(&id) else {
+            return;
+        };
         match p.state {
             PilotState::Active => {
                 if let Some(saga) = p.saga_job {
@@ -611,7 +631,11 @@ impl SimRuntime {
                 detail: None,
             });
             // Scheduling bookkeeping cost + staged input bytes.
-            let sched_cost = self.config.overheads.scheduling_per_unit.sample(&mut self.rng);
+            let sched_cost = self
+                .config
+                .overheads
+                .scheduling_per_unit
+                .sample(&mut self.rng);
             let bytes = self.units[&placement.unit].description.input_bytes();
             let stage = self.service.cluster_mut().transfer_duration(bytes);
             let delay = SimDuration::from_secs_f64(sched_cost) + stage;
@@ -620,7 +644,9 @@ impl SimRuntime {
     }
 
     fn on_stagein_done<E: RuntimeEventSink>(&mut self, id: UnitId, ctx: &mut Context<'_, E>) {
-        let Some(unit) = self.units.get(&id) else { return };
+        let Some(unit) = self.units.get(&id) else {
+            return;
+        };
         if unit.state != UnitState::StagingInput {
             return;
         }
@@ -639,7 +665,9 @@ impl SimRuntime {
         ctx: &mut Context<'_, E>,
         out: &mut Vec<RuntimeNotification>,
     ) {
-        let Some(unit) = self.units.get_mut(&id) else { return };
+        let Some(unit) = self.units.get_mut(&id) else {
+            return;
+        };
         if unit.state != UnitState::StagingInput {
             return;
         }
@@ -667,7 +695,9 @@ impl SimRuntime {
         ctx: &mut Context<'_, E>,
         out: &mut Vec<RuntimeNotification>,
     ) {
-        let Some(unit) = self.units.get_mut(&id) else { return };
+        let Some(unit) = self.units.get_mut(&id) else {
+            return;
+        };
         if unit.state != UnitState::Executing {
             return;
         }
@@ -679,8 +709,8 @@ impl SimRuntime {
         let released = unit.holding;
         unit.holding = 0;
         let pilot = unit.pilot;
-        let failed = self.config.unit_failure_rate > 0.0
-            && self.rng.chance(self.config.unit_failure_rate);
+        let failed =
+            self.config.unit_failure_rate > 0.0 && self.rng.chance(self.config.unit_failure_rate);
         if failed {
             unit.state = UnitState::Failed;
             self.profiler.unit_mut(id).done = Some(ctx.now());
@@ -725,7 +755,9 @@ impl SimRuntime {
         ctx: &mut Context<'_, E>,
         out: &mut Vec<RuntimeNotification>,
     ) {
-        let Some(unit) = self.units.get_mut(&id) else { return };
+        let Some(unit) = self.units.get_mut(&id) else {
+            return;
+        };
         if unit.state != UnitState::StagingOutput {
             return;
         }
@@ -842,7 +874,15 @@ pub(crate) mod tests {
         // Exactly one Done notification per unit.
         let done_count = log
             .iter()
-            .filter(|n| matches!(n, RuntimeNotification::Unit { state: UnitState::Done, .. }))
+            .filter(|n| {
+                matches!(
+                    n,
+                    RuntimeNotification::Unit {
+                        state: UnitState::Done,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(done_count, 10);
         assert_eq!(rt.profiler().exec_durations().count(), 10);
@@ -924,8 +964,14 @@ pub(crate) mod tests {
             .collect();
         let (log, _) = run_session(quiet_spec(1, 8), cfg, 8, units);
         let terminals = unit_terminal_states(&log);
-        let failed = terminals.values().filter(|&&s| s == UnitState::Failed).count();
-        let done = terminals.values().filter(|&&s| s == UnitState::Done).count();
+        let failed = terminals
+            .values()
+            .filter(|&&s| s == UnitState::Failed)
+            .count();
+        let done = terminals
+            .values()
+            .filter(|&&s| s == UnitState::Done)
+            .count();
         assert_eq!(failed + done, 40);
         assert!(failed > 5, "expected some failures, got {failed}");
         assert!(done > 5, "expected some successes, got {done}");
@@ -950,7 +996,10 @@ pub(crate) mod tests {
                 )
                 .unwrap();
                 rt.submit_units(
-                    vec![UnitDescription::modeled("long", SimDuration::from_secs(1000))],
+                    vec![UnitDescription::modeled(
+                        "long",
+                        SimDuration::from_secs(1000),
+                    )],
                     ctx,
                     &mut out,
                 )
@@ -985,7 +1034,10 @@ pub(crate) mod tests {
 
     #[test]
     fn walltime_expiry_fails_pilot_and_units() {
-        let units = vec![UnitDescription::modeled("too-long", SimDuration::from_secs(500))];
+        let units = vec![UnitDescription::modeled(
+            "too-long",
+            SimDuration::from_secs(500),
+        )];
         // Pilot walltime is 10 s; the unit needs 500 s.
         let mut rt = SimRuntime::new(quiet_spec(1, 4), quiet_config());
         let mut engine: Engine<Ev> = Engine::new();
@@ -1073,8 +1125,14 @@ pub(crate) mod tests {
         let (log_large, _) = run_session(quiet_spec(8, 24), cfg, 64, mk_units(64));
         let small = first_scheduling(&log_small);
         let large = first_scheduling(&log_large);
-        assert!((small - (0.1 + 0.01 * 16.0)).abs() < 1e-6, "small gap {small}");
-        assert!((large - (0.1 + 0.01 * 64.0)).abs() < 1e-6, "large gap {large}");
+        assert!(
+            (small - (0.1 + 0.01 * 16.0)).abs() < 1e-6,
+            "small gap {small}"
+        );
+        assert!(
+            (large - (0.1 + 0.01 * 64.0)).abs() < 1e-6,
+            "large gap {large}"
+        );
     }
 }
 
@@ -1100,7 +1158,9 @@ mod tracer_tests {
         for u in 0..3u64 {
             let subject = UnitId(u).to_string();
             let sched = tracer.time_of("pilot", "unit_scheduled", &subject).unwrap();
-            let start = tracer.time_of("pilot", "unit_exec_start", &subject).unwrap();
+            let start = tracer
+                .time_of("pilot", "unit_exec_start", &subject)
+                .unwrap();
             let stop = tracer.time_of("pilot", "unit_exec_stop", &subject).unwrap();
             assert!(sched <= start && start <= stop);
         }

@@ -48,7 +48,10 @@ pub enum PilotState {
 impl PilotState {
     /// True for states a pilot can never leave.
     pub fn is_terminal(self) -> bool {
-        matches!(self, PilotState::Done | PilotState::Canceled | PilotState::Failed)
+        matches!(
+            self,
+            PilotState::Done | PilotState::Canceled | PilotState::Failed
+        )
     }
 
     /// Whether `self -> next` is legal.
@@ -93,7 +96,10 @@ pub enum UnitState {
 impl UnitState {
     /// True for states a unit can never leave.
     pub fn is_terminal(self) -> bool {
-        matches!(self, UnitState::Done | UnitState::Canceled | UnitState::Failed)
+        matches!(
+            self,
+            UnitState::Done | UnitState::Canceled | UnitState::Failed
+        )
     }
 
     /// Whether `self -> next` is legal.
@@ -159,7 +165,14 @@ mod tests {
     #[test]
     fn no_self_transitions() {
         use UnitState::*;
-        for s in [New, Scheduling, StagingInput, Executing, StagingOutput, Done] {
+        for s in [
+            New,
+            Scheduling,
+            StagingInput,
+            Executing,
+            StagingOutput,
+            Done,
+        ] {
             assert!(!s.can_transition_to(s));
         }
     }

@@ -250,7 +250,10 @@ mod tests {
             }
         });
         let states: Vec<_> = log.iter().map(|(s, _)| *s).collect();
-        assert_eq!(states, vec![JobState::Pending, JobState::Running, JobState::Done]);
+        assert_eq!(
+            states,
+            vec![JobState::Pending, JobState::Running, JobState::Done]
+        );
         assert_eq!(log[1].1, SimTime::from_secs(2)); // startup
         assert_eq!(log[2].1, SimTime::from_secs(32));
     }

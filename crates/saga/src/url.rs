@@ -92,7 +92,12 @@ mod tests {
 
     #[test]
     fn scheme_aliases_are_accepted() {
-        for s in ["slurm+sim://supermic", "pbs+sim://x", "sim://y", "local://z"] {
+        for s in [
+            "slurm+sim://supermic",
+            "pbs+sim://x",
+            "sim://y",
+            "local://z",
+        ] {
             assert!(s.parse::<ResourceUrl>().is_ok(), "{s}");
         }
     }

@@ -87,9 +87,7 @@ impl<E> EventQueue<E> {
 
     fn is_pending(&self, id: EventId) -> bool {
         let (word, bit) = (id.0 as usize / 64, id.0 % 64);
-        self.pending
-            .get(word)
-            .is_some_and(|w| w & (1 << bit) != 0)
+        self.pending.get(word).is_some_and(|w| w & (1 << bit) != 0)
     }
 
     /// Clears the pending bit; returns whether it was set.

@@ -180,10 +180,16 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(3);
         let dists = [
             Dist::Constant(-5.0),
-            Dist::Normal { mean: 0.0, sd: 10.0 },
+            Dist::Normal {
+                mean: 0.0,
+                sd: 10.0,
+            },
             Dist::Uniform { lo: 0.0, hi: 1.0 },
             Dist::Exponential { mean: 1.0 },
-            Dist::LogNormal { mu: 0.0, sigma: 1.0 },
+            Dist::LogNormal {
+                mu: 0.0,
+                sigma: 1.0,
+            },
         ];
         for d in dists {
             for _ in 0..200 {
@@ -240,7 +246,10 @@ mod serde_tests {
             Dist::Uniform { lo: 0.0, hi: 2.0 },
             Dist::Normal { mean: 3.0, sd: 0.5 },
             Dist::Exponential { mean: 2.0 },
-            Dist::LogNormal { mu: 0.1, sigma: 0.2 },
+            Dist::LogNormal {
+                mu: 0.1,
+                sigma: 0.2,
+            },
         ] {
             let json = serde_json::to_string(&d).unwrap();
             let back: Dist = serde_json::from_str(&json).unwrap();
@@ -250,10 +259,17 @@ mod serde_tests {
 
     #[test]
     fn lognormal_mean_formula() {
-        let d = Dist::LogNormal { mu: 0.0, sigma: 0.5 };
+        let d = Dist::LogNormal {
+            mu: 0.0,
+            sigma: 0.5,
+        };
         let mut rng = SimRng::seed_from_u64(4);
         let n = 40_000;
         let emp = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
-        assert!((emp - d.mean()).abs() / d.mean() < 0.05, "{emp} vs {}", d.mean());
+        assert!(
+            (emp - d.mean()).abs() / d.mean() < 0.05,
+            "{emp} vs {}",
+            d.mean()
+        );
     }
 }

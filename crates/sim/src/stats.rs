@@ -50,7 +50,11 @@ impl Summary {
 
     /// Minimum sample; 0 for an empty summary.
     pub fn min(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY)
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .min(f64::INFINITY)
             .pipe_finite()
     }
 
@@ -69,11 +73,7 @@ impl Summary {
             return 0.0;
         }
         let mean = self.mean();
-        let var = self
-            .samples
-            .iter()
-            .map(|x| (x - mean).powi(2))
-            .sum::<f64>()
+        let var = self.samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
             / self.samples.len() as f64;
         var.sqrt()
     }

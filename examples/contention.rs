@@ -29,7 +29,10 @@ fn load() -> entk_cluster::BackgroundLoad {
     entk_cluster::BackgroundLoad {
         mean_interarrival_secs: 120.0,
         cores: Dist::Uniform { lo: 24.0, hi: 96.0 },
-        runtime: Dist::Uniform { lo: 300.0, hi: 1200.0 },
+        runtime: Dist::Uniform {
+            lo: 300.0,
+            hi: 1200.0,
+        },
         initial_jobs: 3,
     }
 }

@@ -14,7 +14,10 @@ fn main() {
     let md_pipeline = Pipeline::new("md-campaign")
         .with_stage(Stage::new("equilibrate").with_task(PstTask::new(
             "equil",
-            KernelCall::new("md.amber", json!({ "steps": 1500, "n_atoms": 2881, "seed": 1 })),
+            KernelCall::new(
+                "md.amber",
+                json!({ "steps": 1500, "n_atoms": 2881, "seed": 1 }),
+            ),
         )))
         .with_stage({
             let mut stage = Stage::new("production");

@@ -19,9 +19,15 @@ fn main() {
     // (1) + (2): pattern with kernels bound per stage.
     let mut pattern = EnsembleOfPipelines::new(tasks, 2, |p, stage| {
         if stage == 0 {
-            KernelCall::new("misc.mkfile", json!({ "bytes": 1024, "path": format!("/tmp/f{p}") }))
+            KernelCall::new(
+                "misc.mkfile",
+                json!({ "bytes": 1024, "path": format!("/tmp/f{p}") }),
+            )
         } else {
-            KernelCall::new("misc.ccount", json!({ "bytes": 1024, "path": format!("/tmp/f{p}") }))
+            KernelCall::new(
+                "misc.ccount",
+                json!({ "bytes": 1024, "path": format!("/tmp/f{p}") }),
+            )
         }
     })
     .with_stage_labels(vec!["mkfile".into(), "ccount".into()]);

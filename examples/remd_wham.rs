@@ -39,7 +39,10 @@ impl RecordingRemd {
             .iter()
             .enumerate()
             .min_by(|a, b| {
-                (a.1 - t).abs().partial_cmp(&(b.1 - t).abs()).expect("finite temps")
+                (a.1 - t)
+                    .abs()
+                    .partial_cmp(&(b.1 - t).abs())
+                    .expect("finite temps")
             })
             .map(|(i, _)| i)
             .expect("non-empty ladder")
@@ -146,7 +149,10 @@ fn main() {
     handle.deallocate().expect("teardown");
 
     let wham = capture.output.expect("WHAM produced output");
-    println!("phase 2 (WHAM): converged after {} iterations", wham["iterations"]);
+    println!(
+        "phase 2 (WHAM): converged after {} iterations",
+        wham["iterations"]
+    );
     println!("  T        <E>        C_v");
     let ts = wham["target_temps"].as_array().unwrap();
     let es = wham["mean_energies"].as_array().unwrap();
@@ -161,5 +167,8 @@ fn main() {
     }
     // Physical sanity: mean energy rises with temperature.
     let e: Vec<f64> = es.iter().filter_map(|v| v.as_f64()).collect();
-    assert!(e.windows(2).all(|w| w[1] >= w[0]), "⟨E⟩ must rise with T: {e:?}");
+    assert!(
+        e.windows(2).all(|w| w[1] >= w[0]),
+        "⟨E⟩ must rise with T: {e:?}"
+    );
 }

@@ -43,11 +43,21 @@ fn main() {
 
     let (accepted, attempted) = pattern.swap_stats();
     println!("wall time        : {}", report.ttc);
-    println!("md segments      : {}", report.stage_exec_summary("simulation").count());
-    println!("exchange sweeps  : {}", report.stage_exec_summary("exchange").count());
+    println!(
+        "md segments      : {}",
+        report.stage_exec_summary("simulation").count()
+    );
+    println!(
+        "exchange sweeps  : {}",
+        report.stage_exec_summary("exchange").count()
+    );
     println!(
         "swap acceptance  : {accepted}/{attempted} ({:.0}%)",
-        if attempted == 0 { 0.0 } else { 100.0 * accepted as f64 / attempted as f64 }
+        if attempted == 0 {
+            0.0
+        } else {
+            100.0 * accepted as f64 / attempted as f64
+        }
     );
     println!("final rungs      : {:?}", pattern.rungs());
     assert_eq!(report.failed_tasks, 0);

@@ -29,7 +29,10 @@ fn fig3_claims_exec_flat_core_constant_pattern_linear() {
     assert!(cmax / cmin < 1.3, "core overhead constant: {core:?}");
     // "The … Pattern overhead … depends on the number of tasks"
     let pat = series(&rows, "pipeline", "pattern_overhead");
-    assert!(pat.last().unwrap() > &(4.0 * pat[0]), "pattern ∝ tasks: {pat:?}");
+    assert!(
+        pat.last().unwrap() > &(4.0 * pat[0]),
+        "pattern ∝ tasks: {pat:?}"
+    );
 }
 
 #[test]
@@ -46,17 +49,20 @@ fn fig4_claim_kernel_swap_leaves_overheads_unchanged() {
         );
     }
     let pat4 = series(&f4, "gromacs-lsdmap", "pattern_overhead");
-    assert!(pat4.last().unwrap() > &(4.0 * pat4[0]), "still ∝ tasks: {pat4:?}");
+    assert!(
+        pat4.last().unwrap() > &(4.0 * pat4[0]),
+        "still ∝ tasks: {pat4:?}"
+    );
 }
 
 #[test]
 fn fig5_claims_sim_halves_exchange_constant() {
     let replicas = 160;
     let rows = fig5(2016, 16); // 160 replicas, cores 1..160
-    // "simulation time decreases to half its value when the number of
-    // cores are doubled": at reduced scale, core counts do not divide the
-    // replica count evenly, so check the exact law the halving comes from —
-    // simulation time ∝ number of execution waves, ceil(R / cores).
+                               // "simulation time decreases to half its value when the number of
+                               // cores are doubled": at reduced scale, core counts do not divide the
+                               // replica count evenly, so check the exact law the halving comes from —
+                               // simulation time ∝ number of execution waves, ceil(R / cores).
     let per_wave: Vec<f64> = rows
         .iter()
         .map(|r| {
@@ -99,7 +105,10 @@ fn fig7_claims_sim_linear_analysis_constant() {
     let rows = fig7(2016, 8); // 128 sims, cores 8..128
     let sim = series(&rows, "sims", "simulation_time");
     for pair in sim.windows(2) {
-        assert!(pair[1] < pair[0], "strong scaling decreases sim time: {sim:?}");
+        assert!(
+            pair[1] < pair[0],
+            "strong scaling decreases sim time: {sim:?}"
+        );
     }
     // end-to-end speedup close to the core ratio
     let speedup = sim[0] / sim.last().unwrap();

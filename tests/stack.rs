@@ -81,8 +81,16 @@ fn sal_barriers_hold_across_the_stack() {
         |_, outs| vec![KernelCall::new("ana.coco", json!({ "n_sims": outs.len() }))],
     );
     let report = run_simulated(config, quiet(3), &mut pattern).unwrap();
-    let sims: Vec<_> = report.tasks.iter().filter(|t| t.stage == "simulation").collect();
-    let anas: Vec<_> = report.tasks.iter().filter(|t| t.stage == "analysis").collect();
+    let sims: Vec<_> = report
+        .tasks
+        .iter()
+        .filter(|t| t.stage == "simulation")
+        .collect();
+    let anas: Vec<_> = report
+        .tasks
+        .iter()
+        .filter(|t| t.stage == "analysis")
+        .collect();
     assert_eq!(anas.len(), 2);
     // First analysis (earliest exec_start) must start after the first 16
     // simulations' exec_stop.
@@ -113,7 +121,11 @@ fn ee_exchange_waits_for_all_replicas_in_global_mode() {
         },
     );
     let report = run_simulated(config, quiet(4), &mut pattern).unwrap();
-    let exchanges: Vec<_> = report.tasks.iter().filter(|t| t.stage == "exchange").collect();
+    let exchanges: Vec<_> = report
+        .tasks
+        .iter()
+        .filter(|t| t.stage == "exchange")
+        .collect();
     assert_eq!(exchanges.len(), 2);
     let sims: Vec<_> = report
         .tasks
@@ -163,7 +175,10 @@ fn pairwise_async_overlaps_exchange_with_simulation() {
                 .filter_map(|s| Some((s.exec_start?, s.exec_stop?)))
                 .any(|(ss, se)| ss < ee && es < se)
         });
-    assert!(overlap, "pairwise-async exchanges should overlap simulations");
+    assert!(
+        overlap,
+        "pairwise-async exchanges should overlap simulations"
+    );
 }
 
 #[test]

@@ -42,7 +42,9 @@ pub mod channel {
     impl<T> Sender<T> {
         /// Sends a value; errors only if all receivers are dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+            self.inner
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
         }
     }
 
@@ -71,7 +73,12 @@ pub mod channel {
 
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            match self.inner.lock().unwrap_or_else(|e| e.into_inner()).try_recv() {
+            match self
+                .inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .try_recv()
+            {
                 Ok(v) => Ok(v),
                 Err(mpsc::TryRecvError::Empty) => Err(TryRecvError::Empty),
                 Err(mpsc::TryRecvError::Disconnected) => Err(TryRecvError::Disconnected),

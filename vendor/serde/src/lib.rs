@@ -174,7 +174,9 @@ impl Deserialize for char {
         let mut chars = s.chars();
         match (chars.next(), chars.next()) {
             (Some(c), None) => Ok(c),
-            _ => Err(DeError::custom(format!("expected single-char string, got {s:?}"))),
+            _ => Err(DeError::custom(format!(
+                "expected single-char string, got {s:?}"
+            ))),
         }
     }
 }

@@ -91,7 +91,10 @@ fn parse_serde_args(stream: TokenStream, attrs: &mut SerdeAttrs) {
     let mut i = 0;
     while i < tokens.len() {
         let TokenTree::Ident(key) = &tokens[i] else {
-            panic!("serde shim: unsupported attribute syntax near {:?}", tokens[i].to_string());
+            panic!(
+                "serde shim: unsupported attribute syntax near {:?}",
+                tokens[i].to_string()
+            );
         };
         let key = key.to_string();
         let mut value = None;
@@ -149,7 +152,10 @@ fn split_top_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
                 _ => {}
             }
         }
-        parts.last_mut().expect("parts is never empty").push(t.clone());
+        parts
+            .last_mut()
+            .expect("parts is never empty")
+            .push(t.clone());
     }
     if parts.last().map(Vec::is_empty).unwrap_or(false) {
         parts.pop();
@@ -166,13 +172,19 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         take_attrs(&tokens, &mut i, &mut attrs);
         skip_visibility(&tokens, &mut i);
         let TokenTree::Ident(name) = &tokens[i] else {
-            panic!("serde shim: expected field name, found {:?}", tokens[i].to_string());
+            panic!(
+                "serde shim: expected field name, found {:?}",
+                tokens[i].to_string()
+            );
         };
         let name = name.to_string();
         i += 1;
         match &tokens[i] {
             TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
-            other => panic!("serde shim: expected `:` after field `{name}`, found {:?}", other.to_string()),
+            other => panic!(
+                "serde shim: expected `:` after field `{name}`, found {:?}",
+                other.to_string()
+            ),
         }
         // Skip the type: everything up to the next comma outside angles.
         let mut angle = 0i32;
@@ -206,7 +218,10 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
         let mut attrs = SerdeAttrs::default();
         take_attrs(&part, &mut i, &mut attrs);
         let TokenTree::Ident(name) = &part[i] else {
-            panic!("serde shim: expected variant name, found {:?}", part[i].to_string());
+            panic!(
+                "serde shim: expected variant name, found {:?}",
+                part[i].to_string()
+            );
         };
         let name = name.to_string();
         i += 1;
@@ -347,8 +362,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                             v = v.name
                         ),
                         Fields::Named(fields) => {
-                            let binds: Vec<&str> =
-                                fields.iter().map(|f| f.name.as_str()).collect();
+                            let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                             format!(
                                 "{name}::{v} {{ {binds} }} => {{ \
                                  let mut m = ::serde::Map::new(); \
@@ -360,9 +374,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                                 inserts = ser_named_fields(fields, "m", "")
                             )
                         }
-                        Fields::Tuple(_) => panic!(
-                            "serde shim: tuple variants unsupported with tag (in `{name}`)"
-                        ),
+                        Fields::Tuple(_) => {
+                            panic!("serde shim: tuple variants unsupported with tag (in `{name}`)")
+                        }
                     }
                 } else {
                     // External tagging: {"Variant": payload} or "Variant".
@@ -392,8 +406,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                             )
                         }
                         Fields::Named(fields) => {
-                            let binds: Vec<&str> =
-                                fields.iter().map(|f| f.name.as_str()).collect();
+                            let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                             format!(
                                 "{name}::{v} {{ {binds} }} => {{ \
                                  let mut inner = ::serde::Map::new(); {inserts} \
@@ -418,7 +431,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
          impl ::serde::Serialize for {name} {{\n\
          fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
     );
-    code.parse().expect("serde shim: generated Serialize impl failed to parse")
+    code.parse()
+        .expect("serde shim: generated Serialize impl failed to parse")
 }
 
 // =================================================== Deserialize derive
@@ -445,7 +459,10 @@ fn de_named_field(owner: &str, map: &str, f: &Field) -> String {
 }
 
 fn de_named_struct_body(owner: &str, path: &str, map: &str, fields: &[Field]) -> String {
-    let inits: Vec<String> = fields.iter().map(|f| de_named_field(owner, map, f)).collect();
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| de_named_field(owner, map, f))
+        .collect();
     format!(
         "::std::result::Result::Ok({path} {{\n{}\n}})",
         inits.join(",\n")
@@ -494,9 +511,9 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                     let arm_body = match &v.fields {
                         Fields::Unit => format!("::std::result::Result::Ok({path})"),
                         Fields::Named(fields) => de_named_struct_body(name, &path, "m", fields),
-                        Fields::Tuple(_) => panic!(
-                            "serde shim: tuple variants unsupported with tag (in `{name}`)"
-                        ),
+                        Fields::Tuple(_) => {
+                            panic!("serde shim: tuple variants unsupported with tag (in `{name}`)")
+                        }
                     };
                     arms.push_str(&format!("\"{wire}\" => {arm_body},\n"));
                 }
@@ -559,17 +576,14 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
          fn from_value(v: &::serde::Value) -> \
          ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
     );
-    code.parse().expect("serde shim: generated Deserialize impl failed to parse")
+    code.parse()
+        .expect("serde shim: generated Deserialize impl failed to parse")
 }
 
 // ================================================================ json!
 
 fn tokens_to_string(tokens: &[TokenTree]) -> String {
-    tokens
-        .iter()
-        .cloned()
-        .collect::<TokenStream>()
-        .to_string()
+    tokens.iter().cloned().collect::<TokenStream>().to_string()
 }
 
 fn json_value(tokens: &[TokenTree]) -> String {
@@ -592,7 +606,10 @@ fn json_value(tokens: &[TokenTree]) -> String {
     }
     // Anything else is a Rust expression; serialize it by reference so
     // unsized place expressions (e.g. slices) work too.
-    format!("::serde_json::__json_value(&({}))", tokens_to_string(tokens))
+    format!(
+        "::serde_json::__json_value(&({}))",
+        tokens_to_string(tokens)
+    )
 }
 
 fn json_object(stream: TokenStream) -> String {
@@ -603,7 +620,10 @@ fn json_object(stream: TokenStream) -> String {
             continue;
         }
         let TokenTree::Literal(key) = &entry[0] else {
-            panic!("json!: object keys must be string literals, found {:?}", entry[0].to_string());
+            panic!(
+                "json!: object keys must be string literals, found {:?}",
+                entry[0].to_string()
+            );
         };
         match entry.get(1) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
