@@ -20,7 +20,7 @@
 //! and `identical` — whether the parallel rows were bit-for-bit equal to
 //! the serial ones (they must always be; see `entk_bench::sweep`).
 
-use entk_bench::{figures, Row, SweepRunner};
+use entk_bench::{figures, resilience_sweep_with, Row, SweepRunner};
 use serde_json::json;
 use std::time::Instant;
 
@@ -115,6 +115,10 @@ fn main() {
         (
             "ablation_scheduler",
             Box::new(move |r| figures::ablation_scheduler_with(r, seed)),
+        ),
+        (
+            "resilience",
+            Box::new(move |r| resilience_sweep_with(r, seed, scale)),
         ),
     ];
 

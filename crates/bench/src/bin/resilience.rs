@@ -1,0 +1,111 @@
+//! Resilience-sweep harness with built-in determinism checks, run by CI's
+//! `resilience-smoke` job at reduced scale.
+//!
+//! ```text
+//! cargo run --release -p entk-bench --bin resilience -- [OPTIONS]
+//!
+//!   --scale N     divide ensemble sizes by N            [default: 8]
+//!   --seed S      sweep seed                            [default: 2016]
+//!   --out PATH    output path                [default: RESILIENCE.json]
+//! ```
+//!
+//! Three checks must hold (the process asserts them, so CI fails loudly):
+//!
+//! 1. **Replay** — running the sweep twice with the same seed yields
+//!    byte-identical JSON rows.
+//! 2. **Zero-rate is free** — rate-0 rows with a fault injector installed
+//!    equal the rows of a platform with no injector at all.
+//! 3. **Parallel equals serial** — fanning the sweep across cores changes
+//!    nothing about its output.
+
+use entk_bench::{baseline_rows, resilience, resilience_sweep_with, SweepRunner};
+use serde_json::json;
+
+struct Options {
+    scale: usize,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        scale: 8,
+        seed: 2016,
+        out: "RESILIENCE.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--scale" => opts.scale = value("--scale").parse().expect("--scale: integer"),
+            "--seed" => opts.seed = value("--seed").parse().expect("--seed: integer"),
+            "--out" => opts.out = value("--out"),
+            other => panic!("unknown argument {other:?} (see module docs)"),
+        }
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let (seed, scale) = (opts.seed, opts.scale);
+
+    let serial = resilience_sweep_with(&SweepRunner::serial(), seed, scale);
+    let replay = resilience_sweep_with(&SweepRunner::serial(), seed, scale);
+    let rows_json = serde_json::to_string(&serial).expect("serialize rows");
+    let replay_identical = rows_json == serde_json::to_string(&replay).expect("serialize rows");
+    assert!(
+        replay_identical,
+        "same seed must replay to byte-identical rows"
+    );
+
+    let parallel = resilience_sweep_with(&SweepRunner::parallel(), seed, scale);
+    let parallel_identical = serial == parallel;
+    assert!(
+        parallel_identical,
+        "parallel sweep diverged from serial rows"
+    );
+
+    let baseline = baseline_rows(seed, scale);
+    let zero_rows: Vec<_> = serial.iter().filter(|r| r.x == 0.0).cloned().collect();
+    let zero_rate_matches_baseline = zero_rows == baseline;
+    assert!(
+        zero_rate_matches_baseline,
+        "rate-0 rows with an injector must equal the no-injector baseline:\n\
+         injected: {zero_rows:?}\nbaseline: {baseline:?}"
+    );
+
+    for row in &serial {
+        println!(
+            "series={} rate={} {}",
+            row.series,
+            row.x,
+            row.values
+                .iter()
+                .map(|(n, v)| format!("{n}={v:.3}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
+
+    let out = json!({
+        "version": 1,
+        "seed": seed,
+        "scale": scale,
+        "rates": resilience::RATES,
+        "retries": resilience::RETRIES,
+        "patterns": resilience::PATTERNS,
+        "rows": serial,
+        "checks": {
+            "replay_identical": replay_identical,
+            "parallel_identical": parallel_identical,
+            "zero_rate_matches_baseline": zero_rate_matches_baseline,
+        },
+    });
+    let rendered = serde_json::to_string_pretty(&out).expect("serialize RESILIENCE.json");
+    std::fs::write(&opts.out, rendered + "\n").expect("write RESILIENCE.json");
+    println!("wrote {} (all determinism checks passed)", opts.out);
+}

@@ -34,7 +34,7 @@ impl Row {
         }
     }
 
-    fn with(mut self, name: impl Into<String>, v: f64) -> Self {
+    pub(crate) fn with(mut self, name: impl Into<String>, v: f64) -> Self {
         self.values.push((name.into(), v));
         self
     }

@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod resilience;
 pub mod sweep;
 
 pub use figures::{
@@ -16,4 +17,5 @@ pub use figures::{
     ablation_scheduler, ablation_scheduler_with, fig3, fig3_with, fig4, fig4_with, fig5, fig5_with,
     fig6, fig6_with, fig7, fig7_with, fig8, fig8_with, fig9, fig9_with, print_rows, Row,
 };
+pub use resilience::{baseline_rows, resilience_point, resilience_sweep, resilience_sweep_with};
 pub use sweep::{SweepMode, SweepRunner};

@@ -1,0 +1,162 @@
+//! Resilience sweep: what fault injection costs and what retries buy back.
+//!
+//! The sweep crosses two execution patterns (ensemble of pipelines,
+//! simulation-analysis loop) with a grid of injected task-failure rates and
+//! retry budgets, and reports TTC inflation, terminally failed tasks,
+//! recovered tasks, resubmission counts, and time lost to failures. Every
+//! point is deterministic in its seed: running the sweep twice with the
+//! same seed yields byte-identical rows, and a zero-rate fault profile is
+//! indistinguishable from no profile at all (the injector makes no RNG
+//! draws it doesn't need). The `resilience` binary asserts both properties
+//! and CI runs it at reduced scale.
+
+use crate::figures::Row;
+use crate::sweep::SweepRunner;
+use entk_core::prelude::*;
+use serde_json::json;
+
+/// Injected task-failure rates the sweep crosses.
+pub const RATES: [f64; 4] = [0.0, 0.05, 0.15, 0.3];
+/// Retry budgets the sweep crosses.
+pub const RETRIES: [u32; 3] = [0, 2, 8];
+/// Pattern kinds the sweep runs.
+pub const PATTERNS: [&str; 2] = ["eop", "sal"];
+
+/// A generous pilot wall time so experiments never hit the limit.
+fn walltime() -> SimDuration {
+    SimDuration::from_secs(10_000_000)
+}
+
+fn pattern_for(kind: &str, scale: usize) -> Box<dyn ExecutionPattern + Send> {
+    let scale = scale.max(1);
+    match kind {
+        "eop" => Box::new(
+            EnsembleOfPipelines::new((64 / scale).max(8), 2, |_, s| {
+                KernelCall::new(
+                    "misc.sleep",
+                    json!({ "secs": if s == 0 { 30.0 } else { 10.0 } }),
+                )
+            })
+            .with_stage_labels(vec!["simulate".into(), "reduce".into()]),
+        ),
+        "sal" => Box::new(SimulationAnalysisLoop::new(
+            2,
+            (32 / scale).max(4),
+            |_, _| KernelCall::new("misc.sleep", json!({ "secs": 30.0 })),
+            |_, outs| {
+                vec![KernelCall::new(
+                    "misc.sleep",
+                    json!({ "secs": 5.0 + outs.len() as f64 }),
+                )]
+            },
+        )),
+        other => panic!("unknown pattern kind {other:?}"),
+    }
+}
+
+/// Runs one sweep point and flattens its report into a row.
+///
+/// `inject` selects whether the platform carries a [`FaultProfile`] at all;
+/// with `inject = false` the `rate` must be zero and the run is the
+/// fault-free baseline the zero-rate injected rows must match exactly.
+pub fn resilience_point(
+    seed: u64,
+    scale: usize,
+    kind: &str,
+    rate: f64,
+    retries: u32,
+    inject: bool,
+) -> Row {
+    assert!(inject || rate == 0.0, "baseline points must be fault-free");
+    let mut pattern = pattern_for(kind, scale);
+    let config = ResourceConfig::new("xsede.comet", 32, walltime());
+    let sim = SimulatedConfig {
+        seed,
+        fault: FaultConfig::retries(retries)
+            .with_backoff(BackoffPolicy::exponential(5.0))
+            .graceful(),
+        fault_profile: inject.then(|| FaultProfile::seeded(seed ^ 0xFA).with_task_failures(rate)),
+        ..Default::default()
+    };
+    let report = run_simulated(config, sim, pattern.as_mut()).expect("resilience run");
+    Row::new(format!("{kind}/retries={retries}"), rate)
+        .with("ttc", report.ttc.as_secs_f64())
+        .with("failed", report.failed_tasks as f64)
+        .with("recovered", report.recovered_tasks() as f64)
+        .with("resubmissions", report.total_retries as f64)
+        .with("failure_lost", report.overheads.failure_lost.as_secs_f64())
+        .with("partial", if report.partial { 1.0 } else { 0.0 })
+}
+
+/// The full resilience sweep through the environment's [`SweepRunner`].
+pub fn resilience_sweep(seed: u64, scale: usize) -> Vec<Row> {
+    resilience_sweep_with(&SweepRunner::from_env(), seed, scale)
+}
+
+/// [`resilience_sweep`] through an explicit [`SweepRunner`].
+pub fn resilience_sweep_with(runner: &SweepRunner, seed: u64, scale: usize) -> Vec<Row> {
+    let points: Vec<(&str, f64, u32)> = PATTERNS
+        .iter()
+        .flat_map(|&kind| {
+            RATES
+                .iter()
+                .flat_map(move |&rate| RETRIES.iter().map(move |&retries| (kind, rate, retries)))
+        })
+        .collect();
+    runner.run_weighted(
+        points
+            .into_iter()
+            // Higher rates with bigger budgets resimulate more attempts.
+            .map(|p| (1.0 + p.1 * (1 + p.2) as f64, p))
+            .collect(),
+        |(kind, rate, retries)| vec![resilience_point(seed, scale, kind, rate, retries, true)],
+    )
+}
+
+/// Fault-free baseline rows: one per pattern × retry budget, with **no**
+/// fault profile installed. The sweep's rate-0 rows must equal these
+/// exactly — the acceptance check that a zero-rate injector is free.
+pub fn baseline_rows(seed: u64, scale: usize) -> Vec<Row> {
+    PATTERNS
+        .iter()
+        .flat_map(|&kind| {
+            RETRIES
+                .iter()
+                .map(move |&retries| resilience_point(seed, scale, kind, 0.0, retries, false))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_rows_match_no_injector_baseline() {
+        for &kind in &PATTERNS {
+            let injected = resilience_point(7, 16, kind, 0.0, 2, true);
+            let baseline = resilience_point(7, 16, kind, 0.0, 2, false);
+            assert_eq!(injected, baseline, "{kind}: zero-rate injector not free");
+        }
+    }
+
+    #[test]
+    fn failures_inflate_ttc_and_retries_recover_tasks() {
+        let faulty = resilience_point(7, 16, "eop", 0.3, 8, true);
+        let clean = resilience_point(7, 16, "eop", 0.0, 8, true);
+        assert!(faulty.value("ttc").unwrap() > clean.value("ttc").unwrap());
+        assert!(faulty.value("recovered").unwrap() > 0.0);
+        assert!(faulty.value("failure_lost").unwrap() > 0.0);
+        assert_eq!(clean.value("failed").unwrap(), 0.0);
+        assert_eq!(clean.value("partial").unwrap(), 0.0);
+    }
+
+    #[test]
+    fn sweep_replays_identically_for_one_seed() {
+        let runner = SweepRunner::serial();
+        let a = resilience_sweep_with(&runner, 11, 32);
+        let b = resilience_sweep_with(&runner, 11, 32);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), PATTERNS.len() * RATES.len() * RETRIES.len());
+    }
+}

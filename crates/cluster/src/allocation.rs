@@ -21,6 +21,7 @@ pub struct AllocationMap {
     cores_per_node: usize,
     free: Vec<usize>,
     total_free: usize,
+    down: Vec<bool>,
 }
 
 impl AllocationMap {
@@ -30,6 +31,7 @@ impl AllocationMap {
             cores_per_node,
             free: vec![cores_per_node; nodes],
             total_free: nodes * cores_per_node,
+            down: vec![false; nodes],
         }
     }
 
@@ -38,14 +40,54 @@ impl AllocationMap {
         self.total_free
     }
 
-    /// Total cores on the machine.
+    /// Total cores on the machine (down nodes included).
     pub fn total_cores(&self) -> usize {
         self.free.len() * self.cores_per_node
     }
 
-    /// Cores currently allocated.
+    /// Number of nodes on the machine.
+    pub fn nodes(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Cores on nodes that are currently down: neither free nor usable.
+    pub fn down_cores(&self) -> usize {
+        self.down.iter().filter(|&&d| d).count() * self.cores_per_node
+    }
+
+    /// Cores currently allocated to live jobs.
     pub fn used_cores(&self) -> usize {
-        self.total_cores() - self.total_free
+        self.total_cores() - self.total_free - self.down_cores()
+    }
+
+    /// True when `node` is marked down.
+    pub fn is_down(&self, node: usize) -> bool {
+        self.down[node]
+    }
+
+    /// Marks a node as crashed: its free cores leave the pool and its held
+    /// slices become unusable. Callers must strip held slices on the node
+    /// themselves (the map does not know which job owns what). Idempotent.
+    pub fn mark_down(&mut self, node: usize) {
+        if self.down[node] {
+            return;
+        }
+        self.down[node] = true;
+        self.total_free -= self.free[node];
+        self.free[node] = 0;
+    }
+
+    /// Marks a crashed node as recovered with its full capacity free.
+    /// Valid because `mark_down` + slice stripping left nothing on it.
+    /// Idempotent.
+    pub fn mark_up(&mut self, node: usize) {
+        if !self.down[node] {
+            return;
+        }
+        debug_assert_eq!(self.free[node], 0, "down node must have no free cores");
+        self.down[node] = false;
+        self.free[node] = self.cores_per_node;
+        self.total_free += self.cores_per_node;
     }
 
     /// Attempts to allocate `cores`, packing nodes first-fit (fullest-first
@@ -75,9 +117,14 @@ impl AllocationMap {
         Some(slices)
     }
 
-    /// Returns a previous allocation's cores to the free pool.
+    /// Returns a previous allocation's cores to the free pool. Slices on
+    /// nodes that are currently down are skipped: their cores were removed
+    /// from the machine by `mark_down` and come back via `mark_up`.
     pub fn release(&mut self, slices: &[NodeSlice]) {
         for s in slices {
+            if self.down[s.node] {
+                continue;
+            }
             assert!(
                 self.free[s.node] + s.cores <= self.cores_per_node,
                 "release would overflow node {} capacity",
@@ -172,5 +219,51 @@ mod accounting_tests {
         map.release(&b);
         assert_eq!(map.used_cores(), 0);
         assert_eq!(map.total_cores(), 16);
+    }
+
+    #[test]
+    fn down_node_leaves_and_rejoins_pool() {
+        let mut map = AllocationMap::new(4, 8);
+        map.mark_down(1);
+        assert!(map.is_down(1));
+        assert_eq!(map.free_cores(), 24);
+        assert_eq!(map.down_cores(), 8);
+        assert_eq!(map.used_cores(), 0);
+        // Allocations avoid the down node entirely.
+        let a = map.allocate(24).unwrap();
+        assert!(a.iter().all(|s| s.node != 1));
+        assert!(map.allocate(1).is_none());
+        map.release(&a);
+        map.mark_up(1);
+        assert!(!map.is_down(1));
+        assert_eq!(map.free_cores(), 32);
+        assert_eq!(map.down_cores(), 0);
+    }
+
+    #[test]
+    fn release_skips_slices_on_down_nodes() {
+        let mut map = AllocationMap::new(2, 4);
+        let a = map.allocate(8).unwrap();
+        assert_eq!(map.used_cores(), 8);
+        // Node 0 crashes while the job holds cores there: the holder strips
+        // its on-node slices, marks the node down, and later releases only
+        // what survived — but releasing the full set must also be safe.
+        map.mark_down(0);
+        map.release(&a);
+        assert_eq!(map.free_cores(), 4);
+        assert_eq!(map.used_cores(), 0);
+        map.mark_up(0);
+        assert_eq!(map.free_cores(), 8);
+    }
+
+    #[test]
+    fn mark_down_and_up_are_idempotent() {
+        let mut map = AllocationMap::new(2, 4);
+        map.mark_down(0);
+        map.mark_down(0);
+        assert_eq!(map.free_cores(), 4);
+        map.mark_up(0);
+        map.mark_up(0);
+        assert_eq!(map.free_cores(), 8);
     }
 }

@@ -6,6 +6,7 @@
 //! runtime) can embed it without coupling.
 
 use crate::allocation::{AllocationMap, NodeSlice};
+use crate::fault::{FaultInjector, FaultProfile};
 use crate::job::{BatchJob, BatchJobDescription, BatchJobId, BatchJobState};
 use crate::platform::PlatformSpec;
 use crate::scheduler::{BatchScheduler, FifoScheduler, PendingView, RunningView};
@@ -26,6 +27,12 @@ pub enum ClusterEvent {
     Kick,
     /// A synthetic competing job arrives (background-load model).
     BackgroundArrival,
+    /// Fault injection: the given node crashes (scheduled crashes).
+    NodeCrash(usize),
+    /// Fault injection: a crashed node comes back up.
+    NodeRecover(usize),
+    /// Fault injection: the Poisson crash process fires (picks a victim).
+    FaultTick,
 }
 
 /// Synthetic competing workload: other users' jobs arriving on a Poisson
@@ -57,6 +64,27 @@ pub enum ClusterNotification {
         /// Assigned node slices (Running only).
         nodes: Vec<NodeSlice>,
     },
+    /// A node crash took cores away from a still-running job.
+    JobShrunk {
+        /// The job.
+        id: BatchJobId,
+        /// Cores lost to the crash.
+        lost_cores: usize,
+        /// Cores the job still holds.
+        remaining_cores: usize,
+        /// When the crash happened.
+        time: SimTime,
+    },
+}
+
+impl ClusterNotification {
+    /// The job the notification concerns.
+    pub fn job_id(&self) -> BatchJobId {
+        match *self {
+            ClusterNotification::JobState { id, .. } => id,
+            ClusterNotification::JobShrunk { id, .. } => id,
+        }
+    }
 }
 
 /// A simulated HPC cluster.
@@ -76,6 +104,11 @@ pub struct Cluster {
     utilization: TimeSeries,
     background: Option<BackgroundLoad>,
     background_jobs: HashSet<BatchJobId>,
+    fault: Option<FaultInjector>,
+    /// A [`ClusterEvent::FaultTick`] is currently in flight. The Poisson
+    /// crash process only runs while the cluster has live jobs, so the
+    /// event queue drains once the workload finishes.
+    fault_tick_armed: bool,
 }
 
 impl Cluster {
@@ -104,6 +137,8 @@ impl Cluster {
             utilization: TimeSeries::new(),
             background: None,
             background_jobs: HashSet::new(),
+            fault: None,
+            fault_tick_armed: false,
         }
     }
 
@@ -150,6 +185,69 @@ impl Cluster {
     /// jobs still run to completion).
     pub fn disable_background_load(&mut self) {
         self.background = None;
+    }
+
+    /// Enables deterministic fault injection: schedules the profile's
+    /// scripted node crashes (relative to now) and, when an MTBF is set,
+    /// arms the Poisson crash process. The process only ticks while the
+    /// cluster has live jobs — it re-arms on submission and disarms when
+    /// the workload finishes, so the event queue always drains. A profile
+    /// with all rates zero and an empty schedule installs an injector that
+    /// draws nothing and schedules nothing, leaving the run byte-identical
+    /// to no injector at all.
+    pub fn enable_fault_injector<E: From<ClusterEvent>>(
+        &mut self,
+        profile: FaultProfile,
+        ctx: &mut Context<'_, E>,
+    ) {
+        for &(secs, node) in &profile.crash_schedule {
+            ctx.schedule_in(
+                SimDuration::from_secs_f64(secs.max(0.0)),
+                ClusterEvent::NodeCrash(node),
+            );
+        }
+        self.fault = Some(FaultInjector::new(profile));
+        self.arm_fault_tick(ctx);
+    }
+
+    /// Schedules the next Poisson crash tick if one isn't in flight, the
+    /// profile has an MTBF, there is a live job to disturb, and at least
+    /// one node is still up. No-op (and no RNG draw) otherwise.
+    fn arm_fault_tick<E: From<ClusterEvent>>(&mut self, ctx: &mut Context<'_, E>) {
+        if self.fault_tick_armed || !self.has_live_jobs() || !self.any_node_up() {
+            return;
+        }
+        if let Some(gap) = self.fault.as_mut().and_then(|f| f.next_crash_gap()) {
+            ctx.schedule_in(gap, ClusterEvent::FaultTick);
+            self.fault_tick_armed = true;
+        }
+    }
+
+    fn has_live_jobs(&self) -> bool {
+        self.jobs.values().any(|j| !j.state.is_terminal())
+    }
+
+    fn any_node_up(&self) -> bool {
+        (0..self.alloc.nodes()).any(|n| !self.alloc.is_down(n))
+    }
+
+    /// The active fault profile, if any.
+    pub fn fault_profile(&self) -> Option<&FaultProfile> {
+        self.fault.as_ref().map(|f| f.profile())
+    }
+
+    /// Draws whether the unit execution being started fails (consulted by
+    /// the pilot runtime). `false` without a draw when no injector is
+    /// active or its task-failure rate is zero.
+    pub fn fault_unit_fails(&mut self) -> bool {
+        self.fault.as_mut().is_some_and(|f| f.unit_fails())
+    }
+
+    /// Draws the straggler slowdown multiplier for the unit execution being
+    /// started. Exactly `1.0` without a draw when no injector is active or
+    /// its straggler rate is zero.
+    pub fn fault_straggler_factor(&mut self) -> f64 {
+        self.fault.as_mut().map_or(1.0, |f| f.straggler_factor())
     }
 
     /// True when `id` is a synthetic background job.
@@ -230,6 +328,7 @@ impl Cluster {
             nodes: Vec::new(),
         });
         self.jobs.insert(id, job);
+        self.arm_fault_tick(ctx);
         self.strip_background(out);
         Ok(id)
     }
@@ -333,16 +432,105 @@ impl Cluster {
                     ClusterEvent::BackgroundArrival,
                 );
             }
+            ClusterEvent::NodeCrash(node) => {
+                self.crash_node(node, ctx, out);
+            }
+            ClusterEvent::NodeRecover(node) => {
+                self.recover_node(node, ctx, out);
+            }
+            ClusterEvent::FaultTick => {
+                self.fault_tick_armed = false;
+                let nodes = self.alloc.nodes();
+                let victim = self.fault.as_mut().and_then(|f| f.pick_victim(nodes));
+                if let Some(node) = victim {
+                    self.crash_node(node, ctx, out);
+                }
+                self.arm_fault_tick(ctx);
+            }
         }
         self.strip_background(out);
     }
 
+    /// Crashes a node: its cores leave the machine, every batch job holding
+    /// cores there loses them — shrinking the job, or failing it outright
+    /// when nothing remains — and recovery is scheduled when the fault
+    /// profile's downtime distribution yields a positive sample.
+    fn crash_node<E: From<ClusterEvent>>(
+        &mut self,
+        node: usize,
+        ctx: &mut Context<'_, E>,
+        out: &mut Vec<ClusterNotification>,
+    ) {
+        if node >= self.alloc.nodes() || self.alloc.is_down(node) {
+            return;
+        }
+        if let Some(f) = self.fault.as_mut() {
+            f.note_down(node);
+        }
+        self.alloc.mark_down(node);
+        // Strip the crashed node's slices from every job holding cores
+        // there, in id order so the notification sequence is deterministic.
+        let mut affected: Vec<BatchJobId> = self
+            .held
+            .iter()
+            .filter(|(_, slices)| slices.iter().any(|s| s.node == node))
+            .map(|(&id, _)| id)
+            .collect();
+        affected.sort_unstable();
+        for id in affected {
+            let slices = self.held.get_mut(&id).expect("affected job is held");
+            let lost: usize = slices
+                .iter()
+                .filter(|s| s.node == node)
+                .map(|s| s.cores)
+                .sum();
+            slices.retain(|s| s.node != node);
+            let remaining: usize = slices.iter().map(|s| s.cores).sum();
+            let job = self.jobs.get_mut(&id).expect("affected job exists");
+            job.nodes.retain(|&n| n != node);
+            if remaining == 0 {
+                self.finish(id, BatchJobState::Failed, ctx, out);
+            } else {
+                out.push(ClusterNotification::JobShrunk {
+                    id,
+                    lost_cores: lost,
+                    remaining_cores: remaining,
+                    time: ctx.now(),
+                });
+            }
+        }
+        self.utilization
+            .push(ctx.now(), self.alloc.used_cores() as f64);
+        let downtime = self.fault.as_mut().and_then(|f| f.sample_downtime());
+        if let Some(dt) = downtime {
+            ctx.schedule_in(dt, ClusterEvent::NodeRecover(node));
+        }
+    }
+
+    /// Brings a crashed node back: its full capacity rejoins the free pool
+    /// and a scheduling pass runs for anything waiting on it.
+    fn recover_node<E: From<ClusterEvent>>(
+        &mut self,
+        node: usize,
+        ctx: &mut Context<'_, E>,
+        out: &mut Vec<ClusterNotification>,
+    ) {
+        if node >= self.alloc.nodes() || !self.alloc.is_down(node) {
+            return;
+        }
+        if let Some(f) = self.fault.as_mut() {
+            f.note_up(node);
+        }
+        self.alloc.mark_up(node);
+        self.utilization
+            .push(ctx.now(), self.alloc.used_cores() as f64);
+        self.try_schedule(ctx, out);
+        self.arm_fault_tick(ctx);
+    }
+
     /// Removes notifications about background jobs (owner never sees them).
     fn strip_background(&self, out: &mut Vec<ClusterNotification>) {
-        out.retain(|n| {
-            let ClusterNotification::JobState { id, .. } = n;
-            !self.background_jobs.contains(id)
-        });
+        out.retain(|n| !self.background_jobs.contains(&n.job_id()));
     }
 
     fn finish<E: From<ClusterEvent>>(
@@ -483,7 +671,10 @@ mod tests {
             for n in out {
                 let ClusterNotification::JobState {
                     id, state, time, ..
-                } = n;
+                } = n
+                else {
+                    continue;
+                };
                 if state == BatchJobState::Running {
                     ctx.schedule_in(complete_after, Ev::CompletePilot(id));
                 }
@@ -641,9 +832,9 @@ mod tests {
         let b = b_id.unwrap();
         let b_states: Vec<_> = log
             .iter()
-            .filter_map(|n| {
-                let ClusterNotification::JobState { id, state, .. } = n;
-                (*id == b).then_some(*state)
+            .filter_map(|n| match n {
+                ClusterNotification::JobState { id, state, .. } => (*id == b).then_some(*state),
+                _ => None,
             })
             .collect();
         assert_eq!(
@@ -739,7 +930,10 @@ mod background_tests {
                 for n in out {
                     let ClusterNotification::JobState {
                         id, state, time, ..
-                    } = n;
+                    } = n
+                    else {
+                        continue;
+                    };
                     assert!(
                         !cluster.is_background(id),
                         "background notification leaked to owner"
@@ -784,5 +978,186 @@ mod background_tests {
         }));
         // Owner sees only its own job's few transitions.
         assert!(notes <= 6, "owner saw {notes} notifications");
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use entk_sim::{Dist, Engine};
+
+    #[derive(Debug)]
+    enum Ev {
+        Cluster(ClusterEvent),
+        CompletePilot(BatchJobId),
+    }
+    impl From<ClusterEvent> for Ev {
+        fn from(e: ClusterEvent) -> Ev {
+            Ev::Cluster(e)
+        }
+    }
+
+    fn spec() -> PlatformSpec {
+        let mut s = PlatformSpec::local(2, 4); // 2 nodes x 4 cores
+        s.queue_wait = Dist::ZERO;
+        s.job_startup = Dist::Constant(1.0);
+        s
+    }
+
+    /// Runs one job under a fault profile; returns all owner notifications
+    /// plus the cluster's final free-core count.
+    fn drive_with_faults(
+        cores: usize,
+        profile: FaultProfile,
+        complete_after: SimDuration,
+    ) -> (Vec<ClusterNotification>, usize) {
+        let mut cluster = Cluster::new(spec(), 42);
+        let mut engine: Engine<Ev> = Engine::new();
+        engine.schedule_in(SimDuration::ZERO, Ev::Cluster(ClusterEvent::Kick));
+        let mut booted = false;
+        let mut log = Vec::new();
+        engine.run(|ev, ctx| {
+            let mut out = Vec::new();
+            if !booted {
+                booted = true;
+                cluster.enable_fault_injector(profile.clone(), ctx);
+                cluster
+                    .submit(
+                        BatchJobDescription::new("pilot", cores, SimDuration::from_secs(1000)),
+                        ctx,
+                        &mut out,
+                    )
+                    .unwrap();
+            }
+            match ev {
+                Ev::Cluster(ce) => cluster.handle(ce, ctx, &mut out),
+                Ev::CompletePilot(id) => cluster.complete(id, ctx, &mut out),
+            }
+            for n in out {
+                if let ClusterNotification::JobState {
+                    id,
+                    state: BatchJobState::Running,
+                    ..
+                } = n
+                {
+                    ctx.schedule_in(complete_after, Ev::CompletePilot(id));
+                }
+                log.push(n);
+            }
+        });
+        (log, cluster.free_cores())
+    }
+
+    #[test]
+    fn crash_shrinks_spanning_job() {
+        // 8-core job spans both nodes; node 0 dies at t=5 and stays down
+        // (zero downtime means permanent).
+        let profile = FaultProfile::seeded(1)
+            .with_crash_at(5.0, 0)
+            .with_node_crashes(0.0, Dist::Constant(0.0));
+        let (log, free) = drive_with_faults(8, profile, SimDuration::from_secs(30));
+        let shrunk: Vec<_> = log
+            .iter()
+            .filter_map(|n| match *n {
+                ClusterNotification::JobShrunk {
+                    lost_cores,
+                    remaining_cores,
+                    time,
+                    ..
+                } => Some((lost_cores, remaining_cores, time)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(shrunk, vec![(4, 4, SimTime::from_secs(5))]);
+        // The job still completes on its surviving cores.
+        assert!(log.iter().any(|n| matches!(
+            n,
+            ClusterNotification::JobState {
+                state: BatchJobState::Completed,
+                ..
+            }
+        )));
+        // Node 0 never recovered: only node 1's cores are free at the end.
+        assert_eq!(free, 4);
+    }
+
+    #[test]
+    fn crash_fails_job_confined_to_node() {
+        // 4-core job fits on node 0 alone; the crash leaves it nothing.
+        let profile = FaultProfile::seeded(1).with_crash_at(5.0, 0);
+        let (log, _) = drive_with_faults(4, profile, SimDuration::from_secs(30));
+        assert!(log.iter().any(|n| matches!(
+            n,
+            ClusterNotification::JobState {
+                state: BatchJobState::Failed,
+                ..
+            }
+        )));
+        assert!(!log
+            .iter()
+            .any(|n| matches!(n, ClusterNotification::JobShrunk { .. })));
+    }
+
+    #[test]
+    fn node_recovers_after_downtime() {
+        let profile = FaultProfile::seeded(1)
+            .with_crash_at(5.0, 0)
+            .with_node_crashes(0.0, Dist::Constant(20.0));
+        let (_, free) = drive_with_faults(8, profile, SimDuration::from_secs(60));
+        // After recovery at t=25 the machine is whole again.
+        assert_eq!(free, 8);
+    }
+
+    #[test]
+    fn mtbf_process_crashes_nodes_deterministically() {
+        let profile = FaultProfile::seeded(33).with_node_crashes(50.0, Dist::Constant(10.0));
+        let run = || {
+            let (log, _) = drive_with_faults(8, profile.clone(), SimDuration::from_secs(400));
+            format!("{log:?}")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed must replay the same fault timeline");
+    }
+
+    #[test]
+    fn zero_profile_matches_no_injector() {
+        let with = drive_with_faults(8, FaultProfile::seeded(5), SimDuration::from_secs(30));
+        // Same run without any injector.
+        let mut cluster = Cluster::new(spec(), 42);
+        let mut engine: Engine<Ev> = Engine::new();
+        engine.schedule_in(SimDuration::ZERO, Ev::Cluster(ClusterEvent::Kick));
+        let mut booted = false;
+        let mut log = Vec::new();
+        engine.run(|ev, ctx| {
+            let mut out = Vec::new();
+            if !booted {
+                booted = true;
+                cluster
+                    .submit(
+                        BatchJobDescription::new("pilot", 8, SimDuration::from_secs(1000)),
+                        ctx,
+                        &mut out,
+                    )
+                    .unwrap();
+            }
+            match ev {
+                Ev::Cluster(ce) => cluster.handle(ce, ctx, &mut out),
+                Ev::CompletePilot(id) => cluster.complete(id, ctx, &mut out),
+            }
+            for n in out {
+                if let ClusterNotification::JobState {
+                    id,
+                    state: BatchJobState::Running,
+                    ..
+                } = n
+                {
+                    ctx.schedule_in(SimDuration::from_secs(30), Ev::CompletePilot(id));
+                }
+                log.push(n);
+            }
+        });
+        assert_eq!(format!("{:?}", with.0), format!("{log:?}"));
+        assert_eq!(with.1, cluster.free_cores());
     }
 }

@@ -1,11 +1,77 @@
 //! Fault-tolerance policies (paper §I: "running large ensembles in a
 //! fault-tolerant way"; §V: kill-replace of tasks).
 
-use entk_sim::SimDuration;
+use entk_sim::{SimDuration, SimRng};
 use serde::{Deserialize, Serialize};
 
+/// Exponential backoff with seeded jitter applied between a task failure
+/// and its resubmission.
+///
+/// The delay before retry attempt `n` (1-based) is
+/// `min(base * factor^(n-1), max)`, multiplied by a jitter factor drawn
+/// uniformly from `[1 - jitter, 1 + jitter]`. The default `base` of zero
+/// disables backoff entirely — and makes no RNG draw, so configurations
+/// without backoff replay bit-identically to builds that predate it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry, in seconds. Zero disables backoff.
+    pub base: f64,
+    /// Multiplier applied per additional attempt.
+    pub factor: f64,
+    /// Upper bound on the un-jittered delay, in seconds.
+    pub max: f64,
+    /// Relative jitter half-width (0.1 = ±10%); zero draws nothing.
+    pub jitter: f64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base: 0.0,
+            factor: 2.0,
+            max: 300.0,
+            jitter: 0.1,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// Constant-rate policy: `base` seconds before every retry, no growth.
+    pub fn constant(base: f64) -> Self {
+        BackoffPolicy {
+            base,
+            factor: 1.0,
+            ..Default::default()
+        }
+    }
+
+    /// Exponential policy starting at `base` seconds and doubling.
+    pub fn exponential(base: f64) -> Self {
+        BackoffPolicy {
+            base,
+            ..Default::default()
+        }
+    }
+
+    /// The delay before retry `attempt` (1-based). Returns zero — without
+    /// consuming a draw — when the policy is disabled.
+    pub fn delay(&self, attempt: u32, rng: &mut SimRng) -> SimDuration {
+        if self.base <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        let exp = attempt.saturating_sub(1).min(64) as i32;
+        let raw = (self.base * self.factor.powi(exp)).min(self.max.max(0.0));
+        let jittered = if self.jitter > 0.0 {
+            raw * rng.uniform_range(1.0 - self.jitter, 1.0 + self.jitter)
+        } else {
+            raw
+        };
+        SimDuration::from_secs_f64(jittered.max(0.0))
+    }
+}
+
 /// Per-task fault handling applied by the execution plugin.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct FaultConfig {
     /// How many times a failed task is resubmitted before its failure is
     /// reported to the pattern.
@@ -13,22 +79,19 @@ pub struct FaultConfig {
     /// Kill-replace: a task executing longer than this is cancelled and
     /// resubmitted (consuming a retry). `None` disables the watchdog.
     pub task_timeout: Option<SimDuration>,
+    /// Backoff between a failure and its resubmission.
+    pub backoff: BackoffPolicy,
+    /// Graceful degradation: when every pilot dies mid-run, finish the
+    /// session with a partial report instead of aborting with an error.
+    pub graceful: bool,
 }
 
 impl FaultConfig {
-    /// No retries, no watchdog.
-    pub fn none() -> Self {
-        FaultConfig {
-            max_retries: 0,
-            task_timeout: None,
-        }
-    }
-
     /// Retry failed tasks up to `n` times.
     pub fn retries(n: u32) -> Self {
         FaultConfig {
             max_retries: n,
-            task_timeout: None,
+            ..Default::default()
         }
     }
 
@@ -37,11 +100,17 @@ impl FaultConfig {
         self.task_timeout = Some(timeout);
         self
     }
-}
 
-impl Default for FaultConfig {
-    fn default() -> Self {
-        Self::none()
+    /// Sets the retry backoff policy (builder style).
+    pub fn with_backoff(mut self, backoff: BackoffPolicy) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Enables graceful degradation (builder style).
+    pub fn graceful(mut self) -> Self {
+        self.graceful = true;
+        self
     }
 }
 
@@ -51,10 +120,74 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let f = FaultConfig::retries(3).with_timeout(SimDuration::from_secs(60));
+        let f = FaultConfig::retries(3)
+            .with_timeout(SimDuration::from_secs(60))
+            .with_backoff(BackoffPolicy::exponential(2.0))
+            .graceful();
         assert_eq!(f.max_retries, 3);
         assert_eq!(f.task_timeout, Some(SimDuration::from_secs(60)));
-        assert_eq!(FaultConfig::none().max_retries, 0);
+        assert_eq!(f.backoff.base, 2.0);
+        assert!(f.graceful);
+        assert_eq!(FaultConfig::default().max_retries, 0);
         assert!(FaultConfig::default().task_timeout.is_none());
+        assert!(!FaultConfig::default().graceful);
+    }
+
+    #[test]
+    fn default_backoff_is_disabled_and_draws_nothing() {
+        let mut a = SimRng::seed_from_u64(4);
+        let mut b = SimRng::seed_from_u64(4);
+        let policy = BackoffPolicy::default();
+        for attempt in 1..6 {
+            assert_eq!(policy.delay(attempt, &mut a), SimDuration::ZERO);
+        }
+        // Stream untouched by the zero-base delays above.
+        assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+    }
+
+    #[test]
+    fn exponential_backoff_grows_and_caps() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let policy = BackoffPolicy {
+            base: 1.0,
+            factor: 2.0,
+            max: 10.0,
+            jitter: 0.0,
+        };
+        let delays: Vec<f64> = (1..7)
+            .map(|n| policy.delay(n, &mut rng).as_secs_f64())
+            .collect();
+        assert_eq!(delays, vec![1.0, 2.0, 4.0, 8.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds_and_is_deterministic() {
+        let policy = BackoffPolicy {
+            base: 4.0,
+            factor: 1.0,
+            max: 100.0,
+            jitter: 0.25,
+        };
+        let draw = |seed| {
+            let mut rng = SimRng::seed_from_u64(seed);
+            (1..20)
+                .map(|n| policy.delay(n, &mut rng).as_secs_f64())
+                .collect::<Vec<_>>()
+        };
+        for d in draw(9) {
+            assert!((3.0..=5.0).contains(&d), "delay {d} outside jitter bounds");
+        }
+        assert_eq!(draw(9), draw(9));
+    }
+
+    #[test]
+    fn constant_policy_does_not_grow() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let policy = BackoffPolicy {
+            jitter: 0.0,
+            ..BackoffPolicy::constant(3.0)
+        };
+        assert_eq!(policy.delay(1, &mut rng).as_secs_f64(), 3.0);
+        assert_eq!(policy.delay(9, &mut rng).as_secs_f64(), 3.0);
     }
 }

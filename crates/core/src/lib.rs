@@ -45,8 +45,9 @@ pub mod resource;
 pub mod task;
 
 pub use binding::{AdaptiveMpiBinding, BindingPolicy, StaticBinding};
+pub use entk_cluster::FaultProfile;
 pub use error::EntkError;
-pub use fault::FaultConfig;
+pub use fault::{BackoffPolicy, FaultConfig};
 pub use overheads::EntkOverheads;
 pub use pattern::{
     BagOfTasks, ConcurrentPatterns, EnsembleExchange, EnsembleOfPipelines, ExchangeMode,
@@ -59,7 +60,7 @@ pub use task::{Task, TaskResult};
 
 /// Everything a toolkit application needs.
 pub mod prelude {
-    pub use crate::fault::FaultConfig;
+    pub use crate::fault::{BackoffPolicy, FaultConfig};
     pub use crate::overheads::EntkOverheads;
     pub use crate::pattern::{
         BagOfTasks, ConcurrentPatterns, EnsembleExchange, EnsembleOfPipelines, ExchangeMode,
@@ -71,6 +72,7 @@ pub mod prelude {
         run_simulated, PilotStrategy, ResourceConfig, ResourceHandle, SimulatedConfig,
     };
     pub use crate::task::{Task, TaskResult};
+    pub use entk_cluster::FaultProfile;
     pub use entk_kernels::{KernelCall, KernelRegistry};
     pub use entk_md::TemperatureLadder;
     pub use entk_sim::{SimDuration, SimTime};

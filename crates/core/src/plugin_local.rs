@@ -174,6 +174,7 @@ impl LocalDriver {
                 finished: None,
                 success: false,
                 retries: 0,
+                lost_to_failures: SimDuration::ZERO,
             };
             let task_clone = task.clone();
             self.tasks.insert(
@@ -258,6 +259,7 @@ impl LocalDriver {
             tasks,
             failed_tasks: self.failed_tasks,
             total_retries: self.total_retries,
+            partial: self.failed_tasks > 0,
         }
     }
 }

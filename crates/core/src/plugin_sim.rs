@@ -64,6 +64,9 @@ struct TaskEntry {
     unit: Option<UnitId>,
     record: TaskRecord,
     terminal: bool,
+    /// When the current attempt was submitted to the runtime; consumed on
+    /// failure to account the attempt's wall time as failure-lost.
+    attempt_started: Option<SimTime>,
 }
 
 enum DriverState {
@@ -80,10 +83,14 @@ pub(crate) struct SimDriver {
     entk: EntkOverheads,
     fault: FaultConfig,
     rng: SimRng,
+    /// Dedicated stream for retry-backoff jitter, so backoff draws never
+    /// perturb kernel cost sampling.
+    retry_rng: SimRng,
     config: ResourceConfig,
     strategy: PilotStrategy,
     binding: Box<dyn BindingPolicy>,
     background_load: Option<entk_cluster::cluster::BackgroundLoad>,
+    fault_profile: Option<entk_cluster::FaultProfile>,
     pilots: Vec<PilotId>,
     dead_pilots: HashSet<PilotId>,
     state: DriverState,
@@ -95,6 +102,8 @@ pub(crate) struct SimDriver {
     total_retries: u32,
     core_overhead: SimDuration,
     pattern_overhead: SimDuration,
+    failure_lost: SimDuration,
+    degraded: bool,
     teardown_reached: bool,
     outbox: Vec<(SimDuration, Ev)>,
     /// Task results awaiting delivery to the pattern.
@@ -113,6 +122,7 @@ impl SimDriver {
         seed: u64,
         strategy: PilotStrategy,
         background_load: Option<entk_cluster::cluster::BackgroundLoad>,
+        fault_profile: Option<entk_cluster::FaultProfile>,
     ) -> Self {
         SimDriver {
             engine: Engine::new(),
@@ -121,10 +131,12 @@ impl SimDriver {
             entk,
             fault,
             rng: SimRng::seed_from_u64(seed),
+            retry_rng: SimRng::seed_from_u64(seed ^ 0xBAC0_0FF5),
             config,
             strategy,
             binding: Box::new(StaticBinding),
             background_load,
+            fault_profile,
             pilots: Vec::new(),
             dead_pilots: HashSet::new(),
             state: DriverState::Created,
@@ -136,6 +148,8 @@ impl SimDriver {
             total_retries: 0,
             core_overhead: SimDuration::ZERO,
             pattern_overhead: SimDuration::ZERO,
+            failure_lost: SimDuration::ZERO,
+            degraded: false,
             teardown_reached: false,
             outbox: Vec::new(),
             pending_results: Vec::new(),
@@ -205,6 +219,10 @@ impl SimDriver {
                 break;
             }
             if self.all_pilots_dead() {
+                if self.fault.graceful {
+                    self.degrade(pattern);
+                    break;
+                }
                 return Err(EntkError::Runtime(format!(
                     "all pilots terminated mid-run; pattern at: {}",
                     pattern.progress()
@@ -273,8 +291,13 @@ impl SimDriver {
             if stop(self) {
                 return Ok(());
             }
-            if self.all_pilots_dead() && pattern.is_none() {
+            if self.all_pilots_dead()
+                && pattern.is_none()
+                && matches!(self.state, DriverState::Created)
+            {
                 // During allocate: all pilots dead means allocation failed.
+                // (During deallocate, dead pilots are a normal end state —
+                // e.g. after a graceful degradation.)
                 return Err(EntkError::Resource("pilots failed to start".into()));
             }
             if !self.step_one(pattern.as_deref_mut())? {
@@ -299,6 +322,11 @@ impl SimDriver {
             Ev::Boot => {
                 if let Some(load) = self.background_load {
                     self.runtime.cluster_mut().enable_background_load(load, ctx);
+                }
+                if let Some(profile) = self.fault_profile.clone() {
+                    self.runtime
+                        .cluster_mut()
+                        .enable_fault_injector(profile, ctx);
                 }
                 // Split the requested cores across the strategy's pilots;
                 // the first pilot absorbs any remainder.
@@ -383,10 +411,12 @@ impl SimDriver {
                         finished: None,
                         success: false,
                         retries: 0,
+                        lost_to_failures: SimDuration::ZERO,
                     },
                     task,
                     unit: None,
                     terminal: false,
+                    attempt_started: None,
                 },
             );
             uids.push(uid);
@@ -473,6 +503,7 @@ impl SimDriver {
         for (uid, unit) in submit_uids.into_iter().zip(unit_ids) {
             let entry = self.tasks.get_mut(&uid).expect("entry exists");
             entry.unit = Some(unit);
+            entry.attempt_started = Some(ctx.now());
             self.unit_to_task.insert(unit, uid);
             if let Some(timeout) = self.fault.task_timeout {
                 ctx.schedule_in(timeout, Ev::TaskTimeout(uid));
@@ -540,13 +571,32 @@ impl SimDriver {
 
     fn retry_or_fail(&mut self, uid: u64, reason: &str, ctx: &mut Context<'_, Ev>) {
         let now = ctx.now();
+        self.retry_or_fail_at(uid, reason, now);
+    }
+
+    /// The retry engine. Accounts the failed attempt's wall time (and any
+    /// retry backoff) as failure-lost, then either resubmits the task after
+    /// the backoff delay or reports terminal failure to the pattern once
+    /// `max_retries` is exhausted.
+    fn retry_or_fail_at(&mut self, uid: u64, reason: &str, now: SimTime) {
+        let backoff = self.fault.backoff;
+        let max_retries = self.fault.max_retries;
         let entry = self.tasks.get_mut(&uid).expect("entry exists");
-        if entry.record.retries < self.fault.max_retries {
+        let lost = entry
+            .attempt_started
+            .take()
+            .map(|started| now.saturating_since(started))
+            .unwrap_or(SimDuration::ZERO);
+        entry.record.lost_to_failures += lost;
+        self.failure_lost += lost;
+        if entry.record.retries < max_retries {
             entry.record.retries += 1;
-            self.total_retries += 1;
             entry.unit = None;
-            self.outbox
-                .push((SimDuration::ZERO, Ev::TasksReady(vec![uid])));
+            let delay = backoff.delay(entry.record.retries, &mut self.retry_rng);
+            entry.record.lost_to_failures += delay;
+            self.failure_lost += delay;
+            self.total_retries += 1;
+            self.outbox.push((delay, Ev::TasksReady(vec![uid])));
         } else {
             entry.terminal = true;
             entry.record.finished = Some(now);
@@ -558,6 +608,58 @@ impl SimDriver {
                 entry.task.stage.clone(),
                 reason,
             ));
+        }
+    }
+
+    /// Graceful degradation: the session lost every pilot mid-run and the
+    /// fault policy asks to keep what we have. All live tasks fail in place
+    /// and their results are delivered to the pattern; follow-up tasks it
+    /// spawns fail the same way (there is nothing left to run them on),
+    /// until the pattern stops emitting.
+    fn degrade(&mut self, pattern: &mut dyn ExecutionPattern) {
+        self.degraded = true;
+        let now = self.engine.now();
+        // Rounds are bounded: every round terminates all currently-live
+        // tasks, and a pattern that keeps spawning replacements forever is
+        // a bug we'd rather stop than loop on.
+        for _ in 0..10_000 {
+            let mut live: Vec<u64> = self
+                .tasks
+                .iter()
+                .filter(|(_, e)| !e.terminal)
+                .map(|(&uid, _)| uid)
+                .collect();
+            if live.is_empty() && self.pending_results.is_empty() {
+                break;
+            }
+            live.sort_unstable();
+            for uid in live {
+                let entry = self.tasks.get_mut(&uid).expect("entry exists");
+                let lost = entry
+                    .attempt_started
+                    .take()
+                    .map(|started| now.saturating_since(started))
+                    .unwrap_or(SimDuration::ZERO);
+                entry.record.lost_to_failures += lost;
+                self.failure_lost += lost;
+                entry.terminal = true;
+                entry.record.finished = Some(now);
+                entry.record.success = false;
+                self.live_tasks -= 1;
+                self.failed_tasks += 1;
+                self.pending_results.push(TaskResult::failed(
+                    entry.task.tag,
+                    entry.task.stage.clone(),
+                    "resource lost: all pilots terminated",
+                ));
+            }
+            let results = std::mem::take(&mut self.pending_results);
+            for result in results {
+                let follow_ups = pattern.on_task_done(&result);
+                self.spawn_tasks(follow_ups);
+            }
+            // Those spawns queued submission events that will never run.
+            self.outbox.clear();
         }
     }
 
@@ -574,6 +676,9 @@ impl SimDriver {
                         self.dead_pilots.insert(id);
                     }
                 }
+                // Shrunk pilots keep running on their remaining cores; the
+                // units they dropped arrive as `Unit` failures below.
+                RuntimeNotification::PilotShrunk { .. } => {}
                 RuntimeNotification::Unit {
                     id,
                     state,
@@ -645,25 +750,7 @@ impl SimDriver {
             Err(e) => {
                 // Semantic failure after execution: retry path.
                 let reason = e.to_string();
-                let entry_retries = entry.record.retries;
-                if entry_retries < self.fault.max_retries {
-                    entry.record.retries += 1;
-                    self.total_retries += 1;
-                    entry.unit = None;
-                    self.outbox
-                        .push((SimDuration::ZERO, Ev::TasksReady(vec![uid])));
-                } else {
-                    entry.terminal = true;
-                    entry.record.finished = Some(time);
-                    entry.record.success = false;
-                    self.live_tasks -= 1;
-                    self.failed_tasks += 1;
-                    self.pending_results.push(TaskResult::failed(
-                        entry.task.tag,
-                        entry.task.stage.clone(),
-                        reason,
-                    ));
-                }
+                self.retry_or_fail_at(uid, &reason, time);
             }
         }
     }
@@ -701,10 +788,12 @@ impl SimDriver {
                 pattern: self.pattern_overhead,
                 runtime_pilot,
                 resource_wait,
+                failure_lost: self.failure_lost,
             },
             tasks,
             failed_tasks: self.failed_tasks,
             total_retries: self.total_retries,
+            partial: self.degraded || self.failed_tasks > 0,
         }
     }
 }

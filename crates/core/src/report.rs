@@ -28,6 +28,9 @@ pub struct TaskRecord {
     pub success: bool,
     /// Resubmissions consumed (failures and kill-replace).
     pub retries: u32,
+    /// Wall time spent on attempts that ended in failure, including retry
+    /// backoff — the per-task contribution to `OverheadBreakdown::failure_lost`.
+    pub lost_to_failures: SimDuration,
 }
 
 impl TaskRecord {
@@ -49,6 +52,9 @@ pub struct OverheadBreakdown {
     pub runtime_pilot: SimDuration,
     /// Batch-system time: queue wait + job startup until the agent ran.
     pub resource_wait: SimDuration,
+    /// Time lost to failures: failed attempts' wall time plus retry
+    /// backoff, summed over all tasks.
+    pub failure_lost: SimDuration,
 }
 
 /// Result of executing one pattern on one resource allocation.
@@ -70,6 +76,10 @@ pub struct ExecutionReport {
     pub failed_tasks: usize,
     /// Total resubmissions across all tasks.
     pub total_retries: u32,
+    /// True when the pattern did not fully complete: retries exhausted on
+    /// some tasks, or the session degraded gracefully after losing its
+    /// resources mid-run.
+    pub partial: bool,
 }
 
 impl ExecutionReport {
@@ -129,6 +139,15 @@ impl ExecutionReport {
     pub fn entk_overhead(&self) -> SimDuration {
         self.overheads.core + self.overheads.pattern
     }
+
+    /// Tasks that failed at least once but ultimately succeeded — the
+    /// retry engine's save count.
+    pub fn recovered_tasks(&self) -> usize {
+        self.tasks
+            .iter()
+            .filter(|t| t.success && t.retries > 0)
+            .count()
+    }
 }
 
 /// Total length of the union of (possibly overlapping) intervals.
@@ -167,6 +186,7 @@ mod tests {
             finished: Some(SimTime::from_secs(stop)),
             success: true,
             retries: 0,
+            lost_to_failures: SimDuration::ZERO,
         }
     }
 
@@ -180,6 +200,7 @@ mod tests {
             tasks,
             failed_tasks: 0,
             total_retries: 0,
+            partial: false,
         }
     }
 
@@ -226,23 +247,25 @@ impl std::fmt::Display for ExecutionReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "pattern {} on {} ({} cores): {} tasks, {} failed, {} retries",
+            "pattern {} on {} ({} cores): {} tasks, {} failed, {} retries{}",
             self.pattern,
             self.resource,
             self.cores,
             self.task_count(),
             self.failed_tasks,
-            self.total_retries
+            self.total_retries,
+            if self.partial { " [partial]" } else { "" }
         )?;
         writeln!(
             f,
-            "  TTC {}  (exec {}, core ovh {}, pattern ovh {}, pilot ovh {}, resource wait {})",
+            "  TTC {}  (exec {}, core ovh {}, pattern ovh {}, pilot ovh {}, resource wait {}, failure lost {})",
             self.ttc,
             self.exec_time(),
             self.overheads.core,
             self.overheads.pattern,
             self.overheads.runtime_pilot,
-            self.overheads.resource_wait
+            self.overheads.resource_wait,
+            self.overheads.failure_lost
         )?;
         for stage in self.stages() {
             let s = self.stage_exec_summary(stage);
@@ -273,11 +296,13 @@ mod display_tests {
             tasks: vec![],
             failed_tasks: 2,
             total_retries: 3,
+            partial: true,
         };
         let text = r.to_string();
         assert!(text.contains("bag-of-tasks"));
         assert!(text.contains("xsede.comet"));
         assert!(text.contains("2 failed"));
         assert!(text.contains("3 retries"));
+        assert!(text.contains("[partial]"));
     }
 }

@@ -96,6 +96,9 @@ pub struct SimulatedConfig {
     pub background_load: Option<entk_cluster::cluster::BackgroundLoad>,
     /// Batch-queue policy of the target machine.
     pub batch_policy: BatchPolicy,
+    /// Platform-level fault injection (node crashes, task failures,
+    /// stragglers); `None` models a fault-free machine.
+    pub fault_profile: Option<entk_cluster::FaultProfile>,
 }
 
 impl Default for SimulatedConfig {
@@ -106,10 +109,11 @@ impl Default for SimulatedConfig {
             entk_overheads: EntkOverheads::calibrated(),
             runtime_overheads: RuntimeOverheads::radical_pilot(),
             unit_failure_rate: 0.0,
-            fault: FaultConfig::none(),
+            fault: FaultConfig::default(),
             pilot_strategy: PilotStrategy::single(),
             background_load: None,
             batch_policy: BatchPolicy::Fifo,
+            fault_profile: None,
         }
     }
 }
@@ -170,6 +174,7 @@ impl ResourceHandle {
                 sim.seed,
                 sim.pilot_strategy,
                 sim.background_load,
+                sim.fault_profile.clone(),
             ))),
         })
     }
@@ -177,7 +182,11 @@ impl ResourceHandle {
     /// Creates a handle executing kernels for real on `cores` local
     /// core slots.
     pub fn local(cores: usize) -> Self {
-        Self::local_with(cores, KernelRegistry::with_builtins(), FaultConfig::none())
+        Self::local_with(
+            cores,
+            KernelRegistry::with_builtins(),
+            FaultConfig::default(),
+        )
     }
 
     /// Local handle with custom registry and fault policy.

@@ -186,7 +186,7 @@ fn failure_without_retries_reaches_pattern() {
     let sim = SimulatedConfig {
         seed: 6,
         unit_failure_rate: 0.5,
-        fault: entk_core::FaultConfig::none(),
+        fault: entk_core::FaultConfig::default(),
         entk_overheads: EntkOverheads::zero(),
         runtime_overheads: entk_pilot::RuntimeOverheads::zero(),
         ..Default::default()

@@ -93,7 +93,7 @@ impl CellList {
     }
 
     /// The pairs of [`CellList::for_each_pair`] whose *home* cell sits in
-    /// x-layer `x`, in the same relative order. Every [`HALF_NEIGHBOURS`]
+    /// x-layer `x`, in the same relative order. Every `HALF_NEIGHBOURS`
     /// offset has `dx ∈ {0, 1}`, so layer `x` only reads particles binned
     /// in layers `x` and `x + 1` (mod `m`): distinct layers emit disjoint
     /// pair sets and may run concurrently against read-only state.

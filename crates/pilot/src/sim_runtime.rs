@@ -60,6 +60,18 @@ pub enum RuntimeNotification {
         /// Failure reason, when `state == Failed`.
         detail: Option<String>,
     },
+    /// A node crash shrank a pilot's allocation mid-run; it keeps running
+    /// on what remains (shrink-or-die: losing every core fails it instead).
+    PilotShrunk {
+        /// The pilot.
+        id: PilotId,
+        /// Cores lost to the crash.
+        lost_cores: usize,
+        /// Cores the pilot still holds.
+        remaining_cores: usize,
+        /// When.
+        time: SimTime,
+    },
 }
 
 /// Batch-queue policy the target machine runs.
@@ -473,6 +485,10 @@ impl SimRuntime {
             let Some(&pid) = self.saga_to_pilot.get(&u.id) else {
                 continue;
             };
+            if let Some(lost) = u.shrunk_by {
+                self.shrink_pilot(pid, lost, u.time, ctx, out);
+                continue;
+            }
             match u.state {
                 JobState::Running => {
                     self.tracer
@@ -493,6 +509,79 @@ impl SimRuntime {
                 _ => {}
             }
         }
+    }
+
+    /// Mid-run capacity loss: a node crash took `lost` cores from the
+    /// pilot's allocation. Free cores absorb what they can; the remaining
+    /// deficit is covered by killing in-flight units (lowest `UnitId`
+    /// first, so the outcome is deterministic). Cores a killed unit held
+    /// beyond the deficit survive on other nodes and return to the pilot's
+    /// free pool for rescheduling.
+    fn shrink_pilot<E: RuntimeEventSink>(
+        &mut self,
+        pid: PilotId,
+        lost: usize,
+        time: SimTime,
+        ctx: &mut Context<'_, E>,
+        out: &mut Vec<RuntimeNotification>,
+    ) {
+        let Some(p) = self.pilots.get_mut(&pid) else {
+            return;
+        };
+        if p.state.is_terminal() {
+            return;
+        }
+        let from_free = p.free_cores.min(lost);
+        p.free_cores -= from_free;
+        p.description.cores = p.description.cores.saturating_sub(lost);
+        let remaining_cores = p.description.cores;
+        let mut deficit = lost - from_free;
+        if deficit > 0 {
+            let mut inflight: Vec<UnitId> = self
+                .units
+                .iter()
+                .filter(|(_, u)| u.pilot == Some(pid) && u.holding > 0 && !u.state.is_terminal())
+                .map(|(&id, _)| id)
+                .collect();
+            inflight.sort_unstable();
+            for id in inflight {
+                if deficit == 0 {
+                    break;
+                }
+                let unit = self.units.get_mut(&id).expect("in-flight unit exists");
+                if !unit.state.can_transition_to(UnitState::Failed) {
+                    continue;
+                }
+                let held = unit.holding;
+                unit.holding = 0;
+                unit.state = UnitState::Failed;
+                if let Some(ev) = unit.exec_event.take() {
+                    ctx.cancel(ev);
+                }
+                self.profiler.unit_mut(id).done = Some(time);
+                out.push(RuntimeNotification::Unit {
+                    id,
+                    state: UnitState::Failed,
+                    time,
+                    detail: Some("node crash took this unit's cores".into()),
+                });
+                let absorbed = held.min(deficit);
+                deficit -= absorbed;
+                let surplus = held - absorbed;
+                if surplus > 0 {
+                    self.pilots.get_mut(&pid).expect("pilot exists").free_cores += surplus;
+                }
+            }
+        }
+        self.tracer
+            .record(time, "pilot", "pilot_shrunk", pid.to_string());
+        out.push(RuntimeNotification::PilotShrunk {
+            id: pid,
+            lost_cores: lost,
+            remaining_cores,
+            time,
+        });
+        ctx.schedule_in(SimDuration::ZERO, RuntimeEvent::SchedulePass);
     }
 
     fn on_pilot_gone<E: RuntimeEventSink>(
@@ -678,6 +767,15 @@ impl SimRuntime {
             UnitWork::Modeled(d) => *d,
             UnitWork::Real(_) => SimDuration::ZERO, // real work has no place in virtual time
         };
+        // Straggler injection: only touch the duration when a slowdown was
+        // actually drawn, so fault-free runs avoid the f64 roundtrip and
+        // stay bit-identical to runs without an injector.
+        let factor = self.service.cluster_mut().fault_straggler_factor();
+        let duration = if factor != 1.0 {
+            SimDuration::from_secs_f64(duration.as_secs_f64() * factor)
+        } else {
+            duration
+        };
         self.profiler.unit_mut(id).exec_start = Some(ctx.now());
         out.push(RuntimeNotification::Unit {
             id,
@@ -709,9 +807,13 @@ impl SimRuntime {
         let released = unit.holding;
         unit.holding = 0;
         let pilot = unit.pilot;
-        let failed =
+        // Evaluate both failure sources unconditionally: skipping a draw
+        // based on the other's outcome would shift the RNG streams and
+        // break replay determinism.
+        let legacy_failed =
             self.config.unit_failure_rate > 0.0 && self.rng.chance(self.config.unit_failure_rate);
-        if failed {
+        let injected_failed = self.service.cluster_mut().fault_unit_fails();
+        if legacy_failed || injected_failed {
             unit.state = UnitState::Failed;
             self.profiler.unit_mut(id).done = Some(ctx.now());
             out.push(RuntimeNotification::Unit {

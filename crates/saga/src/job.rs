@@ -68,6 +68,9 @@ pub struct JobUpdate {
     pub time: SimTime,
     /// Optional adapter detail (e.g. failure reason).
     pub detail: Option<String>,
+    /// Cores lost to a node crash while the job keeps running. When set,
+    /// `state` repeats the job's current state rather than a transition.
+    pub shrunk_by: Option<usize>,
 }
 
 /// A SAGA job record held by a service.

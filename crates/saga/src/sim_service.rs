@@ -104,6 +104,7 @@ impl SimJobService {
                     state: JobState::Pending,
                     time: ctx.now(),
                     detail: None,
+                    shrunk_by: None,
                 });
                 self.jobs.insert(id, job);
                 Ok(id)
@@ -115,6 +116,7 @@ impl SimJobService {
                     state: JobState::Failed,
                     time: ctx.now(),
                     detail: Some(reason.clone()),
+                    shrunk_by: None,
                 });
                 self.jobs.insert(id, job);
                 Ok(id)
@@ -165,12 +167,37 @@ impl SimJobService {
 
     fn route(&mut self, notes: Vec<ClusterNotification>, updates: &mut Vec<JobUpdate>) {
         for note in notes {
-            let ClusterNotification::JobState {
-                id: bid,
-                state,
-                time,
-                nodes,
-            } = note;
+            let (bid, state, time, nodes) = match note {
+                ClusterNotification::JobState {
+                    id,
+                    state,
+                    time,
+                    nodes,
+                } => (id, state, time, nodes),
+                ClusterNotification::JobShrunk {
+                    id: bid,
+                    lost_cores,
+                    remaining_cores,
+                    time,
+                } => {
+                    // A crash shrank the job in place: no state transition,
+                    // but the owner must shed load onto what remains.
+                    let Some(&sid) = self.from_batch.get(&bid) else {
+                        continue;
+                    };
+                    let job = self.jobs.get(&sid).expect("mapped job exists");
+                    updates.push(JobUpdate {
+                        id: sid,
+                        state: job.state,
+                        time,
+                        detail: Some(format!(
+                            "node crash: lost {lost_cores} cores, {remaining_cores} remain"
+                        )),
+                        shrunk_by: Some(lost_cores),
+                    });
+                    continue;
+                }
+            };
             let Some(&sid) = self.from_batch.get(&bid) else {
                 continue;
             };
@@ -197,6 +224,7 @@ impl SimJobService {
                 state: saga_state,
                 time,
                 detail,
+                shrunk_by: None,
             });
         }
     }

@@ -142,4 +142,90 @@ proptest! {
         prop_assert_eq!(report.failed_tasks, 0);
         prop_assert_eq!(report.task_count(), tasks);
     }
+
+    /// Under platform fault injection, identical seeds reproduce
+    /// byte-identical reports — the replay guarantee the resilience
+    /// tooling depends on.
+    #[test]
+    fn prop_faulty_runs_replay_identically(
+        rate in 0.0f64..0.4,
+        retries in 0u32..6,
+        seed in 0u64..1000,
+    ) {
+        let run = || {
+            let config = ResourceConfig::new("local", 8, SimDuration::from_secs(10_000_000));
+            let sim = SimulatedConfig {
+                fault: entk_core::FaultConfig::retries(retries)
+                    .with_backoff(entk_core::BackoffPolicy::exponential(2.0))
+                    .graceful(),
+                fault_profile: Some(
+                    entk_core::FaultProfile::seeded(seed ^ 0xFA).with_task_failures(rate),
+                ),
+                ..quiet(seed)
+            };
+            let mut pattern = BagOfTasks::new(16, |i| {
+                KernelCall::new("misc.sleep", json!({ "secs": 1.0 + (i % 3) as f64 }))
+            });
+            run_simulated(config, sim, &mut pattern).unwrap()
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    /// A zero-rate fault injector is free: its presence changes nothing
+    /// about the run, byte for byte.
+    #[test]
+    fn prop_zero_fault_injector_is_invisible(
+        tasks in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        let run = |profile: Option<entk_core::FaultProfile>| {
+            let config = ResourceConfig::new("local", 8, SimDuration::from_secs(10_000_000));
+            let sim = SimulatedConfig { fault_profile: profile, ..quiet(seed) };
+            let mut pattern = BagOfTasks::new(tasks, |i| {
+                KernelCall::new("misc.sleep", json!({ "secs": 1.0 + (i % 4) as f64 }))
+            });
+            run_simulated(config, sim, &mut pattern).unwrap()
+        };
+        let with_injector = run(Some(entk_core::FaultProfile::seeded(seed)));
+        let without = run(None);
+        prop_assert_eq!(
+            serde_json::to_string(&with_injector).unwrap(),
+            serde_json::to_string(&without).unwrap()
+        );
+    }
+
+    /// No task ever consumes more resubmissions than the retry budget, and
+    /// the report's total matches the per-task sum.
+    #[test]
+    fn prop_retries_respect_budget(
+        rate in 0.0f64..0.6,
+        retries in 0u32..5,
+        seed in 0u64..1000,
+    ) {
+        let config = ResourceConfig::new("local", 8, SimDuration::from_secs(10_000_000));
+        let sim = SimulatedConfig {
+            fault: entk_core::FaultConfig::retries(retries).graceful(),
+            fault_profile: Some(
+                entk_core::FaultProfile::seeded(seed ^ 0xFA).with_task_failures(rate),
+            ),
+            ..quiet(seed)
+        };
+        let mut pattern = BagOfTasks::new(16, |_| {
+            KernelCall::new("misc.sleep", json!({ "secs": 1.0 }))
+        });
+        let report = run_simulated(config, sim, &mut pattern).unwrap();
+        for t in &report.tasks {
+            prop_assert!(
+                t.retries <= retries,
+                "task {} used {} retries with budget {}", t.uid, t.retries, retries
+            );
+        }
+        let total: u32 = report.tasks.iter().map(|t| t.retries).sum();
+        prop_assert_eq!(report.total_retries, total);
+        prop_assert_eq!(report.partial, report.failed_tasks > 0);
+    }
 }

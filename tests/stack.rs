@@ -312,3 +312,72 @@ fn concurrent_composition_runs_on_the_simulated_stack() {
         });
     assert!(overlap, "concurrent children should interleave");
 }
+
+#[test]
+fn node_crash_shrinks_the_pilot_and_retries_absorb_the_loss() {
+    // 24 × 30s tasks on 16 cores spanning two 8-core nodes of the local
+    // platform. At t=15 the first wave saturates the pilot, so crashing
+    // node 1 must kill in-flight units; the retry budget reruns them on
+    // the surviving 8 cores and the ensemble still completes.
+    let n = 24;
+    let config = ResourceConfig::new("local", 16, SimDuration::from_secs(1_000_000));
+    let sim = SimulatedConfig {
+        fault: FaultConfig::retries(4),
+        fault_profile: Some(FaultProfile::seeded(3).with_crash_at(15.0, 1)),
+        ..quiet(3)
+    };
+    let mut pattern = BagOfTasks::new(n, |_| {
+        KernelCall::new("misc.sleep", json!({ "secs": 30.0 }))
+    });
+    let report = run_simulated(config, sim, &mut pattern).unwrap();
+    assert_eq!(report.task_count(), n);
+    assert_eq!(report.failed_tasks, 0);
+    assert!(!report.partial);
+    assert!(
+        report.total_retries > 0,
+        "a crash under a saturated pilot must kill units"
+    );
+    assert!(report.recovered_tasks() > 0);
+    assert!(report.overheads.failure_lost > SimDuration::ZERO);
+    assert!(report.tasks.iter().all(|t| t.success));
+}
+
+#[test]
+fn losing_every_node_degrades_gracefully_into_a_partial_report() {
+    // Both nodes under the 16-core pilot crash mid-run. Without graceful
+    // degradation this is a hard error; with it, the session finishes with
+    // every unfinished task failed and the report marked partial.
+    let n = 24;
+    let config = ResourceConfig::new("local", 16, SimDuration::from_secs(1_000_000));
+    let profile = FaultProfile::seeded(5)
+        .with_crash_at(15.0, 0)
+        .with_crash_at(15.0, 1);
+    let sim = SimulatedConfig {
+        fault: FaultConfig::retries(2).graceful(),
+        fault_profile: Some(profile.clone()),
+        ..quiet(5)
+    };
+    let mut pattern = BagOfTasks::new(n, |_| {
+        KernelCall::new("misc.sleep", json!({ "secs": 30.0 }))
+    });
+    let report = run_simulated(config, sim, &mut pattern).unwrap();
+    assert!(
+        report.partial,
+        "losing all nodes must mark the report partial"
+    );
+    assert!(report.failed_tasks > 0);
+    assert_eq!(report.task_count(), n);
+    assert!(report.tasks.iter().all(|t| t.finished.is_some()));
+
+    // The same session without `graceful()` aborts with an error instead.
+    let strict = SimulatedConfig {
+        fault: FaultConfig::retries(2),
+        fault_profile: Some(profile),
+        ..quiet(5)
+    };
+    let mut pattern = BagOfTasks::new(n, |_| {
+        KernelCall::new("misc.sleep", json!({ "secs": 30.0 }))
+    });
+    let config = ResourceConfig::new("local", 16, SimDuration::from_secs(1_000_000));
+    assert!(run_simulated(config, strict, &mut pattern).is_err());
+}
