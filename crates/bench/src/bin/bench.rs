@@ -14,6 +14,9 @@
 //!                     ENTK_THREADS; default: host cores)
 //!   --only a,b        run only the named sweeps (e.g. fig3,fig4)
 //!   --out PATH        output path                   [default: BENCH.json]
+//!   --trace PATH      also write a Chrome trace-event JSON of one
+//!                     representative session (open in Perfetto or
+//!                     chrome://tracing)
 //! ```
 //!
 //! Every figure entry records `serial_secs`, `parallel_secs`, `speedup`,
@@ -30,6 +33,7 @@ struct Options {
     seed: u64,
     only: Option<Vec<String>>,
     out: String,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -39,6 +43,7 @@ fn parse_args() -> Options {
         seed: 2016,
         only: None,
         out: "BENCH.json".to_string(),
+        trace: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -61,6 +66,7 @@ fn parse_args() -> Options {
                 )
             }
             "--out" => opts.out = value("--out"),
+            "--trace" => opts.trace = Some(value("--trace")),
             other => panic!("unknown argument {other:?} (see --help in the module docs)"),
         }
     }
@@ -191,4 +197,12 @@ fn main() {
     let rendered = serde_json::to_string_pretty(&bench).expect("serialize BENCH.json");
     std::fs::write(&opts.out, rendered + "\n").expect("write BENCH.json");
     println!("wrote {}", opts.out);
+
+    if let Some(path) = &opts.trace {
+        // Cross-checked inside: the exported trace always agrees with the
+        // accounted overhead breakdown.
+        let trace = figures::representative_trace(opts.seed);
+        std::fs::write(path, trace).expect("write trace");
+        println!("wrote {path}");
+    }
 }

@@ -14,6 +14,44 @@ fn walltime() -> SimDuration {
     SimDuration::from_secs(10_000_000)
 }
 
+/// FNV-1a 64 over the trace's JSONL export, split into two exactly
+/// f64-representable u32 halves so a fingerprint can ride in [`Row`]
+/// values. Identical traces ⇒ identical fingerprints, so the bench
+/// binary's serial-vs-parallel row comparison covers traces too.
+pub(crate) fn trace_fingerprint(tracer: &Tracer) -> (f64, f64) {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in tracer.to_jsonl().bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (f64::from((h >> 32) as u32), f64::from(h as u32))
+}
+
+/// Runs one simulated experiment with tracing on, asserts that the
+/// trace-derived overhead breakdown matches the accounted one to
+/// microsecond precision, and returns the report with the trace
+/// fingerprint. All figure points go through here, so every bench run
+/// cross-validates the accounting against the trace pipeline.
+fn run_checked(
+    config: ResourceConfig,
+    sim: SimulatedConfig,
+    pattern: &mut dyn ExecutionPattern,
+    what: &str,
+) -> (ExecutionReport, (f64, f64)) {
+    let (report, telemetry) =
+        run_simulated_traced(config, sim, pattern).unwrap_or_else(|e| panic!("{what}: {e}"));
+    let cc = cross_check(&report, &telemetry.tracer);
+    assert!(
+        cc.within(1e-6),
+        "{what}: trace-derived overheads diverge from accounted \
+         (max err {:.3e}s)\n  derived:   {:?}\n  accounted: {:?}",
+        cc.max_abs_error_secs,
+        cc.derived,
+        cc.accounted,
+    );
+    (report, trace_fingerprint(&telemetry.tracer))
+}
+
 /// One row of a figure's data.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Row {
@@ -42,6 +80,12 @@ impl Row {
     /// Y value by name.
     pub fn value(&self, name: &str) -> Option<f64> {
         self.values.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Appends the session's trace fingerprint, making row equality imply
+    /// trace equality.
+    pub(crate) fn with_trace(self, fp: (f64, f64)) -> Self {
+        self.with("trace_fp_hi", fp.0).with("trace_fp_lo", fp.1)
     }
 }
 
@@ -129,8 +173,8 @@ pub fn fig3_with(runner: &SweepRunner, seed: u64) -> Vec<Row> {
             seed: seed ^ n as u64,
             ..Default::default()
         };
-        let report = run_simulated(config, sim, pattern.as_mut()).expect("fig3 run");
-        vec![common_rows(kind, n as f64, &report)]
+        let (report, fp) = run_checked(config, sim, pattern.as_mut(), "fig3");
+        vec![common_rows(kind, n as f64, &report).with_trace(fp)]
     })
 }
 
@@ -170,13 +214,14 @@ pub fn fig4_with(runner: &SweepRunner, seed: u64) -> Vec<Row> {
             seed: seed ^ (n as u64) << 1,
             ..Default::default()
         };
-        let report = run_simulated(config, sim, &mut pattern).expect("fig4 run");
+        let (report, fp) = run_checked(config, sim, &mut pattern, "fig4");
         vec![common_rows("gromacs-lsdmap", n as f64, &report)
             .with(
                 "simulation_time",
                 report.stage_time("simulation").as_secs_f64(),
             )
-            .with("analysis_time", report.stage_time("analysis").as_secs_f64())]
+            .with("analysis_time", report.stage_time("analysis").as_secs_f64())
+            .with_trace(fp)]
     })
 }
 
@@ -203,7 +248,7 @@ fn ee_experiment(replicas: usize, cores: usize, cycles: usize, seed: u64) -> Row
         seed: seed ^ (replicas * 7 + cores) as u64,
         ..Default::default()
     };
-    let report = run_simulated(config, sim, &mut pattern).expect("ee run");
+    let (report, fp) = run_checked(config, sim, &mut pattern, "ee");
     Row::new(format!("replicas={replicas}"), cores as f64)
         .with(
             "simulation_time",
@@ -211,6 +256,7 @@ fn ee_experiment(replicas: usize, cores: usize, cycles: usize, seed: u64) -> Row
         )
         .with("exchange_time", report.stage_time("exchange").as_secs_f64())
         .with("ttc", report.ttc.as_secs_f64())
+        .with_trace(fp)
 }
 
 /// Fig. 5: EE strong scaling on SuperMIC — 2560 replicas (scaled by
@@ -277,7 +323,7 @@ fn sal_experiment(sims: usize, cores: usize, cores_per_sim: usize, steps: u64, s
         seed: seed ^ (sims * 13 + cores) as u64,
         ..Default::default()
     };
-    let report = run_simulated(config, sim, &mut pattern).expect("sal run");
+    let (report, fp) = run_checked(config, sim, &mut pattern, "sal");
     let sim_summary = report.stage_exec_summary("simulation");
     Row::new(format!("sims={sims}"), cores as f64)
         .with(
@@ -287,6 +333,7 @@ fn sal_experiment(sims: usize, cores: usize, cores_per_sim: usize, steps: u64, s
         .with("analysis_time", report.stage_time("analysis").as_secs_f64())
         .with("mean_sim_exec", sim_summary.mean())
         .with("ttc", report.ttc.as_secs_f64())
+        .with_trace(fp)
 }
 
 /// Fig. 7: SAL strong scaling on Stampede — 1024 simulations (÷ `scale`),
@@ -349,6 +396,29 @@ pub fn fig9_with(runner: &SweepRunner, seed: u64, scale: usize) -> Vec<Row> {
     })
 }
 
+// ------------------------------------------------------------ Trace export
+
+/// Chrome trace-event JSON for one representative session — the Fig. 3
+/// char-count app at 48 pipelines — loadable in Perfetto or
+/// `chrome://tracing`. Written as `TRACE.json` by `bench --trace`. The run
+/// is cross-checked before export, so a published trace always agrees with
+/// the accounted overheads.
+pub fn representative_trace(seed: u64) -> String {
+    let mut pattern = char_count_pattern("pipeline", 48);
+    let config = ResourceConfig::new("xsede.comet", 48, walltime());
+    let sim = SimulatedConfig {
+        seed,
+        ..Default::default()
+    };
+    let (_, telemetry) = {
+        let (report, telemetry) =
+            run_simulated_traced(config, sim, pattern.as_mut()).expect("trace run");
+        cross_check(&report, &telemetry.tracer).assert_ok();
+        (report, telemetry)
+    };
+    telemetry.tracer.to_chrome_json()
+}
+
 // --------------------------------------------------------------- Ablations
 
 /// Ablation: EE exchange topology — global-synchronous vs pairwise-async
@@ -384,10 +454,11 @@ pub fn ablation_exchange_with(runner: &SweepRunner, seed: u64) -> Vec<Row> {
             seed,
             ..Default::default()
         };
-        let report = run_simulated(config, sim, &mut pattern).expect("ablation run");
+        let (report, fp) = run_checked(config, sim, &mut pattern, "ablation_exchange");
         vec![Row::new(label, replicas as f64)
             .with("ttc", report.ttc.as_secs_f64())
-            .with("exchange_time", report.stage_time("exchange").as_secs_f64())]
+            .with("exchange_time", report.stage_time("exchange").as_secs_f64())
+            .with_trace(fp)]
     })
 }
 
@@ -409,8 +480,10 @@ pub fn ablation_overhead_with(runner: &SweepRunner, seed: u64) -> Vec<Row> {
             runtime_overheads: entk_pilot::RuntimeOverheads::radical_pilot().scaled(factor),
             ..Default::default()
         };
-        let report = run_simulated(config, sim, &mut pattern).expect("ablation run");
-        vec![Row::new("overhead-scale", factor).with("ttc", report.ttc.as_secs_f64())]
+        let (report, fp) = run_checked(config, sim, &mut pattern, "ablation_overhead");
+        vec![Row::new("overhead-scale", factor)
+            .with("ttc", report.ttc.as_secs_f64())
+            .with_trace(fp)]
     })
 }
 
@@ -437,11 +510,12 @@ pub fn ablation_faults_with(runner: &SweepRunner, seed: u64) -> Vec<Row> {
             fault: entk_core::FaultConfig::retries(retries),
             ..Default::default()
         };
-        let report = run_simulated(config, sim, &mut pattern).expect("ablation run");
+        let (report, fp) = run_checked(config, sim, &mut pattern, "ablation_faults");
         vec![Row::new(format!("retries={retries}"), rate)
             .with("ttc", report.ttc.as_secs_f64())
             .with("failed", report.failed_tasks as f64)
-            .with("resubmissions", report.total_retries as f64)]
+            .with("resubmissions", report.total_retries as f64)
+            .with_trace(fp)]
     })
 }
 
@@ -470,8 +544,10 @@ pub fn ablation_pilots_with(runner: &SweepRunner, seed: u64) -> Vec<Row> {
             },
             ..Default::default()
         };
-        let report = run_simulated(config, sim, &mut pattern).expect("ablation run");
-        vec![Row::new("pilots", count as f64).with("ttc", report.ttc.as_secs_f64())]
+        let (report, fp) = run_checked(config, sim, &mut pattern, "ablation_pilots");
+        vec![Row::new("pilots", count as f64)
+            .with("ttc", report.ttc.as_secs_f64())
+            .with_trace(fp)]
     })
 }
 
@@ -505,8 +581,26 @@ pub fn ablation_scheduler_with(runner: &SweepRunner, seed: u64) -> Vec<Row> {
         handle.set_unit_scheduler(scheduler);
         handle.allocate().expect("allocate");
         let report = handle.run(&mut pattern).expect("run");
+        // Mid-session snapshot: teardown hasn't happened, so the trace must
+        // agree with the run report (whose core overhead excludes teardown).
+        let telemetry = handle.telemetry().expect("simulated handle").snapshot();
+        let cc = cross_check(&report, &telemetry.tracer);
+        assert!(
+            cc.within(1e-6),
+            "ablation_scheduler: trace/accounting divergence ({:.3e}s)",
+            cc.max_abs_error_secs
+        );
         handle.deallocate().expect("deallocate");
-        vec![Row::new(label, 96.0).with("exec_time", report.exec_time().as_secs_f64())]
+        let fp = trace_fingerprint(
+            &handle
+                .telemetry()
+                .expect("simulated handle")
+                .snapshot()
+                .tracer,
+        );
+        vec![Row::new(label, 96.0)
+            .with("exec_time", report.exec_time().as_secs_f64())
+            .with_trace(fp)]
     })
 }
 

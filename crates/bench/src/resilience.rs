@@ -78,7 +78,17 @@ pub fn resilience_point(
         fault_profile: inject.then(|| FaultProfile::seeded(seed ^ 0xFA).with_task_failures(rate)),
         ..Default::default()
     };
-    let report = run_simulated(config, sim, pattern.as_mut()).expect("resilience run");
+    let (report, telemetry) =
+        run_simulated_traced(config, sim, pattern.as_mut()).expect("resilience run");
+    // Fault-heavy runs are the hardest case for the trace-derived overhead
+    // reconstruction (retry backoff, degradation); cross-check every point.
+    let cc = cross_check(&report, &telemetry.tracer);
+    assert!(
+        cc.within(1e-6),
+        "resilience {kind} rate={rate} retries={retries}: \
+         trace/accounting divergence ({:.3e}s)",
+        cc.max_abs_error_secs
+    );
     Row::new(format!("{kind}/retries={retries}"), rate)
         .with("ttc", report.ttc.as_secs_f64())
         .with("failed", report.failed_tasks as f64)
@@ -86,6 +96,11 @@ pub fn resilience_point(
         .with("resubmissions", report.total_retries as f64)
         .with("failure_lost", report.overheads.failure_lost.as_secs_f64())
         .with("partial", if report.partial { 1.0 } else { 0.0 })
+        .with(
+            "retries_counter",
+            telemetry.metrics.counter("entk.retries") as f64,
+        )
+        .with_trace(crate::figures::trace_fingerprint(&telemetry.tracer))
 }
 
 /// The full resilience sweep through the environment's [`SweepRunner`].

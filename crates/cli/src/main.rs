@@ -1,7 +1,12 @@
 //! `entk` — run Ensemble Toolkit workloads from JSON specs.
 //!
 //! ```text
-//! entk run <spec.json> [--json]     execute a workload, print the report
+//! entk run <spec.json> [--json] [--trace <path>]
+//!                                   execute a workload, print the report;
+//!                                   --trace writes the session's event
+//!                                   trace (Chrome trace-event JSON for
+//!                                   Perfetto / chrome://tracing, or JSONL
+//!                                   when the path ends in .jsonl)
 //! entk check <spec.json>            validate a spec without running it
 //! entk kernels                      list available kernel plugins
 //! ```
@@ -14,12 +19,22 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("run") => {
             let Some(path) = args.get(1) else {
-                eprintln!("usage: entk run <spec.json> [--json]");
+                eprintln!("usage: entk run <spec.json> [--json] [--trace <path>]");
                 return ExitCode::FAILURE;
             };
             let as_json = args.iter().any(|a| a == "--json");
-            match load(path).and_then(|spec| spec.run().map_err(|e| e.to_string())) {
-                Ok(report) => {
+            let trace_path = match args.iter().position(|a| a == "--trace") {
+                Some(i) => match args.get(i + 1) {
+                    Some(p) => Some(p.clone()),
+                    None => {
+                        eprintln!("usage: entk run <spec.json> [--json] [--trace <path>]");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => None,
+            };
+            match load(path).and_then(|spec| spec.run_traced().map_err(|e| e.to_string())) {
+                Ok((report, telemetry)) => {
                     if as_json {
                         println!(
                             "{}",
@@ -27,6 +42,25 @@ fn main() -> ExitCode {
                         );
                     } else {
                         print!("{report}");
+                    }
+                    if let Some(trace_path) = trace_path {
+                        match telemetry {
+                            Some(t) => {
+                                let body = if trace_path.ends_with(".jsonl") {
+                                    t.tracer.to_jsonl()
+                                } else {
+                                    t.tracer.to_chrome_json()
+                                };
+                                if let Err(e) = std::fs::write(&trace_path, body) {
+                                    eprintln!("error: writing {trace_path:?}: {e}");
+                                    return ExitCode::FAILURE;
+                                }
+                                eprintln!("trace written to {trace_path}");
+                            }
+                            None => eprintln!(
+                                "note: --trace ignored (local backend has no virtual-time trace)"
+                            ),
+                        }
                     }
                     if report.failed_tasks > 0 {
                         ExitCode::FAILURE

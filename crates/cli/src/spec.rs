@@ -246,6 +246,16 @@ impl WorkloadSpec {
 
     /// Runs the workload and returns the report.
     pub fn run(&self) -> Result<entk_core::ExecutionReport, EntkError> {
+        self.run_traced().map(|(report, _)| report)
+    }
+
+    /// Like [`WorkloadSpec::run`], but also returns the session telemetry —
+    /// the cross-layer event trace and metrics — on the simulated backend.
+    /// `None` on the local backend, which executes in real time and has no
+    /// virtual-clock trace.
+    pub fn run_traced(
+        &self,
+    ) -> Result<(entk_core::ExecutionReport, Option<entk_sim::Telemetry>), EntkError> {
         let mut pattern = self.build_pattern();
         match self.backend.as_str() {
             "simulated" => {
@@ -299,14 +309,15 @@ impl WorkloadSpec {
                         initial_jobs: bg.initial_jobs,
                     });
                 }
-                run_simulated(config, sim, pattern.as_mut())
+                run_simulated_traced(config, sim, pattern.as_mut())
+                    .map(|(report, telemetry)| (report, Some(telemetry)))
             }
             "local" => {
                 let mut handle = ResourceHandle::local(self.resource.cores);
                 handle.allocate()?;
                 let report = handle.run(pattern.as_mut())?;
                 handle.deallocate()?;
-                Ok(report)
+                Ok((report, None))
             }
             other => Err(EntkError::Usage(format!(
                 "unknown backend {other:?} (use \"simulated\" or \"local\")"

@@ -10,7 +10,9 @@ use crate::fault::{FaultInjector, FaultProfile};
 use crate::job::{BatchJob, BatchJobDescription, BatchJobId, BatchJobState};
 use crate::platform::PlatformSpec;
 use crate::scheduler::{BatchScheduler, FifoScheduler, PendingView, RunningView};
-use entk_sim::{Context, Dist, EventId, SimDuration, SimRng, SimTime, TimeSeries};
+use entk_sim::{
+    Context, Dist, EventId, SharedTelemetry, SimDuration, SimRng, SimTime, Subject, TimeSeries,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
@@ -109,6 +111,8 @@ pub struct Cluster {
     /// crash process only runs while the cluster has live jobs, so the
     /// event queue drains once the workload finishes.
     fault_tick_armed: bool,
+    /// Cross-layer observability sink; disabled by default.
+    telemetry: SharedTelemetry,
 }
 
 impl Cluster {
@@ -139,7 +143,15 @@ impl Cluster {
             background_jobs: HashSet::new(),
             fault: None,
             fault_tick_armed: false,
+            telemetry: SharedTelemetry::disabled(),
         }
+    }
+
+    /// Attaches a shared telemetry pipeline; the cluster then traces job
+    /// and node lifecycle events on the `"cluster"` layer and samples
+    /// utilization / queue-depth gauges into it.
+    pub fn set_telemetry(&mut self, telemetry: SharedTelemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Enables the background-load model and schedules the first arrival.
@@ -307,6 +319,8 @@ impl Cluster {
                 self.alloc.total_cores()
             );
             job.transition(BatchJobState::Failed, ctx.now());
+            self.telemetry
+                .record(ctx.now(), "cluster", "job_rejected", Subject::Job(id.0));
             out.push(ClusterNotification::JobState {
                 id,
                 state: BatchJobState::Failed,
@@ -321,6 +335,8 @@ impl Cluster {
                 self.spec.queue_wait_per_core * job.description.cores as f64,
             );
         ctx.schedule_in(wait, ClusterEvent::JobEligible(id));
+        self.telemetry
+            .record(ctx.now(), "cluster", "job_queued", Subject::Job(id.0));
         out.push(ClusterNotification::JobState {
             id,
             state: BatchJobState::Queued,
@@ -358,8 +374,12 @@ impl Cluster {
         match job.state {
             BatchJobState::Queued => {
                 self.pending.retain(|&p| p != id);
+                self.telemetry
+                    .gauge("cluster.queue_depth", ctx.now(), self.pending.len() as f64);
                 let job = self.jobs.get_mut(&id).expect("job exists");
                 job.transition(BatchJobState::Cancelled, ctx.now());
+                self.telemetry
+                    .record(ctx.now(), "cluster", "job_cancelled", Subject::Job(id.0));
                 out.push(ClusterNotification::JobState {
                     id,
                     state: BatchJobState::Cancelled,
@@ -392,6 +412,11 @@ impl Cluster {
                     let job = self.jobs.get_mut(&id).expect("job exists");
                     job.eligible_at = Some(ctx.now());
                     self.pending.push(id);
+                    self.telemetry.gauge(
+                        "cluster.queue_depth",
+                        ctx.now(),
+                        self.pending.len() as f64,
+                    );
                     self.try_schedule(ctx, out);
                 }
             }
@@ -403,6 +428,8 @@ impl Cluster {
                 {
                     let job = self.jobs.get_mut(&id).expect("job exists");
                     job.transition(BatchJobState::Running, ctx.now());
+                    self.telemetry
+                        .record(ctx.now(), "cluster", "job_running", Subject::Job(id.0));
                     let nodes = self.held.get(&id).cloned().unwrap_or_default();
                     out.push(ClusterNotification::JobState {
                         id,
@@ -468,6 +495,13 @@ impl Cluster {
             f.note_down(node);
         }
         self.alloc.mark_down(node);
+        self.telemetry.record(
+            ctx.now(),
+            "cluster",
+            "node_crash",
+            Subject::Node(node as u64),
+        );
+        self.telemetry.inc("cluster.node_crashes");
         // Strip the crashed node's slices from every job holding cores
         // there, in id order so the notification sequence is deterministic.
         let mut affected: Vec<BatchJobId> = self
@@ -491,6 +525,8 @@ impl Cluster {
             if remaining == 0 {
                 self.finish(id, BatchJobState::Failed, ctx, out);
             } else {
+                self.telemetry
+                    .record(ctx.now(), "cluster", "job_shrunk", Subject::Job(id.0));
                 out.push(ClusterNotification::JobShrunk {
                     id,
                     lost_cores: lost,
@@ -501,6 +537,11 @@ impl Cluster {
         }
         self.utilization
             .push(ctx.now(), self.alloc.used_cores() as f64);
+        self.telemetry.gauge(
+            "cluster.used_cores",
+            ctx.now(),
+            self.alloc.used_cores() as f64,
+        );
         let downtime = self.fault.as_mut().and_then(|f| f.sample_downtime());
         if let Some(dt) = downtime {
             ctx.schedule_in(dt, ClusterEvent::NodeRecover(node));
@@ -522,6 +563,12 @@ impl Cluster {
             f.note_up(node);
         }
         self.alloc.mark_up(node);
+        self.telemetry.record(
+            ctx.now(),
+            "cluster",
+            "node_recover",
+            Subject::Node(node as u64),
+        );
         self.utilization
             .push(ctx.now(), self.alloc.used_cores() as f64);
         self.try_schedule(ctx, out);
@@ -547,14 +594,37 @@ impl Cluster {
             return;
         }
         job.transition(state, ctx.now());
+        let project = job.description.project.clone();
+        let cores = job.description.cores;
+        let walltime = job.description.walltime;
+        let started_at = job.started_at;
         if let Some(slices) = self.held.remove(&id) {
             self.alloc.release(&slices);
             self.utilization
                 .push(ctx.now(), self.alloc.used_cores() as f64);
+            self.telemetry.gauge(
+                "cluster.used_cores",
+                ctx.now(),
+                self.alloc.used_cores() as f64,
+            );
+            // The job actually occupied cores: let stateful policies
+            // reconcile their up-front charge with real consumption.
+            let ran = ctx.now().saturating_since(started_at.unwrap_or(ctx.now()));
+            self.scheduler
+                .job_ended(&project, cores, walltime, ran, ctx.now());
         }
         if let Some(ev) = self.walltime_events.remove(&id) {
             ctx.cancel(ev);
         }
+        let event = match state {
+            BatchJobState::Completed => "job_completed",
+            BatchJobState::Failed => "job_failed",
+            BatchJobState::TimedOut => "job_timedout",
+            BatchJobState::Cancelled => "job_cancelled",
+            _ => "job_finished",
+        };
+        self.telemetry
+            .record(ctx.now(), "cluster", event, Subject::Job(id.0));
         out.push(ClusterNotification::JobState {
             id,
             state,
@@ -612,6 +682,15 @@ impl Cluster {
             self.held.insert(id, slices);
             self.utilization
                 .push(ctx.now(), self.alloc.used_cores() as f64);
+            self.telemetry
+                .record(ctx.now(), "cluster", "job_started", Subject::Job(id.0));
+            self.telemetry.gauge(
+                "cluster.used_cores",
+                ctx.now(),
+                self.alloc.used_cores() as f64,
+            );
+            self.telemetry
+                .gauge("cluster.queue_depth", ctx.now(), self.pending.len() as f64);
             let startup = self.spec.job_startup.sample_duration(&mut self.rng);
             ctx.schedule_in(startup, ClusterEvent::JobLaunched(id));
             let wt = ctx.schedule_in(

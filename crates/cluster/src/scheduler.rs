@@ -42,6 +42,21 @@ pub trait BatchScheduler: Send {
         now: SimTime,
         running: &[RunningView],
     ) -> Vec<usize>;
+
+    /// Notifies the policy that a previously started job released its cores,
+    /// whatever the reason (completion, walltime, cancellation, or a node
+    /// crash that killed it). `ran` is how long the job actually held cores.
+    /// Stateful policies reconcile up-front charges with actual consumption
+    /// here; the default is a no-op.
+    fn job_ended(
+        &mut self,
+        _project: &str,
+        _cores: usize,
+        _walltime: SimDuration,
+        _ran: SimDuration,
+        _now: SimTime,
+    ) {
+    }
 }
 
 /// Strict first-in-first-out: jobs start in arrival order and the queue head
@@ -345,12 +360,37 @@ impl BatchScheduler for FairShareScheduler {
             if job.cores <= free {
                 free -= job.cores;
                 picked.push(i);
-                // Charge the request up front (cores × requested walltime).
+                // Charge the request up front (cores × requested walltime);
+                // `job_ended` refunds the unused remainder, so a job killed
+                // early — and its resubmission — is never double-charged.
                 *self.usage.entry(job.project.clone()).or_insert(0.0) +=
                     job.cores as f64 * job.walltime.as_secs_f64();
             }
         }
         picked
+    }
+
+    fn job_ended(
+        &mut self,
+        project: &str,
+        cores: usize,
+        walltime: SimDuration,
+        ran: SimDuration,
+        now: SimTime,
+    ) {
+        self.decay(now);
+        // The up-front charge was cores × walltime at start time; by now it
+        // has decayed by 0.5^(ran / half-life). Refund the unused tail at
+        // the same decayed weight, leaving only the consumed core-seconds.
+        let unused = walltime.saturating_sub(ran).as_secs_f64() * cores as f64;
+        let factor = if self.half_life_secs > 0.0 {
+            0.5f64.powf(ran.as_secs_f64() / self.half_life_secs)
+        } else {
+            1.0
+        };
+        if let Some(v) = self.usage.get_mut(project) {
+            *v = (*v - unused * factor).max(0.0);
+        }
     }
 }
 
@@ -412,5 +452,171 @@ mod fairshare_tests {
         let total: usize = picked.iter().map(|&i| queue[i].cores).sum();
         assert!(total <= 8);
         assert_eq!(picked.len(), 2);
+    }
+
+    #[test]
+    fn crash_killed_resubmission_is_not_double_charged() {
+        // A 8-core 1000 s job starts, is killed by a crash after 50 s, and
+        // is resubmitted. Without the end-of-job refund the project carried
+        // two full up-front charges (16 000 core-seconds); with it, only the
+        // consumed 400 plus the live resubmission's charge remain.
+        let mut fs = FairShareScheduler::new(0.0);
+        fs.select(&[pv(8, 1000, "A")], 8, SimTime::ZERO, &[]);
+        assert_eq!(fs.usage_of("A"), 8_000.0);
+        // Crash kills the job at t = 50: refund the unused 950 s.
+        fs.job_ended(
+            "A",
+            8,
+            SimDuration::from_secs(1000),
+            SimDuration::from_secs(50),
+            SimTime::from_secs(50),
+        );
+        assert_eq!(fs.usage_of("A"), 400.0, "only consumed core-seconds remain");
+        // Resubmission charges once more — never stacked on the dead charge.
+        fs.select(&[pv(8, 1000, "A")], 8, SimTime::from_secs(50), &[]);
+        assert_eq!(fs.usage_of("A"), 8_400.0);
+        // The resubmission then runs to completion: no refund is due.
+        fs.job_ended(
+            "A",
+            8,
+            SimDuration::from_secs(1000),
+            SimDuration::from_secs(1000),
+            SimTime::from_secs(1050),
+        );
+        assert_eq!(fs.usage_of("A"), 8_400.0);
+    }
+
+    #[test]
+    fn refund_respects_decay() {
+        // Half-life 100 s: a charge made at t=0 has halved by t=100, so the
+        // refund of the unused tail must be halved too, never pushing usage
+        // negative or over-refunding.
+        let mut fs = FairShareScheduler::new(100.0);
+        fs.select(&[pv(4, 1000, "A")], 4, SimTime::ZERO, &[]);
+        let charged = fs.usage_of("A"); // 4000
+        fs.job_ended(
+            "A",
+            4,
+            SimDuration::from_secs(1000),
+            SimDuration::from_secs(100),
+            SimTime::from_secs(100),
+        );
+        // Decayed charge: 4000/2 = 2000; decayed refund: 4×900/2 = 1800.
+        let left = fs.usage_of("A");
+        assert!(
+            (left - (charged / 2.0 - 1800.0)).abs() < 1e-9,
+            "left {left}"
+        );
+        assert!(left >= 0.0);
+    }
+
+    #[test]
+    fn overrun_job_gets_no_refund() {
+        let mut fs = FairShareScheduler::new(0.0);
+        fs.select(&[pv(2, 100, "A")], 2, SimTime::ZERO, &[]);
+        // Startup padding can make `ran` exceed the requested walltime.
+        fs.job_ended(
+            "A",
+            2,
+            SimDuration::from_secs(100),
+            SimDuration::from_secs(103),
+            SimTime::from_secs(103),
+        );
+        assert_eq!(fs.usage_of("A"), 200.0);
+    }
+}
+
+#[cfg(test)]
+mod backfill_property_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Forward-simulates a queue under `sched` until the head job starts,
+    /// assuming every job runs exactly its requested walltime (the estimate
+    /// EASY reasons with). Returns the head's start time.
+    fn head_start_time(
+        sched: &mut dyn BatchScheduler,
+        mut queue: Vec<PendingView>,
+        mut free: usize,
+        mut running: Vec<(SimTime, usize)>,
+    ) -> SimTime {
+        let mut now = SimTime::ZERO;
+        for _ in 0..10_000 {
+            let views: Vec<RunningView> = running
+                .iter()
+                .map(|&(end, cores)| RunningView {
+                    cores,
+                    expected_end: end,
+                })
+                .collect();
+            let mut picked = sched.select(&queue, free, now, &views);
+            picked.sort_unstable();
+            for &qi in picked.iter().rev() {
+                if qi == 0 {
+                    return now;
+                }
+                let job = queue.remove(qi);
+                free -= job.cores;
+                running.push((now + job.walltime, job.cores));
+            }
+            let Some(next) = running.iter().map(|&(end, _)| end).min() else {
+                // Nothing running and the head did not start: it can never
+                // fit (excluded by construction below).
+                return SimTime::MAX;
+            };
+            now = next;
+            running.retain(|&(end, cores)| {
+                if end <= now {
+                    free += cores;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        SimTime::MAX
+    }
+
+    fn pv(cores: usize, wall: u64) -> PendingView {
+        PendingView {
+            cores,
+            walltime: SimDuration::from_secs(wall),
+            project: "default".into(),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// EASY's guarantee: with exact runtime estimates, backfilled jobs
+        /// never delay the blocked head job relative to plain FIFO.
+        #[test]
+        fn prop_backfill_never_delays_head(
+            running_jobs in proptest::collection::vec((1usize..9, 1u64..501), 1..4),
+            spare in 0usize..8,
+            head_wall in 1u64..1001,
+            tail in proptest::collection::vec((1usize..17, 1u64..801), 0..6),
+        ) {
+            let used: usize = running_jobs.iter().map(|&(c, _)| c).sum();
+            let total = used + spare;
+            // Head blocks now (needs more than the spare cores) but fits
+            // the machine once running jobs drain.
+            let head_cores = (spare + 1).min(total);
+            let running: Vec<(SimTime, usize)> = running_jobs
+                .iter()
+                .map(|&(c, w)| (SimTime::from_secs(w), c))
+                .collect();
+            let mut queue = vec![pv(head_cores, head_wall)];
+            queue.extend(tail.iter().map(|&(c, w)| pv(c.min(total), w)));
+
+            let mut fifo = FifoScheduler;
+            let t_fifo = head_start_time(&mut fifo, queue.clone(), spare, running.clone());
+            let mut easy = EasyBackfillScheduler;
+            let t_easy = head_start_time(&mut easy, queue, spare, running);
+            prop_assert!(
+                t_easy <= t_fifo,
+                "backfill delayed the head: easy {t_easy:?} > fifo {t_fifo:?}"
+            );
+        }
     }
 }

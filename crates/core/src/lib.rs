@@ -43,6 +43,7 @@ mod plugin_sim;
 pub mod report;
 pub mod resource;
 pub mod task;
+pub mod trace_check;
 
 pub use binding::{AdaptiveMpiBinding, BindingPolicy, StaticBinding};
 pub use entk_cluster::FaultProfile;
@@ -55,8 +56,12 @@ pub use pattern::{
     Stage,
 };
 pub use report::{ExecutionReport, OverheadBreakdown, TaskRecord};
-pub use resource::{run_simulated, PilotStrategy, ResourceConfig, ResourceHandle, SimulatedConfig};
+pub use resource::{
+    run_simulated, run_simulated_traced, PilotStrategy, ResourceConfig, ResourceHandle,
+    SimulatedConfig,
+};
 pub use task::{Task, TaskResult};
+pub use trace_check::{breakdown_from_trace, cross_check, CrossCheck};
 
 /// Everything a toolkit application needs.
 pub mod prelude {
@@ -69,11 +74,13 @@ pub mod prelude {
     };
     pub use crate::report::ExecutionReport;
     pub use crate::resource::{
-        run_simulated, PilotStrategy, ResourceConfig, ResourceHandle, SimulatedConfig,
+        run_simulated, run_simulated_traced, PilotStrategy, ResourceConfig, ResourceHandle,
+        SimulatedConfig,
     };
     pub use crate::task::{Task, TaskResult};
+    pub use crate::trace_check::{breakdown_from_trace, cross_check, CrossCheck};
     pub use entk_cluster::FaultProfile;
     pub use entk_kernels::{KernelCall, KernelRegistry};
     pub use entk_md::TemperatureLadder;
-    pub use entk_sim::{SimDuration, SimTime};
+    pub use entk_sim::{SimDuration, SimTime, Telemetry, Tracer};
 }

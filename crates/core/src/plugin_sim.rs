@@ -26,7 +26,9 @@ use entk_pilot::{
     PilotDescription, PilotId, PilotState, RuntimeEvent, RuntimeNotification, SimRuntime,
     SimRuntimeConfig, UnitDescription, UnitId, UnitState, UnitWork,
 };
-use entk_sim::{Context, Engine, RunOutcome, SimDuration, SimRng, SimTime};
+use entk_sim::{
+    Context, Engine, RunOutcome, SharedTelemetry, SimDuration, SimRng, SimTime, Subject,
+};
 use std::collections::{HashMap, HashSet};
 
 /// Top-level event type of the simulated toolkit stack.
@@ -38,8 +40,10 @@ pub(crate) enum Ev {
     Cl(ClusterEvent),
     /// Toolkit init + resource request done: submit the pilot.
     Boot,
-    /// Pattern overhead paid: submit these tasks' units.
-    TasksReady(Vec<u64>),
+    /// Pattern overhead paid: submit these tasks' units. The first field is
+    /// the spawn-batch id ([`RETRY_BATCH`] for retry resubmissions, which
+    /// carry no pattern overhead).
+    TasksReady(u64, Vec<u64>),
     /// Kill-replace watchdog for a task.
     TaskTimeout(u64),
     /// Graceful pilot shutdown.
@@ -97,6 +101,12 @@ pub(crate) struct SimDriver {
     tasks: HashMap<u64, TaskEntry>,
     unit_to_task: HashMap<UnitId, u64>,
     next_uid: u64,
+    /// Id of the next spawn batch; pairs `tasks_created`/`tasks_submitted`
+    /// trace events so pattern overhead can be re-derived from the trace.
+    next_batch: u64,
+    /// Shared trace/metrics pipeline, cloned from the pilot runtime so all
+    /// three layers append to one chronologically interleaved record.
+    telemetry: SharedTelemetry,
     live_tasks: usize,
     failed_tasks: usize,
     total_retries: u32,
@@ -124,9 +134,11 @@ impl SimDriver {
         background_load: Option<entk_cluster::cluster::BackgroundLoad>,
         fault_profile: Option<entk_cluster::FaultProfile>,
     ) -> Self {
+        let runtime = SimRuntime::new(platform, runtime_config);
+        let telemetry = runtime.telemetry().clone();
         SimDriver {
             engine: Engine::new(),
-            runtime: SimRuntime::new(platform, runtime_config),
+            runtime,
             registry,
             entk,
             fault,
@@ -143,6 +155,8 @@ impl SimDriver {
             tasks: HashMap::new(),
             unit_to_task: HashMap::new(),
             next_uid: 0,
+            next_batch: 0,
+            telemetry,
             live_tasks: 0,
             failed_tasks: 0,
             total_retries: 0,
@@ -164,6 +178,11 @@ impl SimDriver {
     /// Replaces the binding policy (paper §V: intelligent execution plugin).
     pub(crate) fn set_binding_policy(&mut self, b: Box<dyn BindingPolicy>) {
         self.binding = b;
+    }
+
+    /// The shared cross-layer trace/metrics pipeline.
+    pub(crate) fn telemetry(&self) -> &SharedTelemetry {
+        &self.telemetry
     }
 
     /// True when every pilot has failed or been cancelled.
@@ -189,6 +208,8 @@ impl SimDriver {
         if !matches!(self.state, DriverState::Created) {
             return Err(EntkError::Usage("allocate() called twice".into()));
         }
+        self.telemetry
+            .record(self.engine.now(), "entk", "session_start", Subject::Session);
         let init = self.entk.init.sample_duration(&mut self.rng)
             + self.entk.resource_request.sample_duration(&mut self.rng);
         self.core_overhead += init;
@@ -211,7 +232,8 @@ impl SimDriver {
                 "pattern emitted no initial tasks but is not done".into(),
             ));
         }
-        self.spawn_tasks(initial);
+        let now = self.engine.now();
+        self.spawn_tasks(initial, now);
         self.flush_outbox_direct();
         // pump's stop closure cannot see the pattern; poll manually.
         loop {
@@ -258,6 +280,12 @@ impl SimDriver {
         let teardown = self.entk.teardown.sample_duration(&mut self.rng);
         self.core_overhead += teardown;
         self.teardown_reached = false;
+        self.telemetry.record(
+            self.engine.now(),
+            "entk",
+            "teardown_start",
+            Subject::Session,
+        );
         self.engine.schedule_in(teardown, Ev::Nop);
         // Do not drain to empty: background-load models keep the event
         // queue alive forever; stop once the teardown marker fires.
@@ -320,6 +348,8 @@ impl SimDriver {
         let mut notes = Vec::new();
         match ev {
             Ev::Boot => {
+                self.telemetry
+                    .record(ctx.now(), "entk", "resource_ready", Subject::Session);
                 if let Some(load) = self.background_load {
                     self.runtime.cluster_mut().enable_background_load(load, ctx);
                 }
@@ -353,7 +383,17 @@ impl SimDriver {
             }
             Ev::Rt(re) => self.runtime.handle(re, ctx, &mut notes),
             Ev::Cl(ce) => self.runtime.handle_cluster(ce, ctx, &mut notes),
-            Ev::TasksReady(uids) => self.submit_units(uids, ctx, &mut notes),
+            Ev::TasksReady(batch, uids) => {
+                if batch != RETRY_BATCH {
+                    self.telemetry.record(
+                        ctx.now(),
+                        "entk",
+                        "tasks_submitted",
+                        Subject::Batch(batch),
+                    );
+                }
+                self.submit_units(uids, ctx, &mut notes);
+            }
             Ev::TaskTimeout(uid) => self.on_timeout(uid, ctx, &mut notes),
             Ev::Shutdown => {
                 self.runtime.cluster_mut().disable_background_load();
@@ -361,7 +401,11 @@ impl SimDriver {
                     self.runtime.finish_pilot(p, ctx, &mut notes);
                 }
             }
-            Ev::Nop => self.teardown_reached = true,
+            Ev::Nop => {
+                self.teardown_reached = true;
+                self.telemetry
+                    .record(ctx.now(), "entk", "teardown_done", Subject::Session);
+            }
         }
         self.process_notifications(notes, ctx, pattern);
         self.flush_outbox(ctx);
@@ -383,7 +427,10 @@ impl SimDriver {
 
     /// Registers pattern-emitted tasks and schedules their submission after
     /// the EnTK pattern overhead.
-    fn spawn_tasks(&mut self, tasks: Vec<Task>) {
+    ///
+    /// `now` is passed in because inside an event handler `self.engine` is
+    /// temporarily taken (see `step_one`) and would read as t = 0.
+    fn spawn_tasks(&mut self, tasks: Vec<Task>, now: SimTime) {
         if tasks.is_empty() {
             return;
         }
@@ -392,7 +439,10 @@ impl SimDriver {
         let fixed = self.entk.task_submit_fixed.sample(&mut self.rng);
         let delay = SimDuration::from_secs_f64(fixed + per * n);
         self.pattern_overhead += delay;
-        let now = self.engine.now();
+        let batch = self.next_batch;
+        self.next_batch += 1;
+        self.telemetry
+            .record(now, "entk", "tasks_created", Subject::Batch(batch));
         let mut uids = Vec::with_capacity(tasks.len());
         for task in tasks {
             let uid = self.next_uid;
@@ -419,9 +469,11 @@ impl SimDriver {
                     attempt_started: None,
                 },
             );
+            self.telemetry
+                .record(now, "entk", "task_created", Subject::Task(uid));
             uids.push(uid);
         }
-        self.outbox.push((delay, Ev::TasksReady(uids)));
+        self.outbox.push((delay, Ev::TasksReady(batch, uids)));
     }
 
     /// Binds tasks to unit descriptions and submits them to the runtime.
@@ -504,6 +556,8 @@ impl SimDriver {
             let entry = self.tasks.get_mut(&uid).expect("entry exists");
             entry.unit = Some(unit);
             entry.attempt_started = Some(ctx.now());
+            self.telemetry
+                .record(ctx.now(), "entk", "task_submitted", Subject::Task(uid));
             self.unit_to_task.insert(unit, uid);
             if let Some(timeout) = self.fault.task_timeout {
                 ctx.schedule_in(timeout, Ev::TaskTimeout(uid));
@@ -523,6 +577,9 @@ impl SimDriver {
         entry.record.success = false;
         self.live_tasks -= 1;
         self.failed_tasks += 1;
+        self.telemetry
+            .record(ctx.now(), "entk", "task_failed", Subject::Task(uid));
+        self.telemetry.inc("entk.task_failures");
         // Defer the pattern callback so it happens in a clean handler pass.
         self.outbox
             .push((SimDuration::ZERO, Ev::TaskTimeout(uid | KERNEL_FAIL_FLAG)));
@@ -589,6 +646,8 @@ impl SimDriver {
             .unwrap_or(SimDuration::ZERO);
         entry.record.lost_to_failures += lost;
         self.failure_lost += lost;
+        self.telemetry
+            .record(now, "entk", "task_attempt_failed", Subject::Task(uid));
         if entry.record.retries < max_retries {
             entry.record.retries += 1;
             entry.unit = None;
@@ -596,13 +655,23 @@ impl SimDriver {
             entry.record.lost_to_failures += delay;
             self.failure_lost += delay;
             self.total_retries += 1;
-            self.outbox.push((delay, Ev::TasksReady(vec![uid])));
+            // Stamped at the instant the backoff completes, so the backoff
+            // charge is recoverable from the trace as (task_retry −
+            // task_attempt_failed) even if the resubmission never runs.
+            self.telemetry
+                .record(now + delay, "entk", "task_retry", Subject::Task(uid));
+            self.telemetry.inc("entk.retries");
+            self.outbox
+                .push((delay, Ev::TasksReady(RETRY_BATCH, vec![uid])));
         } else {
             entry.terminal = true;
             entry.record.finished = Some(now);
             entry.record.success = false;
             self.live_tasks -= 1;
             self.failed_tasks += 1;
+            self.telemetry
+                .record(now, "entk", "task_failed", Subject::Task(uid));
+            self.telemetry.inc("entk.task_failures");
             self.pending_results.push(TaskResult::failed(
                 entry.task.tag,
                 entry.task.stage.clone(),
@@ -635,10 +704,13 @@ impl SimDriver {
             live.sort_unstable();
             for uid in live {
                 let entry = self.tasks.get_mut(&uid).expect("entry exists");
-                let lost = entry
-                    .attempt_started
-                    .take()
-                    .map(|started| now.saturating_since(started))
+                let started = entry.attempt_started.take();
+                if started.is_some() {
+                    self.telemetry
+                        .record(now, "entk", "task_attempt_failed", Subject::Task(uid));
+                }
+                let lost = started
+                    .map(|s| now.saturating_since(s))
                     .unwrap_or(SimDuration::ZERO);
                 entry.record.lost_to_failures += lost;
                 self.failure_lost += lost;
@@ -647,6 +719,9 @@ impl SimDriver {
                 entry.record.success = false;
                 self.live_tasks -= 1;
                 self.failed_tasks += 1;
+                self.telemetry
+                    .record(now, "entk", "task_failed", Subject::Task(uid));
+                self.telemetry.inc("entk.task_failures");
                 self.pending_results.push(TaskResult::failed(
                     entry.task.tag,
                     entry.task.stage.clone(),
@@ -654,10 +729,15 @@ impl SimDriver {
                 ));
             }
             let results = std::mem::take(&mut self.pending_results);
+            // The spawns below book pattern overhead, but their submission
+            // events are discarded (`outbox.clear()`): that overhead is
+            // never actually paid, so restore the accounted value after.
+            let booked = self.pattern_overhead;
             for result in results {
                 let follow_ups = pattern.on_task_done(&result);
-                self.spawn_tasks(follow_ups);
+                self.spawn_tasks(follow_ups, now);
             }
+            self.pattern_overhead = booked;
             // Those spawns queued submission events that will never run.
             self.outbox.clear();
         }
@@ -713,7 +793,7 @@ impl SimDriver {
             let results = std::mem::take(&mut self.pending_results);
             for result in results {
                 let follow_ups = p.on_task_done(&result);
-                self.spawn_tasks(follow_ups);
+                self.spawn_tasks(follow_ups, ctx.now());
             }
         }
     }
@@ -741,6 +821,8 @@ impl SimDriver {
                 entry.record.finished = Some(time);
                 entry.record.success = true;
                 self.live_tasks -= 1;
+                self.telemetry
+                    .record(time, "entk", "task_done", Subject::Task(uid));
                 self.pending_results.push(TaskResult::ok(
                     entry.task.tag,
                     entry.task.stage.clone(),
@@ -800,3 +882,7 @@ impl SimDriver {
 
 /// Sentinel bit marking deferred kernel-binding failures in `TaskTimeout`.
 const KERNEL_FAIL_FLAG: u64 = 1 << 63;
+
+/// Sentinel batch id for retry resubmissions in `TasksReady`. Retries carry
+/// no pattern overhead, so the trace derivation skips this batch.
+const RETRY_BATCH: u64 = u64::MAX;

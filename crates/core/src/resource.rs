@@ -11,7 +11,7 @@ use crate::report::ExecutionReport;
 use entk_cluster::PlatformSpec;
 use entk_kernels::KernelRegistry;
 use entk_pilot::{BatchPolicy, RuntimeOverheads, SimRuntimeConfig, UnitScheduler};
-use entk_sim::SimDuration;
+use entk_sim::{SharedTelemetry, SimDuration, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// What resources the application asks for.
@@ -211,6 +211,16 @@ impl ResourceHandle {
         }
     }
 
+    /// The shared cross-layer trace/metrics pipeline behind this handle.
+    /// `None` on the local backend, which executes in real time and has no
+    /// virtual-clock trace.
+    pub fn telemetry(&self) -> Option<&SharedTelemetry> {
+        match &self.inner {
+            Inner::Sim(d) => Some(d.telemetry()),
+            Inner::Local(_) => None,
+        }
+    }
+
     /// Acquires resources: submits the pilot and waits (in virtual time)
     /// until its agent is active.
     pub fn allocate(&mut self) -> Result<(), EntkError> {
@@ -249,10 +259,27 @@ pub fn run_simulated(
     sim: SimulatedConfig,
     pattern: &mut dyn ExecutionPattern,
 ) -> Result<ExecutionReport, EntkError> {
+    run_simulated_traced(config, sim, pattern).map(|(report, _)| report)
+}
+
+/// Like [`run_simulated`], but also returns the session's telemetry: the
+/// cross-layer event trace (exportable as Chrome trace JSON or JSONL) and
+/// the metrics collected along the way. The trace is the input to
+/// [`crate::trace_check::cross_check`], which re-derives the overhead
+/// breakdown from timestamps and asserts it matches the accounting.
+pub fn run_simulated_traced(
+    config: ResourceConfig,
+    sim: SimulatedConfig,
+    pattern: &mut dyn ExecutionPattern,
+) -> Result<(ExecutionReport, Telemetry), EntkError> {
     let mut handle = ResourceHandle::simulated(config, sim)?;
     handle.allocate()?;
     let run_report = handle.run(pattern)?;
     let mut session = handle.deallocate()?;
     session.pattern = run_report.pattern;
-    Ok(session)
+    let telemetry = handle
+        .telemetry()
+        .expect("simulated handle has telemetry")
+        .snapshot();
+    Ok((session, telemetry))
 }

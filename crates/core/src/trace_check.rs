@@ -1,0 +1,281 @@
+//! Cross-validation of the overhead accounting against the event trace.
+//!
+//! The driver accounts `OverheadBreakdown` analytically as it runs (summing
+//! sampled delays). The trace records *when things happened*. This module
+//! re-derives the same breakdown purely from trace timestamps and compares
+//! the two — any drift means either the accounting or the instrumentation
+//! is wrong, so bench binaries assert the match on every figure run.
+
+use crate::report::{ExecutionReport, OverheadBreakdown};
+use entk_sim::{SimDuration, SimTime, Subject, Tracer};
+use std::collections::HashMap;
+
+/// Re-derives the paper's overhead decomposition from trace timestamps.
+///
+/// - **core** = (`resource_ready` − `session_start`) + (`teardown_done` −
+///   `teardown_start`): the init/resource-request and teardown windows.
+/// - **pattern** = Σ over spawn batches of (`tasks_submitted` −
+///   `tasks_created`); batches with no submission event (discarded during
+///   graceful degradation) are excluded, matching the accounting.
+/// - **runtime_pilot** = first pilot's `pilot_launched` − `pilot_submitted`.
+/// - **resource_wait** = first pilot's `pilot_active` − `pilot_launched`.
+/// - **failure_lost** = per-task walk: each `task_attempt_failed` charges
+///   the wall time since that task's last `task_submitted`; each
+///   `task_retry` (stamped at backoff completion) charges the backoff since
+///   the preceding `task_attempt_failed`.
+pub fn breakdown_from_trace(tracer: &Tracer) -> OverheadBreakdown {
+    let t = |name: &str| tracer.time_of("entk", name, Subject::Session);
+    let span = |start: Option<SimTime>, end: Option<SimTime>| {
+        end.zip(start)
+            .map(|(e, s)| e.saturating_since(s))
+            .unwrap_or(SimDuration::ZERO)
+    };
+    let core = span(t("session_start"), t("resource_ready"))
+        + span(t("teardown_start"), t("teardown_done"));
+
+    let mut created: HashMap<u64, SimTime> = HashMap::new();
+    let mut pattern = SimDuration::ZERO;
+    let mut first_pilot: Option<u64> = None;
+    let mut last_sub: HashMap<u64, SimTime> = HashMap::new();
+    let mut last_fail: HashMap<u64, SimTime> = HashMap::new();
+    let mut failure_lost = SimDuration::ZERO;
+    for r in tracer.records() {
+        match (r.layer, r.name, r.subject) {
+            ("entk", "tasks_created", Subject::Batch(b)) => {
+                created.insert(b, r.time);
+            }
+            ("entk", "tasks_submitted", Subject::Batch(b)) => {
+                if let Some(c) = created.remove(&b) {
+                    pattern += r.time.saturating_since(c);
+                }
+            }
+            ("entk", "task_submitted", Subject::Task(uid)) => {
+                last_sub.insert(uid, r.time);
+            }
+            // Records are walked in append order: a retry's backoff stamp is
+            // appended right after its attempt failure, so `last_fail` is
+            // always the matching failure even though the stamp lies in the
+            // future.
+            ("entk", "task_attempt_failed", Subject::Task(uid)) => {
+                let s = last_sub.remove(&uid).unwrap_or(r.time);
+                failure_lost += r.time.saturating_since(s);
+                last_fail.insert(uid, r.time);
+            }
+            ("entk", "task_retry", Subject::Task(uid)) => {
+                let f = last_fail.remove(&uid).unwrap_or(r.time);
+                failure_lost += r.time.saturating_since(f);
+            }
+            ("pilot", "pilot_submitted", Subject::Pilot(p)) => {
+                first_pilot.get_or_insert(p);
+            }
+            _ => {}
+        }
+    }
+
+    let (runtime_pilot, resource_wait) = first_pilot
+        .map(|p| {
+            let pt = |name: &str| tracer.time_of("pilot", name, Subject::Pilot(p));
+            (
+                span(pt("pilot_submitted"), pt("pilot_launched")),
+                span(pt("pilot_launched"), pt("pilot_active")),
+            )
+        })
+        .unwrap_or((SimDuration::ZERO, SimDuration::ZERO));
+
+    OverheadBreakdown {
+        core,
+        pattern,
+        runtime_pilot,
+        resource_wait,
+        failure_lost,
+    }
+}
+
+/// Result of comparing the trace-derived breakdown with the accounted one.
+#[derive(Debug, Clone, Copy)]
+pub struct CrossCheck {
+    /// Breakdown recomputed from trace timestamps.
+    pub derived: OverheadBreakdown,
+    /// Breakdown accounted analytically by the driver.
+    pub accounted: OverheadBreakdown,
+    /// Largest per-field absolute difference, in seconds.
+    pub max_abs_error_secs: f64,
+}
+
+impl CrossCheck {
+    /// True when every compared field agrees within `tol_secs`.
+    pub fn within(&self, tol_secs: f64) -> bool {
+        self.max_abs_error_secs <= tol_secs
+    }
+
+    /// Panics with a field-by-field diff unless the breakdowns agree to
+    /// microsecond precision (1e-6 s, the virtual-clock resolution).
+    pub fn assert_ok(&self) {
+        assert!(
+            self.within(1e-6),
+            "trace-derived overheads diverge from accounted (max err {:.6e}s)\n  \
+             derived:   {:?}\n  accounted: {:?}",
+            self.max_abs_error_secs,
+            self.derived,
+            self.accounted,
+        );
+    }
+}
+
+/// Recomputes the overhead breakdown from `tracer` and compares it with the
+/// breakdown accounted in `report`.
+///
+/// On partial runs (graceful degradation) the `pattern` field is excluded:
+/// teardown may truncate submission events whose overhead the accounting
+/// already booked. Every other field must always agree.
+pub fn cross_check(report: &ExecutionReport, tracer: &Tracer) -> CrossCheck {
+    let derived = breakdown_from_trace(tracer);
+    let accounted = report.overheads;
+    let diff = |d: SimDuration, a: SimDuration| (d.as_secs_f64() - a.as_secs_f64()).abs();
+    let mut errs = vec![
+        diff(derived.core, accounted.core),
+        diff(derived.runtime_pilot, accounted.runtime_pilot),
+        diff(derived.resource_wait, accounted.resource_wait),
+        diff(derived.failure_lost, accounted.failure_lost),
+    ];
+    if !report.partial {
+        errs.push(diff(derived.pattern, accounted.pattern));
+    }
+    let max_abs_error_secs = errs.iter().copied().fold(0.0, f64::max);
+    CrossCheck {
+        derived,
+        accounted,
+        max_abs_error_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entk_sim::Tracer;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn derives_core_and_pattern_from_synthetic_trace() {
+        let mut tr = Tracer::new();
+        tr.record(t(0.0), "entk", "session_start", Subject::Session);
+        tr.record(t(2.5), "entk", "resource_ready", Subject::Session);
+        tr.record(t(2.5), "entk", "tasks_created", Subject::Batch(0));
+        tr.record(t(3.0), "entk", "tasks_submitted", Subject::Batch(0));
+        // A degraded batch: created but never submitted — excluded.
+        tr.record(t(4.0), "entk", "tasks_created", Subject::Batch(1));
+        tr.record(t(90.0), "entk", "teardown_start", Subject::Session);
+        tr.record(t(91.0), "entk", "teardown_done", Subject::Session);
+        let d = breakdown_from_trace(&tr);
+        assert!((d.core.as_secs_f64() - 3.5).abs() < 1e-9);
+        assert!((d.pattern.as_secs_f64() - 0.5).abs() < 1e-9);
+        assert_eq!(d.failure_lost, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn derives_pilot_overheads_from_first_pilot() {
+        let mut tr = Tracer::new();
+        tr.record(t(1.0), "pilot", "pilot_submitted", Subject::Pilot(7));
+        tr.record(t(1.4), "pilot", "pilot_launched", Subject::Pilot(7));
+        tr.record(t(11.4), "pilot", "pilot_active", Subject::Pilot(7));
+        // A second pilot must not override the first.
+        tr.record(t(2.0), "pilot", "pilot_submitted", Subject::Pilot(8));
+        tr.record(t(3.0), "pilot", "pilot_launched", Subject::Pilot(8));
+        let d = breakdown_from_trace(&tr);
+        assert!((d.runtime_pilot.as_secs_f64() - 0.4).abs() < 1e-9);
+        assert!((d.resource_wait.as_secs_f64() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failure_lost_walk_charges_attempts_and_backoff() {
+        let mut tr = Tracer::new();
+        // Attempt 1: submitted at 10, fails at 25 (15s lost), retry with a
+        // 5s backoff stamped at 30, resubmitted at 30, succeeds.
+        tr.record(t(10.0), "entk", "task_submitted", Subject::Task(3));
+        tr.record(t(25.0), "entk", "task_attempt_failed", Subject::Task(3));
+        tr.record(t(30.0), "entk", "task_retry", Subject::Task(3));
+        tr.record(t(30.0), "entk", "task_submitted", Subject::Task(3));
+        tr.record(t(40.0), "entk", "task_done", Subject::Task(3));
+        let d = breakdown_from_trace(&tr);
+        assert!((d.failure_lost.as_secs_f64() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_check_flags_divergence() {
+        let mut tr = Tracer::new();
+        tr.record(t(0.0), "entk", "session_start", Subject::Session);
+        tr.record(t(2.0), "entk", "resource_ready", Subject::Session);
+        let mut report = crate::report::ExecutionReport {
+            pattern: "x".into(),
+            resource: "local".into(),
+            cores: 1,
+            ttc: SimDuration::from_secs(10),
+            overheads: OverheadBreakdown {
+                core: SimDuration::from_secs(2),
+                ..Default::default()
+            },
+            tasks: vec![],
+            failed_tasks: 0,
+            total_retries: 0,
+            partial: false,
+        };
+        assert!(cross_check(&report, &tr).within(1e-6));
+        report.overheads.core = SimDuration::from_secs(3);
+        let cc = cross_check(&report, &tr);
+        assert!(!cc.within(1e-6));
+        assert!((cc.max_abs_error_secs - 1.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod end_to_end_tests {
+    use super::*;
+    use crate::fault::FaultConfig;
+    use crate::pattern::BagOfTasks;
+    use crate::resource::{run_simulated_traced, ResourceConfig, SimulatedConfig};
+    use entk_kernels::KernelCall;
+    use serde_json::json;
+
+    fn pattern(n: usize) -> BagOfTasks {
+        BagOfTasks::new(n, |_| KernelCall::new("misc.sleep", json!({"secs": 5.0})))
+    }
+
+    #[test]
+    fn clean_run_cross_checks_exactly() {
+        let config = ResourceConfig::new("xsede.comet", 16, SimDuration::from_secs(3600));
+        let (report, telemetry) =
+            run_simulated_traced(config, SimulatedConfig::default(), &mut pattern(24)).unwrap();
+        assert!(!report.partial);
+        let cc = cross_check(&report, &telemetry.tracer);
+        cc.assert_ok();
+        // The derivation actually saw the events (non-trivial match).
+        assert!(cc.derived.core > SimDuration::ZERO);
+        assert!(cc.derived.pattern > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn faulty_run_cross_checks_failure_lost() {
+        let config = ResourceConfig::new("xsede.comet", 16, SimDuration::from_secs(3600));
+        let sim = SimulatedConfig {
+            unit_failure_rate: 0.3,
+            fault: FaultConfig {
+                max_retries: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let (report, telemetry) = run_simulated_traced(config, sim, &mut pattern(24)).unwrap();
+        assert!(report.total_retries > 0, "seed should produce retries");
+        let cc = cross_check(&report, &telemetry.tracer);
+        cc.assert_ok();
+        assert!(cc.derived.failure_lost > SimDuration::ZERO);
+        // Retry counters flow into the metrics side of the pipeline.
+        assert_eq!(
+            telemetry.metrics.counter("entk.retries"),
+            u64::from(report.total_retries)
+        );
+    }
+}

@@ -15,7 +15,7 @@ use entk_cluster::{
     Cluster, ClusterEvent, EasyBackfillScheduler, FairShareScheduler, FifoScheduler, PlatformSpec,
 };
 use entk_saga::{JobDescription, JobState, JobUpdate, SagaJobId, SimJobService};
-use entk_sim::{Context, SimDuration, SimRng, SimTime, Tracer};
+use entk_sim::{Context, SharedTelemetry, SimDuration, SimRng, SimTime, Subject, Tracer};
 use rustc_hash::FxHashMap;
 
 /// Events the runtime schedules for itself.
@@ -146,7 +146,10 @@ pub struct SimRuntime {
     /// Units in `Scheduling` not yet placed, in submission order.
     waiting: Vec<UnitId>,
     profiler: Profiler,
-    tracer: Tracer,
+    telemetry: SharedTelemetry,
+    /// Maintained count of non-terminal units, mirrored into the
+    /// `pilot.live_units` gauge without rescanning the unit map.
+    live: usize,
     next_pilot: u64,
     next_unit: u64,
 }
@@ -160,7 +163,9 @@ impl SimRuntime {
             BatchPolicy::Backfill => Box::new(EasyBackfillScheduler),
             BatchPolicy::FairShare => Box::new(FairShareScheduler::new(3600.0)),
         };
-        let cluster = Cluster::with_scheduler(spec, seed ^ 0xC1u64, scheduler);
+        let telemetry = SharedTelemetry::new();
+        let mut cluster = Cluster::with_scheduler(spec, seed ^ 0xC1u64, scheduler);
+        cluster.set_telemetry(telemetry.clone());
         SimRuntime {
             service: SimJobService::from_cluster(cluster),
             rng: SimRng::seed_from_u64(seed),
@@ -171,7 +176,8 @@ impl SimRuntime {
             units: FxHashMap::default(),
             waiting: Vec::new(),
             profiler: Profiler::new(),
-            tracer: Tracer::new(),
+            telemetry,
+            live: 0,
             next_pilot: 0,
             next_unit: 0,
         }
@@ -192,10 +198,17 @@ impl SimRuntime {
         &self.profiler
     }
 
-    /// Structured event trace of the session (RADICAL-Pilot-style profiler
-    /// records: `unit_scheduled`, `unit_exec_start`, `unit_done`, …).
-    pub fn tracer(&self) -> &Tracer {
-        &self.tracer
+    /// A snapshot of the session's structured event trace
+    /// (RADICAL-Pilot-style profiler records: `unit_scheduled`,
+    /// `unit_exec_start`, `unit_done`, …) across all three layers.
+    pub fn tracer(&self) -> Tracer {
+        self.telemetry.snapshot().tracer
+    }
+
+    /// The shared telemetry pipeline this runtime (and its cluster) record
+    /// into; clone it into higher layers to join the same trace.
+    pub fn telemetry(&self) -> &SharedTelemetry {
+        &self.telemetry
     }
 
     /// Current state of a pilot.
@@ -246,8 +259,8 @@ impl SimRuntime {
                 saga_job: None,
             },
         );
-        self.tracer
-            .record(ctx.now(), "pilot", "pilot_submitted", id.to_string());
+        self.telemetry
+            .record(ctx.now(), "pilot", "pilot_submitted", Subject::Pilot(id.0));
         let delay = self
             .config
             .overheads
@@ -289,6 +302,9 @@ impl SimRuntime {
                     exec_event: None,
                 },
             );
+            self.live += 1;
+            self.telemetry
+                .record(ctx.now(), "pilot", "unit_submitted", Subject::Unit(id.0));
             out.push(RuntimeNotification::Unit {
                 id,
                 state: UnitState::New,
@@ -297,6 +313,8 @@ impl SimRuntime {
             });
             ids.push(id);
         }
+        self.telemetry
+            .gauge("pilot.live_units", ctx.now(), self.live as f64);
         let fixed = self
             .config
             .overheads
@@ -334,6 +352,7 @@ impl SimRuntime {
         }
         self.waiting.retain(|&w| w != id);
         self.profiler.unit_mut(id).done = Some(ctx.now());
+        self.note_unit_terminal(id, "unit_canceled", ctx.now());
         if let (Some(pid), true) = (pilot, released > 0) {
             if let Some(p) = self.pilots.get_mut(&pid) {
                 p.free_cores += released;
@@ -471,6 +490,8 @@ impl SimRuntime {
         self.pilots.get_mut(&id).expect("pilot exists").saga_job = Some(saga);
         self.saga_to_pilot.insert(saga, id);
         self.profiler.pilot_mut(id).launched = Some(ctx.now());
+        self.telemetry
+            .record(ctx.now(), "pilot", "pilot_launched", Subject::Pilot(id.0));
         self.set_pilot_state(id, PilotState::Launching, ctx.now(), out);
         self.apply_saga_updates(updates, ctx, out);
     }
@@ -491,8 +512,8 @@ impl SimRuntime {
             }
             match u.state {
                 JobState::Running => {
-                    self.tracer
-                        .record(u.time, "pilot", "pilot_active", pid.to_string());
+                    self.telemetry
+                        .record(u.time, "pilot", "pilot_active", Subject::Pilot(pid.0));
                     self.profiler.pilot_mut(pid).active = Some(u.time);
                     self.set_pilot_state(pid, PilotState::Active, u.time, out);
                     ctx.schedule_in(SimDuration::ZERO, RuntimeEvent::SchedulePass);
@@ -559,6 +580,7 @@ impl SimRuntime {
                     ctx.cancel(ev);
                 }
                 self.profiler.unit_mut(id).done = Some(time);
+                self.note_unit_terminal(id, "unit_failed", time);
                 out.push(RuntimeNotification::Unit {
                     id,
                     state: UnitState::Failed,
@@ -573,8 +595,8 @@ impl SimRuntime {
                 }
             }
         }
-        self.tracer
-            .record(time, "pilot", "pilot_shrunk", pid.to_string());
+        self.telemetry
+            .record(time, "pilot", "pilot_shrunk", Subject::Pilot(pid.0));
         out.push(RuntimeNotification::PilotShrunk {
             id: pid,
             lost_cores: lost,
@@ -593,6 +615,13 @@ impl SimRuntime {
         out: &mut Vec<RuntimeNotification>,
     ) {
         self.profiler.pilot_mut(pid).finished = Some(time);
+        let event = match state {
+            PilotState::Done => "pilot_done",
+            PilotState::Canceled => "pilot_cancelled",
+            _ => "pilot_failed",
+        };
+        self.telemetry
+            .record(time, "pilot", event, Subject::Pilot(pid.0));
         self.set_pilot_state(pid, state, time, out);
         // Units in flight on this pilot fail (they lose their cores).
         let victims: Vec<UnitId> = self
@@ -610,6 +639,7 @@ impl SimRuntime {
                     ctx.cancel(ev);
                 }
                 self.profiler.unit_mut(id).done = Some(time);
+                self.note_unit_terminal(id, "unit_failed", time);
                 out.push(RuntimeNotification::Unit {
                     id,
                     state: UnitState::Failed,
@@ -662,6 +692,7 @@ impl SimRuntime {
             let unit = self.units.get_mut(&id).expect("unit exists");
             unit.state = UnitState::Failed;
             self.profiler.unit_mut(id).done = Some(ctx.now());
+            self.note_unit_terminal(id, "unit_failed", ctx.now());
             out.push(RuntimeNotification::Unit {
                 id,
                 state: UnitState::Failed,
@@ -706,11 +737,11 @@ impl SimRuntime {
             unit.holding = unit.description.cores;
             unit.state = UnitState::StagingInput;
             self.waiting.retain(|&w| w != placement.unit);
-            self.tracer.record(
+            self.telemetry.record(
                 ctx.now(),
                 "pilot",
                 "unit_scheduled",
-                placement.unit.to_string(),
+                Subject::Unit(placement.unit.0),
             );
             self.profiler.unit_mut(placement.unit).scheduled = Some(ctx.now());
             out.push(RuntimeNotification::Unit {
@@ -761,8 +792,8 @@ impl SimRuntime {
             return;
         }
         unit.state = UnitState::Executing;
-        self.tracer
-            .record(ctx.now(), "pilot", "unit_exec_start", id.to_string());
+        self.telemetry
+            .record(ctx.now(), "pilot", "unit_exec_start", Subject::Unit(id.0));
         let duration = match &unit.description.work {
             UnitWork::Modeled(d) => *d,
             UnitWork::Real(_) => SimDuration::ZERO, // real work has no place in virtual time
@@ -799,8 +830,8 @@ impl SimRuntime {
         if unit.state != UnitState::Executing {
             return;
         }
-        self.tracer
-            .record(ctx.now(), "pilot", "unit_exec_stop", id.to_string());
+        self.telemetry
+            .record(ctx.now(), "pilot", "unit_exec_stop", Subject::Unit(id.0));
         self.profiler.unit_mut(id).exec_stop = Some(ctx.now());
         unit.exec_event = None;
         // Release cores regardless of outcome.
@@ -816,6 +847,7 @@ impl SimRuntime {
         if legacy_failed || injected_failed {
             unit.state = UnitState::Failed;
             self.profiler.unit_mut(id).done = Some(ctx.now());
+            self.note_unit_terminal(id, "unit_failed", ctx.now());
             out.push(RuntimeNotification::Unit {
                 id,
                 state: UnitState::Failed,
@@ -836,6 +868,7 @@ impl SimRuntime {
         } else {
             unit.state = UnitState::Done;
             self.profiler.unit_mut(id).done = Some(ctx.now());
+            self.note_unit_terminal(id, "unit_done", ctx.now());
             out.push(RuntimeNotification::Unit {
                 id,
                 state: UnitState::Done,
@@ -865,13 +898,23 @@ impl SimRuntime {
         }
         unit.state = UnitState::Done;
         self.profiler.unit_mut(id).done = Some(ctx.now());
-        let _ = ctx;
+        self.note_unit_terminal(id, "unit_done", ctx.now());
         out.push(RuntimeNotification::Unit {
             id,
             state: UnitState::Done,
             time: ctx.now(),
             detail: None,
         });
+    }
+
+    /// Bookkeeping shared by every unit-terminal transition: one trace
+    /// record for the outcome and a `pilot.live_units` gauge sample.
+    fn note_unit_terminal(&mut self, id: UnitId, event: &'static str, time: SimTime) {
+        self.live = self.live.saturating_sub(1);
+        self.telemetry
+            .record(time, "pilot", event, Subject::Unit(id.0));
+        self.telemetry
+            .gauge("pilot.live_units", time, self.live as f64);
     }
 }
 
@@ -1258,13 +1301,32 @@ mod tracer_tests {
         assert_eq!(tracer.filter("pilot", "unit_exec_stop").count(), 3);
         // Causality per unit: scheduled <= exec_start <= exec_stop.
         for u in 0..3u64 {
-            let subject = UnitId(u).to_string();
-            let sched = tracer.time_of("pilot", "unit_scheduled", &subject).unwrap();
-            let start = tracer
-                .time_of("pilot", "unit_exec_start", &subject)
-                .unwrap();
-            let stop = tracer.time_of("pilot", "unit_exec_stop", &subject).unwrap();
+            let subject = Subject::Unit(u);
+            let sched = tracer.time_of("pilot", "unit_scheduled", subject).unwrap();
+            let start = tracer.time_of("pilot", "unit_exec_start", subject).unwrap();
+            let stop = tracer.time_of("pilot", "unit_exec_stop", subject).unwrap();
             assert!(sched <= start && start <= stop);
         }
+    }
+
+    #[test]
+    fn trace_spans_cluster_and_pilot_layers() {
+        let units: Vec<_> = (0..2)
+            .map(|i| UnitDescription::modeled(format!("t{i}"), SimDuration::from_secs(5)))
+            .collect();
+        let (_, rt) = run_session(quiet_spec(1, 4), quiet_config(), 4, units);
+        let tracer = rt.tracer();
+        // The pilot's container job is traced by the cluster layer through
+        // the same shared pipeline.
+        assert_eq!(tracer.filter("cluster", "job_queued").count(), 1);
+        assert_eq!(tracer.filter("cluster", "job_started").count(), 1);
+        assert_eq!(tracer.filter("cluster", "job_running").count(), 1);
+        assert_eq!(tracer.filter("cluster", "job_completed").count(), 1);
+        // Terminal unit outcomes are traced.
+        assert_eq!(tracer.filter("pilot", "unit_done").count(), 2);
+        // Live-unit gauge drains back to zero.
+        let snap = rt.telemetry().snapshot();
+        let live = snap.metrics.series("pilot.live_units").unwrap();
+        assert_eq!(live.points().last().unwrap().1, 0.0);
     }
 }

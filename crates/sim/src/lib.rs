@@ -13,6 +13,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod metrics;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -20,7 +21,8 @@ pub mod trace;
 
 pub use engine::{Context, Engine, RunOutcome};
 pub use event::{EventId, EventQueue};
+pub use metrics::Metrics;
 pub use rng::{Dist, SimRng};
 pub use stats::{Histogram, Summary, TimeSeries};
 pub use time::{SimDuration, SimTime};
-pub use trace::{TraceRecord, Tracer};
+pub use trace::{SharedTelemetry, Subject, Telemetry, TraceRecord, Tracer};

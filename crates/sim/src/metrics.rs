@@ -1,0 +1,96 @@
+//! Deterministic session metrics: named virtual-time gauges and counters.
+//!
+//! Complements the event trace with aggregate signals — core utilization,
+//! batch-queue depth, live units, retry/failure counts. Everything is keyed
+//! by interned `&'static str` names and stored in `BTreeMap`s so iteration
+//! order (and hence any export) is deterministic.
+
+use crate::stats::TimeSeries;
+use crate::time::SimTime;
+use std::collections::BTreeMap;
+
+/// A bag of named gauges (virtual-time series) and monotonic counters.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    gauges: BTreeMap<&'static str, TimeSeries>,
+    counters: BTreeMap<&'static str, u64>,
+}
+
+impl Metrics {
+    /// Creates an empty metrics bag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample to the gauge `name` at `time`.
+    pub fn gauge(&mut self, name: &'static str, time: SimTime, value: f64) {
+        self.gauges.entry(name).or_default().push(time, value);
+    }
+
+    /// Adds `n` to the counter `name`.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Increments the counter `name` by one.
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of a counter; 0 if never touched.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The time series behind a gauge, if it was ever sampled.
+    pub fn series(&self, name: &str) -> Option<&TimeSeries> {
+        self.gauges.get(name)
+    }
+
+    /// All gauges in deterministic (name) order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, &TimeSeries)> + '_ {
+        self.gauges.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// All counters in deterministic (name) order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.inc("retries");
+        m.add("retries", 2);
+        assert_eq!(m.counter("retries"), 3);
+        assert_eq!(m.counter("never"), 0);
+    }
+
+    #[test]
+    fn gauges_keep_time_series() {
+        let mut m = Metrics::new();
+        m.gauge("util", SimTime::ZERO, 0.0);
+        m.gauge("util", SimTime::from_secs(10), 8.0);
+        let s = m.series("util").unwrap();
+        assert_eq!(s.points().len(), 2);
+        assert_eq!(s.peak(), 8.0);
+    }
+
+    #[test]
+    fn iteration_order_is_deterministic() {
+        let mut m = Metrics::new();
+        m.inc("z");
+        m.inc("a");
+        m.gauge("q", SimTime::ZERO, 1.0);
+        m.gauge("b", SimTime::ZERO, 1.0);
+        let counters: Vec<&str> = m.counters().map(|(k, _)| k).collect();
+        let gauges: Vec<&str> = m.gauges().map(|(k, _)| k).collect();
+        assert_eq!(counters, vec!["a", "z"]);
+        assert_eq!(gauges, vec!["b", "q"]);
+    }
+}

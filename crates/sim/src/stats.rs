@@ -54,7 +54,6 @@ impl Summary {
             .iter()
             .copied()
             .fold(f64::INFINITY, f64::min)
-            .min(f64::INFINITY)
             .pipe_finite()
     }
 
@@ -84,14 +83,30 @@ impl Summary {
     }
 
     /// Percentile in `[0, 100]` by nearest-rank on sorted samples.
+    ///
+    /// Sorts a copy of the samples; when querying several percentiles of the
+    /// same summary, prefer [`Summary::percentiles`], which sorts once.
     pub fn percentile(&self, p: f64) -> f64 {
+        self.percentiles(&[p])[0]
+    }
+
+    /// Batch percentile query: one sort shared by all requested points.
+    ///
+    /// Returns one value per entry of `ps`, each by nearest-rank on the
+    /// sorted samples; every value is 0 for an empty summary.
+    pub fn percentiles(&self, ps: &[f64]) -> Vec<f64> {
         if self.samples.is_empty() {
-            return 0.0;
+            return vec![0.0; ps.len()];
         }
         let mut sorted = self.samples.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
-        let rank = ((p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-        sorted[rank]
+        ps.iter()
+            .map(|p| {
+                let rank =
+                    ((p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+                sorted[rank]
+            })
+            .collect()
     }
 
     /// Immutable view of the raw samples.
@@ -245,12 +260,31 @@ mod tests {
 
     #[test]
     fn summary_empty_is_zeroes() {
+        // Convention: every statistic of an empty summary is exactly 0.0 —
+        // never NaN or an infinity — so report columns stay plottable.
         let s = Summary::new();
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.min(), 0.0);
         assert_eq!(s.max(), 0.0);
         assert_eq!(s.stddev(), 0.0);
-        assert_eq!(s.percentile(50.0), 0.0);
+        assert_eq!(s.median(), 0.0);
+        for p in [0.0, 50.0, 100.0] {
+            assert_eq!(s.percentile(p), 0.0);
+        }
+        assert_eq!(s.percentiles(&[0.0, 50.0, 99.9]), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn summary_batch_percentiles_match_single_queries() {
+        let mut s = Summary::new();
+        for v in 0..=100 {
+            s.add(v as f64);
+        }
+        let ps = [0.0, 12.5, 50.0, 90.0, 100.0, 200.0];
+        let batch = s.percentiles(&ps);
+        for (p, got) in ps.iter().zip(&batch) {
+            assert_eq!(*got, s.percentile(*p), "percentile {p} mismatch");
+        }
     }
 
     #[test]

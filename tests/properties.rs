@@ -198,6 +198,70 @@ proptest! {
         );
     }
 
+    /// Seeded replays produce bit-identical traces: the full event stream
+    /// (JSONL export) and the metrics snapshot are byte-for-byte equal
+    /// across two runs with the same seed, even under fault injection.
+    #[test]
+    fn prop_traces_replay_identically(
+        rate in 0.0f64..0.4,
+        retries in 0u32..6,
+        seed in 0u64..1000,
+    ) {
+        let run = || {
+            let config = ResourceConfig::new("local", 8, SimDuration::from_secs(10_000_000));
+            let sim = SimulatedConfig {
+                fault: entk_core::FaultConfig::retries(retries)
+                    .with_backoff(entk_core::BackoffPolicy::exponential(2.0))
+                    .graceful(),
+                fault_profile: Some(
+                    entk_core::FaultProfile::seeded(seed ^ 0xFA).with_task_failures(rate),
+                ),
+                ..quiet(seed)
+            };
+            let mut pattern = BagOfTasks::new(16, |i| {
+                KernelCall::new("misc.sleep", json!({ "secs": 1.0 + (i % 3) as f64 }))
+            });
+            run_simulated_traced(config, sim, &mut pattern).unwrap()
+        };
+        let ((_, ta), (_, tb)) = (run(), run());
+        prop_assert_eq!(ta.tracer.to_jsonl(), tb.tracer.to_jsonl());
+        prop_assert_eq!(format!("{:?}", ta.metrics), format!("{:?}", tb.metrics));
+    }
+
+    /// The overhead breakdown recomputed from the trace agrees with the
+    /// analytically accounted one on every random shape, seed, and fault
+    /// grid point — the end-to-end cross-validation guarantee.
+    #[test]
+    fn prop_trace_breakdown_matches_accounting(
+        pipelines in 1usize..10,
+        stages in 1usize..4,
+        rate in 0.0f64..0.4,
+        retries in 0u32..6,
+        seed in 0u64..1000,
+    ) {
+        let config = ResourceConfig::new("local", 8, SimDuration::from_secs(10_000_000));
+        let sim = SimulatedConfig {
+            seed,
+            fault: entk_core::FaultConfig::retries(retries)
+                .with_backoff(entk_core::BackoffPolicy::exponential(2.0))
+                .graceful(),
+            fault_profile: Some(
+                entk_core::FaultProfile::seeded(seed ^ 0xFA).with_task_failures(rate),
+            ),
+            ..Default::default()
+        };
+        let mut pattern = EnsembleOfPipelines::new(pipelines, stages, |p, s| {
+            KernelCall::new("misc.sleep", json!({ "secs": 1.0 + ((p + s) % 3) as f64 }))
+        });
+        let (report, telemetry) = run_simulated_traced(config, sim, &mut pattern).unwrap();
+        let cc = cross_check(&report, &telemetry.tracer);
+        prop_assert!(
+            cc.within(1e-6),
+            "trace/accounting divergence {:.3e}s (derived {:?}, accounted {:?})",
+            cc.max_abs_error_secs, cc.derived, cc.accounted
+        );
+    }
+
     /// No task ever consumes more resubmissions than the retry budget, and
     /// the report's total matches the per-task sum.
     #[test]
