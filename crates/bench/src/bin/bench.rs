@@ -17,13 +17,22 @@
 //!   --trace PATH      also write a Chrome trace-event JSON of one
 //!                     representative session (open in Perfetto or
 //!                     chrome://tracing)
+//!   --scale-sweep     run the fig10 throughput scaling sweep instead of
+//!                     the figure sweeps: events/sec and wall-clock for
+//!                     EoP/SAL ensembles of 10^3 → --max-tasks tasks
+//!   --max-tasks N     largest fig10 ensemble            [default: 1000000]
+//!   --budget-secs S   fail unless the whole scale sweep finishes within
+//!                     S seconds of wall clock (CI scale-smoke assertion)
 //! ```
 //!
 //! Every figure entry records `serial_secs`, `parallel_secs`, `speedup`,
 //! and `identical` — whether the parallel rows were bit-for-bit equal to
-//! the serial ones (they must always be; see `entk_bench::sweep`).
+//! the serial ones (they must always be; see `entk_bench::sweep`). The
+//! fig10 rows also carry host wall-clock values, which legitimately differ
+//! between runs; their identity check compares the deterministic
+//! projection (`entk_bench::deterministic_view`) instead.
 
-use entk_bench::{figures, resilience_sweep_with, Row, SweepRunner};
+use entk_bench::{deterministic_view, figures, resilience_sweep_with, Row, SweepRunner};
 use serde_json::json;
 use std::time::Instant;
 
@@ -34,6 +43,9 @@ struct Options {
     only: Option<Vec<String>>,
     out: String,
     trace: Option<String>,
+    scale_sweep: bool,
+    max_tasks: usize,
+    budget_secs: Option<f64>,
 }
 
 fn parse_args() -> Options {
@@ -44,6 +56,9 @@ fn parse_args() -> Options {
         only: None,
         out: "BENCH.json".to_string(),
         trace: None,
+        scale_sweep: false,
+        max_tasks: 1_000_000,
+        budget_secs: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -67,14 +82,128 @@ fn parse_args() -> Options {
             }
             "--out" => opts.out = value("--out"),
             "--trace" => opts.trace = Some(value("--trace")),
+            "--scale-sweep" => opts.scale_sweep = true,
+            "--max-tasks" => {
+                opts.max_tasks = value("--max-tasks").parse().expect("--max-tasks: integer")
+            }
+            "--budget-secs" => {
+                opts.budget_secs = Some(value("--budget-secs").parse().expect("--budget-secs: f64"))
+            }
             other => panic!("unknown argument {other:?} (see --help in the module docs)"),
         }
     }
     opts
 }
 
+/// Warns when the parallel sweeps have a single worker (serial in
+/// disguise); returns whether the warning fired so BENCH.json records it.
+fn warn_if_single_thread(threads: usize) -> bool {
+    if threads == 1 {
+        eprintln!(
+            "warning: rayon pool has 1 worker thread; parallel timings will \
+             match serial ones (set --threads or ENTK_THREADS on a multi-core \
+             host)"
+        );
+    }
+    threads == 1
+}
+
+/// The `--scale-sweep` mode: the fig10 throughput scaling figure —
+/// events/sec and wall-clock for EoP/SAL ensembles from 10^3 up to
+/// `--max-tasks` tasks, with serial/parallel identity on the deterministic
+/// projection of each row (wall-clock values legitimately vary run to run).
+fn run_scale_sweep(opts: &Options) {
+    let threads = rayon::current_num_threads();
+    let threads_warning = warn_if_single_thread(threads);
+
+    let t0 = Instant::now();
+    let serial_rows = figures::fig10_with(&SweepRunner::serial(), opts.seed, opts.max_tasks);
+    let serial_secs = t0.elapsed().as_secs_f64();
+
+    let points: Vec<_> = serial_rows
+        .iter()
+        .map(|row| {
+            json!({
+                "series": row.series,
+                "tasks": row.x,
+                "ttc": row.value("ttc"),
+                "events": row.value("events"),
+                "wall_secs": row.value("wall_secs"),
+                "events_per_sec": row.value("events_per_sec"),
+            })
+        })
+        .collect();
+    for row in &serial_rows {
+        println!(
+            "{:>6} n={:<8} wall {:>8.3}s  {:>12.0} events  {:>12.0} events/sec  ttc {:.1}",
+            row.series,
+            row.x,
+            row.value("wall_secs").unwrap_or(0.0),
+            row.value("events").unwrap_or(0.0),
+            row.value("events_per_sec").unwrap_or(0.0),
+            row.value("ttc").unwrap_or(0.0),
+        );
+    }
+
+    let mut entry = json!({
+        "name": "fig10",
+        "rows": serial_rows.len(),
+        "serial_secs": serial_secs,
+        "points": points,
+    });
+
+    let mut total = serial_secs;
+    if !opts.serial_only {
+        let t1 = Instant::now();
+        let parallel_rows =
+            figures::fig10_with(&SweepRunner::parallel(), opts.seed, opts.max_tasks);
+        let parallel_secs = t1.elapsed().as_secs_f64();
+        total += parallel_secs;
+        let identical = deterministic_view(&parallel_rows) == deterministic_view(&serial_rows);
+        let speedup = serial_secs / parallel_secs.max(1e-12);
+        entry["parallel_secs"] = json!(parallel_secs);
+        entry["speedup"] = json!(speedup);
+        entry["identical"] = json!(identical);
+        println!(
+            "{:>6}: serial {serial_secs:.3}s  parallel {parallel_secs:.3}s  \
+             speedup {speedup:.2}x  identical={identical}",
+            "fig10"
+        );
+        assert!(
+            identical,
+            "fig10: parallel rows diverged from serial rows on the \
+             deterministic projection"
+        );
+    }
+
+    let bench = json!({
+        "version": 1,
+        "threads": threads,
+        "threads_warning": threads_warning,
+        "seed": opts.seed,
+        "max_tasks": opts.max_tasks,
+        "figures": [entry],
+        "total_secs": total,
+    });
+    let rendered = serde_json::to_string_pretty(&bench).expect("serialize BENCH.json");
+    std::fs::write(&opts.out, rendered + "\n").expect("write BENCH.json");
+    println!("wrote {}", opts.out);
+
+    if let Some(budget) = opts.budget_secs {
+        assert!(
+            total <= budget,
+            "scale sweep took {total:.3}s, over the {budget:.3}s wall budget"
+        );
+        println!("within wall budget: {total:.3}s <= {budget:.3}s");
+    }
+}
+
 fn main() {
     let opts = parse_args();
+    if opts.scale_sweep {
+        run_scale_sweep(&opts);
+        return;
+    }
     let seed = opts.seed;
     let scale = opts.scale;
 
@@ -129,6 +258,7 @@ fn main() {
     ];
 
     let threads = rayon::current_num_threads();
+    let threads_warning = !opts.serial_only && warn_if_single_thread(threads);
     let mut entries = Vec::new();
     let mut total_serial = 0.0f64;
     let mut total_parallel = 0.0f64;
@@ -178,6 +308,7 @@ fn main() {
     let mut bench = json!({
         "version": 1,
         "threads": threads,
+        "threads_warning": threads_warning,
         "scale": scale,
         "seed": seed,
         "figures": entries,

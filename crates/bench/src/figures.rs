@@ -8,6 +8,7 @@ use entk_core::prelude::*;
 use entk_core::ExecutionReport;
 use serde::Serialize;
 use serde_json::json;
+use std::time::Instant;
 
 /// A generous pilot wall time so experiments never hit the limit.
 fn walltime() -> SimDuration {
@@ -396,6 +397,108 @@ pub fn fig9_with(runner: &SweepRunner, seed: u64, scale: usize) -> Vec<Row> {
     })
 }
 
+// --------------------------------------------------------------- Figure 10
+
+/// Largest task count at which fig10 keeps the cross-layer trace on (and
+/// fingerprints it). Above this the trace itself — tens of records per
+/// task — dominates memory and wall time, so throughput points run with
+/// telemetry disabled; simulated timings are identical either way.
+pub const FIG10_TRACE_LIMIT: usize = 10_000;
+
+/// Row values that measure host wall-clock rather than simulated
+/// behaviour. They differ run to run, so serial/parallel identity checks
+/// must compare rows through [`deterministic_view`], which strips them.
+pub const NONDETERMINISTIC_VALUES: &[&str] = &["wall_secs", "events_per_sec"];
+
+/// The deterministic projection of `rows`: every value except the
+/// host-timing ones in [`NONDETERMINISTIC_VALUES`]. Two runs of the same
+/// sweep must agree on this projection bit for bit.
+pub fn deterministic_view(rows: &[Row]) -> Vec<Row> {
+    rows.iter()
+        .map(|r| {
+            let mut row = Row::new(r.series.clone(), r.x);
+            row.values = r
+                .values
+                .iter()
+                .filter(|(name, _)| !NONDETERMINISTIC_VALUES.contains(&name.as_str()))
+                .cloned()
+                .collect();
+            row
+        })
+        .collect()
+}
+
+/// One fig10 throughput point: an `n`-task ensemble of uniform
+/// `misc.sleep` tasks on Stampede with a 1024-core pilot, timed on the
+/// host clock. Deterministic values (ttc, events, tasks, and — under the
+/// trace limit — the trace fingerprint) ride in the row next to the
+/// nondeterministic wall-clock ones.
+fn scale_experiment(kind: &str, n: usize, seed: u64) -> Row {
+    let sleep = |_: usize| KernelCall::new("misc.sleep", json!({ "secs": 10.0 }));
+    let mut pattern: Box<dyn ExecutionPattern + Send> = match kind {
+        "eop" => Box::new(EnsembleOfPipelines::new(n, 1, move |p, _| sleep(p))),
+        "sal" => Box::new(SimulationAnalysisLoop::new(
+            1,
+            n,
+            move |_, i| sleep(i),
+            |_, outs| vec![KernelCall::new("ana.coco", json!({ "n_sims": outs.len() }))],
+        )),
+        other => panic!("unknown fig10 series {other:?}"),
+    };
+    let config = ResourceConfig::new("xsede.stampede", 1024, walltime());
+    let traced = n <= FIG10_TRACE_LIMIT;
+    let sim = SimulatedConfig {
+        seed: seed ^ n as u64,
+        telemetry: traced,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let (report, fp) = if traced {
+        let (report, fp) = run_checked(config, sim, pattern.as_mut(), "fig10");
+        (report, Some(fp))
+    } else {
+        let report =
+            run_simulated(config, sim, pattern.as_mut()).unwrap_or_else(|e| panic!("fig10: {e}"));
+        (report, None)
+    };
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(!report.partial, "fig10 runs must complete");
+    let mut row = Row::new(kind, n as f64)
+        .with("ttc", report.ttc.as_secs_f64())
+        .with("tasks", report.task_count() as f64)
+        .with("events", report.events as f64)
+        .with("wall_secs", wall)
+        .with("events_per_sec", report.events as f64 / wall.max(1e-9));
+    if let Some(fp) = fp {
+        row = row.with_trace(fp);
+    }
+    row
+}
+
+/// Fig. 10 (extension): simulator throughput scaling — ensemble-of-
+/// pipelines and simulation-analysis-loop ensembles of 10³ → `max_tasks`
+/// uniform tasks, reporting wall-clock and events/sec per point. The
+/// paper stops at ~10³ tasks; this figure documents that the reproduction
+/// sustains 10⁶.
+pub fn fig10(seed: u64, max_tasks: usize) -> Vec<Row> {
+    fig10_with(&SweepRunner::from_env(), seed, max_tasks)
+}
+
+/// [`fig10`] through an explicit [`SweepRunner`].
+pub fn fig10_with(runner: &SweepRunner, seed: u64, max_tasks: usize) -> Vec<Row> {
+    let points: Vec<(f64, (&str, usize))> = [1_000usize, 10_000, 100_000, 1_000_000]
+        .iter()
+        .filter(|&&n| n <= max_tasks)
+        .flat_map(|&n| {
+            ["eop", "sal"]
+                .into_iter()
+                .map(move |kind| (n as f64, (kind, n)))
+        })
+        .collect();
+    assert!(!points.is_empty(), "fig10: max_tasks below smallest point");
+    runner.run_weighted(points, |(kind, n)| vec![scale_experiment(kind, n, seed)])
+}
+
 // ------------------------------------------------------------ Trace export
 
 /// Chrome trace-event JSON for one representative session — the Fig. 3
@@ -713,6 +816,30 @@ mod tests {
             ana_t[2..].windows(2).all(|w| w[1] > w[0]),
             "analysis monotonic beyond tiny n: {ana_t:?}"
         );
+    }
+
+    #[test]
+    fn fig10_small_scale_is_deterministic_across_modes() {
+        let serial = fig10_with(&SweepRunner::serial(), 2016, 1_000);
+        assert_eq!(serial.len(), 2, "one EoP and one SAL point at n=1000");
+        for row in &serial {
+            assert_eq!(row.x, 1_000.0);
+            // Traced points carry the fingerprint, so row equality below
+            // implies byte-identical traces, not just matching totals.
+            assert!(row.value("trace_fp_hi").is_some());
+            assert!(row.value("events").unwrap() > 0.0);
+            assert!(row.value("events_per_sec").unwrap() > 0.0);
+        }
+        let parallel = fig10_with(&SweepRunner::parallel(), 2016, 1_000);
+        // Wall-clock values legitimately differ run to run; everything else
+        // must be bit-identical.
+        assert_eq!(deterministic_view(&serial), deterministic_view(&parallel));
+        let stripped = deterministic_view(&serial);
+        for row in &stripped {
+            for name in NONDETERMINISTIC_VALUES {
+                assert!(row.value(name).is_none(), "{name} not stripped");
+            }
+        }
     }
 
     #[test]

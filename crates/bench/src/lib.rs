@@ -14,8 +14,9 @@ pub mod sweep;
 pub use figures::{
     ablation_exchange, ablation_exchange_with, ablation_faults, ablation_faults_with,
     ablation_overhead, ablation_overhead_with, ablation_pilots, ablation_pilots_with,
-    ablation_scheduler, ablation_scheduler_with, fig3, fig3_with, fig4, fig4_with, fig5, fig5_with,
-    fig6, fig6_with, fig7, fig7_with, fig8, fig8_with, fig9, fig9_with, print_rows, Row,
+    ablation_scheduler, ablation_scheduler_with, deterministic_view, fig10, fig10_with, fig3,
+    fig3_with, fig4, fig4_with, fig5, fig5_with, fig6, fig6_with, fig7, fig7_with, fig8, fig8_with,
+    fig9, fig9_with, print_rows, Row, FIG10_TRACE_LIMIT, NONDETERMINISTIC_VALUES,
 };
 pub use resilience::{baseline_rows, resilience_point, resilience_sweep, resilience_sweep_with};
 pub use sweep::{SweepMode, SweepRunner};

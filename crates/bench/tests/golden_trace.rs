@@ -1,0 +1,172 @@
+//! Golden trace fingerprints: five seeded sessions spanning the simulator's
+//! feature surface (pipelines, simulation-analysis loops, failure injection,
+//! multi-pilot strategies, multi-core MPI tasks) must export byte-identical
+//! TRACE JSONL across refactors of the hot path. The pinned hashes were
+//! recorded before the calendar-queue / arena-store overhaul and survived it
+//! unchanged; any divergence here means a change altered simulated behaviour
+//! (event order, timing, or RNG draws), not just its implementation.
+//!
+//! If a change *intentionally* alters traces (new event type, overhead model
+//! change), re-record: run each scenario, print `fnv64(&jsonl)`, and update
+//! the constants with a note in the commit message.
+
+use entk_core::prelude::*;
+use serde_json::json;
+
+/// FNV-1a 64 over the exported JSONL — cheap, dependency-free, and stable.
+fn fnv64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+struct Golden {
+    fingerprint: u64,
+    ttc: f64,
+    bytes: usize,
+}
+
+fn check(label: &str, config: ResourceConfig, sim: SimulatedConfig, golden: Golden) {
+    let mut pattern: Box<dyn ExecutionPattern + Send> = match label {
+        "pipeline" => Box::new(EnsembleOfPipelines::new(48, 2, |_, s| {
+            if s == 0 {
+                KernelCall::new("misc.mkfile", json!({ "bytes": 1024 }))
+            } else {
+                KernelCall::new("misc.ccount", json!({ "bytes": 1024 }))
+            }
+        })),
+        "sal" => Box::new(SimulationAnalysisLoop::new(
+            2,
+            32,
+            |_, _| KernelCall::new("misc.mkfile", json!({ "bytes": 1024 })),
+            |_, outs| {
+                (0..outs.len().min(1))
+                    .map(|_| KernelCall::new("misc.ccount", json!({ "bytes": 1024 })))
+                    .collect()
+            },
+        )),
+        "faults" | "pilots" => Box::new(BagOfTasks::new(
+            if label == "faults" { 256 } else { 128 },
+            |_| KernelCall::new("misc.sleep", json!({ "secs": 30.0 })),
+        )),
+        "mpi" => Box::new(BagOfTasks::new(96, |i| {
+            let cores = [1usize, 4, 8][i % 3];
+            KernelCall::new("misc.sleep", json!({ "secs": 30.0 })).with_cores(cores)
+        })),
+        _ => unreachable!("unknown golden scenario {label}"),
+    };
+    let (report, telemetry) =
+        run_simulated_traced(config, sim, pattern.as_mut()).expect("golden run");
+    let jsonl = telemetry.tracer.to_jsonl();
+    assert_eq!(
+        fnv64(&jsonl),
+        golden.fingerprint,
+        "{label}: trace fingerprint diverged from golden \
+         (got {:#018x}, {} bytes, ttc {:.6})",
+        fnv64(&jsonl),
+        jsonl.len(),
+        report.ttc.as_secs_f64()
+    );
+    assert_eq!(jsonl.len(), golden.bytes, "{label}: trace byte count");
+    assert!(
+        (report.ttc.as_secs_f64() - golden.ttc).abs() < 1e-6,
+        "{label}: ttc {:.6} != golden {:.6}",
+        report.ttc.as_secs_f64(),
+        golden.ttc
+    );
+}
+
+fn walltime() -> SimDuration {
+    SimDuration::from_secs(10_000_000)
+}
+
+#[test]
+fn golden_pipeline() {
+    check(
+        "pipeline",
+        ResourceConfig::new("xsede.comet", 48, walltime()),
+        SimulatedConfig {
+            seed: 2016,
+            ..Default::default()
+        },
+        Golden {
+            fingerprint: 0x45e79e27d270700b,
+            ttc: 55.249845,
+            bytes: 69534,
+        },
+    );
+}
+
+#[test]
+fn golden_simulation_analysis_loop() {
+    check(
+        "sal",
+        ResourceConfig::new("xsede.comet", 64, walltime()),
+        SimulatedConfig {
+            seed: 7,
+            ..Default::default()
+        },
+        Golden {
+            fingerprint: 0x966b1b4dc88bc543,
+            ttc: 47.992896,
+            bytes: 43404,
+        },
+    );
+}
+
+#[test]
+fn golden_fault_injection() {
+    check(
+        "faults",
+        ResourceConfig::new("xsede.comet", 128, walltime()),
+        SimulatedConfig {
+            seed: 2016,
+            unit_failure_rate: 0.3,
+            fault: entk_core::FaultConfig::retries(5),
+            ..Default::default()
+        },
+        Golden {
+            fingerprint: 0x330e592039d3df3b,
+            ttc: 240.352503,
+            bytes: 239293,
+        },
+    );
+}
+
+#[test]
+fn golden_multi_pilot() {
+    check(
+        "pilots",
+        ResourceConfig::new("xsede.comet", 128, walltime()),
+        SimulatedConfig {
+            seed: 2016,
+            pilot_strategy: entk_core::PilotStrategy::split(4),
+            ..Default::default()
+        },
+        Golden {
+            fingerprint: 0xff7dfb14524375a5,
+            ttc: 83.152802,
+            bytes: 84122,
+        },
+    );
+}
+
+#[test]
+fn golden_multi_core_tasks() {
+    check(
+        "mpi",
+        ResourceConfig::new("xsede.comet", 48, walltime()),
+        SimulatedConfig {
+            seed: 2016,
+            ..Default::default()
+        },
+        Golden {
+            fingerprint: 0x397cd71986c44b56,
+            ttc: 324.708114,
+            bytes: 62329,
+        },
+    );
+}

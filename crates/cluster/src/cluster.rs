@@ -11,10 +11,10 @@ use crate::job::{BatchJob, BatchJobDescription, BatchJobId, BatchJobState};
 use crate::platform::PlatformSpec;
 use crate::scheduler::{BatchScheduler, FifoScheduler, PendingView, RunningView};
 use entk_sim::{
-    Context, Dist, EventId, SharedTelemetry, SimDuration, SimRng, SimTime, Subject, TimeSeries,
+    Arena, Context, Dist, EventId, GenId, SharedTelemetry, SimDuration, SimRng, SimTime, Subject,
+    TimeSeries,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
 
 /// Events the cluster schedules for itself on the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,23 +89,41 @@ impl ClusterNotification {
     }
 }
 
+/// Per-job runtime bookkeeping, parallel to the `jobs` slab (same index).
+#[derive(Debug, Clone, Copy, Default)]
+struct JobRuntime {
+    /// Handle to the job's node slices in `held` while it occupies cores.
+    /// The arena slot is freed (generation bumped) when the job ends, so a
+    /// handle that outlives the job goes stale instead of aliasing the next
+    /// occupant.
+    held: Option<GenId>,
+    /// Cancel handle for the job's pending walltime event.
+    walltime_event: Option<EventId>,
+    /// Synthetic background-load job, invisible to the owner.
+    background: bool,
+}
+
 /// A simulated HPC cluster.
 pub struct Cluster {
     spec: PlatformSpec,
     alloc: AllocationMap,
     scheduler: Box<dyn BatchScheduler>,
     rng: SimRng,
-    jobs: HashMap<BatchJobId, BatchJob>,
+    /// Job slab: `BatchJobId`s are dense and sequential, so index == id.
+    jobs: Vec<BatchJob>,
+    /// Runtime bookkeeping parallel to `jobs`.
+    job_rt: Vec<JobRuntime>,
     /// Eligible jobs in arrival order (indices into `jobs`).
     pending: Vec<BatchJobId>,
-    /// Allocated slices per starting/running job.
-    held: HashMap<BatchJobId, Vec<NodeSlice>>,
-    /// Cancel handles for walltime events.
-    walltime_events: HashMap<BatchJobId, EventId>,
+    /// Node slices of starting/running jobs. Slots are genuinely recycled
+    /// as jobs come and go, hence the generational arena.
+    held: Arena<Vec<NodeSlice>>,
+    /// Jobs currently holding an allocation, in the order they started.
+    /// Replaces hash-map key iteration, whose order was nondeterministic.
+    running_order: Vec<BatchJobId>,
     next_id: u64,
     utilization: TimeSeries,
     background: Option<BackgroundLoad>,
-    background_jobs: HashSet<BatchJobId>,
     fault: Option<FaultInjector>,
     /// A [`ClusterEvent::FaultTick`] is currently in flight. The Poisson
     /// crash process only runs while the cluster has live jobs, so the
@@ -133,14 +151,14 @@ impl Cluster {
             alloc,
             scheduler,
             rng: SimRng::seed_from_u64(seed),
-            jobs: HashMap::new(),
+            jobs: Vec::new(),
+            job_rt: Vec::new(),
             pending: Vec::new(),
-            held: HashMap::new(),
-            walltime_events: HashMap::new(),
+            held: Arena::new(),
+            running_order: Vec::new(),
             next_id: 0,
             utilization: TimeSeries::new(),
             background: None,
-            background_jobs: HashSet::new(),
             fault: None,
             fault_tick_armed: false,
             telemetry: SharedTelemetry::disabled(),
@@ -189,7 +207,7 @@ impl Cluster {
         // never sees their notifications (filtered by id).
         let mut sink = Vec::new();
         if let Ok(id) = self.submit(desc, ctx, &mut sink) {
-            self.background_jobs.insert(id);
+            self.job_rt[id.0 as usize].background = true;
         }
     }
 
@@ -236,7 +254,7 @@ impl Cluster {
     }
 
     fn has_live_jobs(&self) -> bool {
-        self.jobs.values().any(|j| !j.state.is_terminal())
+        self.jobs.iter().any(|j| !j.state.is_terminal())
     }
 
     fn any_node_up(&self) -> bool {
@@ -264,7 +282,7 @@ impl Cluster {
 
     /// True when `id` is a synthetic background job.
     pub fn is_background(&self, id: BatchJobId) -> bool {
-        self.background_jobs.contains(&id)
+        self.job_rt.get(id.0 as usize).is_some_and(|r| r.background)
     }
 
     /// The machine description.
@@ -279,7 +297,7 @@ impl Cluster {
 
     /// Read access to a job's record.
     pub fn job(&self, id: BatchJobId) -> Option<&BatchJob> {
-        self.jobs.get(&id)
+        self.jobs.get(id.0 as usize)
     }
 
     /// Currently free cores.
@@ -309,6 +327,7 @@ impl Cluster {
     ) -> Result<BatchJobId, String> {
         let id = BatchJobId(self.next_id);
         self.next_id += 1;
+        debug_assert_eq!(id.0 as usize, self.jobs.len(), "job ids are dense");
         let mut job = BatchJob::new(id, description, ctx.now());
         if job.description.cores == 0 || job.description.cores > self.alloc.total_cores() {
             let msg = format!(
@@ -327,7 +346,8 @@ impl Cluster {
                 time: ctx.now(),
                 nodes: Vec::new(),
             });
-            self.jobs.insert(id, job);
+            self.jobs.push(job);
+            self.job_rt.push(JobRuntime::default());
             return Err(msg);
         }
         let wait = self.spec.queue_wait.sample_duration(&mut self.rng)
@@ -343,7 +363,8 @@ impl Cluster {
             time: ctx.now(),
             nodes: Vec::new(),
         });
-        self.jobs.insert(id, job);
+        self.jobs.push(job);
+        self.job_rt.push(JobRuntime::default());
         self.arm_fault_tick(ctx);
         self.strip_background(out);
         Ok(id)
@@ -368,7 +389,7 @@ impl Cluster {
         ctx: &mut Context<'_, E>,
         out: &mut Vec<ClusterNotification>,
     ) {
-        let Some(job) = self.jobs.get(&id) else {
+        let Some(job) = self.jobs.get(id.0 as usize) else {
             return;
         };
         match job.state {
@@ -376,7 +397,7 @@ impl Cluster {
                 self.pending.retain(|&p| p != id);
                 self.telemetry
                     .gauge("cluster.queue_depth", ctx.now(), self.pending.len() as f64);
-                let job = self.jobs.get_mut(&id).expect("job exists");
+                let job = &mut self.jobs[id.0 as usize];
                 job.transition(BatchJobState::Cancelled, ctx.now());
                 self.telemetry
                     .record(ctx.now(), "cluster", "job_cancelled", Subject::Job(id.0));
@@ -406,10 +427,10 @@ impl Cluster {
             ClusterEvent::JobEligible(id) => {
                 if self
                     .jobs
-                    .get(&id)
+                    .get(id.0 as usize)
                     .is_some_and(|j| j.state == BatchJobState::Queued)
                 {
-                    let job = self.jobs.get_mut(&id).expect("job exists");
+                    let job = &mut self.jobs[id.0 as usize];
                     job.eligible_at = Some(ctx.now());
                     self.pending.push(id);
                     self.telemetry.gauge(
@@ -423,14 +444,18 @@ impl Cluster {
             ClusterEvent::JobLaunched(id) => {
                 if self
                     .jobs
-                    .get(&id)
+                    .get(id.0 as usize)
                     .is_some_and(|j| j.state == BatchJobState::Starting)
                 {
-                    let job = self.jobs.get_mut(&id).expect("job exists");
+                    let job = &mut self.jobs[id.0 as usize];
                     job.transition(BatchJobState::Running, ctx.now());
                     self.telemetry
                         .record(ctx.now(), "cluster", "job_running", Subject::Job(id.0));
-                    let nodes = self.held.get(&id).cloned().unwrap_or_default();
+                    let nodes = self.job_rt[id.0 as usize]
+                        .held
+                        .and_then(|h| self.held.get(h))
+                        .cloned()
+                        .unwrap_or_default();
                     out.push(ClusterNotification::JobState {
                         id,
                         state: BatchJobState::Running,
@@ -440,7 +465,7 @@ impl Cluster {
                 }
             }
             ClusterEvent::WalltimeExpired(id) => {
-                let live = self.jobs.get(&id).is_some_and(|j| {
+                let live = self.jobs.get(id.0 as usize).is_some_and(|j| {
                     matches!(j.state, BatchJobState::Starting | BatchJobState::Running)
                 });
                 if live {
@@ -505,14 +530,22 @@ impl Cluster {
         // Strip the crashed node's slices from every job holding cores
         // there, in id order so the notification sequence is deterministic.
         let mut affected: Vec<BatchJobId> = self
-            .held
+            .running_order
             .iter()
-            .filter(|(_, slices)| slices.iter().any(|s| s.node == node))
-            .map(|(&id, _)| id)
+            .copied()
+            .filter(|&id| {
+                let held = self.job_rt[id.0 as usize]
+                    .held
+                    .expect("running job holds an allocation");
+                self.held[held].iter().any(|s| s.node == node)
+            })
             .collect();
         affected.sort_unstable();
         for id in affected {
-            let slices = self.held.get_mut(&id).expect("affected job is held");
+            let held = self.job_rt[id.0 as usize]
+                .held
+                .expect("affected job is held");
+            let slices = &mut self.held[held];
             let lost: usize = slices
                 .iter()
                 .filter(|s| s.node == node)
@@ -520,7 +553,7 @@ impl Cluster {
                 .sum();
             slices.retain(|s| s.node != node);
             let remaining: usize = slices.iter().map(|s| s.cores).sum();
-            let job = self.jobs.get_mut(&id).expect("affected job exists");
+            let job = &mut self.jobs[id.0 as usize];
             job.nodes.retain(|&n| n != node);
             if remaining == 0 {
                 self.finish(id, BatchJobState::Failed, ctx, out);
@@ -577,7 +610,7 @@ impl Cluster {
 
     /// Removes notifications about background jobs (owner never sees them).
     fn strip_background(&self, out: &mut Vec<ClusterNotification>) {
-        out.retain(|n| !self.background_jobs.contains(&n.job_id()));
+        out.retain(|n| !self.is_background(n.job_id()));
     }
 
     fn finish<E: From<ClusterEvent>>(
@@ -587,7 +620,7 @@ impl Cluster {
         ctx: &mut Context<'_, E>,
         out: &mut Vec<ClusterNotification>,
     ) {
-        let Some(job) = self.jobs.get_mut(&id) else {
+        let Some(job) = self.jobs.get_mut(id.0 as usize) else {
             return;
         };
         if !job.state.can_transition_to(state) {
@@ -598,7 +631,9 @@ impl Cluster {
         let cores = job.description.cores;
         let walltime = job.description.walltime;
         let started_at = job.started_at;
-        if let Some(slices) = self.held.remove(&id) {
+        let held = self.job_rt[id.0 as usize].held.take();
+        if let Some(slices) = held.and_then(|h| self.held.remove(h)) {
+            self.running_order.retain(|&r| r != id);
             self.alloc.release(&slices);
             self.utilization
                 .push(ctx.now(), self.alloc.used_cores() as f64);
@@ -613,7 +648,7 @@ impl Cluster {
             self.scheduler
                 .job_ended(&project, cores, walltime, ran, ctx.now());
         }
-        if let Some(ev) = self.walltime_events.remove(&id) {
+        if let Some(ev) = self.job_rt[id.0 as usize].walltime_event.take() {
             ctx.cancel(ev);
         }
         let event = match state {
@@ -646,7 +681,7 @@ impl Cluster {
             .pending
             .iter()
             .map(|id| {
-                let j = &self.jobs[id];
+                let j = &self.jobs[id.0 as usize];
                 PendingView {
                     cores: j.description.cores,
                     walltime: j.description.walltime,
@@ -654,11 +689,13 @@ impl Cluster {
                 }
             })
             .collect();
+        // Start order: deterministic, unlike the hash-map key iteration
+        // this replaces.
         let running: Vec<RunningView> = self
-            .held
-            .keys()
+            .running_order
+            .iter()
             .map(|id| {
-                let j = &self.jobs[id];
+                let j = &self.jobs[id.0 as usize];
                 RunningView {
                     cores: j.description.cores,
                     expected_end: j.started_at.unwrap_or(SimTime::ZERO) + j.description.walltime,
@@ -672,14 +709,15 @@ impl Cluster {
         // Remove back-to-front so indices stay valid.
         for &qi in picked.iter().rev() {
             let id = self.pending.remove(qi);
-            let job = self.jobs.get_mut(&id).expect("pending job exists");
+            let job = &mut self.jobs[id.0 as usize];
             let slices = self
                 .alloc
                 .allocate(job.description.cores)
                 .expect("scheduler selected a job that fits");
             job.nodes = slices.iter().map(|s| s.node).collect();
             job.transition(BatchJobState::Starting, ctx.now());
-            self.held.insert(id, slices);
+            self.job_rt[id.0 as usize].held = Some(self.held.insert(slices));
+            self.running_order.push(id);
             self.utilization
                 .push(ctx.now(), self.alloc.used_cores() as f64);
             self.telemetry
@@ -694,10 +732,10 @@ impl Cluster {
             let startup = self.spec.job_startup.sample_duration(&mut self.rng);
             ctx.schedule_in(startup, ClusterEvent::JobLaunched(id));
             let wt = ctx.schedule_in(
-                startup + job.description.walltime,
+                startup + self.jobs[id.0 as usize].description.walltime,
                 ClusterEvent::WalltimeExpired(id),
             );
-            self.walltime_events.insert(id, wt);
+            self.job_rt[id.0 as usize].walltime_event = Some(wt);
             out.push(ClusterNotification::JobState {
                 id,
                 state: BatchJobState::Starting,

@@ -27,6 +27,10 @@ pub struct EnsembleOfPipelines {
     kernel_for: Box<dyn FnMut(usize, usize) -> KernelCall + Send>,
     stage_label: Box<dyn Fn(usize) -> String + Send>,
     pipes: Vec<PipeState>,
+    /// Pipelines still in `Running`; keeps `is_done` O(1) — the driver
+    /// polls it after every event, so an O(n) scan here is quadratic over
+    /// a run.
+    running: usize,
     started: bool,
 }
 
@@ -45,6 +49,7 @@ impl EnsembleOfPipelines {
             kernel_for: Box::new(kernel_for),
             stage_label: Box::new(|s| format!("stage-{s}")),
             pipes: vec![PipeState::Running(0); n_pipelines],
+            running: n_pipelines,
             started: false,
         }
     }
@@ -88,11 +93,13 @@ impl ExecutionPattern for EnsembleOfPipelines {
         };
         if !result.success {
             self.pipes[p] = PipeState::Failed(stage);
+            self.running -= 1;
             return Vec::new();
         }
         let next = stage + 1;
         if next >= self.n_stages {
             self.pipes[p] = PipeState::Done;
+            self.running -= 1;
             Vec::new()
         } else {
             self.pipes[p] = PipeState::Running(next);
@@ -101,11 +108,7 @@ impl ExecutionPattern for EnsembleOfPipelines {
     }
 
     fn is_done(&self) -> bool {
-        self.started
-            && self
-                .pipes
-                .iter()
-                .all(|p| !matches!(p, PipeState::Running(_)))
+        self.started && self.running == 0
     }
 
     fn progress(&self) -> String {

@@ -260,6 +260,7 @@ impl LocalDriver {
             failed_tasks: self.failed_tasks,
             total_retries: self.total_retries,
             partial: self.failed_tasks > 0,
+            events: 0,
         }
     }
 }

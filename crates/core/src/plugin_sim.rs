@@ -27,9 +27,9 @@ use entk_pilot::{
     SimRuntimeConfig, UnitDescription, UnitId, UnitState, UnitWork,
 };
 use entk_sim::{
-    Context, Engine, RunOutcome, SharedTelemetry, SimDuration, SimRng, SimTime, Subject,
+    Context, DenseStore, Engine, RunOutcome, SharedTelemetry, SimDuration, SimRng, SimTime, Subject,
 };
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// Top-level event type of the simulated toolkit stack.
 #[derive(Debug, Clone)]
@@ -98,8 +98,11 @@ pub(crate) struct SimDriver {
     pilots: Vec<PilotId>,
     dead_pilots: HashSet<PilotId>,
     state: DriverState,
-    tasks: HashMap<u64, TaskEntry>,
-    unit_to_task: HashMap<UnitId, u64>,
+    /// Slab keyed by the dense task uid (index == uid); never removed
+    /// from, so lookups are a bounds check instead of a hash.
+    tasks: Vec<TaskEntry>,
+    /// Unit id → task uid for the current attempt of each task.
+    unit_to_task: DenseStore<u64>,
     next_uid: u64,
     /// Id of the next spawn batch; pairs `tasks_created`/`tasks_submitted`
     /// trace events so pattern overhead can be re-derived from the trace.
@@ -152,8 +155,8 @@ impl SimDriver {
             pilots: Vec::new(),
             dead_pilots: HashSet::new(),
             state: DriverState::Created,
-            tasks: HashMap::new(),
-            unit_to_task: HashMap::new(),
+            tasks: Vec::new(),
+            unit_to_task: DenseStore::new(),
             next_uid: 0,
             next_batch: 0,
             telemetry,
@@ -235,9 +238,11 @@ impl SimDriver {
         let now = self.engine.now();
         self.spawn_tasks(initial, now);
         self.flush_outbox_direct();
-        // pump's stop closure cannot see the pattern; poll manually.
+        // pump's stop closure cannot see the pattern; poll manually. The
+        // cheap live-task check short-circuits first: `is_done` may cost
+        // O(pattern size) and this loop runs once per event.
         loop {
-            if pattern.is_done() && self.live_tasks == 0 {
+            if self.live_tasks == 0 && pattern.is_done() {
                 break;
             }
             if self.all_pilots_dead() {
@@ -252,7 +257,7 @@ impl SimDriver {
             }
             let stepped = self.step_one(Some(pattern))?;
             if !stepped {
-                if pattern.is_done() && self.live_tasks == 0 {
+                if self.live_tasks == 0 && pattern.is_done() {
                     break;
                 }
                 return Err(EntkError::Runtime(format!(
@@ -444,31 +449,30 @@ impl SimDriver {
         self.telemetry
             .record(now, "entk", "tasks_created", Subject::Batch(batch));
         let mut uids = Vec::with_capacity(tasks.len());
+        self.tasks.reserve(tasks.len());
         for task in tasks {
             let uid = self.next_uid;
             self.next_uid += 1;
             self.live_tasks += 1;
-            self.tasks.insert(
-                uid,
-                TaskEntry {
-                    record: TaskRecord {
-                        uid,
-                        tag: task.tag,
-                        stage: task.stage.clone(),
-                        created: now,
-                        exec_start: None,
-                        exec_stop: None,
-                        finished: None,
-                        success: false,
-                        retries: 0,
-                        lost_to_failures: SimDuration::ZERO,
-                    },
-                    task,
-                    unit: None,
-                    terminal: false,
-                    attempt_started: None,
+            debug_assert_eq!(uid as usize, self.tasks.len());
+            self.tasks.push(TaskEntry {
+                record: TaskRecord {
+                    uid,
+                    tag: task.tag,
+                    stage: task.stage.clone(),
+                    created: now,
+                    exec_start: None,
+                    exec_stop: None,
+                    finished: None,
+                    success: false,
+                    retries: 0,
+                    lost_to_failures: SimDuration::ZERO,
                 },
-            );
+                task,
+                unit: None,
+                terminal: false,
+                attempt_started: None,
+            });
             self.telemetry
                 .record(now, "entk", "task_created", Subject::Task(uid));
             uids.push(uid);
@@ -499,7 +503,7 @@ impl SimDriver {
             .unwrap_or(self.config.cores)
             .max(1);
         for uid in uids {
-            let entry = match self.tasks.get(&uid) {
+            let entry = match self.tasks.get(uid as usize) {
                 Some(e) if !e.terminal => e,
                 _ => continue,
             };
@@ -553,12 +557,12 @@ impl SimDriver {
             .submit_units(descriptions, ctx, notes)
             .expect("descriptions validated above");
         for (uid, unit) in submit_uids.into_iter().zip(unit_ids) {
-            let entry = self.tasks.get_mut(&uid).expect("entry exists");
+            let entry = &mut self.tasks[uid as usize];
             entry.unit = Some(unit);
             entry.attempt_started = Some(ctx.now());
             self.telemetry
                 .record(ctx.now(), "entk", "task_submitted", Subject::Task(uid));
-            self.unit_to_task.insert(unit, uid);
+            self.unit_to_task.insert(unit.0, uid);
             if let Some(timeout) = self.fault.task_timeout {
                 ctx.schedule_in(timeout, Ev::TaskTimeout(uid));
             }
@@ -571,7 +575,7 @@ impl SimDriver {
     /// here we just mark the record; `process_notifications` owns pattern
     /// callbacks, so synthesize a unit-less failure via the outbox.
     fn fail_now(&mut self, uid: u64, reason: String, ctx: &mut Context<'_, Ev>) {
-        let entry = self.tasks.get_mut(&uid).expect("entry exists");
+        let entry = &mut self.tasks[uid as usize];
         entry.terminal = true;
         entry.record.finished = Some(ctx.now());
         entry.record.success = false;
@@ -596,7 +600,7 @@ impl SimDriver {
             // Deferred kernel-binding failure: deliver to the pattern via
             // the pending-results queue.
             let uid = raw & !KERNEL_FAIL_FLAG;
-            if let Some(entry) = self.tasks.get(&uid) {
+            if let Some(entry) = self.tasks.get(uid as usize) {
                 self.pending_results.push(TaskResult::failed(
                     entry.task.tag,
                     entry.task.stage.clone(),
@@ -606,7 +610,7 @@ impl SimDriver {
             return;
         }
         let uid = raw;
-        let Some(entry) = self.tasks.get(&uid) else {
+        let Some(entry) = self.tasks.get(uid as usize) else {
             return;
         };
         if entry.terminal {
@@ -618,7 +622,7 @@ impl SimDriver {
             if state.map(UnitState::is_terminal).unwrap_or(true) {
                 return; // already finishing; let the normal path handle it
             }
-            self.unit_to_task.remove(&unit);
+            self.unit_to_task.remove(unit.0);
             let mut notes = Vec::new();
             self.runtime.cancel_unit(unit, ctx, &mut notes);
             // Swallow the cancellation notifications for this unit.
@@ -638,7 +642,7 @@ impl SimDriver {
     fn retry_or_fail_at(&mut self, uid: u64, reason: &str, now: SimTime) {
         let backoff = self.fault.backoff;
         let max_retries = self.fault.max_retries;
-        let entry = self.tasks.get_mut(&uid).expect("entry exists");
+        let entry = &mut self.tasks[uid as usize];
         let lost = entry
             .attempt_started
             .take()
@@ -692,18 +696,19 @@ impl SimDriver {
         // tasks, and a pattern that keeps spawning replacements forever is
         // a bug we'd rather stop than loop on.
         for _ in 0..10_000 {
-            let mut live: Vec<u64> = self
+            // Uid order by construction: the slab iterates densely.
+            let live: Vec<u64> = self
                 .tasks
                 .iter()
+                .enumerate()
                 .filter(|(_, e)| !e.terminal)
-                .map(|(&uid, _)| uid)
+                .map(|(uid, _)| uid as u64)
                 .collect();
             if live.is_empty() && self.pending_results.is_empty() {
                 break;
             }
-            live.sort_unstable();
             for uid in live {
-                let entry = self.tasks.get_mut(&uid).expect("entry exists");
+                let entry = &mut self.tasks[uid as usize];
                 let started = entry.attempt_started.take();
                 if started.is_some() {
                     self.telemetry
@@ -765,21 +770,21 @@ impl SimDriver {
                     time,
                     detail,
                 } => {
-                    let Some(&uid) = self.unit_to_task.get(&id) else {
+                    let Some(&uid) = self.unit_to_task.get(id.0) else {
                         continue;
                     };
                     match state {
                         UnitState::Executing => {
-                            if let Some(e) = self.tasks.get_mut(&uid) {
+                            if let Some(e) = self.tasks.get_mut(uid as usize) {
                                 e.record.exec_start = Some(time);
                             }
                         }
                         UnitState::Done => {
-                            self.unit_to_task.remove(&id);
+                            self.unit_to_task.remove(id.0);
                             self.complete_task(uid, id, time);
                         }
                         UnitState::Failed | UnitState::Canceled => {
-                            self.unit_to_task.remove(&id);
+                            self.unit_to_task.remove(id.0);
                             let reason = detail.unwrap_or_else(|| format!("{state:?}"));
                             self.retry_or_fail(uid, &reason, ctx);
                         }
@@ -806,7 +811,7 @@ impl SimDriver {
             .unit(unit)
             .map(|p| (p.exec_start, p.exec_stop))
             .unwrap_or((None, None));
-        let entry = self.tasks.get_mut(&uid).expect("entry exists");
+        let entry = &mut self.tasks[uid as usize];
         entry.record.exec_start = exec_start.or(entry.record.exec_start);
         entry.record.exec_stop = exec_stop;
         // Model-execute the kernel for semantic output.
@@ -858,8 +863,8 @@ impl SimDriver {
                 (submit, wait)
             })
             .unwrap_or((SimDuration::ZERO, SimDuration::ZERO));
-        let mut tasks: Vec<TaskRecord> = self.tasks.values().map(|e| e.record.clone()).collect();
-        tasks.sort_by_key(|t| t.uid);
+        // Slab order is uid order; no sort needed.
+        let tasks: Vec<TaskRecord> = self.tasks.iter().map(|e| e.record.clone()).collect();
         ExecutionReport {
             pattern: pattern_name.to_string(),
             resource: self.config.resource.clone(),
@@ -876,6 +881,7 @@ impl SimDriver {
             failed_tasks: self.failed_tasks,
             total_retries: self.total_retries,
             partial: self.degraded || self.failed_tasks > 0,
+            events: self.engine.steps(),
         }
     }
 }

@@ -80,6 +80,11 @@ pub struct ExecutionReport {
     /// some tasks, or the session degraded gracefully after losing its
     /// resources mid-run.
     pub partial: bool,
+    /// Discrete events the simulation engine processed for this session so
+    /// far — the denominator of the events/sec throughput metric. Zero on
+    /// the local backend, which has no virtual-clock engine.
+    #[serde(default)]
+    pub events: u64,
 }
 
 impl ExecutionReport {
@@ -201,6 +206,7 @@ mod tests {
             failed_tasks: 0,
             total_retries: 0,
             partial: false,
+            events: 0,
         }
     }
 
@@ -297,6 +303,7 @@ mod display_tests {
             failed_tasks: 2,
             total_retries: 3,
             partial: true,
+            events: 0,
         };
         let text = r.to_string();
         assert!(text.contains("bag-of-tasks"));

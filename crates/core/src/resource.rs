@@ -99,6 +99,13 @@ pub struct SimulatedConfig {
     /// Platform-level fault injection (node crashes, task failures,
     /// stragglers); `None` models a fault-free machine.
     pub fault_profile: Option<entk_cluster::FaultProfile>,
+    /// Collect the cross-layer trace and metrics (default `true`). Turn
+    /// off for throughput measurements at extreme task counts: the trace
+    /// grows by tens of records per task and comes to dominate memory and
+    /// wall time long before the simulation itself does. Disabling never
+    /// changes simulated timings, task outcomes, or RNG draws — only
+    /// whether the run leaves an inspectable trace behind.
+    pub telemetry: bool,
 }
 
 impl Default for SimulatedConfig {
@@ -114,6 +121,7 @@ impl Default for SimulatedConfig {
             background_load: None,
             batch_policy: BatchPolicy::Fifo,
             fault_profile: None,
+            telemetry: true,
         }
     }
 }
@@ -162,6 +170,7 @@ impl ResourceHandle {
             unit_failure_rate: sim.unit_failure_rate,
             seed: sim.seed ^ 0x52_55_4E,
             batch_policy: sim.batch_policy,
+            telemetry: sim.telemetry,
         };
         Ok(ResourceHandle {
             inner: Inner::Sim(Box::new(SimDriver::new(

@@ -221,6 +221,7 @@ mod tests {
             failed_tasks: 0,
             total_retries: 0,
             partial: false,
+            events: 0,
         };
         assert!(cross_check(&report, &tr).within(1e-6));
         report.overheads.core = SimDuration::from_secs(3);

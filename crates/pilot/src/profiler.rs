@@ -4,7 +4,6 @@
 use crate::states::{PilotId, UnitId};
 use entk_sim::{SimDuration, SimTime, Summary};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Timestamps collected for one compute unit.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
@@ -49,10 +48,15 @@ pub struct PilotProfile {
 }
 
 /// Collects profiles for all pilots and units of a session.
+///
+/// Ids are dense (assigned sequentially by the runtime), so profiles live
+/// in slab vectors indexed by the raw id — no hashing on the per-unit hot
+/// path, and iteration is in id order, which keeps every aggregate below
+/// deterministic.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Profiler {
-    units: HashMap<UnitId, UnitProfile>,
-    pilots: HashMap<PilotId, PilotProfile>,
+    units: Vec<Option<UnitProfile>>,
+    pilots: Vec<Option<PilotProfile>>,
 }
 
 impl Profiler {
@@ -63,41 +67,54 @@ impl Profiler {
 
     /// Mutable profile for a unit (created on first touch).
     pub fn unit_mut(&mut self, id: UnitId) -> &mut UnitProfile {
-        self.units.entry(id).or_default()
+        let idx = id.0 as usize;
+        if idx >= self.units.len() {
+            self.units.resize(idx + 1, None);
+        }
+        self.units[idx].get_or_insert_with(UnitProfile::default)
     }
 
     /// Mutable profile for a pilot (created on first touch).
     pub fn pilot_mut(&mut self, id: PilotId) -> &mut PilotProfile {
-        self.pilots.entry(id).or_default()
+        let idx = id.0 as usize;
+        if idx >= self.pilots.len() {
+            self.pilots.resize(idx + 1, None);
+        }
+        self.pilots[idx].get_or_insert_with(PilotProfile::default)
     }
 
     /// Read access to a unit profile.
     pub fn unit(&self, id: UnitId) -> Option<&UnitProfile> {
-        self.units.get(&id)
+        self.units.get(id.0 as usize)?.as_ref()
     }
 
     /// Read access to a pilot profile.
     pub fn pilot(&self, id: PilotId) -> Option<&PilotProfile> {
-        self.pilots.get(&id)
+        self.pilots.get(id.0 as usize)?.as_ref()
     }
 
     /// Number of profiled units.
     pub fn unit_count(&self) -> usize {
-        self.units.len()
+        self.units.iter().flatten().count()
+    }
+
+    /// Iterator over present unit profiles in id order.
+    fn unit_profiles(&self) -> impl Iterator<Item = &UnitProfile> {
+        self.units.iter().flatten()
     }
 
     /// Span from the first execution start to the last execution stop — the
     /// application-execution component of TTC.
     pub fn exec_span(&self) -> Option<SimDuration> {
-        let start = self.units.values().filter_map(|u| u.exec_start).min()?;
-        let stop = self.units.values().filter_map(|u| u.exec_stop).max()?;
+        let start = self.unit_profiles().filter_map(|u| u.exec_start).min()?;
+        let stop = self.unit_profiles().filter_map(|u| u.exec_stop).max()?;
         Some(stop.saturating_since(start))
     }
 
     /// Summary of per-unit execution durations in seconds.
     pub fn exec_durations(&self) -> Summary {
         let mut s = Summary::new();
-        for u in self.units.values() {
+        for u in self.unit_profiles() {
             if let Some(d) = u.exec_duration() {
                 s.add_duration(d);
             }
@@ -108,7 +125,7 @@ impl Profiler {
     /// Summary of per-unit dispatch latencies in seconds.
     pub fn dispatch_latencies(&self) -> Summary {
         let mut s = Summary::new();
-        for u in self.units.values() {
+        for u in self.unit_profiles() {
             if let Some(d) = u.dispatch_latency() {
                 s.add_duration(d);
             }

@@ -16,6 +16,20 @@ pub struct UnitView {
     pub cores: usize,
 }
 
+impl UnitView {
+    /// Core count marking a tombstoned (already placed, cancelled, or
+    /// failed) entry in the runtime's persistent waiting list. No pilot
+    /// can ever satisfy it, so a policy that ignores the marker still
+    /// cannot place a tombstone — checking it explicitly just skips the
+    /// wasted capacity probe.
+    pub const TOMBSTONE_CORES: usize = usize::MAX;
+
+    /// Whether this entry is a tombstone and must not be placed.
+    pub fn is_tombstone(&self) -> bool {
+        self.cores == Self::TOMBSTONE_CORES
+    }
+}
+
 /// Scheduler-facing view of a pilot.
 #[derive(Debug, Clone, Copy)]
 pub struct PilotView {
@@ -42,6 +56,17 @@ pub struct Placement {
 ///
 /// `assign` must not oversubscribe any pilot and must only use active
 /// pilots' free cores; units it leaves unplaced wait for the next pass.
+///
+/// Contract details the incremental runtime relies on:
+///
+/// - `waiting` may contain [`UnitView::is_tombstone`] entries; they must
+///   never be placed (their core demand is `usize::MAX`, so an oblivious
+///   policy cannot place them anyway).
+/// - Placement must be *work-conserving*: if `assign` is called again with
+///   the same pilots minus the capacity it just consumed and the same
+///   waiting units minus the ones it just placed, it must place nothing.
+///   All greedy policies have this property; it lets the runtime skip
+///   scheduling passes when neither capacity nor the waiting set changed.
 pub trait UnitScheduler: Send {
     /// Policy name for reports.
     fn name(&self) -> &'static str;
@@ -66,14 +91,27 @@ impl UnitScheduler for FirstFitScheduler {
             .filter(|p| p.active)
             .map(|p| (p.id, p.free_cores))
             .collect();
+        // Total free cores across active pilots: once exhausted no further
+        // unit (every unit needs >= 1 core) can place, so stop scanning.
+        let mut avail: usize = free.iter().map(|(_, f)| *f).sum();
         let mut placements = Vec::new();
+        if avail == 0 {
+            return placements;
+        }
         for unit in waiting {
+            if unit.is_tombstone() {
+                continue;
+            }
             if let Some(slot) = free.iter_mut().find(|(_, f)| *f >= unit.cores) {
                 slot.1 -= unit.cores;
+                avail -= unit.cores;
                 placements.push(Placement {
                     unit: unit.id,
                     pilot: slot.0,
                 });
+                if avail == 0 {
+                    break;
+                }
             }
         }
         placements
@@ -101,8 +139,15 @@ impl UnitScheduler for RoundRobinScheduler {
         if free.is_empty() {
             return Vec::new();
         }
+        let mut avail: usize = free.iter().map(|(_, f)| *f).sum();
         let mut placements = Vec::new();
+        if avail == 0 {
+            return placements;
+        }
         for unit in waiting {
+            if unit.is_tombstone() {
+                continue;
+            }
             let n = free.len();
             // Probe pilots starting from the rotating cursor.
             let mut placed = false;
@@ -110,6 +155,7 @@ impl UnitScheduler for RoundRobinScheduler {
                 let i = (self.cursor + probe) % n;
                 if free[i].1 >= unit.cores {
                     free[i].1 -= unit.cores;
+                    avail -= unit.cores;
                     placements.push(Placement {
                         unit: unit.id,
                         pilot: free[i].0,
@@ -119,10 +165,9 @@ impl UnitScheduler for RoundRobinScheduler {
                     break;
                 }
             }
-            if !placed {
-                // No capacity anywhere for this unit; try the next one
-                // (smaller units may still fit).
-                continue;
+            if placed && avail == 0 {
+                // Capacity exhausted; no remaining unit can place.
+                break;
             }
         }
         placements
@@ -140,7 +185,11 @@ impl UnitScheduler for LargestFirstScheduler {
     }
 
     fn assign(&mut self, waiting: &[UnitView], pilots: &[PilotView]) -> Vec<Placement> {
-        let mut sorted: Vec<UnitView> = waiting.to_vec();
+        let mut sorted: Vec<UnitView> = waiting
+            .iter()
+            .filter(|u| !u.is_tombstone())
+            .copied()
+            .collect();
         sorted.sort_by(|a, b| b.cores.cmp(&a.cores).then(a.id.cmp(&b.id)));
         FirstFitScheduler.assign(&sorted, pilots)
     }
@@ -241,6 +290,43 @@ mod tests {
             .map(|p| waiting.iter().find(|u| u.id == p.unit).unwrap().cores)
             .sum();
         assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn tombstones_are_never_placed() {
+        let tomb = UnitView {
+            id: UnitId(7),
+            cores: UnitView::TOMBSTONE_CORES,
+        };
+        let waiting = [tomb, uv(1, 2), tomb, uv(3, 1)];
+        for policy in [
+            &mut FirstFitScheduler as &mut dyn UnitScheduler,
+            &mut RoundRobinScheduler::default(),
+            &mut LargestFirstScheduler,
+        ] {
+            let placements = policy.assign(&waiting, &[pv(0, true, 8)]);
+            assert_eq!(placements.len(), 2, "{}", policy.name());
+            assert!(
+                placements.iter().all(|p| p.unit != UnitId(7)),
+                "{} placed a tombstone",
+                policy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn early_out_stops_at_exhausted_capacity() {
+        // 3 free cores, four 1-core units: exactly the first three place.
+        let waiting: Vec<_> = (0..4).map(|i| uv(i, 1)).collect();
+        for policy in [
+            &mut FirstFitScheduler as &mut dyn UnitScheduler,
+            &mut RoundRobinScheduler::default(),
+            &mut LargestFirstScheduler,
+        ] {
+            let placements = policy.assign(&waiting, &[pv(0, true, 3)]);
+            let ids: Vec<_> = placements.iter().map(|p| p.unit.0).collect();
+            assert_eq!(ids, vec![0, 1, 2], "{}", policy.name());
+        }
     }
 
     #[test]

@@ -15,8 +15,9 @@ use entk_cluster::{
     Cluster, ClusterEvent, EasyBackfillScheduler, FairShareScheduler, FifoScheduler, PlatformSpec,
 };
 use entk_saga::{JobDescription, JobState, JobUpdate, SagaJobId, SimJobService};
-use entk_sim::{Context, SharedTelemetry, SimDuration, SimRng, SimTime, Subject, Tracer};
-use rustc_hash::FxHashMap;
+use entk_sim::{
+    Context, DenseStore, SharedTelemetry, SimDuration, SimRng, SimTime, Subject, Tracer,
+};
 
 /// Events the runtime schedules for itself.
 #[derive(Debug, Clone)]
@@ -97,6 +98,12 @@ pub struct SimRuntimeConfig {
     pub seed: u64,
     /// Batch-queue policy of the target machine.
     pub batch_policy: BatchPolicy,
+    /// Collect the cross-layer trace and metrics. Disabling skips every
+    /// telemetry record, which matters at million-task scale where the
+    /// trace itself (tens of millions of records) dominates memory and a
+    /// measurable share of wall time. Simulated timings and RNG draws are
+    /// identical either way.
+    pub telemetry: bool,
 }
 
 impl Default for SimRuntimeConfig {
@@ -106,6 +113,7 @@ impl Default for SimRuntimeConfig {
             unit_failure_rate: 0.0,
             seed: 0x5EED,
             batch_policy: BatchPolicy::Fifo,
+            telemetry: true,
         }
     }
 }
@@ -125,6 +133,8 @@ struct UnitRecord {
     holding: usize,
     /// Pending `ExecDone` event, cancellable if the unit dies early.
     exec_event: Option<entk_sim::EventId>,
+    /// Slot in the persistent waiting list while in `Scheduling`.
+    waiting_slot: Option<u32>,
 }
 
 /// Driver event bound: the top-level enum must absorb both runtime and
@@ -138,17 +148,44 @@ pub struct SimRuntime {
     config: SimRuntimeConfig,
     rng: SimRng,
     scheduler: Box<dyn UnitScheduler>,
-    // Fx hashing: these maps sit on the per-event hot path and their keys
-    // are small sequential ids, where SipHash cost dominates lookups.
-    pilots: FxHashMap<PilotId, PilotRecord>,
-    saga_to_pilot: FxHashMap<SagaJobId, PilotId>,
-    units: FxHashMap<UnitId, UnitRecord>,
-    /// Units in `Scheduling` not yet placed, in submission order.
-    waiting: Vec<UnitId>,
+    // Dense slab stores: pilot and unit ids are assigned sequentially and
+    // never removed, so records live in plain vectors indexed by the raw
+    // id — no hashing on the per-event hot path, and iteration is in id
+    // order (deterministic without sorting).
+    pilots: Vec<PilotRecord>,
+    saga_to_pilot: DenseStore<PilotId>,
+    units: Vec<UnitRecord>,
+    /// Persistent waiting list in submission order. Placed, cancelled, and
+    /// failed entries become tombstones instead of being spliced out (no
+    /// per-placement `retain`); `compact_waiting` skips leading tombstones
+    /// and rebuilds once dead entries outnumber live ones, keeping scans
+    /// amortized O(live).
+    waiting: Vec<UnitView>,
+    /// First slot that may hold a live entry.
+    waiting_head: usize,
+    /// Live (placeable) entries in `waiting[waiting_head..]`.
+    waiting_live: usize,
+    /// Tombstones in `waiting[waiting_head..]`.
+    waiting_dead: usize,
+    /// Monotone upper bound on waiting units' core demand; the doomed-unit
+    /// scan in `schedule_pass` runs only when this exceeds the largest
+    /// pilot, instead of partitioning the whole list every pass.
+    max_waiting_cores: usize,
+    /// Set when the waiting set grew or capacity may have freed since the
+    /// last pass. Clear means a pass would place nothing (schedulers are
+    /// work-conserving, see `UnitScheduler`), so the pass is skipped.
+    sched_dirty: bool,
+    /// Set when any pilot's state, size, or existence changed; the cached
+    /// `pilot_views` / `max_pilot_cores` below are rebuilt lazily.
+    pilots_dirty: bool,
+    /// Cached scheduler-facing pilot views, index == pilot id.
+    pilot_views: Vec<PilotView>,
+    /// Cached max core count over non-terminal pilots.
+    max_pilot_cores: usize,
     profiler: Profiler,
     telemetry: SharedTelemetry,
     /// Maintained count of non-terminal units, mirrored into the
-    /// `pilot.live_units` gauge without rescanning the unit map.
+    /// `pilot.live_units` gauge without rescanning the unit store.
     live: usize,
     next_pilot: u64,
     next_unit: u64,
@@ -163,7 +200,11 @@ impl SimRuntime {
             BatchPolicy::Backfill => Box::new(EasyBackfillScheduler),
             BatchPolicy::FairShare => Box::new(FairShareScheduler::new(3600.0)),
         };
-        let telemetry = SharedTelemetry::new();
+        let telemetry = if config.telemetry {
+            SharedTelemetry::new()
+        } else {
+            SharedTelemetry::disabled()
+        };
         let mut cluster = Cluster::with_scheduler(spec, seed ^ 0xC1u64, scheduler);
         cluster.set_telemetry(telemetry.clone());
         SimRuntime {
@@ -171,10 +212,18 @@ impl SimRuntime {
             rng: SimRng::seed_from_u64(seed),
             config,
             scheduler: Box::new(FirstFitScheduler),
-            pilots: FxHashMap::default(),
-            saga_to_pilot: FxHashMap::default(),
-            units: FxHashMap::default(),
+            pilots: Vec::new(),
+            saga_to_pilot: DenseStore::new(),
+            units: Vec::new(),
             waiting: Vec::new(),
+            waiting_head: 0,
+            waiting_live: 0,
+            waiting_dead: 0,
+            max_waiting_cores: 0,
+            sched_dirty: false,
+            pilots_dirty: false,
+            pilot_views: Vec::new(),
+            max_pilot_cores: 0,
             profiler: Profiler::new(),
             telemetry,
             live: 0,
@@ -213,29 +262,27 @@ impl SimRuntime {
 
     /// Current state of a pilot.
     pub fn pilot_state(&self, id: PilotId) -> Option<PilotState> {
-        self.pilots.get(&id).map(|p| p.state)
+        self.pilots.get(id.0 as usize).map(|p| p.state)
     }
 
     /// Current state of a unit.
     pub fn unit_state(&self, id: UnitId) -> Option<UnitState> {
-        self.units.get(&id).map(|u| u.state)
+        self.units.get(id.0 as usize).map(|u| u.state)
     }
 
     /// Free cores across active pilots.
     pub fn free_cores(&self) -> usize {
         self.pilots
-            .values()
+            .iter()
             .filter(|p| p.state == PilotState::Active)
             .map(|p| p.free_cores)
             .sum()
     }
 
-    /// Number of units not yet in a terminal state.
+    /// Number of units not yet in a terminal state (O(1): the count is
+    /// maintained incrementally, not rescanned).
     pub fn live_units(&self) -> usize {
-        self.units
-            .values()
-            .filter(|u| !u.state.is_terminal())
-            .count()
+        self.live
     }
 
     /// Submits a pilot. The pilot-submission overhead is paid before the
@@ -250,15 +297,14 @@ impl SimRuntime {
         let id = PilotId(self.next_pilot);
         self.next_pilot += 1;
         self.profiler.pilot_mut(id).submitted = Some(ctx.now());
-        self.pilots.insert(
-            id,
-            PilotRecord {
-                free_cores: description.cores,
-                description,
-                state: PilotState::New,
-                saga_job: None,
-            },
-        );
+        debug_assert_eq!(id.0 as usize, self.pilots.len());
+        self.pilots.push(PilotRecord {
+            free_cores: description.cores,
+            description,
+            state: PilotState::New,
+            saga_job: None,
+        });
+        self.pilots_dirty = true;
         self.telemetry
             .record(ctx.now(), "pilot", "pilot_submitted", Subject::Pilot(id.0));
         let delay = self
@@ -288,20 +334,20 @@ impl SimRuntime {
             d.validate()?;
         }
         let n = descriptions.len() as u64;
+        self.units.reserve(descriptions.len());
         for description in descriptions {
             let id = UnitId(self.next_unit);
             self.next_unit += 1;
             self.profiler.unit_mut(id).submitted = Some(ctx.now());
-            self.units.insert(
-                id,
-                UnitRecord {
-                    description,
-                    state: UnitState::New,
-                    pilot: None,
-                    holding: 0,
-                    exec_event: None,
-                },
-            );
+            debug_assert_eq!(id.0 as usize, self.units.len());
+            self.units.push(UnitRecord {
+                description,
+                state: UnitState::New,
+                pilot: None,
+                holding: 0,
+                exec_event: None,
+                waiting_slot: None,
+            });
             self.live += 1;
             self.telemetry
                 .record(ctx.now(), "pilot", "unit_submitted", Subject::Unit(id.0));
@@ -337,7 +383,7 @@ impl SimRuntime {
         ctx: &mut Context<'_, E>,
         out: &mut Vec<RuntimeNotification>,
     ) {
-        let Some(unit) = self.units.get_mut(&id) else {
+        let Some(unit) = self.units.get_mut(id.0 as usize) else {
             return;
         };
         if unit.state.is_terminal() || !unit.state.can_transition_to(UnitState::Canceled) {
@@ -347,16 +393,21 @@ impl SimRuntime {
         let pilot = unit.pilot;
         unit.holding = 0;
         unit.state = UnitState::Canceled;
+        let slot = unit.waiting_slot.take();
         if let Some(ev) = unit.exec_event.take() {
             ctx.cancel(ev);
         }
-        self.waiting.retain(|&w| w != id);
+        if let Some(slot) = slot {
+            self.tombstone_waiting_slot(slot as usize, id);
+        }
         self.profiler.unit_mut(id).done = Some(ctx.now());
         self.note_unit_terminal(id, "unit_canceled", ctx.now());
         if let (Some(pid), true) = (pilot, released > 0) {
-            if let Some(p) = self.pilots.get_mut(&pid) {
+            if let Some(p) = self.pilots.get_mut(pid.0 as usize) {
                 p.free_cores += released;
+                self.pilots_dirty = true;
             }
+            self.sched_dirty = true;
             ctx.schedule_in(SimDuration::ZERO, RuntimeEvent::SchedulePass);
         }
         out.push(RuntimeNotification::Unit {
@@ -375,7 +426,7 @@ impl SimRuntime {
         ctx: &mut Context<'_, E>,
         out: &mut Vec<RuntimeNotification>,
     ) {
-        let Some(p) = self.pilots.get(&id) else {
+        let Some(p) = self.pilots.get(id.0 as usize) else {
             return;
         };
         if p.state.is_terminal() {
@@ -398,7 +449,7 @@ impl SimRuntime {
         ctx: &mut Context<'_, E>,
         out: &mut Vec<RuntimeNotification>,
     ) {
-        let Some(p) = self.pilots.get(&id) else {
+        let Some(p) = self.pilots.get(id.0 as usize) else {
             return;
         };
         match p.state {
@@ -425,10 +476,19 @@ impl SimRuntime {
             RuntimeEvent::PilotSubmitted(id) => self.on_pilot_submitted(id, ctx, out),
             RuntimeEvent::UnitsSubmitted(ids) => {
                 for id in ids {
-                    let unit = self.units.get_mut(&id).expect("submitted unit exists");
+                    let slot = self.waiting.len() as u32;
+                    let unit = self
+                        .units
+                        .get_mut(id.0 as usize)
+                        .expect("submitted unit exists");
                     if unit.state == UnitState::New {
                         unit.state = UnitState::Scheduling;
-                        self.waiting.push(id);
+                        unit.waiting_slot = Some(slot);
+                        let cores = unit.description.cores;
+                        self.waiting.push(UnitView { id, cores });
+                        self.waiting_live += 1;
+                        self.max_waiting_cores = self.max_waiting_cores.max(cores);
+                        self.sched_dirty = true;
                         out.push(RuntimeNotification::Unit {
                             id,
                             state: UnitState::Scheduling,
@@ -470,7 +530,7 @@ impl SimRuntime {
         ctx: &mut Context<'_, E>,
         out: &mut Vec<RuntimeNotification>,
     ) {
-        let p = self.pilots.get_mut(&id).expect("pilot exists");
+        let p = self.pilots.get_mut(id.0 as usize).expect("pilot exists");
         if p.state != PilotState::New {
             return;
         }
@@ -487,8 +547,8 @@ impl SimRuntime {
             .service
             .submit(jd, ctx, &mut updates)
             .expect("pilot job description is valid");
-        self.pilots.get_mut(&id).expect("pilot exists").saga_job = Some(saga);
-        self.saga_to_pilot.insert(saga, id);
+        self.pilots[id.0 as usize].saga_job = Some(saga);
+        self.saga_to_pilot.insert(saga.0, id);
         self.profiler.pilot_mut(id).launched = Some(ctx.now());
         self.telemetry
             .record(ctx.now(), "pilot", "pilot_launched", Subject::Pilot(id.0));
@@ -503,7 +563,7 @@ impl SimRuntime {
         out: &mut Vec<RuntimeNotification>,
     ) {
         for u in updates {
-            let Some(&pid) = self.saga_to_pilot.get(&u.id) else {
+            let Some(&pid) = self.saga_to_pilot.get(u.id.0) else {
                 continue;
             };
             if let Some(lost) = u.shrunk_by {
@@ -516,6 +576,8 @@ impl SimRuntime {
                         .record(u.time, "pilot", "pilot_active", Subject::Pilot(pid.0));
                     self.profiler.pilot_mut(pid).active = Some(u.time);
                     self.set_pilot_state(pid, PilotState::Active, u.time, out);
+                    // New capacity became available.
+                    self.sched_dirty = true;
                     ctx.schedule_in(SimDuration::ZERO, RuntimeEvent::SchedulePass);
                 }
                 JobState::Done => {
@@ -546,7 +608,7 @@ impl SimRuntime {
         ctx: &mut Context<'_, E>,
         out: &mut Vec<RuntimeNotification>,
     ) {
-        let Some(p) = self.pilots.get_mut(&pid) else {
+        let Some(p) = self.pilots.get_mut(pid.0 as usize) else {
             return;
         };
         if p.state.is_terminal() {
@@ -556,20 +618,22 @@ impl SimRuntime {
         p.free_cores -= from_free;
         p.description.cores = p.description.cores.saturating_sub(lost);
         let remaining_cores = p.description.cores;
+        self.pilots_dirty = true;
         let mut deficit = lost - from_free;
         if deficit > 0 {
-            let mut inflight: Vec<UnitId> = self
+            // Id order by construction: the unit store iterates densely.
+            let inflight: Vec<UnitId> = self
                 .units
                 .iter()
+                .enumerate()
                 .filter(|(_, u)| u.pilot == Some(pid) && u.holding > 0 && !u.state.is_terminal())
-                .map(|(&id, _)| id)
+                .map(|(i, _)| UnitId(i as u64))
                 .collect();
-            inflight.sort_unstable();
             for id in inflight {
                 if deficit == 0 {
                     break;
                 }
-                let unit = self.units.get_mut(&id).expect("in-flight unit exists");
+                let unit = &mut self.units[id.0 as usize];
                 if !unit.state.can_transition_to(UnitState::Failed) {
                     continue;
                 }
@@ -591,7 +655,7 @@ impl SimRuntime {
                 deficit -= absorbed;
                 let surplus = held - absorbed;
                 if surplus > 0 {
-                    self.pilots.get_mut(&pid).expect("pilot exists").free_cores += surplus;
+                    self.pilots[pid.0 as usize].free_cores += surplus;
                 }
             }
         }
@@ -603,6 +667,9 @@ impl SimRuntime {
             remaining_cores,
             time,
         });
+        // Surplus cores may have returned, and the shrunken size changes
+        // which waiting units are doomed.
+        self.sched_dirty = true;
         ctx.schedule_in(SimDuration::ZERO, RuntimeEvent::SchedulePass);
     }
 
@@ -627,11 +694,12 @@ impl SimRuntime {
         let victims: Vec<UnitId> = self
             .units
             .iter()
+            .enumerate()
             .filter(|(_, u)| u.pilot == Some(pid) && !u.state.is_terminal())
-            .map(|(&id, _)| id)
+            .map(|(i, _)| UnitId(i as u64))
             .collect();
         for id in victims {
-            let unit = self.units.get_mut(&id).expect("unit exists");
+            let unit = &mut self.units[id.0 as usize];
             if unit.state.can_transition_to(UnitState::Failed) {
                 unit.state = UnitState::Failed;
                 unit.holding = 0;
@@ -648,7 +716,9 @@ impl SimRuntime {
                 });
             }
         }
-        // Remaining waiting units may still run on other pilots.
+        // Remaining waiting units may still run on other pilots, and the
+        // loss of this pilot may doom waiting units that only it could fit.
+        self.sched_dirty = true;
         ctx.schedule_in(SimDuration::ZERO, RuntimeEvent::SchedulePass);
     }
 
@@ -659,12 +729,78 @@ impl SimRuntime {
         time: SimTime,
         out: &mut Vec<RuntimeNotification>,
     ) {
-        let p = self.pilots.get_mut(&id).expect("pilot exists");
+        let p = self.pilots.get_mut(id.0 as usize).expect("pilot exists");
         if p.state == state || !p.state.can_transition_to(state) {
             return;
         }
         p.state = state;
+        self.pilots_dirty = true;
         out.push(RuntimeNotification::Pilot { id, state, time });
+    }
+
+    /// Marks a waiting-list slot as a tombstone, checking it belongs to
+    /// the given unit.
+    fn tombstone_waiting_slot(&mut self, slot: usize, id: UnitId) {
+        debug_assert_eq!(self.waiting[slot].id, id);
+        self.waiting[slot].cores = UnitView::TOMBSTONE_CORES;
+        self.waiting_dead += 1;
+        self.waiting_live -= 1;
+    }
+
+    /// Advances the waiting head past leading tombstones and rebuilds the
+    /// list once dead entries outnumber live ones. Amortized O(1) per
+    /// placement: every tombstone is skipped or dropped exactly once.
+    fn compact_waiting(&mut self) {
+        while self.waiting_head < self.waiting.len()
+            && self.waiting[self.waiting_head].is_tombstone()
+        {
+            self.waiting_head += 1;
+            self.waiting_dead -= 1;
+        }
+        if self.waiting_head == self.waiting.len() {
+            debug_assert_eq!(self.waiting_live, 0);
+            debug_assert_eq!(self.waiting_dead, 0);
+            self.waiting.clear();
+            self.waiting_head = 0;
+            return;
+        }
+        if self.waiting_dead > self.waiting_live {
+            let mut compacted = Vec::with_capacity(self.waiting_live);
+            for view in &self.waiting[self.waiting_head..] {
+                if !view.is_tombstone() {
+                    compacted.push(*view);
+                }
+            }
+            debug_assert_eq!(compacted.len(), self.waiting_live);
+            for (slot, view) in compacted.iter().enumerate() {
+                self.units[view.id.0 as usize].waiting_slot = Some(slot as u32);
+            }
+            self.waiting = compacted;
+            self.waiting_head = 0;
+            self.waiting_dead = 0;
+        }
+    }
+
+    /// Rebuilds the cached scheduler-facing pilot views (index == pilot
+    /// id) and the max non-terminal pilot size. O(pilots), and pilots are
+    /// few; the point is not doing it per pass when nothing changed.
+    fn rebuild_pilot_cache(&mut self) {
+        self.pilots_dirty = false;
+        self.pilot_views.clear();
+        self.pilot_views
+            .extend(self.pilots.iter().enumerate().map(|(i, p)| PilotView {
+                id: PilotId(i as u64),
+                active: p.state == PilotState::Active,
+                free_cores: p.free_cores,
+                total_cores: p.description.cores,
+            }));
+        self.max_pilot_cores = self
+            .pilots
+            .iter()
+            .filter(|p| !p.state.is_terminal())
+            .map(|p| p.description.cores)
+            .max()
+            .unwrap_or(0);
     }
 
     fn schedule_pass<E: RuntimeEventSink>(
@@ -672,71 +808,82 @@ impl SimRuntime {
         ctx: &mut Context<'_, E>,
         out: &mut Vec<RuntimeNotification>,
     ) {
-        if self.waiting.is_empty() {
+        // Incremental early-out: nothing is waiting, or neither the
+        // waiting set nor capacity changed since the last pass — a
+        // work-conserving scheduler would place nothing (see the
+        // `UnitScheduler` contract), so skip the pass entirely. No-op
+        // passes draw no randomness and record nothing, so skipping them
+        // is invisible in traces.
+        if self.waiting_live == 0 || !self.sched_dirty {
             return;
         }
-        // Fail units that can never fit any non-terminal pilot.
-        let max_pilot_cores = self
-            .pilots
-            .values()
-            .filter(|p| !p.state.is_terminal())
-            .map(|p| p.description.cores)
-            .max()
-            .unwrap_or(0);
-        let (fitting, doomed): (Vec<UnitId>, Vec<UnitId>) = self
-            .waiting
-            .iter()
-            .partition(|&&id| self.units[&id].description.cores <= max_pilot_cores);
-        self.waiting = fitting;
-        for id in doomed {
-            let unit = self.units.get_mut(&id).expect("unit exists");
-            unit.state = UnitState::Failed;
-            self.profiler.unit_mut(id).done = Some(ctx.now());
-            self.note_unit_terminal(id, "unit_failed", ctx.now());
-            out.push(RuntimeNotification::Unit {
-                id,
-                state: UnitState::Failed,
-                time: ctx.now(),
-                detail: Some("no pilot large enough for this unit".into()),
-            });
+        self.sched_dirty = false;
+        if self.pilots_dirty {
+            self.rebuild_pilot_cache();
         }
-        if self.waiting.is_empty() {
-            return;
+        // Fail units that can never fit any non-terminal pilot. Gated on
+        // a monotone upper bound of waiting core demands, so the scan
+        // runs only when a doomed unit may actually exist instead of
+        // partitioning the whole list every pass.
+        if self.max_waiting_cores > self.max_pilot_cores {
+            let max_pilot_cores = self.max_pilot_cores;
+            let mut new_max = 0usize;
+            for slot in self.waiting_head..self.waiting.len() {
+                let view = self.waiting[slot];
+                if view.is_tombstone() {
+                    continue;
+                }
+                if view.cores <= max_pilot_cores {
+                    new_max = new_max.max(view.cores);
+                    continue;
+                }
+                self.tombstone_waiting_slot(slot, view.id);
+                let unit = &mut self.units[view.id.0 as usize];
+                unit.waiting_slot = None;
+                unit.state = UnitState::Failed;
+                self.profiler.unit_mut(view.id).done = Some(ctx.now());
+                self.note_unit_terminal(view.id, "unit_failed", ctx.now());
+                out.push(RuntimeNotification::Unit {
+                    id: view.id,
+                    state: UnitState::Failed,
+                    time: ctx.now(),
+                    detail: Some("no pilot large enough for this unit".into()),
+                });
+            }
+            self.max_waiting_cores = new_max;
+            if self.waiting_live == 0 {
+                self.compact_waiting();
+                return;
+            }
         }
+        self.compact_waiting();
 
-        let views: Vec<UnitView> = self
-            .waiting
-            .iter()
-            .map(|&id| UnitView {
-                id,
-                cores: self.units[&id].description.cores,
-            })
-            .collect();
-        let mut pilot_views: Vec<PilotView> = self
-            .pilots
-            .iter()
-            .map(|(&id, p)| PilotView {
-                id,
-                active: p.state == PilotState::Active,
-                free_cores: p.free_cores,
-                total_cores: p.description.cores,
-            })
-            .collect();
-        pilot_views.sort_by_key(|p| p.id);
-        let placements = self.scheduler.assign(&views, &pilot_views);
+        let placements = self
+            .scheduler
+            .assign(&self.waiting[self.waiting_head..], &self.pilot_views);
         for placement in placements {
-            let unit = self.units.get_mut(&placement.unit).expect("unit exists");
-            let pilot = self.pilots.get_mut(&placement.pilot).expect("pilot exists");
+            let uidx = placement.unit.0 as usize;
+            let pidx = placement.pilot.0 as usize;
+            let cores = self.units[uidx].description.cores;
+            let pilot = &mut self.pilots[pidx];
             assert!(
-                pilot.free_cores >= unit.description.cores,
+                pilot.free_cores >= cores,
                 "unit scheduler oversubscribed {}",
                 placement.pilot
             );
-            pilot.free_cores -= unit.description.cores;
+            pilot.free_cores -= cores;
+            let free_now = pilot.free_cores;
+            // Keep the cached view exact; no rebuild needed for placements.
+            self.pilot_views[pidx].free_cores = free_now;
+            let unit = &mut self.units[uidx];
             unit.pilot = Some(placement.pilot);
-            unit.holding = unit.description.cores;
+            unit.holding = cores;
             unit.state = UnitState::StagingInput;
-            self.waiting.retain(|&w| w != placement.unit);
+            let slot = unit
+                .waiting_slot
+                .take()
+                .expect("placed unit was on the waiting list");
+            self.tombstone_waiting_slot(slot as usize, placement.unit);
             self.telemetry.record(
                 ctx.now(),
                 "pilot",
@@ -756,7 +903,7 @@ impl SimRuntime {
                 .overheads
                 .scheduling_per_unit
                 .sample(&mut self.rng);
-            let bytes = self.units[&placement.unit].description.input_bytes();
+            let bytes = self.units[uidx].description.input_bytes();
             let stage = self.service.cluster_mut().transfer_duration(bytes);
             let delay = SimDuration::from_secs_f64(sched_cost) + stage;
             ctx.schedule_in(delay, RuntimeEvent::StageInDone(placement.unit));
@@ -764,7 +911,7 @@ impl SimRuntime {
     }
 
     fn on_stagein_done<E: RuntimeEventSink>(&mut self, id: UnitId, ctx: &mut Context<'_, E>) {
-        let Some(unit) = self.units.get(&id) else {
+        let Some(unit) = self.units.get(id.0 as usize) else {
             return;
         };
         if unit.state != UnitState::StagingInput {
@@ -785,7 +932,7 @@ impl SimRuntime {
         ctx: &mut Context<'_, E>,
         out: &mut Vec<RuntimeNotification>,
     ) {
-        let Some(unit) = self.units.get_mut(&id) else {
+        let Some(unit) = self.units.get_mut(id.0 as usize) else {
             return;
         };
         if unit.state != UnitState::StagingInput {
@@ -815,7 +962,7 @@ impl SimRuntime {
             detail: None,
         });
         let ev = ctx.schedule_in(duration, RuntimeEvent::ExecDone(id));
-        self.units.get_mut(&id).expect("unit exists").exec_event = Some(ev);
+        self.units[id.0 as usize].exec_event = Some(ev);
     }
 
     fn on_exec_done<E: RuntimeEventSink>(
@@ -824,7 +971,7 @@ impl SimRuntime {
         ctx: &mut Context<'_, E>,
         out: &mut Vec<RuntimeNotification>,
     ) {
-        let Some(unit) = self.units.get_mut(&id) else {
+        let Some(unit) = self.units.get_mut(id.0 as usize) else {
             return;
         };
         if unit.state != UnitState::Executing {
@@ -877,9 +1024,11 @@ impl SimRuntime {
             });
         }
         if let (Some(pid), true) = (pilot, released > 0) {
-            if let Some(p) = self.pilots.get_mut(&pid) {
+            if let Some(p) = self.pilots.get_mut(pid.0 as usize) {
                 p.free_cores += released;
+                self.pilots_dirty = true;
             }
+            self.sched_dirty = true;
             ctx.schedule_in(SimDuration::ZERO, RuntimeEvent::SchedulePass);
         }
     }
@@ -890,7 +1039,7 @@ impl SimRuntime {
         ctx: &mut Context<'_, E>,
         out: &mut Vec<RuntimeNotification>,
     ) {
-        let Some(unit) = self.units.get_mut(&id) else {
+        let Some(unit) = self.units.get_mut(id.0 as usize) else {
             return;
         };
         if unit.state != UnitState::StagingOutput {
@@ -954,6 +1103,7 @@ pub(crate) mod tests {
             unit_failure_rate: 0.0,
             seed: 7,
             batch_policy: BatchPolicy::Fifo,
+            telemetry: true,
         }
     }
 

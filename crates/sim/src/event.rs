@@ -1,4 +1,25 @@
 //! Priority event queue with deterministic FIFO tie-breaking and cancellation.
+//!
+//! Two implementations share one contract:
+//!
+//! * [`EventQueue`] — a Brown-style **calendar queue**: a ring of time
+//!   buckets of width `W`, where pop scans only the bucket covering the
+//!   current "year". For the tightly clustered event populations a
+//!   discrete-event simulation produces, push and pop are O(1) amortized
+//!   instead of the binary heap's O(log n), and the hot path touches a
+//!   couple of small contiguous `Vec`s instead of a pointer-chasing
+//!   sift-down. This is the queue the [`crate::Engine`] runs on.
+//! * [`ReferenceEventQueue`] — the original `BinaryHeap` queue, kept as the
+//!   executable specification. The differential property test at the bottom
+//!   of this module drives random push/cancel/pop/pop_at_or_before
+//!   sequences through both and asserts identical `(time, id, payload)`
+//!   streams, FIFO tie-breaks included.
+//!
+//! Both queues schedule events for the same instant to pop in insertion
+//! order (ids are dense sequence numbers), which makes simulation runs
+//! bit-for-bit reproducible, and both cancel lazily: a cancelled entry
+//! stays where it is and is dropped when a scan next touches it. Liveness
+//! is a bitset indexed by the dense id, so the hot paths never hash.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -43,26 +64,84 @@ impl<E> PartialEq for Entry<E> {
 }
 impl<E> Eq for Entry<E> {}
 
-/// A time-ordered queue of events.
+/// Dense-id liveness bitset shared by both queue implementations: bit `i`
+/// is set while event `i` is scheduled and neither popped nor cancelled.
+#[derive(Default)]
+struct PendingBits(Vec<u64>);
+
+impl PendingBits {
+    fn set(&mut self, id: EventId) {
+        let word = id.0 as usize / 64;
+        if word >= self.0.len() {
+            self.0.resize(word + 1, 0);
+        }
+        self.0[word] |= 1 << (id.0 % 64);
+    }
+
+    fn is_set(&self, id: EventId) -> bool {
+        let (word, bit) = (id.0 as usize / 64, id.0 % 64);
+        self.0.get(word).is_some_and(|w| w & (1 << bit) != 0)
+    }
+
+    /// Clears the bit; returns whether it was set.
+    fn clear(&mut self, id: EventId) -> bool {
+        let (word, bit) = (id.0 as usize / 64, id.0 % 64);
+        match self.0.get_mut(word) {
+            Some(w) if *w & (1 << bit) != 0 => {
+                *w &= !(1 << bit);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+// ------------------------------------------------------------------ calendar
+
+/// Initial bucket count (power of two).
+const INITIAL_BUCKETS: usize = 16;
+/// Smallest bucket count the queue shrinks back to.
+const MIN_BUCKETS: usize = 16;
+/// Initial bucket width in microseconds, before any sampled estimate.
+const INITIAL_WIDTH: u64 = 1_000;
+/// Upper clamp on the sampled bucket width (µs); keeps year arithmetic
+/// far from overflow even for far-future sentinel events.
+const MAX_WIDTH: u64 = 1 << 50;
+/// How many entry timestamps the resize pass samples to estimate typical
+/// event spacing.
+const WIDTH_SAMPLES: usize = 64;
+
+/// A time-ordered queue of events, implemented as a calendar queue.
 ///
-/// Events scheduled for the same instant pop in insertion order, which makes
-/// simulation runs bit-for-bit reproducible. Cancellation is lazy: cancelled
-/// entries stay in the heap and are skipped when they surface.
+/// Events scheduled for the same instant pop in insertion order (same-time
+/// events always land in the same bucket, so the in-bucket minimum scan
+/// resolves ties by id). Cancellation is lazy: cancelled entries stay in
+/// their bucket and are dropped when a scan next touches them.
 ///
-/// Because ids are dense sequence numbers, liveness is tracked in a bitset
-/// rather than a hash set: `pending` bit `i` is set while event `i` is
-/// scheduled and neither popped nor cancelled. This keeps the hot pop path
-/// free of hashing, makes `len` an O(1) counter read (the previous
-/// `heap.len() - cancelled.len()` underflowed when an already-popped id was
-/// cancelled), and lets pop/peek skip the liveness probe entirely while no
-/// lazily-cancelled entries remain in the heap.
+/// The bucket ring covers one "year" of `nbuckets × width` microseconds;
+/// an event maps to bucket `(t / width) mod nbuckets`. Pop scans the
+/// current bucket for the earliest entry belonging to the current year
+/// (`t` inside the bucket's current window) and advances bucket by bucket
+/// otherwise; after a fruitless full-year sweep it falls back to a direct
+/// global-minimum search and jumps the clock there. The ring doubles when
+/// the live population outgrows it and halves when it empties out, and
+/// each resize re-estimates the width from the median gap of a sample of
+/// entry timestamps, so bucket occupancy stays O(1) on average.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    /// Bit `i` set ⇔ event id `i` is scheduled, unpopped, and uncancelled.
-    pending: Vec<u64>,
-    /// Number of set bits in `pending` (live events).
+    buckets: Vec<Vec<Entry<E>>>,
+    /// Power-of-two bucket count; the ring index mask is `nbuckets - 1`.
+    nbuckets: usize,
+    /// Bucket width in microseconds (≥ 1).
+    width: u64,
+    /// Ring index of the bucket the clock currently points at.
+    cur: usize,
+    /// Exclusive upper bound (µs) of `cur`'s current-year window. `u128`
+    /// so `(t / width + 1) × width` can never overflow.
+    bucket_top: u128,
+    pending: PendingBits,
+    /// Number of live (scheduled, unpopped, uncancelled) events.
     live: usize,
-    /// Cancelled entries still sitting in the heap awaiting lazy removal.
+    /// Cancelled entries still sitting in buckets awaiting lazy removal.
     lazy_cancelled: usize,
     next_id: u64,
 }
@@ -77,42 +156,46 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            pending: Vec::new(),
+            buckets: (0..INITIAL_BUCKETS).map(|_| Vec::new()).collect(),
+            nbuckets: INITIAL_BUCKETS,
+            width: INITIAL_WIDTH,
+            cur: 0,
+            bucket_top: INITIAL_WIDTH as u128,
+            pending: PendingBits::default(),
             live: 0,
             lazy_cancelled: 0,
             next_id: 0,
         }
     }
 
-    fn is_pending(&self, id: EventId) -> bool {
-        let (word, bit) = (id.0 as usize / 64, id.0 % 64);
-        self.pending.get(word).is_some_and(|w| w & (1 << bit) != 0)
+    fn bucket_of(&self, micros: u64) -> usize {
+        ((micros / self.width) as usize) & (self.nbuckets - 1)
     }
 
-    /// Clears the pending bit; returns whether it was set.
-    fn clear_pending(&mut self, id: EventId) -> bool {
-        let (word, bit) = (id.0 as usize / 64, id.0 % 64);
-        match self.pending.get_mut(word) {
-            Some(w) if *w & (1 << bit) != 0 => {
-                *w &= !(1 << bit);
-                true
-            }
-            _ => false,
-        }
+    /// Points the clock at the year window containing `micros`.
+    fn seek_to(&mut self, micros: u64) {
+        let base = micros / self.width;
+        self.cur = (base as usize) & (self.nbuckets - 1);
+        self.bucket_top = (base as u128 + 1) * self.width as u128;
     }
 
     /// Schedules `payload` at absolute time `time`, returning a cancellable id.
     pub fn push(&mut self, time: SimTime, payload: E) -> EventId {
         let id = EventId(self.next_id);
         self.next_id += 1;
-        let word = id.0 as usize / 64;
-        if word >= self.pending.len() {
-            self.pending.resize(word + 1, 0);
-        }
-        self.pending[word] |= 1 << (id.0 % 64);
+        self.pending.set(id);
         self.live += 1;
-        self.heap.push(Entry { time, id, payload });
+        let micros = time.as_micros();
+        // The clock floor is the start of the current bucket window; an
+        // earlier push must rewind the clock or pop would skip past it.
+        if (micros as u128) < self.bucket_top.saturating_sub(self.width as u128) {
+            self.seek_to(micros);
+        }
+        let b = self.bucket_of(micros);
+        self.buckets[b].push(Entry { time, id, payload });
+        if self.live > self.nbuckets * 2 {
+            self.resize(self.nbuckets * 2);
+        }
         id
     }
 
@@ -123,7 +206,235 @@ impl<E> EventQueue<E> {
         if id.0 >= self.next_id {
             return false;
         }
-        if self.clear_pending(id) {
+        if self.pending.clear(id) {
+            self.live -= 1;
+            self.lazy_cancelled += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Locates the earliest live entry, pruning cancelled entries on the
+    /// way, and leaves the clock pointing at its year window. Returns the
+    /// `(bucket, slot)` position without removing the entry.
+    fn find_min(&mut self) -> Option<(usize, usize)> {
+        if self.live == 0 {
+            return None;
+        }
+        let mut scanned = 0;
+        loop {
+            // Scan the current bucket for the earliest (time, id) entry
+            // that belongs to the current year window.
+            let bucket_top = self.bucket_top;
+            let mut best: Option<(u64, u64, usize)> = None;
+            let mut slot = 0;
+            // Split borrows: prune via the bucket while probing `pending`.
+            let cur = self.cur;
+            while slot < self.buckets[cur].len() {
+                let (time, id) = {
+                    let e = &self.buckets[cur][slot];
+                    (e.time.as_micros(), e.id)
+                };
+                if !self.pending.is_set(id) {
+                    self.buckets[cur].swap_remove(slot);
+                    self.lazy_cancelled -= 1;
+                    continue;
+                }
+                if (time as u128) < bucket_top
+                    && best.is_none_or(|(bt, bid, _)| (time, id.0) < (bt, bid))
+                {
+                    best = Some((time, id.0, slot));
+                }
+                slot += 1;
+            }
+            if let Some((_, _, slot)) = best {
+                return Some((cur, slot));
+            }
+            self.cur = (self.cur + 1) & (self.nbuckets - 1);
+            self.bucket_top += self.width as u128;
+            scanned += 1;
+            if scanned >= self.nbuckets {
+                return self.direct_min();
+            }
+        }
+    }
+
+    /// Fallback after a fruitless full-year sweep: scan every bucket for
+    /// the global minimum and jump the clock to it. O(entries + buckets),
+    /// amortized away by the year jump it buys.
+    fn direct_min(&mut self) -> Option<(usize, usize)> {
+        let mut best: Option<(u64, u64, usize, usize)> = None;
+        for b in 0..self.nbuckets {
+            let mut slot = 0;
+            while slot < self.buckets[b].len() {
+                let (time, id) = {
+                    let e = &self.buckets[b][slot];
+                    (e.time.as_micros(), e.id)
+                };
+                if !self.pending.is_set(id) {
+                    self.buckets[b].swap_remove(slot);
+                    self.lazy_cancelled -= 1;
+                    continue;
+                }
+                if best.is_none_or(|(bt, bid, _, _)| (time, id.0) < (bt, bid)) {
+                    best = Some((time, id.0, b, slot));
+                }
+                slot += 1;
+            }
+        }
+        best.map(|(time, _, b, slot)| {
+            self.seek_to(time);
+            (b, slot)
+        })
+    }
+
+    fn remove_at(&mut self, bucket: usize, slot: usize) -> (SimTime, EventId, E) {
+        let entry = self.buckets[bucket].swap_remove(slot);
+        self.pending.clear(entry.id);
+        self.live -= 1;
+        if self.nbuckets > MIN_BUCKETS && self.live < self.nbuckets / 2 {
+            self.resize(self.nbuckets / 2);
+        }
+        (entry.time, entry.id, entry.payload)
+    }
+
+    /// Pops the earliest non-cancelled event.
+    pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
+        let (b, s) = self.find_min()?;
+        Some(self.remove_at(b, s))
+    }
+
+    /// Time of the earliest pending (non-cancelled) event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        let (b, s) = self.find_min()?;
+        Some(self.buckets[b][s].time)
+    }
+
+    /// Pops the earliest non-cancelled event only if it is scheduled at or
+    /// before `horizon`.
+    pub fn pop_at_or_before(&mut self, horizon: SimTime) -> Option<(SimTime, EventId, E)> {
+        let (b, s) = self.find_min()?;
+        if self.buckets[b][s].time > horizon {
+            return None;
+        }
+        Some(self.remove_at(b, s))
+    }
+
+    /// Number of live (scheduled, unpopped, uncancelled) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Rebuilds the ring with `new_nb` buckets, dropping cancelled entries
+    /// and re-estimating the bucket width from the surviving population.
+    fn resize(&mut self, new_nb: usize) {
+        let mut entries: Vec<Entry<E>> = Vec::with_capacity(self.live);
+        for bucket in &mut self.buckets {
+            for e in bucket.drain(..) {
+                if self.pending.is_set(e.id) {
+                    entries.push(e);
+                } else {
+                    self.lazy_cancelled -= 1;
+                }
+            }
+        }
+        self.width = estimate_width(&entries).unwrap_or(self.width);
+        self.nbuckets = new_nb;
+        self.buckets.resize_with(new_nb, Vec::new);
+        // Rewind the clock to the earliest survivor (no event precedes it).
+        let min_t = entries
+            .iter()
+            .map(|e| e.time.as_micros())
+            .min()
+            .unwrap_or(0);
+        self.seek_to(min_t);
+        for e in entries {
+            let b = self.bucket_of(e.time.as_micros());
+            self.buckets[b].push(e);
+        }
+    }
+}
+
+/// Estimates a bucket width from the median adjacent gap of a strided
+/// sample of entry timestamps. The median is robust to the far-future
+/// outliers (wall-time sentinels) a simulation keeps parked in the queue.
+/// Returns `None` when the population is too small or fully coincident.
+fn estimate_width<E>(entries: &[Entry<E>]) -> Option<u64> {
+    if entries.len() < 4 {
+        return None;
+    }
+    let stride = entries.len().div_ceil(WIDTH_SAMPLES);
+    let mut sample: Vec<u64> = entries
+        .iter()
+        .step_by(stride)
+        .map(|e| e.time.as_micros())
+        .collect();
+    sample.sort_unstable();
+    let mut gaps: Vec<u64> = sample.windows(2).map(|w| w[1] - w[0]).collect();
+    gaps.sort_unstable();
+    let median = gaps[gaps.len() / 2];
+    if median == 0 {
+        return None;
+    }
+    // A few median gaps per bucket keeps occupancy low without spreading
+    // the year so wide the current bucket goes stale.
+    Some((median.saturating_mul(4)).clamp(1, MAX_WIDTH))
+}
+
+// ----------------------------------------------------------------- reference
+
+/// The original `BinaryHeap`-backed queue, kept as the executable
+/// specification for [`EventQueue`]. Not used by the engine; exists so the
+/// differential tests (and any future queue experiment) have a trusted
+/// oracle with identical semantics.
+pub struct ReferenceEventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    pending: PendingBits,
+    live: usize,
+    lazy_cancelled: usize,
+    next_id: u64,
+}
+
+impl<E> Default for ReferenceEventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> ReferenceEventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        ReferenceEventQueue {
+            heap: BinaryHeap::new(),
+            pending: PendingBits::default(),
+            live: 0,
+            lazy_cancelled: 0,
+            next_id: 0,
+        }
+    }
+
+    /// Schedules `payload` at absolute time `time`, returning a cancellable id.
+    pub fn push(&mut self, time: SimTime, payload: E) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.pending.set(id);
+        self.live += 1;
+        self.heap.push(Entry { time, id, payload });
+        id
+    }
+
+    /// Cancels a previously scheduled event; see [`EventQueue::cancel`].
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_id {
+            return false;
+        }
+        if self.pending.clear(id) {
             self.live -= 1;
             self.lazy_cancelled += 1;
             true
@@ -135,13 +446,11 @@ impl<E> EventQueue<E> {
     /// Pops the earliest non-cancelled event.
     pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
         while let Some(entry) = self.heap.pop() {
-            // Fast path: with no lazy cancellations in the heap, every
-            // entry is live — skip the liveness probe.
-            if self.lazy_cancelled > 0 && !self.is_pending(entry.id) {
+            if self.lazy_cancelled > 0 && !self.pending.is_set(entry.id) {
                 self.lazy_cancelled -= 1;
                 continue;
             }
-            self.clear_pending(entry.id);
+            self.pending.clear(entry.id);
             self.live -= 1;
             return Some((entry.time, entry.id, entry.payload));
         }
@@ -151,7 +460,7 @@ impl<E> EventQueue<E> {
     /// Time of the earliest pending (non-cancelled) event without popping it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(entry) = self.heap.peek() {
-            if self.lazy_cancelled > 0 && !self.is_pending(entry.id) {
+            if self.lazy_cancelled > 0 && !self.pending.is_set(entry.id) {
                 self.heap.pop().expect("peeked entry exists");
                 self.lazy_cancelled -= 1;
                 continue;
@@ -162,11 +471,10 @@ impl<E> EventQueue<E> {
     }
 
     /// Pops the earliest non-cancelled event only if it is scheduled at or
-    /// before `horizon`. One heap traversal replaces the peek-then-pop pair
-    /// in bounded-run loops.
+    /// before `horizon`.
     pub fn pop_at_or_before(&mut self, horizon: SimTime) -> Option<(SimTime, EventId, E)> {
         while let Some(entry) = self.heap.peek() {
-            if self.lazy_cancelled > 0 && !self.is_pending(entry.id) {
+            if self.lazy_cancelled > 0 && !self.pending.is_set(entry.id) {
                 self.heap.pop().expect("peeked entry exists");
                 self.lazy_cancelled -= 1;
                 continue;
@@ -175,7 +483,7 @@ impl<E> EventQueue<E> {
                 return None;
             }
             let entry = self.heap.pop().expect("peeked entry exists");
-            self.clear_pending(entry.id);
+            self.pending.clear(entry.id);
             self.live -= 1;
             return Some((entry.time, entry.id, entry.payload));
         }
@@ -291,6 +599,41 @@ mod tests {
         assert!(q.is_empty());
     }
 
+    /// A push earlier than everything already popped past must still
+    /// surface (the calendar clock rewinds).
+    #[test]
+    fn push_behind_the_clock_rewinds() {
+        let mut q = EventQueue::new();
+        q.push(t(100), "late");
+        assert_eq!(q.peek_time(), Some(t(100)));
+        q.push(t(1), "early");
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some("early"));
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some("late"));
+    }
+
+    /// Growing past the resize threshold and draining back down keeps the
+    /// pop order intact (exercises resize + width re-estimation).
+    #[test]
+    fn resize_preserves_order() {
+        let mut q = EventQueue::new();
+        let n = 500u64;
+        // Deterministic scatter of times with duplicates and one far-future
+        // outlier (as a wall-time sentinel would be).
+        let mut expected: Vec<(u64, u64)> = Vec::new();
+        for i in 0..n {
+            let micros = (i * 7919) % 1000;
+            let id = q.push(SimTime::from_micros(micros), i);
+            expected.push((micros, id.raw()));
+        }
+        q.push(SimTime::from_micros(u64::MAX / 2), n);
+        expected.push((u64::MAX / 2, n));
+        expected.sort_unstable();
+        let got: Vec<(u64, u64)> = std::iter::from_fn(|| q.pop())
+            .map(|(t, id, _)| (t.as_micros(), id.raw()))
+            .collect();
+        assert_eq!(got, expected);
+    }
+
     proptest! {
         /// Popped events are always in non-decreasing time order, and every
         /// non-cancelled event appears exactly once.
@@ -318,6 +661,59 @@ mod tests {
             seen.sort_unstable();
             expected.sort_unstable();
             prop_assert_eq!(seen, expected);
+        }
+
+        /// Differential test: the calendar queue and the reference heap
+        /// queue produce identical (time, id, payload) streams under random
+        /// interleavings of push / cancel / pop / pop_at_or_before /
+        /// peek_time, including FIFO tie-breaks at coincident times. Ops
+        /// are encoded as `(kind, a, b)` tuples: kind selects the
+        /// operation, `a`/`b` parameterize it. The coarse time grid
+        /// (multiples of 1000 µs) forces plenty of exact ties.
+        #[test]
+        fn prop_calendar_matches_reference(
+            ops in proptest::collection::vec((0u8..10, 0u64..200, any::<u64>()), 1..400)
+        ) {
+            let mut cal: EventQueue<u64> = EventQueue::new();
+            let mut reference: ReferenceEventQueue<u64> = ReferenceEventQueue::new();
+            let mut payload = 0u64;
+            let mut issued: Vec<EventId> = Vec::new();
+            for (kind, a, b) in ops {
+                match kind {
+                    // Push weighted ×4 so queues actually fill up.
+                    0..=3 => {
+                        let t = SimTime::from_micros(a * 1000 + (b % 3) * 500);
+                        let x = cal.push(t, payload);
+                        let y = reference.push(t, payload);
+                        prop_assert_eq!(x, y, "id streams diverge");
+                        issued.push(x);
+                        payload += 1;
+                    }
+                    4 => {
+                        if issued.is_empty() { continue; }
+                        let id = issued[b as usize % issued.len()];
+                        prop_assert_eq!(cal.cancel(id), reference.cancel(id));
+                    }
+                    5 | 6 => {
+                        prop_assert_eq!(cal.pop(), reference.pop());
+                    }
+                    7 | 8 => {
+                        let h = SimTime::from_micros(a * 1000);
+                        prop_assert_eq!(cal.pop_at_or_before(h), reference.pop_at_or_before(h));
+                    }
+                    _ => {
+                        prop_assert_eq!(cal.peek_time(), reference.peek_time());
+                    }
+                }
+                prop_assert_eq!(cal.len(), reference.len());
+                prop_assert_eq!(cal.is_empty(), reference.is_empty());
+            }
+            // Drain both queues completely: the tails must agree too.
+            loop {
+                let (x, y) = (cal.pop(), reference.pop());
+                prop_assert_eq!(x, y);
+                if x.is_none() { break; }
+            }
         }
     }
 }

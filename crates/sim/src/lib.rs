@@ -11,6 +11,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod engine;
 pub mod event;
 pub mod metrics;
@@ -19,8 +20,9 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use arena::{Arena, DenseStore, GenId};
 pub use engine::{Context, Engine, RunOutcome};
-pub use event::{EventId, EventQueue};
+pub use event::{EventId, EventQueue, ReferenceEventQueue};
 pub use metrics::Metrics;
 pub use rng::{Dist, SimRng};
 pub use stats::{Histogram, Summary, TimeSeries};
