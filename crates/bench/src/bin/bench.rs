@@ -32,7 +32,9 @@
 //! between runs; their identity check compares the deterministic
 //! projection (`entk_bench::deterministic_view`) instead.
 
-use entk_bench::{deterministic_view, figures, resilience_sweep_with, Row, SweepRunner};
+use entk_bench::{
+    deterministic_view, federated_resilience_with, figures, resilience_sweep_with, Row, SweepRunner,
+};
 use serde_json::json;
 use std::time::Instant;
 
@@ -254,6 +256,10 @@ fn main() {
         (
             "resilience",
             Box::new(move |r| resilience_sweep_with(r, seed, scale)),
+        ),
+        (
+            "resilience_federated",
+            Box::new(move |r| federated_resilience_with(r, seed)),
         ),
     ];
 

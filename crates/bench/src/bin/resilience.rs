@@ -6,6 +6,7 @@
 //!
 //!   --scale N     divide ensemble sizes by N            [default: 8]
 //!   --seed S      sweep seed                            [default: 2016]
+//!   --backend B   simulated | federated          [default: simulated]
 //!   --out PATH    output path                [default: RESILIENCE.json]
 //! ```
 //!
@@ -17,13 +18,21 @@
 //!    equal the rows of a platform with no injector at all.
 //! 3. **Parallel equals serial** — fanning the sweep across cores changes
 //!    nothing about its output.
+//!
+//! `--backend federated` swaps the single-cluster sweep for the federated
+//! two-cluster points (one member crash-heavy, one clean) and asserts the
+//! replay and parallel checks on those rows; the zero-rate check is
+//! specific to the task-failure injector and does not apply.
 
-use entk_bench::{baseline_rows, resilience, resilience_sweep_with, SweepRunner};
+use entk_bench::{
+    baseline_rows, federated_resilience_with, resilience, resilience_sweep_with, SweepRunner,
+};
 use serde_json::json;
 
 struct Options {
     scale: usize,
     seed: u64,
+    backend: String,
     out: String,
 }
 
@@ -31,6 +40,7 @@ fn parse_args() -> Options {
     let mut opts = Options {
         scale: 8,
         seed: 2016,
+        backend: "simulated".to_string(),
         out: "RESILIENCE.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
@@ -42,15 +52,76 @@ fn parse_args() -> Options {
         match arg.as_str() {
             "--scale" => opts.scale = value("--scale").parse().expect("--scale: integer"),
             "--seed" => opts.seed = value("--seed").parse().expect("--seed: integer"),
+            "--backend" => opts.backend = value("--backend"),
             "--out" => opts.out = value("--out"),
             other => panic!("unknown argument {other:?} (see module docs)"),
         }
     }
+    assert!(
+        matches!(opts.backend.as_str(), "simulated" | "federated"),
+        "unknown backend {:?} (use \"simulated\" or \"federated\")",
+        opts.backend
+    );
     opts
+}
+
+/// The `--backend federated` mode: paired clean / crash-heavy federation
+/// rows with the replay and parallel determinism checks.
+fn run_federated(opts: &Options) {
+    let seed = opts.seed;
+
+    let serial = federated_resilience_with(&SweepRunner::serial(), seed);
+    let replay = federated_resilience_with(&SweepRunner::serial(), seed);
+    let replay_identical = serial == replay;
+    assert!(
+        replay_identical,
+        "same seed must replay to byte-identical federated rows"
+    );
+
+    let parallel = federated_resilience_with(&SweepRunner::parallel(), seed);
+    let parallel_identical = serial == parallel;
+    assert!(
+        parallel_identical,
+        "parallel federated sweep diverged from serial rows"
+    );
+
+    for row in &serial {
+        println!(
+            "series={} mtbf={} {}",
+            row.series,
+            row.x,
+            row.values
+                .iter()
+                .map(|(n, v)| format!("{n}={v:.3}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
+
+    let out = json!({
+        "version": 1,
+        "backend": "federated",
+        "seed": seed,
+        "retries": resilience::FED_RETRIES,
+        "crash_mtbf_secs": resilience::FED_CRASH_MTBF_SECS,
+        "patterns": resilience::PATTERNS,
+        "rows": serial,
+        "checks": {
+            "replay_identical": replay_identical,
+            "parallel_identical": parallel_identical,
+        },
+    });
+    let rendered = serde_json::to_string_pretty(&out).expect("serialize RESILIENCE.json");
+    std::fs::write(&opts.out, rendered + "\n").expect("write RESILIENCE.json");
+    println!("wrote {} (all determinism checks passed)", opts.out);
 }
 
 fn main() {
     let opts = parse_args();
+    if opts.backend == "federated" {
+        run_federated(&opts);
+        return;
+    }
     let (seed, scale) = (opts.seed, opts.scale);
 
     let serial = resilience_sweep_with(&SweepRunner::serial(), seed, scale);
@@ -93,6 +164,7 @@ fn main() {
 
     let out = json!({
         "version": 1,
+        "backend": "simulated",
         "seed": seed,
         "scale": scale,
         "rates": resilience::RATES,

@@ -18,5 +18,8 @@ pub use figures::{
     fig3_with, fig4, fig4_with, fig5, fig5_with, fig6, fig6_with, fig7, fig7_with, fig8, fig8_with,
     fig9, fig9_with, print_rows, Row, FIG10_TRACE_LIMIT, NONDETERMINISTIC_VALUES,
 };
-pub use resilience::{baseline_rows, resilience_point, resilience_sweep, resilience_sweep_with};
+pub use resilience::{
+    baseline_rows, federated_point, federated_resilience, federated_resilience_with,
+    resilience_point, resilience_sweep, resilience_sweep_with,
+};
 pub use sweep::{SweepMode, SweepRunner};

@@ -13,6 +13,7 @@
 use crate::figures::Row;
 use crate::sweep::SweepRunner;
 use entk_core::prelude::*;
+use entk_sim::Dist;
 use serde_json::json;
 
 /// Injected task-failure rates the sweep crosses.
@@ -21,6 +22,10 @@ pub const RATES: [f64; 4] = [0.0, 0.05, 0.15, 0.3];
 pub const RETRIES: [u32; 3] = [0, 2, 8];
 /// Pattern kinds the sweep runs.
 pub const PATTERNS: [&str; 2] = ["eop", "sal"];
+/// Retry budget of every federated resilience point.
+pub const FED_RETRIES: u32 = 5;
+/// Mean time between node crashes on the crash-heavy federation member.
+pub const FED_CRASH_MTBF_SECS: f64 = 240.0;
 
 /// A generous pilot wall time so experiments never hit the limit.
 fn walltime() -> SimDuration {
@@ -142,6 +147,87 @@ pub fn baseline_rows(seed: u64, scale: usize) -> Vec<Row> {
         .collect()
 }
 
+/// One federated two-cluster resilience point: `xsede.comet` stays clean
+/// while `xsede.stampede` crashes nodes (a deterministic early crash plus a
+/// Poisson process at [`FED_CRASH_MTBF_SECS`]) when `crash` is set.
+///
+/// The session late-binds every unit to the member with the most free
+/// capacity at submission time, so when the crash-heavy member loses its
+/// node the work drains to the healthy cluster instead of queueing behind
+/// dead cores; the row records how much TTC the degraded member still
+/// costs relative to the clean federation (same seed, same pattern,
+/// `crash = false`). Like fig3/fig4, the ensemble size is fixed — the
+/// sweep patterns at scale 1, which oversubscribes the 32-core federation
+/// so losing a member shows up in TTC — because the point is the capacity
+/// story, not the scaling story.
+pub fn federated_point(seed: u64, kind: &str, crash: bool) -> Row {
+    let mut pattern = pattern_for(kind, 1);
+    let clean = ClusterSpec::new("xsede.comet", 16, walltime());
+    let mut crashy = ClusterSpec::new("xsede.stampede", 16, walltime());
+    if crash {
+        // The 16-core stampede slice is a single 16-core node, so the
+        // scheduled crash takes the whole member down early in the run.
+        crashy.fault_profile = Some(
+            FaultProfile::seeded(seed ^ 0xC4A5)
+                .with_crash_at(40.0, 0)
+                .with_node_crashes(FED_CRASH_MTBF_SECS, Dist::Constant(300.0)),
+        );
+    }
+    let config = FederatedConfig {
+        seed,
+        fault: FaultConfig::retries(FED_RETRIES)
+            .with_backoff(BackoffPolicy::exponential(5.0))
+            .graceful(),
+        clusters: vec![clean, crashy],
+        ..Default::default()
+    };
+    let (report, telemetry) =
+        run_federated_traced(config, pattern.as_mut()).expect("federated resilience run");
+    // The interleaved multi-cluster trace must reconstruct the same
+    // overhead breakdown the session accounted — same bar as single-cluster.
+    let cc = cross_check(&report, &telemetry.tracer);
+    assert!(
+        cc.within(1e-6),
+        "federated {kind} crash={crash}: trace/accounting divergence ({:.3e}s)",
+        cc.max_abs_error_secs
+    );
+    Row::new(
+        format!("fed/{kind}"),
+        if crash { FED_CRASH_MTBF_SECS } else { 0.0 },
+    )
+    .with("ttc", report.ttc.as_secs_f64())
+    .with("failed", report.failed_tasks as f64)
+    .with("recovered", report.recovered_tasks() as f64)
+    .with("resubmissions", report.total_retries as f64)
+    .with("failure_lost", report.overheads.failure_lost.as_secs_f64())
+    .with("partial", if report.partial { 1.0 } else { 0.0 })
+    .with_trace(crate::figures::trace_fingerprint(&telemetry.tracer))
+}
+
+/// The federated resilience rows: each pattern run on a clean two-cluster
+/// federation and again with one crash-heavy member, at a fixed
+/// [`FED_RETRIES`] budget. The TTC delta between the paired rows is the
+/// cost of the degraded member under cross-cluster late binding.
+pub fn federated_resilience_with(runner: &SweepRunner, seed: u64) -> Vec<Row> {
+    let points: Vec<(&str, bool)> = PATTERNS
+        .iter()
+        .flat_map(|&kind| [false, true].map(move |crash| (kind, crash)))
+        .collect();
+    runner.run_weighted(
+        points
+            .into_iter()
+            // Crash-heavy points resimulate retried attempts.
+            .map(|p| (if p.1 { 2.0 } else { 1.0 }, p))
+            .collect(),
+        |(kind, crash)| vec![federated_point(seed, kind, crash)],
+    )
+}
+
+/// [`federated_resilience_with`] through the environment's [`SweepRunner`].
+pub fn federated_resilience(seed: u64) -> Vec<Row> {
+    federated_resilience_with(&SweepRunner::from_env(), seed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +250,19 @@ mod tests {
         assert!(faulty.value("failure_lost").unwrap() > 0.0);
         assert_eq!(clean.value("failed").unwrap(), 0.0);
         assert_eq!(clean.value("partial").unwrap(), 0.0);
+    }
+
+    #[test]
+    fn crash_heavy_member_slows_but_does_not_fail_the_federation() {
+        let clean = federated_point(7, "eop", false);
+        let crashy = federated_point(7, "eop", true);
+        // Late binding plus retries absorb the degraded member entirely...
+        assert_eq!(crashy.value("failed").unwrap(), 0.0);
+        assert_eq!(crashy.value("partial").unwrap(), 0.0);
+        // ...but running on the surviving member's capacity costs TTC.
+        assert!(crashy.value("ttc").unwrap() > clean.value("ttc").unwrap());
+        // Federated runs replay bit-identically in their seed.
+        assert_eq!(crashy, federated_point(7, "eop", true));
     }
 
     #[test]

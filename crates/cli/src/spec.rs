@@ -16,9 +16,14 @@ use serde_json::{json, Value};
 pub struct WorkloadSpec {
     /// Resource request.
     pub resource: ResourceSpec,
-    /// Backend selection: `"simulated"` (default) or `"local"`.
+    /// Backend selection: `"simulated"` (default), `"local"`, or
+    /// `"federated"`.
     #[serde(default = "default_backend")]
     pub backend: String,
+    /// Additional member clusters for the federated backend; the top-level
+    /// `resource` is the first member. Ignored by the other backends.
+    #[serde(default)]
+    pub federation: Vec<ResourceSpec>,
     /// Master seed for simulated runs.
     #[serde(default = "default_seed")]
     pub seed: u64,
@@ -169,6 +174,15 @@ fn substitute(value: &Value, vars: &[(&str, f64)]) -> Value {
     }
 }
 
+fn parse_batch_policy(policy: &str) -> Result<entk_pilot::BatchPolicy, EntkError> {
+    match policy {
+        "fifo" => Ok(entk_pilot::BatchPolicy::Fifo),
+        "backfill" => Ok(entk_pilot::BatchPolicy::Backfill),
+        "fair_share" => Ok(entk_pilot::BatchPolicy::FairShare),
+        other => Err(EntkError::Usage(format!("unknown batch_policy {other:?}"))),
+    }
+}
+
 fn bind(spec: &KernelSpec, vars: &[(&str, f64)]) -> KernelCall {
     let args = if spec.args.is_null() {
         json!({})
@@ -269,14 +283,7 @@ impl WorkloadSpec {
                     ..Default::default()
                 };
                 if let Some(policy) = &self.tuning.batch_policy {
-                    sim.batch_policy = match policy.as_str() {
-                        "fifo" => entk_pilot::BatchPolicy::Fifo,
-                        "backfill" => entk_pilot::BatchPolicy::Backfill,
-                        "fair_share" => entk_pilot::BatchPolicy::FairShare,
-                        other => {
-                            return Err(EntkError::Usage(format!("unknown batch_policy {other:?}")))
-                        }
-                    };
+                    sim.batch_policy = parse_batch_policy(policy)?;
                 }
                 if let Some(n) = self.tuning.pilots {
                     sim.pilot_strategy = if n <= 1 {
@@ -312,6 +319,41 @@ impl WorkloadSpec {
                 run_simulated_traced(config, sim, pattern.as_mut())
                     .map(|(report, telemetry)| (report, Some(telemetry)))
             }
+            "federated" => {
+                if self.tuning.queue_wait_per_core.is_some() || self.tuning.background.is_some() {
+                    return Err(EntkError::Usage(
+                        "queue_wait_per_core/background tuning is not supported on the \
+                         federated backend"
+                            .to_string(),
+                    ));
+                }
+                let mut config = FederatedConfig {
+                    seed: self.seed,
+                    ..Default::default()
+                };
+                if let Some(policy) = &self.tuning.batch_policy {
+                    config.batch_policy = parse_batch_policy(policy)?;
+                }
+                if let Some(retries) = self.tuning.retries {
+                    config.fault = entk_core::FaultConfig::retries(retries);
+                }
+                config.clusters = std::iter::once(&self.resource)
+                    .chain(self.federation.iter())
+                    .map(|r| {
+                        let mut member = ClusterSpec::new(
+                            r.name.clone(),
+                            r.cores,
+                            SimDuration::from_secs(r.walltime_secs),
+                        );
+                        if let Some(n) = self.tuning.pilots {
+                            member.pilots = n.max(1);
+                        }
+                        member
+                    })
+                    .collect();
+                run_federated_traced(config, pattern.as_mut())
+                    .map(|(report, telemetry)| (report, Some(telemetry)))
+            }
             "local" => {
                 let mut handle = ResourceHandle::local(self.resource.cores);
                 handle.allocate()?;
@@ -320,7 +362,7 @@ impl WorkloadSpec {
                 Ok((report, None))
             }
             other => Err(EntkError::Usage(format!(
-                "unknown backend {other:?} (use \"simulated\" or \"local\")"
+                "unknown backend {other:?} (use \"simulated\", \"local\", or \"federated\")"
             ))),
         }
     }
@@ -380,6 +422,29 @@ mod tests {
         }"#;
         let spec = WorkloadSpec::from_json(bad_backend).unwrap();
         assert!(spec.run().is_err());
+    }
+
+    #[test]
+    fn federated_spec_spans_member_clusters() {
+        let text = r#"{
+            "resource": { "name": "xsede.comet", "cores": 16, "walltime_secs": 100000 },
+            "backend": "federated",
+            "seed": 9,
+            "federation": [
+                { "name": "xsede.stampede", "cores": 16, "walltime_secs": 100000 }
+            ],
+            "tuning": { "retries": 2 },
+            "pattern": { "kind": "bag", "n": 48,
+                         "kernel": { "plugin": "misc.sleep", "args": { "secs": 10.0 } } }
+        }"#;
+        let spec = WorkloadSpec::from_json(text).unwrap();
+        let (report, telemetry) = spec.run_traced().unwrap();
+        assert_eq!(report.resource, "federated:xsede.comet+xsede.stampede");
+        assert_eq!(report.cores, 32);
+        assert_eq!(report.task_count(), 48);
+        assert_eq!(report.failed_tasks, 0);
+        // Federated runs are simulated, so the virtual-time trace exists.
+        assert!(telemetry.is_some());
     }
 
     #[test]

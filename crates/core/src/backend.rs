@@ -1,0 +1,229 @@
+//! The backend seam of the execution layer (paper §III-B component 4).
+//!
+//! "The execution plugin binds the kernel plugins and the execution
+//! pattern, and translates the tasks into executable units … forwarded to
+//! the underlying runtime system, thus decoupling execution from the
+//! expression of the application."
+//!
+//! Everything backend-*independent* — pattern driving, task tables, the
+//! retry/backoff/kill-replace fault policy, graceful degradation, telemetry
+//! subjects, and `TaskRecord`/`OverheadBreakdown` assembly — lives once in
+//! [`crate::session::SessionEngine`]. Everything backend-*specific* — how
+//! units actually run, what the clock is, when completions arrive — lives
+//! behind the [`ExecutionBackend`] trait defined here. Three backends
+//! implement it:
+//!
+//! | backend     | clock        | units execute as                          |
+//! |-------------|--------------|-------------------------------------------|
+//! | simulated   | virtual      | cost-modeled durations on a simulated machine |
+//! | local       | wall clock   | real kernel closures on host threads       |
+//! | federated   | virtual      | cost-modeled durations late-bound across several simulated clusters |
+//!
+//! The trait is deliberately synchronous and single-threaded: the session
+//! engine drives it with a poll loop, and each [`ExecutionBackend::poll`]
+//! call surfaces at most one timestep's worth of [`BackendEvent`]s. Unit
+//! submission is split into a *prepare* phase (validate and bind each task,
+//! reporting per-task rejections) and a *commit* phase (hand the accepted
+//! batch to the runtime) so the session can account rejected tasks before
+//! the runtime's own submission side effects land in the shared trace.
+
+use entk_kernels::KernelCall;
+use entk_sim::{SimDuration, SimRng, SimTime};
+use serde_json::Value;
+
+/// Sentinel batch id for retry resubmissions in scheduled batches. Retries
+/// carry no pattern overhead, so trace derivations skip this batch and the
+/// session records no `tasks_submitted` event for it.
+pub const RETRY_BATCH: u64 = u64::MAX;
+
+/// One task's submission request: what the session asks a backend to run.
+#[derive(Debug, Clone)]
+pub struct UnitSpec {
+    /// Session-wide task uid.
+    pub uid: u64,
+    /// Stage label (becomes part of the unit name).
+    pub stage: String,
+    /// The kernel binding to execute.
+    pub kernel: KernelCall,
+}
+
+/// A state change surfaced by [`ExecutionBackend::poll`].
+///
+/// Unit events carry the backend's opaque unit `key` (assigned at commit
+/// time); batch/timeout/failure events echo session-side ids the session
+/// previously scheduled through the backend's clock.
+#[derive(Debug, Clone)]
+pub enum BackendEvent {
+    /// A unit began executing (maps to the task attempt's `exec_start`).
+    UnitStarted {
+        /// Backend unit key.
+        key: u64,
+        /// When execution began.
+        time: SimTime,
+    },
+    /// A unit finished successfully; the session completes the task via
+    /// [`ExecutionBackend::complete_unit`].
+    UnitDone {
+        /// Backend unit key.
+        key: u64,
+        /// Completion time.
+        time: SimTime,
+    },
+    /// A unit failed or was cancelled; the session applies the fault policy.
+    UnitFailed {
+        /// Backend unit key.
+        key: u64,
+        /// When the failure was observed (the current step time).
+        time: SimTime,
+        /// Failure reason.
+        reason: String,
+    },
+    /// A batch scheduled via [`ExecutionBackend::schedule_batch`] became
+    /// due: the pattern overhead (or retry backoff) was paid.
+    BatchReady {
+        /// Spawn-batch id, or [`RETRY_BATCH`] for retry resubmissions.
+        batch: u64,
+        /// Task uids to submit.
+        uids: Vec<u64>,
+    },
+    /// A kill-replace watchdog armed via [`ExecutionBackend::arm_timeout`]
+    /// fired.
+    TaskTimeout {
+        /// The watched task.
+        uid: u64,
+    },
+    /// A deferred kernel-binding failure scheduled via
+    /// [`ExecutionBackend::schedule_deferred_failure`] became deliverable.
+    DeferredFailure {
+        /// The failed task.
+        uid: u64,
+    },
+    /// A pilot lost cores but keeps running on what remains. Informational:
+    /// the units dropped by the shrink arrive as [`BackendEvent::UnitFailed`].
+    CapacityShrunk {
+        /// Cores lost.
+        lost_cores: usize,
+        /// Cores still held.
+        remaining_cores: usize,
+    },
+    /// The clock mark scheduled via
+    /// [`ExecutionBackend::schedule_clock_mark`] was reached (teardown
+    /// accounting).
+    ClockMark,
+}
+
+/// Result of one [`ExecutionBackend::poll`] call.
+#[derive(Debug)]
+pub enum Poll {
+    /// One timestep advanced; zero or more state changes surfaced.
+    Events(Vec<BackendEvent>),
+    /// Nothing left to process: the backend cannot make further progress.
+    Drained,
+}
+
+/// Backend-side figures folded into the session's `ExecutionReport`.
+#[derive(Debug, Clone)]
+pub struct BackendStats {
+    /// Resource label (e.g. `"xsede.comet"`, `"fork://localhost"`,
+    /// `"federated:…"`).
+    pub resource: String,
+    /// Total cores behind the backend.
+    pub cores: usize,
+    /// Pilot submission overhead (first pilot: submitted → launched).
+    pub runtime_pilot: SimDuration,
+    /// Batch-queue wait (first pilot: launched → active).
+    pub resource_wait: SimDuration,
+    /// Discrete events processed (0 for real-time backends).
+    pub events: u64,
+}
+
+/// What the backend knows about a finished unit, resolved at completion.
+#[derive(Debug)]
+pub struct UnitOutcome {
+    /// When execution started, per the backend's profiler.
+    pub exec_start: Option<SimTime>,
+    /// When execution stopped.
+    pub exec_stop: Option<SimTime>,
+    /// Semantic result: kernel output on success, failure reason otherwise.
+    pub result: Result<Value, String>,
+}
+
+/// The resource-backend interface the [`crate::session::SessionEngine`]
+/// drives.
+///
+/// A backend owns the clock, the runtime(s) executing units, and the
+/// mapping from committed units to opaque `u64` keys. It never touches
+/// task records, retry policy, or the pattern — those are session
+/// concerns. See the module docs for the poll/prepare/commit protocol.
+pub trait ExecutionBackend {
+    /// Current time on the backend's clock (virtual or wall).
+    fn now(&self) -> SimTime;
+
+    /// True when the backend models time (virtual clock, modeled overheads
+    /// and backoff delays). Real-time backends return false and the session
+    /// skips overhead sampling and backoff waits entirely.
+    fn virtual_time(&self) -> bool;
+
+    /// Starts the session: after `boot_delay` (the toolkit's init +
+    /// resource-request overhead) the backend boots its resource(s) and
+    /// submits pilots. Real-time backends reset their clock here.
+    fn begin_session(&mut self, boot_delay: SimDuration);
+
+    /// True when the allocation is usable per the backend's wait policy.
+    fn allocation_ready(&self) -> bool;
+
+    /// True when every pilot has failed or been cancelled: no capacity is
+    /// left and none will come back.
+    fn capacity_lost(&self) -> bool;
+
+    /// True when every pilot reached a terminal state (shutdown complete).
+    fn pilots_terminal(&self) -> bool;
+
+    /// Advances the backend by one timestep and surfaces what changed.
+    fn poll(&mut self) -> Poll;
+
+    /// Phase one of submission: validate and bind each spec, drawing cost
+    /// samples from `rng` in spec order. Returns one entry per spec —
+    /// `None` when accepted (and staged for [`ExecutionBackend::commit_batch`]),
+    /// or `Some(reason)` when rejected. Staged units replace any prior
+    /// uncommitted batch.
+    fn prepare_batch(&mut self, specs: &[UnitSpec], rng: &mut SimRng) -> Vec<Option<String>>;
+
+    /// Phase two: hands the staged batch to the runtime(s). Returns
+    /// `(uid, unit key)` pairs in the original spec order.
+    fn commit_batch(&mut self) -> Vec<(u64, u64)>;
+
+    /// Arms the kill-replace watchdog for a task. Backends that cannot
+    /// interrupt running work treat this as a no-op.
+    fn arm_timeout(&mut self, uid: u64, timeout: SimDuration);
+
+    /// Cancels a unit if it is still running. Returns false when the unit
+    /// is already terminal (or cannot be cancelled), in which case the
+    /// session lets the normal completion path handle it.
+    fn cancel_running_unit(&mut self, key: u64) -> bool;
+
+    /// Resolves a finished unit: execution timestamps plus the semantic
+    /// result. Simulated backends model-execute the kernel here (drawing
+    /// from `rng`); real backends return the captured output.
+    fn complete_unit(&mut self, key: u64, kernel: &KernelCall, rng: &mut SimRng) -> UnitOutcome;
+
+    /// Schedules a [`BackendEvent::BatchReady`] after `delay` (pattern
+    /// overhead, or retry backoff for [`RETRY_BATCH`]). Real-time backends
+    /// deliver it at the next poll.
+    fn schedule_batch(&mut self, delay: SimDuration, batch: u64, uids: Vec<u64>);
+
+    /// Schedules a [`BackendEvent::DeferredFailure`] for the next timestep,
+    /// so the pattern learns about a kernel-binding failure in a clean
+    /// processing pass.
+    fn schedule_deferred_failure(&mut self, uid: u64);
+
+    /// Begins graceful shutdown: finish all pilots.
+    fn begin_shutdown(&mut self);
+
+    /// Schedules a [`BackendEvent::ClockMark`] after `delay`, advancing the
+    /// clock across the teardown overhead.
+    fn schedule_clock_mark(&mut self, delay: SimDuration);
+
+    /// Backend-side report figures.
+    fn stats(&self) -> BackendStats;
+}

@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod binding;
 pub mod error;
 pub mod fault;
@@ -42,9 +43,11 @@ mod plugin_local;
 mod plugin_sim;
 pub mod report;
 pub mod resource;
+pub mod session;
 pub mod task;
 pub mod trace_check;
 
+pub use backend::{BackendEvent, BackendStats, ExecutionBackend, Poll, UnitOutcome, UnitSpec};
 pub use binding::{AdaptiveMpiBinding, BindingPolicy, StaticBinding};
 pub use entk_cluster::FaultProfile;
 pub use error::EntkError;
@@ -57,9 +60,10 @@ pub use pattern::{
 };
 pub use report::{ExecutionReport, OverheadBreakdown, TaskRecord};
 pub use resource::{
-    run_simulated, run_simulated_traced, PilotStrategy, ResourceConfig, ResourceHandle,
-    SimulatedConfig,
+    run_federated, run_federated_traced, run_simulated, run_simulated_traced, ClusterSpec,
+    FederatedConfig, PilotStrategy, ResourceConfig, ResourceHandle, SimulatedConfig,
 };
+pub use session::SessionEngine;
 pub use task::{Task, TaskResult};
 pub use trace_check::{breakdown_from_trace, cross_check, CrossCheck};
 
@@ -74,8 +78,8 @@ pub mod prelude {
     };
     pub use crate::report::ExecutionReport;
     pub use crate::resource::{
-        run_simulated, run_simulated_traced, PilotStrategy, ResourceConfig, ResourceHandle,
-        SimulatedConfig,
+        run_federated, run_federated_traced, run_simulated, run_simulated_traced, ClusterSpec,
+        FederatedConfig, PilotStrategy, ResourceConfig, ResourceHandle, SimulatedConfig,
     };
     pub use crate::task::{Task, TaskResult};
     pub use crate::trace_check::{breakdown_from_trace, cross_check, CrossCheck};

@@ -1,265 +1,243 @@
-//! The execution plugin for real local runs.
+//! The local (real execution) backend: kernels run as real closures on host
+//! threads via [`LocalRuntime`], under the wall clock.
 //!
-//! Binds pattern tasks to the kernels' *real* `execute` implementations and
-//! runs them on the local pilot-like runtime (host threads under a
-//! core-slot discipline). Used by the validation experiments and examples:
-//! same patterns, same kernels API, actual computation.
+//! Mirrors EnTK's `fork://localhost` resource: no pilots to wait for, no
+//! modeled overheads, no virtual time. The session engine detects
+//! `virtual_time() == false` and skips overhead sampling and retry backoff
+//! delays; retries resubmit immediately, exactly like the pre-refactor
+//! local driver.
 
-use crate::error::EntkError;
-use crate::fault::FaultConfig;
-use crate::pattern::ExecutionPattern;
-use crate::report::{ExecutionReport, OverheadBreakdown, TaskRecord};
-use crate::task::{Task, TaskResult};
-use entk_kernels::KernelRegistry;
-use entk_pilot::{LocalRuntime, UnitDescription, UnitId, UnitState, UnitWork};
-use entk_sim::{SimDuration, SimTime};
+use crate::backend::{BackendEvent, BackendStats, ExecutionBackend, Poll, UnitOutcome, UnitSpec};
+use entk_kernels::{KernelCall, KernelRegistry};
+use entk_pilot::{LocalCompletion, LocalRuntime, UnitDescription, UnitState, UnitWork};
+use entk_sim::{DenseStore, SimDuration, SimRng, SimTime};
 use parking_lot::Mutex;
 use serde_json::Value;
-use std::collections::HashMap;
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Output slot a kernel closure fills: (result, start offset s, end offset s).
+/// Kernel output parked by the execution closure until completion is
+/// observed: `(result, start offset secs, end offset secs)`.
 type Slot = Arc<Mutex<Option<(Result<Value, String>, f64, f64)>>>;
 
-struct LocalEntry {
-    task: Task,
-    record: TaskRecord,
-    slot: Slot,
-    terminal: bool,
-}
-
-/// The local-backend driver behind a `ResourceHandle`.
-pub(crate) struct LocalDriver {
+/// The wall-clock [`ExecutionBackend`] running real kernel code.
+pub(crate) struct LocalBackend {
     runtime: LocalRuntime,
     registry: KernelRegistry,
-    fault: FaultConfig,
-    tasks: HashMap<u64, LocalEntry>,
-    unit_to_task: HashMap<UnitId, u64>,
-    next_uid: u64,
-    live_tasks: usize,
-    failed_tasks: usize,
-    total_retries: u32,
+    /// Session epoch: wall-clock zero for `now()` and exec offsets.
     t0: Instant,
-    allocated: bool,
+    /// Output slots of in-flight units, by unit key.
+    slots: DenseStore<Slot>,
+    /// Completions observed by `poll`, waiting for `complete_unit`.
+    completions: DenseStore<LocalCompletion>,
+    /// Session-scheduled events (batches, deferred failures) delivered at
+    /// the next poll — real time has no delays to model.
+    pending: VecDeque<BackendEvent>,
+    /// Units staged between prepare and commit.
+    prepared: Vec<(u64, UnitDescription, Slot)>,
 }
 
-impl LocalDriver {
-    pub(crate) fn new(cores: usize, registry: KernelRegistry, fault: FaultConfig) -> Self {
-        LocalDriver {
+impl LocalBackend {
+    /// A backend executing on `cores` host cores.
+    pub(crate) fn new(cores: usize, registry: KernelRegistry) -> Self {
+        LocalBackend {
             runtime: LocalRuntime::new(cores),
             registry,
-            fault,
-            tasks: HashMap::new(),
-            unit_to_task: HashMap::new(),
-            next_uid: 0,
-            live_tasks: 0,
-            failed_tasks: 0,
-            total_retries: 0,
             t0: Instant::now(),
-            allocated: false,
+            slots: DenseStore::new(),
+            completions: DenseStore::new(),
+            pending: VecDeque::new(),
+            prepared: Vec::new(),
         }
     }
+}
 
+impl ExecutionBackend for LocalBackend {
     fn now(&self) -> SimTime {
         SimTime::ZERO + SimDuration::from_secs_f64(self.t0.elapsed().as_secs_f64())
     }
 
-    pub(crate) fn allocate(&mut self) -> Result<(), EntkError> {
-        if self.allocated {
-            return Err(EntkError::Usage("allocate() called twice".into()));
-        }
-        self.allocated = true;
+    fn virtual_time(&self) -> bool {
+        false
+    }
+
+    fn begin_session(&mut self, _boot_delay: SimDuration) {
         self.t0 = Instant::now();
-        Ok(())
     }
 
-    pub(crate) fn run(
-        &mut self,
-        pattern: &mut dyn ExecutionPattern,
-    ) -> Result<ExecutionReport, EntkError> {
-        if !self.allocated {
-            return Err(EntkError::Usage("run() requires allocate() first".into()));
+    fn allocation_ready(&self) -> bool {
+        true
+    }
+
+    fn capacity_lost(&self) -> bool {
+        false
+    }
+
+    fn pilots_terminal(&self) -> bool {
+        true
+    }
+
+    fn poll(&mut self) -> Poll {
+        if let Some(ev) = self.pending.pop_front() {
+            return Poll::Events(vec![ev]);
         }
-        let initial = pattern.on_start();
-        self.submit(initial, pattern)?;
-        while !(pattern.is_done() && self.live_tasks == 0) {
-            if self.live_tasks == 0 {
-                return Err(EntkError::Runtime(format!(
-                    "no work in flight but pattern not done: {}",
-                    pattern.progress()
+        if self.runtime.live_units() == 0 {
+            return Poll::Drained;
+        }
+        // Block until a worker thread finishes a unit. Failures also arrive
+        // here as completions; `complete_unit` resolves the slot into a
+        // success or a retryable failure.
+        let completion = self.runtime.wait_any();
+        let key = completion.unit.0;
+        let time = self.now();
+        self.completions.insert(key, completion);
+        Poll::Events(vec![BackendEvent::UnitDone { key, time }])
+    }
+
+    fn prepare_batch(&mut self, specs: &[UnitSpec], _rng: &mut SimRng) -> Vec<Option<String>> {
+        self.prepared.clear();
+        let mut verdicts = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let call: &KernelCall = &spec.kernel;
+            let plugin = match self.registry.get(&call.plugin) {
+                Ok(p) => p,
+                Err(e) => {
+                    verdicts.push(Some(e.to_string()));
+                    continue;
+                }
+            };
+            if let Err(e) = plugin.validate(&call.args) {
+                verdicts.push(Some(e.to_string()));
+                continue;
+            }
+            let name = format!("{}:{}", spec.stage, spec.uid);
+            // Pre-empt the runtime's own all-or-nothing batch validation so
+            // one oversized unit cannot reject its whole batch.
+            if call.cores > self.runtime.cores() {
+                verdicts.push(Some(format!(
+                    "unit {:?} needs {} cores; local runtime has {}",
+                    name,
+                    call.cores,
+                    self.runtime.cores()
                 )));
+                continue;
             }
-            let completion = self.runtime.wait_any();
-            let uid = *self
-                .unit_to_task
-                .get(&completion.unit)
-                .expect("completion for a submitted unit");
-            self.unit_to_task.remove(&completion.unit);
-            let now = self.now();
-            let entry = self.tasks.get_mut(&uid).expect("entry exists");
-            let slot_value = entry.slot.lock().take();
-            let (result, start_off, end_off) = match slot_value {
-                Some(v) => v,
-                None => (
-                    Err("kernel produced no output".to_string()),
-                    0.0,
-                    completion.wall_secs,
-                ),
-            };
-            entry.record.exec_start = Some(SimTime::ZERO + SimDuration::from_secs_f64(start_off));
-            entry.record.exec_stop = Some(SimTime::ZERO + SimDuration::from_secs_f64(end_off));
-            let outcome = match (completion.state, result) {
-                (UnitState::Done, Ok(output)) => Ok(output),
-                (_, Err(e)) => Err(e),
-                (state, Ok(_)) => Err(format!("unit ended in {state:?}")),
-            };
-            match outcome {
-                Ok(output) => {
-                    entry.terminal = true;
-                    entry.record.success = true;
-                    entry.record.finished = Some(now);
-                    self.live_tasks -= 1;
-                    let result = TaskResult::ok(entry.task.tag, entry.task.stage.clone(), output);
-                    let follow = pattern.on_task_done(&result);
-                    self.submit(follow, pattern)?;
+            let slot: Slot = Arc::new(Mutex::new(None));
+            let work_slot = Arc::clone(&slot);
+            let args = call.args.clone();
+            let epoch = self.t0;
+            let work: Arc<dyn Fn() -> Result<(), String> + Send + Sync> = Arc::new(move || {
+                let start = epoch.elapsed().as_secs_f64();
+                let result = plugin.execute(&args).map_err(|e| e.to_string());
+                let end = epoch.elapsed().as_secs_f64();
+                let ok = result.is_ok();
+                *work_slot.lock() = Some((result, start, end));
+                if ok {
+                    Ok(())
+                } else {
+                    Err("kernel failed".to_string())
                 }
-                Err(reason) => {
-                    if entry.record.retries < self.fault.max_retries {
-                        entry.record.retries += 1;
-                        self.total_retries += 1;
-                        let task = entry.task.clone();
-                        self.resubmit(uid, task)?;
-                    } else {
-                        entry.terminal = true;
-                        entry.record.success = false;
-                        entry.record.finished = Some(now);
-                        self.live_tasks -= 1;
-                        self.failed_tasks += 1;
-                        let result =
-                            TaskResult::failed(entry.task.tag, entry.task.stage.clone(), reason);
-                        let follow = pattern.on_task_done(&result);
-                        self.submit(follow, pattern)?;
-                    }
-                }
-            }
-        }
-        Ok(self.build_report(pattern.name()))
-    }
-
-    pub(crate) fn deallocate(&mut self) -> Result<ExecutionReport, EntkError> {
-        if !self.allocated {
-            return Err(EntkError::Usage("deallocate() requires allocate()".into()));
-        }
-        self.allocated = false;
-        Ok(self.build_report("session"))
-    }
-
-    fn submit(
-        &mut self,
-        tasks: Vec<Task>,
-        pattern: &mut dyn ExecutionPattern,
-    ) -> Result<(), EntkError> {
-        for task in tasks {
-            let uid = self.next_uid;
-            self.next_uid += 1;
-            self.live_tasks += 1;
-            let record = TaskRecord {
-                uid,
-                tag: task.tag,
-                stage: task.stage.clone(),
-                created: self.now(),
-                exec_start: None,
-                exec_stop: None,
-                finished: None,
-                success: false,
-                retries: 0,
-                lost_to_failures: SimDuration::ZERO,
+            });
+            let ud = UnitDescription {
+                name,
+                cores: call.cores,
+                mpi: call.mpi || call.cores > 1,
+                work: UnitWork::Real(work),
+                input_staging: Vec::new(),
+                output_staging: Vec::new(),
             };
-            let task_clone = task.clone();
-            self.tasks.insert(
-                uid,
-                LocalEntry {
-                    task,
-                    record,
-                    slot: Arc::new(Mutex::new(None)),
-                    terminal: false,
-                },
-            );
-            if let Err(e) = self.dispatch(uid, task_clone) {
-                // Kernel-binding failure: terminal immediately.
-                let now = self.now();
-                let entry = self.tasks.get_mut(&uid).expect("entry exists");
-                entry.terminal = true;
-                entry.record.success = false;
-                entry.record.finished = Some(now);
-                self.live_tasks -= 1;
-                self.failed_tasks += 1;
-                let result =
-                    TaskResult::failed(entry.task.tag, entry.task.stage.clone(), e.to_string());
-                let follow = pattern.on_task_done(&result);
-                self.submit(follow, pattern)?;
+            if let Err(e) = ud.validate() {
+                verdicts.push(Some(e));
+                continue;
+            }
+            self.prepared.push((spec.uid, ud, slot));
+            verdicts.push(None);
+        }
+        verdicts
+    }
+
+    fn commit_batch(&mut self) -> Vec<(u64, u64)> {
+        let prepared = std::mem::take(&mut self.prepared);
+        if prepared.is_empty() {
+            return Vec::new();
+        }
+        let mut descriptions = Vec::with_capacity(prepared.len());
+        let mut staged = Vec::with_capacity(prepared.len());
+        for (uid, ud, slot) in prepared {
+            descriptions.push(ud);
+            staged.push((uid, slot));
+        }
+        // Prepare already enforced every condition the runtime's batch
+        // validation checks, so this cannot fail.
+        match self.runtime.submit_units(descriptions) {
+            Ok(ids) => ids
+                .into_iter()
+                .zip(staged)
+                .map(|(id, (uid, slot))| {
+                    self.slots.insert(id.0, slot);
+                    (uid, id.0)
+                })
+                .collect(),
+            Err(e) => {
+                debug_assert!(false, "descriptions validated in prepare: {e}");
+                Vec::new()
             }
         }
-        Ok(())
     }
 
-    fn resubmit(&mut self, uid: u64, task: Task) -> Result<(), EntkError> {
-        self.dispatch(uid, task)
+    fn arm_timeout(&mut self, _uid: u64, _timeout: SimDuration) {
+        // Host threads cannot be interrupted; kill-replace is unavailable.
     }
 
-    fn dispatch(&mut self, uid: u64, task: Task) -> Result<(), EntkError> {
-        let plugin = self
-            .registry
-            .get(&task.kernel.plugin)
-            .map_err(|e| EntkError::Kernel(e.to_string()))?;
-        plugin
-            .validate(&task.kernel.args)
-            .map_err(|e| EntkError::Kernel(e.to_string()))?;
-        let slot = Arc::clone(&self.tasks[&uid].slot);
-        let args = task.kernel.args.clone();
-        let t0 = self.t0;
-        let work: Arc<dyn Fn() -> Result<(), String> + Send + Sync> = Arc::new(move || {
-            let start = t0.elapsed().as_secs_f64();
-            let result = plugin.execute(&args).map_err(|e| e.to_string());
-            let end = t0.elapsed().as_secs_f64();
-            let ok = result.is_ok();
-            *slot.lock() = Some((result, start, end));
-            if ok {
-                Ok(())
-            } else {
-                Err("kernel failed".into())
-            }
-        });
-        let ud = UnitDescription {
-            name: format!("{}:{}", task.stage, uid),
-            cores: task.kernel.cores,
-            mpi: task.kernel.mpi || task.kernel.cores > 1,
-            work: UnitWork::Real(work),
-            input_staging: Vec::new(),
-            output_staging: Vec::new(),
+    fn cancel_running_unit(&mut self, _key: u64) -> bool {
+        false
+    }
+
+    fn complete_unit(&mut self, key: u64, _kernel: &KernelCall, _rng: &mut SimRng) -> UnitOutcome {
+        let completion = self.completions.remove(key);
+        let slot = self.slots.remove(key);
+        let wall_secs = completion.as_ref().map(|c| c.wall_secs).unwrap_or(0.0);
+        let state = completion.map(|c| c.state).unwrap_or(UnitState::Failed);
+        let (result, start_off, end_off) = slot
+            .and_then(|s| s.lock().take())
+            .unwrap_or_else(|| (Err("kernel produced no output".to_string()), 0.0, wall_secs));
+        let exec_start = Some(SimTime::ZERO + SimDuration::from_secs_f64(start_off));
+        let exec_stop = Some(SimTime::ZERO + SimDuration::from_secs_f64(end_off));
+        let result = match (state, result) {
+            (UnitState::Done, Ok(output)) => Ok(output),
+            (_, Err(e)) => Err(e),
+            (state, Ok(_)) => Err(format!("unit ended in {state:?}")),
         };
-        let units = self
-            .runtime
-            .submit_units(vec![ud])
-            .map_err(EntkError::Runtime)?;
-        self.unit_to_task.insert(units[0], uid);
-        Ok(())
+        UnitOutcome {
+            exec_start,
+            exec_stop,
+            result,
+        }
     }
 
-    fn build_report(&self, pattern_name: &str) -> ExecutionReport {
-        let mut tasks: Vec<TaskRecord> = self.tasks.values().map(|e| e.record.clone()).collect();
-        tasks.sort_by_key(|t| t.uid);
-        ExecutionReport {
-            pattern: pattern_name.to_string(),
-            resource: "fork://localhost".into(),
+    fn schedule_batch(&mut self, _delay: SimDuration, batch: u64, uids: Vec<u64>) {
+        self.pending
+            .push_back(BackendEvent::BatchReady { batch, uids });
+    }
+
+    fn schedule_deferred_failure(&mut self, uid: u64) {
+        self.pending
+            .push_back(BackendEvent::DeferredFailure { uid });
+    }
+
+    fn begin_shutdown(&mut self) {}
+
+    fn schedule_clock_mark(&mut self, _delay: SimDuration) {
+        self.pending.push_back(BackendEvent::ClockMark);
+    }
+
+    fn stats(&self) -> BackendStats {
+        BackendStats {
+            resource: "fork://localhost".to_string(),
             cores: self.runtime.cores(),
-            ttc: self.now().saturating_since(SimTime::ZERO),
-            overheads: OverheadBreakdown::default(),
-            tasks,
-            failed_tasks: self.failed_tasks,
-            total_retries: self.total_retries,
-            partial: self.failed_tasks > 0,
+            runtime_pilot: SimDuration::ZERO,
+            resource_wait: SimDuration::ZERO,
             events: 0,
         }
     }

@@ -1,52 +1,50 @@
-//! The execution plugin for simulated runs (paper §III-B component 4).
+//! The discrete-event execution backend (paper §III-B component 4).
 //!
-//! "The execution plugin binds the kernel plugins and the execution
-//! pattern, and translates the tasks into executable units … forwarded to
-//! the underlying runtime system, thus decoupling execution from the
-//! expression of the application."
+//! Implements [`ExecutionBackend`] over one or more independently simulated
+//! clusters, each a full `Engine` + `SimRuntime` + batch-system stack. With
+//! one cluster this is the classic simulated backend driven by every scaling
+//! experiment; with several it is the *federated* backend: units are
+//! late-bound at submission time to whichever cluster currently has the most
+//! free capacity, and the clusters' virtual clocks are advanced together by
+//! always processing the globally earliest event.
 //!
-//! This driver owns the discrete-event engine, the pilot runtime, and the
-//! kernel registry. Pattern tasks are bound to cost-model durations and
-//! submitted as compute units; completions are model-executed and fed back
-//! to the pattern. Fault policies (retry, kill-replace) apply here, below
-//! the pattern's view.
+//! All session semantics (retry, records, overheads, degradation) live in
+//! [`crate::session::SessionEngine`]; this file only turns engine events and
+//! runtime notifications into [`BackendEvent`]s and units into simulated
+//! work.
 
+use crate::backend::{BackendEvent, BackendStats, ExecutionBackend, Poll, UnitOutcome, UnitSpec};
 use crate::binding::{BindingPolicy, StaticBinding};
-use crate::error::EntkError;
-use crate::fault::FaultConfig;
-use crate::overheads::EntkOverheads;
-use crate::pattern::ExecutionPattern;
-use crate::report::{ExecutionReport, OverheadBreakdown, TaskRecord};
-use crate::resource::PilotStrategy;
-use crate::resource::ResourceConfig;
-use crate::task::{Task, TaskResult};
-use entk_cluster::{ClusterEvent, PlatformSpec};
-use entk_kernels::KernelRegistry;
+use crate::resource::{PilotStrategy, ResourceConfig};
+use entk_cluster::{ClusterEvent, FaultProfile, PlatformSpec};
+use entk_kernels::{KernelCall, KernelRegistry};
 use entk_pilot::{
     PilotDescription, PilotId, PilotState, RuntimeEvent, RuntimeNotification, SimRuntime,
     SimRuntimeConfig, UnitDescription, UnitId, UnitState, UnitWork,
 };
 use entk_sim::{
-    Context, DenseStore, Engine, RunOutcome, SharedTelemetry, SimDuration, SimRng, SimTime, Subject,
+    Context, Engine, SharedTelemetry, SimDuration, SimRng, SimTime, Subject, SubjectOffsets,
 };
 use std::collections::HashSet;
 
-/// Top-level event type of the simulated toolkit stack.
+/// Top-level event type of the simulated toolkit stack. Session-level
+/// events (everything but `Rt`/`Cl`) are always scheduled on cluster 0's
+/// engine, which acts as the session's clock spine.
 #[derive(Debug, Clone)]
 pub(crate) enum Ev {
     /// Pilot runtime event.
     Rt(RuntimeEvent),
     /// Batch-system event.
     Cl(ClusterEvent),
-    /// Toolkit init + resource request done: submit the pilot.
+    /// Toolkit init + resource request done: boot every cluster.
     Boot,
-    /// Pattern overhead paid: submit these tasks' units. The first field is
-    /// the spawn-batch id ([`RETRY_BATCH`] for retry resubmissions, which
-    /// carry no pattern overhead).
+    /// Pattern overhead paid: these tasks' units are due for submission.
     TasksReady(u64, Vec<u64>),
     /// Kill-replace watchdog for a task.
     TaskTimeout(u64),
-    /// Graceful pilot shutdown.
+    /// Deferred kernel-binding failure becomes deliverable.
+    Deliver(u64),
+    /// Graceful pilot shutdown across all clusters.
     Shutdown,
     /// Clock-advancing no-op (teardown time).
     Nop,
@@ -63,122 +61,215 @@ impl From<ClusterEvent> for Ev {
     }
 }
 
-struct TaskEntry {
-    task: Task,
-    unit: Option<UnitId>,
-    record: TaskRecord,
-    terminal: bool,
-    /// When the current attempt was submitted to the runtime; consumed on
-    /// failure to account the attempt's wall time as failure-lost.
-    attempt_started: Option<SimTime>,
-}
-
-enum DriverState {
-    Created,
-    Allocated,
-    Deallocated,
-}
-
-/// The simulated-backend driver behind a `ResourceHandle`.
-pub(crate) struct SimDriver {
+/// One independently simulated cluster: its own event queue, pilot runtime,
+/// batch system, fault injector, and pilots.
+struct ClusterStack {
     engine: Engine<Ev>,
     runtime: SimRuntime,
-    registry: KernelRegistry,
-    entk: EntkOverheads,
-    fault: FaultConfig,
-    rng: SimRng,
-    /// Dedicated stream for retry-backoff jitter, so backoff draws never
-    /// perturb kernel cost sampling.
-    retry_rng: SimRng,
-    config: ResourceConfig,
-    strategy: PilotStrategy,
-    binding: Box<dyn BindingPolicy>,
+    resource: String,
+    cores: usize,
+    walltime: SimDuration,
+    /// Pilots the requested cores are split across (the first absorbs any
+    /// remainder).
+    pilot_count: usize,
     background_load: Option<entk_cluster::cluster::BackgroundLoad>,
-    fault_profile: Option<entk_cluster::FaultProfile>,
+    fault_profile: Option<FaultProfile>,
     pilots: Vec<PilotId>,
     dead_pilots: HashSet<PilotId>,
-    state: DriverState,
-    /// Slab keyed by the dense task uid (index == uid); never removed
-    /// from, so lookups are a bounds check instead of a hash.
-    tasks: Vec<TaskEntry>,
-    /// Unit id → task uid for the current attempt of each task.
-    unit_to_task: DenseStore<u64>,
-    next_uid: u64,
-    /// Id of the next spawn batch; pairs `tasks_created`/`tasks_submitted`
-    /// trace events so pattern overhead can be re-derived from the trace.
-    next_batch: u64,
-    /// Shared trace/metrics pipeline, cloned from the pilot runtime so all
-    /// three layers append to one chronologically interleaved record.
-    telemetry: SharedTelemetry,
-    live_tasks: usize,
-    failed_tasks: usize,
-    total_retries: u32,
-    core_overhead: SimDuration,
-    pattern_overhead: SimDuration,
-    failure_lost: SimDuration,
-    degraded: bool,
-    teardown_reached: bool,
-    outbox: Vec<(SimDuration, Ev)>,
-    /// Task results awaiting delivery to the pattern.
-    pending_results: Vec<TaskResult>,
 }
 
-impl SimDriver {
-    #[allow(clippy::too_many_arguments)] // construction-time wiring of config groups
-    pub(crate) fn new(
-        config: ResourceConfig,
-        platform: PlatformSpec,
-        registry: KernelRegistry,
-        entk: EntkOverheads,
-        runtime_config: SimRuntimeConfig,
-        fault: FaultConfig,
-        seed: u64,
-        strategy: PilotStrategy,
-        background_load: Option<entk_cluster::cluster::BackgroundLoad>,
-        fault_profile: Option<entk_cluster::FaultProfile>,
-    ) -> Self {
-        let runtime = SimRuntime::new(platform, runtime_config);
-        let telemetry = runtime.telemetry().clone();
-        SimDriver {
-            engine: Engine::new(),
-            runtime,
-            registry,
-            entk,
-            fault,
-            rng: SimRng::seed_from_u64(seed),
-            retry_rng: SimRng::seed_from_u64(seed ^ 0xBAC0_0FF5),
-            config,
-            strategy,
-            binding: Box::new(StaticBinding),
-            background_load,
-            fault_profile,
-            pilots: Vec::new(),
-            dead_pilots: HashSet::new(),
-            state: DriverState::Created,
-            tasks: Vec::new(),
-            unit_to_task: DenseStore::new(),
-            next_uid: 0,
-            next_batch: 0,
-            telemetry,
-            live_tasks: 0,
-            failed_tasks: 0,
-            total_retries: 0,
-            core_overhead: SimDuration::ZERO,
-            pattern_overhead: SimDuration::ZERO,
-            failure_lost: SimDuration::ZERO,
-            degraded: false,
-            teardown_reached: false,
-            outbox: Vec::new(),
-            pending_results: Vec::new(),
+impl ClusterStack {
+    /// Enables load/fault models and submits this cluster's pilots.
+    fn boot(&mut self, ctx: &mut Context<'_, Ev>, notes: &mut Vec<RuntimeNotification>) {
+        if let Some(load) = self.background_load {
+            self.runtime.cluster_mut().enable_background_load(load, ctx);
+        }
+        if let Some(profile) = self.fault_profile.clone() {
+            self.runtime
+                .cluster_mut()
+                .enable_fault_injector(profile, ctx);
+        }
+        // Split the requested cores across the strategy's pilots; the
+        // first pilot absorbs any remainder.
+        let n = self.pilot_count;
+        let base = self.cores / n;
+        for i in 0..n {
+            let cores = if i == 0 { base + self.cores % n } else { base };
+            let pd = PilotDescription::new(self.resource.clone(), cores, self.walltime);
+            match self.runtime.submit_pilot(pd, ctx, notes) {
+                Ok(id) => self.pilots.push(id),
+                Err(e) => {
+                    debug_assert!(false, "pilot description invalid: {e}");
+                }
+            }
         }
     }
 
-    /// Replaces the unit scheduler before allocation (ablation hook).
-    pub(crate) fn set_unit_scheduler(&mut self, s: Box<dyn entk_pilot::UnitScheduler>) {
-        self.runtime.set_scheduler(s);
+    /// Gracefully finishes this cluster's pilots.
+    fn shutdown(&mut self, ctx: &mut Context<'_, Ev>, notes: &mut Vec<RuntimeNotification>) {
+        self.runtime.cluster_mut().disable_background_load();
+        for p in self.pilots.clone() {
+            self.runtime.finish_pilot(p, ctx, notes);
+        }
     }
 
-    /// Replaces the binding policy (paper §V: intelligent execution plugin).
+    /// Largest unit this cluster can run: the per-pilot core share while
+    /// any pilot may still serve, the full request otherwise (matching the
+    /// clamp the single-cluster driver always applied).
+    fn max_unit_cores(&self) -> usize {
+        self.pilots
+            .iter()
+            .filter_map(|&p| {
+                (self.runtime.pilot_state(p) != Some(PilotState::Failed))
+                    .then_some(self.cores / self.pilot_count)
+            })
+            .max()
+            .unwrap_or(self.cores)
+            .max(1)
+    }
+
+    fn pilots_terminal(&self) -> bool {
+        self.pilots.iter().all(|&p| {
+            self.runtime
+                .pilot_state(p)
+                .map(PilotState::is_terminal)
+                .unwrap_or(true)
+        })
+    }
+}
+
+/// A unit staged between `prepare_batch` and `commit_batch`.
+struct PreparedUnit {
+    uid: u64,
+    cluster: usize,
+    description: Option<UnitDescription>,
+}
+
+/// The discrete-event [`ExecutionBackend`]: one cluster for classic
+/// simulated sessions, several for federated ones.
+pub(crate) struct EventBackend {
+    clusters: Vec<ClusterStack>,
+    registry: KernelRegistry,
+    binding: Box<dyn BindingPolicy>,
+    wait_all: bool,
+    /// Resource label reported in stats.
+    label: String,
+    total_cores: usize,
+    /// The un-offset session-level telemetry pipeline.
+    telemetry: SharedTelemetry,
+    /// The session-wide virtual clock: the time of the last processed event
+    /// across all clusters.
+    global_now: SimTime,
+    prepared: Vec<PreparedUnit>,
+}
+
+impl EventBackend {
+    /// Classic single-cluster simulated backend.
+    #[allow(clippy::too_many_arguments)] // construction-time wiring of config groups
+    pub(crate) fn single(
+        config: ResourceConfig,
+        platform: PlatformSpec,
+        registry: KernelRegistry,
+        runtime_config: SimRuntimeConfig,
+        strategy: PilotStrategy,
+        background_load: Option<entk_cluster::cluster::BackgroundLoad>,
+        fault_profile: Option<FaultProfile>,
+    ) -> Self {
+        let runtime = SimRuntime::new(platform, runtime_config);
+        let telemetry = runtime.telemetry().clone();
+        let pilot_count = strategy.count.max(1).min(config.cores);
+        EventBackend {
+            clusters: vec![ClusterStack {
+                engine: Engine::new(),
+                runtime,
+                resource: config.resource.clone(),
+                cores: config.cores,
+                walltime: config.walltime,
+                pilot_count,
+                background_load,
+                fault_profile,
+                pilots: Vec::new(),
+                dead_pilots: HashSet::new(),
+            }],
+            registry,
+            binding: Box::new(StaticBinding),
+            wait_all: strategy.wait_all,
+            label: config.resource,
+            total_cores: config.cores,
+            telemetry,
+            global_now: SimTime::ZERO,
+            prepared: Vec::new(),
+        }
+    }
+
+    /// Federated multi-cluster backend: every cluster records into a
+    /// subject-offset view of one shared telemetry pipeline, so the session
+    /// trace stays a single chronologically interleaved record with
+    /// collision-free entity ids.
+    pub(crate) fn federated(
+        inits: Vec<ClusterInit>,
+        registry: KernelRegistry,
+        wait_all: bool,
+        telemetry: SharedTelemetry,
+    ) -> Self {
+        let label = format!(
+            "federated:{}",
+            inits
+                .iter()
+                .map(|i| i.resource.as_str())
+                .collect::<Vec<_>>()
+                .join("+")
+        );
+        let total_cores = inits.iter().map(|i| i.cores).sum();
+        let clusters = inits
+            .into_iter()
+            .enumerate()
+            .map(|(i, init)| {
+                let offsets = SubjectOffsets {
+                    pilot: i as u64 * 1_000,
+                    unit: i as u64 * 1_000_000_000,
+                    job: i as u64 * 1_000_000_000,
+                    node: i as u64 * 1_000_000,
+                };
+                let runtime = SimRuntime::with_telemetry(
+                    init.platform,
+                    init.runtime_config,
+                    telemetry.with_subject_offsets(offsets),
+                );
+                ClusterStack {
+                    engine: Engine::new(),
+                    runtime,
+                    resource: init.resource,
+                    cores: init.cores,
+                    walltime: init.walltime,
+                    pilot_count: init.pilot_count.max(1).min(init.cores.max(1)),
+                    background_load: init.background_load,
+                    fault_profile: init.fault_profile,
+                    pilots: Vec::new(),
+                    dead_pilots: HashSet::new(),
+                }
+            })
+            .collect();
+        EventBackend {
+            clusters,
+            registry,
+            binding: Box::new(StaticBinding),
+            wait_all,
+            label,
+            total_cores,
+            telemetry,
+            global_now: SimTime::ZERO,
+            prepared: Vec::new(),
+        }
+    }
+
+    /// Replaces the unit scheduler of cluster 0 (ablation hook; federated
+    /// member clusters keep the default scheduler).
+    pub(crate) fn set_unit_scheduler(&mut self, s: Box<dyn entk_pilot::UnitScheduler>) {
+        self.clusters[0].runtime.set_scheduler(s);
+    }
+
+    /// Replaces the backend-wide binding policy (paper §V).
     pub(crate) fn set_binding_policy(&mut self, b: Box<dyn BindingPolicy>) {
         self.binding = b;
     }
@@ -188,350 +279,291 @@ impl SimDriver {
         &self.telemetry
     }
 
-    /// True when every pilot has failed or been cancelled.
-    fn all_pilots_dead(&self) -> bool {
-        !self.pilots.is_empty() && self.dead_pilots.len() == self.pilots.len()
+    fn key_of(&self, unit: UnitId, cluster: usize) -> u64 {
+        unit.0 * self.clusters.len() as u64 + cluster as u64
     }
 
-    /// True when the allocation is usable per the wait policy.
-    fn allocation_ready(&self) -> bool {
-        if self.pilots.is_empty() {
-            return false;
-        }
-        let active = |p: &PilotId| self.runtime.pilot_state(*p) == Some(PilotState::Active);
-        match self.strategy.wait_all {
-            false => self.pilots.iter().any(active),
-            true => self.pilots.iter().all(active),
-        }
+    fn split_key(&self, key: u64) -> (usize, UnitId) {
+        let n = self.clusters.len() as u64;
+        ((key % n) as usize, UnitId(key / n))
     }
 
-    // ---------------------------------------------------------- lifecycle
-
-    pub(crate) fn allocate(&mut self) -> Result<(), EntkError> {
-        if !matches!(self.state, DriverState::Created) {
-            return Err(EntkError::Usage("allocate() called twice".into()));
-        }
-        self.telemetry
-            .record(self.engine.now(), "entk", "session_start", Subject::Session);
-        let init = self.entk.init.sample_duration(&mut self.rng)
-            + self.entk.resource_request.sample_duration(&mut self.rng);
-        self.core_overhead += init;
-        self.engine.schedule_in(init, Ev::Boot);
-        self.pump(None, |d| d.allocation_ready())?;
-        self.state = DriverState::Allocated;
-        Ok(())
-    }
-
-    pub(crate) fn run(
-        &mut self,
-        pattern: &mut dyn ExecutionPattern,
-    ) -> Result<ExecutionReport, EntkError> {
-        if !matches!(self.state, DriverState::Allocated) {
-            return Err(EntkError::Usage("run() requires allocate() first".into()));
-        }
-        let initial = pattern.on_start();
-        if initial.is_empty() && !pattern.is_done() {
-            return Err(EntkError::Usage(
-                "pattern emitted no initial tasks but is not done".into(),
-            ));
-        }
-        let now = self.engine.now();
-        self.spawn_tasks(initial, now);
-        self.flush_outbox_direct();
-        // pump's stop closure cannot see the pattern; poll manually. The
-        // cheap live-task check short-circuits first: `is_done` may cost
-        // O(pattern size) and this loop runs once per event.
-        loop {
-            if self.live_tasks == 0 && pattern.is_done() {
-                break;
+    /// Late binding: the alive cluster with the most uncommitted free
+    /// capacity takes the unit (ties to the lowest index). Commitments may
+    /// drive the balance negative, so once every cluster is oversubscribed
+    /// the batch keeps spreading to the *least* backlogged queue instead of
+    /// piling onto one machine. When no cluster is alive, fall back to raw
+    /// balance so accounting still lands somewhere deterministic.
+    fn pick_cluster(remaining: &[i64], alive: &[bool]) -> usize {
+        let mut best: Option<usize> = None;
+        for (i, &r) in remaining.iter().enumerate() {
+            if alive[i] && best.is_none_or(|b| r > remaining[b]) {
+                best = Some(i);
             }
-            if self.all_pilots_dead() {
-                if self.fault.graceful {
-                    self.degrade(pattern);
-                    break;
+        }
+        if best.is_none() {
+            for (i, &r) in remaining.iter().enumerate() {
+                if best.is_none_or(|b| r > remaining[b]) {
+                    best = Some(i);
                 }
-                return Err(EntkError::Runtime(format!(
-                    "all pilots terminated mid-run; pattern at: {}",
-                    pattern.progress()
-                )));
             }
-            let stepped = self.step_one(Some(pattern))?;
-            if !stepped {
-                if self.live_tasks == 0 && pattern.is_done() {
-                    break;
+        }
+        best.unwrap_or(0)
+    }
+
+    /// Turns one cluster's runtime notifications into backend events.
+    /// Failure events carry the *processing* time (`now`), matching how the
+    /// single-cluster driver applied its fault policy at the step time.
+    fn translate(
+        &mut self,
+        cluster: usize,
+        notes: Vec<RuntimeNotification>,
+        now: SimTime,
+        out: &mut Vec<BackendEvent>,
+    ) {
+        for note in notes {
+            match note {
+                RuntimeNotification::Pilot { id, state, .. } => {
+                    if state == PilotState::Failed || state == PilotState::Canceled {
+                        self.clusters[cluster].dead_pilots.insert(id);
+                    }
                 }
-                return Err(EntkError::Runtime(format!(
-                    "simulation drained before pattern completion: {}",
-                    pattern.progress()
-                )));
-            }
-        }
-        Ok(self.build_report(pattern.name()))
-    }
-
-    pub(crate) fn deallocate(&mut self) -> Result<ExecutionReport, EntkError> {
-        if !matches!(self.state, DriverState::Allocated) {
-            return Err(EntkError::Usage("deallocate() requires allocate()".into()));
-        }
-        self.engine.schedule_in(SimDuration::ZERO, Ev::Shutdown);
-        self.pump(None, |d| {
-            d.pilots.iter().all(|&p| {
-                d.runtime
-                    .pilot_state(p)
-                    .map(PilotState::is_terminal)
-                    .unwrap_or(true)
-            })
-        })?;
-        let teardown = self.entk.teardown.sample_duration(&mut self.rng);
-        self.core_overhead += teardown;
-        self.teardown_reached = false;
-        self.telemetry.record(
-            self.engine.now(),
-            "entk",
-            "teardown_start",
-            Subject::Session,
-        );
-        self.engine.schedule_in(teardown, Ev::Nop);
-        // Do not drain to empty: background-load models keep the event
-        // queue alive forever; stop once the teardown marker fires.
-        self.pump(None, |d| d.teardown_reached)?;
-        self.state = DriverState::Deallocated;
-        Ok(self.build_report("session"))
-    }
-
-    // ------------------------------------------------------------- engine
-
-    /// Processes one event; returns false when the queue is empty.
-    fn step_one<'a, 'b>(
-        &mut self,
-        mut pattern: Option<&'a mut (dyn ExecutionPattern + 'b)>,
-    ) -> Result<bool, EntkError> {
-        let mut engine = std::mem::take(&mut self.engine);
-        let outcome = engine.run_bounded(1, SimTime::MAX, &mut |ev, ctx| {
-            self.handle(ev, ctx, pattern.as_deref_mut());
-        });
-        self.engine = engine;
-        Ok(outcome != RunOutcome::Drained)
-    }
-
-    /// Pumps events until `stop(self)` holds (pattern-independent phases).
-    fn pump<'a, 'b>(
-        &mut self,
-        mut pattern: Option<&'a mut (dyn ExecutionPattern + 'b)>,
-        stop: impl Fn(&Self) -> bool,
-    ) -> Result<(), EntkError> {
-        loop {
-            if stop(self) {
-                return Ok(());
-            }
-            if self.all_pilots_dead()
-                && pattern.is_none()
-                && matches!(self.state, DriverState::Created)
-            {
-                // During allocate: all pilots dead means allocation failed.
-                // (During deallocate, dead pilots are a normal end state —
-                // e.g. after a graceful degradation.)
-                return Err(EntkError::Resource("pilots failed to start".into()));
-            }
-            if !self.step_one(pattern.as_deref_mut())? {
-                if stop(self) {
-                    return Ok(());
+                RuntimeNotification::PilotShrunk {
+                    lost_cores,
+                    remaining_cores,
+                    ..
+                } => {
+                    out.push(BackendEvent::CapacityShrunk {
+                        lost_cores,
+                        remaining_cores,
+                    });
                 }
-                return Err(EntkError::Runtime(
-                    "simulation drained before reaching the expected state".into(),
-                ));
+                RuntimeNotification::Unit {
+                    id,
+                    state,
+                    time,
+                    detail,
+                } => {
+                    let key = self.key_of(id, cluster);
+                    match state {
+                        UnitState::Executing => out.push(BackendEvent::UnitStarted { key, time }),
+                        UnitState::Done => out.push(BackendEvent::UnitDone { key, time }),
+                        UnitState::Failed | UnitState::Canceled => {
+                            out.push(BackendEvent::UnitFailed {
+                                key,
+                                time: now,
+                                reason: detail.unwrap_or_else(|| format!("{state:?}")),
+                            });
+                        }
+                        _ => {}
+                    }
+                }
             }
         }
     }
 
-    fn handle<'a, 'b>(
+    /// Handles one engine event from cluster `idx`, surfacing state changes.
+    fn handle_ev(
         &mut self,
+        idx: usize,
         ev: Ev,
         ctx: &mut Context<'_, Ev>,
-        pattern: Option<&'a mut (dyn ExecutionPattern + 'b)>,
+        out: &mut Vec<BackendEvent>,
     ) {
-        let mut notes = Vec::new();
         match ev {
             Ev::Boot => {
                 self.telemetry
                     .record(ctx.now(), "entk", "resource_ready", Subject::Session);
-                if let Some(load) = self.background_load {
-                    self.runtime.cluster_mut().enable_background_load(load, ctx);
-                }
-                if let Some(profile) = self.fault_profile.clone() {
-                    self.runtime
-                        .cluster_mut()
-                        .enable_fault_injector(profile, ctx);
-                }
-                // Split the requested cores across the strategy's pilots;
-                // the first pilot absorbs any remainder.
-                let n = self.strategy.count.max(1).min(self.config.cores);
-                let base = self.config.cores / n;
-                for i in 0..n {
-                    let cores = if i == 0 {
-                        base + self.config.cores % n
+                let boot_time = ctx.now();
+                for i in 0..self.clusters.len() {
+                    let mut notes = Vec::new();
+                    if i == idx {
+                        self.clusters[i].boot(ctx, &mut notes);
                     } else {
-                        base
-                    };
-                    let pd = PilotDescription::new(
-                        self.config.resource.clone(),
-                        cores,
-                        self.config.walltime,
-                    );
-                    match self.runtime.submit_pilot(pd, ctx, &mut notes) {
-                        Ok(id) => self.pilots.push(id),
-                        Err(e) => {
-                            debug_assert!(false, "pilot description invalid: {e}");
+                        // Other clusters' engines are intact (only `idx`'s
+                        // is being stepped); bring their clocks up to the
+                        // boot time and inject through their own contexts.
+                        let mut engine = std::mem::take(&mut self.clusters[i].engine);
+                        engine.advance_to(boot_time);
+                        {
+                            let mut ctx_i = engine.context();
+                            self.clusters[i].boot(&mut ctx_i, &mut notes);
                         }
+                        self.clusters[i].engine = engine;
                     }
+                    self.translate(i, notes, boot_time, out);
                 }
             }
-            Ev::Rt(re) => self.runtime.handle(re, ctx, &mut notes),
-            Ev::Cl(ce) => self.runtime.handle_cluster(ce, ctx, &mut notes),
-            Ev::TasksReady(batch, uids) => {
-                if batch != RETRY_BATCH {
-                    self.telemetry.record(
-                        ctx.now(),
-                        "entk",
-                        "tasks_submitted",
-                        Subject::Batch(batch),
-                    );
-                }
-                self.submit_units(uids, ctx, &mut notes);
+            Ev::Rt(re) => {
+                let mut notes = Vec::new();
+                self.clusters[idx].runtime.handle(re, ctx, &mut notes);
+                self.translate(idx, notes, ctx.now(), out);
             }
-            Ev::TaskTimeout(uid) => self.on_timeout(uid, ctx, &mut notes),
+            Ev::Cl(ce) => {
+                let mut notes = Vec::new();
+                self.clusters[idx]
+                    .runtime
+                    .handle_cluster(ce, ctx, &mut notes);
+                self.translate(idx, notes, ctx.now(), out);
+            }
+            Ev::TasksReady(batch, uids) => out.push(BackendEvent::BatchReady { batch, uids }),
+            Ev::TaskTimeout(uid) => out.push(BackendEvent::TaskTimeout { uid }),
+            Ev::Deliver(uid) => out.push(BackendEvent::DeferredFailure { uid }),
             Ev::Shutdown => {
-                self.runtime.cluster_mut().disable_background_load();
-                for p in self.pilots.clone() {
-                    self.runtime.finish_pilot(p, ctx, &mut notes);
+                let down_time = ctx.now();
+                for i in 0..self.clusters.len() {
+                    let mut notes = Vec::new();
+                    if i == idx {
+                        self.clusters[i].shutdown(ctx, &mut notes);
+                    } else {
+                        let mut engine = std::mem::take(&mut self.clusters[i].engine);
+                        engine.advance_to(down_time);
+                        {
+                            let mut ctx_i = engine.context();
+                            self.clusters[i].shutdown(&mut ctx_i, &mut notes);
+                        }
+                        self.clusters[i].engine = engine;
+                    }
+                    self.translate(i, notes, down_time, out);
                 }
             }
-            Ev::Nop => {
-                self.teardown_reached = true;
-                self.telemetry
-                    .record(ctx.now(), "entk", "teardown_done", Subject::Session);
+            Ev::Nop => out.push(BackendEvent::ClockMark),
+        }
+    }
+}
+
+/// Construction parameters of one federated member cluster (resolved by
+/// `ResourceHandle::federated`).
+pub(crate) struct ClusterInit {
+    pub(crate) resource: String,
+    pub(crate) cores: usize,
+    pub(crate) walltime: SimDuration,
+    pub(crate) platform: PlatformSpec,
+    pub(crate) runtime_config: SimRuntimeConfig,
+    pub(crate) pilot_count: usize,
+    pub(crate) background_load: Option<entk_cluster::cluster::BackgroundLoad>,
+    pub(crate) fault_profile: Option<FaultProfile>,
+}
+
+impl ExecutionBackend for EventBackend {
+    fn now(&self) -> SimTime {
+        self.global_now
+    }
+
+    fn virtual_time(&self) -> bool {
+        true
+    }
+
+    fn begin_session(&mut self, boot_delay: SimDuration) {
+        let t = self.global_now + boot_delay;
+        self.clusters[0].engine.schedule_at(t, Ev::Boot);
+    }
+
+    fn allocation_ready(&self) -> bool {
+        if !self.clusters.iter().any(|c| !c.pilots.is_empty()) {
+            return false;
+        }
+        let active =
+            |c: &ClusterStack, p: &PilotId| c.runtime.pilot_state(*p) == Some(PilotState::Active);
+        match self.wait_all {
+            false => self
+                .clusters
+                .iter()
+                .any(|c| c.pilots.iter().any(|p| active(c, p))),
+            true => self
+                .clusters
+                .iter()
+                .all(|c| c.pilots.iter().all(|p| active(c, p))),
+        }
+    }
+
+    fn capacity_lost(&self) -> bool {
+        let total: usize = self.clusters.iter().map(|c| c.pilots.len()).sum();
+        total > 0
+            && self
+                .clusters
+                .iter()
+                .all(|c| c.dead_pilots.len() == c.pilots.len())
+    }
+
+    fn pilots_terminal(&self) -> bool {
+        self.clusters.iter().all(ClusterStack::pilots_terminal)
+    }
+
+    fn poll(&mut self) -> Poll {
+        // Process the globally earliest event (ties to the lowest cluster
+        // index), keeping all virtual clocks causally consistent.
+        let mut best: Option<(usize, SimTime)> = None;
+        for (i, c) in self.clusters.iter_mut().enumerate() {
+            if let Some(t) = c.engine.next_time() {
+                if best.is_none_or(|(_, bt)| t < bt) {
+                    best = Some((i, t));
+                }
             }
         }
-        self.process_notifications(notes, ctx, pattern);
-        self.flush_outbox(ctx);
+        let Some((idx, _)) = best else {
+            return Poll::Drained;
+        };
+        let mut engine = std::mem::take(&mut self.clusters[idx].engine);
+        let mut events = Vec::new();
+        engine.run_bounded(1, SimTime::MAX, &mut |ev, ctx| {
+            self.handle_ev(idx, ev, ctx, &mut events);
+        });
+        self.clusters[idx].engine = engine;
+        self.global_now = self.global_now.max(self.clusters[idx].engine.now());
+        Poll::Events(events)
     }
 
-    fn flush_outbox(&mut self, ctx: &mut Context<'_, Ev>) {
-        for (delay, ev) in self.outbox.drain(..) {
-            ctx.schedule_in(delay, ev);
-        }
-    }
-
-    fn flush_outbox_direct(&mut self) {
-        for (delay, ev) in self.outbox.drain(..) {
-            self.engine.schedule_in(delay, ev);
-        }
-    }
-
-    // -------------------------------------------------------------- tasks
-
-    /// Registers pattern-emitted tasks and schedules their submission after
-    /// the EnTK pattern overhead.
-    ///
-    /// `now` is passed in because inside an event handler `self.engine` is
-    /// temporarily taken (see `step_one`) and would read as t = 0.
-    fn spawn_tasks(&mut self, tasks: Vec<Task>, now: SimTime) {
-        if tasks.is_empty() {
-            return;
-        }
-        let n = tasks.len() as f64;
-        let per = self.entk.task_create_per_task.sample(&mut self.rng);
-        let fixed = self.entk.task_submit_fixed.sample(&mut self.rng);
-        let delay = SimDuration::from_secs_f64(fixed + per * n);
-        self.pattern_overhead += delay;
-        let batch = self.next_batch;
-        self.next_batch += 1;
-        self.telemetry
-            .record(now, "entk", "tasks_created", Subject::Batch(batch));
-        let mut uids = Vec::with_capacity(tasks.len());
-        self.tasks.reserve(tasks.len());
-        for task in tasks {
-            let uid = self.next_uid;
-            self.next_uid += 1;
-            self.live_tasks += 1;
-            debug_assert_eq!(uid as usize, self.tasks.len());
-            self.tasks.push(TaskEntry {
-                record: TaskRecord {
-                    uid,
-                    tag: task.tag,
-                    stage: task.stage.clone(),
-                    created: now,
-                    exec_start: None,
-                    exec_stop: None,
-                    finished: None,
-                    success: false,
-                    retries: 0,
-                    lost_to_failures: SimDuration::ZERO,
-                },
-                task,
-                unit: None,
-                terminal: false,
-                attempt_started: None,
-            });
-            self.telemetry
-                .record(now, "entk", "task_created", Subject::Task(uid));
-            uids.push(uid);
-        }
-        self.outbox.push((delay, Ev::TasksReady(batch, uids)));
-    }
-
-    /// Binds tasks to unit descriptions and submits them to the runtime.
-    fn submit_units(
-        &mut self,
-        uids: Vec<u64>,
-        ctx: &mut Context<'_, Ev>,
-        notes: &mut Vec<RuntimeNotification>,
-    ) {
-        let mut descriptions = Vec::with_capacity(uids.len());
-        let mut submit_uids = Vec::with_capacity(uids.len());
-        let free_cores = self.runtime.free_cores();
-        let batch_size = uids.len();
-        let max_pilot = self
-            .pilots
+    fn prepare_batch(&mut self, specs: &[UnitSpec], rng: &mut SimRng) -> Vec<Option<String>> {
+        self.prepared.clear();
+        let batch_size = specs.len();
+        // Free-capacity snapshots: `free` (what binding policies see) stays
+        // fixed for the whole batch, exactly as the single-cluster driver
+        // snapshotted it once per submission; `remaining` additionally
+        // tracks in-batch commitments to spread a federated batch.
+        let free: Vec<usize> = self
+            .clusters
             .iter()
-            .filter_map(|&p| {
-                (self.runtime.pilot_state(p) != Some(entk_pilot::PilotState::Failed)).then_some(
-                    self.config.cores / self.strategy.count.max(1).min(self.config.cores),
-                )
-            })
-            .max()
-            .unwrap_or(self.config.cores)
-            .max(1);
-        for uid in uids {
-            let entry = match self.tasks.get(uid as usize) {
-                Some(e) if !e.terminal => e,
-                _ => continue,
-            };
-            let call = entry.task.kernel.clone();
-            let stage = entry.task.stage.clone();
+            .map(|c| c.runtime.free_cores())
+            .collect();
+        let mut remaining: Vec<i64> = free.iter().map(|&f| f as i64).collect();
+        let max_unit: Vec<usize> = self
+            .clusters
+            .iter()
+            .map(ClusterStack::max_unit_cores)
+            .collect();
+        let alive: Vec<bool> = self
+            .clusters
+            .iter()
+            .map(|c| !c.pilots.is_empty() && c.dead_pilots.len() < c.pilots.len())
+            .collect();
+        let mut verdicts = Vec::with_capacity(batch_size);
+        for spec in specs {
+            let call: &KernelCall = &spec.kernel;
             let plugin = match self.registry.get(&call.plugin) {
                 Ok(p) => p,
                 Err(e) => {
-                    self.fail_now(uid, e.to_string(), ctx);
+                    verdicts.push(Some(e.to_string()));
                     continue;
                 }
             };
             if let Err(e) = plugin.validate(&call.args) {
-                self.fail_now(uid, e.to_string(), ctx);
+                verdicts.push(Some(e.to_string()));
                 continue;
             }
+            let c = Self::pick_cluster(&remaining, &alive);
             let bound_cores = self
                 .binding
-                .bind(&stage, call.cores, free_cores, batch_size)
-                .clamp(1, max_pilot);
+                .bind(&spec.stage, call.cores, free[c], batch_size)
+                .clamp(1, max_unit[c]);
             let cost = plugin.cost(
                 &call.args,
                 bound_cores,
-                self.runtime.platform(),
-                &mut self.rng,
+                self.clusters[c].runtime.platform(),
+                rng,
             );
             let mut ud = UnitDescription {
-                name: format!("{stage}:{uid}"),
+                name: format!("{}:{}", spec.stage, spec.uid),
                 cores: bound_cores,
                 mpi: call.mpi || bound_cores > 1,
                 work: UnitWork::Modeled(cost),
@@ -546,309 +578,146 @@ impl SimDriver {
             if out_b > 0 {
                 ud = ud.with_output("output", out_b);
             }
-            descriptions.push(ud);
-            submit_uids.push(uid);
-        }
-        if descriptions.is_empty() {
-            return;
-        }
-        let unit_ids = self
-            .runtime
-            .submit_units(descriptions, ctx, notes)
-            .expect("descriptions validated above");
-        for (uid, unit) in submit_uids.into_iter().zip(unit_ids) {
-            let entry = &mut self.tasks[uid as usize];
-            entry.unit = Some(unit);
-            entry.attempt_started = Some(ctx.now());
-            self.telemetry
-                .record(ctx.now(), "entk", "task_submitted", Subject::Task(uid));
-            self.unit_to_task.insert(unit.0, uid);
-            if let Some(timeout) = self.fault.task_timeout {
-                ctx.schedule_in(timeout, Ev::TaskTimeout(uid));
+            if let Err(e) = ud.validate() {
+                verdicts.push(Some(e));
+                continue;
             }
+            remaining[c] -= bound_cores as i64;
+            self.prepared.push(PreparedUnit {
+                uid: spec.uid,
+                cluster: c,
+                description: Some(ud),
+            });
+            verdicts.push(None);
         }
+        verdicts
     }
 
-    /// A task failed before it could even be submitted (bad kernel); it is
-    /// terminal immediately. The pattern notification goes through the
-    /// deferred-failure queue processed with the next notification batch —
-    /// here we just mark the record; `process_notifications` owns pattern
-    /// callbacks, so synthesize a unit-less failure via the outbox.
-    fn fail_now(&mut self, uid: u64, reason: String, ctx: &mut Context<'_, Ev>) {
-        let entry = &mut self.tasks[uid as usize];
-        entry.terminal = true;
-        entry.record.finished = Some(ctx.now());
-        entry.record.success = false;
-        self.live_tasks -= 1;
-        self.failed_tasks += 1;
-        self.telemetry
-            .record(ctx.now(), "entk", "task_failed", Subject::Task(uid));
-        self.telemetry.inc("entk.task_failures");
-        // Defer the pattern callback so it happens in a clean handler pass.
-        self.outbox
-            .push((SimDuration::ZERO, Ev::TaskTimeout(uid | KERNEL_FAIL_FLAG)));
-        let _ = reason;
-    }
-
-    fn on_timeout(
-        &mut self,
-        raw: u64,
-        ctx: &mut Context<'_, Ev>,
-        _notes: &mut [RuntimeNotification],
-    ) {
-        if raw & KERNEL_FAIL_FLAG != 0 {
-            // Deferred kernel-binding failure: deliver to the pattern via
-            // the pending-results queue.
-            let uid = raw & !KERNEL_FAIL_FLAG;
-            if let Some(entry) = self.tasks.get(uid as usize) {
-                self.pending_results.push(TaskResult::failed(
-                    entry.task.tag,
-                    entry.task.stage.clone(),
-                    "kernel binding failed",
-                ));
-            }
-            return;
+    fn commit_batch(&mut self) -> Vec<(u64, u64)> {
+        let mut prepared = std::mem::take(&mut self.prepared);
+        if prepared.is_empty() {
+            return Vec::new();
         }
-        let uid = raw;
-        let Some(entry) = self.tasks.get(uid as usize) else {
-            return;
-        };
-        if entry.terminal {
-            return;
-        }
-        // Kill-replace: cancel the running unit and retry.
-        if let Some(unit) = entry.unit {
-            let state = self.runtime.unit_state(unit);
-            if state.map(UnitState::is_terminal).unwrap_or(true) {
-                return; // already finishing; let the normal path handle it
+        let mut out: Vec<Option<(u64, u64)>> = vec![None; prepared.len()];
+        for c in 0..self.clusters.len() {
+            let mut descriptions = Vec::new();
+            let mut positions = Vec::new();
+            for (pos, p) in prepared.iter_mut().enumerate() {
+                if p.cluster == c {
+                    descriptions.push(p.description.take().expect("prepared unit staged once"));
+                    positions.push(pos);
+                }
             }
-            self.unit_to_task.remove(unit.0);
+            if descriptions.is_empty() {
+                continue;
+            }
+            // Everything in `descriptions` passed `UnitDescription::validate`
+            // during prepare, so the runtime cannot reject the batch; the
+            // submission notifications are only `UnitState::New` markers,
+            // which the session never acted on.
             let mut notes = Vec::new();
-            self.runtime.cancel_unit(unit, ctx, &mut notes);
-            // Swallow the cancellation notifications for this unit.
-            self.retry_or_fail(uid, "kill-replace: task exceeded timeout", ctx);
-        }
-    }
-
-    fn retry_or_fail(&mut self, uid: u64, reason: &str, ctx: &mut Context<'_, Ev>) {
-        let now = ctx.now();
-        self.retry_or_fail_at(uid, reason, now);
-    }
-
-    /// The retry engine. Accounts the failed attempt's wall time (and any
-    /// retry backoff) as failure-lost, then either resubmits the task after
-    /// the backoff delay or reports terminal failure to the pattern once
-    /// `max_retries` is exhausted.
-    fn retry_or_fail_at(&mut self, uid: u64, reason: &str, now: SimTime) {
-        let backoff = self.fault.backoff;
-        let max_retries = self.fault.max_retries;
-        let entry = &mut self.tasks[uid as usize];
-        let lost = entry
-            .attempt_started
-            .take()
-            .map(|started| now.saturating_since(started))
-            .unwrap_or(SimDuration::ZERO);
-        entry.record.lost_to_failures += lost;
-        self.failure_lost += lost;
-        self.telemetry
-            .record(now, "entk", "task_attempt_failed", Subject::Task(uid));
-        if entry.record.retries < max_retries {
-            entry.record.retries += 1;
-            entry.unit = None;
-            let delay = backoff.delay(entry.record.retries, &mut self.retry_rng);
-            entry.record.lost_to_failures += delay;
-            self.failure_lost += delay;
-            self.total_retries += 1;
-            // Stamped at the instant the backoff completes, so the backoff
-            // charge is recoverable from the trace as (task_retry −
-            // task_attempt_failed) even if the resubmission never runs.
-            self.telemetry
-                .record(now + delay, "entk", "task_retry", Subject::Task(uid));
-            self.telemetry.inc("entk.retries");
-            self.outbox
-                .push((delay, Ev::TasksReady(RETRY_BATCH, vec![uid])));
-        } else {
-            entry.terminal = true;
-            entry.record.finished = Some(now);
-            entry.record.success = false;
-            self.live_tasks -= 1;
-            self.failed_tasks += 1;
-            self.telemetry
-                .record(now, "entk", "task_failed", Subject::Task(uid));
-            self.telemetry.inc("entk.task_failures");
-            self.pending_results.push(TaskResult::failed(
-                entry.task.tag,
-                entry.task.stage.clone(),
-                reason,
-            ));
-        }
-    }
-
-    /// Graceful degradation: the session lost every pilot mid-run and the
-    /// fault policy asks to keep what we have. All live tasks fail in place
-    /// and their results are delivered to the pattern; follow-up tasks it
-    /// spawns fail the same way (there is nothing left to run them on),
-    /// until the pattern stops emitting.
-    fn degrade(&mut self, pattern: &mut dyn ExecutionPattern) {
-        self.degraded = true;
-        let now = self.engine.now();
-        // Rounds are bounded: every round terminates all currently-live
-        // tasks, and a pattern that keeps spawning replacements forever is
-        // a bug we'd rather stop than loop on.
-        for _ in 0..10_000 {
-            // Uid order by construction: the slab iterates densely.
-            let live: Vec<u64> = self
-                .tasks
-                .iter()
-                .enumerate()
-                .filter(|(_, e)| !e.terminal)
-                .map(|(uid, _)| uid as u64)
-                .collect();
-            if live.is_empty() && self.pending_results.is_empty() {
-                break;
-            }
-            for uid in live {
-                let entry = &mut self.tasks[uid as usize];
-                let started = entry.attempt_started.take();
-                if started.is_some() {
-                    self.telemetry
-                        .record(now, "entk", "task_attempt_failed", Subject::Task(uid));
-                }
-                let lost = started
-                    .map(|s| now.saturating_since(s))
-                    .unwrap_or(SimDuration::ZERO);
-                entry.record.lost_to_failures += lost;
-                self.failure_lost += lost;
-                entry.terminal = true;
-                entry.record.finished = Some(now);
-                entry.record.success = false;
-                self.live_tasks -= 1;
-                self.failed_tasks += 1;
-                self.telemetry
-                    .record(now, "entk", "task_failed", Subject::Task(uid));
-                self.telemetry.inc("entk.task_failures");
-                self.pending_results.push(TaskResult::failed(
-                    entry.task.tag,
-                    entry.task.stage.clone(),
-                    "resource lost: all pilots terminated",
-                ));
-            }
-            let results = std::mem::take(&mut self.pending_results);
-            // The spawns below book pattern overhead, but their submission
-            // events are discarded (`outbox.clear()`): that overhead is
-            // never actually paid, so restore the accounted value after.
-            let booked = self.pattern_overhead;
-            for result in results {
-                let follow_ups = pattern.on_task_done(&result);
-                self.spawn_tasks(follow_ups, now);
-            }
-            self.pattern_overhead = booked;
-            // Those spawns queued submission events that will never run.
-            self.outbox.clear();
-        }
-    }
-
-    fn process_notifications<'a, 'b>(
-        &mut self,
-        notes: Vec<RuntimeNotification>,
-        ctx: &mut Context<'_, Ev>,
-        pattern: Option<&'a mut (dyn ExecutionPattern + 'b)>,
-    ) {
-        for note in notes {
-            match note {
-                RuntimeNotification::Pilot { id, state, .. } => {
-                    if state == PilotState::Failed || state == PilotState::Canceled {
-                        self.dead_pilots.insert(id);
+            let stack = &mut self.clusters[c];
+            stack.engine.advance_to(self.global_now);
+            let mut ctx = stack.engine.context();
+            match stack
+                .runtime
+                .submit_units(descriptions, &mut ctx, &mut notes)
+            {
+                Ok(ids) => {
+                    for (id, &pos) in ids.into_iter().zip(&positions) {
+                        out[pos] = Some((prepared[pos].uid, id.0));
                     }
                 }
-                // Shrunk pilots keep running on their remaining cores; the
-                // units they dropped arrive as `Unit` failures below.
-                RuntimeNotification::PilotShrunk { .. } => {}
-                RuntimeNotification::Unit {
-                    id,
-                    state,
-                    time,
-                    detail,
-                } => {
-                    let Some(&uid) = self.unit_to_task.get(id.0) else {
-                        continue;
-                    };
-                    match state {
-                        UnitState::Executing => {
-                            if let Some(e) = self.tasks.get_mut(uid as usize) {
-                                e.record.exec_start = Some(time);
-                            }
-                        }
-                        UnitState::Done => {
-                            self.unit_to_task.remove(id.0);
-                            self.complete_task(uid, id, time);
-                        }
-                        UnitState::Failed | UnitState::Canceled => {
-                            self.unit_to_task.remove(id.0);
-                            let reason = detail.unwrap_or_else(|| format!("{state:?}"));
-                            self.retry_or_fail(uid, &reason, ctx);
-                        }
-                        _ => {}
-                    }
+                Err(e) => {
+                    debug_assert!(false, "descriptions validated in prepare: {e}");
                 }
             }
         }
-        // Deliver queued results to the pattern, spawning follow-up tasks.
-        if let Some(p) = pattern {
-            let results = std::mem::take(&mut self.pending_results);
-            for result in results {
-                let follow_ups = p.on_task_done(&result);
-                self.spawn_tasks(follow_ups, ctx.now());
-            }
-        }
+        let n = self.clusters.len() as u64;
+        prepared
+            .iter()
+            .enumerate()
+            .filter_map(|(pos, p)| out[pos].map(|(uid, raw)| (uid, raw * n + p.cluster as u64)))
+            .collect()
     }
 
-    fn complete_task(&mut self, uid: u64, unit: UnitId, time: SimTime) {
-        // Record execution timestamps from the runtime profiler.
-        let (exec_start, exec_stop) = self
+    fn arm_timeout(&mut self, uid: u64, timeout: SimDuration) {
+        let t = self.global_now + timeout;
+        self.clusters[0].engine.schedule_at(t, Ev::TaskTimeout(uid));
+    }
+
+    fn cancel_running_unit(&mut self, key: u64) -> bool {
+        let (c, unit) = self.split_key(key);
+        let global_now = self.global_now;
+        let stack = &mut self.clusters[c];
+        let state = stack.runtime.unit_state(unit);
+        if state.map(UnitState::is_terminal).unwrap_or(true) {
+            return false;
+        }
+        stack.engine.advance_to(global_now);
+        // The cancellation notifications are swallowed: the session already
+        // removed this unit's mapping and applies its own fault policy.
+        let mut notes = Vec::new();
+        let mut ctx = stack.engine.context();
+        stack.runtime.cancel_unit(unit, &mut ctx, &mut notes);
+        true
+    }
+
+    fn complete_unit(&mut self, key: u64, kernel: &KernelCall, rng: &mut SimRng) -> UnitOutcome {
+        let (c, unit) = self.split_key(key);
+        let (exec_start, exec_stop) = self.clusters[c]
             .runtime
             .profiler()
             .unit(unit)
             .map(|p| (p.exec_start, p.exec_stop))
             .unwrap_or((None, None));
-        let entry = &mut self.tasks[uid as usize];
-        entry.record.exec_start = exec_start.or(entry.record.exec_start);
-        entry.record.exec_stop = exec_stop;
-        // Model-execute the kernel for semantic output.
-        let call = entry.task.kernel.clone();
-        let plugin = self
-            .registry
-            .get(&call.plugin)
-            .expect("validated at submission");
-        match plugin.execute_model(&call.args, &mut self.rng) {
-            Ok(output) => {
-                entry.terminal = true;
-                entry.record.finished = Some(time);
-                entry.record.success = true;
-                self.live_tasks -= 1;
-                self.telemetry
-                    .record(time, "entk", "task_done", Subject::Task(uid));
-                self.pending_results.push(TaskResult::ok(
-                    entry.task.tag,
-                    entry.task.stage.clone(),
-                    output,
-                ));
-            }
-            Err(e) => {
-                // Semantic failure after execution: retry path.
-                let reason = e.to_string();
-                self.retry_or_fail_at(uid, &reason, time);
-            }
+        // Model-execute the kernel for semantic output. The kernel resolved
+        // at submission; a registry miss here is impossible in practice but
+        // degrades to a task failure instead of a panic.
+        let result = match self.registry.get(&kernel.plugin) {
+            Ok(plugin) => plugin
+                .execute_model(&kernel.args, rng)
+                .map_err(|e| e.to_string()),
+            Err(e) => Err(e.to_string()),
+        };
+        UnitOutcome {
+            exec_start,
+            exec_stop,
+            result,
         }
     }
 
-    // ------------------------------------------------------------- report
+    fn schedule_batch(&mut self, delay: SimDuration, batch: u64, uids: Vec<u64>) {
+        let t = self.global_now + delay;
+        self.clusters[0]
+            .engine
+            .schedule_at(t, Ev::TasksReady(batch, uids));
+    }
 
-    fn build_report(&self, pattern_name: &str) -> ExecutionReport {
+    fn schedule_deferred_failure(&mut self, uid: u64) {
+        let t = self.global_now;
+        self.clusters[0].engine.schedule_at(t, Ev::Deliver(uid));
+    }
+
+    fn begin_shutdown(&mut self) {
+        let t = self.global_now;
+        self.clusters[0].engine.schedule_at(t, Ev::Shutdown);
+    }
+
+    fn schedule_clock_mark(&mut self, delay: SimDuration) {
+        let t = self.global_now + delay;
+        self.clusters[0].engine.schedule_at(t, Ev::Nop);
+    }
+
+    fn stats(&self) -> BackendStats {
         let (runtime_pilot, resource_wait) = self
-            .pilots
+            .clusters
             .first()
-            .and_then(|&p| self.runtime.profiler().pilot(p).copied())
+            .and_then(|c| {
+                c.pilots
+                    .first()
+                    .and_then(|&p| c.runtime.profiler().pilot(p).copied())
+            })
             .map(|prof| {
                 let submit = prof
                     .launched
@@ -863,32 +732,12 @@ impl SimDriver {
                 (submit, wait)
             })
             .unwrap_or((SimDuration::ZERO, SimDuration::ZERO));
-        // Slab order is uid order; no sort needed.
-        let tasks: Vec<TaskRecord> = self.tasks.iter().map(|e| e.record.clone()).collect();
-        ExecutionReport {
-            pattern: pattern_name.to_string(),
-            resource: self.config.resource.clone(),
-            cores: self.config.cores,
-            ttc: self.engine.now().saturating_since(SimTime::ZERO),
-            overheads: OverheadBreakdown {
-                core: self.core_overhead,
-                pattern: self.pattern_overhead,
-                runtime_pilot,
-                resource_wait,
-                failure_lost: self.failure_lost,
-            },
-            tasks,
-            failed_tasks: self.failed_tasks,
-            total_retries: self.total_retries,
-            partial: self.degraded || self.failed_tasks > 0,
-            events: self.engine.steps(),
+        BackendStats {
+            resource: self.label.clone(),
+            cores: self.total_cores,
+            runtime_pilot,
+            resource_wait,
+            events: self.clusters.iter().map(|c| c.engine.steps()).sum(),
         }
     }
 }
-
-/// Sentinel bit marking deferred kernel-binding failures in `TaskTimeout`.
-const KERNEL_FAIL_FLAG: u64 = 1 << 63;
-
-/// Sentinel batch id for retry resubmissions in `TasksReady`. Retries carry
-/// no pattern overhead, so the trace derivation skips this batch.
-const RETRY_BATCH: u64 = u64::MAX;

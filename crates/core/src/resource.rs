@@ -1,13 +1,18 @@
 //! The Resource Handle (paper §III-B component 3): allocate resources, run
 //! execution patterns on them, deallocate.
+//!
+//! A handle is one [`crate::session::SessionEngine`] (all backend-independent
+//! session semantics) bound to one [`crate::backend::ExecutionBackend`]
+//! (simulated, local, or federated).
 
 use crate::error::EntkError;
 use crate::fault::FaultConfig;
 use crate::overheads::EntkOverheads;
 use crate::pattern::ExecutionPattern;
-use crate::plugin_local::LocalDriver;
-use crate::plugin_sim::SimDriver;
+use crate::plugin_local::LocalBackend;
+use crate::plugin_sim::{ClusterInit, EventBackend};
 use crate::report::ExecutionReport;
+use crate::session::SessionEngine;
 use entk_cluster::PlatformSpec;
 use entk_kernels::KernelRegistry;
 use entk_pilot::{BatchPolicy, RuntimeOverheads, SimRuntimeConfig, UnitScheduler};
@@ -126,16 +131,96 @@ impl Default for SimulatedConfig {
     }
 }
 
-enum Inner {
-    Sim(Box<SimDriver>),
-    Local(Box<LocalDriver>),
+/// One member cluster of a federated session: an independently simulated
+/// machine with its own platform, batch queue, load, and faults.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Resource label (resolves a [`PlatformSpec`] by name unless
+    /// [`ClusterSpec::platform`] overrides it).
+    pub resource: String,
+    /// Cores to acquire on this cluster.
+    pub cores: usize,
+    /// Allocation wall time on this cluster.
+    pub walltime: SimDuration,
+    /// Platform override; `None` resolves `resource` by name.
+    pub platform: Option<PlatformSpec>,
+    /// Pilots the cores are split across on this cluster.
+    pub pilots: usize,
+    /// Synthetic competing workload on this cluster's batch queue.
+    pub background_load: Option<entk_cluster::cluster::BackgroundLoad>,
+    /// Platform-level fault injection on this cluster only.
+    pub fault_profile: Option<entk_cluster::FaultProfile>,
+    /// Probability a unit execution fails on this cluster.
+    pub unit_failure_rate: f64,
 }
 
-/// A handle to allocated (simulated or local) resources.
+impl ClusterSpec {
+    /// A dedicated, fault-free cluster with one pilot.
+    pub fn new(resource: impl Into<String>, cores: usize, walltime: SimDuration) -> Self {
+        ClusterSpec {
+            resource: resource.into(),
+            cores,
+            walltime,
+            platform: None,
+            pilots: 1,
+            background_load: None,
+            fault_profile: None,
+            unit_failure_rate: 0.0,
+        }
+    }
+}
+
+/// Tuning of the federated multi-cluster backend. Session-level knobs
+/// (overheads, fault policy, seed) are shared; machine-level knobs live on
+/// each [`ClusterSpec`].
+#[derive(Debug, Clone)]
+pub struct FederatedConfig {
+    /// Master seed; each cluster's runtime derives an independent stream.
+    pub seed: u64,
+    /// EnTK-side overhead model (session-wide).
+    pub entk_overheads: EntkOverheads,
+    /// Runtime-side overhead model (applied on every cluster).
+    pub runtime_overheads: RuntimeOverheads,
+    /// Retry / kill-replace policy (session-wide).
+    pub fault: FaultConfig,
+    /// Batch-queue policy of every member cluster.
+    pub batch_policy: BatchPolicy,
+    /// Wait for all pilots on all clusters before `allocate()` returns
+    /// (`false` by default: first active pilot anywhere unblocks the
+    /// session — late binding across clusters).
+    pub wait_all: bool,
+    /// Collect the cross-layer trace and metrics.
+    pub telemetry: bool,
+    /// The member clusters (at least one required).
+    pub clusters: Vec<ClusterSpec>,
+}
+
+impl Default for FederatedConfig {
+    fn default() -> Self {
+        FederatedConfig {
+            seed: 2016,
+            entk_overheads: EntkOverheads::calibrated(),
+            runtime_overheads: RuntimeOverheads::radical_pilot(),
+            fault: FaultConfig::default(),
+            batch_policy: BatchPolicy::Fifo,
+            wait_all: false,
+            telemetry: true,
+            clusters: Vec::new(),
+        }
+    }
+}
+
+enum Inner {
+    Event(Box<EventBackend>),
+    Local(Box<LocalBackend>),
+}
+
+/// A handle to allocated (simulated, local, or federated) resources.
 ///
 /// Lifecycle: [`ResourceHandle::allocate`] → one or more
 /// [`ResourceHandle::run`] calls → [`ResourceHandle::deallocate`].
 pub struct ResourceHandle {
+    session: SessionEngine,
     inner: Inner,
 }
 
@@ -172,19 +257,91 @@ impl ResourceHandle {
             batch_policy: sim.batch_policy,
             telemetry: sim.telemetry,
         };
+        let backend = EventBackend::single(
+            config,
+            platform,
+            registry,
+            runtime_config,
+            sim.pilot_strategy,
+            sim.background_load,
+            sim.fault_profile.clone(),
+        );
+        let session = SessionEngine::new(
+            sim.entk_overheads,
+            sim.fault,
+            sim.seed,
+            backend.telemetry().clone(),
+        );
         Ok(ResourceHandle {
-            inner: Inner::Sim(Box::new(SimDriver::new(
-                config,
+            session,
+            inner: Inner::Event(Box::new(backend)),
+        })
+    }
+
+    /// Creates a federated handle with built-in kernels: one session
+    /// late-binding units across several independently simulated clusters.
+    pub fn federated(config: FederatedConfig) -> Result<Self, EntkError> {
+        Self::federated_with_registry(config, KernelRegistry::with_builtins())
+    }
+
+    /// Creates a federated handle with a custom kernel registry.
+    pub fn federated_with_registry(
+        config: FederatedConfig,
+        registry: KernelRegistry,
+    ) -> Result<Self, EntkError> {
+        if config.clusters.is_empty() {
+            return Err(EntkError::Resource(
+                "federated session needs at least one cluster".to_string(),
+            ));
+        }
+        let runtime_seed = config.seed ^ 0x52_55_4E;
+        let mut inits = Vec::with_capacity(config.clusters.len());
+        for (i, spec) in config.clusters.iter().enumerate() {
+            let platform = match spec.platform.clone() {
+                Some(p) => p,
+                None => PlatformSpec::by_name(&spec.resource).ok_or_else(|| {
+                    EntkError::Resource(format!("unknown resource {:?}", spec.resource))
+                })?,
+            };
+            if spec.cores == 0 || spec.cores > platform.total_cores() {
+                return Err(EntkError::Resource(format!(
+                    "requested {} cores; {} has {}",
+                    spec.cores,
+                    platform.name,
+                    platform.total_cores()
+                )));
+            }
+            // Decorrelate the member clusters' stochastic streams while
+            // keeping cluster 0 on the classic single-cluster stream.
+            let cluster_seed = runtime_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            inits.push(ClusterInit {
+                resource: spec.resource.clone(),
+                cores: spec.cores,
+                walltime: spec.walltime,
                 platform,
-                registry,
-                sim.entk_overheads,
-                runtime_config,
-                sim.fault,
-                sim.seed,
-                sim.pilot_strategy,
-                sim.background_load,
-                sim.fault_profile.clone(),
-            ))),
+                runtime_config: SimRuntimeConfig {
+                    overheads: config.runtime_overheads,
+                    unit_failure_rate: spec.unit_failure_rate,
+                    seed: cluster_seed,
+                    batch_policy: config.batch_policy,
+                    telemetry: config.telemetry,
+                },
+                pilot_count: spec.pilots,
+                background_load: spec.background_load,
+                fault_profile: spec.fault_profile.clone(),
+            });
+        }
+        let telemetry = if config.telemetry {
+            SharedTelemetry::new()
+        } else {
+            SharedTelemetry::disabled()
+        };
+        let backend = EventBackend::federated(inits, registry, config.wait_all, telemetry.clone());
+        let session =
+            SessionEngine::new(config.entk_overheads, config.fault, config.seed, telemetry);
+        Ok(ResourceHandle {
+            session,
+            inner: Inner::Event(Box::new(backend)),
         })
     }
 
@@ -200,22 +357,32 @@ impl ResourceHandle {
 
     /// Local handle with custom registry and fault policy.
     pub fn local_with(cores: usize, registry: KernelRegistry, fault: FaultConfig) -> Self {
+        // The local backend runs in real time: the session never draws from
+        // its RNG (no modeled overheads or backoff), so the seed is inert,
+        // and the disabled telemetry pipeline drops every record.
+        let session = SessionEngine::new(
+            EntkOverheads::calibrated(),
+            fault,
+            0,
+            SharedTelemetry::disabled(),
+        );
         ResourceHandle {
-            inner: Inner::Local(Box::new(LocalDriver::new(cores, registry, fault))),
+            session,
+            inner: Inner::Local(Box::new(LocalBackend::new(cores, registry))),
         }
     }
 
     /// Replaces the unit scheduler (simulated backend only; ablation hook).
     pub fn set_unit_scheduler(&mut self, s: Box<dyn UnitScheduler>) {
-        if let Inner::Sim(d) = &mut self.inner {
-            d.set_unit_scheduler(s);
+        if let Inner::Event(b) = &mut self.inner {
+            b.set_unit_scheduler(s);
         }
     }
 
-    /// Replaces the task-binding policy (simulated backend only) — the
+    /// Replaces the task-binding policy (simulated backends only) — the
     /// paper's §V "intelligent" execution plugin.
     pub fn set_binding_policy(&mut self, b: Box<dyn crate::binding::BindingPolicy>) {
-        if let Inner::Sim(d) = &mut self.inner {
+        if let Inner::Event(d) = &mut self.inner {
             d.set_binding_policy(b);
         }
     }
@@ -225,17 +392,18 @@ impl ResourceHandle {
     /// virtual-clock trace.
     pub fn telemetry(&self) -> Option<&SharedTelemetry> {
         match &self.inner {
-            Inner::Sim(d) => Some(d.telemetry()),
+            Inner::Event(_) => Some(self.session.telemetry()),
             Inner::Local(_) => None,
         }
     }
 
-    /// Acquires resources: submits the pilot and waits (in virtual time)
-    /// until its agent is active.
+    /// Acquires resources: submits the pilot(s) and waits (in virtual time)
+    /// until the allocation is usable.
     pub fn allocate(&mut self) -> Result<(), EntkError> {
-        match &mut self.inner {
-            Inner::Sim(d) => d.allocate(),
-            Inner::Local(d) => d.allocate(),
+        let ResourceHandle { session, inner } = self;
+        match inner {
+            Inner::Event(b) => session.allocate(b.as_mut()),
+            Inner::Local(b) => session.allocate(b.as_mut()),
         }
     }
 
@@ -244,18 +412,20 @@ impl ResourceHandle {
         &mut self,
         pattern: &mut dyn ExecutionPattern,
     ) -> Result<ExecutionReport, EntkError> {
-        match &mut self.inner {
-            Inner::Sim(d) => d.run(pattern),
-            Inner::Local(d) => d.run(pattern),
+        let ResourceHandle { session, inner } = self;
+        match inner {
+            Inner::Event(b) => session.run(b.as_mut(), pattern),
+            Inner::Local(b) => session.run(b.as_mut(), pattern),
         }
     }
 
     /// Releases resources; returns the final session report (including
     /// teardown in the core overhead and total TTC).
     pub fn deallocate(&mut self) -> Result<ExecutionReport, EntkError> {
-        match &mut self.inner {
-            Inner::Sim(d) => d.deallocate(),
-            Inner::Local(d) => d.deallocate(),
+        let ResourceHandle { session, inner } = self;
+        match inner {
+            Inner::Event(b) => session.deallocate(b.as_mut()),
+            Inner::Local(b) => session.deallocate(b.as_mut()),
         }
     }
 }
@@ -288,7 +458,35 @@ pub fn run_simulated_traced(
     session.pattern = run_report.pattern;
     let telemetry = handle
         .telemetry()
-        .expect("simulated handle has telemetry")
+        .ok_or_else(|| EntkError::Runtime("simulated handle lost its telemetry".to_string()))?
+        .snapshot();
+    Ok((session, telemetry))
+}
+
+/// Convenience: allocate → run → deallocate on the federated multi-cluster
+/// backend.
+pub fn run_federated(
+    config: FederatedConfig,
+    pattern: &mut dyn ExecutionPattern,
+) -> Result<ExecutionReport, EntkError> {
+    run_federated_traced(config, pattern).map(|(report, _)| report)
+}
+
+/// Like [`run_federated`], but also returns the session telemetry: one
+/// chronologically interleaved trace covering every member cluster, with
+/// per-cluster subject-id offsets keeping pilots/units/jobs/nodes distinct.
+pub fn run_federated_traced(
+    config: FederatedConfig,
+    pattern: &mut dyn ExecutionPattern,
+) -> Result<(ExecutionReport, Telemetry), EntkError> {
+    let mut handle = ResourceHandle::federated(config)?;
+    handle.allocate()?;
+    let run_report = handle.run(pattern)?;
+    let mut session = handle.deallocate()?;
+    session.pattern = run_report.pattern;
+    let telemetry = handle
+        .telemetry()
+        .ok_or_else(|| EntkError::Runtime("federated handle lost its telemetry".to_string()))?
         .snapshot();
     Ok((session, telemetry))
 }

@@ -194,16 +194,28 @@ pub struct SimRuntime {
 impl SimRuntime {
     /// Creates a runtime targeting one simulated machine.
     pub fn new(spec: PlatformSpec, config: SimRuntimeConfig) -> Self {
+        let telemetry = if config.telemetry {
+            SharedTelemetry::new()
+        } else {
+            SharedTelemetry::disabled()
+        };
+        Self::with_telemetry(spec, config, telemetry)
+    }
+
+    /// Like [`SimRuntime::new`], but recording into a caller-provided
+    /// telemetry pipeline. Federated sessions pass each cluster's runtime a
+    /// subject-offset view of one shared pipeline so all clusters append to
+    /// a single chronologically interleaved trace.
+    pub fn with_telemetry(
+        spec: PlatformSpec,
+        config: SimRuntimeConfig,
+        telemetry: SharedTelemetry,
+    ) -> Self {
         let seed = config.seed;
         let scheduler: Box<dyn entk_cluster::BatchScheduler> = match config.batch_policy {
             BatchPolicy::Fifo => Box::new(FifoScheduler),
             BatchPolicy::Backfill => Box::new(EasyBackfillScheduler),
             BatchPolicy::FairShare => Box::new(FairShareScheduler::new(3600.0)),
-        };
-        let telemetry = if config.telemetry {
-            SharedTelemetry::new()
-        } else {
-            SharedTelemetry::disabled()
         };
         let mut cluster = Cluster::with_scheduler(spec, seed ^ 0xC1u64, scheduler);
         cluster.set_telemetry(telemetry.clone());

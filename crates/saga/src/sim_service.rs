@@ -185,7 +185,11 @@ impl SimJobService {
                     let Some(&sid) = self.from_batch.get(&bid) else {
                         continue;
                     };
-                    let job = self.jobs.get(&sid).expect("mapped job exists");
+                    // A stale mapping (job already dropped) degrades to a
+                    // skipped notification rather than a panic.
+                    let Some(job) = self.jobs.get(&sid) else {
+                        continue;
+                    };
                     updates.push(JobUpdate {
                         id: sid,
                         state: job.state,
@@ -201,7 +205,9 @@ impl SimJobService {
             let Some(&sid) = self.from_batch.get(&bid) else {
                 continue;
             };
-            let job = self.jobs.get_mut(&sid).expect("mapped job exists");
+            let Some(job) = self.jobs.get_mut(&sid) else {
+                continue;
+            };
             let (saga_state, detail) = match state {
                 BatchJobState::Queued | BatchJobState::Starting => continue, // still Pending
                 BatchJobState::Running => (JobState::Running, None),

@@ -115,6 +115,34 @@ impl<E> Engine<E> {
         self.queue.cancel(id)
     }
 
+    /// Advances the clock to `time` without processing events (no-op when
+    /// `time` is in the past). Federated drivers use this to bring a
+    /// lagging cluster's clock up to the global virtual time before
+    /// injecting work into it; the caller must guarantee no pending event
+    /// is earlier than `time`, or the next pop trips the monotonicity
+    /// debug assertion.
+    pub fn advance_to(&mut self, time: SimTime) {
+        self.now = self.now.max(time);
+    }
+
+    /// Timestamp of the next live event, without popping it. `None` when
+    /// the queue is (effectively) empty. Federated drivers use this to pick
+    /// the globally earliest event across several engines.
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// A scheduling [`Context`] at the engine's current time, for callers
+    /// that need to drive layer code (which takes `&mut Context`) from
+    /// outside a `run`/`run_bounded` handler — e.g. cancelling a unit in
+    /// one engine while stepping another.
+    pub fn context(&mut self) -> Context<'_, E> {
+        Context {
+            now: self.now,
+            queue: &mut self.queue,
+        }
+    }
+
     /// Runs until the queue drains. `handler` is called for every event and
     /// may schedule more through the [`Context`].
     pub fn run(&mut self, mut handler: impl FnMut(E, &mut Context<'_, E>)) -> RunOutcome {

@@ -27,4 +27,4 @@ pub use metrics::Metrics;
 pub use rng::{Dist, SimRng};
 pub use stats::{Histogram, Summary, TimeSeries};
 pub use time::{SimDuration, SimTime};
-pub use trace::{SharedTelemetry, Subject, Telemetry, TraceRecord, Tracer};
+pub use trace::{SharedTelemetry, Subject, SubjectOffsets, Telemetry, TraceRecord, Tracer};

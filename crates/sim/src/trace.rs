@@ -273,6 +273,43 @@ fn span_kind(layer: &str, name: &str) -> SpanRole {
     }
 }
 
+/// Per-kind id offsets applied to [`Subject`]s as they are recorded.
+///
+/// Federated sessions run several independently simulated clusters, each
+/// numbering its pilots, units, jobs, and nodes from zero. Giving every
+/// cluster's layers a handle carrying distinct offsets keeps subjects
+/// globally unique in the shared trace while leaving the recording layers
+/// untouched. Zero offsets (the default) are the identity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubjectOffsets {
+    /// Added to [`Subject::Pilot`] ids.
+    pub pilot: u64,
+    /// Added to [`Subject::Unit`] ids.
+    pub unit: u64,
+    /// Added to [`Subject::Job`] ids.
+    pub job: u64,
+    /// Added to [`Subject::Node`] ids.
+    pub node: u64,
+}
+
+impl SubjectOffsets {
+    /// True when every offset is zero (the identity mapping).
+    pub fn is_identity(&self) -> bool {
+        *self == SubjectOffsets::default()
+    }
+
+    /// Applies the offsets to a subject.
+    pub fn apply(&self, subject: Subject) -> Subject {
+        match subject {
+            Subject::Pilot(i) => Subject::Pilot(i + self.pilot),
+            Subject::Unit(i) => Subject::Unit(i + self.unit),
+            Subject::Job(i) => Subject::Job(i + self.job),
+            Subject::Node(i) => Subject::Node(i + self.node),
+            other => other,
+        }
+    }
+}
+
 /// A trace plus deterministic metrics: everything the observability layer
 /// collects during one simulated session.
 #[derive(Debug, Clone, Default)]
@@ -292,6 +329,7 @@ pub struct Telemetry {
 pub struct SharedTelemetry {
     inner: Arc<Mutex<Telemetry>>,
     enabled: bool,
+    offsets: SubjectOffsets,
 }
 
 impl Default for SharedTelemetry {
@@ -309,6 +347,7 @@ impl SharedTelemetry {
                 metrics: Metrics::new(),
             })),
             enabled: true,
+            offsets: SubjectOffsets::default(),
         }
     }
 
@@ -320,6 +359,19 @@ impl SharedTelemetry {
                 metrics: Metrics::new(),
             })),
             enabled: false,
+            offsets: SubjectOffsets::default(),
+        }
+    }
+
+    /// A handle onto the same underlying telemetry that remaps subject ids
+    /// by `offsets` as records arrive. Used by federated sessions to give
+    /// each cluster's layers a collision-free id space within one shared
+    /// trace; zero offsets return an equivalent plain clone.
+    pub fn with_subject_offsets(&self, offsets: SubjectOffsets) -> SharedTelemetry {
+        SharedTelemetry {
+            inner: Arc::clone(&self.inner),
+            enabled: self.enabled,
+            offsets,
         }
     }
 
@@ -331,11 +383,12 @@ impl SharedTelemetry {
     /// Appends a trace record.
     pub fn record(&self, time: SimTime, layer: &'static str, name: &'static str, subject: Subject) {
         if self.enabled {
-            self.inner
-                .lock()
-                .expect("telemetry lock")
-                .tracer
-                .record(time, layer, name, subject);
+            self.inner.lock().expect("telemetry lock").tracer.record(
+                time,
+                layer,
+                name,
+                self.offsets.apply(subject),
+            );
         }
     }
 
@@ -497,6 +550,33 @@ mod tests {
                 .len(),
             1
         );
+    }
+
+    #[test]
+    fn subject_offsets_remap_entity_ids() {
+        let shared = SharedTelemetry::new();
+        let shifted = shared.with_subject_offsets(SubjectOffsets {
+            pilot: 100,
+            unit: 1000,
+            job: 0,
+            node: 10,
+        });
+        shared.record(SimTime::ZERO, "pilot", "pilot_submitted", Subject::Pilot(0));
+        shifted.record(SimTime::ZERO, "pilot", "pilot_submitted", Subject::Pilot(0));
+        shifted.record(SimTime::ZERO, "pilot", "unit_submitted", Subject::Unit(2));
+        shifted.record(SimTime::ZERO, "entk", "session_start", Subject::Session);
+        let snap = shared.snapshot();
+        let subjects: Vec<Subject> = snap.tracer.records().iter().map(|r| r.subject).collect();
+        assert_eq!(
+            subjects,
+            vec![
+                Subject::Pilot(0),
+                Subject::Pilot(100),
+                Subject::Unit(1002),
+                Subject::Session,
+            ]
+        );
+        assert!(SubjectOffsets::default().is_identity());
     }
 
     #[test]
