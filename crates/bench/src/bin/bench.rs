@@ -21,6 +21,13 @@
 //!                     the figure sweeps: events/sec and wall-clock for
 //!                     EoP/SAL ensembles of 10^3 → --max-tasks tasks
 //!   --max-tasks N     largest fig10 ensemble            [default: 1000000]
+//!   --members N       federated scale sweep: late-bind each ensemble
+//!                     across N simulated clusters driven on the member
+//!                     worker pool, and report events/sec scaling vs a
+//!                     single member (implies --scale-sweep semantics;
+//!                     N >= 2)
+//!   --sim-threads N   member-pool workers for --members (0 = one per
+//!                     member)                           [default: 0]
 //!   --budget-secs S   fail unless the whole scale sweep finishes within
 //!                     S seconds of wall clock (CI scale-smoke assertion)
 //! ```
@@ -35,6 +42,7 @@
 use entk_bench::{
     deterministic_view, federated_resilience_with, figures, resilience_sweep_with, Row, SweepRunner,
 };
+use entk_core::prelude::DriveMode;
 use serde_json::json;
 use std::time::Instant;
 
@@ -47,6 +55,8 @@ struct Options {
     trace: Option<String>,
     scale_sweep: bool,
     max_tasks: usize,
+    members: usize,
+    sim_threads: usize,
     budget_secs: Option<f64>,
 }
 
@@ -60,6 +70,8 @@ fn parse_args() -> Options {
         trace: None,
         scale_sweep: false,
         max_tasks: 1_000_000,
+        members: 1,
+        sim_threads: 0,
         budget_secs: None,
     };
     let mut args = std::env::args().skip(1);
@@ -88,6 +100,16 @@ fn parse_args() -> Options {
             "--max-tasks" => {
                 opts.max_tasks = value("--max-tasks").parse().expect("--max-tasks: integer")
             }
+            "--members" => {
+                opts.members = value("--members").parse().expect("--members: integer");
+                opts.scale_sweep = true;
+                assert!(opts.members >= 2, "--members needs at least 2 clusters");
+            }
+            "--sim-threads" => {
+                opts.sim_threads = value("--sim-threads")
+                    .parse()
+                    .expect("--sim-threads: integer")
+            }
             "--budget-secs" => {
                 opts.budget_secs = Some(value("--budget-secs").parse().expect("--budget-secs: f64"))
             }
@@ -97,14 +119,30 @@ fn parse_args() -> Options {
     opts
 }
 
-/// Warns when the parallel sweeps have a single worker (serial in
+/// Worker threads the parallel figure sweeps will actually use.
+/// `ENTK_THREADS` wins when set — even when a rayon pool was already
+/// initialized at a different width before the flag landed in the
+/// environment — then the pool's own count. This is *figure-sweep*
+/// parallelism (points fanned across cores); the federated member pool
+/// (`--sim-threads`) is a separate axis recorded separately in BENCH.json.
+fn sweep_threads() -> usize {
+    std::env::var("ENTK_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(rayon::current_num_threads)
+}
+
+/// Warns when the parallel figure sweeps have a single worker (serial in
 /// disguise); returns whether the warning fired so BENCH.json records it.
+/// Fires only for the sweep axis — a single-threaded sweep is fine when
+/// the measurement of interest is the federated member pool.
 fn warn_if_single_thread(threads: usize) -> bool {
     if threads == 1 {
         eprintln!(
-            "warning: rayon pool has 1 worker thread; parallel timings will \
-             match serial ones (set --threads or ENTK_THREADS on a multi-core \
-             host)"
+            "warning: the figure sweep has 1 worker thread; parallel sweep \
+             timings will match serial ones (set --threads or ENTK_THREADS \
+             on a multi-core host)"
         );
     }
     threads == 1
@@ -115,7 +153,7 @@ fn warn_if_single_thread(threads: usize) -> bool {
 /// `--max-tasks` tasks, with serial/parallel identity on the deterministic
 /// projection of each row (wall-clock values legitimately vary run to run).
 fn run_scale_sweep(opts: &Options) {
-    let threads = rayon::current_num_threads();
+    let threads = sweep_threads();
     let threads_warning = warn_if_single_thread(threads);
 
     let t0 = Instant::now();
@@ -182,6 +220,8 @@ fn run_scale_sweep(opts: &Options) {
         "version": 1,
         "threads": threads,
         "threads_warning": threads_warning,
+        "members": 1,
+        "sim_threads": 0,
         "seed": opts.seed,
         "max_tasks": opts.max_tasks,
         "figures": [entry],
@@ -200,8 +240,164 @@ fn run_scale_sweep(opts: &Options) {
     }
 }
 
+/// Wall-clock and throughput summary of one federated sweep leg.
+fn fed_leg(opts: &Options, members: usize, drive: DriveMode, label: &str) -> (Vec<Row>, f64) {
+    // Points run serially so measured wall-clock isolates the member pool;
+    // the rayon sweep axis stays out of the federated timing entirely.
+    let t0 = Instant::now();
+    let rows = figures::fig10_federated_with(
+        &SweepRunner::serial(),
+        opts.seed,
+        opts.max_tasks,
+        members,
+        drive,
+        opts.sim_threads,
+    );
+    let secs = t0.elapsed().as_secs_f64();
+    for row in &rows {
+        println!(
+            "{label:>16} {:>4} n={:<8} wall {:>8.3}s  {:>12.0} events  {:>12.0} events/sec",
+            row.series,
+            row.x,
+            row.value("wall_secs").unwrap_or(0.0),
+            row.value("events").unwrap_or(0.0),
+            row.value("events_per_sec").unwrap_or(0.0),
+        );
+    }
+    (rows, secs)
+}
+
+/// The `--members N` mode: the federated fig10 throughput sweep. Each
+/// ensemble is late-bound across N simulated clusters, member windows are
+/// driven both serially and on the worker pool (the two must agree on the
+/// deterministic projection — byte-identical modulo host timing), and
+/// events/sec scaling is reported against a single-member baseline
+/// (strong scaling: same task counts, N× the clusters).
+fn run_fed_scale_sweep(opts: &Options) {
+    let threads = sweep_threads();
+    let threads_warning = warn_if_single_thread(threads);
+    let members = opts.members;
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let sim_threads = if opts.sim_threads == 0 {
+        host_cores
+    } else {
+        opts.sim_threads
+    }
+    .clamp(1, members);
+    // The member pool only overlaps windows when both the pool and the
+    // host offer more than one lane; otherwise parallel-drive wall-clock
+    // (and the 1 -> N events/sec scaling) degenerates to serial plus
+    // pool overhead, which BENCH.json must record rather than hide.
+    let sim_threads_warning = sim_threads.min(host_cores) == 1;
+    if sim_threads_warning {
+        eprintln!(
+            "warning: the federated member pool is effectively serial \
+             ({sim_threads} worker(s) on {host_cores} host core(s)); \
+             events/sec scaling vs 1 member reflects merge overhead, not \
+             parallel speedup"
+        );
+    }
+
+    let (single_rows, single_secs) = fed_leg(opts, 1, DriveMode::Parallel, "1-member");
+    let (serial_rows, serial_secs) = fed_leg(opts, members, DriveMode::Serial, "serial-drive");
+    let (parallel_rows, parallel_secs) =
+        fed_leg(opts, members, DriveMode::Parallel, "parallel-drive");
+    let total = single_secs + serial_secs + parallel_secs;
+
+    let identical = deterministic_view(&parallel_rows) == deterministic_view(&serial_rows);
+    let drive_speedup = serial_secs / parallel_secs.max(1e-12);
+    println!(
+        "fig10_federated: serial-drive {serial_secs:.3}s  parallel-drive \
+         {parallel_secs:.3}s  speedup {drive_speedup:.2}x  identical={identical}"
+    );
+    assert!(
+        identical,
+        "fig10_federated: parallel-drive rows diverged from serial-drive \
+         rows on the deterministic projection"
+    );
+
+    // Strong-scaling ratio per series at the largest common point:
+    // events/sec with N members over events/sec with 1 member.
+    let eps_at = |rows: &[Row], series: &str| {
+        rows.iter()
+            .filter(|r| r.series == series)
+            .max_by(|a, b| a.x.total_cmp(&b.x))
+            .and_then(|r| r.value("events_per_sec"))
+            .unwrap_or(0.0)
+    };
+    let mut scaling = serde_json::Map::new();
+    for series in ["eop", "sal"] {
+        let base = eps_at(&single_rows, series);
+        let fed = eps_at(&parallel_rows, series);
+        let ratio = fed / base.max(1e-9);
+        println!(
+            "{series}: events/sec x{ratio:.2} from 1 -> {members} members \
+             ({base:.0} -> {fed:.0})"
+        );
+        scaling.insert(series.to_string(), json!(ratio));
+    }
+
+    let points: Vec<_> = single_rows
+        .iter()
+        .chain(&serial_rows)
+        .chain(&parallel_rows)
+        .map(|row| {
+            json!({
+                "series": row.series,
+                "tasks": row.x,
+                "members": row.value("members"),
+                "ttc": row.value("ttc"),
+                "events": row.value("events"),
+                "wall_secs": row.value("wall_secs"),
+                "events_per_sec": row.value("events_per_sec"),
+            })
+        })
+        .collect();
+    let entry = json!({
+        "name": "fig10_federated",
+        "rows": points.len(),
+        "serial_secs": serial_secs,
+        "parallel_secs": parallel_secs,
+        "single_member_secs": single_secs,
+        "speedup": drive_speedup,
+        "identical": identical,
+        "scaling": scaling,
+        "points": points,
+    });
+    let bench = json!({
+        "version": 1,
+        "threads": threads,
+        "threads_warning": threads_warning,
+        "members": members,
+        "sim_threads": sim_threads,
+        "sim_threads_warning": sim_threads_warning,
+        "seed": opts.seed,
+        "max_tasks": opts.max_tasks,
+        "figures": [entry],
+        "total_secs": total,
+    });
+    let rendered = serde_json::to_string_pretty(&bench).expect("serialize BENCH.json");
+    std::fs::write(&opts.out, rendered + "\n").expect("write BENCH.json");
+    println!("wrote {}", opts.out);
+
+    if let Some(budget) = opts.budget_secs {
+        assert!(
+            total <= budget,
+            "federated scale sweep took {total:.3}s, over the {budget:.3}s \
+             wall budget"
+        );
+        println!("within wall budget: {total:.3}s <= {budget:.3}s");
+    }
+}
+
 fn main() {
     let opts = parse_args();
+    if opts.members >= 2 {
+        run_fed_scale_sweep(&opts);
+        return;
+    }
     if opts.scale_sweep {
         run_scale_sweep(&opts);
         return;
@@ -263,7 +459,7 @@ fn main() {
         ),
     ];
 
-    let threads = rayon::current_num_threads();
+    let threads = sweep_threads();
     let threads_warning = !opts.serial_only && warn_if_single_thread(threads);
     let mut entries = Vec::new();
     let mut total_serial = 0.0f64;

@@ -499,6 +499,116 @@ pub fn fig10_with(runner: &SweepRunner, seed: u64, max_tasks: usize) -> Vec<Row>
     runner.run_weighted(points, |(kind, n)| vec![scale_experiment(kind, n, seed)])
 }
 
+// ------------------------------------------- Figure 10, federated variant
+
+/// One federated fig10 throughput point: an `n`-task ensemble late-bound
+/// across `members` independently simulated 1024-core Stampede clusters —
+/// strong scaling, the task count stays fixed as members grow. Under the
+/// trace limit the interleaved multi-member trace is cross-checked against
+/// the overhead accounting and fingerprinted, exactly like the
+/// single-cluster points; above it telemetry is off and only throughput is
+/// measured.
+fn fed_scale_experiment(
+    kind: &str,
+    n: usize,
+    seed: u64,
+    members: usize,
+    drive: DriveMode,
+    sim_threads: usize,
+) -> Row {
+    let sleep = |_: usize| KernelCall::new("misc.sleep", json!({ "secs": 10.0 }));
+    let mut pattern: Box<dyn ExecutionPattern + Send> = match kind {
+        "eop" => Box::new(EnsembleOfPipelines::new(n, 1, move |p, _| sleep(p))),
+        "sal" => Box::new(SimulationAnalysisLoop::new(
+            1,
+            n,
+            move |_, i| sleep(i),
+            |_, outs| vec![KernelCall::new("ana.coco", json!({ "n_sims": outs.len() }))],
+        )),
+        other => panic!("unknown fig10 series {other:?}"),
+    };
+    let traced = n <= FIG10_TRACE_LIMIT;
+    let config = FederatedConfig {
+        seed: seed ^ n as u64,
+        telemetry: traced,
+        drive,
+        sim_threads,
+        clusters: (0..members)
+            .map(|_| ClusterSpec::new("xsede.stampede", 1024, walltime()))
+            .collect(),
+        ..FederatedConfig::default()
+    };
+    let t0 = Instant::now();
+    let (report, fp) = if traced {
+        let (report, telemetry) = run_federated_traced(config, pattern.as_mut())
+            .unwrap_or_else(|e| panic!("fig10_federated: {e}"));
+        let cc = cross_check(&report, &telemetry.tracer);
+        assert!(
+            cc.within(1e-6),
+            "fig10_federated: interleaved trace diverges from accounting \
+             (max err {:.3e}s)",
+            cc.max_abs_error_secs,
+        );
+        (report, Some(trace_fingerprint(&telemetry.tracer)))
+    } else {
+        let report = run_federated(config, pattern.as_mut())
+            .unwrap_or_else(|e| panic!("fig10_federated: {e}"));
+        (report, None)
+    };
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(!report.partial, "fig10_federated runs must complete");
+    let mut row = Row::new(kind, n as f64)
+        .with("members", members as f64)
+        .with("ttc", report.ttc.as_secs_f64())
+        .with("tasks", report.task_count() as f64)
+        .with("events", report.events as f64)
+        .with("wall_secs", wall)
+        .with("events_per_sec", report.events as f64 / wall.max(1e-9));
+    if let Some(fp) = fp {
+        row = row.with_trace(fp);
+    }
+    row
+}
+
+/// Fig. 10, federated: throughput of an `n`-task ensemble late-bound
+/// across `members` simulated clusters, driven serially or on the member
+/// worker pool. Points run through the (usually serial) `runner` so that
+/// measured wall-clock reflects the member pool alone — member-pool
+/// parallelism (`sim_threads`) and figure-sweep parallelism
+/// (`ENTK_THREADS`) are deliberately separate axes.
+pub fn fig10_federated_with(
+    runner: &SweepRunner,
+    seed: u64,
+    max_tasks: usize,
+    members: usize,
+    drive: DriveMode,
+    sim_threads: usize,
+) -> Vec<Row> {
+    let points: Vec<(f64, (&str, usize))> = [1_000usize, 10_000, 100_000, 1_000_000]
+        .iter()
+        .filter(|&&n| n <= max_tasks)
+        .flat_map(|&n| {
+            ["eop", "sal"]
+                .into_iter()
+                .map(move |kind| (n as f64, (kind, n)))
+        })
+        .collect();
+    assert!(
+        !points.is_empty(),
+        "fig10_federated: max_tasks below smallest point"
+    );
+    runner.run_weighted(points, |(kind, n)| {
+        vec![fed_scale_experiment(
+            kind,
+            n,
+            seed,
+            members,
+            drive,
+            sim_threads,
+        )]
+    })
+}
+
 // ------------------------------------------------------------ Trace export
 
 /// Chrome trace-event JSON for one representative session — the Fig. 3

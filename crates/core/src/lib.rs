@@ -61,7 +61,7 @@ pub use pattern::{
 pub use report::{ExecutionReport, OverheadBreakdown, TaskRecord};
 pub use resource::{
     run_federated, run_federated_traced, run_simulated, run_simulated_traced, ClusterSpec,
-    FederatedConfig, PilotStrategy, ResourceConfig, ResourceHandle, SimulatedConfig,
+    DriveMode, FederatedConfig, PilotStrategy, ResourceConfig, ResourceHandle, SimulatedConfig,
 };
 pub use session::SessionEngine;
 pub use task::{Task, TaskResult};
@@ -79,7 +79,7 @@ pub mod prelude {
     pub use crate::report::ExecutionReport;
     pub use crate::resource::{
         run_federated, run_federated_traced, run_simulated, run_simulated_traced, ClusterSpec,
-        FederatedConfig, PilotStrategy, ResourceConfig, ResourceHandle, SimulatedConfig,
+        DriveMode, FederatedConfig, PilotStrategy, ResourceConfig, ResourceHandle, SimulatedConfig,
     };
     pub use crate::task::{Task, TaskResult};
     pub use crate::trace_check::{breakdown_from_trace, cross_check, CrossCheck};

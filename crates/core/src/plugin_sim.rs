@@ -5,8 +5,32 @@
 //! one cluster this is the classic simulated backend driven by every scaling
 //! experiment; with several it is the *federated* backend: units are
 //! late-bound at submission time to whichever cluster currently has the most
-//! free capacity, and the clusters' virtual clocks are advanced together by
-//! always processing the globally earliest event.
+//! free capacity.
+//!
+//! ## Conservative-lookahead merge (multi-member federated drive)
+//!
+//! A federated backend with two or more members keeps session-level events
+//! (boot, batch releases, timeouts, shutdown) on a dedicated clock *spine*
+//! engine, while each member cluster's engine holds only that machine's
+//! runtime and batch-system events. Members advance inside bounded
+//! *windows*: from the earliest member event time `t_m` up to (strictly
+//! before) the horizon `min(t_spine, t_m + lookahead)` — classic
+//! conservative PDES. Every event a member processes becomes a *chunk*
+//! `(time, member, events, telemetry ops)`; completed chunks are merged in
+//! deterministic `(time, member)` order and doled out one per `poll`, so
+//! the session observes the exact granularity and order a serial interleave
+//! of the same windows would produce. Because chunks are computed
+//! member-locally, the windows can run concurrently on a worker pool
+//! ([`DriveMode::Parallel`]) or inline ([`DriveMode::Serial`]) with
+//! byte-identical traces — that identity is what the parallel-vs-serial
+//! proptests and the CI smoke job pin.
+//!
+//! Outside the session's run phase (boot, teardown) the lookahead collapses
+//! to 1 µs, which makes each window cover exactly one timestamp: the merge
+//! then reproduces the serial earliest-event interleave exactly. A
+//! single-cluster (or single-member federated) backend bypasses all of this
+//! and keeps the classic serial drive verbatim, preserving the golden trace
+//! fingerprints.
 //!
 //! All session semantics (retry, records, overheads, degradation) live in
 //! [`crate::session::SessionEngine`]; this file only turns engine events and
@@ -15,7 +39,7 @@
 
 use crate::backend::{BackendEvent, BackendStats, ExecutionBackend, Poll, UnitOutcome, UnitSpec};
 use crate::binding::{BindingPolicy, StaticBinding};
-use crate::resource::{PilotStrategy, ResourceConfig};
+use crate::resource::{DriveMode, PilotStrategy, ResourceConfig};
 use entk_cluster::{ClusterEvent, FaultProfile, PlatformSpec};
 use entk_kernels::{KernelCall, KernelRegistry};
 use entk_pilot::{
@@ -24,8 +48,10 @@ use entk_pilot::{
 };
 use entk_sim::{
     Context, Engine, SharedTelemetry, SimDuration, SimRng, SimTime, Subject, SubjectOffsets,
+    TelemetryBuffer, WorkerPool,
 };
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
+use std::ops::Range;
 
 /// Top-level event type of the simulated toolkit stack. Session-level
 /// events (everything but `Rt`/`Cl`) are always scheduled on cluster 0's
@@ -76,6 +102,12 @@ struct ClusterStack {
     fault_profile: Option<FaultProfile>,
     pilots: Vec<PilotId>,
     dead_pilots: HashSet<PilotId>,
+    /// Buffered telemetry op log (multi-member federated drives only):
+    /// this member's layers record here instead of the shared pipeline, and
+    /// the merge spine splices op ranges chunk by chunk.
+    buffer: Option<TelemetryBuffer>,
+    /// Ops already claimed by a chunk (absolute index into `buffer`).
+    ops_taken: usize,
 }
 
 impl ClusterStack {
@@ -136,6 +168,212 @@ impl ClusterStack {
                 .unwrap_or(true)
         })
     }
+
+    /// Claims the telemetry ops recorded since the last claim, as an
+    /// absolute index range into this member's buffer. Empty for unbuffered
+    /// (single-cluster / single-member) stacks.
+    fn take_ops(&mut self) -> Range<usize> {
+        let end = self.buffer.as_ref().map(TelemetryBuffer::len).unwrap_or(0);
+        let start = std::mem::replace(&mut self.ops_taken, end);
+        start..end
+    }
+}
+
+/// One unit of doled-out federated progress: a single member engine event
+/// (or an eventless session-side injection), with everything the spine
+/// needs to surface it in deterministic order — the backend events it
+/// produced, the telemetry ops it recorded, and the pilots it killed
+/// (applied at dole time so `capacity_lost()` keeps serial granularity).
+struct Chunk {
+    time: SimTime,
+    member: usize,
+    ops: Range<usize>,
+    events: Vec<BackendEvent>,
+    dead: Vec<PilotId>,
+    /// Event chunks are returned by `poll` one at a time; injection chunks
+    /// (session-side calls into member runtimes) splice silently.
+    eventful: bool,
+}
+
+/// Resolved drive parameters of a federated backend (built by
+/// `ResourceHandle::federated` from [`crate::resource::FederatedConfig`]).
+pub(crate) struct FedDrive {
+    pub(crate) mode: DriveMode,
+    pub(crate) lookahead: SimDuration,
+    pub(crate) workers: usize,
+}
+
+/// Conservative-lookahead merge state of a multi-member federated backend;
+/// `None` on single-cluster and one-member federated backends, which keep
+/// the classic serial drive verbatim.
+struct FedState {
+    /// The session's clock spine: holds only session-level events (boot,
+    /// batch releases, timeouts, shutdown, clock marks).
+    spine: Engine<Ev>,
+    /// Completed member chunks awaiting dole, sorted by `(time, member)`.
+    pending: VecDeque<Chunk>,
+    /// Worker pool driving member windows; `None` in serial drive mode
+    /// (windows then run inline, producing byte-identical chunks).
+    pool: Option<WorkerPool>,
+    /// Window width beyond the earliest member event during the run phase.
+    lookahead: SimDuration,
+    /// Latched while the session is in its run phase (first batch scheduled
+    /// → shutdown): windows widen to the lookahead. Outside it they stay at
+    /// 1 µs — one timestamp per window, exactly the serial interleave.
+    windows_on: bool,
+}
+
+impl FedState {
+    /// Captures telemetry ops a session-side call just recorded into a
+    /// member's buffer as an eventless chunk, merged into the dole stream
+    /// at the member's current clock (where the ops were timestamped) so
+    /// spliced gauge series stay time-ordered.
+    fn push_injection(&mut self, stack: &mut ClusterStack, member: usize) {
+        let ops = stack.take_ops();
+        if ops.is_empty() {
+            return;
+        }
+        let time = stack.engine.now();
+        // After chunks with the same key: same-member ops splice in record
+        // order.
+        let pos = self
+            .pending
+            .partition_point(|c| (c.time, c.member) <= (time, member));
+        self.pending.insert(
+            pos,
+            Chunk {
+                time,
+                member,
+                ops,
+                events: Vec::new(),
+                dead: Vec::new(),
+                eventful: false,
+            },
+        );
+    }
+
+    /// Merges freshly windowed chunks (per-member, time-sorted) into the
+    /// pending dole stream, keeping `(time, member)` order with existing
+    /// chunks winning ties (they were produced by earlier windows).
+    fn merge_pending(&mut self, outputs: Vec<Vec<Chunk>>) {
+        let mut fresh: Vec<Chunk> = outputs.into_iter().flatten().collect();
+        if fresh.is_empty() {
+            return;
+        }
+        // Stable: per-member chunk order (equal times included) survives.
+        fresh.sort_by_key(|c| (c.time, c.member));
+        let old = std::mem::take(&mut self.pending);
+        let mut merged = VecDeque::with_capacity(old.len() + fresh.len());
+        let mut fresh = fresh.into_iter().peekable();
+        for chunk in old {
+            while fresh
+                .peek()
+                .is_some_and(|f| (f.time, f.member) < (chunk.time, chunk.member))
+            {
+                merged.push_back(fresh.next().expect("peeked"));
+            }
+            merged.push_back(chunk);
+        }
+        merged.extend(fresh);
+        self.pending = merged;
+    }
+}
+
+/// Runs one member's conservative-lookahead window: processes every event
+/// strictly before `horizon`, one chunk per event. Runs member-locally (no
+/// shared state beyond the member's own stack), which is what makes the
+/// parallel and serial drive modes produce identical chunks.
+fn run_member_window(
+    member: usize,
+    n_clusters: u64,
+    stack: &mut ClusterStack,
+    horizon: SimTime,
+) -> Vec<Chunk> {
+    let mut chunks = Vec::new();
+    let mut engine = std::mem::take(&mut stack.engine);
+    while let Some(t) = engine.next_time() {
+        if t >= horizon {
+            break;
+        }
+        let mut events = Vec::new();
+        let mut dead = Vec::new();
+        {
+            let runtime = &mut stack.runtime;
+            engine.advance_until(1, horizon, &mut |ev, ctx| {
+                let mut notes = Vec::new();
+                match ev {
+                    Ev::Rt(re) => runtime.handle(re, ctx, &mut notes),
+                    Ev::Cl(ce) => runtime.handle_cluster(ce, ctx, &mut notes),
+                    _ => unreachable!("session events are scheduled on the spine"),
+                }
+                translate_notes(member, n_clusters, notes, ctx.now(), &mut events, &mut dead);
+            });
+        }
+        chunks.push(Chunk {
+            time: t,
+            member,
+            ops: stack.take_ops(),
+            events,
+            dead,
+            eventful: true,
+        });
+    }
+    stack.engine = engine;
+    chunks
+}
+
+/// Turns one member's runtime notifications into backend events. Failure
+/// events carry the *processing* time (`now`), matching how the serial
+/// driver applies its fault policy at the step time. Dead pilots are
+/// collected, not applied — windowed drives defer them to dole time so
+/// `capacity_lost()` is observed with serial granularity.
+fn translate_notes(
+    member: usize,
+    n_clusters: u64,
+    notes: Vec<RuntimeNotification>,
+    now: SimTime,
+    out: &mut Vec<BackendEvent>,
+    dead: &mut Vec<PilotId>,
+) {
+    for note in notes {
+        match note {
+            RuntimeNotification::Pilot { id, state, .. } => {
+                if state == PilotState::Failed || state == PilotState::Canceled {
+                    dead.push(id);
+                }
+            }
+            RuntimeNotification::PilotShrunk {
+                lost_cores,
+                remaining_cores,
+                ..
+            } => {
+                out.push(BackendEvent::CapacityShrunk {
+                    lost_cores,
+                    remaining_cores,
+                });
+            }
+            RuntimeNotification::Unit {
+                id,
+                state,
+                time,
+                detail,
+            } => {
+                let key = id.0 * n_clusters + member as u64;
+                match state {
+                    UnitState::Executing => out.push(BackendEvent::UnitStarted { key, time }),
+                    UnitState::Done => out.push(BackendEvent::UnitDone { key, time }),
+                    UnitState::Failed | UnitState::Canceled => {
+                        out.push(BackendEvent::UnitFailed {
+                            key,
+                            time: now,
+                            reason: detail.unwrap_or_else(|| format!("{state:?}")),
+                        });
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
 }
 
 /// A unit staged between `prepare_batch` and `commit_batch`.
@@ -161,6 +399,9 @@ pub(crate) struct EventBackend {
     /// across all clusters.
     global_now: SimTime,
     prepared: Vec<PreparedUnit>,
+    /// Conservative-lookahead merge state; `Some` iff there are ≥ 2 member
+    /// clusters.
+    fed: Option<FedState>,
 }
 
 impl EventBackend {
@@ -190,6 +431,8 @@ impl EventBackend {
                 fault_profile,
                 pilots: Vec::new(),
                 dead_pilots: HashSet::new(),
+                buffer: None,
+                ops_taken: 0,
             }],
             registry,
             binding: Box::new(StaticBinding),
@@ -199,6 +442,7 @@ impl EventBackend {
             telemetry,
             global_now: SimTime::ZERO,
             prepared: Vec::new(),
+            fed: None,
         }
     }
 
@@ -211,6 +455,7 @@ impl EventBackend {
         registry: KernelRegistry,
         wait_all: bool,
         telemetry: SharedTelemetry,
+        drive: FedDrive,
     ) -> Self {
         let label = format!(
             "federated:{}",
@@ -221,7 +466,10 @@ impl EventBackend {
                 .join("+")
         );
         let total_cores = inits.iter().map(|i| i.cores).sum();
-        let clusters = inits
+        // A lone member keeps the classic serial drive (and direct
+        // telemetry handles); the windowed merge only exists at N ≥ 2.
+        let multi = inits.len() >= 2;
+        let clusters: Vec<ClusterStack> = inits
             .into_iter()
             .enumerate()
             .map(|(i, init)| {
@@ -231,11 +479,14 @@ impl EventBackend {
                     job: i as u64 * 1_000_000_000,
                     node: i as u64 * 1_000_000,
                 };
-                let runtime = SimRuntime::with_telemetry(
-                    init.platform,
-                    init.runtime_config,
-                    telemetry.with_subject_offsets(offsets),
-                );
+                let (handle, buffer) = if multi {
+                    let (h, b) = telemetry.buffered(offsets);
+                    (h, Some(b))
+                } else {
+                    (telemetry.with_subject_offsets(offsets), None)
+                };
+                let runtime =
+                    SimRuntime::with_telemetry(init.platform, init.runtime_config, handle);
                 ClusterStack {
                     engine: Engine::new(),
                     runtime,
@@ -247,9 +498,19 @@ impl EventBackend {
                     fault_profile: init.fault_profile,
                     pilots: Vec::new(),
                     dead_pilots: HashSet::new(),
+                    buffer,
+                    ops_taken: 0,
                 }
             })
             .collect();
+        let fed = multi.then(|| FedState {
+            spine: Engine::new(),
+            pending: VecDeque::new(),
+            pool: (drive.mode == DriveMode::Parallel)
+                .then(|| WorkerPool::new(drive.workers.clamp(1, clusters.len()))),
+            lookahead: drive.lookahead,
+            windows_on: false,
+        });
         EventBackend {
             clusters,
             registry,
@@ -260,6 +521,7 @@ impl EventBackend {
             telemetry,
             global_now: SimTime::ZERO,
             prepared: Vec::new(),
+            fed,
         }
     }
 
@@ -277,10 +539,6 @@ impl EventBackend {
     /// The shared cross-layer trace/metrics pipeline.
     pub(crate) fn telemetry(&self) -> &SharedTelemetry {
         &self.telemetry
-    }
-
-    fn key_of(&self, unit: UnitId, cluster: usize) -> u64 {
-        unit.0 * self.clusters.len() as u64 + cluster as u64
     }
 
     fn split_key(&self, key: u64) -> (usize, UnitId) {
@@ -311,9 +569,9 @@ impl EventBackend {
         best.unwrap_or(0)
     }
 
-    /// Turns one cluster's runtime notifications into backend events.
-    /// Failure events carry the *processing* time (`now`), matching how the
-    /// single-cluster driver applied its fault policy at the step time.
+    /// Turns one cluster's runtime notifications into backend events,
+    /// applying dead-pilot effects immediately (serial / spine contexts,
+    /// where the notifications surface in the same poll).
     fn translate(
         &mut self,
         cluster: usize,
@@ -321,44 +579,11 @@ impl EventBackend {
         now: SimTime,
         out: &mut Vec<BackendEvent>,
     ) {
-        for note in notes {
-            match note {
-                RuntimeNotification::Pilot { id, state, .. } => {
-                    if state == PilotState::Failed || state == PilotState::Canceled {
-                        self.clusters[cluster].dead_pilots.insert(id);
-                    }
-                }
-                RuntimeNotification::PilotShrunk {
-                    lost_cores,
-                    remaining_cores,
-                    ..
-                } => {
-                    out.push(BackendEvent::CapacityShrunk {
-                        lost_cores,
-                        remaining_cores,
-                    });
-                }
-                RuntimeNotification::Unit {
-                    id,
-                    state,
-                    time,
-                    detail,
-                } => {
-                    let key = self.key_of(id, cluster);
-                    match state {
-                        UnitState::Executing => out.push(BackendEvent::UnitStarted { key, time }),
-                        UnitState::Done => out.push(BackendEvent::UnitDone { key, time }),
-                        UnitState::Failed | UnitState::Canceled => {
-                            out.push(BackendEvent::UnitFailed {
-                                key,
-                                time: now,
-                                reason: detail.unwrap_or_else(|| format!("{state:?}")),
-                            });
-                        }
-                        _ => {}
-                    }
-                }
-            }
+        let n = self.clusters.len() as u64;
+        let mut dead = Vec::new();
+        translate_notes(cluster, n, notes, now, out, &mut dead);
+        for p in dead {
+            self.clusters[cluster].dead_pilots.insert(p);
         }
     }
 
@@ -430,6 +655,170 @@ impl EventBackend {
             Ev::Nop => out.push(BackendEvent::ClockMark),
         }
     }
+
+    /// The engine session-level events are scheduled on: the spine for
+    /// multi-member federated backends, cluster 0's engine otherwise.
+    fn session_engine(&mut self) -> &mut Engine<Ev> {
+        match &mut self.fed {
+            Some(f) => &mut f.spine,
+            None => &mut self.clusters[0].engine,
+        }
+    }
+
+    /// The windowed poll: dole the earliest pending chunk, process the
+    /// spine when it is due, or run another member window — whichever is
+    /// globally earliest, spine winning ties (it carries the session's
+    /// reactions).
+    fn poll_federated(&mut self) -> Poll {
+        let mut fed = self.fed.take().expect("poll_federated needs fed state");
+        let out = self.poll_fed_inner(&mut fed);
+        self.fed = Some(fed);
+        out
+    }
+
+    fn poll_fed_inner(&mut self, fed: &mut FedState) -> Poll {
+        loop {
+            let t_s = fed.spine.next_time();
+            let t_c = fed.pending.front().map(|c| c.time);
+            let t_m = self
+                .clusters
+                .iter_mut()
+                .filter_map(|c| c.engine.next_time())
+                .min();
+            let spine_due = t_s
+                .is_some_and(|ts| t_c.is_none_or(|tc| ts <= tc) && t_m.is_none_or(|tm| ts <= tm));
+            if spine_due {
+                return self.step_spine(fed);
+            }
+            // Raw member events due before (or tied with) every pending
+            // chunk, and strictly before the spine: widen the chunk stream
+            // with another window. `tm < ts` guarantees the window spans at
+            // least one event, so this always makes progress.
+            let window_due =
+                t_m.is_some_and(|tm| t_s.is_none_or(|ts| tm < ts) && t_c.is_none_or(|tc| tm <= tc));
+            if window_due {
+                self.run_window(fed, t_m.expect("window_due"), t_s);
+                continue;
+            }
+            let Some(chunk) = fed.pending.pop_front() else {
+                return Poll::Drained;
+            };
+            self.global_now = self.global_now.max(chunk.time);
+            let Chunk {
+                member,
+                ops,
+                events,
+                dead,
+                eventful,
+                ..
+            } = chunk;
+            if let Some(buf) = &self.clusters[member].buffer {
+                buf.splice_into(&self.telemetry, ops.start, ops.end);
+            }
+            for p in dead {
+                self.clusters[member].dead_pilots.insert(p);
+            }
+            if eventful {
+                return Poll::Events(events);
+            }
+        }
+    }
+
+    /// Processes exactly one spine event, mirroring the serial driver's
+    /// one-event-per-poll granularity.
+    fn step_spine(&mut self, fed: &mut FedState) -> Poll {
+        let mut spine = std::mem::take(&mut fed.spine);
+        let mut events = Vec::new();
+        spine.run_bounded(1, SimTime::MAX, &mut |ev, ctx| {
+            let now = ctx.now();
+            match ev {
+                Ev::Boot => self.boot_all(fed, now, &mut events),
+                Ev::Shutdown => self.shutdown_all(fed, now, &mut events),
+                Ev::TasksReady(batch, uids) => {
+                    events.push(BackendEvent::BatchReady { batch, uids });
+                }
+                Ev::TaskTimeout(uid) => events.push(BackendEvent::TaskTimeout { uid }),
+                Ev::Deliver(uid) => events.push(BackendEvent::DeferredFailure { uid }),
+                Ev::Nop => events.push(BackendEvent::ClockMark),
+                Ev::Rt(_) | Ev::Cl(_) => {
+                    unreachable!("runtime events live on member engines")
+                }
+            }
+        });
+        self.global_now = self.global_now.max(spine.now());
+        fed.spine = spine;
+        Poll::Events(events)
+    }
+
+    /// Boots every member through its own context at the spine's boot time.
+    fn boot_all(&mut self, fed: &mut FedState, time: SimTime, out: &mut Vec<BackendEvent>) {
+        self.telemetry
+            .record(time, "entk", "resource_ready", Subject::Session);
+        for i in 0..self.clusters.len() {
+            let mut notes = Vec::new();
+            let mut engine = std::mem::take(&mut self.clusters[i].engine);
+            engine.advance_to(time);
+            {
+                let mut ctx = engine.context();
+                self.clusters[i].boot(&mut ctx, &mut notes);
+            }
+            self.clusters[i].engine = engine;
+            self.translate(i, notes, time, out);
+            fed.push_injection(&mut self.clusters[i], i);
+        }
+    }
+
+    /// Gracefully shuts down every member through its own context.
+    fn shutdown_all(&mut self, fed: &mut FedState, time: SimTime, out: &mut Vec<BackendEvent>) {
+        for i in 0..self.clusters.len() {
+            let mut notes = Vec::new();
+            let mut engine = std::mem::take(&mut self.clusters[i].engine);
+            engine.advance_to(time);
+            {
+                let mut ctx = engine.context();
+                self.clusters[i].shutdown(&mut ctx, &mut notes);
+            }
+            self.clusters[i].engine = engine;
+            self.translate(i, notes, time, out);
+            fed.push_injection(&mut self.clusters[i], i);
+        }
+    }
+
+    /// Advances every member with events strictly before the window horizon
+    /// `min(t_spine, tm + lookahead)` — on the worker pool in parallel
+    /// drive, inline otherwise; the chunks are identical either way.
+    fn run_window(&mut self, fed: &mut FedState, tm: SimTime, ts: Option<SimTime>) {
+        let lookahead = if fed.windows_on {
+            fed.lookahead.as_micros().max(1)
+        } else {
+            // Outside the run phase a window covers exactly one timestamp,
+            // making the merge reproduce the serial interleave event for
+            // event.
+            1
+        };
+        let mut horizon = SimTime::from_micros(tm.as_micros().saturating_add(lookahead));
+        if let Some(ts) = ts {
+            horizon = horizon.min(ts);
+        }
+        let n = self.clusters.len() as u64;
+        let mut outputs: Vec<Vec<Chunk>> = Vec::new();
+        outputs.resize_with(self.clusters.len(), Vec::new);
+        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+        for ((member, stack), slot) in self.clusters.iter_mut().enumerate().zip(outputs.iter_mut())
+        {
+            if stack.engine.next_time().is_some_and(|t| t < horizon) {
+                jobs.push(Box::new(move || {
+                    *slot = run_member_window(member, n, stack, horizon);
+                }));
+            }
+        }
+        // A single busy member gains nothing from a pool round-trip.
+        match &fed.pool {
+            Some(pool) if jobs.len() > 1 => pool.run(jobs),
+            _ => jobs.into_iter().for_each(|job| job()),
+        }
+        fed.merge_pending(outputs);
+    }
 }
 
 /// Construction parameters of one federated member cluster (resolved by
@@ -456,7 +845,7 @@ impl ExecutionBackend for EventBackend {
 
     fn begin_session(&mut self, boot_delay: SimDuration) {
         let t = self.global_now + boot_delay;
-        self.clusters[0].engine.schedule_at(t, Ev::Boot);
+        self.session_engine().schedule_at(t, Ev::Boot);
     }
 
     fn allocation_ready(&self) -> bool {
@@ -491,8 +880,12 @@ impl ExecutionBackend for EventBackend {
     }
 
     fn poll(&mut self) -> Poll {
-        // Process the globally earliest event (ties to the lowest cluster
-        // index), keeping all virtual clocks causally consistent.
+        if self.fed.is_some() {
+            return self.poll_federated();
+        }
+        // Serial drive: process the globally earliest event (ties to the
+        // lowest cluster index), keeping all virtual clocks causally
+        // consistent.
         let mut best: Option<(usize, SimTime)> = None;
         for (i, c) in self.clusters.iter_mut().enumerate() {
             if let Some(t) = c.engine.next_time() {
@@ -598,6 +991,7 @@ impl ExecutionBackend for EventBackend {
         if prepared.is_empty() {
             return Vec::new();
         }
+        let mut fed = self.fed.take();
         let mut out: Vec<Option<(u64, u64)>> = vec![None; prepared.len()];
         for c in 0..self.clusters.len() {
             let mut descriptions = Vec::new();
@@ -632,7 +1026,11 @@ impl ExecutionBackend for EventBackend {
                     debug_assert!(false, "descriptions validated in prepare: {e}");
                 }
             }
+            if let Some(f) = fed.as_mut() {
+                f.push_injection(&mut self.clusters[c], c);
+            }
         }
+        self.fed = fed;
         let n = self.clusters.len() as u64;
         prepared
             .iter()
@@ -643,7 +1041,7 @@ impl ExecutionBackend for EventBackend {
 
     fn arm_timeout(&mut self, uid: u64, timeout: SimDuration) {
         let t = self.global_now + timeout;
-        self.clusters[0].engine.schedule_at(t, Ev::TaskTimeout(uid));
+        self.session_engine().schedule_at(t, Ev::TaskTimeout(uid));
     }
 
     fn cancel_running_unit(&mut self, key: u64) -> bool {
@@ -658,8 +1056,14 @@ impl ExecutionBackend for EventBackend {
         // The cancellation notifications are swallowed: the session already
         // removed this unit's mapping and applies its own fault policy.
         let mut notes = Vec::new();
-        let mut ctx = stack.engine.context();
-        stack.runtime.cancel_unit(unit, &mut ctx, &mut notes);
+        {
+            let mut ctx = stack.engine.context();
+            stack.runtime.cancel_unit(unit, &mut ctx, &mut notes);
+        }
+        if let Some(mut fed) = self.fed.take() {
+            fed.push_injection(&mut self.clusters[c], c);
+            self.fed = Some(fed);
+        }
         true
     }
 
@@ -688,25 +1092,34 @@ impl ExecutionBackend for EventBackend {
     }
 
     fn schedule_batch(&mut self, delay: SimDuration, batch: u64, uids: Vec<u64>) {
+        // First batch scheduled = the session entered its run phase: widen
+        // federated windows to the conservative lookahead.
+        if let Some(fed) = &mut self.fed {
+            fed.windows_on = true;
+        }
         let t = self.global_now + delay;
-        self.clusters[0]
-            .engine
+        self.session_engine()
             .schedule_at(t, Ev::TasksReady(batch, uids));
     }
 
     fn schedule_deferred_failure(&mut self, uid: u64) {
         let t = self.global_now;
-        self.clusters[0].engine.schedule_at(t, Ev::Deliver(uid));
+        self.session_engine().schedule_at(t, Ev::Deliver(uid));
     }
 
     fn begin_shutdown(&mut self) {
+        // Teardown goes back to serial-equivalent 1 µs windows so pilot
+        // state is observed at the serial granularity.
+        if let Some(fed) = &mut self.fed {
+            fed.windows_on = false;
+        }
         let t = self.global_now;
-        self.clusters[0].engine.schedule_at(t, Ev::Shutdown);
+        self.session_engine().schedule_at(t, Ev::Shutdown);
     }
 
     fn schedule_clock_mark(&mut self, delay: SimDuration) {
         let t = self.global_now + delay;
-        self.clusters[0].engine.schedule_at(t, Ev::Nop);
+        self.session_engine().schedule_at(t, Ev::Nop);
     }
 
     fn stats(&self) -> BackendStats {
@@ -737,7 +1150,8 @@ impl ExecutionBackend for EventBackend {
             cores: self.total_cores,
             runtime_pilot,
             resource_wait,
-            events: self.clusters.iter().map(|c| c.engine.steps()).sum(),
+            events: self.clusters.iter().map(|c| c.engine.steps()).sum::<u64>()
+                + self.fed.as_ref().map(|f| f.spine.steps()).unwrap_or(0),
         }
     }
 }

@@ -10,7 +10,7 @@ use crate::fault::FaultConfig;
 use crate::overheads::EntkOverheads;
 use crate::pattern::ExecutionPattern;
 use crate::plugin_local::LocalBackend;
-use crate::plugin_sim::{ClusterInit, EventBackend};
+use crate::plugin_sim::{ClusterInit, EventBackend, FedDrive};
 use crate::report::ExecutionReport;
 use crate::session::SessionEngine;
 use entk_cluster::PlatformSpec;
@@ -131,6 +131,24 @@ impl Default for SimulatedConfig {
     }
 }
 
+/// How a multi-member federated backend advances its member clusters
+/// between merge points.
+///
+/// Both modes execute the *identical* conservative-lookahead windowed
+/// schedule — same chunks, same merge order, byte-identical traces; they
+/// differ only in whether member windows run concurrently. Single-cluster
+/// and one-member federated backends ignore this knob entirely (classic
+/// serial drive).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DriveMode {
+    /// Member windows run inline on the polling thread.
+    Serial,
+    /// Member windows run concurrently on a persistent worker pool (the
+    /// default).
+    #[default]
+    Parallel,
+}
+
 /// One member cluster of a federated session: an independently simulated
 /// machine with its own platform, batch queue, load, and faults.
 #[derive(Debug, Clone)]
@@ -191,6 +209,19 @@ pub struct FederatedConfig {
     pub wait_all: bool,
     /// Collect the cross-layer trace and metrics.
     pub telemetry: bool,
+    /// How member clusters are driven between merge points (≥ 2 members
+    /// only). Serial and parallel drives produce byte-identical traces.
+    pub drive: DriveMode,
+    /// Conservative lookahead in seconds beyond the earliest member event
+    /// per window during the run phase. `None` derives it from the overhead
+    /// and fault models: the guaranteed floor of the session's
+    /// task-submission reaction delay (and of the retry backoff when
+    /// retries are enabled). Affects window width (throughput), never
+    /// correctness: both drive modes execute the same windowed schedule.
+    pub lookahead: Option<f64>,
+    /// Worker threads driving member windows in parallel mode; `0` (the
+    /// default) uses one per member, capped at the host's parallelism.
+    pub sim_threads: usize,
     /// The member clusters (at least one required).
     pub clusters: Vec<ClusterSpec>,
 }
@@ -205,9 +236,27 @@ impl Default for FederatedConfig {
             batch_policy: BatchPolicy::Fifo,
             wait_all: false,
             telemetry: true,
+            drive: DriveMode::default(),
+            lookahead: None,
+            sim_threads: 0,
             clusters: Vec::new(),
         }
     }
+}
+
+/// The conservative lookahead a federated session can safely default to:
+/// the guaranteed floor of the earliest session reaction to a member event.
+/// The session reacts to unit completions by scheduling the next batch
+/// after at least the fixed task-submission overhead; with retries enabled
+/// the retry backoff floor (often zero) also bounds the reaction, so
+/// retry-heavy configs degrade toward serial-equivalent 1 µs windows.
+fn derive_lookahead(overheads: &EntkOverheads, fault: &FaultConfig) -> f64 {
+    let mut lookahead = overheads.task_submit_fixed.floor();
+    if fault.max_retries > 0 {
+        let backoff_floor = (fault.backoff.base * (1.0 - fault.backoff.jitter)).max(0.0);
+        lookahead = lookahead.min(backoff_floor);
+    }
+    lookahead.max(0.0)
 }
 
 enum Inner {
@@ -336,7 +385,25 @@ impl ResourceHandle {
         } else {
             SharedTelemetry::disabled()
         };
-        let backend = EventBackend::federated(inits, registry, config.wait_all, telemetry.clone());
+        let members = config.clusters.len();
+        let workers = if config.sim_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            config.sim_threads
+        }
+        .clamp(1, members);
+        let lookahead = config
+            .lookahead
+            .unwrap_or_else(|| derive_lookahead(&config.entk_overheads, &config.fault));
+        let drive = FedDrive {
+            mode: config.drive,
+            lookahead: SimDuration::from_secs_f64(lookahead.max(0.0)),
+            workers,
+        };
+        let backend =
+            EventBackend::federated(inits, registry, config.wait_all, telemetry.clone(), drive);
         let session =
             SessionEngine::new(config.entk_overheads, config.fault, config.seed, telemetry);
         Ok(ResourceHandle {

@@ -14,10 +14,19 @@ use serde_json::json;
 enum Backend {
     Sim,
     Local,
+    /// Two-member federation, parallel windowed drive (the default).
     Federated,
+    /// Two-member federation, serial windowed drive — must be trace- and
+    /// semantics-identical to `Federated`.
+    FederatedSerial,
 }
 
-const ALL_BACKENDS: [Backend; 3] = [Backend::Sim, Backend::Local, Backend::Federated];
+const ALL_BACKENDS: [Backend; 4] = [
+    Backend::Sim,
+    Backend::Local,
+    Backend::Federated,
+    Backend::FederatedSerial,
+];
 
 /// A fresh handle of the given flavor, sized to `cores` and carrying the
 /// session fault policy. Federated splits the cores across two clusters.
@@ -33,12 +42,13 @@ fn handle(backend: Backend, cores: usize, fault: FaultConfig) -> ResourceHandle 
             ResourceHandle::simulated(config, sim).expect("simulated handle")
         }
         Backend::Local => ResourceHandle::local_with(cores, KernelRegistry::with_builtins(), fault),
-        Backend::Federated => {
+        Backend::Federated | Backend::FederatedSerial => {
             let first = cores.div_ceil(2).max(1);
             let second = (cores - cores / 2).max(1);
             let config = FederatedConfig {
                 fault,
                 telemetry: false,
+                drive: drive_of(backend),
                 clusters: vec![
                     ClusterSpec::new("xsede.comet", first, SimDuration::from_secs(100_000)),
                     ClusterSpec::new("xsede.stampede", second, SimDuration::from_secs(100_000)),
@@ -47,6 +57,13 @@ fn handle(backend: Backend, cores: usize, fault: FaultConfig) -> ResourceHandle 
             };
             ResourceHandle::federated(config).expect("federated handle")
         }
+    }
+}
+
+fn drive_of(backend: Backend) -> DriveMode {
+    match backend {
+        Backend::FederatedSerial => DriveMode::Serial,
+        _ => DriveMode::Parallel,
     }
 }
 
@@ -181,8 +198,9 @@ fn retry_accounting_invariants_hold_everywhere() {
     assert_eq!(report.total_retries, 2);
     assert!(report.partial);
 
-    // Sim + federated: stochastic unit failures, same accounting rules.
-    for backend in [Backend::Sim, Backend::Federated] {
+    // Sim + federated (both drive modes): stochastic unit failures, same
+    // accounting rules.
+    for backend in [Backend::Sim, Backend::Federated, Backend::FederatedSerial] {
         let mut pattern = BagOfTasks::new(24, |i| {
             KernelCall::new("misc.stress", json!({ "iters": 500u64 + i as u64 }))
         });
@@ -205,6 +223,7 @@ fn retry_accounting_invariants_hold_everywhere() {
                 let config = FederatedConfig {
                     fault,
                     telemetry: false,
+                    drive: drive_of(backend),
                     clusters: vec![c0, c1],
                     ..FederatedConfig::default()
                 };

@@ -1,0 +1,204 @@
+//! Serial-vs-parallel drive equivalence for the federated backend.
+//!
+//! The conservative-lookahead merge promises that `DriveMode::Serial` and
+//! `DriveMode::Parallel` execute the *identical* windowed schedule — same
+//! chunks, same merge order — so the session report and the full JSONL
+//! trace must be byte-identical between the two. This suite checks that
+//! promise across randomized member counts, seeds, fault grids, and
+//! pattern shapes, plus targeted regressions for the stale-horizon edge
+//! (a member event landing exactly on a window boundary).
+
+use entk_core::prelude::*;
+use entk_core::resource::run_federated_traced;
+use entk_core::trace_check::cross_check;
+use entk_pilot::RuntimeOverheads;
+use entk_sim::Dist;
+use proptest::prelude::*;
+use serde_json::json;
+
+/// A `members`-way federation alternating the two calibrated platforms,
+/// with full telemetry so traces can be compared byte-for-byte.
+fn fed_config(members: usize, seed: u64, drive: DriveMode) -> FederatedConfig {
+    let clusters = (0..members)
+        .map(|i| {
+            let resource = if i % 2 == 0 {
+                "xsede.comet"
+            } else {
+                "xsede.stampede"
+            };
+            ClusterSpec::new(resource, 4, SimDuration::from_secs(200_000))
+        })
+        .collect();
+    FederatedConfig {
+        seed,
+        clusters,
+        drive,
+        ..FederatedConfig::default()
+    }
+}
+
+/// The pattern shapes the equivalence is checked over.
+#[derive(Clone, Copy, Debug)]
+enum Shape {
+    Eop { pipelines: usize, stages: usize },
+    Sal { sims: usize },
+}
+
+fn build_pattern(shape: Shape) -> Box<dyn ExecutionPattern> {
+    match shape {
+        Shape::Eop { pipelines, stages } => {
+            Box::new(EnsembleOfPipelines::new(pipelines, stages, |p, s| {
+                KernelCall::new(
+                    "misc.stress",
+                    json!({ "iters": 300u64 + (p * 7 + s) as u64 }),
+                )
+            }))
+        }
+        Shape::Sal { sims } => Box::new(SimulationAnalysisLoop::new(
+            1,
+            sims,
+            |_, i| KernelCall::new("misc.stress", json!({ "iters": 400u64 + i as u64 })),
+            |_, outs| vec![KernelCall::new("ana.coco", json!({ "n_sims": outs.len() }))],
+        )),
+    }
+}
+
+/// Runs one session and returns `(report-json, trace-jsonl)` — the two
+/// deterministic fingerprints the drive modes must agree on.
+fn run_fingerprint(config: FederatedConfig, shape: Shape) -> (String, String) {
+    let mut pattern = build_pattern(shape);
+    let (report, telemetry) =
+        run_federated_traced(config, pattern.as_mut()).expect("federated run");
+    let report_json = serde_json::to_string(&report).expect("serialize report");
+    (report_json, telemetry.tracer.to_jsonl())
+}
+
+/// Asserts both drive modes produce byte-identical reports and traces for
+/// the given base config, and returns the shared fingerprint.
+fn assert_drive_equivalence(mut config: FederatedConfig, shape: Shape) -> (String, String) {
+    config.drive = DriveMode::Serial;
+    let serial = run_fingerprint(config.clone(), shape);
+    config.drive = DriveMode::Parallel;
+    let parallel = run_fingerprint(config, shape);
+    assert!(
+        serial.1.lines().count() > 10,
+        "trace too small to be a meaningful comparison"
+    );
+    assert_eq!(
+        serial.0, parallel.0,
+        "serial and parallel drives disagree on the session report"
+    );
+    assert_eq!(
+        serial.1, parallel.1,
+        "serial and parallel drives disagree on the trace"
+    );
+    serial
+}
+
+proptest! {
+    // Each case runs two full telemetry-on federated sessions; keep the
+    // case count modest so the suite stays fast.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Parallel member-driving is byte-identical to serial driving across
+    /// member counts, seeds, fault grids, and EoP/SAL pattern shapes.
+    #[test]
+    fn prop_parallel_drive_matches_serial(
+        members in 1usize..5,
+        seed in 0u64..1_000_000,
+        max_retries in 0u32..3,
+        flaky in any::<bool>(),
+        eop in any::<bool>(),
+        size in 1usize..4,
+    ) {
+        let mut config = fed_config(members, seed, DriveMode::Serial);
+        config.fault = FaultConfig::retries(max_retries);
+        if flaky {
+            for c in &mut config.clusters {
+                c.unit_failure_rate = 0.25;
+            }
+        }
+        let shape = if eop {
+            Shape::Eop { pipelines: size, stages: 2 }
+        } else {
+            Shape::Sal { sims: size + 1 }
+        };
+        assert_drive_equivalence(config, shape);
+    }
+}
+
+#[test]
+fn parallel_trace_passes_overhead_cross_check() {
+    // The interleaved multi-member trace must still reconstruct the
+    // overhead accounting to within a microsecond, in both drive modes.
+    for drive in [DriveMode::Serial, DriveMode::Parallel] {
+        let config = fed_config(3, 77, drive);
+        let shape = Shape::Eop {
+            pipelines: 3,
+            stages: 2,
+        };
+        let mut pattern = build_pattern(shape);
+        let (report, telemetry) =
+            run_federated_traced(config, pattern.as_mut()).expect("federated run");
+        let check = cross_check(&report, &telemetry.tracer);
+        assert!(
+            check.max_abs_error_secs <= 1e-6,
+            "{drive:?}: cross-check error {} s",
+            check.max_abs_error_secs
+        );
+    }
+}
+
+#[test]
+fn stale_horizon_event_on_window_boundary_is_not_lost() {
+    // Regression: with all-constant overhead shapes, member events land on
+    // an exact grid; choosing lookaheads aligned with that grid places the
+    // next member event exactly on the window horizon. The strictly-before
+    // window semantics must leave that event pending (processed at the next
+    // merge point), never drop or double-process it. A bug here shows up as
+    // a trace divergence, a lost task, or a hang.
+    for lookahead_secs in [0.5, 1.0, 2.0] {
+        let mut config = fed_config(2, 9, DriveMode::Serial);
+        config.entk_overheads = EntkOverheads {
+            init: Dist::Constant(1.0),
+            resource_request: Dist::Constant(0.5),
+            teardown: Dist::Constant(0.5),
+            task_create_per_task: Dist::Constant(0.0),
+            task_submit_fixed: Dist::Constant(0.5),
+        };
+        config.runtime_overheads = RuntimeOverheads::zero();
+        config.lookahead = Some(lookahead_secs);
+        let shape = Shape::Eop {
+            pipelines: 2,
+            stages: 2,
+        };
+        let (report_json, _) = assert_drive_equivalence(config, shape);
+        let report: ExecutionReport = serde_json::from_str(&report_json).unwrap();
+        assert_eq!(report.task_count(), 4, "lookahead {lookahead_secs}");
+        assert_eq!(report.failed_tasks, 0, "lookahead {lookahead_secs}");
+        assert!(!report.partial, "lookahead {lookahead_secs}");
+    }
+}
+
+#[test]
+fn one_member_federation_ignores_drive_mode() {
+    // N = 1 keeps the classic serial path in both modes — trivially
+    // identical, and identical to the historical single-member trace.
+    let config = fed_config(1, 4242, DriveMode::Serial);
+    let shape = Shape::Eop {
+        pipelines: 2,
+        stages: 1,
+    };
+    assert_drive_equivalence(config, shape);
+}
+
+#[test]
+fn tiny_lookahead_still_completes_and_matches() {
+    // A 1 µs lookahead degenerates every window to a single timestamp —
+    // the serial-equivalent schedule — and must still terminate and agree
+    // across drive modes.
+    let mut config = fed_config(3, 123, DriveMode::Serial);
+    config.lookahead = Some(0.000_001);
+    let shape = Shape::Sal { sims: 3 };
+    assert_drive_equivalence(config, shape);
+}

@@ -150,6 +150,32 @@ impl<E> Engine<E> {
     }
 
     /// Runs until the queue drains, `max_steps` events have been handled, or
+    /// virtual time would reach `horizon`: only events **strictly before**
+    /// the horizon are processed. This is the conservative-lookahead drive
+    /// mode of parallel federated simulation — each member advances up to
+    /// (but never onto) the merge horizon, so an event landing exactly on
+    /// the boundary stays pending for the next window. The clock is left at
+    /// the last processed event, not pulled forward to the horizon.
+    pub fn advance_until(
+        &mut self,
+        max_steps: u64,
+        horizon: SimTime,
+        handler: &mut impl FnMut(E, &mut Context<'_, E>),
+    ) -> RunOutcome {
+        if horizon == SimTime::ZERO {
+            return if self.queue.is_empty() {
+                RunOutcome::Drained
+            } else {
+                RunOutcome::Horizon
+            };
+        }
+        // The clock has microsecond resolution, so "strictly before H" is
+        // exactly "at or before H − 1µs".
+        let bound = SimTime::from_micros(horizon.as_micros() - 1);
+        self.run_bounded(max_steps, bound, handler)
+    }
+
+    /// Runs until the queue drains, `max_steps` events have been handled, or
     /// virtual time would exceed `horizon`.
     pub fn run_bounded(
         &mut self,
@@ -254,6 +280,39 @@ mod tests {
         let outcome = engine.run_bounded(u64::MAX, SimTime::MAX, &mut |n, _| seen.push(n));
         assert_eq!(outcome, RunOutcome::Drained);
         assert_eq!(seen, vec![1, 2]);
+    }
+
+    #[test]
+    fn advance_until_excludes_the_horizon_itself() {
+        // Regression guard for the conservative-lookahead merge: an event
+        // sitting exactly on the lookahead boundary must NOT be consumed by
+        // the window ending there — it belongs to the next window.
+        let mut engine: Engine<u32> = Engine::new();
+        engine.schedule_in(SimDuration::from_secs(1), 1u32);
+        engine.schedule_in(SimDuration::from_secs(5), 2u32); // exactly at horizon
+        let mut seen = Vec::new();
+        let outcome = engine.advance_until(u64::MAX, SimTime::from_secs(5), &mut |n, _| {
+            seen.push(n);
+        });
+        assert_eq!(outcome, RunOutcome::Horizon);
+        assert_eq!(seen, vec![1]);
+        // The clock stays at the last processed event, not the horizon.
+        assert_eq!(engine.now(), SimTime::from_secs(1));
+        assert_eq!(engine.pending(), 1);
+        // The boundary event runs in the next window.
+        engine.advance_until(u64::MAX, SimTime::from_secs(6), &mut |n, _| seen.push(n));
+        assert_eq!(seen, vec![1, 2]);
+    }
+
+    #[test]
+    fn advance_until_zero_horizon_processes_nothing() {
+        let mut engine: Engine<u32> = Engine::new();
+        engine.schedule_in(SimDuration::ZERO, 1u32);
+        let outcome = engine.advance_until(u64::MAX, SimTime::ZERO, &mut |_, _| {
+            panic!("no event may run before a zero horizon")
+        });
+        assert_eq!(outcome, RunOutcome::Horizon);
+        assert_eq!(engine.pending(), 1);
     }
 
     #[test]

@@ -15,6 +15,7 @@ pub mod arena;
 pub mod engine;
 pub mod event;
 pub mod metrics;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -24,7 +25,11 @@ pub use arena::{Arena, DenseStore, GenId};
 pub use engine::{Context, Engine, RunOutcome};
 pub use event::{EventId, EventQueue, ReferenceEventQueue};
 pub use metrics::Metrics;
+pub use pool::WorkerPool;
 pub use rng::{Dist, SimRng};
 pub use stats::{Histogram, Summary, TimeSeries};
 pub use time::{SimDuration, SimTime};
-pub use trace::{SharedTelemetry, Subject, SubjectOffsets, Telemetry, TraceRecord, Tracer};
+pub use trace::{
+    SharedTelemetry, Subject, SubjectOffsets, Telemetry, TelemetryBuffer, TelemetryOp, TraceRecord,
+    Tracer,
+};

@@ -122,6 +122,27 @@ impl Dist {
         SimDuration::from_secs_f64(self.sample(rng))
     }
 
+    /// A lower bound on sampled values, in seconds: the largest delay the
+    /// distribution is guaranteed (`Constant`, `Uniform`) — or, for
+    /// `Normal`, overwhelmingly certain at mean − 8σ (Box–Muller deviates
+    /// are magnitude-bounded near 8.6σ) — never to undercut. Shapes with
+    /// mass arbitrarily close to zero floor at 0.
+    ///
+    /// The federated simulator derives its conservative lookahead from the
+    /// floor of the first reaction delay on the session spine; since both
+    /// drive modes execute the identical windowed schedule, the floor tunes
+    /// window width (throughput), not correctness.
+    pub fn floor(&self) -> f64 {
+        let v = match *self {
+            Dist::Constant(v) => v,
+            Dist::Uniform { lo, .. } => lo,
+            Dist::Normal { mean, sd } => mean - 8.0 * sd.abs(),
+            Dist::Exponential { .. } => 0.0,
+            Dist::LogNormal { .. } => 0.0,
+        };
+        v.max(0.0)
+    }
+
     /// The distribution's mean, used by analytic capacity estimates.
     pub fn mean(&self) -> f64 {
         match *self {
@@ -196,6 +217,41 @@ mod tests {
                 assert!(d.sample(&mut rng) >= 0.0);
             }
         }
+    }
+
+    #[test]
+    fn dist_floor_never_exceeds_samples() {
+        let mut rng = SimRng::seed_from_u64(77);
+        let dists = [
+            Dist::Constant(1.5),
+            Dist::Uniform { lo: 0.3, hi: 0.9 },
+            Dist::Normal {
+                mean: 0.05,
+                sd: 0.005,
+            },
+            Dist::Exponential { mean: 2.0 },
+            Dist::LogNormal {
+                mu: 0.0,
+                sigma: 1.0,
+            },
+        ];
+        for d in dists {
+            let floor = d.floor();
+            assert!(floor >= 0.0);
+            for _ in 0..2_000 {
+                assert!(d.sample(&mut rng) >= floor, "{d:?} undercut {floor}");
+            }
+        }
+        assert_eq!(Dist::Constant(1.5).floor(), 1.5);
+        assert_eq!(Dist::Uniform { lo: 0.3, hi: 0.9 }.floor(), 0.3);
+        // The calibrated task-submit shape (mean 50 ms, σ 5 ms) floors at
+        // 10 ms — that becomes the default federated lookahead.
+        let cal = Dist::Normal {
+            mean: 0.05,
+            sd: 0.005,
+        };
+        assert!((cal.floor() - 0.01).abs() < 1e-12);
+        assert_eq!(Dist::Constant(-1.0).floor(), 0.0);
     }
 
     #[test]

@@ -310,6 +310,66 @@ impl SubjectOffsets {
     }
 }
 
+/// One buffered telemetry operation: what a layer recorded, in order.
+///
+/// Parallel federated drivers give each member cluster a *buffered*
+/// telemetry handle (see [`SharedTelemetry::buffered`]): worker threads
+/// append ops to a member-private log instead of the shared pipeline, and
+/// the merge spine later replays contiguous op ranges into the session
+/// pipeline in deterministic chunk order — so the interleaved trace is
+/// byte-identical no matter how many workers recorded it.
+#[derive(Debug, Clone)]
+pub enum TelemetryOp {
+    /// A trace record (subject offsets already applied).
+    Record(TraceRecord),
+    /// A gauge sample.
+    Gauge(&'static str, SimTime, f64),
+    /// A counter increment.
+    Add(&'static str, u64),
+}
+
+/// The backend-side end of a buffered telemetry handle: exposes the op log
+/// so a merge spine can splice ranges into the shared pipeline.
+#[derive(Debug, Clone)]
+pub struct TelemetryBuffer {
+    ops: Arc<Mutex<Vec<TelemetryOp>>>,
+}
+
+impl TelemetryBuffer {
+    /// Number of ops recorded so far (monotone until [`Self::clear`]).
+    pub fn len(&self) -> usize {
+        self.ops.lock().expect("telemetry buffer lock").len()
+    }
+
+    /// True when no ops are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Replays ops `[start, end)` into `target`'s shared pipeline, verbatim
+    /// (subject offsets were applied when the ops were recorded). Ranges
+    /// must be replayed in recording order; the caller owns that invariant.
+    pub fn splice_into(&self, target: &SharedTelemetry, start: usize, end: usize) {
+        if start >= end || !target.enabled {
+            return;
+        }
+        let ops = self.ops.lock().expect("telemetry buffer lock");
+        let mut inner = target.inner.lock().expect("telemetry lock");
+        for op in &ops[start..end.min(ops.len())] {
+            match *op {
+                TelemetryOp::Record(r) => inner.tracer.record(r.time, r.layer, r.name, r.subject),
+                TelemetryOp::Gauge(name, time, value) => inner.metrics.gauge(name, time, value),
+                TelemetryOp::Add(name, n) => inner.metrics.add(name, n),
+            }
+        }
+    }
+
+    /// Drops all buffered ops (after the caller has spliced everything).
+    pub fn clear(&self) {
+        self.ops.lock().expect("telemetry buffer lock").clear();
+    }
+}
+
 /// A trace plus deterministic metrics: everything the observability layer
 /// collects during one simulated session.
 #[derive(Debug, Clone, Default)]
@@ -330,6 +390,9 @@ pub struct SharedTelemetry {
     inner: Arc<Mutex<Telemetry>>,
     enabled: bool,
     offsets: SubjectOffsets,
+    /// When set, ops are appended here (offsets pre-applied) instead of the
+    /// shared pipeline; a merge spine splices them in later.
+    buffer: Option<Arc<Mutex<Vec<TelemetryOp>>>>,
 }
 
 impl Default for SharedTelemetry {
@@ -348,6 +411,7 @@ impl SharedTelemetry {
             })),
             enabled: true,
             offsets: SubjectOffsets::default(),
+            buffer: None,
         }
     }
 
@@ -360,6 +424,7 @@ impl SharedTelemetry {
             })),
             enabled: false,
             offsets: SubjectOffsets::default(),
+            buffer: None,
         }
     }
 
@@ -372,7 +437,26 @@ impl SharedTelemetry {
             inner: Arc::clone(&self.inner),
             enabled: self.enabled,
             offsets,
+            buffer: self.buffer.clone(),
         }
+    }
+
+    /// A handle onto the same underlying telemetry that *buffers* ops
+    /// (offsets pre-applied) instead of writing them through, plus the
+    /// [`TelemetryBuffer`] to splice them from. A parallel federated driver
+    /// hands the buffered handle to one member's layers so worker threads
+    /// never touch the shared pipeline mid-window; the merge spine replays
+    /// op ranges via [`TelemetryBuffer::splice_into`] in deterministic
+    /// order.
+    pub fn buffered(&self, offsets: SubjectOffsets) -> (SharedTelemetry, TelemetryBuffer) {
+        let ops = Arc::new(Mutex::new(Vec::new()));
+        let handle = SharedTelemetry {
+            inner: Arc::clone(&self.inner),
+            enabled: self.enabled,
+            offsets,
+            buffer: Some(Arc::clone(&ops)),
+        };
+        (handle, TelemetryBuffer { ops })
     }
 
     /// True when records are being kept.
@@ -383,23 +467,40 @@ impl SharedTelemetry {
     /// Appends a trace record.
     pub fn record(&self, time: SimTime, layer: &'static str, name: &'static str, subject: Subject) {
         if self.enabled {
-            self.inner.lock().expect("telemetry lock").tracer.record(
-                time,
-                layer,
-                name,
-                self.offsets.apply(subject),
-            );
+            let subject = self.offsets.apply(subject);
+            if let Some(buf) = &self.buffer {
+                buf.lock()
+                    .expect("telemetry buffer lock")
+                    .push(TelemetryOp::Record(TraceRecord {
+                        time,
+                        layer,
+                        name,
+                        subject,
+                    }));
+            } else {
+                self.inner
+                    .lock()
+                    .expect("telemetry lock")
+                    .tracer
+                    .record(time, layer, name, subject);
+            }
         }
     }
 
     /// Appends a gauge sample at `time`.
     pub fn gauge(&self, name: &'static str, time: SimTime, value: f64) {
         if self.enabled {
-            self.inner
-                .lock()
-                .expect("telemetry lock")
-                .metrics
-                .gauge(name, time, value);
+            if let Some(buf) = &self.buffer {
+                buf.lock()
+                    .expect("telemetry buffer lock")
+                    .push(TelemetryOp::Gauge(name, time, value));
+            } else {
+                self.inner
+                    .lock()
+                    .expect("telemetry lock")
+                    .metrics
+                    .gauge(name, time, value);
+            }
         }
     }
 
@@ -411,11 +512,17 @@ impl SharedTelemetry {
     /// Adds `n` to a counter.
     pub fn add(&self, name: &'static str, n: u64) {
         if self.enabled {
-            self.inner
-                .lock()
-                .expect("telemetry lock")
-                .metrics
-                .add(name, n);
+            if let Some(buf) = &self.buffer {
+                buf.lock()
+                    .expect("telemetry buffer lock")
+                    .push(TelemetryOp::Add(name, n));
+            } else {
+                self.inner
+                    .lock()
+                    .expect("telemetry lock")
+                    .metrics
+                    .add(name, n);
+            }
         }
     }
 
@@ -577,6 +684,55 @@ mod tests {
             ]
         );
         assert!(SubjectOffsets::default().is_identity());
+    }
+
+    #[test]
+    fn buffered_handle_holds_ops_until_spliced() {
+        let shared = SharedTelemetry::new();
+        let (member, buf) = shared.buffered(SubjectOffsets {
+            pilot: 100,
+            unit: 0,
+            job: 0,
+            node: 0,
+        });
+        member.record(SimTime::ZERO, "pilot", "pilot_submitted", Subject::Pilot(1));
+        member.gauge("cluster.used_cores", SimTime::from_secs(1), 4.0);
+        member.inc("pilot.units_done");
+        // Nothing reaches the shared pipeline until the spine splices.
+        assert!(shared.snapshot().tracer.is_empty());
+        assert_eq!(buf.len(), 3);
+
+        buf.splice_into(&shared, 0, 2);
+        let snap = shared.snapshot();
+        assert_eq!(snap.tracer.len(), 1);
+        // Offsets were applied at record time, not splice time.
+        assert_eq!(snap.tracer.records()[0].subject, Subject::Pilot(101));
+        assert_eq!(
+            snap.metrics
+                .series("cluster.used_cores")
+                .unwrap()
+                .points()
+                .len(),
+            1
+        );
+        assert_eq!(snap.metrics.counter("pilot.units_done"), 0);
+
+        buf.splice_into(&shared, 2, 3);
+        assert_eq!(shared.snapshot().metrics.counter("pilot.units_done"), 1);
+
+        buf.clear();
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn buffered_handle_on_disabled_pipeline_buffers_nothing() {
+        let shared = SharedTelemetry::disabled();
+        let (member, buf) = shared.buffered(SubjectOffsets::default());
+        member.record(SimTime::ZERO, "entk", "session_start", Subject::Session);
+        member.inc("entk.retries");
+        assert!(buf.is_empty());
+        buf.splice_into(&shared, 0, 1);
+        assert!(shared.snapshot().tracer.is_empty());
     }
 
     #[test]
