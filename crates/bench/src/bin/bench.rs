@@ -30,6 +30,17 @@
 //!                     member)                           [default: 0]
 //!   --budget-secs S   fail unless the whole scale sweep finishes within
 //!                     S seconds of wall clock (CI scale-smoke assertion)
+//!   --baseline PATH   perf-regression gate: compare the scale sweep's
+//!                     events/sec (largest point per series) against the
+//!                     committed floors in PATH (BENCH-BASELINE.json) and
+//!                     fail on a regression past the file's tolerance
+//!   --workload        run the fig11 open-loop workload sweep instead:
+//!                     the synthetic trace served at each admission-slot
+//!                     width on the simulated and federated backends,
+//!                     with replay-identity and cross-check assertions;
+//!                     writes WORKLOAD.json + WORKLOAD.jsonl
+//!   --sessions N      fig11 stream length                  [default: 24]
+//!   --tenants N       fig11 tenant population               [default: 8]
 //! ```
 //!
 //! Every figure entry records `serial_secs`, `parallel_secs`, `speedup`,
@@ -40,24 +51,51 @@
 //! projection (`entk_bench::deterministic_view`) instead.
 
 use entk_bench::{
-    deterministic_view, federated_resilience_with, figures, resilience_sweep_with, Row, SweepRunner,
+    deterministic_view, federated_resilience_with, fig11_with, figures, leg_jsonl,
+    resilience_sweep_with, Row, SweepRunner, FIG11_SESSIONS, FIG11_SLOTS, FIG11_TENANTS,
 };
 use entk_core::prelude::DriveMode;
+use entk_workload::StreamBackend;
 use serde_json::json;
 use std::time::Instant;
+
+/// One-line diagnostic + non-zero exit: how every identity, cross-check,
+/// budget, or baseline violation leaves the process, so CI logs end with
+/// the reason instead of a panic backtrace.
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
 
 struct Options {
     serial_only: bool,
     scale: usize,
     seed: u64,
     only: Option<Vec<String>>,
-    out: String,
+    out: Option<String>,
     trace: Option<String>,
     scale_sweep: bool,
     max_tasks: usize,
     members: usize,
     sim_threads: usize,
     budget_secs: Option<f64>,
+    baseline: Option<String>,
+    workload: bool,
+    sessions: usize,
+    tenants: u64,
+}
+
+impl Options {
+    /// Output path: `--out` if given, else the mode's canonical name.
+    fn out_path(&self) -> String {
+        self.out.clone().unwrap_or_else(|| {
+            if self.workload {
+                "WORKLOAD.json".to_string()
+            } else {
+                "BENCH.json".to_string()
+            }
+        })
+    }
 }
 
 fn parse_args() -> Options {
@@ -66,13 +104,17 @@ fn parse_args() -> Options {
         scale: 32,
         seed: 2016,
         only: None,
-        out: "BENCH.json".to_string(),
+        out: None,
         trace: None,
         scale_sweep: false,
         max_tasks: 1_000_000,
         members: 1,
         sim_threads: 0,
         budget_secs: None,
+        baseline: None,
+        workload: false,
+        sessions: FIG11_SESSIONS,
+        tenants: FIG11_TENANTS,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -94,7 +136,7 @@ fn parse_args() -> Options {
                         .collect(),
                 )
             }
-            "--out" => opts.out = value("--out"),
+            "--out" => opts.out = Some(value("--out")),
             "--trace" => opts.trace = Some(value("--trace")),
             "--scale-sweep" => opts.scale_sweep = true,
             "--max-tasks" => {
@@ -113,6 +155,12 @@ fn parse_args() -> Options {
             "--budget-secs" => {
                 opts.budget_secs = Some(value("--budget-secs").parse().expect("--budget-secs: f64"))
             }
+            "--baseline" => opts.baseline = Some(value("--baseline")),
+            "--workload" => opts.workload = true,
+            "--sessions" => {
+                opts.sessions = value("--sessions").parse().expect("--sessions: integer")
+            }
+            "--tenants" => opts.tenants = value("--tenants").parse().expect("--tenants: integer"),
             other => panic!("unknown argument {other:?} (see --help in the module docs)"),
         }
     }
@@ -209,11 +257,12 @@ fn run_scale_sweep(opts: &Options) {
              speedup {speedup:.2}x  identical={identical}",
             "fig10"
         );
-        assert!(
-            identical,
-            "fig10: parallel rows diverged from serial rows on the \
-             deterministic projection"
-        );
+        if !identical {
+            fail(
+                "fig10: parallel rows diverged from serial rows on the \
+                 deterministic projection",
+            );
+        }
     }
 
     let bench = json!({
@@ -227,16 +276,64 @@ fn run_scale_sweep(opts: &Options) {
         "figures": [entry],
         "total_secs": total,
     });
+    let out = opts.out_path();
     let rendered = serde_json::to_string_pretty(&bench).expect("serialize BENCH.json");
-    std::fs::write(&opts.out, rendered + "\n").expect("write BENCH.json");
-    println!("wrote {}", opts.out);
+    std::fs::write(&out, rendered + "\n").expect("write BENCH.json");
+    println!("wrote {out}");
 
     if let Some(budget) = opts.budget_secs {
-        assert!(
-            total <= budget,
-            "scale sweep took {total:.3}s, over the {budget:.3}s wall budget"
-        );
+        if total > budget {
+            fail(format!(
+                "scale sweep took {total:.3}s, over the {budget:.3}s wall budget"
+            ));
+        }
         println!("within wall budget: {total:.3}s <= {budget:.3}s");
+    }
+    if let Some(path) = &opts.baseline {
+        check_baseline(path, "fig10", &serial_rows);
+    }
+}
+
+/// The `--baseline PATH` perf-regression gate: the committed
+/// `BENCH-BASELINE.json` records an events/sec floor per series; the run
+/// fails when the measured throughput at the largest sweep point drops
+/// more than the file's tolerance below its floor.
+fn check_baseline(path: &str, figure: &str, rows: &[Row]) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(format!("cannot read baseline {path}: {e}")));
+    let baseline: serde_json::Value =
+        serde_json::from_str(&text).unwrap_or_else(|e| fail(format!("bad baseline {path}: {e}")));
+    let tolerance = baseline["tolerance"].as_f64().unwrap_or(0.25);
+    let Some(floors) = baseline["floors"][figure].as_object() else {
+        fail(format!("baseline {path} has no floors for {figure}"));
+    };
+    for (series, floor) in floors {
+        let floor = floor
+            .as_f64()
+            .unwrap_or_else(|| fail(format!("baseline {figure}/{series}: non-numeric floor")));
+        let measured = rows
+            .iter()
+            .filter(|r| r.series == *series)
+            .max_by(|a, b| a.x.total_cmp(&b.x))
+            .and_then(|r| r.value("events_per_sec"))
+            .unwrap_or_else(|| {
+                fail(format!(
+                    "baseline {figure}/{series}: no measured events/sec in the sweep rows"
+                ))
+            });
+        let min_ok = floor * (1.0 - tolerance);
+        if measured < min_ok {
+            fail(format!(
+                "perf regression: {figure}/{series} measured {measured:.0} events/sec, \
+                 below floor {floor:.0} - {:.0}% tolerance = {min_ok:.0}",
+                tolerance * 100.0
+            ));
+        }
+        println!(
+            "baseline {figure}/{series}: {measured:.0} events/sec >= {min_ok:.0} \
+             (floor {floor:.0}, tolerance {:.0}%)",
+            tolerance * 100.0
+        );
     }
 }
 
@@ -312,11 +409,12 @@ fn run_fed_scale_sweep(opts: &Options) {
         "fig10_federated: serial-drive {serial_secs:.3}s  parallel-drive \
          {parallel_secs:.3}s  speedup {drive_speedup:.2}x  identical={identical}"
     );
-    assert!(
-        identical,
-        "fig10_federated: parallel-drive rows diverged from serial-drive \
-         rows on the deterministic projection"
-    );
+    if !identical {
+        fail(
+            "fig10_federated: parallel-drive rows diverged from serial-drive \
+             rows on the deterministic projection",
+        );
+    }
 
     // Strong-scaling ratio per series at the largest common point:
     // events/sec with N members over events/sec with 1 member.
@@ -378,22 +476,129 @@ fn run_fed_scale_sweep(opts: &Options) {
         "figures": [entry],
         "total_secs": total,
     });
+    let out = opts.out_path();
     let rendered = serde_json::to_string_pretty(&bench).expect("serialize BENCH.json");
-    std::fs::write(&opts.out, rendered + "\n").expect("write BENCH.json");
-    println!("wrote {}", opts.out);
+    std::fs::write(&out, rendered + "\n").expect("write BENCH.json");
+    println!("wrote {out}");
 
     if let Some(budget) = opts.budget_secs {
-        assert!(
-            total <= budget,
-            "federated scale sweep took {total:.3}s, over the {budget:.3}s \
-             wall budget"
+        if total > budget {
+            fail(format!(
+                "federated scale sweep took {total:.3}s, over the {budget:.3}s \
+                 wall budget"
+            ));
+        }
+        println!("within wall budget: {total:.3}s <= {budget:.3}s");
+    }
+    if let Some(path) = &opts.baseline {
+        check_baseline(path, "fig10_federated", &parallel_rows);
+    }
+}
+
+/// The `--workload` mode: the fig11 open-loop workload sweep — the
+/// synthetic trace served at each admission-slot width on the simulated
+/// and two-member federated backends. Each leg runs twice; the replay
+/// must be byte-identical (reports and stream JSONL), and every point
+/// must hold the `<= 1 µs` cross-check budget. `WORKLOAD.json` and the
+/// combined stream JSONL contain only deterministic values, so both files
+/// are byte-identical under replay; wall-clock timings go to stdout.
+fn run_workload_sweep(opts: &Options) {
+    let (seed, sessions, tenants) = (opts.seed, opts.sessions, opts.tenants);
+    let backends = [
+        StreamBackend::Simulated,
+        StreamBackend::Federated { members: 2 },
+    ];
+    let mut all_points = Vec::new();
+    let mut jsonl = String::new();
+    let mut total = 0.0f64;
+    for backend in backends {
+        let label = backend.label();
+        let t0 = Instant::now();
+        let points = fig11_with(seed, sessions, tenants, backend)
+            .unwrap_or_else(|e| fail(format!("fig11 {label}: {e}")));
+        let secs = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let replay = fig11_with(seed, sessions, tenants, backend)
+            .unwrap_or_else(|e| fail(format!("fig11 {label} replay: {e}")));
+        let replay_secs = t1.elapsed().as_secs_f64();
+        total += secs + replay_secs;
+        if points != replay {
+            fail(format!(
+                "fig11 {label}: replay diverged from the first run \
+                 (same seed must serve a byte-identical stream)"
+            ));
+        }
+        let mut leg_events = 0u64;
+        for p in &points {
+            if p.report.max_cross_check_err_secs > 1e-6 {
+                fail(format!(
+                    "fig11 {label} slots={}: cross-check error {:.3e}s exceeds \
+                     the 1e-6s budget",
+                    p.slots, p.report.max_cross_check_err_secs
+                ));
+            }
+            leg_events += p.report.total_events;
+            println!(
+                "{label:>12} slots={:<2} p50 {:>9.1}s  p95 {:>9.1}s  p99 {:>9.1}s  \
+                 makespan {:>9.1}s  queue peak {:>4.0}  cc {:.1e}",
+                p.slots,
+                p.report.latency.p50,
+                p.report.latency.p95,
+                p.report.latency.p99,
+                p.report.makespan_secs,
+                p.report.queue_depth_peak,
+                p.report.max_cross_check_err_secs,
+            );
+        }
+        println!(
+            "{label:>12}: {sessions} sessions x {} slot widths in {secs:.3}s \
+             (+ replay {replay_secs:.3}s, identical)  {:.0} events/sec",
+            FIG11_SLOTS.len(),
+            leg_events as f64 / secs.max(1e-12),
         );
+        jsonl.push_str(&leg_jsonl(&points));
+        all_points.extend(points);
+    }
+
+    let workload = json!({
+        "version": 1,
+        "seed": seed,
+        "sessions": sessions,
+        "tenants": tenants,
+        "slots": FIG11_SLOTS,
+        "points": all_points.iter().map(|p| p.to_json()).collect::<Vec<_>>(),
+        "checks": {
+            "replay_identical": true,
+            "cross_check_budget_secs": 1e-6,
+        },
+    });
+    let out = opts.out_path();
+    let rendered = serde_json::to_string_pretty(&workload).expect("serialize WORKLOAD.json");
+    std::fs::write(&out, rendered + "\n").expect("write WORKLOAD.json");
+    println!("wrote {out}");
+    let jsonl_path = out
+        .strip_suffix(".json")
+        .map(|stem| format!("{stem}.jsonl"))
+        .unwrap_or_else(|| format!("{out}.jsonl"));
+    std::fs::write(&jsonl_path, &jsonl).expect("write workload JSONL");
+    println!("wrote {jsonl_path}");
+
+    if let Some(budget) = opts.budget_secs {
+        if total > budget {
+            fail(format!(
+                "workload sweep took {total:.3}s, over the {budget:.3}s wall budget"
+            ));
+        }
         println!("within wall budget: {total:.3}s <= {budget:.3}s");
     }
 }
 
 fn main() {
     let opts = parse_args();
+    if opts.workload {
+        run_workload_sweep(&opts);
+        return;
+    }
     if opts.members >= 2 {
         run_fed_scale_sweep(&opts);
         return;
@@ -502,7 +707,9 @@ fn main() {
                 "{name:>20}: serial {serial_secs:.3}s  parallel {parallel_secs:.3}s  \
                  speedup {speedup:.2}x  identical={identical}"
             );
-            assert!(identical, "{name}: parallel rows diverged from serial rows");
+            if !identical {
+                fail(format!("{name}: parallel rows diverged from serial rows"));
+            }
         }
         entries.push(entry);
     }
@@ -527,9 +734,10 @@ fn main() {
             total_serial / total_parallel.max(1e-12),
         );
     }
+    let out = opts.out_path();
     let rendered = serde_json::to_string_pretty(&bench).expect("serialize BENCH.json");
-    std::fs::write(&opts.out, rendered + "\n").expect("write BENCH.json");
-    println!("wrote {}", opts.out);
+    std::fs::write(&out, rendered + "\n").expect("write BENCH.json");
+    println!("wrote {out}");
 
     if let Some(path) = &opts.trace {
         // Cross-checked inside: the exported trace always agrees with the

@@ -29,6 +29,13 @@ use entk_bench::{
 };
 use serde_json::json;
 
+/// One-line diagnostic + non-zero exit for determinism-check failures, so
+/// CI logs end with the reason instead of a panic backtrace.
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
 struct Options {
     scale: usize,
     seed: u64,
@@ -73,17 +80,15 @@ fn run_federated(opts: &Options) {
     let serial = federated_resilience_with(&SweepRunner::serial(), seed);
     let replay = federated_resilience_with(&SweepRunner::serial(), seed);
     let replay_identical = serial == replay;
-    assert!(
-        replay_identical,
-        "same seed must replay to byte-identical federated rows"
-    );
+    if !replay_identical {
+        fail("same seed must replay to byte-identical federated rows");
+    }
 
     let parallel = federated_resilience_with(&SweepRunner::parallel(), seed);
     let parallel_identical = serial == parallel;
-    assert!(
-        parallel_identical,
-        "parallel federated sweep diverged from serial rows"
-    );
+    if !parallel_identical {
+        fail("parallel federated sweep diverged from serial rows");
+    }
 
     for row in &serial {
         println!(
@@ -128,26 +133,22 @@ fn main() {
     let replay = resilience_sweep_with(&SweepRunner::serial(), seed, scale);
     let rows_json = serde_json::to_string(&serial).expect("serialize rows");
     let replay_identical = rows_json == serde_json::to_string(&replay).expect("serialize rows");
-    assert!(
-        replay_identical,
-        "same seed must replay to byte-identical rows"
-    );
+    if !replay_identical {
+        fail("same seed must replay to byte-identical rows");
+    }
 
     let parallel = resilience_sweep_with(&SweepRunner::parallel(), seed, scale);
     let parallel_identical = serial == parallel;
-    assert!(
-        parallel_identical,
-        "parallel sweep diverged from serial rows"
-    );
+    if !parallel_identical {
+        fail("parallel sweep diverged from serial rows");
+    }
 
     let baseline = baseline_rows(seed, scale);
     let zero_rows: Vec<_> = serial.iter().filter(|r| r.x == 0.0).cloned().collect();
     let zero_rate_matches_baseline = zero_rows == baseline;
-    assert!(
-        zero_rate_matches_baseline,
-        "rate-0 rows with an injector must equal the no-injector baseline:\n\
-         injected: {zero_rows:?}\nbaseline: {baseline:?}"
-    );
+    if !zero_rate_matches_baseline {
+        fail("rate-0 rows with an injector must equal the no-injector baseline");
+    }
 
     for row in &serial {
         println!(

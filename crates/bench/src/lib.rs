@@ -10,6 +10,7 @@
 pub mod figures;
 pub mod resilience;
 pub mod sweep;
+pub mod workload;
 
 pub use figures::{
     ablation_exchange, ablation_exchange_with, ablation_faults, ablation_faults_with,
@@ -23,3 +24,6 @@ pub use resilience::{
     resilience_point, resilience_sweep, resilience_sweep_with,
 };
 pub use sweep::{SweepMode, SweepRunner};
+pub use workload::{
+    fig11_with, leg_jsonl, WorkloadPoint, FIG11_SESSIONS, FIG11_SLOTS, FIG11_TENANTS,
+};

@@ -1,0 +1,152 @@
+//! Fig. 11 — the workload figure this reproduction adds beyond the paper's
+//! evaluation: latency percentiles, queue depth, and makespan of an
+//! open-loop session stream under admission contention.
+//!
+//! The sweep serves the in-repo synthetic trace (so CI needs no external
+//! data) at each admission-slot width in [`FIG11_SLOTS`], on the simulated
+//! and federated backends. One point = one served stream; its report
+//! carries per-tenant p50/p95/p99, queue-depth peak/mean, makespan, and
+//! the largest per-session cross-check error (asserted `<= 1e-6` by the
+//! bench binary and smoke tests). Everything is deterministic, so
+//! `WORKLOAD.json` and the stream JSONL are byte-identical under replay.
+
+use entk_core::EntkError;
+use entk_workload::{
+    serve, StreamBackend, SyntheticTrace, WorkloadConfig, WorkloadGenerator, WorkloadReport,
+};
+use serde_json::json;
+
+/// Admission-slot axis of the fig11 sweep.
+pub const FIG11_SLOTS: &[usize] = &[1, 2, 4, 8];
+
+/// Default session count of the fig11 stream.
+pub const FIG11_SESSIONS: usize = 24;
+
+/// Default tenant population of the fig11 stream.
+pub const FIG11_TENANTS: u64 = 8;
+
+/// One served point of the fig11 sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadPoint {
+    /// Backend label (`simulated` or `federated:N`).
+    pub backend: String,
+    /// Admission slots of the point.
+    pub slots: usize,
+    /// The served stream's report.
+    pub report: WorkloadReport,
+    /// The served stream's JSONL (one line per session).
+    pub jsonl: String,
+}
+
+impl WorkloadPoint {
+    /// Deterministic JSON projection of the point for `WORKLOAD.json` —
+    /// no wall-clock values, so the file is byte-identical under replay.
+    pub fn to_json(&self) -> serde_json::Value {
+        let r = &self.report;
+        json!({
+            "backend": self.backend,
+            "slots": self.slots,
+            "sessions": r.sessions,
+            "tenants": r.tenants,
+            "total_tasks": r.total_tasks,
+            "total_events": r.total_events,
+            "makespan_secs": r.makespan_secs,
+            "latency_p50": r.latency.p50,
+            "latency_p95": r.latency.p95,
+            "latency_p99": r.latency.p99,
+            "queue_depth_peak": r.queue_depth_peak,
+            "queue_depth_mean": r.queue_depth_mean,
+            "max_cross_check_err_secs": r.max_cross_check_err_secs,
+            "stream_fp": r.stream_fp,
+            "per_tenant": r.per_tenant,
+        })
+    }
+}
+
+/// Runs the fig11 sweep on one backend: the synthetic trace served at
+/// every slot width. The arrivals are generated once; service times are
+/// evaluated inside [`serve`]'s own parallel fan-out, so points run
+/// serially here without leaving cores idle.
+pub fn fig11_with(
+    seed: u64,
+    sessions: usize,
+    tenants: u64,
+    backend: StreamBackend,
+) -> Result<Vec<WorkloadPoint>, EntkError> {
+    let arrivals = SyntheticTrace::new(seed, sessions, tenants).generate()?;
+    let mut points = Vec::with_capacity(FIG11_SLOTS.len());
+    for &slots in FIG11_SLOTS {
+        let config = WorkloadConfig {
+            seed,
+            slots,
+            backend,
+            ..WorkloadConfig::default()
+        };
+        let out = serve(&config, &arrivals)?;
+        points.push(WorkloadPoint {
+            backend: config.backend.label(),
+            slots,
+            report: out.report,
+            jsonl: out.jsonl,
+        });
+    }
+    Ok(points)
+}
+
+/// Concatenated stream JSONL of a sweep leg, each line prefixed with its
+/// point's backend and slot width so one file captures the whole leg.
+pub fn leg_jsonl(points: &[WorkloadPoint]) -> String {
+    let mut out = String::new();
+    for p in points {
+        for line in p.jsonl.lines() {
+            out.push_str(&format!(
+                "{{\"backend\":\"{}\",\"slots\":{},{}\n",
+                p.backend,
+                p.slots,
+                &line[1..], // splice into the session object
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig11_replays_identically() {
+        let a = fig11_with(3, 8, 4, StreamBackend::Simulated).unwrap();
+        let b = fig11_with(3, 8, 4, StreamBackend::Simulated).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(leg_jsonl(&a), leg_jsonl(&b));
+    }
+
+    #[test]
+    fn fig11_points_honour_the_cross_check_budget() {
+        for p in fig11_with(5, 6, 3, StreamBackend::Federated { members: 2 }).unwrap() {
+            assert!(p.report.max_cross_check_err_secs <= 1e-6);
+            assert_eq!(p.report.backend, "federated:2");
+        }
+    }
+
+    #[test]
+    fn fig11_latency_decreases_with_slots() {
+        let points = fig11_with(7, 10, 4, StreamBackend::Simulated).unwrap();
+        assert_eq!(points.len(), FIG11_SLOTS.len());
+        for w in points.windows(2) {
+            assert!(w[1].report.latency.p99 <= w[0].report.latency.p99);
+        }
+    }
+
+    #[test]
+    fn leg_jsonl_lines_are_valid_json() {
+        let points = fig11_with(2, 4, 2, StreamBackend::Simulated).unwrap();
+        let jsonl = leg_jsonl(&points);
+        for line in jsonl.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert!(v["backend"].as_str().is_some());
+            assert!(v["session"].as_u64().is_some());
+        }
+    }
+}

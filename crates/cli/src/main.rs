@@ -7,32 +7,54 @@
 //!                                   trace (Chrome trace-event JSON for
 //!                                   Perfetto / chrome://tracing, or JSONL
 //!                                   when the path ends in .jsonl)
+//! entk run --workload <spec.json> [--json] [--trace <path>]
+//!                                   serve an open-loop session stream
+//!                                   described by a stream spec (see
+//!                                   `entk_workload::StreamSpec`): per-
+//!                                   tenant latency percentiles, queue
+//!                                   depth, makespan; --trace writes the
+//!                                   stream JSONL (one line per session)
 //! entk check <spec.json>            validate a spec without running it
 //! entk kernels                      list available kernel plugins
 //! ```
 
 use entk_cli::WorkloadSpec;
+use entk_workload::StreamSpec;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => {
-            let Some(path) = args.get(1) else {
-                eprintln!("usage: entk run <spec.json> [--json] [--trace <path>]");
-                return ExitCode::FAILURE;
-            };
+            let usage = "usage: entk run [--workload] <spec.json> [--json] [--trace <path>]";
             let as_json = args.iter().any(|a| a == "--json");
-            let trace_path = match args.iter().position(|a| a == "--trace") {
+            let workload = args.iter().any(|a| a == "--workload");
+            let trace_pos = args.iter().position(|a| a == "--trace");
+            let trace_path = match trace_pos {
                 Some(i) => match args.get(i + 1) {
                     Some(p) => Some(p.clone()),
                     None => {
-                        eprintln!("usage: entk run <spec.json> [--json] [--trace <path>]");
+                        eprintln!("{usage}");
                         return ExitCode::FAILURE;
                     }
                 },
                 None => None,
             };
+            // The spec path is the first non-flag argument after `run`
+            // that is not the value of --trace.
+            let Some(path) = args
+                .iter()
+                .enumerate()
+                .skip(1)
+                .find(|(i, a)| !a.starts_with("--") && trace_pos != Some(i.wrapping_sub(1)))
+                .map(|(_, a)| a)
+            else {
+                eprintln!("{usage}");
+                return ExitCode::FAILURE;
+            };
+            if workload {
+                return run_stream(path, as_json, trace_path);
+            }
             match load(path).and_then(|spec| spec.run_traced().map_err(|e| e.to_string())) {
                 Ok((report, telemetry)) => {
                     if as_json {
@@ -114,4 +136,55 @@ fn main() -> ExitCode {
 fn load(path: &str) -> Result<WorkloadSpec, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path:?}: {e}"))?;
     WorkloadSpec::from_json(&text).map_err(|e| e.to_string())
+}
+
+/// The `run --workload` mode: serve the open-loop session stream a
+/// [`StreamSpec`] describes and print the stream report.
+fn run_stream(path: &str, as_json: bool, trace_path: Option<String>) -> ExitCode {
+    let outcome = std::fs::read_to_string(path)
+        .map_err(|e| format!("reading {path:?}: {e}"))
+        .and_then(|text| StreamSpec::from_json(&text).map_err(|e| e.to_string()))
+        .and_then(|spec| spec.run().map_err(|e| e.to_string()));
+    let out = match outcome {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let r = &out.report;
+    if as_json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(r).expect("stream report serializes")
+        );
+    } else {
+        println!(
+            "stream: {} sessions from {} tenants on {} ({}, {} slots)",
+            r.sessions, r.tenants, r.resource, r.backend, r.slots
+        );
+        println!(
+            "  makespan {:.1}s  latency p50 {:.1}s p95 {:.1}s p99 {:.1}s",
+            r.makespan_secs, r.latency.p50, r.latency.p95, r.latency.p99
+        );
+        println!(
+            "  queue depth peak {:.0} mean {:.2}  events {}  cross-check {:.1e}s",
+            r.queue_depth_peak, r.queue_depth_mean, r.total_events, r.max_cross_check_err_secs
+        );
+        println!("  stream fingerprint {}", r.stream_fp);
+        for t in &r.per_tenant {
+            println!(
+                "  tenant {:>4}: {:>3} sessions  p50 {:>8.1}s  p95 {:>8.1}s  p99 {:>8.1}s",
+                t.tenant, t.sessions, t.p50, t.p95, t.p99
+            );
+        }
+    }
+    if let Some(trace_path) = trace_path {
+        if let Err(e) = std::fs::write(&trace_path, &out.jsonl) {
+            eprintln!("error: writing {trace_path:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("stream JSONL written to {trace_path}");
+    }
+    ExitCode::SUCCESS
 }

@@ -1,0 +1,43 @@
+//! # entk-workload — trace-driven open-loop workload layer
+//!
+//! Everything below this crate runs *one* session: a pattern, a resource,
+//! a report. This crate pivots the toolkit from "run a pattern" to "serve
+//! a stream": seeded arrival processes and CSV traces describe thousands
+//! of tenants submitting heterogeneous ensemble sessions (EoP / SAL / EE /
+//! PST, varied shapes and kernels), and a deterministic stream runner
+//! admits them onto the simulated or federated backend through the
+//! existing `SessionEngine` / `ExecutionBackend` seam.
+//!
+//! Three [`WorkloadGenerator`] implementations:
+//!
+//! 1. [`OpenLoopProcess`] — seeded Poisson or bursty arrivals over a
+//!    tenant population;
+//! 2. [`CsvTrace`] — an Alibaba/Google-style CSV schema
+//!    (`arrival_time,tenant,pattern,tasks,stages,kernel,cores`);
+//! 3. [`SyntheticTrace`] — an in-repo deterministic mixture whose CSV
+//!    rendering means CI never needs external trace data.
+//!
+//! The runner ([`serve`]) reports per-tenant latency percentiles,
+//! queue-depth time series from the telemetry gauges, and makespan under
+//! contention. Determinism is end to end: same seed or trace ⇒
+//! byte-identical stream JSONL and report, with every admitted session's
+//! own event trace fingerprinted and cross-checked against its overhead
+//! accounting.
+
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod runner;
+pub mod spec;
+pub mod trace;
+
+pub use arrival::{
+    ArrivalProcess, OpenLoopProcess, PatternKind, SessionArrival, WorkloadGenerator,
+    SUPPORTED_KERNELS,
+};
+pub use runner::{
+    fnv64, serve, SessionRecord, StreamBackend, TenantLatency, WorkloadConfig, WorkloadOutcome,
+    WorkloadReport, IN_SERVICE_GAUGE, QUEUE_DEPTH_GAUGE,
+};
+pub use spec::{SourceSpec, StreamSpec};
+pub use trace::{parse_trace, render_trace, CsvTrace, SyntheticTrace, TRACE_HEADER};

@@ -1,0 +1,552 @@
+//! The deterministic stream runner: admits a time-ordered stream of
+//! session arrivals onto a shared backend and reports latency, queue
+//! depth, and makespan under contention.
+//!
+//! ## Model
+//!
+//! The runner is an open-loop queueing system at session granularity. The
+//! shared backend exposes `slots` concurrent admission slots (think: how
+//! many pilot sessions the resource provider lets one gateway run at
+//! once). Sessions are admitted FIFO: arrival `i` starts at
+//! `max(arrival_i, k-th earliest slot-free time)` and occupies its slot
+//! for its time-to-completion.
+//!
+//! Each admitted session runs through the existing
+//! `SessionEngine`/`ExecutionBackend` seam (`run_simulated_traced` /
+//! `run_federated_traced`) on its own virtual clock; its service time is
+//! the session report's TTC. Because every simulated session starts from
+//! its own t = 0, service times are independent of stream start times, so
+//! the per-session evaluations are embarrassingly parallel — the runner
+//! fans them across cores in input order (same reassembly discipline as
+//! `entk-bench`'s `SweepRunner`) while the slot recursion itself stays
+//! serial and deterministic. Same seed + same arrivals ⇒ byte-identical
+//! JSONL and report.
+
+use crate::arrival::SessionArrival;
+use entk_core::prelude::*;
+use entk_core::EntkError;
+use entk_sim::{Metrics, SimDuration, SimTime, Summary};
+use rayon::prelude::*;
+use serde::Serialize;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// Gauge name of the arrived-but-not-started depth series.
+pub const QUEUE_DEPTH_GAUGE: &str = "workload.queue_depth";
+/// Gauge name of the admitted-and-running depth series.
+pub const IN_SERVICE_GAUGE: &str = "workload.in_service";
+
+/// Which shared backend the stream admits sessions onto.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamBackend {
+    /// One simulated cluster per session pilot.
+    Simulated,
+    /// Each session late-binds across `members` simulated clusters.
+    Federated {
+        /// Member clusters per session (>= 2).
+        members: usize,
+    },
+}
+
+impl StreamBackend {
+    /// Stable label used in reports and bench rows.
+    pub fn label(self) -> String {
+        match self {
+            StreamBackend::Simulated => "simulated".to_string(),
+            StreamBackend::Federated { members } => format!("federated:{members}"),
+        }
+    }
+}
+
+/// Stream-level configuration of the workload runner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    /// Master seed; each session derives an independent sub-seed from it.
+    pub seed: u64,
+    /// Resource every session's pilot is acquired on.
+    pub resource: String,
+    /// Concurrent admission slots of the shared backend.
+    pub slots: usize,
+    /// Backend sessions run on.
+    pub backend: StreamBackend,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            seed: 2016,
+            resource: "xsede.stampede".to_string(),
+            slots: 4,
+            backend: StreamBackend::Simulated,
+        }
+    }
+}
+
+/// Latency percentiles of one tenant (or of the whole stream).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TenantLatency {
+    /// Tenant id; `u64::MAX` marks the all-tenants aggregate.
+    pub tenant: u64,
+    /// Sessions this tenant submitted.
+    pub sessions: usize,
+    /// Median latency (arrival → finish), seconds.
+    pub p50: f64,
+    /// 95th-percentile latency, seconds.
+    pub p95: f64,
+    /// 99th-percentile latency, seconds.
+    pub p99: f64,
+}
+
+/// One admitted session's stream-level outcome.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SessionRecord {
+    /// Index in arrival order.
+    pub session: usize,
+    /// Owning tenant.
+    pub tenant: u64,
+    /// Pattern label.
+    pub pattern: String,
+    /// Arrival instant, seconds.
+    pub arrival_secs: f64,
+    /// Admission instant, seconds.
+    pub start_secs: f64,
+    /// Completion instant, seconds.
+    pub finish_secs: f64,
+    /// Arrival → finish, seconds.
+    pub latency_secs: f64,
+    /// The session's own time-to-completion (service time), seconds.
+    pub ttc_secs: f64,
+    /// Tasks the session executed.
+    pub tasks: usize,
+    /// Simulator events the session processed.
+    pub events: u64,
+    /// FNV-1a 64 fingerprint of the session's JSONL event trace.
+    pub trace_fp: String,
+}
+
+/// Aggregated stream report.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct WorkloadReport {
+    /// Backend label (`simulated` or `federated:N`).
+    pub backend: String,
+    /// Resource sessions ran on.
+    pub resource: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Concurrent admission slots.
+    pub slots: usize,
+    /// Sessions served.
+    pub sessions: usize,
+    /// Distinct tenants observed.
+    pub tenants: usize,
+    /// Total tasks across all sessions.
+    pub total_tasks: usize,
+    /// Total simulator events across all sessions.
+    pub total_events: u64,
+    /// Stream makespan: latest session finish, seconds.
+    pub makespan_secs: f64,
+    /// All-tenants latency percentiles.
+    pub latency: TenantLatency,
+    /// Per-tenant latency percentiles, sorted by tenant id.
+    pub per_tenant: Vec<TenantLatency>,
+    /// Arrived-but-not-started depth over stream time (secs, depth).
+    pub queue_depth: Vec<(f64, f64)>,
+    /// Peak of the queue-depth series.
+    pub queue_depth_peak: f64,
+    /// Time-weighted mean of the queue-depth series.
+    pub queue_depth_mean: f64,
+    /// Admitted-and-running depth over stream time (secs, depth).
+    pub in_service: Vec<(f64, f64)>,
+    /// Largest per-session trace/accounting divergence, seconds. The
+    /// cross-check gate (`<= 1e-6`) is asserted by benches and tests.
+    pub max_cross_check_err_secs: f64,
+    /// FNV-1a 64 fingerprint of the stream JSONL.
+    pub stream_fp: String,
+    /// Per-session records in arrival order.
+    pub records: Vec<SessionRecord>,
+}
+
+/// A served stream: the report plus the stream JSONL (one line per
+/// session, byte-identical under replay).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadOutcome {
+    /// Aggregated report.
+    pub report: WorkloadReport,
+    /// One JSON line per session, in arrival order.
+    pub jsonl: String,
+}
+
+/// FNV-1a 64 over arbitrary bytes (same constants as the bench trace
+/// fingerprints, so stream and session fingerprints are comparable).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// splitmix64-style per-session seed derivation: decorrelates sessions
+/// without consuming master-RNG draws, so inserting a session never
+/// perturbs its neighbours.
+fn session_seed(seed: u64, index: usize) -> u64 {
+    let mut z = seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Service-time evaluation result of one session, before stream queueing.
+struct SessionService {
+    ttc: SimDuration,
+    tasks: usize,
+    events: u64,
+    trace_fp: u64,
+    cc_err: f64,
+}
+
+fn run_session(
+    config: &WorkloadConfig,
+    index: usize,
+    arrival: &SessionArrival,
+) -> Result<SessionService, EntkError> {
+    let mut pattern = arrival.build_pattern()?;
+    let walltime = SimDuration::from_secs(10_000_000);
+    let seed = session_seed(config.seed, index);
+    let (report, telemetry) = match config.backend {
+        StreamBackend::Simulated => {
+            let rc = ResourceConfig::new(config.resource.clone(), arrival.cores, walltime);
+            let sim = SimulatedConfig {
+                seed,
+                ..Default::default()
+            };
+            run_simulated_traced(rc, sim, pattern.as_mut())?
+        }
+        StreamBackend::Federated { members } => {
+            if members < 2 {
+                return Err(EntkError::Usage(
+                    "federated stream backend needs at least 2 members".into(),
+                ));
+            }
+            let fed = FederatedConfig {
+                seed,
+                clusters: (0..members)
+                    .map(|_| ClusterSpec::new(config.resource.clone(), arrival.cores, walltime))
+                    .collect(),
+                ..FederatedConfig::default()
+            };
+            run_federated_traced(fed, pattern.as_mut())?
+        }
+    };
+    if report.partial {
+        return Err(EntkError::Runtime(format!(
+            "session {index}: degraded to a partial result"
+        )));
+    }
+    let cc = cross_check(&report, &telemetry.tracer);
+    Ok(SessionService {
+        ttc: report.ttc,
+        tasks: report.task_count(),
+        events: report.events,
+        trace_fp: fnv64(telemetry.tracer.to_jsonl().as_bytes()),
+        cc_err: cc.max_abs_error_secs,
+    })
+}
+
+/// Serves a stream of arrivals on the configured backend.
+///
+/// Validates the stream (non-empty, time-ordered, individually valid
+/// rows), evaluates every session's service time in parallel, then runs
+/// the serial `slots`-server FIFO admission recursion and assembles the
+/// report. Deterministic: same config + same arrivals ⇒ byte-identical
+/// [`WorkloadOutcome`].
+pub fn serve(
+    config: &WorkloadConfig,
+    arrivals: &[SessionArrival],
+) -> Result<WorkloadOutcome, EntkError> {
+    if arrivals.is_empty() {
+        return Err(EntkError::Usage("cannot serve an empty stream".into()));
+    }
+    if config.slots == 0 {
+        return Err(EntkError::Usage("slots must be >= 1".into()));
+    }
+    for (i, w) in arrivals.windows(2).enumerate() {
+        if w[1].arrival < w[0].arrival {
+            return Err(EntkError::Usage(format!(
+                "arrivals out of order at index {}",
+                i + 1
+            )));
+        }
+    }
+    for a in arrivals {
+        a.validate()?;
+    }
+
+    // Parallel service-time evaluation, reassembled in arrival order.
+    let indexed: Vec<(usize, &SessionArrival)> = arrivals.iter().enumerate().collect();
+    let mut evaluated: Vec<(usize, Result<SessionService, EntkError>)> = indexed
+        .into_par_iter()
+        .map(|(i, a)| (i, run_session(config, i, a)))
+        .collect();
+    evaluated.sort_by_key(|(i, _)| *i);
+    let mut services = Vec::with_capacity(arrivals.len());
+    for (_, r) in evaluated {
+        services.push(r?);
+    }
+
+    // Serial k-server FIFO admission recursion.
+    let mut free: BinaryHeap<Reverse<SimTime>> =
+        (0..config.slots).map(|_| Reverse(SimTime::ZERO)).collect();
+    let mut records = Vec::with_capacity(arrivals.len());
+    let mut jsonl = String::new();
+    let mut max_cc = 0.0f64;
+    let mut total_tasks = 0usize;
+    let mut total_events = 0u64;
+    let mut makespan = SimTime::ZERO;
+    for (i, (arrival, service)) in arrivals.iter().zip(&services).enumerate() {
+        let Reverse(avail) = free.pop().expect("slots >= 1");
+        let start = arrival.arrival.max(avail);
+        let finish = start + service.ttc;
+        free.push(Reverse(finish));
+        makespan = makespan.max(finish);
+        max_cc = max_cc.max(service.cc_err);
+        total_tasks += service.tasks;
+        total_events += service.events;
+        let record = SessionRecord {
+            session: i,
+            tenant: arrival.tenant,
+            pattern: arrival.pattern.as_str().to_string(),
+            arrival_secs: arrival.arrival.as_secs_f64(),
+            start_secs: start.as_secs_f64(),
+            finish_secs: finish.as_secs_f64(),
+            latency_secs: finish.saturating_since(arrival.arrival).as_secs_f64(),
+            ttc_secs: service.ttc.as_secs_f64(),
+            tasks: service.tasks,
+            events: service.events,
+            trace_fp: format!("{:016x}", service.trace_fp),
+        };
+        // Hand-rendered so the stream JSONL is byte-stable by construction.
+        jsonl.push_str(&format!(
+            "{{\"session\":{},\"tenant\":{},\"pattern\":\"{}\",\"arrival\":{:.6},\
+             \"start\":{:.6},\"finish\":{:.6},\"latency\":{:.6},\"ttc\":{:.6},\
+             \"tasks\":{},\"events\":{},\"trace_fp\":\"{}\"}}\n",
+            record.session,
+            record.tenant,
+            record.pattern,
+            record.arrival_secs,
+            record.start_secs,
+            record.finish_secs,
+            record.latency_secs,
+            record.ttc_secs,
+            record.tasks,
+            record.events,
+            record.trace_fp,
+        ));
+        records.push(record);
+    }
+
+    // Queue-depth / in-service gauges from the admission timeline, through
+    // the telemetry metrics machinery (deterministic iteration order).
+    let mut metrics = Metrics::new();
+    record_depth_gauges(&mut metrics, &records);
+    let series = |name: &str| -> Vec<(f64, f64)> {
+        metrics
+            .series(name)
+            .map(|s| {
+                s.points()
+                    .iter()
+                    .map(|&(t, v)| (t.as_secs_f64(), v))
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let queue_depth = series(QUEUE_DEPTH_GAUGE);
+    let in_service = series(IN_SERVICE_GAUGE);
+    let (queue_depth_peak, queue_depth_mean) = metrics
+        .series(QUEUE_DEPTH_GAUGE)
+        .map(|s| (s.peak(), s.time_weighted_mean()))
+        .unwrap_or((0.0, 0.0));
+
+    // Latency percentiles, aggregate and per tenant.
+    let mut all = Summary::new();
+    let mut by_tenant: BTreeMap<u64, Summary> = BTreeMap::new();
+    for r in &records {
+        all.add(r.latency_secs);
+        by_tenant.entry(r.tenant).or_default().add(r.latency_secs);
+    }
+    let latency_of = |tenant: u64, s: &Summary| {
+        let ps = s.percentiles(&[50.0, 95.0, 99.0]);
+        TenantLatency {
+            tenant,
+            sessions: s.count(),
+            p50: ps[0],
+            p95: ps[1],
+            p99: ps[2],
+        }
+    };
+    let per_tenant: Vec<TenantLatency> = by_tenant.iter().map(|(t, s)| latency_of(*t, s)).collect();
+
+    let report = WorkloadReport {
+        backend: config.backend.label(),
+        resource: config.resource.clone(),
+        seed: config.seed,
+        slots: config.slots,
+        sessions: records.len(),
+        tenants: per_tenant.len(),
+        total_tasks,
+        total_events,
+        makespan_secs: makespan.as_secs_f64(),
+        latency: latency_of(u64::MAX, &all),
+        per_tenant,
+        queue_depth,
+        queue_depth_peak,
+        queue_depth_mean,
+        in_service,
+        max_cross_check_err_secs: max_cc,
+        stream_fp: format!("{:016x}", fnv64(jsonl.as_bytes())),
+        records,
+    };
+    Ok(WorkloadOutcome { report, jsonl })
+}
+
+/// Replays the admission timeline as gauge samples: queue depth counts
+/// sessions that arrived but have not started; in-service counts sessions
+/// between start and finish. Ties resolve finish → arrive → start so a
+/// slot freed at `t` is visible to a session starting at `t`.
+fn record_depth_gauges(metrics: &mut Metrics, records: &[SessionRecord]) {
+    // (micros, kind, delta_queued, delta_running); kind orders ties.
+    let mut events: Vec<(u64, u8, i64, i64)> = Vec::with_capacity(records.len() * 3);
+    let micros = |secs: f64| SimDuration::from_secs_f64(secs).as_micros();
+    for r in records {
+        events.push((micros(r.finish_secs), 0, 0, -1));
+        events.push((micros(r.arrival_secs), 1, 1, 0));
+        events.push((micros(r.start_secs), 2, -1, 1));
+    }
+    events.sort_unstable();
+    let (mut queued, mut running) = (0i64, 0i64);
+    for (t, _, dq, dr) in events {
+        queued += dq;
+        running += dr;
+        let at = SimTime::from_micros(t);
+        metrics.gauge(QUEUE_DEPTH_GAUGE, at, queued as f64);
+        metrics.gauge(IN_SERVICE_GAUGE, at, running as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::{OpenLoopProcess, WorkloadGenerator};
+
+    fn small_stream() -> Vec<SessionArrival> {
+        OpenLoopProcess::poisson(9, 12, 4, 60.0).generate().unwrap()
+    }
+
+    #[test]
+    fn serve_replays_byte_identically() {
+        let config = WorkloadConfig {
+            slots: 2,
+            ..WorkloadConfig::default()
+        };
+        let arrivals = small_stream();
+        let a = serve(&config, &arrivals).unwrap();
+        let b = serve(&config, &arrivals).unwrap();
+        assert_eq!(a.jsonl, b.jsonl);
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.report.sessions, 12);
+    }
+
+    #[test]
+    fn latency_and_queue_series_are_populated() {
+        let config = WorkloadConfig {
+            slots: 1, // maximum contention: everything queues
+            ..WorkloadConfig::default()
+        };
+        let arrivals = small_stream();
+        let out = serve(&config, &arrivals).unwrap();
+        let r = &out.report;
+        assert!(r.latency.p50 > 0.0);
+        assert!(r.latency.p99 >= r.latency.p95 && r.latency.p95 >= r.latency.p50);
+        assert!(!r.per_tenant.is_empty());
+        assert!(r.per_tenant.iter().all(|t| t.sessions > 0));
+        assert_eq!(
+            r.per_tenant.iter().map(|t| t.sessions).sum::<usize>(),
+            r.sessions
+        );
+        assert_eq!(r.queue_depth.len(), 3 * r.sessions);
+        assert!(r.queue_depth_peak >= 1.0, "one slot must force queueing");
+        assert!(r.queue_depth_mean > 0.0);
+        assert!(r.makespan_secs > 0.0);
+        assert!(r.max_cross_check_err_secs <= 1e-6);
+        // Depth series never go negative and end drained.
+        assert!(r.queue_depth.iter().all(|&(_, d)| d >= 0.0));
+        assert_eq!(r.queue_depth.last().unwrap().1, 0.0);
+        assert_eq!(r.in_service.last().unwrap().1, 0.0);
+    }
+
+    #[test]
+    fn more_slots_never_increase_latency() {
+        let arrivals = small_stream();
+        let serve_slots = |slots| {
+            serve(
+                &WorkloadConfig {
+                    slots,
+                    ..WorkloadConfig::default()
+                },
+                &arrivals,
+            )
+            .unwrap()
+            .report
+        };
+        let narrow = serve_slots(1);
+        let wide = serve_slots(8);
+        assert!(wide.latency.p99 <= narrow.latency.p99);
+        assert!(wide.makespan_secs <= narrow.makespan_secs);
+        // Service times are slot-independent.
+        for (a, b) in narrow.records.iter().zip(&wide.records) {
+            assert_eq!(a.ttc_secs, b.ttc_secs);
+        }
+    }
+
+    #[test]
+    fn federated_backend_serves_the_same_stream() {
+        let config = WorkloadConfig {
+            backend: StreamBackend::Federated { members: 2 },
+            slots: 2,
+            ..WorkloadConfig::default()
+        };
+        let arrivals = OpenLoopProcess::poisson(4, 6, 3, 60.0).generate().unwrap();
+        let a = serve(&config, &arrivals).unwrap();
+        let b = serve(&config, &arrivals).unwrap();
+        assert_eq!(a.jsonl, b.jsonl);
+        assert_eq!(a.report.backend, "federated:2");
+        assert!(a.report.max_cross_check_err_secs <= 1e-6);
+    }
+
+    #[test]
+    fn stream_misuse_is_rejected() {
+        let arrivals = small_stream();
+        assert!(serve(&WorkloadConfig::default(), &[]).is_err());
+        assert!(serve(
+            &WorkloadConfig {
+                slots: 0,
+                ..WorkloadConfig::default()
+            },
+            &arrivals
+        )
+        .is_err());
+        let mut unordered = arrivals.clone();
+        let last = unordered.len() - 1;
+        unordered.swap(0, last);
+        assert!(serve(&WorkloadConfig::default(), &unordered).is_err());
+        assert!(serve(
+            &WorkloadConfig {
+                backend: StreamBackend::Federated { members: 1 },
+                ..WorkloadConfig::default()
+            },
+            &arrivals
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,206 @@
+//! JSON stream specifications: declare a workload source (arrival process
+//! or trace) and the shared backend it is served on; used by
+//! `entk run --workload spec.json`.
+//!
+//! ```json
+//! {
+//!   "seed": 42,
+//!   "resource": "xsede.stampede",
+//!   "slots": 4,
+//!   "backend": "simulated",
+//!   "source": { "kind": "poisson", "sessions": 50, "tenants": 8,
+//!               "mean_interarrival_secs": 30.0 }
+//! }
+//! ```
+
+use crate::arrival::{OpenLoopProcess, SessionArrival, WorkloadGenerator};
+use crate::runner::{serve, StreamBackend, WorkloadConfig, WorkloadOutcome};
+use crate::trace::{CsvTrace, SyntheticTrace};
+use entk_core::EntkError;
+use serde::{Deserialize, Serialize};
+
+/// Top-level stream specification.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamSpec {
+    /// Master seed.
+    #[serde(default = "default_seed")]
+    pub seed: u64,
+    /// Resource sessions run on.
+    #[serde(default = "default_resource")]
+    pub resource: String,
+    /// Concurrent admission slots.
+    #[serde(default = "default_slots")]
+    pub slots: usize,
+    /// Backend: `"simulated"` (default) or `"federated"`.
+    #[serde(default = "default_backend")]
+    pub backend: String,
+    /// Member clusters per session on the federated backend.
+    #[serde(default = "default_members")]
+    pub members: usize,
+    /// Where the arrivals come from.
+    pub source: SourceSpec,
+}
+
+fn default_seed() -> u64 {
+    2016
+}
+fn default_resource() -> String {
+    "xsede.stampede".into()
+}
+fn default_slots() -> usize {
+    4
+}
+fn default_backend() -> String {
+    "simulated".into()
+}
+fn default_members() -> usize {
+    2
+}
+
+/// The workload sources a spec may declare.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum SourceSpec {
+    /// Seeded Poisson arrival process.
+    Poisson {
+        /// Sessions to emit.
+        sessions: usize,
+        /// Tenant population size.
+        tenants: u64,
+        /// Mean inter-arrival gap, seconds.
+        mean_interarrival_secs: f64,
+    },
+    /// Seeded bursty arrival process.
+    Burst {
+        /// Sessions to emit.
+        sessions: usize,
+        /// Tenant population size.
+        tenants: u64,
+        /// Sessions per burst.
+        burst_size: usize,
+        /// Mean gap between bursts, seconds.
+        mean_gap_secs: f64,
+    },
+    /// The in-repo synthetic trace mixture.
+    Synthetic {
+        /// Sessions to emit.
+        sessions: usize,
+        /// Tenant population size.
+        tenants: u64,
+    },
+    /// A CSV trace file in the canonical schema.
+    Trace {
+        /// Path to the trace file.
+        path: String,
+    },
+}
+
+impl StreamSpec {
+    /// Parses a spec from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, EntkError> {
+        serde_json::from_str(text).map_err(|e| EntkError::Usage(format!("bad workload spec: {e}")))
+    }
+
+    /// Generates the spec's arrivals (without serving them).
+    pub fn arrivals(&self) -> Result<Vec<SessionArrival>, EntkError> {
+        match &self.source {
+            SourceSpec::Poisson {
+                sessions,
+                tenants,
+                mean_interarrival_secs,
+            } => OpenLoopProcess::poisson(self.seed, *sessions, *tenants, *mean_interarrival_secs)
+                .generate(),
+            SourceSpec::Burst {
+                sessions,
+                tenants,
+                burst_size,
+                mean_gap_secs,
+            } => {
+                OpenLoopProcess::burst(self.seed, *sessions, *tenants, *burst_size, *mean_gap_secs)
+                    .generate()
+            }
+            SourceSpec::Synthetic { sessions, tenants } => {
+                SyntheticTrace::new(self.seed, *sessions, *tenants).generate()
+            }
+            SourceSpec::Trace { path } => CsvTrace::from_path(path)?.generate(),
+        }
+    }
+
+    /// Compiles the backend/slots/seed fields into a runner config.
+    pub fn config(&self) -> Result<WorkloadConfig, EntkError> {
+        let backend = match self.backend.as_str() {
+            "simulated" => StreamBackend::Simulated,
+            "federated" => StreamBackend::Federated {
+                members: self.members,
+            },
+            other => {
+                return Err(EntkError::Usage(format!(
+                    "unknown backend {other:?} (use \"simulated\" or \"federated\")"
+                )))
+            }
+        };
+        Ok(WorkloadConfig {
+            seed: self.seed,
+            resource: self.resource.clone(),
+            slots: self.slots,
+            backend,
+        })
+    }
+
+    /// Generates and serves the stream.
+    pub fn run(&self) -> Result<WorkloadOutcome, EntkError> {
+        let arrivals = self.arrivals()?;
+        serve(&self.config()?, &arrivals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_runs_a_poisson_spec() {
+        let text = r#"{
+            "seed": 7,
+            "slots": 2,
+            "source": { "kind": "poisson", "sessions": 8, "tenants": 3,
+                        "mean_interarrival_secs": 60.0 }
+        }"#;
+        let spec = StreamSpec::from_json(text).unwrap();
+        assert_eq!(spec.backend, "simulated");
+        assert_eq!(spec.resource, "xsede.stampede");
+        let out = spec.run().unwrap();
+        assert_eq!(out.report.sessions, 8);
+        assert!(out.report.max_cross_check_err_secs <= 1e-6);
+    }
+
+    #[test]
+    fn synthetic_spec_runs_federated() {
+        let text = r#"{
+            "seed": 3,
+            "backend": "federated",
+            "members": 2,
+            "slots": 2,
+            "source": { "kind": "synthetic", "sessions": 6, "tenants": 2 }
+        }"#;
+        let out = StreamSpec::from_json(text).unwrap().run().unwrap();
+        assert_eq!(out.report.backend, "federated:2");
+        assert_eq!(out.report.sessions, 6);
+    }
+
+    #[test]
+    fn bad_specs_are_usage_errors() {
+        assert!(StreamSpec::from_json("{}").is_err());
+        assert!(StreamSpec::from_json("not json").is_err());
+        let bad_backend = r#"{
+            "backend": "cloud",
+            "source": { "kind": "synthetic", "sessions": 4, "tenants": 2 }
+        }"#;
+        let spec = StreamSpec::from_json(bad_backend).unwrap();
+        assert!(matches!(spec.run(), Err(EntkError::Usage(_))));
+        let missing_trace = r#"{
+            "source": { "kind": "trace", "path": "/nonexistent/trace.csv" }
+        }"#;
+        assert!(StreamSpec::from_json(missing_trace).unwrap().run().is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! Property tests: a generated stream of valid arrivals survives the
+//! CSV render → parse round-trip exactly.
+
+use entk_sim::{SimDuration, SimTime};
+use entk_workload::{parse_trace, render_trace, PatternKind, SessionArrival, SUPPORTED_KERNELS};
+use proptest::prelude::*;
+
+/// Builds a sorted, schema-valid arrival list from raw draws: each draw is
+/// (gap_µs, tenant, selector, cores); pattern shape and kernel derive from
+/// the selector.
+fn arrivals_from_draws(draws: &[(u64, u64, u64, usize)]) -> Vec<SessionArrival> {
+    let mut clock = SimTime::ZERO;
+    draws
+        .iter()
+        .map(|&(gap_us, tenant, sel, cores)| {
+            clock += SimDuration::from_secs_f64(gap_us as f64 * 1e-6);
+            SessionArrival {
+                arrival: clock,
+                tenant,
+                pattern: PatternKind::ALL[(sel % 4) as usize],
+                tasks: 1 + (sel / 4 % 16) as usize,
+                stages: 1 + (sel / 64 % 4) as usize,
+                kernel: SUPPORTED_KERNELS[(sel / 256) as usize % SUPPORTED_KERNELS.len()]
+                    .to_string(),
+                cores,
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generate_render_parse_round_trips(
+        draws in proptest::collection::vec(
+            (0u64..120_000_000, 0u64..10_000, 0u64..1_000_000, 1usize..256),
+            1..40,
+        )
+    ) {
+        let rows = arrivals_from_draws(&draws);
+        let csv = render_trace(&rows);
+        let parsed = parse_trace(&csv).expect("rendered trace must parse");
+        prop_assert_eq!(parsed, rows);
+    }
+
+    #[test]
+    fn rendered_traces_replay_identically(
+        draws in proptest::collection::vec(
+            (0u64..60_000_000, 0u64..100, 0u64..1_000_000, 1usize..64),
+            1..20,
+        )
+    ) {
+        let rows = arrivals_from_draws(&draws);
+        let a = render_trace(&rows);
+        let b = render_trace(&rows);
+        prop_assert_eq!(a, b);
+    }
+}

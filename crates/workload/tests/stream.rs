@@ -1,0 +1,105 @@
+//! End-to-end stream tests: the synthetic trace served on both backends,
+//! with replay identity, cross-check budgets, and populated reports.
+
+use entk_workload::{
+    parse_trace, serve, StreamBackend, StreamSpec, SyntheticTrace, WorkloadConfig,
+    WorkloadGenerator,
+};
+
+fn small_config(backend: StreamBackend) -> WorkloadConfig {
+    WorkloadConfig {
+        seed: 2016,
+        resource: "xsede.stampede".into(),
+        slots: 2,
+        backend,
+    }
+}
+
+#[test]
+fn synthetic_stream_replays_identically_on_simulated_backend() {
+    let arrivals = SyntheticTrace::new(11, 10, 4).generate().unwrap();
+    let config = small_config(StreamBackend::Simulated);
+    let a = serve(&config, &arrivals).unwrap();
+    let b = serve(&config, &arrivals).unwrap();
+    assert_eq!(a.jsonl, b.jsonl, "stream JSONL must be byte-identical");
+    assert_eq!(a.report.stream_fp, b.report.stream_fp);
+    assert_eq!(
+        serde_json::to_string(&a.report).unwrap(),
+        serde_json::to_string(&b.report).unwrap(),
+        "serialized report must be byte-identical"
+    );
+}
+
+#[test]
+fn synthetic_stream_replays_identically_on_federated_backend() {
+    let arrivals = SyntheticTrace::new(11, 6, 3).generate().unwrap();
+    let config = small_config(StreamBackend::Federated { members: 2 });
+    let a = serve(&config, &arrivals).unwrap();
+    let b = serve(&config, &arrivals).unwrap();
+    assert_eq!(a.jsonl, b.jsonl);
+    assert_eq!(a.report.backend, "federated:2");
+    assert_eq!(a.report.stream_fp, b.report.stream_fp);
+}
+
+#[test]
+fn served_stream_reports_are_fully_populated() {
+    let arrivals = SyntheticTrace::new(5, 12, 4).generate().unwrap();
+    let out = serve(&small_config(StreamBackend::Simulated), &arrivals).unwrap();
+    let r = &out.report;
+    assert_eq!(r.sessions, 12);
+    assert!(r.tenants >= 1 && r.tenants <= 4);
+    assert!(r.total_tasks > 0);
+    assert!(r.total_events > 0);
+    assert!(r.makespan_secs > 0.0);
+    assert!(r.max_cross_check_err_secs <= 1e-6, "cross-check budget");
+    // Aggregate latency percentiles are ordered and positive.
+    assert!(r.latency.p50 > 0.0);
+    assert!(r.latency.p50 <= r.latency.p95);
+    assert!(r.latency.p95 <= r.latency.p99);
+    // Per-tenant rows cover every tenant seen in the stream, sorted.
+    assert_eq!(r.per_tenant.len(), r.tenants);
+    for w in r.per_tenant.windows(2) {
+        assert!(w[0].tenant < w[1].tenant);
+    }
+    assert_eq!(
+        r.per_tenant.iter().map(|t| t.sessions).sum::<usize>(),
+        r.sessions
+    );
+    // Queue depth series starts populated and drains to zero.
+    assert!(!r.queue_depth.is_empty());
+    assert_eq!(r.queue_depth.last().unwrap().1, 0.0);
+    assert!(r.queue_depth_peak >= 0.0);
+    // One record and one JSONL line per session.
+    assert_eq!(r.records.len(), r.sessions);
+    assert_eq!(out.jsonl.lines().count(), r.sessions);
+}
+
+#[test]
+fn synthetic_trace_csv_serves_the_same_stream_as_the_generator() {
+    let synth = SyntheticTrace::new(9, 8, 3);
+    let direct = synth.generate().unwrap();
+    let via_csv = parse_trace(&synth.to_csv().unwrap()).unwrap();
+    assert_eq!(direct, via_csv);
+    let config = small_config(StreamBackend::Simulated);
+    let a = serve(&config, &direct).unwrap();
+    let b = serve(&config, &via_csv).unwrap();
+    assert_eq!(a.jsonl, b.jsonl);
+}
+
+#[test]
+fn spec_driven_run_matches_direct_serve() {
+    let text = r#"{
+        "seed": 11,
+        "slots": 2,
+        "source": { "kind": "synthetic", "sessions": 10, "tenants": 4 }
+    }"#;
+    let via_spec = StreamSpec::from_json(text).unwrap().run().unwrap();
+    let arrivals = SyntheticTrace::new(11, 10, 4).generate().unwrap();
+    let config = WorkloadConfig {
+        seed: 11,
+        ..small_config(StreamBackend::Simulated)
+    };
+    let direct = serve(&config, &arrivals).unwrap();
+    assert_eq!(via_spec.jsonl, direct.jsonl);
+    assert_eq!(via_spec.report.stream_fp, direct.report.stream_fp);
+}
