@@ -37,8 +37,12 @@
 //!   --workload        run the fig11 open-loop workload sweep instead:
 //!                     the synthetic trace served at each admission-slot
 //!                     width on the simulated and federated backends,
-//!                     with replay-identity and cross-check assertions;
-//!                     writes WORKLOAD.json + WORKLOAD.jsonl
+//!                     with replay-identity and cross-check assertions,
+//!                     plus the fifo-vs-fair-share fairness ablation on
+//!                     the hot-tenant trace; writes WORKLOAD.json +
+//!                     WORKLOAD.jsonl. With --baseline, the serve path's
+//!                     events/sec is gated against the fig11 floors
+//!   --policy P        fig11 admission policy: fifo | fair [default: fifo]
 //!   --sessions N      fig11 stream length                  [default: 24]
 //!   --tenants N       fig11 tenant population               [default: 8]
 //! ```
@@ -51,11 +55,12 @@
 //! projection (`entk_bench::deterministic_view`) instead.
 
 use entk_bench::{
-    deterministic_view, federated_resilience_with, fig11_with, figures, leg_jsonl,
-    resilience_sweep_with, Row, SweepRunner, FIG11_SESSIONS, FIG11_SLOTS, FIG11_TENANTS,
+    deterministic_view, fairness_ablation_with, federated_resilience_with, fig11_with_policy,
+    figures, leg_jsonl, resilience_sweep_with, FairnessAblation, Row, SweepRunner,
+    FIG11_HALF_LIFE_SECS, FIG11_SESSIONS, FIG11_SLOTS, FIG11_TENANTS,
 };
 use entk_core::prelude::DriveMode;
-use entk_workload::StreamBackend;
+use entk_workload::{AdmissionPolicy, StreamBackend};
 use serde_json::json;
 use std::time::Instant;
 
@@ -81,6 +86,7 @@ struct Options {
     budget_secs: Option<f64>,
     baseline: Option<String>,
     workload: bool,
+    policy: AdmissionPolicy,
     sessions: usize,
     tenants: u64,
 }
@@ -113,6 +119,7 @@ fn parse_args() -> Options {
         budget_secs: None,
         baseline: None,
         workload: false,
+        policy: AdmissionPolicy::Fifo,
         sessions: FIG11_SESSIONS,
         tenants: FIG11_TENANTS,
     };
@@ -157,6 +164,16 @@ fn parse_args() -> Options {
             }
             "--baseline" => opts.baseline = Some(value("--baseline")),
             "--workload" => opts.workload = true,
+            "--policy" => {
+                let name = value("--policy");
+                opts.policy = match AdmissionPolicy::parse(&name) {
+                    Ok(AdmissionPolicy::Fifo) => AdmissionPolicy::Fifo,
+                    Ok(AdmissionPolicy::FairShare { .. }) => AdmissionPolicy::FairShare {
+                        half_life_secs: FIG11_HALF_LIFE_SECS,
+                    },
+                    Err(e) => panic!("{e}"),
+                };
+            }
             "--sessions" => {
                 opts.sessions = value("--sessions").parse().expect("--sessions: integer")
             }
@@ -497,28 +514,34 @@ fn run_fed_scale_sweep(opts: &Options) {
 
 /// The `--workload` mode: the fig11 open-loop workload sweep — the
 /// synthetic trace served at each admission-slot width on the simulated
-/// and two-member federated backends. Each leg runs twice; the replay
-/// must be byte-identical (reports and stream JSONL), and every point
-/// must hold the `<= 1 µs` cross-check budget. `WORKLOAD.json` and the
-/// combined stream JSONL contain only deterministic values, so both files
-/// are byte-identical under replay; wall-clock timings go to stdout.
+/// and two-member federated backends, under the `--policy` admission
+/// policy. Each leg runs twice; the replay must be byte-identical
+/// (reports and stream JSONL), and every point must hold the `<= 1 µs`
+/// cross-check budget. The fifo-vs-fair-share fairness ablation then
+/// serves the hot-tenant trace under both policies on the same arrivals.
+/// `WORKLOAD.json` and the combined stream JSONL contain only
+/// deterministic values, so both files are byte-identical under replay;
+/// wall-clock timings go to stdout. With `--baseline`, each leg's
+/// events/sec is gated against the file's `fig11` floors.
 fn run_workload_sweep(opts: &Options) {
     let (seed, sessions, tenants) = (opts.seed, opts.sessions, opts.tenants);
+    let policy = opts.policy;
     let backends = [
         StreamBackend::Simulated,
         StreamBackend::Federated { members: 2 },
     ];
     let mut all_points = Vec::new();
     let mut jsonl = String::new();
+    let mut leg_rates = Vec::new();
     let mut total = 0.0f64;
     for backend in backends {
         let label = backend.label();
         let t0 = Instant::now();
-        let points = fig11_with(seed, sessions, tenants, backend)
+        let points = fig11_with_policy(seed, sessions, tenants, backend, policy)
             .unwrap_or_else(|e| fail(format!("fig11 {label}: {e}")));
         let secs = t0.elapsed().as_secs_f64();
         let t1 = Instant::now();
-        let replay = fig11_with(seed, sessions, tenants, backend)
+        let replay = fig11_with_policy(seed, sessions, tenants, backend, policy)
             .unwrap_or_else(|e| fail(format!("fig11 {label} replay: {e}")));
         let replay_secs = t1.elapsed().as_secs_f64();
         total += secs + replay_secs;
@@ -550,26 +573,59 @@ fn run_workload_sweep(opts: &Options) {
                 p.report.max_cross_check_err_secs,
             );
         }
+        let rate = leg_events as f64 / secs.max(1e-12);
         println!(
-            "{label:>12}: {sessions} sessions x {} slot widths in {secs:.3}s \
-             (+ replay {replay_secs:.3}s, identical)  {:.0} events/sec",
+            "{label:>12}: {sessions} sessions x {} slot widths ({} admission) \
+             in {secs:.3}s (+ replay {replay_secs:.3}s, identical)  {rate:.0} events/sec",
             FIG11_SLOTS.len(),
-            leg_events as f64 / secs.max(1e-12),
+            policy.label(),
         );
+        leg_rates.push((label, rate));
         jsonl.push_str(&leg_jsonl(&points));
         all_points.extend(points);
     }
 
+    let t2 = Instant::now();
+    let ablation = fairness_ablation_with(seed, sessions, tenants)
+        .unwrap_or_else(|e| fail(format!("fairness ablation: {e}")));
+    let ablation_replay = fairness_ablation_with(seed, sessions, tenants)
+        .unwrap_or_else(|e| fail(format!("fairness ablation replay: {e}")));
+    total += t2.elapsed().as_secs_f64();
+    if ablation != ablation_replay {
+        fail("fairness ablation: replay diverged from the first run");
+    }
+    println!("fairness ablation (hot-tenant trace, 2 slots):");
+    for (label, report) in [("fifo", &ablation.fifo), ("fair-share", &ablation.fair)] {
+        println!(
+            "{label:>12}: hot-tenant p99 {:>9.1}s  worst light-tenant p99 {:>9.1}s",
+            FairnessAblation::hot_p99(report),
+            FairnessAblation::light_worst_p99(report),
+        );
+    }
+    let (fifo_light, fair_light) = (
+        FairnessAblation::light_worst_p99(&ablation.fifo),
+        FairnessAblation::light_worst_p99(&ablation.fair),
+    );
+    if fair_light > fifo_light {
+        fail(format!(
+            "fairness ablation: fair-share worsened the worst light-tenant \
+             p99 ({fair_light:.1}s vs fifo {fifo_light:.1}s)"
+        ));
+    }
+
     let workload = json!({
-        "version": 1,
+        "version": 2,
         "seed": seed,
         "sessions": sessions,
         "tenants": tenants,
         "slots": FIG11_SLOTS,
+        "policy": policy.label(),
         "points": all_points.iter().map(|p| p.to_json()).collect::<Vec<_>>(),
+        "fairness": ablation.to_json(),
         "checks": {
             "replay_identical": true,
             "cross_check_budget_secs": 1e-6,
+            "fair_share_light_tenant_no_worse": true,
         },
     });
     let out = opts.out_path();
@@ -590,6 +646,50 @@ fn run_workload_sweep(opts: &Options) {
             ));
         }
         println!("within wall budget: {total:.3}s <= {budget:.3}s");
+    }
+    if let Some(path) = &opts.baseline {
+        check_workload_baseline(path, &leg_rates);
+    }
+}
+
+/// The workload flavour of the `--baseline` gate: the committed floors
+/// under `floors.fig11` are keyed by backend label, and each serve leg's
+/// events/sec must stay within the file's tolerance of its floor.
+fn check_workload_baseline(path: &str, leg_rates: &[(String, f64)]) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(format!("cannot read baseline {path}: {e}")));
+    let baseline: serde_json::Value =
+        serde_json::from_str(&text).unwrap_or_else(|e| fail(format!("bad baseline {path}: {e}")));
+    let tolerance = baseline["tolerance"].as_f64().unwrap_or(0.25);
+    let Some(floors) = baseline["floors"]["fig11"].as_object() else {
+        fail(format!("baseline {path} has no floors for fig11"));
+    };
+    for (series, floor) in floors {
+        let floor = floor
+            .as_f64()
+            .unwrap_or_else(|| fail(format!("baseline fig11/{series}: non-numeric floor")));
+        let measured = leg_rates
+            .iter()
+            .find(|(label, _)| label == series)
+            .map(|&(_, rate)| rate)
+            .unwrap_or_else(|| {
+                fail(format!(
+                    "baseline fig11/{series}: the sweep ran no such backend leg"
+                ))
+            });
+        let min_ok = floor * (1.0 - tolerance);
+        if measured < min_ok {
+            fail(format!(
+                "perf regression: fig11/{series} measured {measured:.0} events/sec, \
+                 below floor {floor:.0} - {:.0}% tolerance = {min_ok:.0}",
+                tolerance * 100.0
+            ));
+        }
+        println!(
+            "baseline fig11/{series}: {measured:.0} events/sec >= {min_ok:.0} \
+             (floor {floor:.0}, tolerance {:.0}%)",
+            tolerance * 100.0
+        );
     }
 }
 

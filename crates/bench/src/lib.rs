@@ -25,5 +25,6 @@ pub use resilience::{
 };
 pub use sweep::{SweepMode, SweepRunner};
 pub use workload::{
-    fig11_with, leg_jsonl, WorkloadPoint, FIG11_SESSIONS, FIG11_SLOTS, FIG11_TENANTS,
+    fairness_ablation_with, fig11_with, fig11_with_policy, leg_jsonl, FairnessAblation,
+    WorkloadPoint, FIG11_HALF_LIFE_SECS, FIG11_SESSIONS, FIG11_SLOTS, FIG11_TENANTS,
 };

@@ -12,7 +12,8 @@
 
 use entk_core::EntkError;
 use entk_workload::{
-    serve, StreamBackend, SyntheticTrace, WorkloadConfig, WorkloadGenerator, WorkloadReport,
+    AdmissionPolicy, HotTenantTrace, ServiceConfig, ServiceEngine, StreamBackend, SyntheticTrace,
+    WorkloadConfig, WorkloadGenerator, WorkloadReport,
 };
 use serde_json::json;
 
@@ -25,11 +26,17 @@ pub const FIG11_SESSIONS: usize = 24;
 /// Default tenant population of the fig11 stream.
 pub const FIG11_TENANTS: u64 = 8;
 
+/// Fair-share usage half-life of the fig11 fair legs and the fairness
+/// ablation, virtual seconds.
+pub const FIG11_HALF_LIFE_SECS: f64 = 600.0;
+
 /// One served point of the fig11 sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadPoint {
     /// Backend label (`simulated` or `federated:N`).
     pub backend: String,
+    /// Admission policy label (`fifo` or `fair-share`).
+    pub policy: String,
     /// Admission slots of the point.
     pub slots: usize,
     /// The served stream's report.
@@ -45,6 +52,7 @@ impl WorkloadPoint {
         let r = &self.report;
         json!({
             "backend": self.backend,
+            "policy": self.policy,
             "slots": self.slots,
             "sessions": r.sessions,
             "tenants": r.tenants,
@@ -63,34 +71,127 @@ impl WorkloadPoint {
     }
 }
 
-/// Runs the fig11 sweep on one backend: the synthetic trace served at
-/// every slot width. The arrivals are generated once; service times are
-/// evaluated inside [`serve`]'s own parallel fan-out, so points run
-/// serially here without leaving cores idle.
-pub fn fig11_with(
+/// Runs the fig11 sweep on one backend under one admission policy: the
+/// synthetic trace served at every slot width. The arrivals are generated
+/// once; service times are evaluated inside the service's own parallel
+/// fan-out, so points run serially here without leaving cores idle.
+pub fn fig11_with_policy(
     seed: u64,
     sessions: usize,
     tenants: u64,
     backend: StreamBackend,
+    policy: AdmissionPolicy,
 ) -> Result<Vec<WorkloadPoint>, EntkError> {
     let arrivals = SyntheticTrace::new(seed, sessions, tenants).generate()?;
     let mut points = Vec::with_capacity(FIG11_SLOTS.len());
     for &slots in FIG11_SLOTS {
-        let config = WorkloadConfig {
+        let stream = WorkloadConfig {
             seed,
             slots,
             backend,
             ..WorkloadConfig::default()
         };
-        let out = serve(&config, &arrivals)?;
+        let config = ServiceConfig {
+            policy,
+            ..ServiceConfig::fifo(stream)
+        };
+        let out = ServiceEngine::new(config, &arrivals)?.run()?;
         points.push(WorkloadPoint {
-            backend: config.backend.label(),
+            backend: backend.label(),
+            policy: policy.label().to_string(),
             slots,
             report: out.report,
             jsonl: out.jsonl,
         });
     }
     Ok(points)
+}
+
+/// The FIFO fig11 sweep (the historical default).
+pub fn fig11_with(
+    seed: u64,
+    sessions: usize,
+    tenants: u64,
+    backend: StreamBackend,
+) -> Result<Vec<WorkloadPoint>, EntkError> {
+    fig11_with_policy(seed, sessions, tenants, backend, AdmissionPolicy::Fifo)
+}
+
+/// The fifo-vs-fair-share fairness ablation: the hot-tenant trace (tenant
+/// 0 bursting over a light background population) served under both
+/// admission policies on the same arrivals and slot width, so the
+/// per-tenant p99 shift is attributable to the policy alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FairnessAblation {
+    /// The stream served FIFO.
+    pub fifo: WorkloadReport,
+    /// The same stream served fair-share.
+    pub fair: WorkloadReport,
+}
+
+impl FairnessAblation {
+    /// p99 latency of the hot tenant (id 0) in a report.
+    pub fn hot_p99(r: &WorkloadReport) -> f64 {
+        r.per_tenant
+            .iter()
+            .find(|t| t.tenant == 0)
+            .map(|t| t.p99)
+            .unwrap_or(0.0)
+    }
+
+    /// Worst p99 latency across the light tenants (ids >= 1).
+    pub fn light_worst_p99(r: &WorkloadReport) -> f64 {
+        r.per_tenant
+            .iter()
+            .filter(|t| t.tenant >= 1)
+            .map(|t| t.p99)
+            .fold(0.0, f64::max)
+    }
+
+    /// Deterministic JSON projection for `WORKLOAD.json`.
+    pub fn to_json(&self) -> serde_json::Value {
+        json!({
+            "trace": "hot-tenant",
+            "half_life_secs": FIG11_HALF_LIFE_SECS,
+            "fifo": {
+                "hot_p99": Self::hot_p99(&self.fifo),
+                "light_worst_p99": Self::light_worst_p99(&self.fifo),
+                "per_tenant": self.fifo.per_tenant,
+                "stream_fp": self.fifo.stream_fp,
+            },
+            "fair": {
+                "hot_p99": Self::hot_p99(&self.fair),
+                "light_worst_p99": Self::light_worst_p99(&self.fair),
+                "per_tenant": self.fair.per_tenant,
+                "stream_fp": self.fair.stream_fp,
+            },
+        })
+    }
+}
+
+/// Serves the hot-tenant trace under FIFO and fair-share admission on two
+/// slots and returns both reports.
+pub fn fairness_ablation_with(
+    seed: u64,
+    sessions: usize,
+    tenants: u64,
+) -> Result<FairnessAblation, EntkError> {
+    let arrivals = HotTenantTrace::new(seed, sessions, tenants).generate()?;
+    let stream = WorkloadConfig {
+        seed,
+        slots: 2,
+        ..WorkloadConfig::default()
+    };
+    let fifo = ServiceEngine::new(ServiceConfig::fifo(stream.clone()), &arrivals)?.run()?;
+    let fair = ServiceEngine::new(
+        ServiceConfig::fair_share(stream, FIG11_HALF_LIFE_SECS),
+        &arrivals,
+    )?
+    .run()?;
+    Ok(FairnessAblation {
+        fifo: fifo.report,
+        fair: fair.report,
+    })
 }
 
 /// Concatenated stream JSONL of a sweep leg, each line prefixed with its
@@ -137,6 +238,40 @@ mod tests {
         for w in points.windows(2) {
             assert!(w[1].report.latency.p99 <= w[0].report.latency.p99);
         }
+    }
+
+    #[test]
+    fn fig11_policies_share_arrivals_but_not_admission_order() {
+        let fifo =
+            fig11_with_policy(3, 8, 4, StreamBackend::Simulated, AdmissionPolicy::Fifo).unwrap();
+        let fair = fig11_with_policy(
+            3,
+            8,
+            4,
+            StreamBackend::Simulated,
+            AdmissionPolicy::FairShare {
+                half_life_secs: FIG11_HALF_LIFE_SECS,
+            },
+        )
+        .unwrap();
+        for (a, b) in fifo.iter().zip(&fair) {
+            assert_eq!(a.policy, "fifo");
+            assert_eq!(b.policy, "fair-share");
+            assert_eq!(a.report.sessions, b.report.sessions);
+            assert_eq!(a.report.total_tasks, b.report.total_tasks);
+        }
+    }
+
+    #[test]
+    fn fairness_ablation_replays_and_spares_light_tenants() {
+        let a = fairness_ablation_with(21, 16, 4).unwrap();
+        let b = fairness_ablation_with(21, 16, 4).unwrap();
+        assert_eq!(a, b);
+        assert!(
+            FairnessAblation::light_worst_p99(&a.fair)
+                <= FairnessAblation::light_worst_p99(&a.fifo)
+        );
+        assert_eq!(a.fifo.sessions, a.fair.sessions);
     }
 
     #[test]

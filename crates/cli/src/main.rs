@@ -14,12 +14,27 @@
 //!                                   tenant latency percentiles, queue
 //!                                   depth, makespan; --trace writes the
 //!                                   stream JSONL (one line per session)
+//! entk serve <spec.json> [--policy fifo|fair] [--strict] [--json]
+//!            [--jsonl <path>] [--checkpoint-at <K> --checkpoint <path>]
+//!            [--resume <path>]
+//!                                   run the multi-tenant session service
+//!                                   over a stream spec: live admission
+//!                                   under the chosen policy, per-session
+//!                                   failure records, and arrival-boundary
+//!                                   checkpoint/restore. --checkpoint-at K
+//!                                   stops at the K-th arrival boundary
+//!                                   and writes the checkpoint (plus the
+//!                                   emitted JSONL prefix); --resume picks
+//!                                   a checkpoint up and emits the exact
+//!                                   byte-identical suffix
 //! entk check <spec.json>            validate a spec without running it
 //! entk kernels                      list available kernel plugins
 //! ```
 
 use entk_cli::WorkloadSpec;
-use entk_workload::StreamSpec;
+use entk_workload::{
+    AdmissionPolicy, ServiceCheckpoint, ServiceEngine, StreamSpec, WorkloadReport,
+};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -96,6 +111,7 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("serve") => serve_stream(&args[1..]),
         Some("check") => {
             let Some(path) = args.get(1) else {
                 eprintln!("usage: entk check <spec.json>");
@@ -127,7 +143,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("usage: entk <run|check|kernels> [args]");
+            eprintln!("usage: entk <run|serve|check|kernels> [args]");
             ExitCode::FAILURE
         }
     }
@@ -152,33 +168,7 @@ fn run_stream(path: &str, as_json: bool, trace_path: Option<String>) -> ExitCode
             return ExitCode::FAILURE;
         }
     };
-    let r = &out.report;
-    if as_json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(r).expect("stream report serializes")
-        );
-    } else {
-        println!(
-            "stream: {} sessions from {} tenants on {} ({}, {} slots)",
-            r.sessions, r.tenants, r.resource, r.backend, r.slots
-        );
-        println!(
-            "  makespan {:.1}s  latency p50 {:.1}s p95 {:.1}s p99 {:.1}s",
-            r.makespan_secs, r.latency.p50, r.latency.p95, r.latency.p99
-        );
-        println!(
-            "  queue depth peak {:.0} mean {:.2}  events {}  cross-check {:.1e}s",
-            r.queue_depth_peak, r.queue_depth_mean, r.total_events, r.max_cross_check_err_secs
-        );
-        println!("  stream fingerprint {}", r.stream_fp);
-        for t in &r.per_tenant {
-            println!(
-                "  tenant {:>4}: {:>3} sessions  p50 {:>8.1}s  p95 {:>8.1}s  p99 {:>8.1}s",
-                t.tenant, t.sessions, t.p50, t.p95, t.p99
-            );
-        }
-    }
+    print_stream_report(&out.report, as_json);
     if let Some(trace_path) = trace_path {
         if let Err(e) = std::fs::write(&trace_path, &out.jsonl) {
             eprintln!("error: writing {trace_path:?}: {e}");
@@ -187,4 +177,152 @@ fn run_stream(path: &str, as_json: bool, trace_path: Option<String>) -> ExitCode
         eprintln!("stream JSONL written to {trace_path}");
     }
     ExitCode::SUCCESS
+}
+
+fn print_stream_report(r: &WorkloadReport, as_json: bool) {
+    if as_json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(r).expect("stream report serializes")
+        );
+        return;
+    }
+    println!(
+        "stream: {} sessions from {} tenants on {} ({}, {} slots, {} admission)",
+        r.sessions, r.tenants, r.resource, r.backend, r.slots, r.policy
+    );
+    println!(
+        "  status: {} ok, {} partial, {} failed, {} rejected",
+        r.ok_sessions, r.partial_sessions, r.failed_sessions, r.rejected_sessions
+    );
+    println!(
+        "  makespan {:.1}s  latency p50 {:.1}s p95 {:.1}s p99 {:.1}s",
+        r.makespan_secs, r.latency.p50, r.latency.p95, r.latency.p99
+    );
+    println!(
+        "  queue depth peak {:.0} mean {:.2}  events {}  cross-check {:.1e}s",
+        r.queue_depth_peak, r.queue_depth_mean, r.total_events, r.max_cross_check_err_secs
+    );
+    println!("  stream fingerprint {}", r.stream_fp);
+    for t in &r.per_tenant {
+        println!(
+            "  tenant {:>4}: {:>3} sessions  p50 {:>8.1}s  p95 {:>8.1}s  p99 {:>8.1}s",
+            t.tenant, t.sessions, t.p50, t.p95, t.p99
+        );
+    }
+}
+
+/// The `serve` subcommand: the session service with policy override,
+/// strictness, and checkpoint/resume.
+fn serve_stream(args: &[String]) -> ExitCode {
+    let usage = "usage: entk serve <spec.json> [--policy fifo|fair] [--strict] [--json] \
+                 [--jsonl <path>] [--checkpoint-at <K> --checkpoint <path>] [--resume <path>]";
+    let as_json = args.iter().any(|a| a == "--json");
+    let strict = args.iter().any(|a| a == "--strict");
+    let value_of = |flag: &str| -> Result<Option<String>, String> {
+        match args.iter().position(|a| a == flag) {
+            Some(i) => args
+                .get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .cloned()
+                .map(Some)
+                .ok_or_else(|| format!("{flag} needs a value")),
+            None => Ok(None),
+        }
+    };
+    let parsed = (|| -> Result<ExitCode, String> {
+        let policy_arg = value_of("--policy")?;
+        let jsonl_path = value_of("--jsonl")?;
+        let checkpoint_path = value_of("--checkpoint")?;
+        let resume_path = value_of("--resume")?;
+        let checkpoint_at = value_of("--checkpoint-at")?
+            .map(|v| {
+                v.parse::<usize>()
+                    .map_err(|_| format!("--checkpoint-at needs an arrival index, got {v:?}"))
+            })
+            .transpose()?;
+        let value_positions: Vec<usize> = [
+            "--policy",
+            "--jsonl",
+            "--checkpoint",
+            "--resume",
+            "--checkpoint-at",
+        ]
+        .iter()
+        .filter_map(|f| args.iter().position(|a| a == f).map(|i| i + 1))
+        .collect();
+        let spec_path = args
+            .iter()
+            .enumerate()
+            .find(|(i, a)| !a.starts_with("--") && !value_positions.contains(i))
+            .map(|(_, a)| a.clone())
+            .ok_or_else(|| usage.to_string())?;
+
+        let text = std::fs::read_to_string(&spec_path)
+            .map_err(|e| format!("reading {spec_path:?}: {e}"))?;
+        let mut spec = StreamSpec::from_json(&text).map_err(|e| e.to_string())?;
+        if let Some(p) = policy_arg {
+            AdmissionPolicy::parse(&p).map_err(|e| e.to_string())?;
+            spec.policy = p;
+        }
+        if strict {
+            spec.strict = true;
+        }
+        let config = spec.service_config().map_err(|e| e.to_string())?;
+        let arrivals = spec.arrivals().map_err(|e| e.to_string())?;
+
+        let mut engine = match &resume_path {
+            Some(path) => {
+                let ckpt_text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("reading checkpoint {path:?}: {e}"))?;
+                let ckpt = ServiceCheckpoint::from_json(&ckpt_text).map_err(|e| e.to_string())?;
+                ServiceEngine::restore(config, &arrivals, &ckpt).map_err(|e| e.to_string())?
+            }
+            None => ServiceEngine::new(config, &arrivals).map_err(|e| e.to_string())?,
+        };
+
+        if let Some(k) = checkpoint_at {
+            let ckpt_path = checkpoint_path
+                .ok_or_else(|| "--checkpoint-at needs --checkpoint <path>".to_string())?;
+            engine.run_to_boundary(k);
+            std::fs::write(&ckpt_path, engine.checkpoint().to_json())
+                .map_err(|e| format!("writing checkpoint {ckpt_path:?}: {e}"))?;
+            if let Some(path) = jsonl_path {
+                std::fs::write(&path, engine.emitted_jsonl())
+                    .map_err(|e| format!("writing {path:?}: {e}"))?;
+                eprintln!("emitted JSONL prefix written to {path}");
+            }
+            eprintln!(
+                "checkpoint at arrival boundary {} written to {ckpt_path} \
+                 ({} sessions emitted)",
+                engine.ingested(),
+                engine.emitted_jsonl().lines().count()
+            );
+            return Ok(ExitCode::SUCCESS);
+        }
+
+        let out = engine.run().map_err(|e| e.to_string())?;
+        print_stream_report(&out.report, as_json);
+        if let Some(path) = jsonl_path {
+            // A resumed service writes exactly the suffix after its
+            // checkpoint, so prefix + suffix concatenate to the full
+            // stream byte-for-byte.
+            let body = if resume_path.is_some() {
+                &out.suffix_jsonl
+            } else {
+                &out.jsonl
+            };
+            std::fs::write(&path, body).map_err(|e| format!("writing {path:?}: {e}"))?;
+            eprintln!("stream JSONL written to {path}");
+        }
+        Ok(ExitCode::SUCCESS)
+    })();
+    match parsed {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{usage}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -1,0 +1,190 @@
+//! The fair-share usage ledger: per-principal accumulated (exponentially
+//! decayed) core-second charges with an up-front-charge / refund-on-end
+//! discipline.
+//!
+//! This is the accounting core of [`crate::FairShareScheduler`], extracted
+//! so other layers can reuse the identical policy at their own granularity
+//! — the batch scheduler keys it by project name at *job* granularity; the
+//! workload service keys it by tenant id at *session* granularity. The
+//! ledger itself is policy-free: it only answers "how much has this
+//! principal consumed, decayed to now?"; callers order their queues by
+//! that number.
+//!
+//! ## Accounting discipline
+//!
+//! * [`UsageLedger::charge`] books a principal's expected consumption the
+//!   moment work is admitted (e.g. cores × requested walltime). Charging
+//!   up front means a principal cannot evade accounting by keeping many
+//!   admissions in flight.
+//! * [`UsageLedger::refund`] returns the *unused* remainder when the work
+//!   ends early, weighted by the decay the original charge has already
+//!   undergone — so a job killed after `ran` seconds (and its
+//!   resubmission) is never double-charged.
+//! * [`UsageLedger::decay_to`] applies the exponential half-life to every
+//!   balance. A zero half-life disables decay (pure accumulation).
+//!
+//! Balances live in a `BTreeMap`, so iteration (and therefore checkpoint
+//! serialization) is deterministic.
+
+use entk_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Decayed per-principal usage accounting shared by the cluster's
+/// fair-share batch scheduler and the workload service's fair-share
+/// admission policy.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UsageLedger<K: Ord + Clone> {
+    usage: BTreeMap<K, f64>,
+    /// Decay half-life in virtual seconds (0 = no decay).
+    pub half_life_secs: f64,
+    last_decay: Option<SimTime>,
+}
+
+impl<K: Ord + Clone> UsageLedger<K> {
+    /// Creates an empty ledger with the given usage half-life.
+    pub fn new(half_life_secs: f64) -> Self {
+        UsageLedger {
+            usage: BTreeMap::new(),
+            half_life_secs,
+            last_decay: None,
+        }
+    }
+
+    /// Current decayed balance charged to a principal (0 if never seen).
+    pub fn usage_of<Q>(&self, key: &Q) -> f64
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.usage.get(key).copied().unwrap_or(0.0)
+    }
+
+    /// Decays every balance from the last decay instant to `now`. Callers
+    /// decay before comparing balances or booking charges so that all
+    /// balances share the same reference instant.
+    pub fn decay_to(&mut self, now: SimTime) {
+        if self.half_life_secs <= 0.0 {
+            self.last_decay = Some(now);
+            return;
+        }
+        if let Some(last) = self.last_decay {
+            let dt = now.saturating_since(last).as_secs_f64();
+            if dt > 0.0 {
+                let factor = 0.5f64.powf(dt / self.half_life_secs);
+                for v in self.usage.values_mut() {
+                    *v *= factor;
+                }
+            }
+        }
+        self.last_decay = Some(now);
+    }
+
+    /// Books `amount` (typically cores × expected walltime seconds)
+    /// against a principal at the current decay instant.
+    pub fn charge(&mut self, key: K, amount: f64) {
+        *self.usage.entry(key).or_insert(0.0) += amount;
+    }
+
+    /// Refunds the unused remainder of an up-front charge booked `elapsed`
+    /// virtual seconds ago: the original charge has since decayed by
+    /// `0.5^(elapsed / half-life)`, so the refund is weighted by the same
+    /// factor, leaving exactly the consumed share on the balance. Balances
+    /// never go negative.
+    pub fn refund<Q>(&mut self, key: &Q, amount: f64, elapsed: SimDuration)
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let factor = if self.half_life_secs > 0.0 {
+            0.5f64.powf(elapsed.as_secs_f64() / self.half_life_secs)
+        } else {
+            1.0
+        };
+        if let Some(v) = self.usage.get_mut(key) {
+            *v = (*v - amount * factor).max(0.0);
+        }
+    }
+
+    /// Deterministic (key-ordered) view of every non-zero balance, for
+    /// checkpoint serialization.
+    pub fn balances(&self) -> impl Iterator<Item = (&K, f64)> + '_ {
+        self.usage.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// The instant balances were last decayed to, in microseconds — the
+    /// piece of state (besides the balances) a checkpoint must carry.
+    pub fn last_decay_micros(&self) -> Option<u64> {
+        self.last_decay.map(SimTime::as_micros)
+    }
+
+    /// Rebuilds a ledger from checkpointed balances and decay instant.
+    pub fn restore(
+        half_life_secs: f64,
+        balances: impl IntoIterator<Item = (K, f64)>,
+        last_decay_micros: Option<u64>,
+    ) -> Self {
+        UsageLedger {
+            usage: balances.into_iter().collect(),
+            half_life_secs,
+            last_decay: last_decay_micros.map(SimTime::from_micros),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_and_refunds_never_go_negative() {
+        let mut ledger: UsageLedger<u64> = UsageLedger::new(0.0);
+        ledger.decay_to(SimTime::ZERO);
+        ledger.charge(7, 100.0);
+        ledger.charge(7, 50.0);
+        assert_eq!(ledger.usage_of(&7), 150.0);
+        ledger.refund(&7, 200.0, SimDuration::from_secs(10));
+        assert_eq!(ledger.usage_of(&7), 0.0);
+        assert_eq!(ledger.usage_of(&99), 0.0);
+    }
+
+    #[test]
+    fn decay_halves_balances_per_half_life() {
+        let mut ledger: UsageLedger<String> = UsageLedger::new(100.0);
+        ledger.decay_to(SimTime::ZERO);
+        ledger.charge("alice".to_string(), 80.0);
+        ledger.decay_to(SimTime::from_secs(100));
+        assert!((ledger.usage_of(&"alice".to_string()) - 40.0).abs() < 1e-9);
+        ledger.decay_to(SimTime::from_secs(300));
+        assert!((ledger.usage_of(&"alice".to_string()) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refund_matches_decayed_weight_of_the_original_charge() {
+        // Charge 10 cores x 100 s at t=0; the job ends at t=50 having used
+        // half. The refund of the unused 500 core-seconds is weighted by
+        // the decay the charge underwent, so the remaining balance equals
+        // exactly the decayed consumed share.
+        let half_life = 50.0;
+        let mut ledger: UsageLedger<u64> = UsageLedger::new(half_life);
+        ledger.decay_to(SimTime::ZERO);
+        ledger.charge(1, 1000.0);
+        ledger.decay_to(SimTime::from_secs(50));
+        ledger.refund(&1, 500.0, SimDuration::from_secs(50));
+        // Balance: 1000 * 0.5 - 500 * 0.5 = 250.
+        assert!((ledger.usage_of(&1) - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn restore_round_trips_balances_and_decay_state() {
+        let mut ledger: UsageLedger<u64> = UsageLedger::new(60.0);
+        ledger.decay_to(SimTime::from_secs(5));
+        ledger.charge(1, 10.0);
+        ledger.charge(2, 20.0);
+        let restored = UsageLedger::restore(
+            ledger.half_life_secs,
+            ledger.balances().map(|(k, v)| (*k, v)).collect::<Vec<_>>(),
+            ledger.last_decay_micros(),
+        );
+        assert_eq!(restored, ledger);
+    }
+}

@@ -10,6 +10,7 @@
 
 pub mod allocation;
 pub mod cluster;
+pub mod fairshare;
 pub mod fault;
 pub mod job;
 pub mod platform;
@@ -18,6 +19,7 @@ pub mod scheduler;
 pub use allocation::{AllocationMap, NodeSlice};
 pub use cluster::BackgroundLoad;
 pub use cluster::{Cluster, ClusterEvent, ClusterNotification};
+pub use fairshare::UsageLedger;
 pub use fault::{FaultInjector, FaultProfile};
 pub use job::{BatchJob, BatchJobDescription, BatchJobId, BatchJobState};
 pub use platform::PlatformSpec;

@@ -291,45 +291,28 @@ mod tests {
 /// accumulated (exponentially decayed) core-seconds charge — light users
 /// jump ahead of heavy ones. Within the reordered queue, first-fit applies
 /// without head-of-line blocking.
+///
+/// The accounting itself lives in [`crate::fairshare::UsageLedger`]
+/// (shared with the workload layer's session-granularity fair-share
+/// admission); this type adds the queue-ordering and first-fit selection
+/// on top.
 #[derive(Debug, Default)]
 pub struct FairShareScheduler {
     /// Decayed core-second usage per project.
-    usage: std::collections::HashMap<String, f64>,
-    /// Decay half-life in virtual seconds (0 = no decay).
-    pub half_life_secs: f64,
-    last_decay: Option<SimTime>,
+    ledger: crate::fairshare::UsageLedger<String>,
 }
 
 impl FairShareScheduler {
     /// Creates a fair-share policy with the given usage half-life.
     pub fn new(half_life_secs: f64) -> Self {
         FairShareScheduler {
-            usage: std::collections::HashMap::new(),
-            half_life_secs,
-            last_decay: None,
+            ledger: crate::fairshare::UsageLedger::new(half_life_secs),
         }
     }
 
     /// Current decayed usage charged to a project.
     pub fn usage_of(&self, project: &str) -> f64 {
-        self.usage.get(project).copied().unwrap_or(0.0)
-    }
-
-    fn decay(&mut self, now: SimTime) {
-        if self.half_life_secs <= 0.0 {
-            self.last_decay = Some(now);
-            return;
-        }
-        if let Some(last) = self.last_decay {
-            let dt = now.saturating_since(last).as_secs_f64();
-            if dt > 0.0 {
-                let factor = 0.5f64.powf(dt / self.half_life_secs);
-                for v in self.usage.values_mut() {
-                    *v *= factor;
-                }
-            }
-        }
-        self.last_decay = Some(now);
+        self.ledger.usage_of(project)
     }
 }
 
@@ -345,7 +328,7 @@ impl BatchScheduler for FairShareScheduler {
         now: SimTime,
         _running: &[RunningView],
     ) -> Vec<usize> {
-        self.decay(now);
+        self.ledger.decay_to(now);
         // Order queue indices by project usage (ties: arrival order).
         let mut order: Vec<usize> = (0..queue.len()).collect();
         order.sort_by(|&a, &b| {
@@ -363,8 +346,10 @@ impl BatchScheduler for FairShareScheduler {
                 // Charge the request up front (cores × requested walltime);
                 // `job_ended` refunds the unused remainder, so a job killed
                 // early — and its resubmission — is never double-charged.
-                *self.usage.entry(job.project.clone()).or_insert(0.0) +=
-                    job.cores as f64 * job.walltime.as_secs_f64();
+                self.ledger.charge(
+                    job.project.clone(),
+                    job.cores as f64 * job.walltime.as_secs_f64(),
+                );
             }
         }
         picked
@@ -378,19 +363,12 @@ impl BatchScheduler for FairShareScheduler {
         ran: SimDuration,
         now: SimTime,
     ) {
-        self.decay(now);
+        self.ledger.decay_to(now);
         // The up-front charge was cores × walltime at start time; by now it
         // has decayed by 0.5^(ran / half-life). Refund the unused tail at
         // the same decayed weight, leaving only the consumed core-seconds.
         let unused = walltime.saturating_sub(ran).as_secs_f64() * cores as f64;
-        let factor = if self.half_life_secs > 0.0 {
-            0.5f64.powf(ran.as_secs_f64() / self.half_life_secs)
-        } else {
-            1.0
-        };
-        if let Some(v) = self.usage.get_mut(project) {
-            *v = (*v - unused * factor).max(0.0);
-        }
+        self.ledger.refund(project, unused, ran);
     }
 }
 

@@ -13,6 +13,9 @@ pub enum EntkError {
     Runtime(String),
     /// API misuse (run before allocate, double allocate, …).
     Usage(String),
+    /// An admission queue is at capacity and the arrival was rejected or
+    /// deferred (backpressure) — recorded per session, never stream-fatal.
+    Saturated(String),
 }
 
 impl fmt::Display for EntkError {
@@ -22,6 +25,7 @@ impl fmt::Display for EntkError {
             EntkError::Kernel(m) => write!(f, "kernel error: {m}"),
             EntkError::Runtime(m) => write!(f, "runtime error: {m}"),
             EntkError::Usage(m) => write!(f, "usage error: {m}"),
+            EntkError::Saturated(m) => write!(f, "saturated: {m}"),
         }
     }
 }
@@ -38,5 +42,8 @@ mod tests {
             .to_string()
             .contains("resource"));
         assert!(EntkError::Usage("y".into()).to_string().contains("usage"));
+        assert!(EntkError::Saturated("queue full".into())
+            .to_string()
+            .contains("saturated"));
     }
 }

@@ -96,6 +96,15 @@ impl SessionArrival {
     /// Validates the row against the schema invariants shared by every
     /// generator: positive sizes and a supported kernel.
     pub fn validate(&self) -> Result<(), EntkError> {
+        if self.tenant == u64::MAX {
+            // u64::MAX marks the all-tenants aggregate row in latency
+            // reports; a session submitted under it would silently merge
+            // into that aggregate.
+            return Err(EntkError::Usage(format!(
+                "tenant {} is reserved for the all-tenants aggregate",
+                u64::MAX
+            )));
+        }
         if self.tasks == 0 {
             return Err(EntkError::Usage("tasks must be >= 1".into()));
         }

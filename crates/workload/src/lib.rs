@@ -17,17 +17,25 @@
 //! 3. [`SyntheticTrace`] — an in-repo deterministic mixture whose CSV
 //!    rendering means CI never needs external trace data.
 //!
-//! The runner ([`serve`]) reports per-tenant latency percentiles,
+//! The session service ([`ServiceEngine`], FIFO default via [`serve`])
+//! admits the stream through a live event-driven loop with pluggable
+//! policies — FIFO or fair-share over a per-tenant [usage ledger]
+//! (entk_cluster::UsageLedger) — bounded-queue backpressure (reject or
+//! defer), per-session failure records (`ok | partial | failed |
+//! rejected`, never stream-fatal unless `strict`), and arrival-boundary
+//! checkpoint/restore. It reports per-tenant latency percentiles,
 //! queue-depth time series from the telemetry gauges, and makespan under
 //! contention. Determinism is end to end: same seed or trace ⇒
-//! byte-identical stream JSONL and report, with every admitted session's
-//! own event trace fingerprinted and cross-checked against its overhead
-//! accounting.
+//! byte-identical stream JSONL and report — including across a
+//! checkpoint/resume, which replays to a byte-identical suffix — with
+//! every admitted session's own event trace fingerprinted and
+//! cross-checked against its overhead accounting.
 
 #![warn(missing_docs)]
 
 pub mod arrival;
 pub mod runner;
+pub mod service;
 pub mod spec;
 pub mod trace;
 
@@ -36,8 +44,14 @@ pub use arrival::{
     SUPPORTED_KERNELS,
 };
 pub use runner::{
-    fnv64, serve, SessionRecord, StreamBackend, TenantLatency, WorkloadConfig, WorkloadOutcome,
-    WorkloadReport, IN_SERVICE_GAUGE, QUEUE_DEPTH_GAUGE,
+    fnv64, serve, SessionRecord, SessionStatus, StreamBackend, TenantLatency, WorkloadConfig,
+    WorkloadOutcome, WorkloadReport, IN_SERVICE_GAUGE, QUEUE_DEPTH_GAUGE,
+};
+pub use service::{
+    session_seed, AdmissionPolicy, AdmissionSample, SaturationMode, ServiceCheckpoint,
+    ServiceConfig, ServiceEngine,
 };
 pub use spec::{SourceSpec, StreamSpec};
-pub use trace::{parse_trace, render_trace, CsvTrace, SyntheticTrace, TRACE_HEADER};
+pub use trace::{
+    parse_trace, render_trace, CsvTrace, HotTenantTrace, SyntheticTrace, TRACE_HEADER,
+};

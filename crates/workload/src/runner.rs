@@ -1,35 +1,38 @@
-//! The deterministic stream runner: admits a time-ordered stream of
-//! session arrivals onto a shared backend and reports latency, queue
-//! depth, and makespan under contention.
+//! Stream-level record/report types and the FIFO `serve()` entry point.
 //!
 //! ## Model
 //!
-//! The runner is an open-loop queueing system at session granularity. The
+//! The stream is an open-loop queueing system at session granularity. The
 //! shared backend exposes `slots` concurrent admission slots (think: how
 //! many pilot sessions the resource provider lets one gateway run at
-//! once). Sessions are admitted FIFO: arrival `i` starts at
-//! `max(arrival_i, k-th earliest slot-free time)` and occupies its slot
-//! for its time-to-completion.
+//! once). Admission is performed by the event-driven
+//! [`crate::service::ServiceEngine`]; [`serve`] is the FIFO default —
+//! arrival `i` starts at `max(arrival_i, k-th earliest slot-free time)`
+//! and occupies its slot for its time-to-completion.
 //!
 //! Each admitted session runs through the existing
 //! `SessionEngine`/`ExecutionBackend` seam (`run_simulated_traced` /
 //! `run_federated_traced`) on its own virtual clock; its service time is
 //! the session report's TTC. Because every simulated session starts from
 //! its own t = 0, service times are independent of stream start times, so
-//! the per-session evaluations are embarrassingly parallel — the runner
+//! the per-session evaluations are embarrassingly parallel — the service
 //! fans them across cores in input order (same reassembly discipline as
-//! `entk-bench`'s `SweepRunner`) while the slot recursion itself stays
+//! `entk-bench`'s `SweepRunner`) while the admission loop itself stays
 //! serial and deterministic. Same seed + same arrivals ⇒ byte-identical
 //! JSONL and report.
+//!
+//! ## Failure semantics
+//!
+//! A failed or degraded session is recorded (`status: failed | partial`)
+//! rather than aborting the stream; see the service module docs. Strict
+//! stream-fatal semantics are available via
+//! [`crate::service::ServiceConfig`].
 
 use crate::arrival::SessionArrival;
-use entk_core::prelude::*;
+use crate::service::{ServiceConfig, ServiceEngine};
 use entk_core::EntkError;
-use entk_sim::{Metrics, SimDuration, SimTime, Summary};
-use rayon::prelude::*;
-use serde::Serialize;
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use entk_sim::{Metrics, SimTime};
+use serde::{Deserialize, Serialize};
 
 /// Gauge name of the arrived-but-not-started depth series.
 pub const QUEUE_DEPTH_GAUGE: &str = "workload.queue_depth";
@@ -69,6 +72,10 @@ pub struct WorkloadConfig {
     pub slots: usize,
     /// Backend sessions run on.
     pub backend: StreamBackend,
+    /// Per-unit failure-injection probability threaded into every
+    /// session's backend (0 = clean runs; 1 forces every session to
+    /// degrade to a partial result).
+    pub unit_failure_rate: f64,
 }
 
 impl Default for WorkloadConfig {
@@ -78,6 +85,36 @@ impl Default for WorkloadConfig {
             resource: "xsede.stampede".to_string(),
             slots: 4,
             backend: StreamBackend::Simulated,
+            unit_failure_rate: 0.0,
+        }
+    }
+}
+
+/// Terminal status of one session in the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum SessionStatus {
+    /// The session ran to completion.
+    Ok,
+    /// The session ran but degraded to a partial result (some tasks
+    /// failed past their retry budget).
+    Partial,
+    /// The session's backend run failed outright; it consumed no service
+    /// time.
+    Failed,
+    /// The admission queue was at its bound; the session was turned away
+    /// with a typed `saturated` outcome and never ran.
+    Rejected,
+}
+
+impl SessionStatus {
+    /// Stable lowercase label used in the stream JSONL.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SessionStatus::Ok => "ok",
+            SessionStatus::Partial => "partial",
+            SessionStatus::Failed => "failed",
+            SessionStatus::Rejected => "rejected",
         }
     }
 }
@@ -87,7 +124,7 @@ impl Default for WorkloadConfig {
 pub struct TenantLatency {
     /// Tenant id; `u64::MAX` marks the all-tenants aggregate.
     pub tenant: u64,
-    /// Sessions this tenant submitted.
+    /// Served (ok or partial) sessions this tenant submitted.
     pub sessions: usize,
     /// Median latency (arrival → finish), seconds.
     pub p50: f64,
@@ -97,8 +134,8 @@ pub struct TenantLatency {
     pub p99: f64,
 }
 
-/// One admitted session's stream-level outcome.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+/// One session's stream-level outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SessionRecord {
     /// Index in arrival order.
     pub session: usize,
@@ -106,6 +143,10 @@ pub struct SessionRecord {
     pub tenant: u64,
     /// Pattern label.
     pub pattern: String,
+    /// Terminal status (`ok | partial | failed | rejected`).
+    pub status: SessionStatus,
+    /// The underlying error for failed or rejected sessions.
+    pub error: Option<String>,
     /// Arrival instant, seconds.
     pub arrival_secs: f64,
     /// Admission instant, seconds.
@@ -116,6 +157,14 @@ pub struct SessionRecord {
     pub latency_secs: f64,
     /// The session's own time-to-completion (service time), seconds.
     pub ttc_secs: f64,
+    /// Arrival instant, exact microseconds (the seconds fields above are
+    /// display values; gauges and replay use these exact instants so no
+    /// f64 round-trip can merge or reorder boundary ties).
+    pub arrival_us: u64,
+    /// Admission instant, exact microseconds.
+    pub start_us: u64,
+    /// Completion instant, exact microseconds.
+    pub finish_us: u64,
     /// Tasks the session executed.
     pub tasks: usize,
     /// Simulator events the session processed.
@@ -135,17 +184,27 @@ pub struct WorkloadReport {
     pub seed: u64,
     /// Concurrent admission slots.
     pub slots: usize,
-    /// Sessions served.
+    /// Admission policy label (`fifo` or `fair-share`).
+    pub policy: String,
+    /// Sessions submitted (served + failed + rejected).
     pub sessions: usize,
     /// Distinct tenants observed.
     pub tenants: usize,
+    /// Sessions that ran to completion.
+    pub ok_sessions: usize,
+    /// Sessions that degraded to a partial result.
+    pub partial_sessions: usize,
+    /// Sessions whose backend run failed.
+    pub failed_sessions: usize,
+    /// Sessions rejected by queue backpressure.
+    pub rejected_sessions: usize,
     /// Total tasks across all sessions.
     pub total_tasks: usize,
     /// Total simulator events across all sessions.
     pub total_events: u64,
     /// Stream makespan: latest session finish, seconds.
     pub makespan_secs: f64,
-    /// All-tenants latency percentiles.
+    /// All-tenants latency percentiles (served sessions).
     pub latency: TenantLatency,
     /// Per-tenant latency percentiles, sorted by tenant id.
     pub per_tenant: Vec<TenantLatency>,
@@ -172,8 +231,13 @@ pub struct WorkloadReport {
 pub struct WorkloadOutcome {
     /// Aggregated report.
     pub report: WorkloadReport,
-    /// One JSON line per session, in arrival order.
+    /// One JSON line per session, in arrival order — always the full
+    /// stream.
     pub jsonl: String,
+    /// The lines the serving engine instance actually emitted: equal to
+    /// `jsonl` for a fresh run, and exactly the post-checkpoint suffix for
+    /// a restored run (prefix + suffix is byte-identical to `jsonl`).
+    pub suffix_jsonl: String,
 }
 
 /// FNV-1a 64 over arbitrary bytes (same constants as the bench trace
@@ -187,241 +251,80 @@ pub fn fnv64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// splitmix64-style per-session seed derivation: decorrelates sessions
-/// without consuming master-RNG draws, so inserting a session never
-/// perturbs its neighbours.
-fn session_seed(seed: u64, index: usize) -> u64 {
-    let mut z = seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
-/// Service-time evaluation result of one session, before stream queueing.
-struct SessionService {
-    ttc: SimDuration,
-    tasks: usize,
-    events: u64,
-    trace_fp: u64,
-    cc_err: f64,
-}
-
-fn run_session(
-    config: &WorkloadConfig,
-    index: usize,
-    arrival: &SessionArrival,
-) -> Result<SessionService, EntkError> {
-    let mut pattern = arrival.build_pattern()?;
-    let walltime = SimDuration::from_secs(10_000_000);
-    let seed = session_seed(config.seed, index);
-    let (report, telemetry) = match config.backend {
-        StreamBackend::Simulated => {
-            let rc = ResourceConfig::new(config.resource.clone(), arrival.cores, walltime);
-            let sim = SimulatedConfig {
-                seed,
-                ..Default::default()
-            };
-            run_simulated_traced(rc, sim, pattern.as_mut())?
-        }
-        StreamBackend::Federated { members } => {
-            if members < 2 {
-                return Err(EntkError::Usage(
-                    "federated stream backend needs at least 2 members".into(),
-                ));
-            }
-            let fed = FederatedConfig {
-                seed,
-                clusters: (0..members)
-                    .map(|_| ClusterSpec::new(config.resource.clone(), arrival.cores, walltime))
-                    .collect(),
-                ..FederatedConfig::default()
-            };
-            run_federated_traced(fed, pattern.as_mut())?
-        }
+/// Renders one session record as its stream JSONL line. Hand-rendered so
+/// the stream JSONL is byte-stable by construction.
+pub(crate) fn render_record(r: &SessionRecord) -> String {
+    let error = match &r.error {
+        Some(e) => format!(",\"error\":\"{}\"", escape_json(e)),
+        None => String::new(),
     };
-    if report.partial {
-        return Err(EntkError::Runtime(format!(
-            "session {index}: degraded to a partial result"
-        )));
-    }
-    let cc = cross_check(&report, &telemetry.tracer);
-    Ok(SessionService {
-        ttc: report.ttc,
-        tasks: report.task_count(),
-        events: report.events,
-        trace_fp: fnv64(telemetry.tracer.to_jsonl().as_bytes()),
-        cc_err: cc.max_abs_error_secs,
-    })
+    format!(
+        "{{\"session\":{},\"tenant\":{},\"pattern\":\"{}\",\"status\":\"{}\",\
+         \"arrival\":{:.6},\"start\":{:.6},\"finish\":{:.6},\"latency\":{:.6},\
+         \"ttc\":{:.6},\"tasks\":{},\"events\":{},\"trace_fp\":\"{}\"{}}}\n",
+        r.session,
+        r.tenant,
+        r.pattern,
+        r.status.as_str(),
+        r.arrival_secs,
+        r.start_secs,
+        r.finish_secs,
+        r.latency_secs,
+        r.ttc_secs,
+        r.tasks,
+        r.events,
+        r.trace_fp,
+        error,
+    )
 }
 
-/// Serves a stream of arrivals on the configured backend.
-///
-/// Validates the stream (non-empty, time-ordered, individually valid
-/// rows), evaluates every session's service time in parallel, then runs
-/// the serial `slots`-server FIFO admission recursion and assembles the
-/// report. Deterministic: same config + same arrivals ⇒ byte-identical
-/// [`WorkloadOutcome`].
+/// Serves a stream of arrivals on the configured backend with FIFO
+/// admission, an unbounded queue, and lenient failure semantics — the
+/// historical entry point, now a thin wrapper over
+/// [`crate::service::ServiceEngine`]. Deterministic: same config + same
+/// arrivals ⇒ byte-identical [`WorkloadOutcome`].
 pub fn serve(
     config: &WorkloadConfig,
     arrivals: &[SessionArrival],
 ) -> Result<WorkloadOutcome, EntkError> {
-    if arrivals.is_empty() {
-        return Err(EntkError::Usage("cannot serve an empty stream".into()));
-    }
-    if config.slots == 0 {
-        return Err(EntkError::Usage("slots must be >= 1".into()));
-    }
-    for (i, w) in arrivals.windows(2).enumerate() {
-        if w[1].arrival < w[0].arrival {
-            return Err(EntkError::Usage(format!(
-                "arrivals out of order at index {}",
-                i + 1
-            )));
-        }
-    }
-    for a in arrivals {
-        a.validate()?;
-    }
-
-    // Parallel service-time evaluation, reassembled in arrival order.
-    let indexed: Vec<(usize, &SessionArrival)> = arrivals.iter().enumerate().collect();
-    let mut evaluated: Vec<(usize, Result<SessionService, EntkError>)> = indexed
-        .into_par_iter()
-        .map(|(i, a)| (i, run_session(config, i, a)))
-        .collect();
-    evaluated.sort_by_key(|(i, _)| *i);
-    let mut services = Vec::with_capacity(arrivals.len());
-    for (_, r) in evaluated {
-        services.push(r?);
-    }
-
-    // Serial k-server FIFO admission recursion.
-    let mut free: BinaryHeap<Reverse<SimTime>> =
-        (0..config.slots).map(|_| Reverse(SimTime::ZERO)).collect();
-    let mut records = Vec::with_capacity(arrivals.len());
-    let mut jsonl = String::new();
-    let mut max_cc = 0.0f64;
-    let mut total_tasks = 0usize;
-    let mut total_events = 0u64;
-    let mut makespan = SimTime::ZERO;
-    for (i, (arrival, service)) in arrivals.iter().zip(&services).enumerate() {
-        let Reverse(avail) = free.pop().expect("slots >= 1");
-        let start = arrival.arrival.max(avail);
-        let finish = start + service.ttc;
-        free.push(Reverse(finish));
-        makespan = makespan.max(finish);
-        max_cc = max_cc.max(service.cc_err);
-        total_tasks += service.tasks;
-        total_events += service.events;
-        let record = SessionRecord {
-            session: i,
-            tenant: arrival.tenant,
-            pattern: arrival.pattern.as_str().to_string(),
-            arrival_secs: arrival.arrival.as_secs_f64(),
-            start_secs: start.as_secs_f64(),
-            finish_secs: finish.as_secs_f64(),
-            latency_secs: finish.saturating_since(arrival.arrival).as_secs_f64(),
-            ttc_secs: service.ttc.as_secs_f64(),
-            tasks: service.tasks,
-            events: service.events,
-            trace_fp: format!("{:016x}", service.trace_fp),
-        };
-        // Hand-rendered so the stream JSONL is byte-stable by construction.
-        jsonl.push_str(&format!(
-            "{{\"session\":{},\"tenant\":{},\"pattern\":\"{}\",\"arrival\":{:.6},\
-             \"start\":{:.6},\"finish\":{:.6},\"latency\":{:.6},\"ttc\":{:.6},\
-             \"tasks\":{},\"events\":{},\"trace_fp\":\"{}\"}}\n",
-            record.session,
-            record.tenant,
-            record.pattern,
-            record.arrival_secs,
-            record.start_secs,
-            record.finish_secs,
-            record.latency_secs,
-            record.ttc_secs,
-            record.tasks,
-            record.events,
-            record.trace_fp,
-        ));
-        records.push(record);
-    }
-
-    // Queue-depth / in-service gauges from the admission timeline, through
-    // the telemetry metrics machinery (deterministic iteration order).
-    let mut metrics = Metrics::new();
-    record_depth_gauges(&mut metrics, &records);
-    let series = |name: &str| -> Vec<(f64, f64)> {
-        metrics
-            .series(name)
-            .map(|s| {
-                s.points()
-                    .iter()
-                    .map(|&(t, v)| (t.as_secs_f64(), v))
-                    .collect()
-            })
-            .unwrap_or_default()
-    };
-    let queue_depth = series(QUEUE_DEPTH_GAUGE);
-    let in_service = series(IN_SERVICE_GAUGE);
-    let (queue_depth_peak, queue_depth_mean) = metrics
-        .series(QUEUE_DEPTH_GAUGE)
-        .map(|s| (s.peak(), s.time_weighted_mean()))
-        .unwrap_or((0.0, 0.0));
-
-    // Latency percentiles, aggregate and per tenant.
-    let mut all = Summary::new();
-    let mut by_tenant: BTreeMap<u64, Summary> = BTreeMap::new();
-    for r in &records {
-        all.add(r.latency_secs);
-        by_tenant.entry(r.tenant).or_default().add(r.latency_secs);
-    }
-    let latency_of = |tenant: u64, s: &Summary| {
-        let ps = s.percentiles(&[50.0, 95.0, 99.0]);
-        TenantLatency {
-            tenant,
-            sessions: s.count(),
-            p50: ps[0],
-            p95: ps[1],
-            p99: ps[2],
-        }
-    };
-    let per_tenant: Vec<TenantLatency> = by_tenant.iter().map(|(t, s)| latency_of(*t, s)).collect();
-
-    let report = WorkloadReport {
-        backend: config.backend.label(),
-        resource: config.resource.clone(),
-        seed: config.seed,
-        slots: config.slots,
-        sessions: records.len(),
-        tenants: per_tenant.len(),
-        total_tasks,
-        total_events,
-        makespan_secs: makespan.as_secs_f64(),
-        latency: latency_of(u64::MAX, &all),
-        per_tenant,
-        queue_depth,
-        queue_depth_peak,
-        queue_depth_mean,
-        in_service,
-        max_cross_check_err_secs: max_cc,
-        stream_fp: format!("{:016x}", fnv64(jsonl.as_bytes())),
-        records,
-    };
-    Ok(WorkloadOutcome { report, jsonl })
+    ServiceEngine::new(ServiceConfig::fifo(config.clone()), arrivals)?.run()
 }
 
 /// Replays the admission timeline as gauge samples: queue depth counts
 /// sessions that arrived but have not started; in-service counts sessions
 /// between start and finish. Ties resolve finish → arrive → start so a
-/// slot freed at `t` is visible to a session starting at `t`.
-fn record_depth_gauges(metrics: &mut Metrics, records: &[SessionRecord]) {
+/// slot freed at `t` is visible to a session starting at `t`. Built from
+/// the records' exact microsecond instants — never from the f64 display
+/// seconds, whose round-trip rounds large instants and can merge or
+/// reorder boundary ties (see `gauge_ties_survive_f64_collisions`).
+/// Rejected sessions never enter either series; a zero-duration (failed)
+/// session contributes no in-service blip.
+pub(crate) fn record_depth_gauges(metrics: &mut Metrics, records: &[SessionRecord]) {
     // (micros, kind, delta_queued, delta_running); kind orders ties.
     let mut events: Vec<(u64, u8, i64, i64)> = Vec::with_capacity(records.len() * 3);
-    let micros = |secs: f64| SimDuration::from_secs_f64(secs).as_micros();
     for r in records {
-        events.push((micros(r.finish_secs), 0, 0, -1));
-        events.push((micros(r.arrival_secs), 1, 1, 0));
-        events.push((micros(r.start_secs), 2, -1, 1));
+        if r.status == SessionStatus::Rejected {
+            continue;
+        }
+        events.push((r.arrival_us, 1, 1, 0));
+        if r.finish_us > r.start_us {
+            events.push((r.finish_us, 0, 0, -1));
+            events.push((r.start_us, 2, -1, 1));
+        } else {
+            // Zero service time: leave the queue without a running blip.
+            events.push((r.start_us, 2, -1, 0));
+        }
     }
     events.sort_unstable();
     let (mut queued, mut running) = (0i64, 0i64);
@@ -438,6 +341,7 @@ fn record_depth_gauges(metrics: &mut Metrics, records: &[SessionRecord]) {
 mod tests {
     use super::*;
     use crate::arrival::{OpenLoopProcess, WorkloadGenerator};
+    use entk_sim::SimDuration;
 
     fn small_stream() -> Vec<SessionArrival> {
         OpenLoopProcess::poisson(9, 12, 4, 60.0).generate().unwrap()
@@ -455,6 +359,9 @@ mod tests {
         assert_eq!(a.jsonl, b.jsonl);
         assert_eq!(a.report, b.report);
         assert_eq!(a.report.sessions, 12);
+        assert_eq!(a.report.ok_sessions, 12);
+        assert_eq!(a.report.policy, "fifo");
+        assert_eq!(a.suffix_jsonl, a.jsonl, "a fresh run emits the full stream");
     }
 
     #[test]
@@ -548,5 +455,69 @@ mod tests {
             &arrivals
         )
         .is_err());
+    }
+
+    fn record_at(session: usize, arrival_us: u64, start_us: u64, finish_us: u64) -> SessionRecord {
+        SessionRecord {
+            session,
+            tenant: 0,
+            pattern: "eop".into(),
+            status: SessionStatus::Ok,
+            error: None,
+            arrival_secs: SimTime::from_micros(arrival_us).as_secs_f64(),
+            start_secs: SimTime::from_micros(start_us).as_secs_f64(),
+            finish_secs: SimTime::from_micros(finish_us).as_secs_f64(),
+            latency_secs: 0.0,
+            ttc_secs: 0.0,
+            arrival_us,
+            start_us,
+            finish_us,
+            tasks: 1,
+            events: 1,
+            trace_fp: format!("{:016x}", 0u64),
+        }
+    }
+
+    #[test]
+    fn gauge_ties_survive_f64_collisions() {
+        // Above ~2^51 µs, the micros → f64-seconds → micros round-trip the
+        // gauges used to take is lossy: 8944849571992850 µs rounds onto
+        // 8944849571992849 µs. A finish at the former must not collapse
+        // onto an arrival at the latter — the kind tie-break would then
+        // wrongly order the finish *before* the arrival. The exact-micros
+        // path keeps the two instants distinct.
+        let f = 8_944_849_571_992_850u64;
+        let lossy = SimDuration::from_secs_f64(SimTime::from_micros(f).as_secs_f64()).as_micros();
+        assert_eq!(
+            lossy,
+            f - 1,
+            "the chosen instant must exhibit the collision"
+        );
+
+        // Session 0 finishes at f; session 1 arrives at f - 1 and starts
+        // at f (when the slot frees).
+        let records = vec![record_at(0, 0, 0, f), record_at(1, f - 1, f, f + 10)];
+        let mut metrics = Metrics::new();
+        record_depth_gauges(&mut metrics, &records);
+        let queue: Vec<(u64, f64)> = metrics
+            .series(QUEUE_DEPTH_GAUGE)
+            .unwrap()
+            .points()
+            .iter()
+            .map(|&(t, v)| (t.as_micros(), v))
+            .collect();
+        // Arrival at f-1 must register depth 1 at its own (exact) instant,
+        // strictly before the finish/start pair at f.
+        assert!(
+            queue.contains(&(f - 1, 1.0)),
+            "arrival instant preserved: {queue:?}"
+        );
+        assert!(
+            queue.iter().any(|&(t, _)| t == f),
+            "finish/start pair stays at its exact instant: {queue:?}"
+        );
+        // Depth never dips negative (the collapsed ordering used to make
+        // the start precede the arrival at the merged instant).
+        assert!(queue.iter().all(|&(_, d)| d >= 0.0), "{queue:?}");
     }
 }

@@ -1,0 +1,1038 @@
+//! The multi-tenant session service: a live, event-driven admission loop
+//! over pluggable policies, with bounded-queue backpressure and
+//! checkpoint/restore at arrival boundaries.
+//!
+//! ## Model
+//!
+//! [`ServiceEngine`] replaces the precomputed-FIFO-only recursion the
+//! stream runner started with. The engine is a discrete-event loop over
+//! two event sources — the arrival cursor and the in-flight completion
+//! heap — with the documented tie order (a completion at `t` is applied
+//! before an arrival at `t`, which is applied before any admission at
+//! `t`, so a freed slot is always visible to a session admitted at the
+//! same instant). After every event the engine runs an admission step:
+//! while a slot is free and sessions are pending, the configured
+//! [`AdmissionPolicy`] picks the next session.
+//!
+//! * [`AdmissionPolicy::Fifo`] — arrival order; byte-identical to the
+//!   original `serve()` recursion (property-tested against a reference
+//!   implementation).
+//! * [`AdmissionPolicy::FairShare`] — the per-tenant usage-accounting
+//!   policy lifted from `entk-cluster`'s `FairShareScheduler`
+//!   ([`entk_cluster::UsageLedger`]) to session granularity: the pending
+//!   session whose tenant has the least decayed core-second usage is
+//!   admitted first (ties: arrival order), and the tenant is charged
+//!   cores × service-time on admission. A hot tenant's burst therefore
+//!   queues behind light tenants instead of starving them.
+//!
+//! ## Failure semantics
+//!
+//! A session whose backend run fails, or that degrades to a partial
+//! result, is *not* stream-fatal: it is recorded with
+//! `status: failed | partial` on its [`SessionRecord`] and the stream
+//! continues. `strict: true` restores the original behavior (first
+//! failure or degradation aborts the stream with the underlying error).
+//!
+//! ## Backpressure
+//!
+//! `max_queue_depth` bounds the pending queue. An arrival past the bound
+//! is either **rejected** — recorded with `status: rejected` and a typed
+//! [`EntkError::Saturated`] outcome on the record, never stream-fatal —
+//! or **deferred** into an overflow buffer that feeds the bounded window
+//! as admissions drain it (the session is eventually served; its latency
+//! still counts from its true arrival).
+//!
+//! ## Checkpoint / restore
+//!
+//! [`ServiceEngine::checkpoint`] serializes the complete admission state
+//! at an arrival boundary: the pending and deferred queues, in-flight
+//! slot occupancy (finish instants), per-tenant usage balances with their
+//! decay instant, the arrival cursor, the emitted-record cursor, and the
+//! per-session seed cursor (the master seed — sub-seeds are a pure
+//! splitmix64 function of it and the session index, so the cursor is just
+//! the next index). [`ServiceEngine::restore`] rebuilds the engine from
+//! the checkpoint, re-evaluates only the sessions that still need service
+//! times (pending, deferred, and not-yet-arrived — completed sessions are
+//! carried as finalized records), and replays to a byte-identical
+//! `WORKLOAD.jsonl` suffix: prefix-emitted-before-the-kill + suffix is
+//! byte-identical to the uninterrupted stream, including its fingerprint.
+//!
+//! Determinism argument: every admission decision is a pure function of
+//! (config, arrivals, per-session service times), service times are pure
+//! functions of (config, arrival, splitmix64(seed, index)), and the event
+//! order is totally ordered by (time, kind, session index). A checkpoint
+//! carries exactly the loop state, so the resumed trajectory is the same
+//! trajectory.
+
+use crate::arrival::SessionArrival;
+use crate::runner::{
+    fnv64, record_depth_gauges, render_record, SessionRecord, SessionStatus, StreamBackend,
+    TenantLatency, WorkloadConfig, WorkloadOutcome, WorkloadReport, IN_SERVICE_GAUGE,
+    QUEUE_DEPTH_GAUGE,
+};
+use crate::trace::render_trace;
+use entk_core::prelude::*;
+use entk_core::EntkError;
+use entk_sim::{Metrics, SimDuration, SimTime, Summary};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+/// How the service picks the next pending session for a free slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmissionPolicy {
+    /// Arrival order (the default; matches the original runner).
+    Fifo,
+    /// Least decayed per-tenant core-second usage first (ties: arrival
+    /// order) — the cluster fair-share policy at session granularity.
+    FairShare {
+        /// Usage decay half-life in virtual seconds (0 = no decay).
+        half_life_secs: f64,
+    },
+}
+
+impl AdmissionPolicy {
+    /// Stable label used in reports, checkpoints, and bench rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            AdmissionPolicy::Fifo => "fifo",
+            AdmissionPolicy::FairShare { .. } => "fair-share",
+        }
+    }
+
+    /// Parses a policy name (`fifo`, `fair`, `fair-share`).
+    pub fn parse(s: &str) -> Result<Self, EntkError> {
+        match s {
+            "fifo" => Ok(AdmissionPolicy::Fifo),
+            "fair" | "fair-share" => Ok(AdmissionPolicy::FairShare {
+                half_life_secs: 0.0,
+            }),
+            other => Err(EntkError::Usage(format!(
+                "unknown admission policy {other:?} (use \"fifo\" or \"fair\")"
+            ))),
+        }
+    }
+
+    fn half_life_secs(self) -> f64 {
+        match self {
+            AdmissionPolicy::Fifo => 0.0,
+            AdmissionPolicy::FairShare { half_life_secs } => half_life_secs,
+        }
+    }
+}
+
+/// What happens to an arrival when the pending queue is at its bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SaturationMode {
+    /// Record the session as `rejected` with a typed
+    /// [`EntkError::Saturated`] outcome and drop it.
+    Reject,
+    /// Park the session in an overflow buffer; it enters the bounded
+    /// window (and becomes admissible) as the queue drains.
+    Defer,
+}
+
+impl SaturationMode {
+    /// Stable label used in checkpoints and specs.
+    pub fn label(self) -> &'static str {
+        match self {
+            SaturationMode::Reject => "reject",
+            SaturationMode::Defer => "defer",
+        }
+    }
+
+    /// Parses a saturation mode name.
+    pub fn parse(s: &str) -> Result<Self, EntkError> {
+        match s {
+            "reject" => Ok(SaturationMode::Reject),
+            "defer" => Ok(SaturationMode::Defer),
+            other => Err(EntkError::Usage(format!(
+                "unknown saturation mode {other:?} (use \"reject\" or \"defer\")"
+            ))),
+        }
+    }
+}
+
+/// Full configuration of the session service: the stream config plus the
+/// admission policy, backpressure bound, and failure-strictness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceConfig {
+    /// Seed / resource / slots / backend of the underlying stream.
+    pub stream: WorkloadConfig,
+    /// Admission policy over the pending queue.
+    pub policy: AdmissionPolicy,
+    /// Bound on the pending queue (`None` = unbounded).
+    pub max_queue_depth: Option<usize>,
+    /// What happens to arrivals past the bound.
+    pub saturation: SaturationMode,
+    /// `true` restores the original stream-fatal failure semantics: the
+    /// first failed or degraded session aborts the whole stream.
+    pub strict: bool,
+}
+
+impl ServiceConfig {
+    /// FIFO admission with unbounded queue and lenient failures — the
+    /// semantics of the original `serve()` on clean streams.
+    pub fn fifo(stream: WorkloadConfig) -> Self {
+        ServiceConfig {
+            stream,
+            policy: AdmissionPolicy::Fifo,
+            max_queue_depth: None,
+            saturation: SaturationMode::Reject,
+            strict: false,
+        }
+    }
+
+    /// Fair-share admission with the given usage half-life.
+    pub fn fair_share(stream: WorkloadConfig, half_life_secs: f64) -> Self {
+        ServiceConfig {
+            policy: AdmissionPolicy::FairShare { half_life_secs },
+            ..ServiceConfig::fifo(stream)
+        }
+    }
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig::fifo(WorkloadConfig::default())
+    }
+}
+
+/// splitmix64-style per-session seed derivation: decorrelates sessions
+/// without consuming master-RNG draws, so inserting a session never
+/// perturbs its neighbours. The "RNG sub-seed cursor" of a checkpoint is
+/// just the master seed plus the next session index — this function is
+/// pure.
+pub fn session_seed(seed: u64, index: usize) -> u64 {
+    let mut z = seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Service-time evaluation result of one session, before stream queueing.
+#[derive(Debug, Clone)]
+pub(crate) struct SessionService {
+    pub(crate) status: SessionStatus,
+    pub(crate) ttc: SimDuration,
+    pub(crate) tasks: usize,
+    pub(crate) events: u64,
+    pub(crate) trace_fp: u64,
+    pub(crate) cc_err: f64,
+    pub(crate) error: Option<EntkError>,
+}
+
+/// Evaluates one session's service on its own virtual clock. Per-session
+/// problems — a backend error or a degraded (partial) report — are folded
+/// into the returned status, never propagated: the stream must survive
+/// individual sessions.
+fn evaluate_session(
+    config: &WorkloadConfig,
+    index: usize,
+    arrival: &SessionArrival,
+) -> SessionService {
+    let failed = |e: EntkError| SessionService {
+        status: SessionStatus::Failed,
+        ttc: SimDuration::ZERO,
+        tasks: 0,
+        events: 0,
+        trace_fp: 0,
+        cc_err: 0.0,
+        error: Some(e),
+    };
+    let mut pattern = match arrival.build_pattern() {
+        Ok(p) => p,
+        Err(e) => return failed(e),
+    };
+    let walltime = SimDuration::from_secs(10_000_000);
+    let seed = session_seed(config.seed, index);
+    let run = match config.backend {
+        StreamBackend::Simulated => {
+            let rc = ResourceConfig::new(config.resource.clone(), arrival.cores, walltime);
+            let sim = SimulatedConfig {
+                seed,
+                unit_failure_rate: config.unit_failure_rate,
+                ..Default::default()
+            };
+            run_simulated_traced(rc, sim, pattern.as_mut())
+        }
+        StreamBackend::Federated { members } => {
+            let fed = FederatedConfig {
+                seed,
+                clusters: (0..members)
+                    .map(|_| ClusterSpec {
+                        unit_failure_rate: config.unit_failure_rate,
+                        ..ClusterSpec::new(config.resource.clone(), arrival.cores, walltime)
+                    })
+                    .collect(),
+                ..FederatedConfig::default()
+            };
+            run_federated_traced(fed, pattern.as_mut())
+        }
+    };
+    let (report, telemetry) = match run {
+        Ok(out) => out,
+        Err(e) => return failed(e),
+    };
+    let cc = cross_check(&report, &telemetry.tracer);
+    SessionService {
+        status: if report.partial {
+            SessionStatus::Partial
+        } else {
+            SessionStatus::Ok
+        },
+        ttc: report.ttc,
+        tasks: report.task_count(),
+        events: report.events,
+        trace_fp: fnv64(telemetry.tracer.to_jsonl().as_bytes()),
+        cc_err: cc.max_abs_error_secs,
+        error: None,
+    }
+}
+
+/// One fair-share admission decision, exposed for property tests: the
+/// fairness invariant is `admitted_usage <= min_waiting_usage` at every
+/// decision (a tenant over its share is never admitted while a tenant
+/// under its share waits).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionSample {
+    /// Admitted session index.
+    pub session: usize,
+    /// Admitted session's tenant.
+    pub tenant: u64,
+    /// The admitted tenant's decayed usage at the decision instant.
+    pub admitted_usage: f64,
+    /// Smallest decayed usage among tenants still waiting after the pick
+    /// (`None` when the pick emptied the queue).
+    pub min_waiting_usage: Option<f64>,
+}
+
+/// One in-flight slot in a checkpoint: the session and when its slot
+/// frees. The start instant is already on the session's finalized record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InFlightSlot {
+    /// Session occupying the slot.
+    pub session: usize,
+    /// Instant the slot frees, in microseconds.
+    pub finish_us: u64,
+}
+
+/// A serialized arrival-boundary snapshot of the service's admission
+/// state. JSON via [`ServiceCheckpoint::to_json`] /
+/// [`ServiceCheckpoint::from_json`]; integrity-checked on restore against
+/// the config and the arrival trace fingerprint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceCheckpoint {
+    /// Checkpoint format version (1).
+    pub version: u32,
+    /// Master seed (the RNG sub-seed cursor together with `next_arrival`).
+    pub seed: u64,
+    /// Resource label of the stream config.
+    pub resource: String,
+    /// Admission slots.
+    pub slots: usize,
+    /// Backend label (`simulated` or `federated:N`).
+    pub backend: String,
+    /// Admission policy label.
+    pub policy: String,
+    /// Fair-share usage half-life, seconds.
+    pub half_life_secs: f64,
+    /// Pending-queue bound (`None` = unbounded).
+    pub max_queue_depth: Option<usize>,
+    /// Saturation mode label.
+    pub saturation: String,
+    /// Strict failure semantics flag.
+    pub strict: bool,
+    /// Per-unit failure-injection rate of the stream config.
+    pub unit_failure_rate: f64,
+    /// FNV-1a 64 fingerprint of the rendered arrival trace, so a
+    /// checkpoint cannot silently resume against a different stream.
+    pub arrivals_fp: String,
+    /// Virtual clock at the boundary, microseconds.
+    pub clock_us: u64,
+    /// Arrivals ingested so far (the next arrival index).
+    pub next_arrival: usize,
+    /// Records already emitted to the stream JSONL (the suffix a resumed
+    /// service produces starts here).
+    pub emitted: usize,
+    /// Arrived-but-not-admitted sessions, in queue order.
+    pub pending: Vec<usize>,
+    /// Overflow sessions deferred past the queue bound, in arrival order.
+    pub deferred: Vec<usize>,
+    /// Occupied slots and their release instants.
+    pub in_flight: Vec<InFlightSlot>,
+    /// Per-tenant decayed usage balances (fair-share state).
+    pub usage: Vec<(u64, f64)>,
+    /// Instant the balances were last decayed to, microseconds.
+    pub usage_decayed_at_us: Option<u64>,
+    /// Largest per-session cross-check error seen so far, seconds.
+    pub max_cross_check_err_secs: f64,
+    /// Finalized per-session records (admitted or rejected sessions).
+    pub records: Vec<SessionRecord>,
+}
+
+impl ServiceCheckpoint {
+    /// Serializes the checkpoint as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("checkpoint serializes")
+    }
+
+    /// Parses a checkpoint from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, EntkError> {
+        serde_json::from_str(text).map_err(|e| EntkError::Usage(format!("bad checkpoint: {e}")))
+    }
+}
+
+/// The long-running multi-tenant session service (see module docs).
+#[derive(Debug)]
+pub struct ServiceEngine {
+    config: ServiceConfig,
+    arrivals: Vec<SessionArrival>,
+    services: Vec<Option<SessionService>>,
+    clock: SimTime,
+    next_arrival: usize,
+    pending: VecDeque<usize>,
+    deferred: VecDeque<usize>,
+    in_flight: BinaryHeap<Reverse<(SimTime, usize)>>,
+    ledger: entk_cluster::UsageLedger<u64>,
+    records: Vec<Option<SessionRecord>>,
+    emitted: usize,
+    suffix: String,
+    max_cc: f64,
+    admissions: Vec<AdmissionSample>,
+    finished: bool,
+}
+
+impl ServiceEngine {
+    /// Builds a service over a validated stream: non-empty, time-ordered,
+    /// individually valid arrivals; `slots >= 1`; a sane queue bound; a
+    /// federated backend with at least two members. Every session's
+    /// service time is evaluated up front in parallel (arrival order is
+    /// reassembled deterministically). With `strict`, the first failed or
+    /// degraded session aborts construction with the underlying error —
+    /// the original stream-fatal semantics.
+    pub fn new(config: ServiceConfig, arrivals: &[SessionArrival]) -> Result<Self, EntkError> {
+        Self::validate(&config, arrivals)?;
+        let indices: Vec<usize> = (0..arrivals.len()).collect();
+        let services = Self::evaluate(&config.stream, arrivals, &indices);
+        if config.strict {
+            for (i, s) in services.iter().enumerate() {
+                let s = s.as_ref().expect("fresh evaluation covers every session");
+                match s.status {
+                    SessionStatus::Failed => {
+                        return Err(s
+                            .error
+                            .clone()
+                            .unwrap_or_else(|| EntkError::Runtime(format!("session {i}: failed"))))
+                    }
+                    SessionStatus::Partial => {
+                        return Err(EntkError::Runtime(format!(
+                            "session {i}: degraded to a partial result"
+                        )))
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(ServiceEngine {
+            ledger: entk_cluster::UsageLedger::new(config.policy.half_life_secs()),
+            records: vec![None; arrivals.len()],
+            services,
+            arrivals: arrivals.to_vec(),
+            config,
+            clock: SimTime::ZERO,
+            next_arrival: 0,
+            pending: VecDeque::new(),
+            deferred: VecDeque::new(),
+            in_flight: BinaryHeap::new(),
+            emitted: 0,
+            suffix: String::new(),
+            max_cc: 0.0,
+            admissions: Vec::new(),
+            finished: false,
+        })
+    }
+
+    fn validate(config: &ServiceConfig, arrivals: &[SessionArrival]) -> Result<(), EntkError> {
+        if arrivals.is_empty() {
+            return Err(EntkError::Usage("cannot serve an empty stream".into()));
+        }
+        if config.stream.slots == 0 {
+            return Err(EntkError::Usage("slots must be >= 1".into()));
+        }
+        if config.max_queue_depth == Some(0) {
+            return Err(EntkError::Usage("max_queue_depth must be >= 1".into()));
+        }
+        if let StreamBackend::Federated { members } = config.stream.backend {
+            if members < 2 {
+                return Err(EntkError::Usage(
+                    "federated stream backend needs at least 2 members".into(),
+                ));
+            }
+        }
+        for (i, w) in arrivals.windows(2).enumerate() {
+            if w[1].arrival < w[0].arrival {
+                return Err(EntkError::Usage(format!(
+                    "arrivals out of order at index {}",
+                    i + 1
+                )));
+            }
+        }
+        for a in arrivals {
+            a.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Parallel service evaluation of a subset of sessions, reassembled by
+    /// index (same discipline as the figure sweeps). Returns a full-length
+    /// vector with `None` at indices outside the subset.
+    fn evaluate(
+        stream: &WorkloadConfig,
+        arrivals: &[SessionArrival],
+        indices: &[usize],
+    ) -> Vec<Option<SessionService>> {
+        let mut evaluated: Vec<(usize, SessionService)> = indices
+            .par_iter()
+            .map(|&i| (i, evaluate_session(stream, i, &arrivals[i])))
+            .collect();
+        evaluated.sort_by_key(|(i, _)| *i);
+        let mut services: Vec<Option<SessionService>> = vec![None; arrivals.len()];
+        for (i, s) in evaluated {
+            services[i] = Some(s);
+        }
+        services
+    }
+
+    /// The fair-share admission decisions taken so far (empty under FIFO).
+    pub fn admissions(&self) -> &[AdmissionSample] {
+        &self.admissions
+    }
+
+    /// The stream JSONL lines this engine instance has emitted so far — a
+    /// fresh engine emits from line 0; a restored engine emits the suffix
+    /// after its checkpoint's `emitted` cursor.
+    pub fn emitted_jsonl(&self) -> &str {
+        &self.suffix
+    }
+
+    /// Arrivals ingested so far.
+    pub fn ingested(&self) -> usize {
+        self.next_arrival
+    }
+
+    fn free_slots(&self) -> usize {
+        self.config.stream.slots - self.in_flight.len()
+    }
+
+    /// Finalizes a session's record and advances the contiguous-prefix
+    /// emission cursor.
+    fn finalize(&mut self, index: usize, record: SessionRecord) {
+        debug_assert!(self.records[index].is_none(), "record finalized twice");
+        self.records[index] = Some(record);
+        while self.emitted < self.records.len() {
+            match &self.records[self.emitted] {
+                Some(r) => {
+                    self.suffix.push_str(&render_record(r));
+                    self.emitted += 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Moves deferred sessions into the bounded pending window while there
+    /// is room.
+    fn promote_deferred(&mut self) {
+        if let Some(bound) = self.config.max_queue_depth {
+            while self.pending.len() < bound {
+                match self.deferred.pop_front() {
+                    Some(i) => self.pending.push_back(i),
+                    None => break,
+                }
+            }
+        }
+    }
+
+    /// Position in the pending queue of the next session to admit.
+    fn pick_next(&mut self) -> usize {
+        match self.config.policy {
+            AdmissionPolicy::Fifo => 0,
+            AdmissionPolicy::FairShare { .. } => {
+                self.ledger.decay_to(self.clock);
+                let mut best = 0usize;
+                let mut best_usage = f64::INFINITY;
+                for (pos, &i) in self.pending.iter().enumerate() {
+                    let u = self.ledger.usage_of(&self.arrivals[i].tenant);
+                    // Strict less-than keeps ties in arrival order.
+                    if u < best_usage {
+                        best_usage = u;
+                        best = pos;
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Admits session `i` at the current instant: charges its tenant
+    /// (fair-share), occupies a slot until `now + service`, and finalizes
+    /// its record.
+    fn admit(&mut self, i: usize) {
+        let svc = self.services[i]
+            .as_ref()
+            .expect("admitted session was evaluated")
+            .clone();
+        let arrival = &self.arrivals[i];
+        let start = self.clock;
+        let finish = start + svc.ttc;
+        if let AdmissionPolicy::FairShare { .. } = self.config.policy {
+            self.ledger.decay_to(self.clock);
+            let admitted_usage = self.ledger.usage_of(&arrival.tenant);
+            let min_waiting_usage = self
+                .pending
+                .iter()
+                .map(|&j| self.ledger.usage_of(&self.arrivals[j].tenant))
+                .min_by(|a, b| a.partial_cmp(b).expect("finite usage"));
+            self.admissions.push(AdmissionSample {
+                session: i,
+                tenant: arrival.tenant,
+                admitted_usage,
+                min_waiting_usage,
+            });
+            self.ledger
+                .charge(arrival.tenant, arrival.cores as f64 * svc.ttc.as_secs_f64());
+        }
+        self.in_flight.push(Reverse((finish, i)));
+        self.max_cc = self.max_cc.max(svc.cc_err);
+        let record = SessionRecord {
+            session: i,
+            tenant: arrival.tenant,
+            pattern: arrival.pattern.as_str().to_string(),
+            status: svc.status,
+            error: svc.error.as_ref().map(|e| e.to_string()),
+            arrival_secs: arrival.arrival.as_secs_f64(),
+            start_secs: start.as_secs_f64(),
+            finish_secs: finish.as_secs_f64(),
+            latency_secs: finish.saturating_since(arrival.arrival).as_secs_f64(),
+            ttc_secs: svc.ttc.as_secs_f64(),
+            arrival_us: arrival.arrival.as_micros(),
+            start_us: start.as_micros(),
+            finish_us: finish.as_micros(),
+            tasks: svc.tasks,
+            events: svc.events,
+            trace_fp: format!("{:016x}", svc.trace_fp),
+        };
+        self.finalize(i, record);
+    }
+
+    /// The admission fixpoint run after every event: promote deferred
+    /// sessions into the bounded window, then admit while slots are free.
+    fn settle(&mut self) {
+        loop {
+            self.promote_deferred();
+            if self.free_slots() == 0 || self.pending.is_empty() {
+                break;
+            }
+            let pos = self.pick_next();
+            let i = self.pending.remove(pos).expect("picked position exists");
+            self.admit(i);
+        }
+    }
+
+    /// Applies the earliest completion: frees its slot and re-runs
+    /// admission at the completion instant.
+    fn apply_completion(&mut self) {
+        let Reverse((t, _)) = self.in_flight.pop().expect("completion exists");
+        self.clock = t;
+        self.settle();
+    }
+
+    /// Ingests the next arrival: enqueue, reject, or defer, then re-run
+    /// admission at the arrival instant.
+    fn ingest_arrival(&mut self) {
+        let i = self.next_arrival;
+        self.next_arrival += 1;
+        let at = self.arrivals[i].arrival;
+        self.clock = self.clock.max(at);
+        let saturated = self
+            .config
+            .max_queue_depth
+            .is_some_and(|bound| self.pending.len() >= bound);
+        if saturated {
+            match self.config.saturation {
+                SaturationMode::Defer => self.deferred.push_back(i),
+                SaturationMode::Reject => {
+                    let arrival = &self.arrivals[i];
+                    let outcome = EntkError::Saturated(format!(
+                        "session {i} rejected: queue depth {} at bound {}",
+                        self.pending.len(),
+                        self.config.max_queue_depth.unwrap_or(0),
+                    ));
+                    let secs = at.as_secs_f64();
+                    let record = SessionRecord {
+                        session: i,
+                        tenant: arrival.tenant,
+                        pattern: arrival.pattern.as_str().to_string(),
+                        status: SessionStatus::Rejected,
+                        error: Some(outcome.to_string()),
+                        arrival_secs: secs,
+                        start_secs: secs,
+                        finish_secs: secs,
+                        latency_secs: 0.0,
+                        ttc_secs: 0.0,
+                        arrival_us: at.as_micros(),
+                        start_us: at.as_micros(),
+                        finish_us: at.as_micros(),
+                        tasks: 0,
+                        events: 0,
+                        trace_fp: format!("{:016x}", 0u64),
+                    };
+                    self.finalize(i, record);
+                }
+            }
+        } else {
+            self.pending.push_back(i);
+        }
+        self.settle();
+    }
+
+    /// Processes the single earliest event under the documented tie order
+    /// (completions before arrivals at the same instant).
+    fn step(&mut self) {
+        let next_arrival = self.arrivals.get(self.next_arrival).map(|a| a.arrival);
+        match (self.in_flight.peek(), next_arrival) {
+            (Some(&Reverse((tf, _))), Some(ta)) if tf <= ta => self.apply_completion(),
+            (_, Some(_)) => self.ingest_arrival(),
+            (Some(_), None) => self.apply_completion(),
+            (None, None) => unreachable!("step called with no events left"),
+        }
+    }
+
+    /// Advances the service to arrival boundary `k`: exactly `k` arrivals
+    /// ingested and every completion at or before the next arrival's
+    /// instant applied (for `k >= sessions`, the stream is drained to
+    /// completion). Checkpoints are taken at these boundaries.
+    pub fn run_to_boundary(&mut self, k: usize) {
+        let k = k.min(self.arrivals.len());
+        while self.next_arrival < k {
+            self.step();
+        }
+        loop {
+            let horizon = self.arrivals.get(self.next_arrival).map(|a| a.arrival);
+            match (self.in_flight.peek(), horizon) {
+                (Some(&Reverse((tf, _))), Some(ta)) if tf <= ta => self.apply_completion(),
+                (Some(_), None) => self.apply_completion(),
+                _ => break,
+            }
+        }
+    }
+
+    /// Serializes the admission state at the current arrival boundary.
+    pub fn checkpoint(&self) -> ServiceCheckpoint {
+        let s = &self.config.stream;
+        ServiceCheckpoint {
+            version: 1,
+            seed: s.seed,
+            resource: s.resource.clone(),
+            slots: s.slots,
+            backend: s.backend.label(),
+            policy: self.config.policy.label().to_string(),
+            half_life_secs: self.config.policy.half_life_secs(),
+            max_queue_depth: self.config.max_queue_depth,
+            saturation: self.config.saturation.label().to_string(),
+            strict: self.config.strict,
+            unit_failure_rate: s.unit_failure_rate,
+            arrivals_fp: format!("{:016x}", fnv64(render_trace(&self.arrivals).as_bytes())),
+            clock_us: self.clock.as_micros(),
+            next_arrival: self.next_arrival,
+            emitted: self.emitted,
+            pending: self.pending.iter().copied().collect(),
+            deferred: self.deferred.iter().copied().collect(),
+            in_flight: {
+                let mut slots: Vec<InFlightSlot> = self
+                    .in_flight
+                    .iter()
+                    .map(|&Reverse((t, i))| InFlightSlot {
+                        session: i,
+                        finish_us: t.as_micros(),
+                    })
+                    .collect();
+                slots.sort_by_key(|s| (s.finish_us, s.session));
+                slots
+            },
+            usage: self.ledger.balances().map(|(k, v)| (*k, v)).collect(),
+            usage_decayed_at_us: self.ledger.last_decay_micros(),
+            max_cross_check_err_secs: self.max_cc,
+            records: self.records.iter().flatten().cloned().collect(),
+        }
+    }
+
+    /// Rebuilds a service from a checkpoint. The checkpoint must match the
+    /// config and the arrival stream (fingerprint-checked); only sessions
+    /// that still need service times — pending, deferred, or not yet
+    /// arrived — are re-evaluated. The restored engine emits the stream
+    /// JSONL *suffix* from the checkpoint's `emitted` cursor; prefix +
+    /// suffix is byte-identical to the uninterrupted run.
+    pub fn restore(
+        config: ServiceConfig,
+        arrivals: &[SessionArrival],
+        ckpt: &ServiceCheckpoint,
+    ) -> Result<Self, EntkError> {
+        Self::validate(&config, arrivals)?;
+        if ckpt.version != 1 {
+            return Err(EntkError::Usage(format!(
+                "unsupported checkpoint version {}",
+                ckpt.version
+            )));
+        }
+        let s = &config.stream;
+        let mismatches: Vec<&str> = [
+            (ckpt.seed != s.seed, "seed"),
+            (ckpt.resource != s.resource, "resource"),
+            (ckpt.slots != s.slots, "slots"),
+            (ckpt.backend != s.backend.label(), "backend"),
+            (ckpt.policy != config.policy.label(), "policy"),
+            (
+                ckpt.half_life_secs != config.policy.half_life_secs(),
+                "half_life_secs",
+            ),
+            (
+                ckpt.max_queue_depth != config.max_queue_depth,
+                "max_queue_depth",
+            ),
+            (ckpt.saturation != config.saturation.label(), "saturation"),
+            (ckpt.strict != config.strict, "strict"),
+            (
+                ckpt.unit_failure_rate != s.unit_failure_rate,
+                "unit_failure_rate",
+            ),
+        ]
+        .iter()
+        .filter_map(|&(differs, name)| differs.then_some(name))
+        .collect();
+        if !mismatches.is_empty() {
+            return Err(EntkError::Usage(format!(
+                "checkpoint does not match the service config (differs on: {})",
+                mismatches.join(", ")
+            )));
+        }
+        let fp = format!("{:016x}", fnv64(render_trace(arrivals).as_bytes()));
+        if ckpt.arrivals_fp != fp {
+            return Err(EntkError::Usage(
+                "checkpoint was taken against a different arrival stream \
+                 (trace fingerprint mismatch)"
+                    .into(),
+            ));
+        }
+        let n = arrivals.len();
+        if ckpt.next_arrival > n || ckpt.emitted > n {
+            return Err(EntkError::Usage("checkpoint cursors out of range".into()));
+        }
+        let mut records: Vec<Option<SessionRecord>> = vec![None; n];
+        for r in &ckpt.records {
+            if r.session >= n || records[r.session].is_some() {
+                return Err(EntkError::Usage(format!(
+                    "checkpoint record for session {} is out of range or duplicated",
+                    r.session
+                )));
+            }
+            records[r.session] = Some(r.clone());
+        }
+        if records.iter().take(ckpt.emitted).any(Option::is_none) {
+            return Err(EntkError::Usage(
+                "checkpoint emitted cursor exceeds its finalized records".into(),
+            ));
+        }
+        for &i in ckpt.pending.iter().chain(&ckpt.deferred) {
+            if i >= ckpt.next_arrival || records[i].is_some() {
+                return Err(EntkError::Usage(format!(
+                    "checkpoint queues session {i} inconsistently"
+                )));
+            }
+        }
+        for slot in &ckpt.in_flight {
+            if slot.session >= ckpt.next_arrival
+                || records[slot.session].is_none()
+                || slot.finish_us < ckpt.clock_us
+            {
+                return Err(EntkError::Usage(format!(
+                    "checkpoint in-flight slot for session {} is inconsistent",
+                    slot.session
+                )));
+            }
+        }
+        if ckpt.in_flight.len() > s.slots {
+            return Err(EntkError::Usage(
+                "checkpoint occupies more slots than the config provides".into(),
+            ));
+        }
+        // Service times are needed only for sessions whose admission is
+        // still ahead: queued, deferred, or not yet arrived.
+        let mut need: Vec<usize> = ckpt
+            .pending
+            .iter()
+            .chain(&ckpt.deferred)
+            .copied()
+            .chain(ckpt.next_arrival..n)
+            .collect();
+        need.sort_unstable();
+        need.dedup();
+        let services = Self::evaluate(s, arrivals, &need);
+        Ok(ServiceEngine {
+            ledger: entk_cluster::UsageLedger::restore(
+                config.policy.half_life_secs(),
+                ckpt.usage.iter().copied(),
+                ckpt.usage_decayed_at_us,
+            ),
+            records,
+            services,
+            arrivals: arrivals.to_vec(),
+            config,
+            clock: SimTime::from_micros(ckpt.clock_us),
+            next_arrival: ckpt.next_arrival,
+            pending: ckpt.pending.iter().copied().collect(),
+            deferred: ckpt.deferred.iter().copied().collect(),
+            in_flight: ckpt
+                .in_flight
+                .iter()
+                .map(|slot| Reverse((SimTime::from_micros(slot.finish_us), slot.session)))
+                .collect(),
+            emitted: ckpt.emitted,
+            suffix: String::new(),
+            max_cc: ckpt.max_cross_check_err_secs,
+            admissions: Vec::new(),
+            finished: false,
+        })
+    }
+
+    /// Serves the stream to completion and assembles the outcome. The
+    /// outcome's `jsonl` is always the full stream; `suffix_jsonl` is
+    /// what *this* engine instance emitted (the whole stream for a fresh
+    /// engine, the post-checkpoint suffix for a restored one).
+    pub fn run(&mut self) -> Result<WorkloadOutcome, EntkError> {
+        if self.finished {
+            return Err(EntkError::Usage("service already ran to completion".into()));
+        }
+        self.run_to_boundary(self.arrivals.len());
+        self.finished = true;
+        Ok(self.assemble())
+    }
+
+    fn assemble(&mut self) -> WorkloadOutcome {
+        let records: Vec<SessionRecord> = self
+            .records
+            .iter()
+            .map(|r| r.clone().expect("completed service finalized every record"))
+            .collect();
+        let mut jsonl = String::new();
+        for r in &records {
+            jsonl.push_str(&render_record(r));
+        }
+
+        let mut metrics = Metrics::new();
+        record_depth_gauges(&mut metrics, &records);
+        let series = |name: &str| -> Vec<(f64, f64)> {
+            metrics
+                .series(name)
+                .map(|s| {
+                    s.points()
+                        .iter()
+                        .map(|&(t, v)| (t.as_secs_f64(), v))
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let queue_depth = series(QUEUE_DEPTH_GAUGE);
+        let in_service = series(IN_SERVICE_GAUGE);
+        let (queue_depth_peak, queue_depth_mean) = metrics
+            .series(QUEUE_DEPTH_GAUGE)
+            .map(|s| (s.peak(), s.time_weighted_mean()))
+            .unwrap_or((0.0, 0.0));
+
+        // Latency percentiles over *served* sessions (ok or partial):
+        // rejected sessions never ran and failed sessions have no service
+        // span, so neither contributes a latency sample.
+        let mut all = Summary::new();
+        let mut by_tenant: BTreeMap<u64, Summary> = BTreeMap::new();
+        let mut tenants: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        let mut counts = [0usize; 4];
+        let mut total_tasks = 0usize;
+        let mut total_events = 0u64;
+        let mut makespan = SimTime::ZERO;
+        for r in &records {
+            tenants.insert(r.tenant);
+            total_tasks += r.tasks;
+            total_events += r.events;
+            match r.status {
+                SessionStatus::Ok => counts[0] += 1,
+                SessionStatus::Partial => counts[1] += 1,
+                SessionStatus::Failed => counts[2] += 1,
+                SessionStatus::Rejected => counts[3] += 1,
+            }
+            if r.status != SessionStatus::Rejected {
+                makespan = makespan.max(SimTime::from_micros(r.finish_us));
+            }
+            if matches!(r.status, SessionStatus::Ok | SessionStatus::Partial) {
+                all.add(r.latency_secs);
+                by_tenant.entry(r.tenant).or_default().add(r.latency_secs);
+            }
+        }
+        let latency_of = |tenant: u64, s: &Summary| {
+            if s.count() == 0 {
+                return TenantLatency {
+                    tenant,
+                    sessions: 0,
+                    p50: 0.0,
+                    p95: 0.0,
+                    p99: 0.0,
+                };
+            }
+            let ps = s.percentiles(&[50.0, 95.0, 99.0]);
+            TenantLatency {
+                tenant,
+                sessions: s.count(),
+                p50: ps[0],
+                p95: ps[1],
+                p99: ps[2],
+            }
+        };
+        let per_tenant: Vec<TenantLatency> =
+            by_tenant.iter().map(|(t, s)| latency_of(*t, s)).collect();
+
+        let report = WorkloadReport {
+            backend: self.config.stream.backend.label(),
+            resource: self.config.stream.resource.clone(),
+            seed: self.config.stream.seed,
+            slots: self.config.stream.slots,
+            policy: self.config.policy.label().to_string(),
+            sessions: records.len(),
+            tenants: tenants.len(),
+            ok_sessions: counts[0],
+            partial_sessions: counts[1],
+            failed_sessions: counts[2],
+            rejected_sessions: counts[3],
+            total_tasks,
+            total_events,
+            makespan_secs: makespan.as_secs_f64(),
+            latency: latency_of(u64::MAX, &all),
+            per_tenant,
+            queue_depth,
+            queue_depth_peak,
+            queue_depth_mean,
+            in_service,
+            max_cross_check_err_secs: self.max_cc,
+            stream_fp: format!("{:016x}", fnv64(jsonl.as_bytes())),
+            records,
+        };
+        // For a fresh engine the incrementally emitted lines are the whole
+        // stream; for a restored engine they are exactly the suffix after
+        // the checkpoint's emitted cursor.
+        WorkloadOutcome {
+            report,
+            jsonl,
+            suffix_jsonl: std::mem::take(&mut self.suffix),
+        }
+    }
+}

@@ -14,7 +14,8 @@
 //! ```
 
 use crate::arrival::{OpenLoopProcess, SessionArrival, WorkloadGenerator};
-use crate::runner::{serve, StreamBackend, WorkloadConfig, WorkloadOutcome};
+use crate::runner::{StreamBackend, WorkloadConfig, WorkloadOutcome};
+use crate::service::{AdmissionPolicy, SaturationMode, ServiceConfig, ServiceEngine};
 use crate::trace::{CsvTrace, SyntheticTrace};
 use entk_core::EntkError;
 use serde::{Deserialize, Serialize};
@@ -37,6 +38,24 @@ pub struct StreamSpec {
     /// Member clusters per session on the federated backend.
     #[serde(default = "default_members")]
     pub members: usize,
+    /// Admission policy: `"fifo"` (default) or `"fair"`.
+    #[serde(default = "default_policy")]
+    pub policy: String,
+    /// Fair-share usage half-life in virtual seconds (0 = no decay).
+    #[serde(default)]
+    pub half_life_secs: f64,
+    /// Bound on the pending admission queue (`null` = unbounded).
+    #[serde(default)]
+    pub max_queue_depth: Option<usize>,
+    /// What happens past the bound: `"reject"` (default) or `"defer"`.
+    #[serde(default = "default_saturation")]
+    pub saturation: String,
+    /// `true` restores stream-fatal failure semantics.
+    #[serde(default)]
+    pub strict: bool,
+    /// Per-unit failure-injection probability for every session backend.
+    #[serde(default)]
+    pub unit_failure_rate: f64,
     /// Where the arrivals come from.
     pub source: SourceSpec,
 }
@@ -55,6 +74,12 @@ fn default_backend() -> String {
 }
 fn default_members() -> usize {
     2
+}
+fn default_policy() -> String {
+    "fifo".into()
+}
+fn default_saturation() -> String {
+    "reject".into()
 }
 
 /// The workload sources a spec may declare.
@@ -144,13 +169,33 @@ impl StreamSpec {
             resource: self.resource.clone(),
             slots: self.slots,
             backend,
+            unit_failure_rate: self.unit_failure_rate,
         })
     }
 
-    /// Generates and serves the stream.
+    /// Compiles the full service configuration: the runner config plus
+    /// admission policy, backpressure, and failure-strictness.
+    pub fn service_config(&self) -> Result<ServiceConfig, EntkError> {
+        let policy = match AdmissionPolicy::parse(&self.policy)? {
+            AdmissionPolicy::Fifo => AdmissionPolicy::Fifo,
+            AdmissionPolicy::FairShare { .. } => AdmissionPolicy::FairShare {
+                half_life_secs: self.half_life_secs,
+            },
+        };
+        Ok(ServiceConfig {
+            stream: self.config()?,
+            policy,
+            max_queue_depth: self.max_queue_depth,
+            saturation: SaturationMode::parse(&self.saturation)?,
+            strict: self.strict,
+        })
+    }
+
+    /// Generates and serves the stream under the spec's full service
+    /// configuration.
     pub fn run(&self) -> Result<WorkloadOutcome, EntkError> {
         let arrivals = self.arrivals()?;
-        serve(&self.config()?, &arrivals)
+        ServiceEngine::new(self.service_config()?, &arrivals)?.run()
     }
 }
 

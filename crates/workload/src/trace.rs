@@ -227,6 +227,80 @@ impl WorkloadGenerator for SyntheticTrace {
     }
 }
 
+/// A hot-tenant contention trace for fairness ablations: a steady Poisson
+/// background over `tenants` light tenants (ids `1..=tenants`) with
+/// tenant 0 dumping concentrated bursts on top. Under FIFO admission the
+/// light tenants queue behind each burst; a fair-share policy lets them
+/// jump it. Same seed ⇒ byte-identical CSV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HotTenantTrace {
+    /// Master seed.
+    pub seed: u64,
+    /// Total sessions to emit (split between background and bursts).
+    pub sessions: usize,
+    /// Light-tenant population size (the hot tenant is extra, id 0).
+    pub tenants: u64,
+}
+
+impl HotTenantTrace {
+    /// A hot-tenant trace of `sessions` sessions over `tenants` light
+    /// tenants plus the bursting tenant 0.
+    pub fn new(seed: u64, sessions: usize, tenants: u64) -> Self {
+        HotTenantTrace {
+            seed,
+            sessions,
+            tenants,
+        }
+    }
+
+    /// Renders the workload as CSV trace text.
+    pub fn to_csv(&self) -> Result<String, EntkError> {
+        Ok(render_trace(&self.generate()?))
+    }
+}
+
+impl WorkloadGenerator for HotTenantTrace {
+    fn generate(&self) -> Result<Vec<SessionArrival>, EntkError> {
+        let n_background = self.sessions.div_ceil(2);
+        let n_hot = self.sessions - n_background;
+        let mut background =
+            OpenLoopProcess::poisson(self.seed, n_background, self.tenants, 60.0).generate()?;
+        // The generators draw tenant ids in [0, tenants); shift the
+        // background up so id 0 belongs exclusively to the hot tenant.
+        for row in &mut background {
+            row.tenant += 1;
+        }
+        let hot = if n_hot == 0 {
+            Vec::new()
+        } else {
+            let mut hot =
+                OpenLoopProcess::burst(self.seed ^ 0x5DEE_CE66_D5C5_133F, n_hot, 1, 8, 240.0)
+                    .generate()?;
+            for row in &mut hot {
+                row.tenant = 0;
+            }
+            hot
+        };
+        let mut merged = Vec::with_capacity(self.sessions);
+        let (mut i, mut j) = (0, 0);
+        while i < background.len() || j < hot.len() {
+            let take_background = match (background.get(i), hot.get(j)) {
+                (Some(a), Some(b)) => a.arrival <= b.arrival,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if take_background {
+                merged.push(background[i].clone());
+                i += 1;
+            } else {
+                merged.push(hot[j].clone());
+                j += 1;
+            }
+        }
+        Ok(merged)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,6 +420,41 @@ mod tests {
         let csv = synth.to_csv().unwrap();
         assert_eq!(parse_trace(&csv).unwrap(), rows);
         assert_eq!(csv, synth.to_csv().unwrap());
+    }
+
+    #[test]
+    fn reserved_tenant_sentinel_is_rejected_with_line_number() {
+        // u64::MAX is the all-tenants aggregate sentinel in latency
+        // reports; a trace row claiming it used to merge silently into
+        // the aggregate.
+        let text = format!(
+            "{TRACE_HEADER}\n\
+             0.000000,1,eop,8,2,misc.sleep,32\n\
+             5.000000,18446744073709551615,eop,8,2,misc.sleep,32\n"
+        );
+        match parse_trace(&text) {
+            Err(EntkError::Usage(msg)) => {
+                assert!(msg.contains("line 3"), "{msg}");
+                assert!(msg.contains("reserved"), "{msg}");
+            }
+            other => panic!("expected Usage error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hot_tenant_trace_isolates_tenant_zero_bursts() {
+        let trace = HotTenantTrace::new(5, 40, 6);
+        let rows = trace.generate().unwrap();
+        assert_eq!(rows.len(), 40);
+        for w in rows.windows(2) {
+            assert!(w[1].arrival >= w[0].arrival);
+        }
+        let hot = rows.iter().filter(|r| r.tenant == 0).count();
+        assert_eq!(hot, 20, "the hot tenant submits half the stream");
+        assert!(rows.iter().all(|r| r.tenant <= 6));
+        assert_eq!(rows, trace.generate().unwrap());
+        let csv = trace.to_csv().unwrap();
+        assert_eq!(parse_trace(&csv).unwrap(), rows);
     }
 
     #[test]

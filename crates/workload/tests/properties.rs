@@ -1,8 +1,14 @@
 //! Property tests: a generated stream of valid arrivals survives the
-//! CSV render → parse round-trip exactly.
+//! CSV render → parse round-trip exactly; the event-driven service
+//! matches the FIFO admission-recursion oracle, upholds the fair-share
+//! invariant, respects queue bounds, and checkpoint/restores exactly at
+//! every arrival boundary.
 
 use entk_sim::{SimDuration, SimTime};
-use entk_workload::{parse_trace, render_trace, PatternKind, SessionArrival, SUPPORTED_KERNELS};
+use entk_workload::{
+    parse_trace, render_trace, serve, PatternKind, SaturationMode, ServiceCheckpoint,
+    ServiceConfig, ServiceEngine, SessionArrival, WorkloadConfig, SUPPORTED_KERNELS,
+};
 use proptest::prelude::*;
 
 /// Builds a sorted, schema-valid arrival list from raw draws: each draw is
@@ -55,5 +61,189 @@ proptest! {
         let a = render_trace(&rows);
         let b = render_trace(&rows);
         prop_assert_eq!(a, b);
+    }
+}
+
+/// Cheap evaluation draws: tiny sessions on the sleep kernel, so the
+/// service-evaluation cost of the queueing properties stays trivial.
+fn cheap_arrivals(draws: &[(u64, u64, usize)]) -> Vec<SessionArrival> {
+    let mut clock = SimTime::ZERO;
+    draws
+        .iter()
+        .map(|&(gap_us, tenant, cores)| {
+            clock += SimDuration::from_secs_f64(gap_us as f64 * 1e-6);
+            SessionArrival {
+                arrival: clock,
+                tenant,
+                pattern: PatternKind::Eop,
+                tasks: 1 + (cores % 3),
+                stages: 1,
+                kernel: "misc.sleep".to_string(),
+                cores: 1 + cores % 16,
+            }
+        })
+        .collect()
+}
+
+/// The original `serve()` admission recursion, kept as the FIFO oracle:
+/// arrival `i` starts at `max(arrival_i, k-th earliest slot-free time)`.
+fn fifo_oracle(arrivals: &[SessionArrival], ttcs_us: &[u64], slots: usize) -> Vec<(u64, u64)> {
+    let mut free: std::collections::BinaryHeap<std::cmp::Reverse<u64>> =
+        (0..slots).map(|_| std::cmp::Reverse(0)).collect();
+    arrivals
+        .iter()
+        .zip(ttcs_us)
+        .map(|(a, &ttc)| {
+            let std::cmp::Reverse(avail) = free.pop().expect("slots >= 1");
+            let start = a.arrival.as_micros().max(avail);
+            let finish = start + ttc;
+            free.push(std::cmp::Reverse(finish));
+            (start, finish)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn event_driven_fifo_matches_the_admission_recursion_oracle(
+        draws in proptest::collection::vec((0u64..90_000_000, 0u64..5, 0usize..64), 1..10),
+        slots in 1usize..4,
+    ) {
+        let arrivals = cheap_arrivals(&draws);
+        let out = serve(
+            &WorkloadConfig { slots, ..WorkloadConfig::default() },
+            &arrivals,
+        ).unwrap();
+        let ttcs: Vec<u64> = out.report.records.iter()
+            .map(|r| r.finish_us - r.start_us)
+            .collect();
+        let expect = fifo_oracle(&arrivals, &ttcs, slots);
+        for (r, (start, finish)) in out.report.records.iter().zip(expect) {
+            prop_assert_eq!(r.start_us, start, "session {}", r.session);
+            prop_assert_eq!(r.finish_us, finish, "session {}", r.session);
+        }
+    }
+
+    #[test]
+    fn fair_share_never_admits_over_a_waiting_lighter_tenant(
+        draws in proptest::collection::vec((0u64..30_000_000, 0u64..4, 0usize..64), 2..10),
+        half_life_sel in 0usize..3,
+    ) {
+        let arrivals = cheap_arrivals(&draws);
+        let config = ServiceConfig::fair_share(
+            WorkloadConfig { slots: 1, ..WorkloadConfig::default() },
+            [0.0, 120.0, 3600.0][half_life_sel],
+        );
+        let mut engine = ServiceEngine::new(config, &arrivals).unwrap();
+        engine.run().unwrap();
+        for s in engine.admissions() {
+            if let Some(min_waiting) = s.min_waiting_usage {
+                prop_assert!(
+                    s.admitted_usage <= min_waiting + 1e-9,
+                    "session {} (tenant {}) admitted at usage {} over a \
+                     waiting tenant at {}",
+                    s.session, s.tenant, s.admitted_usage, min_waiting
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejecting_saturation_never_exceeds_the_bound(
+        draws in proptest::collection::vec((0u64..10_000_000, 0u64..4, 0usize..64), 2..10),
+        bound in 1usize..3,
+    ) {
+        let arrivals = cheap_arrivals(&draws);
+        let config = ServiceConfig {
+            max_queue_depth: Some(bound),
+            saturation: SaturationMode::Reject,
+            ..ServiceConfig::fifo(WorkloadConfig { slots: 1, ..WorkloadConfig::default() })
+        };
+        let out = ServiceEngine::new(config, &arrivals).unwrap().run().unwrap();
+        prop_assert!(out.report.queue_depth_peak <= bound as f64);
+        prop_assert_eq!(
+            out.report.ok_sessions + out.report.rejected_sessions,
+            arrivals.len()
+        );
+    }
+
+    #[test]
+    fn deferring_saturation_serves_everyone(
+        draws in proptest::collection::vec((0u64..10_000_000, 0u64..4, 0usize..64), 2..10),
+        bound in 1usize..3,
+    ) {
+        let arrivals = cheap_arrivals(&draws);
+        let config = ServiceConfig {
+            max_queue_depth: Some(bound),
+            saturation: SaturationMode::Defer,
+            ..ServiceConfig::fifo(WorkloadConfig { slots: 1, ..WorkloadConfig::default() })
+        };
+        let out = ServiceEngine::new(config, &arrivals).unwrap().run().unwrap();
+        prop_assert_eq!(out.report.rejected_sessions, 0);
+        prop_assert_eq!(out.report.ok_sessions, arrivals.len());
+    }
+}
+
+#[test]
+fn checkpoint_restore_at_every_arrival_boundary_is_exact() {
+    let draws: Vec<(u64, u64, usize)> = (0..8)
+        .map(|i| (((i * 37) % 11) * 3_000_000, i % 3, (i * 13) as usize))
+        .collect();
+    let arrivals = cheap_arrivals(&draws);
+    for (label, config) in [
+        (
+            "fifo",
+            ServiceConfig::fifo(WorkloadConfig {
+                slots: 2,
+                ..WorkloadConfig::default()
+            }),
+        ),
+        (
+            "fair",
+            ServiceConfig::fair_share(
+                WorkloadConfig {
+                    slots: 2,
+                    ..WorkloadConfig::default()
+                },
+                120.0,
+            ),
+        ),
+        (
+            "bounded",
+            ServiceConfig {
+                max_queue_depth: Some(1),
+                saturation: SaturationMode::Defer,
+                ..ServiceConfig::fifo(WorkloadConfig {
+                    slots: 1,
+                    ..WorkloadConfig::default()
+                })
+            },
+        ),
+    ] {
+        let full = ServiceEngine::new(config.clone(), &arrivals)
+            .unwrap()
+            .run()
+            .unwrap();
+        for k in 0..=arrivals.len() {
+            let mut victim = ServiceEngine::new(config.clone(), &arrivals).unwrap();
+            victim.run_to_boundary(k);
+            let prefix = victim.emitted_jsonl().to_string();
+            let ckpt = ServiceCheckpoint::from_json(&victim.checkpoint().to_json()).unwrap();
+            let resumed = ServiceEngine::restore(config.clone(), &arrivals, &ckpt)
+                .unwrap()
+                .run()
+                .unwrap();
+            assert_eq!(
+                format!("{prefix}{}", resumed.suffix_jsonl),
+                full.jsonl,
+                "{label}: boundary {k} must replay a byte-identical stream"
+            );
+            assert_eq!(
+                resumed.report, full.report,
+                "{label}: boundary {k} report mismatch"
+            );
+        }
     }
 }

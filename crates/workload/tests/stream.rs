@@ -1,9 +1,10 @@
 //! End-to-end stream tests: the synthetic trace served on both backends,
-//! with replay identity, cross-check budgets, and populated reports.
+//! with replay identity, cross-check budgets, populated reports,
+//! per-session failure semantics, backpressure, and checkpoint/restore.
 
 use entk_workload::{
-    parse_trace, serve, StreamBackend, StreamSpec, SyntheticTrace, WorkloadConfig,
-    WorkloadGenerator,
+    parse_trace, serve, SaturationMode, ServiceCheckpoint, ServiceConfig, ServiceEngine,
+    SessionStatus, StreamBackend, StreamSpec, SyntheticTrace, WorkloadConfig, WorkloadGenerator,
 };
 
 fn small_config(backend: StreamBackend) -> WorkloadConfig {
@@ -12,6 +13,7 @@ fn small_config(backend: StreamBackend) -> WorkloadConfig {
         resource: "xsede.stampede".into(),
         slots: 2,
         backend,
+        unit_failure_rate: 0.0,
     }
 }
 
@@ -102,4 +104,256 @@ fn spec_driven_run_matches_direct_serve() {
     let direct = serve(&config, &arrivals).unwrap();
     assert_eq!(via_spec.jsonl, direct.jsonl);
     assert_eq!(via_spec.report.stream_fp, direct.report.stream_fp);
+}
+
+#[test]
+fn failed_sessions_are_recorded_without_killing_the_stream() {
+    // An impossible core request fails that session's backend run; the
+    // stream must carry it as a `failed` record and keep serving.
+    let mut arrivals = SyntheticTrace::new(7, 8, 3).generate().unwrap();
+    arrivals[3].cores = 1_000_000_000;
+    let out = serve(&small_config(StreamBackend::Simulated), &arrivals).unwrap();
+    let r = &out.report;
+    assert_eq!(r.sessions, 8);
+    assert_eq!(r.failed_sessions, 1);
+    assert_eq!(r.ok_sessions, 7);
+    let failed = &r.records[3];
+    assert_eq!(failed.status, SessionStatus::Failed);
+    assert!(failed.error.as_deref().unwrap().contains("resource error"));
+    assert_eq!(failed.ttc_secs, 0.0);
+    assert_eq!(failed.tasks, 0);
+    assert!(out
+        .jsonl
+        .lines()
+        .nth(3)
+        .unwrap()
+        .contains("\"status\":\"failed\""));
+    // The failed session contributes no latency sample.
+    assert_eq!(r.per_tenant.iter().map(|t| t.sessions).sum::<usize>(), 7);
+}
+
+#[test]
+fn strict_mode_restores_stream_fatal_failures() {
+    let mut arrivals = SyntheticTrace::new(7, 8, 3).generate().unwrap();
+    arrivals[3].cores = 1_000_000_000;
+    let config = ServiceConfig {
+        strict: true,
+        ..ServiceConfig::fifo(small_config(StreamBackend::Simulated))
+    };
+    let err = ServiceEngine::new(config, &arrivals).unwrap_err();
+    assert!(err.to_string().contains("resource error"), "{err}");
+}
+
+#[test]
+fn degraded_sessions_are_recorded_as_partial() {
+    let stream = WorkloadConfig {
+        unit_failure_rate: 1.0,
+        ..small_config(StreamBackend::Simulated)
+    };
+    let arrivals = SyntheticTrace::new(7, 4, 2).generate().unwrap();
+    let out = serve(&stream, &arrivals).unwrap();
+    assert_eq!(out.report.partial_sessions, 4);
+    assert_eq!(out.report.ok_sessions, 0);
+    assert!(out
+        .report
+        .records
+        .iter()
+        .all(|r| r.status == SessionStatus::Partial && r.ttc_secs > 0.0));
+    // Partial sessions still serve and still count toward latency.
+    assert!(out.report.latency.p50 > 0.0);
+
+    let strict = ServiceConfig {
+        strict: true,
+        ..ServiceConfig::fifo(stream)
+    };
+    let err = ServiceEngine::new(strict, &arrivals).unwrap_err();
+    assert!(err.to_string().contains("partial"), "{err}");
+}
+
+#[test]
+fn bounded_queue_rejects_past_the_bound_with_saturated_outcomes() {
+    let config = ServiceConfig {
+        max_queue_depth: Some(1),
+        saturation: SaturationMode::Reject,
+        ..ServiceConfig::fifo(WorkloadConfig {
+            slots: 1,
+            ..small_config(StreamBackend::Simulated)
+        })
+    };
+    let arrivals = SyntheticTrace::new(3, 16, 4).generate().unwrap();
+    let out = ServiceEngine::new(config, &arrivals)
+        .unwrap()
+        .run()
+        .unwrap();
+    let r = &out.report;
+    assert!(r.rejected_sessions > 0, "a burst must overflow depth 1");
+    assert_eq!(r.rejected_sessions + r.ok_sessions, 16);
+    assert!(
+        r.queue_depth_peak <= 1.0,
+        "rejection keeps the queue at its bound (peak {})",
+        r.queue_depth_peak
+    );
+    for rec in r
+        .records
+        .iter()
+        .filter(|r| r.status == SessionStatus::Rejected)
+    {
+        assert!(rec.error.as_deref().unwrap().starts_with("saturated:"));
+        assert_eq!(rec.ttc_secs, 0.0);
+        assert_eq!(rec.start_us, rec.arrival_us);
+    }
+    // Rejection is per-session, never stream-fatal: replay is identical.
+    let again = ServiceEngine::new(
+        ServiceConfig {
+            max_queue_depth: Some(1),
+            saturation: SaturationMode::Reject,
+            ..ServiceConfig::fifo(WorkloadConfig {
+                slots: 1,
+                ..small_config(StreamBackend::Simulated)
+            })
+        },
+        &arrivals,
+    )
+    .unwrap()
+    .run()
+    .unwrap();
+    assert_eq!(out.jsonl, again.jsonl);
+}
+
+#[test]
+fn deferred_arrivals_are_eventually_served() {
+    let config = ServiceConfig {
+        max_queue_depth: Some(1),
+        saturation: SaturationMode::Defer,
+        ..ServiceConfig::fifo(WorkloadConfig {
+            slots: 1,
+            ..small_config(StreamBackend::Simulated)
+        })
+    };
+    let arrivals = SyntheticTrace::new(3, 16, 4).generate().unwrap();
+    let out = ServiceEngine::new(config, &arrivals)
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(out.report.rejected_sessions, 0);
+    assert_eq!(out.report.ok_sessions, 16);
+    // FIFO + defer serves in arrival order, so the outcome matches the
+    // unbounded queue exactly.
+    let unbounded = serve(
+        &WorkloadConfig {
+            slots: 1,
+            ..small_config(StreamBackend::Simulated)
+        },
+        &arrivals,
+    )
+    .unwrap();
+    assert_eq!(out.jsonl, unbounded.jsonl);
+}
+
+#[test]
+fn kill_mid_stream_and_resume_replays_a_byte_identical_suffix() {
+    let arrivals = SyntheticTrace::new(13, 12, 4).generate().unwrap();
+    let config = ServiceConfig::fair_share(small_config(StreamBackend::Simulated), 300.0);
+
+    let full = ServiceEngine::new(config.clone(), &arrivals)
+        .unwrap()
+        .run()
+        .unwrap();
+
+    // "Kill" the service at the mid-stream arrival boundary: keep only
+    // what it checkpointed and what it had already emitted.
+    let mut victim = ServiceEngine::new(config.clone(), &arrivals).unwrap();
+    victim.run_to_boundary(6);
+    let prefix = victim.emitted_jsonl().to_string();
+    let ckpt_json = victim.checkpoint().to_json();
+    drop(victim);
+
+    let ckpt = ServiceCheckpoint::from_json(&ckpt_json).unwrap();
+    assert_eq!(ckpt.next_arrival, 6);
+    let resumed = ServiceEngine::restore(config, &arrivals, &ckpt)
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(
+        format!("{prefix}{}", resumed.suffix_jsonl),
+        full.jsonl,
+        "prefix + resumed suffix must be byte-identical to the uninterrupted stream"
+    );
+    assert_eq!(resumed.report.stream_fp, full.report.stream_fp);
+    assert_eq!(resumed.report, full.report);
+}
+
+#[test]
+fn checkpoints_refuse_mismatched_configs_and_streams() {
+    let arrivals = SyntheticTrace::new(13, 8, 3).generate().unwrap();
+    let config = ServiceConfig::fifo(small_config(StreamBackend::Simulated));
+    let mut engine = ServiceEngine::new(config.clone(), &arrivals).unwrap();
+    engine.run_to_boundary(4);
+    let ckpt = engine.checkpoint();
+
+    let wrong_seed = ServiceConfig::fifo(WorkloadConfig {
+        seed: 999,
+        ..small_config(StreamBackend::Simulated)
+    });
+    let err = ServiceEngine::restore(wrong_seed, &arrivals, &ckpt).unwrap_err();
+    assert!(err.to_string().contains("seed"), "{err}");
+
+    let wrong_policy = ServiceConfig::fair_share(small_config(StreamBackend::Simulated), 60.0);
+    let err = ServiceEngine::restore(wrong_policy, &arrivals, &ckpt).unwrap_err();
+    assert!(err.to_string().contains("policy"), "{err}");
+
+    let other_arrivals = SyntheticTrace::new(14, 8, 3).generate().unwrap();
+    let err = ServiceEngine::restore(config, &other_arrivals, &ckpt).unwrap_err();
+    assert!(err.to_string().contains("fingerprint"), "{err}");
+}
+
+#[test]
+fn fair_share_reorders_a_hot_tenant_burst() {
+    use entk_workload::HotTenantTrace;
+    let arrivals = HotTenantTrace::new(21, 24, 4).generate().unwrap();
+    let stream = WorkloadConfig {
+        slots: 1,
+        ..small_config(StreamBackend::Simulated)
+    };
+    let fifo = ServiceEngine::new(ServiceConfig::fifo(stream.clone()), &arrivals)
+        .unwrap()
+        .run()
+        .unwrap();
+    let mut engine =
+        ServiceEngine::new(ServiceConfig::fair_share(stream, 600.0), &arrivals).unwrap();
+    let fair = engine.run().unwrap();
+    assert_eq!(fair.report.policy, "fair-share");
+    assert_ne!(
+        fifo.jsonl, fair.jsonl,
+        "the hot tenant burst must be reordered"
+    );
+    // The fairness invariant: no admitted tenant was above the share of a
+    // tenant left waiting.
+    for s in engine.admissions() {
+        if let Some(min_waiting) = s.min_waiting_usage {
+            assert!(
+                s.admitted_usage <= min_waiting + 1e-9,
+                "session {} (tenant {}) admitted at usage {} over a waiting tenant at {}",
+                s.session,
+                s.tenant,
+                s.admitted_usage,
+                min_waiting
+            );
+        }
+    }
+    // Light tenants (ids >= 1) should not be worse off under fair-share.
+    let light_p99 = |r: &entk_workload::WorkloadReport| {
+        r.per_tenant
+            .iter()
+            .filter(|t| t.tenant >= 1)
+            .map(|t| t.p99)
+            .fold(0.0f64, f64::max)
+    };
+    assert!(
+        light_p99(&fair.report) <= light_p99(&fifo.report),
+        "worst light-tenant p99 must not regress under fair-share \
+         (fair {} vs fifo {})",
+        light_p99(&fair.report),
+        light_p99(&fifo.report)
+    );
 }
