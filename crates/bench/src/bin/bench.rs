@@ -45,6 +45,17 @@
 //!   --policy P        fig11 admission policy: fifo | fair [default: fifo]
 //!   --sessions N      fig11 stream length                  [default: 24]
 //!   --tenants N       fig11 tenant population               [default: 8]
+//!   --serve-scale     (with --workload) run the out-of-core serve-scale
+//!                     sweep instead of fig11: synthetic streams of
+//!                     10^3 → --max-sessions sessions served end-to-end
+//!                     through the bounded-memory streaming engine on the
+//!                     simulated and federated backends, recording
+//!                     events/sec, wall, and peak RSS (VmHWM); asserts
+//!                     RSS flatness (final peak <= 2x the 10^4 peak).
+//!                     With --baseline, each leg's events/sec is gated
+//!                     against floors.serve_scale and the final VmHWM
+//!                     against ceilings.serve_scale_rss_kb
+//!   --max-sessions N  largest serve-scale stream        [default: 1000000]
 //! ```
 //!
 //! Every figure entry records `serial_secs`, `parallel_secs`, `speedup`,
@@ -56,8 +67,9 @@
 
 use entk_bench::{
     deterministic_view, fairness_ablation_with, federated_resilience_with, fig11_with_policy,
-    figures, leg_jsonl, resilience_sweep_with, FairnessAblation, Row, SweepRunner,
-    FIG11_HALF_LIFE_SECS, FIG11_SESSIONS, FIG11_SLOTS, FIG11_TENANTS,
+    figures, leg_jsonl, resilience_sweep_with, serve_scale_axis, serve_scale_point,
+    FairnessAblation, Row, SweepRunner, FIG11_HALF_LIFE_SECS, FIG11_SESSIONS, FIG11_SLOTS,
+    FIG11_TENANTS, SERVE_SCALE_SLOTS, SERVE_SCALE_TENANTS,
 };
 use entk_core::prelude::DriveMode;
 use entk_workload::{AdmissionPolicy, StreamBackend};
@@ -89,6 +101,8 @@ struct Options {
     policy: AdmissionPolicy,
     sessions: usize,
     tenants: u64,
+    serve_scale: bool,
+    max_sessions: usize,
 }
 
 impl Options {
@@ -122,6 +136,8 @@ fn parse_args() -> Options {
         policy: AdmissionPolicy::Fifo,
         sessions: FIG11_SESSIONS,
         tenants: FIG11_TENANTS,
+        serve_scale: false,
+        max_sessions: 1_000_000,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -178,6 +194,16 @@ fn parse_args() -> Options {
                 opts.sessions = value("--sessions").parse().expect("--sessions: integer")
             }
             "--tenants" => opts.tenants = value("--tenants").parse().expect("--tenants: integer"),
+            "--serve-scale" => {
+                opts.serve_scale = true;
+                opts.workload = true;
+            }
+            "--max-sessions" => {
+                opts.max_sessions = value("--max-sessions")
+                    .parse()
+                    .expect("--max-sessions: integer");
+                assert!(opts.max_sessions >= 1000, "--max-sessions needs at least 1000");
+            }
             other => panic!("unknown argument {other:?} (see --help in the module docs)"),
         }
     }
@@ -652,6 +678,165 @@ fn run_workload_sweep(opts: &Options) {
     }
 }
 
+/// The `--workload --serve-scale` mode: the out-of-core bounded-memory
+/// proof. Synthetic streams of 10^3 → `--max-sessions` sessions are
+/// served end-to-end through `ServiceEngine::run_streaming` (records
+/// rendered to a null sink and dropped) on the simulated and two-member
+/// federated backends, ascending, recording events/sec, wall-clock, the
+/// engine's own peak-residency witness, and the process peak RSS
+/// (`VmHWM`) after every point. Because `VmHWM` is monotone, the
+/// ascending axis makes the flat-memory comparison valid: the sweep
+/// fails unless the final peak stays within 2x the peak measured after
+/// the first 10^4-session point — RSS(10^6) <= 2 x RSS(10^4).
+fn run_serve_scale_sweep(opts: &Options) {
+    let axis = serve_scale_axis(opts.max_sessions);
+    let backends = [
+        StreamBackend::Simulated,
+        StreamBackend::Federated { members: 2 },
+    ];
+    let mut points = Vec::new();
+    let mut leg_rates = Vec::new();
+    let mut hwm_at_1e4: Option<u64> = None;
+    let mut total = 0.0f64;
+    for backend in backends {
+        let label = backend.label();
+        let mut last_rate = 0.0;
+        for &sessions in &axis {
+            let p = serve_scale_point(opts.seed, sessions, backend)
+                .unwrap_or_else(|e| fail(format!("serve-scale {label} n={sessions}: {e}")));
+            total += p.wall_secs;
+            last_rate = p.events_per_sec;
+            println!(
+                "{label:>12} sessions={sessions:<8} wall {:>8.2}s  {:>9.0} events/sec  \
+                 peak resident {:>4}  VmHWM {}",
+                p.wall_secs,
+                p.events_per_sec,
+                p.stats.peak_resident_sessions,
+                p.vm_hwm_kb
+                    .map(|kb| format!("{kb} KiB"))
+                    .unwrap_or_else(|| "n/a".into()),
+            );
+            if p.stats.sessions != sessions {
+                fail(format!(
+                    "serve-scale {label} n={sessions}: engine served {} sessions",
+                    p.stats.sessions
+                ));
+            }
+            if sessions == 10_000 && hwm_at_1e4.is_none() {
+                hwm_at_1e4 = p.vm_hwm_kb;
+            }
+            points.push(p);
+        }
+        leg_rates.push((label, last_rate));
+    }
+
+    let hwm_final = points.last().and_then(|p| p.vm_hwm_kb);
+    if let (Some(base), Some(last)) = (hwm_at_1e4, hwm_final) {
+        if opts.max_sessions > 10_000 && last > base * 2 {
+            fail(format!(
+                "serve-scale memory is not flat: final VmHWM {last} KiB exceeds \
+                 2x the 10^4-session peak {base} KiB"
+            ));
+        }
+        println!(
+            "memory flatness: final VmHWM {last} KiB <= 2 x {base} KiB \
+             (10^4-session peak)"
+        );
+    }
+
+    let report = json!({
+        "version": 1,
+        "seed": opts.seed,
+        "slots": SERVE_SCALE_SLOTS,
+        "tenants": SERVE_SCALE_TENANTS,
+        "sessions_axis": axis,
+        "points": points.iter().map(|p| p.to_json()).collect::<Vec<_>>(),
+        "vm_hwm_kb_at_1e4": hwm_at_1e4,
+        "vm_hwm_kb_final": hwm_final,
+        "checks": {
+            "rss_flatness_factor": 2.0,
+            "rss_flat": true,
+        },
+    });
+    let out = opts.out_path();
+    let rendered = serde_json::to_string_pretty(&report).expect("serialize serve-scale report");
+    std::fs::write(&out, rendered + "\n").expect("write serve-scale report");
+    println!("wrote {out}");
+
+    if let Some(budget) = opts.budget_secs {
+        if total > budget {
+            fail(format!(
+                "serve-scale sweep took {total:.3}s, over the {budget:.3}s wall budget"
+            ));
+        }
+        println!("within wall budget: {total:.3}s <= {budget:.3}s");
+    }
+    if let Some(path) = &opts.baseline {
+        check_serve_scale_baseline(path, &leg_rates, hwm_final);
+    }
+}
+
+/// The serve-scale flavour of the `--baseline` gate: each backend leg's
+/// events/sec (largest point) must stay within tolerance of its
+/// `floors.serve_scale` floor, and the process's final `VmHWM` must stay
+/// under `ceilings.serve_scale_rss_kb` (with the same tolerance as
+/// headroom).
+fn check_serve_scale_baseline(path: &str, leg_rates: &[(String, f64)], hwm_kb: Option<u64>) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(format!("cannot read baseline {path}: {e}")));
+    let baseline: serde_json::Value =
+        serde_json::from_str(&text).unwrap_or_else(|e| fail(format!("bad baseline {path}: {e}")));
+    let tolerance = baseline["tolerance"].as_f64().unwrap_or(0.25);
+    let Some(floors) = baseline["floors"]["serve_scale"].as_object() else {
+        fail(format!("baseline {path} has no floors for serve_scale"));
+    };
+    for (series, floor) in floors {
+        let floor = floor
+            .as_f64()
+            .unwrap_or_else(|| fail(format!("baseline serve_scale/{series}: non-numeric floor")));
+        let measured = leg_rates
+            .iter()
+            .find(|(label, _)| label == series)
+            .map(|&(_, rate)| rate)
+            .unwrap_or_else(|| {
+                fail(format!(
+                    "baseline serve_scale/{series}: the sweep ran no such backend leg"
+                ))
+            });
+        let min_ok = floor * (1.0 - tolerance);
+        if measured < min_ok {
+            fail(format!(
+                "perf regression: serve_scale/{series} measured {measured:.0} events/sec, \
+                 below floor {floor:.0} - {:.0}% tolerance = {min_ok:.0}",
+                tolerance * 100.0
+            ));
+        }
+        println!(
+            "baseline serve_scale/{series}: {measured:.0} events/sec >= {min_ok:.0} \
+             (floor {floor:.0}, tolerance {:.0}%)",
+            tolerance * 100.0
+        );
+    }
+    if let Some(ceiling) = baseline["ceilings"]["serve_scale_rss_kb"].as_u64() {
+        let Some(hwm) = hwm_kb else {
+            fail("baseline has an RSS ceiling but VmHWM is unavailable on this host");
+        };
+        let max_ok = (ceiling as f64 * (1.0 + tolerance)) as u64;
+        if hwm > max_ok {
+            fail(format!(
+                "memory regression: serve-scale VmHWM {hwm} KiB exceeds ceiling \
+                 {ceiling} KiB + {:.0}% tolerance = {max_ok} KiB",
+                tolerance * 100.0
+            ));
+        }
+        println!(
+            "baseline serve_scale RSS: {hwm} KiB <= {max_ok} KiB \
+             (ceiling {ceiling} KiB, tolerance {:.0}%)",
+            tolerance * 100.0
+        );
+    }
+}
+
 /// The workload flavour of the `--baseline` gate: the committed floors
 /// under `floors.fig11` are keyed by backend label, and each serve leg's
 /// events/sec must stay within the file's tolerance of its floor.
@@ -695,6 +880,10 @@ fn check_workload_baseline(path: &str, leg_rates: &[(String, f64)]) {
 
 fn main() {
     let opts = parse_args();
+    if opts.serve_scale {
+        run_serve_scale_sweep(&opts);
+        return;
+    }
     if opts.workload {
         run_workload_sweep(&opts);
         return;

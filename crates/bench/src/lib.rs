@@ -25,6 +25,8 @@ pub use resilience::{
 };
 pub use sweep::{SweepMode, SweepRunner};
 pub use workload::{
-    fairness_ablation_with, fig11_with, fig11_with_policy, leg_jsonl, FairnessAblation,
-    WorkloadPoint, FIG11_HALF_LIFE_SECS, FIG11_SESSIONS, FIG11_SLOTS, FIG11_TENANTS,
+    fairness_ablation_with, fig11_with, fig11_with_policy, leg_jsonl, serve_scale_axis,
+    serve_scale_point, vm_hwm_kb, FairnessAblation, ServeScalePoint, WorkloadPoint,
+    FIG11_HALF_LIFE_SECS, FIG11_SESSIONS, FIG11_SLOTS, FIG11_TENANTS, SERVE_SCALE_SLOTS,
+    SERVE_SCALE_TENANTS,
 };

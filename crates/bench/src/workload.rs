@@ -12,8 +12,8 @@
 
 use entk_core::EntkError;
 use entk_workload::{
-    AdmissionPolicy, HotTenantTrace, ServiceConfig, ServiceEngine, StreamBackend, SyntheticTrace,
-    WorkloadConfig, WorkloadGenerator, WorkloadReport,
+    AdmissionPolicy, HotTenantTrace, ServeStats, ServiceConfig, ServiceEngine, StreamBackend,
+    SyntheticTrace, WorkloadConfig, WorkloadGenerator, WorkloadReport,
 };
 use serde_json::json;
 
@@ -192,6 +192,116 @@ pub fn fairness_ablation_with(
         fifo: fifo.report,
         fair: fair.report,
     })
+}
+
+/// Admission slots of the serve-scale sweep: wide enough that the
+/// synthetic arrival rate keeps the FIFO queue bounded, so resident state
+/// is governed by the look-ahead window rather than the stream length —
+/// the configuration the bounded-memory claim is measured under.
+pub const SERVE_SCALE_SLOTS: usize = 64;
+
+/// Tenant population of the serve-scale sweep.
+pub const SERVE_SCALE_TENANTS: u64 = 64;
+
+/// One point of the out-of-core serve-scale sweep: one synthetic stream
+/// of `sessions` sessions served end-to-end through
+/// [`ServiceEngine::run_streaming`] into a null sink.
+#[derive(Debug, Clone)]
+pub struct ServeScalePoint {
+    /// Backend label (`simulated` or `federated:N`).
+    pub backend: String,
+    /// Stream length of this point.
+    pub sessions: usize,
+    /// Host wall-clock of the serve, seconds.
+    pub wall_secs: f64,
+    /// Simulator events per host second.
+    pub events_per_sec: f64,
+    /// Process peak RSS (`VmHWM`) sampled right after the serve, KiB;
+    /// `None` off Linux.
+    pub vm_hwm_kb: Option<u64>,
+    /// The serve's scalar stats (deterministic; carries the stream
+    /// fingerprint and the engine's own peak-residency witness).
+    pub stats: ServeStats,
+}
+
+impl ServeScalePoint {
+    /// JSON projection for `WORKLOAD.json`. Unlike the fig11 points this
+    /// carries wall-clock and RSS values, which legitimately differ
+    /// between runs; `stream_fp` and the session counts stay replayable.
+    pub fn to_json(&self) -> serde_json::Value {
+        json!({
+            "backend": self.backend,
+            "sessions": self.sessions,
+            "wall_secs": self.wall_secs,
+            "events_per_sec": self.events_per_sec,
+            "vm_hwm_kb": self.vm_hwm_kb,
+            "peak_resident_sessions": self.stats.peak_resident_sessions,
+            "total_events": self.stats.total_events,
+            "jsonl_bytes": self.stats.jsonl_bytes,
+            "stream_fp": self.stats.stream_fp,
+            "ok_sessions": self.stats.ok_sessions,
+            "makespan_secs": self.stats.makespan_secs,
+        })
+    }
+}
+
+/// Serves one synthetic stream of `sessions` sessions out-of-core and
+/// measures it. The JSONL goes to a null sink: the point measures engine
+/// throughput and resident footprint, not disk bandwidth.
+pub fn serve_scale_point(
+    seed: u64,
+    sessions: usize,
+    backend: StreamBackend,
+) -> Result<ServeScalePoint, EntkError> {
+    let synth = SyntheticTrace::new(seed, sessions, SERVE_SCALE_TENANTS);
+    let config = ServiceConfig::fifo(WorkloadConfig {
+        seed,
+        slots: SERVE_SCALE_SLOTS,
+        backend,
+        ..WorkloadConfig::default()
+    });
+    let t0 = std::time::Instant::now();
+    let mut sink = std::io::sink();
+    let stats = ServiceEngine::new(config, synth.stream()?)?.run_streaming(&mut sink)?;
+    let wall_secs = t0.elapsed().as_secs_f64();
+    Ok(ServeScalePoint {
+        backend: backend.label(),
+        sessions,
+        wall_secs,
+        events_per_sec: stats.total_events as f64 / wall_secs.max(1e-12),
+        vm_hwm_kb: vm_hwm_kb(),
+        stats,
+    })
+}
+
+/// The session-count axis of the serve-scale sweep: decades from 10^3 up
+/// to `max_sessions`, with `max_sessions` itself appended when it is not
+/// a decade point.
+pub fn serve_scale_axis(max_sessions: usize) -> Vec<usize> {
+    let mut axis = Vec::new();
+    let mut n = 1000usize;
+    while n <= max_sessions {
+        axis.push(n);
+        n = n.saturating_mul(10);
+    }
+    if axis.last() != Some(&max_sessions) && max_sessions >= 1000 {
+        axis.push(max_sessions);
+    }
+    axis
+}
+
+/// Process peak resident set size (`VmHWM` from `/proc/self/status`),
+/// KiB. Monotone non-decreasing over the process lifetime, which is what
+/// makes the ascending serve-scale sweep's flat-memory comparison valid.
+pub fn vm_hwm_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
 }
 
 /// Concatenated stream JSONL of a sweep leg, each line prefixed with its

@@ -15,8 +15,8 @@
 //!                                   depth, makespan; --trace writes the
 //!                                   stream JSONL (one line per session)
 //! entk serve <spec.json> [--policy fifo|fair] [--strict] [--json]
-//!            [--jsonl <path>] [--checkpoint-at <K> --checkpoint <path>]
-//!            [--resume <path>]
+//!            [--jsonl <path>] [--stream]
+//!            [--checkpoint-at <K> --checkpoint <path>] [--resume <path>]
 //!                                   run the multi-tenant session service
 //!                                   over a stream spec: live admission
 //!                                   under the chosen policy, per-session
@@ -26,7 +26,12 @@
 //!                                   and writes the checkpoint (plus the
 //!                                   emitted JSONL prefix); --resume picks
 //!                                   a checkpoint up and emits the exact
-//!                                   byte-identical suffix
+//!                                   byte-identical suffix. --stream serves
+//!                                   out-of-core: arrivals pulled lazily,
+//!                                   records written to --jsonl and
+//!                                   dropped, memory bounded by the
+//!                                   look-ahead window — byte-identical
+//!                                   JSONL to the buffered serve
 //! entk check <spec.json>            validate a spec without running it
 //! entk kernels                      list available kernel plugins
 //! ```
@@ -213,12 +218,14 @@ fn print_stream_report(r: &WorkloadReport, as_json: bool) {
 }
 
 /// The `serve` subcommand: the session service with policy override,
-/// strictness, and checkpoint/resume.
+/// strictness, checkpoint/resume, and bounded-memory streaming.
 fn serve_stream(args: &[String]) -> ExitCode {
     let usage = "usage: entk serve <spec.json> [--policy fifo|fair] [--strict] [--json] \
-                 [--jsonl <path>] [--checkpoint-at <K> --checkpoint <path>] [--resume <path>]";
+                 [--jsonl <path>] [--stream] \
+                 [--checkpoint-at <K> --checkpoint <path>] [--resume <path>]";
     let as_json = args.iter().any(|a| a == "--json");
     let strict = args.iter().any(|a| a == "--strict");
+    let streaming = args.iter().any(|a| a == "--stream");
     let value_of = |flag: &str| -> Result<Option<String>, String> {
         match args.iter().position(|a| a == flag) {
             Some(i) => args
@@ -269,22 +276,65 @@ fn serve_stream(args: &[String]) -> ExitCode {
             spec.strict = true;
         }
         let config = spec.service_config().map_err(|e| e.to_string())?;
-        let arrivals = spec.arrivals().map_err(|e| e.to_string())?;
+        // Arrivals are never materialized: the engine pulls the spec's
+        // source lazily, which is what keeps `--stream` serves flat in
+        // memory no matter how long the trace is.
+        let arrivals = spec.source_stream().map_err(|e| e.to_string())?;
+
+        if streaming {
+            if resume_path.is_some() || checkpoint_at.is_some() || checkpoint_path.is_some() {
+                return Err("--stream is incompatible with checkpoint/resume".to_string());
+            }
+            let path = jsonl_path.ok_or_else(|| "--stream needs --jsonl <path>".to_string())?;
+            let file = std::fs::File::create(&path)
+                .map_err(|e| format!("creating {path:?}: {e}"))?;
+            let mut out = std::io::BufWriter::new(file);
+            let engine = ServiceEngine::new(config, arrivals).map_err(|e| e.to_string())?;
+            let stats = engine.run_streaming(&mut out).map_err(|e| e.to_string())?;
+            std::io::Write::flush(&mut out).map_err(|e| format!("writing {path:?}: {e}"))?;
+            if as_json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&stats).expect("serve stats serialize")
+                );
+            } else {
+                println!(
+                    "streamed: {} sessions from {} tenants \
+                     ({} ok / {} partial / {} failed / {} rejected)",
+                    stats.sessions,
+                    stats.tenants,
+                    stats.ok_sessions,
+                    stats.partial_sessions,
+                    stats.failed_sessions,
+                    stats.rejected_sessions
+                );
+                println!(
+                    "  makespan {:.1}s  latency mean {:.1}s max {:.1}s",
+                    stats.makespan_secs, stats.mean_latency_secs, stats.max_latency_secs
+                );
+                println!(
+                    "  peak resident sessions {}  stream fingerprint {}",
+                    stats.peak_resident_sessions, stats.stream_fp
+                );
+            }
+            eprintln!("stream JSONL written to {path}");
+            return Ok(ExitCode::SUCCESS);
+        }
 
         let mut engine = match &resume_path {
             Some(path) => {
                 let ckpt_text = std::fs::read_to_string(path)
                     .map_err(|e| format!("reading checkpoint {path:?}: {e}"))?;
                 let ckpt = ServiceCheckpoint::from_json(&ckpt_text).map_err(|e| e.to_string())?;
-                ServiceEngine::restore(config, &arrivals, &ckpt).map_err(|e| e.to_string())?
+                ServiceEngine::restore(config, arrivals, &ckpt).map_err(|e| e.to_string())?
             }
-            None => ServiceEngine::new(config, &arrivals).map_err(|e| e.to_string())?,
+            None => ServiceEngine::new(config, arrivals).map_err(|e| e.to_string())?,
         };
 
         if let Some(k) = checkpoint_at {
             let ckpt_path = checkpoint_path
                 .ok_or_else(|| "--checkpoint-at needs --checkpoint <path>".to_string())?;
-            engine.run_to_boundary(k);
+            engine.run_to_boundary(k).map_err(|e| e.to_string())?;
             std::fs::write(&ckpt_path, engine.checkpoint().to_json())
                 .map_err(|e| format!("writing checkpoint {ckpt_path:?}: {e}"))?;
             if let Some(path) = jsonl_path {

@@ -11,18 +11,26 @@
 //! guaranteed to outlive the jobs because the lender is parked on the
 //! completion barrier the whole time).
 //!
+//! [`WorkerPool::submit`] is the barrier-free sibling for owned jobs: the
+//! workload service streams just-in-time session evaluations through it,
+//! collecting results over a channel while the admission loop keeps
+//! running. [`WorkerPool::cancel_queued`] discards never-started jobs on
+//! early-abort paths.
+//!
 //! Determinism note: the pool intentionally offers no ordering guarantees —
 //! jobs run on whichever worker grabs them first. Callers must therefore
 //! keep all ordered state member-private during a window and merge it on
 //! the spine afterwards (see `entk-core`'s conservative-lookahead merge).
 
+use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// An owned job for the asynchronous [`WorkerPool::submit`] path.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
 
 struct State {
-    jobs: Vec<Job>,
+    jobs: VecDeque<Job>,
     shutdown: bool,
 }
 
@@ -62,7 +70,7 @@ impl WorkerPool {
         let workers = workers.max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
-                jobs: Vec::new(),
+                jobs: VecDeque::new(),
                 shutdown: false,
             }),
             work_ready: Condvar::new(),
@@ -91,6 +99,49 @@ impl WorkerPool {
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Enqueues a batch of owned (`'static`) jobs and returns immediately —
+    /// no completion barrier. Callers observe completion through the jobs
+    /// themselves (typically a channel send at the end of each closure);
+    /// the workload service uses this for just-in-time session evaluation.
+    ///
+    /// Mixing with [`WorkerPool::run`] is safe but conservative: `run`'s
+    /// barrier waits for *all* outstanding jobs, submitted ones included.
+    /// A submitted job that panics is contained on its worker; the panic
+    /// is surfaced by the next `run` barrier on this pool, if any.
+    pub fn submit(&self, jobs: Vec<Job>) {
+        if jobs.is_empty() {
+            return;
+        }
+        let n = jobs.len();
+        self.shared.done.lock().expect("pool done lock").outstanding += n;
+        {
+            let mut state = self.shared.state.lock().expect("pool state lock");
+            state.jobs.extend(jobs);
+        }
+        self.shared.work_ready.notify_all();
+    }
+
+    /// Drops every job that is still queued (never started) and returns
+    /// how many were discarded. Jobs already running are unaffected. Used
+    /// on early-abort paths so dropping the pool does not first drain a
+    /// deep backlog of now-useless work.
+    pub fn cancel_queued(&self) -> usize {
+        let dropped = {
+            let mut state = self.shared.state.lock().expect("pool state lock");
+            let n = state.jobs.len();
+            state.jobs.clear();
+            n
+        };
+        if dropped > 0 {
+            let mut done = self.shared.done.lock().expect("pool done lock");
+            done.outstanding -= dropped;
+            if done.outstanding == 0 {
+                self.shared.all_done.notify_all();
+            }
+        }
+        dropped
     }
 
     /// Runs a batch of jobs on the pool and blocks until all of them have
@@ -147,7 +198,7 @@ fn worker_loop(shared: &Shared) {
         let job = {
             let mut state = shared.state.lock().expect("pool state lock");
             loop {
-                if let Some(job) = state.jobs.pop() {
+                if let Some(job) = state.jobs.pop_front() {
                     break job;
                 }
                 if state.shutdown {
@@ -223,6 +274,56 @@ mod tests {
             ran.fetch_add(1, Ordering::Relaxed);
         }) as Box<dyn FnOnce() + Send + '_>]);
         assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn submitted_jobs_complete_without_a_barrier() {
+        let pool = WorkerPool::new(2);
+        let (tx, rx) = std::sync::mpsc::channel();
+        pool.submit(
+            (0..16u64)
+                .map(|i| {
+                    let tx = tx.clone();
+                    Box::new(move || {
+                        tx.send(i * i).unwrap();
+                    }) as Job
+                })
+                .collect(),
+        );
+        let mut got: Vec<u64> = (0..16).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        let want: Vec<u64> = (0..16u64).map(|i| i * i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn cancel_queued_discards_unstarted_jobs() {
+        // One worker, blocked on the first job: everything behind it is
+        // still queued and must be discardable without running.
+        let pool = WorkerPool::new(1);
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        let (started_tx, started_rx) = std::sync::mpsc::channel::<()>();
+        let ran = Arc::new(AtomicU64::new(0));
+        // Jobs run in submission order, so the lone worker grabs the gate
+        // job first and blocks on it while the rest stay queued.
+        let mut jobs: Vec<Job> = vec![Box::new(move || {
+            started_tx.send(()).unwrap();
+            gate_rx.recv().unwrap();
+        })];
+        for _ in 0..8 {
+            let ran = Arc::clone(&ran);
+            jobs.push(Box::new(move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        pool.submit(jobs);
+        started_rx.recv().unwrap();
+        let dropped = pool.cancel_queued();
+        assert_eq!(dropped, 8);
+        gate_tx.send(()).unwrap();
+        // The barrier of an empty run() waits for the in-flight job only.
+        pool.run(vec![Box::new(|| {}) as Box<dyn FnOnce() + Send + '_>]);
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "cancelled jobs never ran");
     }
 
     #[test]

@@ -205,12 +205,112 @@ fn kernel_call(kernel: &str, index: usize, temperature: Option<f64>) -> KernelCa
     KernelCall::new(kernel.to_string(), args)
 }
 
+/// A pull-based source of session arrivals.
+///
+/// Streams yield rows one at a time in non-decreasing arrival order, which
+/// is what lets the service engine keep a bounded read-ahead window over a
+/// disk-backed trace instead of materializing every arrival up front.
+/// Implementations must be deterministic — pulling the same stream twice
+/// (via two [`WorkloadGenerator::stream`] calls) yields identical rows —
+/// and must keep returning `Ok(None)` once exhausted.
+pub trait ArrivalStream: Send {
+    /// Pulls the next arrival, `Ok(None)` at end of stream. Errors are
+    /// sticky in practice: callers stop pulling after the first `Err`.
+    fn next_arrival(&mut self) -> Result<Option<SessionArrival>, EntkError>;
+
+    /// Exact number of arrivals left, when the source knows it (seeded
+    /// generators and in-memory vectors do; disk-backed traces return
+    /// `None`). Used only for capacity hints, never for control flow.
+    fn remaining_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// An in-memory arrival stream over an owned, already-sorted vector.
+#[derive(Debug)]
+pub struct VecStream {
+    rows: std::vec::IntoIter<SessionArrival>,
+}
+
+impl VecStream {
+    /// Wraps an owned vector of arrivals. Rows are yielded as-is; the
+    /// consumer (the service engine) still validates order and content.
+    pub fn new(rows: Vec<SessionArrival>) -> Self {
+        VecStream {
+            rows: rows.into_iter(),
+        }
+    }
+}
+
+impl ArrivalStream for VecStream {
+    fn next_arrival(&mut self) -> Result<Option<SessionArrival>, EntkError> {
+        Ok(self.rows.next())
+    }
+
+    fn remaining_hint(&self) -> Option<usize> {
+        Some(self.rows.len())
+    }
+}
+
+/// Conversion into a boxed [`ArrivalStream`], so stream consumers accept
+/// lazy streams, owned vectors, and borrowed slices interchangeably.
+/// Slices are cloned (a convenience for tests and small call sites);
+/// anything that can hand over ownership streams without double-buffering.
+pub trait IntoArrivalStream {
+    /// Converts `self` into a boxed arrival stream.
+    fn into_arrival_stream(self) -> Result<Box<dyn ArrivalStream>, EntkError>;
+}
+
+impl<S: ArrivalStream + 'static> IntoArrivalStream for S {
+    fn into_arrival_stream(self) -> Result<Box<dyn ArrivalStream>, EntkError> {
+        Ok(Box::new(self))
+    }
+}
+
+impl IntoArrivalStream for Box<dyn ArrivalStream> {
+    fn into_arrival_stream(self) -> Result<Box<dyn ArrivalStream>, EntkError> {
+        Ok(self)
+    }
+}
+
+impl IntoArrivalStream for Vec<SessionArrival> {
+    fn into_arrival_stream(self) -> Result<Box<dyn ArrivalStream>, EntkError> {
+        Ok(Box::new(VecStream::new(self)))
+    }
+}
+
+impl IntoArrivalStream for &[SessionArrival] {
+    fn into_arrival_stream(self) -> Result<Box<dyn ArrivalStream>, EntkError> {
+        Ok(Box::new(VecStream::new(self.to_vec())))
+    }
+}
+
+impl IntoArrivalStream for &Vec<SessionArrival> {
+    fn into_arrival_stream(self) -> Result<Box<dyn ArrivalStream>, EntkError> {
+        self.as_slice().into_arrival_stream()
+    }
+}
+
 /// A source of session arrivals. Implementations must be deterministic:
-/// two calls on the same value yield identical rows.
+/// two streams from the same value yield identical rows.
 pub trait WorkloadGenerator {
-    /// Produces the stream's arrivals, sorted by non-decreasing arrival
-    /// time and individually valid.
-    fn generate(&self) -> Result<Vec<SessionArrival>, EntkError>;
+    /// Opens a lazy stream over the generator's arrivals, sorted by
+    /// non-decreasing arrival time and individually valid. Configuration
+    /// errors (degenerate parameters, unreadable trace files) surface
+    /// here, before the first pull.
+    fn stream(&self) -> Result<Box<dyn ArrivalStream>, EntkError>;
+
+    /// Collects the whole stream into a vector. Convenience for small
+    /// workloads and tests; out-of-core callers pull [`Self::stream`]
+    /// directly.
+    fn generate(&self) -> Result<Vec<SessionArrival>, EntkError> {
+        let mut stream = self.stream()?;
+        let mut rows = Vec::with_capacity(stream.remaining_hint().unwrap_or(0));
+        while let Some(row) = stream.next_arrival()? {
+            rows.push(row);
+        }
+        Ok(rows)
+    }
 }
 
 /// Inter-arrival structure of an [`OpenLoopProcess`].
@@ -283,7 +383,7 @@ impl OpenLoopProcess {
 }
 
 impl WorkloadGenerator for OpenLoopProcess {
-    fn generate(&self) -> Result<Vec<SessionArrival>, EntkError> {
+    fn stream(&self) -> Result<Box<dyn ArrivalStream>, EntkError> {
         if self.sessions == 0 {
             return Err(EntkError::Usage(
                 "workload needs at least one session".into(),
@@ -312,56 +412,80 @@ impl WorkloadGenerator for OpenLoopProcess {
             }
             _ => {}
         }
-        let mut rng = SimRng::seed_from_u64(self.seed);
-        let mut arrivals = Vec::with_capacity(self.sessions);
-        // The clock is accumulated in whole microseconds so that CSV
-        // round-trips ({:.6} seconds ⇒ parse) are exact.
-        let mut clock = SimTime::ZERO;
-        for i in 0..self.sessions {
-            let gap_secs = match self.process {
-                ArrivalProcess::Poisson {
-                    mean_interarrival_secs,
-                } => rng.exponential(mean_interarrival_secs),
-                ArrivalProcess::Burst {
-                    burst_size,
-                    mean_gap_secs,
-                } => {
-                    if i > 0 && i % burst_size == 0 {
-                        rng.exponential(mean_gap_secs)
-                    } else if i == 0 {
-                        0.0
-                    } else {
-                        0.001 // within-burst spacing keeps arrivals ordered
-                    }
-                }
-            };
-            clock += entk_sim::SimDuration::from_secs_f64(gap_secs);
-            let tenant = rng.index(self.tenants as usize) as u64;
-            // Heterogeneous mix: EoP-heavy, with SAL, EE and PST minorities
-            // — matching the "ensembles dominate" framing of the paper.
-            let pattern = match rng.index(10) {
-                0..=3 => PatternKind::Eop,
-                4..=6 => PatternKind::Sal,
-                7..=8 => PatternKind::Ee,
-                _ => PatternKind::Pst,
-            };
-            let tasks = 4 << rng.index(3); // 4, 8, or 16
-            let stages = 1 + rng.index(3); // 1..=3
-            let kernel = SUPPORTED_KERNELS[rng.index(SUPPORTED_KERNELS.len())].to_string();
-            let cores = 16 << rng.index(3); // 16, 32, or 64
-            let arrival = SessionArrival {
-                arrival: clock,
-                tenant,
-                pattern,
-                tasks,
-                stages,
-                kernel,
-                cores,
-            };
-            arrival.validate()?;
-            arrivals.push(arrival);
+        Ok(Box::new(OpenLoopStream {
+            spec: self.clone(),
+            rng: SimRng::seed_from_u64(self.seed),
+            // The clock is accumulated in whole microseconds so that CSV
+            // round-trips ({:.6} seconds ⇒ parse) are exact.
+            clock: SimTime::ZERO,
+            next: 0,
+        }))
+    }
+}
+
+/// Lazy pull state of a validated [`OpenLoopProcess`]. The draw order per
+/// session is fixed (gap, tenant, pattern, tasks, stages, kernel, cores),
+/// so the stream is byte-identical to collecting the process eagerly.
+struct OpenLoopStream {
+    spec: OpenLoopProcess,
+    rng: SimRng,
+    clock: SimTime,
+    next: usize,
+}
+
+impl ArrivalStream for OpenLoopStream {
+    fn next_arrival(&mut self) -> Result<Option<SessionArrival>, EntkError> {
+        if self.next >= self.spec.sessions {
+            return Ok(None);
         }
-        Ok(arrivals)
+        let i = self.next;
+        self.next += 1;
+        let gap_secs = match self.spec.process {
+            ArrivalProcess::Poisson {
+                mean_interarrival_secs,
+            } => self.rng.exponential(mean_interarrival_secs),
+            ArrivalProcess::Burst {
+                burst_size,
+                mean_gap_secs,
+            } => {
+                if i > 0 && i % burst_size == 0 {
+                    self.rng.exponential(mean_gap_secs)
+                } else if i == 0 {
+                    0.0
+                } else {
+                    0.001 // within-burst spacing keeps arrivals ordered
+                }
+            }
+        };
+        self.clock += entk_sim::SimDuration::from_secs_f64(gap_secs);
+        let tenant = self.rng.index(self.spec.tenants as usize) as u64;
+        // Heterogeneous mix: EoP-heavy, with SAL, EE and PST minorities
+        // — matching the "ensembles dominate" framing of the paper.
+        let pattern = match self.rng.index(10) {
+            0..=3 => PatternKind::Eop,
+            4..=6 => PatternKind::Sal,
+            7..=8 => PatternKind::Ee,
+            _ => PatternKind::Pst,
+        };
+        let tasks = 4 << self.rng.index(3); // 4, 8, or 16
+        let stages = 1 + self.rng.index(3); // 1..=3
+        let kernel = SUPPORTED_KERNELS[self.rng.index(SUPPORTED_KERNELS.len())].to_string();
+        let cores = 16 << self.rng.index(3); // 16, 32, or 64
+        let arrival = SessionArrival {
+            arrival: self.clock,
+            tenant,
+            pattern,
+            tasks,
+            stages,
+            kernel,
+            cores,
+        };
+        arrival.validate()?;
+        Ok(Some(arrival))
+    }
+
+    fn remaining_hint(&self) -> Option<usize> {
+        Some(self.spec.sessions - self.next)
     }
 }
 
@@ -433,6 +557,28 @@ mod tests {
         for r in &rows {
             let p = r.build_pattern().unwrap();
             assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn lazy_stream_matches_eager_generation() {
+        for gen in [
+            OpenLoopProcess::poisson(9, 120, 32, 12.0),
+            OpenLoopProcess::burst(9, 120, 32, 8, 90.0),
+        ] {
+            let eager = gen.generate().unwrap();
+            let mut stream = gen.stream().unwrap();
+            let mut pulled = Vec::new();
+            while let Some(row) = stream.next_arrival().unwrap() {
+                assert_eq!(
+                    stream.remaining_hint(),
+                    Some(120 - pulled.len() - 1),
+                    "hint tracks the pull cursor"
+                );
+                pulled.push(row);
+            }
+            assert_eq!(pulled, eager);
+            assert_eq!(stream.next_arrival().unwrap(), None, "fused at EOF");
         }
     }
 

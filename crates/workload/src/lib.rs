@@ -40,18 +40,18 @@ pub mod spec;
 pub mod trace;
 
 pub use arrival::{
-    ArrivalProcess, OpenLoopProcess, PatternKind, SessionArrival, WorkloadGenerator,
-    SUPPORTED_KERNELS,
+    ArrivalProcess, ArrivalStream, IntoArrivalStream, OpenLoopProcess, PatternKind,
+    SessionArrival, VecStream, WorkloadGenerator, SUPPORTED_KERNELS,
 };
 pub use runner::{
-    fnv64, serve, SessionRecord, SessionStatus, StreamBackend, TenantLatency, WorkloadConfig,
-    WorkloadOutcome, WorkloadReport, IN_SERVICE_GAUGE, QUEUE_DEPTH_GAUGE,
+    fnv64, fnv64_update, serve, SessionRecord, SessionStatus, StreamBackend, TenantLatency,
+    WorkloadConfig, WorkloadOutcome, WorkloadReport, IN_SERVICE_GAUGE, QUEUE_DEPTH_GAUGE,
 };
 pub use service::{
-    session_seed, AdmissionPolicy, AdmissionSample, SaturationMode, ServiceCheckpoint,
-    ServiceConfig, ServiceEngine,
+    session_seed, AdmissionPolicy, AdmissionSample, EngineOptions, SaturationMode, ServeStats,
+    ServiceCheckpoint, ServiceConfig, ServiceEngine,
 };
 pub use spec::{SourceSpec, StreamSpec};
 pub use trace::{
-    parse_trace, render_trace, CsvTrace, HotTenantTrace, SyntheticTrace, TRACE_HEADER,
+    parse_trace, render_trace, CsvStream, CsvTrace, HotTenantTrace, SyntheticTrace, TRACE_HEADER,
 };

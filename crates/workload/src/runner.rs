@@ -28,7 +28,7 @@
 //! stream-fatal semantics are available via
 //! [`crate::service::ServiceConfig`].
 
-use crate::arrival::SessionArrival;
+use crate::arrival::IntoArrivalStream;
 use crate::service::{ServiceConfig, ServiceEngine};
 use entk_core::EntkError;
 use entk_sim::{Metrics, SimTime};
@@ -243,12 +243,19 @@ pub struct WorkloadOutcome {
 /// FNV-1a 64 over arbitrary bytes (same constants as the bench trace
 /// fingerprints, so stream and session fingerprints are comparable).
 pub fn fnv64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    fnv64_update(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// Folds more bytes into an FNV-1a 64 hash state. `fnv64(b"")` is the
+/// initial state, so `fnv64_update(fnv64(a), b) == fnv64(a ++ b)` — the
+/// streaming service uses this to fingerprint its emitted JSONL and its
+/// ingested trace prefix without retaining either.
+pub fn fnv64_update(mut hash: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100_0000_01b3);
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
     }
-    h
+    hash
 }
 
 fn escape_json(s: &str) -> String {
@@ -292,11 +299,13 @@ pub(crate) fn render_record(r: &SessionRecord) -> String {
 /// Serves a stream of arrivals on the configured backend with FIFO
 /// admission, an unbounded queue, and lenient failure semantics — the
 /// historical entry point, now a thin wrapper over
-/// [`crate::service::ServiceEngine`]. Deterministic: same config + same
-/// arrivals ⇒ byte-identical [`WorkloadOutcome`].
+/// [`crate::service::ServiceEngine`]. Accepts anything convertible to an
+/// [`crate::arrival::ArrivalStream`]: a slice, a `Vec`, a boxed stream,
+/// or a lazy generator. Deterministic: same config + same arrivals ⇒
+/// byte-identical [`WorkloadOutcome`].
 pub fn serve(
     config: &WorkloadConfig,
-    arrivals: &[SessionArrival],
+    arrivals: impl IntoArrivalStream,
 ) -> Result<WorkloadOutcome, EntkError> {
     ServiceEngine::new(ServiceConfig::fifo(config.clone()), arrivals)?.run()
 }
@@ -343,7 +352,7 @@ mod tests {
     use crate::arrival::{OpenLoopProcess, WorkloadGenerator};
     use entk_sim::SimDuration;
 
-    fn small_stream() -> Vec<SessionArrival> {
+    fn small_stream() -> Vec<crate::SessionArrival> {
         OpenLoopProcess::poisson(9, 12, 4, 60.0).generate().unwrap()
     }
 
@@ -434,7 +443,7 @@ mod tests {
     #[test]
     fn stream_misuse_is_rejected() {
         let arrivals = small_stream();
-        assert!(serve(&WorkloadConfig::default(), &[]).is_err());
+        assert!(serve(&WorkloadConfig::default(), Vec::<crate::SessionArrival>::new()).is_err());
         assert!(serve(
             &WorkloadConfig {
                 slots: 0,

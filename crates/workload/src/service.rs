@@ -6,13 +6,32 @@
 //!
 //! [`ServiceEngine`] replaces the precomputed-FIFO-only recursion the
 //! stream runner started with. The engine is a discrete-event loop over
-//! two event sources — the arrival cursor and the in-flight completion
+//! two event sources — the arrival *stream* and the in-flight completion
 //! heap — with the documented tie order (a completion at `t` is applied
 //! before an arrival at `t`, which is applied before any admission at
 //! `t`, so a freed slot is always visible to a session admitted at the
 //! same instant). After every event the engine runs an admission step:
 //! while a slot is free and sessions are pending, the configured
 //! [`AdmissionPolicy`] picks the next session.
+//!
+//! ## Out-of-core streaming
+//!
+//! Arrivals are *pulled* through an [`ArrivalStream`] — a CSV file, a
+//! lazy synthetic generator, or a plain `Vec` — rather than materialized
+//! up front, and each session's service time is evaluated just-in-time on
+//! a persistent [`entk_sim::WorkerPool`] as its row enters the bounded
+//! read-ahead window ([`EngineOptions::lookahead`]). Because a service
+//! time is a pure function of (config, arrival, per-session seed), the
+//! evaluation *order* is irrelevant to the output: the lazy engine is
+//! byte-identical to the old evaluate-everything-upfront pass, and the
+//! `lookahead` / `eval_workers` knobs provably cannot change a single
+//! byte (property-tested). [`ServiceEngine::run`] buffers records for
+//! the full [`WorkloadReport`]; [`ServiceEngine::run_streaming`] instead
+//! renders each finalized record to a sink, folds it into the running
+//! fingerprint and scalar [`ServeStats`], and drops it — resident state
+//! is O(look-ahead + in-flight + queued), never O(stream length), which
+//! is what lets a million-session trace serve in a flat memory
+//! footprint.
 //!
 //! * [`AdmissionPolicy::Fifo`] — arrival order; byte-identical to the
 //!   original `serve()` recursion (property-tested against a reference
@@ -50,12 +69,18 @@
 //! decay instant, the arrival cursor, the emitted-record cursor, and the
 //! per-session seed cursor (the master seed — sub-seeds are a pure
 //! splitmix64 function of it and the session index, so the cursor is just
-//! the next index). [`ServiceEngine::restore`] rebuilds the engine from
-//! the checkpoint, re-evaluates only the sessions that still need service
-//! times (pending, deferred, and not-yet-arrived — completed sessions are
-//! carried as finalized records), and replays to a byte-identical
-//! `WORKLOAD.jsonl` suffix: prefix-emitted-before-the-kill + suffix is
-//! byte-identical to the uninterrupted stream, including its fingerprint.
+//! the next index). The arrival-stream fingerprint is a *prefix*
+//! fingerprint — the fold of the rendered CSV header plus every ingested
+//! row — so it is identical at a given boundary no matter what the
+//! look-ahead window happened to hold. [`ServiceEngine::restore`]
+//! rebuilds the engine by re-pulling the served prefix from the stream
+//! (validating, order-checking, and fingerprint-matching it row by row
+//! while retaining only the rows still queued), re-evaluates only the
+//! sessions that still need service times (pending, deferred, and
+//! not-yet-arrived — completed sessions are carried as finalized
+//! records), and replays to a byte-identical `WORKLOAD.jsonl` suffix:
+//! prefix-emitted-before-the-kill + suffix is byte-identical to the
+//! uninterrupted stream, including its fingerprint.
 //!
 //! Determinism argument: every admission decision is a pure function of
 //! (config, arrivals, per-session service times), service times are pure
@@ -64,20 +89,20 @@
 //! carries exactly the loop state, so the resumed trajectory is the same
 //! trajectory.
 
-use crate::arrival::SessionArrival;
+use crate::arrival::{ArrivalStream, IntoArrivalStream, SessionArrival};
 use crate::runner::{
-    fnv64, record_depth_gauges, render_record, SessionRecord, SessionStatus, StreamBackend,
-    TenantLatency, WorkloadConfig, WorkloadOutcome, WorkloadReport, IN_SERVICE_GAUGE,
-    QUEUE_DEPTH_GAUGE,
+    fnv64, fnv64_update, record_depth_gauges, render_record, SessionRecord, SessionStatus,
+    StreamBackend, TenantLatency, WorkloadConfig, WorkloadOutcome, WorkloadReport,
+    IN_SERVICE_GAUGE, QUEUE_DEPTH_GAUGE,
 };
-use crate::trace::render_trace;
+use crate::trace::{render_row, TRACE_HEADER};
 use entk_core::prelude::*;
 use entk_core::EntkError;
-use entk_sim::{Metrics, SimDuration, SimTime, Summary};
-use rayon::prelude::*;
+use entk_sim::{Metrics, SimDuration, SimTime, Summary, WorkerPool};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet, VecDeque};
+use std::sync::{mpsc, Arc};
 
 /// How the service picks the next pending session for a free slot.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -291,6 +316,244 @@ fn evaluate_session(
     }
 }
 
+/// Tuning knobs of the streaming engine. These affect memory footprint
+/// and parallelism only — the admission trajectory, emitted JSONL, and
+/// every fingerprint are invariant under any choice (property-tested).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Bound on the arrival read-ahead window: how many arrivals may be
+    /// pulled from the stream (and dispatched for evaluation) ahead of
+    /// the ingestion cursor. Clamped to at least 1.
+    pub lookahead: usize,
+    /// Evaluation worker threads; `0` = auto (`ENTK_THREADS`, then
+    /// `RAYON_NUM_THREADS`, then the host's available parallelism).
+    pub eval_workers: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            lookahead: 256,
+            eval_workers: 0,
+        }
+    }
+}
+
+fn default_eval_workers() -> usize {
+    for var in ["ENTK_THREADS", "RAYON_NUM_THREADS"] {
+        if let Ok(v) = std::env::var(var) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Just-in-time session evaluation over the persistent `entk-sim` worker
+/// pool: sessions are dispatched as they enter the read-ahead window and
+/// their service times collected over a channel, so at most
+/// O(look-ahead + queue) evaluations are ever outstanding — the streaming
+/// replacement for the old upfront whole-stream rayon pass.
+struct EvalPool {
+    pool: WorkerPool,
+    config: Arc<WorkloadConfig>,
+    tx: mpsc::Sender<(usize, SessionService)>,
+    rx: mpsc::Receiver<(usize, SessionService)>,
+    ready: HashMap<usize, SessionService>,
+    forgotten: HashSet<usize>,
+}
+
+impl EvalPool {
+    fn new(config: WorkloadConfig, workers: usize) -> Self {
+        let workers = if workers == 0 {
+            default_eval_workers()
+        } else {
+            workers
+        };
+        let (tx, rx) = mpsc::channel();
+        EvalPool {
+            pool: WorkerPool::new(workers),
+            config: Arc::new(config),
+            tx,
+            rx,
+            ready: HashMap::new(),
+            forgotten: HashSet::new(),
+        }
+    }
+
+    /// Queues session `index` for evaluation. Results arrive on the
+    /// channel in completion order; [`EvalPool::take`] reorders.
+    fn dispatch(&self, index: usize, arrival: SessionArrival) {
+        let tx = self.tx.clone();
+        let config = Arc::clone(&self.config);
+        self.pool.submit(vec![Box::new(move || {
+            let svc = evaluate_session(&config, index, &arrival);
+            // The receiver disappears only when the engine is dropped
+            // mid-run; the result is simply discarded then.
+            let _ = tx.send((index, svc));
+        })]);
+    }
+
+    fn accept(&mut self, index: usize, svc: SessionService) {
+        if !self.forgotten.remove(&index) {
+            self.ready.insert(index, svc);
+        }
+    }
+
+    /// Blocks until session `index`'s evaluation is available and returns
+    /// it. Results for other sessions received while waiting are parked.
+    fn take(&mut self, index: usize) -> SessionService {
+        if let Some(svc) = self.ready.remove(&index) {
+            return svc;
+        }
+        loop {
+            let (i, svc) = self
+                .rx
+                .recv()
+                .expect("evaluation pool hung up with results outstanding");
+            if i == index {
+                return svc;
+            }
+            self.accept(i, svc);
+        }
+    }
+
+    /// Drops session `index`'s evaluation (a rejected arrival): the
+    /// result is discarded whenever it lands.
+    fn forget(&mut self, index: usize) {
+        while let Ok((i, svc)) = self.rx.try_recv() {
+            self.accept(i, svc);
+        }
+        if self.ready.remove(&index).is_none() {
+            self.forgotten.insert(index);
+        }
+    }
+}
+
+impl Drop for EvalPool {
+    fn drop(&mut self) {
+        // An engine dropped mid-run (strict abort, caller error) must not
+        // first drain a deep backlog of now-useless evaluations.
+        self.pool.cancel_queued();
+    }
+}
+
+/// O(1)-memory aggregate summary of a streamed serve — what
+/// [`ServiceEngine::run_streaming`] returns instead of a full
+/// [`WorkloadOutcome`]. `stream_fp` is folded over the emitted JSONL
+/// bytes and matches the buffered engine's `report.stream_fp` exactly;
+/// latency is summarized as mean/max (percentiles need the full sample
+/// set, which an out-of-core serve deliberately never holds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Sessions recorded (admitted or rejected).
+    pub sessions: usize,
+    /// Distinct tenants observed.
+    pub tenants: usize,
+    /// Sessions served to a clean report.
+    pub ok_sessions: usize,
+    /// Sessions degraded to a partial report.
+    pub partial_sessions: usize,
+    /// Sessions whose backend run failed.
+    pub failed_sessions: usize,
+    /// Sessions rejected at the queue bound.
+    pub rejected_sessions: usize,
+    /// Total tasks across served sessions.
+    pub total_tasks: usize,
+    /// Total simulator events across served sessions.
+    pub total_events: u64,
+    /// Last finish instant over non-rejected sessions, seconds.
+    pub makespan_secs: f64,
+    /// Mean served-session latency (ok | partial), seconds.
+    pub mean_latency_secs: f64,
+    /// Max served-session latency (ok | partial), seconds.
+    pub max_latency_secs: f64,
+    /// Largest per-session cross-check error, seconds.
+    pub max_cross_check_err_secs: f64,
+    /// FNV-1a 64 fingerprint of the emitted JSONL stream.
+    pub stream_fp: String,
+    /// Bytes of JSONL written to the sink.
+    pub jsonl_bytes: u64,
+    /// Peak resident sessions (read-ahead + queued + deferred + in-flight
+    /// + reorder buffer) — the bounded-memory witness: independent of
+    /// stream length.
+    pub peak_resident_sessions: usize,
+}
+
+/// Streaming accumulator behind [`ServeStats`].
+#[derive(Debug, Default)]
+struct StatsAcc {
+    sessions: usize,
+    ok: usize,
+    partial: usize,
+    failed: usize,
+    rejected: usize,
+    tasks: usize,
+    events: u64,
+    makespan_secs: f64,
+    lat_sum: f64,
+    lat_max: f64,
+    lat_count: usize,
+    tenants: BTreeSet<u64>,
+    fp: u64,
+    jsonl_bytes: u64,
+    peak_resident: usize,
+}
+
+impl StatsAcc {
+    fn observe(&mut self, r: &SessionRecord) {
+        self.sessions += 1;
+        self.tenants.insert(r.tenant);
+        self.tasks += r.tasks;
+        self.events += r.events;
+        match r.status {
+            SessionStatus::Ok => self.ok += 1,
+            SessionStatus::Partial => self.partial += 1,
+            SessionStatus::Failed => self.failed += 1,
+            SessionStatus::Rejected => self.rejected += 1,
+        }
+        if r.status != SessionStatus::Rejected {
+            self.makespan_secs = self
+                .makespan_secs
+                .max(SimTime::from_micros(r.finish_us).as_secs_f64());
+        }
+        if matches!(r.status, SessionStatus::Ok | SessionStatus::Partial) {
+            self.lat_sum += r.latency_secs;
+            self.lat_max = self.lat_max.max(r.latency_secs);
+            self.lat_count += 1;
+        }
+    }
+
+    fn finish(self, max_cc: f64) -> ServeStats {
+        ServeStats {
+            sessions: self.sessions,
+            tenants: self.tenants.len(),
+            ok_sessions: self.ok,
+            partial_sessions: self.partial,
+            failed_sessions: self.failed,
+            rejected_sessions: self.rejected,
+            total_tasks: self.tasks,
+            total_events: self.events,
+            makespan_secs: self.makespan_secs,
+            mean_latency_secs: if self.lat_count == 0 {
+                0.0
+            } else {
+                self.lat_sum / self.lat_count as f64
+            },
+            max_latency_secs: self.lat_max,
+            max_cross_check_err_secs: max_cc,
+            stream_fp: format!("{:016x}", self.fp),
+            jsonl_bytes: self.jsonl_bytes,
+            peak_resident_sessions: self.peak_resident,
+        }
+    }
+}
+
 /// One fair-share admission decision, exposed for property tests: the
 /// fairness invariant is `admitted_usage <= min_waiting_usage` at every
 /// decision (a tenant over its share is never admitted while a tenant
@@ -324,7 +587,8 @@ pub struct InFlightSlot {
 /// the config and the arrival trace fingerprint.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServiceCheckpoint {
-    /// Checkpoint format version (1).
+    /// Checkpoint format version (2: `arrivals_fp` became a prefix
+    /// fingerprint when ingestion went streaming).
     pub version: u32,
     /// Master seed (the RNG sub-seed cursor together with `next_arrival`).
     pub seed: u64,
@@ -346,8 +610,12 @@ pub struct ServiceCheckpoint {
     pub strict: bool,
     /// Per-unit failure-injection rate of the stream config.
     pub unit_failure_rate: f64,
-    /// FNV-1a 64 fingerprint of the rendered arrival trace, so a
-    /// checkpoint cannot silently resume against a different stream.
+    /// FNV-1a 64 fingerprint of the rendered arrival-trace *prefix*
+    /// ingested so far (header plus rows `0..next_arrival`), so a
+    /// checkpoint cannot silently resume against a stream whose served
+    /// prefix differs. Rows past the boundary are not covered — an
+    /// out-of-core stream cannot be hashed without consuming it — but
+    /// they are still order- and schema-validated as they are pulled.
     pub arrivals_fp: String,
     /// Virtual clock at the boundary, microseconds.
     pub clock_us: u64,
@@ -384,80 +652,139 @@ impl ServiceCheckpoint {
     }
 }
 
+/// Where finalized records go: the buffered store reproduces the full
+/// [`WorkloadOutcome`] (records retained, byte-identical to the original
+/// upfront engine); the sink store is the out-of-core path — records are
+/// rendered, folded into the running stream fingerprint, summarized into
+/// [`StatsAcc`], and dropped.
+enum RecordStore {
+    Buffer(Vec<Option<SessionRecord>>),
+    Sink(BTreeMap<usize, SessionRecord>),
+}
+
+impl RecordStore {
+    fn reorder_len(&self) -> usize {
+        match self {
+            RecordStore::Buffer(_) => 0,
+            RecordStore::Sink(unemitted) => unemitted.len(),
+        }
+    }
+}
+
 /// The long-running multi-tenant session service (see module docs).
-#[derive(Debug)]
 pub struct ServiceEngine {
     config: ServiceConfig,
-    arrivals: Vec<SessionArrival>,
-    services: Vec<Option<SessionService>>,
+    options: EngineOptions,
+    /// Arrival source past the read-ahead window; `None` once exhausted.
+    stream: Option<Box<dyn ArrivalStream>>,
+    /// Rows pulled from the stream so far (the next index to pull).
+    pulled: usize,
+    /// Arrival instant of the last pulled row, for order validation.
+    last_pulled_at: Option<SimTime>,
+    /// Pulled-but-not-ingested session indices, in arrival order.
+    readahead: VecDeque<usize>,
+    /// Arrival rows still needed: read-ahead ∪ pending ∪ deferred.
+    held: HashMap<usize, SessionArrival>,
+    /// Running FNV-1a 64 over the rendered trace prefix ingested so far.
+    prefix_fp: u64,
+    eval: EvalPool,
     clock: SimTime,
     next_arrival: usize,
     pending: VecDeque<usize>,
     deferred: VecDeque<usize>,
     in_flight: BinaryHeap<Reverse<(SimTime, usize)>>,
     ledger: entk_cluster::UsageLedger<u64>,
-    records: Vec<Option<SessionRecord>>,
+    store: RecordStore,
     emitted: usize,
     suffix: String,
     max_cc: f64,
     admissions: Vec<AdmissionSample>,
+    acc: StatsAcc,
     finished: bool,
 }
 
+impl std::fmt::Debug for ServiceEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceEngine")
+            .field("config", &self.config)
+            .field("options", &self.options)
+            .field("pulled", &self.pulled)
+            .field("next_arrival", &self.next_arrival)
+            .field("emitted", &self.emitted)
+            .field("pending", &self.pending.len())
+            .field("deferred", &self.deferred.len())
+            .field("in_flight", &self.in_flight.len())
+            .field("finished", &self.finished)
+            .finish_non_exhaustive()
+    }
+}
+
 impl ServiceEngine {
-    /// Builds a service over a validated stream: non-empty, time-ordered,
-    /// individually valid arrivals; `slots >= 1`; a sane queue bound; a
-    /// federated backend with at least two members. Every session's
-    /// service time is evaluated up front in parallel (arrival order is
-    /// reassembled deterministically). With `strict`, the first failed or
-    /// degraded session aborts construction with the underlying error —
-    /// the original stream-fatal semantics.
-    pub fn new(config: ServiceConfig, arrivals: &[SessionArrival]) -> Result<Self, EntkError> {
-        Self::validate(&config, arrivals)?;
-        let indices: Vec<usize> = (0..arrivals.len()).collect();
-        let services = Self::evaluate(&config.stream, arrivals, &indices);
-        if config.strict {
-            for (i, s) in services.iter().enumerate() {
-                let s = s.as_ref().expect("fresh evaluation covers every session");
-                match s.status {
-                    SessionStatus::Failed => {
-                        return Err(s
-                            .error
-                            .clone()
-                            .unwrap_or_else(|| EntkError::Runtime(format!("session {i}: failed"))))
-                    }
-                    SessionStatus::Partial => {
-                        return Err(EntkError::Runtime(format!(
-                            "session {i}: degraded to a partial result"
-                        )))
-                    }
-                    _ => {}
-                }
-            }
+    /// Builds a service over an arrival stream (a lazy
+    /// [`ArrivalStream`], an owned `Vec`, or a borrowed slice — see
+    /// [`IntoArrivalStream`]). Rows are validated as they are pulled:
+    /// time-ordered, individually valid, non-empty (emptiness and any
+    /// problem within the initial read-ahead window surface here; later
+    /// rows fail the pull that reads them). Service times are evaluated
+    /// just in time on a persistent worker pool as sessions enter the
+    /// bounded read-ahead window — never the whole stream up front. With
+    /// `strict`, the first failed or degraded session aborts the serve
+    /// at its admission with the underlying error.
+    pub fn new(config: ServiceConfig, arrivals: impl IntoArrivalStream) -> Result<Self, EntkError> {
+        Self::with_options(config, arrivals, EngineOptions::default())
+    }
+
+    /// [`ServiceEngine::new`] with explicit streaming knobs. The knobs
+    /// never change the served trajectory — only memory and parallelism.
+    pub fn with_options(
+        config: ServiceConfig,
+        arrivals: impl IntoArrivalStream,
+        options: EngineOptions,
+    ) -> Result<Self, EntkError> {
+        Self::validate_config(&config)?;
+        let stream = arrivals.into_arrival_stream()?;
+        let mut engine = Self::empty(config, options, stream);
+        engine.fill_readahead()?;
+        if engine.pulled == 0 {
+            return Err(EntkError::Usage("cannot serve an empty stream".into()));
         }
-        Ok(ServiceEngine {
+        Ok(engine)
+    }
+
+    /// A fully-initialized engine at the start-of-stream state, before
+    /// the read-ahead prime. Shared by construction and restore.
+    fn empty(config: ServiceConfig, options: EngineOptions, stream: Box<dyn ArrivalStream>) -> Self {
+        let eval = EvalPool::new(config.stream.clone(), options.eval_workers);
+        ServiceEngine {
             ledger: entk_cluster::UsageLedger::new(config.policy.half_life_secs()),
-            records: vec![None; arrivals.len()],
-            services,
-            arrivals: arrivals.to_vec(),
             config,
+            options,
+            stream: Some(stream),
+            pulled: 0,
+            last_pulled_at: None,
+            readahead: VecDeque::new(),
+            held: HashMap::new(),
+            prefix_fp: fnv64(format!("{TRACE_HEADER}\n").as_bytes()),
+            eval,
             clock: SimTime::ZERO,
             next_arrival: 0,
             pending: VecDeque::new(),
             deferred: VecDeque::new(),
             in_flight: BinaryHeap::new(),
+            store: RecordStore::Buffer(Vec::new()),
             emitted: 0,
             suffix: String::new(),
             max_cc: 0.0,
             admissions: Vec::new(),
+            acc: StatsAcc {
+                fp: fnv64(b""),
+                ..StatsAcc::default()
+            },
             finished: false,
-        })
+        }
     }
 
-    fn validate(config: &ServiceConfig, arrivals: &[SessionArrival]) -> Result<(), EntkError> {
-        if arrivals.is_empty() {
-            return Err(EntkError::Usage("cannot serve an empty stream".into()));
-        }
+    fn validate_config(config: &ServiceConfig) -> Result<(), EntkError> {
         if config.stream.slots == 0 {
             return Err(EntkError::Usage("slots must be >= 1".into()));
         }
@@ -471,38 +798,60 @@ impl ServiceEngine {
                 ));
             }
         }
-        for (i, w) in arrivals.windows(2).enumerate() {
-            if w[1].arrival < w[0].arrival {
-                return Err(EntkError::Usage(format!(
-                    "arrivals out of order at index {}",
-                    i + 1
-                )));
+        Ok(())
+    }
+
+    fn lookahead(&self) -> usize {
+        self.options.lookahead.max(1)
+    }
+
+    /// Tops up the read-ahead window from the stream, validating each row
+    /// (schema and arrival order) and dispatching its just-in-time
+    /// evaluation. The window bound is what caps resident arrivals and
+    /// outstanding evaluations; a non-empty window after this call is the
+    /// engine's only way of knowing another arrival exists, so every
+    /// event-loop decision tops up first.
+    fn fill_readahead(&mut self) -> Result<(), EntkError> {
+        while self.readahead.len() < self.lookahead() {
+            let Some(stream) = self.stream.as_mut() else {
+                break;
+            };
+            match stream.next_arrival()? {
+                Some(row) => {
+                    let i = self.pulled;
+                    row.validate()?;
+                    if self.last_pulled_at.is_some_and(|prev| row.arrival < prev) {
+                        return Err(EntkError::Usage(format!(
+                            "arrivals out of order at index {i}"
+                        )));
+                    }
+                    self.last_pulled_at = Some(row.arrival);
+                    self.pulled += 1;
+                    self.eval.dispatch(i, row.clone());
+                    self.held.insert(i, row);
+                    self.readahead.push_back(i);
+                }
+                None => {
+                    self.stream = None;
+                    break;
+                }
             }
-        }
-        for a in arrivals {
-            a.validate()?;
         }
         Ok(())
     }
 
-    /// Parallel service evaluation of a subset of sessions, reassembled by
-    /// index (same discipline as the figure sweeps). Returns a full-length
-    /// vector with `None` at indices outside the subset.
-    fn evaluate(
-        stream: &WorkloadConfig,
-        arrivals: &[SessionArrival],
-        indices: &[usize],
-    ) -> Vec<Option<SessionService>> {
-        let mut evaluated: Vec<(usize, SessionService)> = indices
-            .par_iter()
-            .map(|&i| (i, evaluate_session(stream, i, &arrivals[i])))
-            .collect();
-        evaluated.sort_by_key(|(i, _)| *i);
-        let mut services: Vec<Option<SessionService>> = vec![None; arrivals.len()];
-        for (i, s) in evaluated {
-            services[i] = Some(s);
-        }
-        services
+    /// Arrival instant of the next not-yet-ingested session, if any.
+    /// Valid only immediately after [`ServiceEngine::fill_readahead`].
+    fn peek_arrival(&self) -> Option<SimTime> {
+        self.readahead
+            .front()
+            .map(|i| self.held[i].arrival)
+    }
+
+    /// Sessions resident right now, in any form — the quantity whose peak
+    /// the bounded-memory claim is about.
+    fn resident_sessions(&self) -> usize {
+        self.held.len() + self.in_flight.len() + self.store.reorder_len()
     }
 
     /// The fair-share admission decisions taken so far (empty under FIFO).
@@ -527,17 +876,39 @@ impl ServiceEngine {
     }
 
     /// Finalizes a session's record and advances the contiguous-prefix
-    /// emission cursor.
+    /// emission cursor. Buffered: the record is retained for the final
+    /// report. Sink: the record waits (at most) in a small reorder buffer
+    /// until every lower-index session is finalized, then is rendered,
+    /// summarized, and dropped.
     fn finalize(&mut self, index: usize, record: SessionRecord) {
-        debug_assert!(self.records[index].is_none(), "record finalized twice");
-        self.records[index] = Some(record);
-        while self.emitted < self.records.len() {
-            match &self.records[self.emitted] {
-                Some(r) => {
-                    self.suffix.push_str(&render_record(r));
+        match &mut self.store {
+            RecordStore::Buffer(records) => {
+                if records.len() <= index {
+                    records.resize(index + 1, None);
+                }
+                debug_assert!(records[index].is_none(), "record finalized twice");
+                records[index] = Some(record);
+                while self.emitted < records.len() {
+                    match &records[self.emitted] {
+                        Some(r) => {
+                            self.suffix.push_str(&render_record(r));
+                            self.emitted += 1;
+                        }
+                        None => break,
+                    }
+                }
+            }
+            RecordStore::Sink(unemitted) => {
+                debug_assert!(
+                    index >= self.emitted && !unemitted.contains_key(&index),
+                    "record finalized twice"
+                );
+                unemitted.insert(index, record);
+                while let Some(r) = unemitted.remove(&self.emitted) {
+                    self.acc.observe(&r);
+                    self.suffix.push_str(&render_record(&r));
                     self.emitted += 1;
                 }
-                None => break,
             }
         }
     }
@@ -563,8 +934,8 @@ impl ServiceEngine {
                 self.ledger.decay_to(self.clock);
                 let mut best = 0usize;
                 let mut best_usage = f64::INFINITY;
-                for (pos, &i) in self.pending.iter().enumerate() {
-                    let u = self.ledger.usage_of(&self.arrivals[i].tenant);
+                for (pos, i) in self.pending.iter().enumerate() {
+                    let u = self.ledger.usage_of(&self.held[i].tenant);
                     // Strict less-than keeps ties in arrival order.
                     if u < best_usage {
                         best_usage = u;
@@ -576,15 +947,30 @@ impl ServiceEngine {
         }
     }
 
-    /// Admits session `i` at the current instant: charges its tenant
-    /// (fair-share), occupies a slot until `now + service`, and finalizes
-    /// its record.
-    fn admit(&mut self, i: usize) {
-        let svc = self.services[i]
-            .as_ref()
-            .expect("admitted session was evaluated")
-            .clone();
-        let arrival = &self.arrivals[i];
+    /// Admits session `i` at the current instant: collects its service
+    /// time from the evaluation pool (blocking if the evaluation is still
+    /// running), charges its tenant (fair-share), occupies a slot until
+    /// `now + service`, and finalizes its record. With `strict`, a failed
+    /// or degraded session aborts the serve here, at its admission.
+    fn admit(&mut self, i: usize) -> Result<(), EntkError> {
+        let svc = self.eval.take(i);
+        if self.config.strict {
+            match svc.status {
+                SessionStatus::Failed => {
+                    return Err(svc
+                        .error
+                        .clone()
+                        .unwrap_or_else(|| EntkError::Runtime(format!("session {i}: failed"))))
+                }
+                SessionStatus::Partial => {
+                    return Err(EntkError::Runtime(format!(
+                        "session {i}: degraded to a partial result"
+                    )))
+                }
+                _ => {}
+            }
+        }
+        let arrival = self.held.remove(&i).expect("admitted session is held");
         let start = self.clock;
         let finish = start + svc.ttc;
         if let AdmissionPolicy::FairShare { .. } = self.config.policy {
@@ -593,14 +979,16 @@ impl ServiceEngine {
             let min_waiting_usage = self
                 .pending
                 .iter()
-                .map(|&j| self.ledger.usage_of(&self.arrivals[j].tenant))
+                .map(|j| self.ledger.usage_of(&self.held[j].tenant))
                 .min_by(|a, b| a.partial_cmp(b).expect("finite usage"));
-            self.admissions.push(AdmissionSample {
-                session: i,
-                tenant: arrival.tenant,
-                admitted_usage,
-                min_waiting_usage,
-            });
+            if matches!(self.store, RecordStore::Buffer(_)) {
+                self.admissions.push(AdmissionSample {
+                    session: i,
+                    tenant: arrival.tenant,
+                    admitted_usage,
+                    min_waiting_usage,
+                });
+            }
             self.ledger
                 .charge(arrival.tenant, arrival.cores as f64 * svc.ttc.as_secs_f64());
         }
@@ -625,36 +1013,40 @@ impl ServiceEngine {
             trace_fp: format!("{:016x}", svc.trace_fp),
         };
         self.finalize(i, record);
+        Ok(())
     }
 
     /// The admission fixpoint run after every event: promote deferred
     /// sessions into the bounded window, then admit while slots are free.
-    fn settle(&mut self) {
+    fn settle(&mut self) -> Result<(), EntkError> {
         loop {
             self.promote_deferred();
             if self.free_slots() == 0 || self.pending.is_empty() {
-                break;
+                return Ok(());
             }
             let pos = self.pick_next();
             let i = self.pending.remove(pos).expect("picked position exists");
-            self.admit(i);
+            self.admit(i)?;
         }
     }
 
     /// Applies the earliest completion: frees its slot and re-runs
     /// admission at the completion instant.
-    fn apply_completion(&mut self) {
+    fn apply_completion(&mut self) -> Result<(), EntkError> {
         let Reverse((t, _)) = self.in_flight.pop().expect("completion exists");
         self.clock = t;
-        self.settle();
+        self.settle()
     }
 
-    /// Ingests the next arrival: enqueue, reject, or defer, then re-run
-    /// admission at the arrival instant.
-    fn ingest_arrival(&mut self) {
-        let i = self.next_arrival;
+    /// Ingests the next arrival from the read-ahead window: folds it into
+    /// the trace-prefix fingerprint, then enqueue, reject, or defer, then
+    /// re-run admission at the arrival instant.
+    fn ingest_arrival(&mut self) -> Result<(), EntkError> {
+        let i = self.readahead.pop_front().expect("arrival in read-ahead");
+        debug_assert_eq!(i, self.next_arrival, "ingestion follows pull order");
         self.next_arrival += 1;
-        let at = self.arrivals[i].arrival;
+        let at = self.held[&i].arrival;
+        self.prefix_fp = fnv64_update(self.prefix_fp, render_row(&self.held[&i]).as_bytes());
         self.clock = self.clock.max(at);
         let saturated = self
             .config
@@ -664,7 +1056,9 @@ impl ServiceEngine {
             match self.config.saturation {
                 SaturationMode::Defer => self.deferred.push_back(i),
                 SaturationMode::Reject => {
-                    let arrival = &self.arrivals[i];
+                    let arrival = self.held.remove(&i).expect("rejected session is held");
+                    // Its just-in-time evaluation is useless now.
+                    self.eval.forget(i);
                     let outcome = EntkError::Saturated(format!(
                         "session {i} rejected: queue depth {} at bound {}",
                         self.pending.len(),
@@ -695,14 +1089,14 @@ impl ServiceEngine {
         } else {
             self.pending.push_back(i);
         }
-        self.settle();
+        self.settle()
     }
 
     /// Processes the single earliest event under the documented tie order
     /// (completions before arrivals at the same instant).
-    fn step(&mut self) {
-        let next_arrival = self.arrivals.get(self.next_arrival).map(|a| a.arrival);
-        match (self.in_flight.peek(), next_arrival) {
+    fn step(&mut self) -> Result<(), EntkError> {
+        self.fill_readahead()?;
+        match (self.in_flight.peek(), self.peek_arrival()) {
             (Some(&Reverse((tf, _))), Some(ta)) if tf <= ta => self.apply_completion(),
             (_, Some(_)) => self.ingest_arrival(),
             (Some(_), None) => self.apply_completion(),
@@ -713,18 +1107,21 @@ impl ServiceEngine {
     /// Advances the service to arrival boundary `k`: exactly `k` arrivals
     /// ingested and every completion at or before the next arrival's
     /// instant applied (for `k >= sessions`, the stream is drained to
-    /// completion). Checkpoints are taken at these boundaries.
-    pub fn run_to_boundary(&mut self, k: usize) {
-        let k = k.min(self.arrivals.len());
-        while self.next_arrival < k {
-            self.step();
-        }
+    /// completion). Checkpoints are taken at these boundaries. Errors —
+    /// a malformed or out-of-order row at pull time, a strict-mode abort
+    /// at admission — leave the engine unusable.
+    pub fn run_to_boundary(&mut self, k: usize) -> Result<(), EntkError> {
         loop {
-            let horizon = self.arrivals.get(self.next_arrival).map(|a| a.arrival);
+            self.fill_readahead()?;
+            let horizon = self.peek_arrival();
+            if self.next_arrival < k && horizon.is_some() {
+                self.step()?;
+                continue;
+            }
             match (self.in_flight.peek(), horizon) {
-                (Some(&Reverse((tf, _))), Some(ta)) if tf <= ta => self.apply_completion(),
-                (Some(_), None) => self.apply_completion(),
-                _ => break,
+                (Some(&Reverse((tf, _))), Some(ta)) if tf <= ta => self.apply_completion()?,
+                (Some(_), None) => self.apply_completion()?,
+                _ => return Ok(()),
             }
         }
     }
@@ -732,8 +1129,14 @@ impl ServiceEngine {
     /// Serializes the admission state at the current arrival boundary.
     pub fn checkpoint(&self) -> ServiceCheckpoint {
         let s = &self.config.stream;
+        let records = match &self.store {
+            RecordStore::Buffer(records) => records.iter().flatten().cloned().collect(),
+            // run_streaming consumes the engine, so a sink-mode engine is
+            // never observable from outside.
+            RecordStore::Sink(_) => unreachable!("checkpoint during a streamed serve"),
+        };
         ServiceCheckpoint {
-            version: 1,
+            version: 2,
             seed: s.seed,
             resource: s.resource.clone(),
             slots: s.slots,
@@ -744,7 +1147,7 @@ impl ServiceEngine {
             saturation: self.config.saturation.label().to_string(),
             strict: self.config.strict,
             unit_failure_rate: s.unit_failure_rate,
-            arrivals_fp: format!("{:016x}", fnv64(render_trace(&self.arrivals).as_bytes())),
+            arrivals_fp: format!("{:016x}", self.prefix_fp),
             clock_us: self.clock.as_micros(),
             next_arrival: self.next_arrival,
             emitted: self.emitted,
@@ -765,23 +1168,35 @@ impl ServiceEngine {
             usage: self.ledger.balances().map(|(k, v)| (*k, v)).collect(),
             usage_decayed_at_us: self.ledger.last_decay_micros(),
             max_cross_check_err_secs: self.max_cc,
-            records: self.records.iter().flatten().cloned().collect(),
+            records,
         }
     }
 
-    /// Rebuilds a service from a checkpoint. The checkpoint must match the
-    /// config and the arrival stream (fingerprint-checked); only sessions
-    /// that still need service times — pending, deferred, or not yet
-    /// arrived — are re-evaluated. The restored engine emits the stream
-    /// JSONL *suffix* from the checkpoint's `emitted` cursor; prefix +
-    /// suffix is byte-identical to the uninterrupted run.
+    /// Rebuilds a service from a checkpoint. The checkpoint must match
+    /// the config and the arrival stream's served prefix (the prefix is
+    /// re-pulled, re-validated, and fingerprint-checked while skipping);
+    /// only sessions that still need service times — pending, deferred,
+    /// or not yet arrived — are re-evaluated, exactly the discipline the
+    /// just-in-time pool applies everywhere. The restored engine emits
+    /// the stream JSONL *suffix* from the checkpoint's `emitted` cursor;
+    /// prefix + suffix is byte-identical to the uninterrupted run.
     pub fn restore(
         config: ServiceConfig,
-        arrivals: &[SessionArrival],
+        arrivals: impl IntoArrivalStream,
         ckpt: &ServiceCheckpoint,
     ) -> Result<Self, EntkError> {
-        Self::validate(&config, arrivals)?;
-        if ckpt.version != 1 {
+        Self::restore_with_options(config, arrivals, ckpt, EngineOptions::default())
+    }
+
+    /// [`ServiceEngine::restore`] with explicit streaming knobs.
+    pub fn restore_with_options(
+        config: ServiceConfig,
+        arrivals: impl IntoArrivalStream,
+        ckpt: &ServiceCheckpoint,
+        options: EngineOptions,
+    ) -> Result<Self, EntkError> {
+        Self::validate_config(&config)?;
+        if ckpt.version != 2 {
             return Err(EntkError::Usage(format!(
                 "unsupported checkpoint version {}",
                 ckpt.version
@@ -818,7 +1233,37 @@ impl ServiceEngine {
                 mismatches.join(", ")
             )));
         }
-        let fp = format!("{:016x}", fnv64(render_trace(arrivals).as_bytes()));
+        let keep: std::collections::HashSet<usize> =
+            ckpt.pending.iter().chain(&ckpt.deferred).copied().collect();
+        let stream = arrivals.into_arrival_stream()?;
+        let mut engine = Self::empty(config, options, stream);
+        // Re-pull the served prefix: every row is validated, order-checked,
+        // and folded into the prefix fingerprint, but only rows still
+        // queued (pending or deferred) are retained — the rest are dropped
+        // as soon as they are hashed, so restore stays bounded-memory.
+        while engine.pulled < ckpt.next_arrival {
+            let row = match engine.stream.as_mut() {
+                Some(stream) => stream.next_arrival()?,
+                None => None,
+            };
+            let Some(row) = row else {
+                return Err(EntkError::Usage("checkpoint cursors out of range".into()));
+            };
+            let i = engine.pulled;
+            row.validate()?;
+            if engine.last_pulled_at.is_some_and(|prev| row.arrival < prev) {
+                return Err(EntkError::Usage(format!(
+                    "arrivals out of order at index {i}"
+                )));
+            }
+            engine.last_pulled_at = Some(row.arrival);
+            engine.pulled += 1;
+            engine.prefix_fp = fnv64_update(engine.prefix_fp, render_row(&row).as_bytes());
+            if keep.contains(&i) {
+                engine.held.insert(i, row);
+            }
+        }
+        let fp = format!("{:016x}", engine.prefix_fp);
         if ckpt.arrivals_fp != fp {
             return Err(EntkError::Usage(
                 "checkpoint was taken against a different arrival stream \
@@ -826,8 +1271,8 @@ impl ServiceEngine {
                     .into(),
             ));
         }
-        let n = arrivals.len();
-        if ckpt.next_arrival > n || ckpt.emitted > n {
+        let n = ckpt.next_arrival;
+        if ckpt.emitted > n {
             return Err(EntkError::Usage("checkpoint cursors out of range".into()));
         }
         let mut records: Vec<Option<SessionRecord>> = vec![None; n];
@@ -863,48 +1308,39 @@ impl ServiceEngine {
                 )));
             }
         }
-        if ckpt.in_flight.len() > s.slots {
+        if ckpt.in_flight.len() > engine.config.stream.slots {
             return Err(EntkError::Usage(
                 "checkpoint occupies more slots than the config provides".into(),
             ));
         }
         // Service times are needed only for sessions whose admission is
-        // still ahead: queued, deferred, or not yet arrived.
-        let mut need: Vec<usize> = ckpt
-            .pending
+        // still ahead. Queued and deferred rows were retained above and go
+        // back to the evaluation pool now, in index order; not-yet-arrived
+        // rows are dispatched lazily as `fill_readahead` pulls them.
+        let mut queued: Vec<usize> = engine.held.keys().copied().collect();
+        queued.sort_unstable();
+        for i in queued {
+            let row = engine.held[&i].clone();
+            engine.eval.dispatch(i, row);
+        }
+        engine.ledger = entk_cluster::UsageLedger::restore(
+            engine.config.policy.half_life_secs(),
+            ckpt.usage.iter().copied(),
+            ckpt.usage_decayed_at_us,
+        );
+        engine.store = RecordStore::Buffer(records);
+        engine.clock = SimTime::from_micros(ckpt.clock_us);
+        engine.next_arrival = ckpt.next_arrival;
+        engine.pending = ckpt.pending.iter().copied().collect();
+        engine.deferred = ckpt.deferred.iter().copied().collect();
+        engine.in_flight = ckpt
+            .in_flight
             .iter()
-            .chain(&ckpt.deferred)
-            .copied()
-            .chain(ckpt.next_arrival..n)
+            .map(|slot| Reverse((SimTime::from_micros(slot.finish_us), slot.session)))
             .collect();
-        need.sort_unstable();
-        need.dedup();
-        let services = Self::evaluate(s, arrivals, &need);
-        Ok(ServiceEngine {
-            ledger: entk_cluster::UsageLedger::restore(
-                config.policy.half_life_secs(),
-                ckpt.usage.iter().copied(),
-                ckpt.usage_decayed_at_us,
-            ),
-            records,
-            services,
-            arrivals: arrivals.to_vec(),
-            config,
-            clock: SimTime::from_micros(ckpt.clock_us),
-            next_arrival: ckpt.next_arrival,
-            pending: ckpt.pending.iter().copied().collect(),
-            deferred: ckpt.deferred.iter().copied().collect(),
-            in_flight: ckpt
-                .in_flight
-                .iter()
-                .map(|slot| Reverse((SimTime::from_micros(slot.finish_us), slot.session)))
-                .collect(),
-            emitted: ckpt.emitted,
-            suffix: String::new(),
-            max_cc: ckpt.max_cross_check_err_secs,
-            admissions: Vec::new(),
-            finished: false,
-        })
+        engine.emitted = ckpt.emitted;
+        engine.max_cc = ckpt.max_cross_check_err_secs;
+        Ok(engine)
     }
 
     /// Serves the stream to completion and assembles the outcome. The
@@ -915,14 +1351,56 @@ impl ServiceEngine {
         if self.finished {
             return Err(EntkError::Usage("service already ran to completion".into()));
         }
-        self.run_to_boundary(self.arrivals.len());
+        self.run_to_boundary(usize::MAX)?;
         self.finished = true;
         Ok(self.assemble())
     }
 
+    /// Serves the stream to completion in *sink* mode: every finalized
+    /// record is rendered to `out`, folded into the running fingerprint,
+    /// accumulated into the scalar [`ServeStats`], and dropped. Resident
+    /// state is bounded by the look-ahead window plus in-flight and queued
+    /// sessions — never by the stream length — which is what lets a
+    /// million-session trace serve in a flat memory footprint.
+    ///
+    /// Sink mode consumes the engine (no checkpoint can observe the
+    /// dropped records) and requires a fresh engine, not a restored one.
+    pub fn run_streaming<W: std::io::Write>(
+        mut self,
+        out: &mut W,
+    ) -> Result<ServeStats, EntkError> {
+        if self.finished || self.next_arrival != 0 || self.emitted != 0 {
+            return Err(EntkError::Usage(
+                "streaming serve requires a fresh engine".into(),
+            ));
+        }
+        self.store = RecordStore::Sink(BTreeMap::new());
+        loop {
+            self.fill_readahead()?;
+            if self.in_flight.is_empty() && self.peek_arrival().is_none() {
+                break;
+            }
+            self.step()?;
+            if !self.suffix.is_empty() {
+                out.write_all(self.suffix.as_bytes())
+                    .map_err(|e| EntkError::Resource(format!("writing stream JSONL: {e}")))?;
+                self.acc.fp = fnv64_update(self.acc.fp, self.suffix.as_bytes());
+                self.acc.jsonl_bytes += self.suffix.len() as u64;
+                self.suffix.clear();
+            }
+            let resident = self.resident_sessions();
+            self.acc.peak_resident = self.acc.peak_resident.max(resident);
+        }
+        debug_assert!(self.pending.is_empty() && self.deferred.is_empty());
+        self.finished = true;
+        Ok(self.acc.finish(self.max_cc))
+    }
+
     fn assemble(&mut self) -> WorkloadOutcome {
-        let records: Vec<SessionRecord> = self
-            .records
+        let RecordStore::Buffer(buffer) = &self.store else {
+            unreachable!("assemble after a streamed serve");
+        };
+        let records: Vec<SessionRecord> = buffer
             .iter()
             .map(|r| r.clone().expect("completed service finalized every record"))
             .collect();

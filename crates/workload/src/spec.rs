@@ -13,7 +13,9 @@
 //! }
 //! ```
 
-use crate::arrival::{OpenLoopProcess, SessionArrival, WorkloadGenerator};
+use crate::arrival::{
+    ArrivalStream, OpenLoopProcess, SessionArrival, WorkloadGenerator,
+};
 use crate::runner::{StreamBackend, WorkloadConfig, WorkloadOutcome};
 use crate::service::{AdmissionPolicy, SaturationMode, ServiceConfig, ServiceEngine};
 use crate::trace::{CsvTrace, SyntheticTrace};
@@ -126,15 +128,16 @@ impl StreamSpec {
         serde_json::from_str(text).map_err(|e| EntkError::Usage(format!("bad workload spec: {e}")))
     }
 
-    /// Generates the spec's arrivals (without serving them).
-    pub fn arrivals(&self) -> Result<Vec<SessionArrival>, EntkError> {
+    /// Opens the spec's arrival source as a lazy pull stream (without
+    /// serving or materializing it).
+    pub fn source_stream(&self) -> Result<Box<dyn ArrivalStream>, EntkError> {
         match &self.source {
             SourceSpec::Poisson {
                 sessions,
                 tenants,
                 mean_interarrival_secs,
             } => OpenLoopProcess::poisson(self.seed, *sessions, *tenants, *mean_interarrival_secs)
-                .generate(),
+                .stream(),
             SourceSpec::Burst {
                 sessions,
                 tenants,
@@ -142,13 +145,23 @@ impl StreamSpec {
                 mean_gap_secs,
             } => {
                 OpenLoopProcess::burst(self.seed, *sessions, *tenants, *burst_size, *mean_gap_secs)
-                    .generate()
+                    .stream()
             }
             SourceSpec::Synthetic { sessions, tenants } => {
-                SyntheticTrace::new(self.seed, *sessions, *tenants).generate()
+                SyntheticTrace::new(self.seed, *sessions, *tenants).stream()
             }
-            SourceSpec::Trace { path } => CsvTrace::from_path(path)?.generate(),
+            SourceSpec::Trace { path } => CsvTrace::from_path(path)?.stream(),
         }
+    }
+
+    /// Generates the spec's arrivals (without serving them).
+    pub fn arrivals(&self) -> Result<Vec<SessionArrival>, EntkError> {
+        let mut stream = self.source_stream()?;
+        let mut out = Vec::with_capacity(stream.remaining_hint().unwrap_or(0));
+        while let Some(row) = stream.next_arrival()? {
+            out.push(row);
+        }
+        Ok(out)
     }
 
     /// Compiles the backend/slots/seed fields into a runner config.

@@ -186,6 +186,79 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The tentpole determinism property: the lazy streamed engine —
+    /// arrivals pulled through a bounded look-ahead window, service times
+    /// evaluated just-in-time on a worker pool, records rendered to a
+    /// sink and dropped — produces byte-identical JSONL to the buffered
+    /// engine, for every admission policy, saturation mode, look-ahead
+    /// width, worker count, and seed. And a checkpoint taken at any
+    /// arrival boundary under any look-ahead restores to a byte-identical
+    /// suffix.
+    #[test]
+    fn streamed_engine_is_byte_identical_to_the_buffered_oracle(
+        draws in proptest::collection::vec((0u64..20_000_000, 0u64..4, 0usize..64), 2..10),
+        seed in 0u64..1000,
+        policy_sel in 0usize..2,
+        saturation_sel in 0usize..3,
+        lookahead in 1usize..5,
+        eval_workers in 1usize..3,
+    ) {
+        let arrivals = cheap_arrivals(&draws);
+        let stream_cfg = WorkloadConfig { seed, slots: 1, ..WorkloadConfig::default() };
+        let base = match policy_sel {
+            0 => ServiceConfig::fifo(stream_cfg),
+            _ => ServiceConfig::fair_share(stream_cfg, 120.0),
+        };
+        let config = match saturation_sel {
+            0 => base,
+            1 => ServiceConfig {
+                max_queue_depth: Some(1),
+                saturation: SaturationMode::Reject,
+                ..base
+            },
+            _ => ServiceConfig {
+                max_queue_depth: Some(1),
+                saturation: SaturationMode::Defer,
+                ..base
+            },
+        };
+        let options = entk_workload::EngineOptions { lookahead, eval_workers };
+
+        // Oracle: the buffered engine at default options.
+        let oracle = ServiceEngine::new(config.clone(), &arrivals).unwrap().run().unwrap();
+
+        // Streamed sink serve under the drawn knobs.
+        let mut sink = Vec::new();
+        let stats = ServiceEngine::with_options(config.clone(), &arrivals, options)
+            .unwrap()
+            .run_streaming(&mut sink)
+            .unwrap();
+        prop_assert_eq!(&String::from_utf8(sink).unwrap(), &oracle.jsonl);
+        prop_assert_eq!(&stats.stream_fp, &oracle.report.stream_fp);
+
+        // Checkpoint at a mid-stream boundary under the drawn knobs.
+        let k = arrivals.len() / 2;
+        let mut victim =
+            ServiceEngine::with_options(config.clone(), &arrivals, options).unwrap();
+        victim.run_to_boundary(k).unwrap();
+        let prefix = victim.emitted_jsonl().to_string();
+        let ckpt = ServiceCheckpoint::from_json(&victim.checkpoint().to_json()).unwrap();
+        let resumed =
+            ServiceEngine::restore_with_options(config, &arrivals, &ckpt, options)
+                .unwrap()
+                .run()
+                .unwrap();
+        prop_assert_eq!(
+            format!("{prefix}{}", resumed.suffix_jsonl),
+            oracle.jsonl,
+            "boundary {} under lookahead {} must replay exactly", k, lookahead
+        );
+    }
+}
+
 #[test]
 fn checkpoint_restore_at_every_arrival_boundary_is_exact() {
     let draws: Vec<(u64, u64, usize)> = (0..8)
@@ -228,7 +301,7 @@ fn checkpoint_restore_at_every_arrival_boundary_is_exact() {
             .unwrap();
         for k in 0..=arrivals.len() {
             let mut victim = ServiceEngine::new(config.clone(), &arrivals).unwrap();
-            victim.run_to_boundary(k);
+            victim.run_to_boundary(k).unwrap();
             let prefix = victim.emitted_jsonl().to_string();
             let ckpt = ServiceCheckpoint::from_json(&victim.checkpoint().to_json()).unwrap();
             let resumed = ServiceEngine::restore(config.clone(), &arrivals, &ckpt)

@@ -140,7 +140,10 @@ fn strict_mode_restores_stream_fatal_failures() {
         strict: true,
         ..ServiceConfig::fifo(small_config(StreamBackend::Simulated))
     };
-    let err = ServiceEngine::new(config, &arrivals).unwrap_err();
+    let err = ServiceEngine::new(config, &arrivals)
+        .unwrap()
+        .run()
+        .unwrap_err();
     assert!(err.to_string().contains("resource error"), "{err}");
 }
 
@@ -166,7 +169,10 @@ fn degraded_sessions_are_recorded_as_partial() {
         strict: true,
         ..ServiceConfig::fifo(stream)
     };
-    let err = ServiceEngine::new(strict, &arrivals).unwrap_err();
+    let err = ServiceEngine::new(strict, &arrivals)
+        .unwrap()
+        .run()
+        .unwrap_err();
     assert!(err.to_string().contains("partial"), "{err}");
 }
 
@@ -263,7 +269,7 @@ fn kill_mid_stream_and_resume_replays_a_byte_identical_suffix() {
     // "Kill" the service at the mid-stream arrival boundary: keep only
     // what it checkpointed and what it had already emitted.
     let mut victim = ServiceEngine::new(config.clone(), &arrivals).unwrap();
-    victim.run_to_boundary(6);
+    victim.run_to_boundary(6).unwrap();
     let prefix = victim.emitted_jsonl().to_string();
     let ckpt_json = victim.checkpoint().to_json();
     drop(victim);
@@ -288,7 +294,7 @@ fn checkpoints_refuse_mismatched_configs_and_streams() {
     let arrivals = SyntheticTrace::new(13, 8, 3).generate().unwrap();
     let config = ServiceConfig::fifo(small_config(StreamBackend::Simulated));
     let mut engine = ServiceEngine::new(config.clone(), &arrivals).unwrap();
-    engine.run_to_boundary(4);
+    engine.run_to_boundary(4).unwrap();
     let ckpt = engine.checkpoint();
 
     let wrong_seed = ServiceConfig::fifo(WorkloadConfig {
@@ -305,6 +311,92 @@ fn checkpoints_refuse_mismatched_configs_and_streams() {
     let other_arrivals = SyntheticTrace::new(14, 8, 3).generate().unwrap();
     let err = ServiceEngine::restore(config, &other_arrivals, &ckpt).unwrap_err();
     assert!(err.to_string().contains("fingerprint"), "{err}");
+}
+
+#[test]
+fn streamed_serve_is_byte_identical_to_the_buffered_serve() {
+    // run_streaming drops every record after rendering it, yet the sink
+    // bytes, fingerprint, and scalar stats must match the buffered run.
+    for backend in [
+        StreamBackend::Simulated,
+        StreamBackend::Federated { members: 2 },
+    ] {
+        let synth = SyntheticTrace::new(11, 10, 4);
+        let config = ServiceConfig::fifo(small_config(backend));
+        let buffered = ServiceEngine::new(config.clone(), synth.stream().unwrap())
+            .unwrap()
+            .run()
+            .unwrap();
+        let mut sink = Vec::new();
+        let stats = ServiceEngine::new(config, synth.stream().unwrap())
+            .unwrap()
+            .run_streaming(&mut sink)
+            .unwrap();
+        assert_eq!(String::from_utf8(sink).unwrap(), buffered.jsonl);
+        assert_eq!(stats.stream_fp, buffered.report.stream_fp);
+        assert_eq!(stats.sessions, buffered.report.sessions);
+        assert_eq!(stats.tenants, buffered.report.tenants);
+        assert_eq!(stats.ok_sessions, buffered.report.ok_sessions);
+        assert_eq!(stats.total_events, buffered.report.total_events);
+        assert_eq!(stats.makespan_secs, buffered.report.makespan_secs);
+        assert_eq!(stats.jsonl_bytes, buffered.jsonl.len() as u64);
+        assert!(stats.peak_resident_sessions >= 1);
+    }
+}
+
+#[test]
+fn streamed_serve_residency_is_bounded_by_lookahead_and_queue() {
+    use entk_workload::EngineOptions;
+    // With a tight look-ahead window and an unsaturated FIFO queue, peak
+    // residency must stay far below the stream length.
+    let synth = SyntheticTrace::new(5, 64, 8);
+    let config = ServiceConfig::fifo(WorkloadConfig {
+        slots: 4,
+        ..small_config(StreamBackend::Simulated)
+    });
+    let options = EngineOptions {
+        lookahead: 4,
+        ..EngineOptions::default()
+    };
+    let mut sink = Vec::new();
+    let stats = ServiceEngine::with_options(config, synth.stream().unwrap(), options)
+        .unwrap()
+        .run_streaming(&mut sink)
+        .unwrap();
+    assert_eq!(stats.sessions, 64);
+    assert!(
+        stats.peak_resident_sessions < 64,
+        "peak residency {} must not scale with the stream",
+        stats.peak_resident_sessions
+    );
+}
+
+#[test]
+fn streaming_knobs_cannot_change_the_output() {
+    use entk_workload::EngineOptions;
+    let synth = SyntheticTrace::new(11, 10, 4);
+    let config = ServiceConfig::fifo(small_config(StreamBackend::Simulated));
+    let baseline = ServiceEngine::new(config.clone(), synth.stream().unwrap())
+        .unwrap()
+        .run()
+        .unwrap();
+    for lookahead in [1, 3, 1024] {
+        for eval_workers in [1, 2] {
+            let options = EngineOptions {
+                lookahead,
+                eval_workers,
+            };
+            let out =
+                ServiceEngine::with_options(config.clone(), synth.stream().unwrap(), options)
+                    .unwrap()
+                    .run()
+                    .unwrap();
+            assert_eq!(
+                out.jsonl, baseline.jsonl,
+                "lookahead={lookahead} eval_workers={eval_workers} changed the stream"
+            );
+        }
+    }
 }
 
 #[test]
