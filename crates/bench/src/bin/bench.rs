@@ -202,7 +202,10 @@ fn parse_args() -> Options {
                 opts.max_sessions = value("--max-sessions")
                     .parse()
                     .expect("--max-sessions: integer");
-                assert!(opts.max_sessions >= 1000, "--max-sessions needs at least 1000");
+                assert!(
+                    opts.max_sessions >= 1000,
+                    "--max-sessions needs at least 1000"
+                );
             }
             other => panic!("unknown argument {other:?} (see --help in the module docs)"),
         }

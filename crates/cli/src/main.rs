@@ -14,7 +14,7 @@
 //!                                   tenant latency percentiles, queue
 //!                                   depth, makespan; --trace writes the
 //!                                   stream JSONL (one line per session)
-//! entk serve <spec.json> [--policy fifo|fair] [--strict] [--json]
+//! entk serve <spec.json> [--policy <name>] [--strict] [--json]
 //!            [--jsonl <path>] [--stream]
 //!            [--checkpoint-at <K> --checkpoint <path>] [--resume <path>]
 //!                                   run the multi-tenant session service
@@ -37,8 +37,9 @@
 //! ```
 
 use entk_cli::WorkloadSpec;
+use entk_core::ComponentSpec;
 use entk_workload::{
-    AdmissionPolicy, ServiceCheckpoint, ServiceEngine, StreamSpec, WorkloadReport,
+    admission_policies, ServiceCheckpoint, ServiceEngine, StreamSpec, WorkloadReport,
 };
 use std::process::ExitCode;
 
@@ -165,7 +166,12 @@ fn run_stream(path: &str, as_json: bool, trace_path: Option<String>) -> ExitCode
     let outcome = std::fs::read_to_string(path)
         .map_err(|e| format!("reading {path:?}: {e}"))
         .and_then(|text| StreamSpec::from_json(&text).map_err(|e| e.to_string()))
-        .and_then(|spec| spec.run().map_err(|e| e.to_string()));
+        .and_then(|spec| {
+            let mut sinks = spec.build_sinks().map_err(|e| e.to_string())?;
+            let out = spec.run().map_err(|e| e.to_string())?;
+            entk_workload::dispatch(&out, &mut sinks).map_err(|e| e.to_string())?;
+            Ok(out)
+        });
     let out = match outcome {
         Ok(out) => out,
         Err(e) => {
@@ -220,7 +226,7 @@ fn print_stream_report(r: &WorkloadReport, as_json: bool) {
 /// The `serve` subcommand: the session service with policy override,
 /// strictness, checkpoint/resume, and bounded-memory streaming.
 fn serve_stream(args: &[String]) -> ExitCode {
-    let usage = "usage: entk serve <spec.json> [--policy fifo|fair] [--strict] [--json] \
+    let usage = "usage: entk serve <spec.json> [--policy <name>] [--strict] [--json] \
                  [--jsonl <path>] [--stream] \
                  [--checkpoint-at <K> --checkpoint <path>] [--resume <path>]";
     let as_json = args.iter().any(|a| a == "--json");
@@ -269,8 +275,11 @@ fn serve_stream(args: &[String]) -> ExitCode {
             .map_err(|e| format!("reading {spec_path:?}: {e}"))?;
         let mut spec = StreamSpec::from_json(&text).map_err(|e| e.to_string())?;
         if let Some(p) = policy_arg {
-            AdmissionPolicy::parse(&p).map_err(|e| e.to_string())?;
-            spec.policy = p;
+            // Any registered admission policy; typos list the valid names.
+            if !admission_policies().contains(&p) {
+                return Err(admission_policies().unknown(&p).to_string());
+            }
+            spec.policy = ComponentSpec::named(p);
         }
         if strict {
             spec.strict = true;
@@ -285,9 +294,15 @@ fn serve_stream(args: &[String]) -> ExitCode {
             if resume_path.is_some() || checkpoint_at.is_some() || checkpoint_path.is_some() {
                 return Err("--stream is incompatible with checkpoint/resume".to_string());
             }
+            if !spec.sinks.is_empty() {
+                eprintln!(
+                    "note: spec sinks ignored under --stream (records are dropped \
+                     after emission; use --jsonl for the row stream)"
+                );
+            }
             let path = jsonl_path.ok_or_else(|| "--stream needs --jsonl <path>".to_string())?;
-            let file = std::fs::File::create(&path)
-                .map_err(|e| format!("creating {path:?}: {e}"))?;
+            let file =
+                std::fs::File::create(&path).map_err(|e| format!("creating {path:?}: {e}"))?;
             let mut out = std::io::BufWriter::new(file);
             let engine = ServiceEngine::new(config, arrivals).map_err(|e| e.to_string())?;
             let stats = engine.run_streaming(&mut out).map_err(|e| e.to_string())?;
@@ -351,7 +366,9 @@ fn serve_stream(args: &[String]) -> ExitCode {
             return Ok(ExitCode::SUCCESS);
         }
 
+        let mut sinks = spec.build_sinks().map_err(|e| e.to_string())?;
         let out = engine.run().map_err(|e| e.to_string())?;
+        entk_workload::dispatch(&out, &mut sinks).map_err(|e| e.to_string())?;
         print_stream_report(&out.report, as_json);
         if let Some(path) = jsonl_path {
             // A resumed service writes exactly the suffix after its

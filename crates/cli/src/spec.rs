@@ -37,9 +37,11 @@ pub struct WorkloadSpec {
 /// Optional simulated-backend tuning knobs.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TuningSpec {
-    /// Batch policy: `"fifo"` (default), `"backfill"`, or `"fair_share"`.
+    /// Batch-scheduler plugin: any registered scheduler name (`fifo`,
+    /// `backfill`, `fair_share`, `priority_aging`, `sjf`, `round_robin`),
+    /// either bare or as `{"name", "params"}` with typed params.
     #[serde(default)]
-    pub batch_policy: Option<String>,
+    pub batch_policy: Option<entk_core::ComponentSpec>,
     /// Split the request across this many pilots with late binding.
     #[serde(default)]
     pub pilots: Option<usize>,
@@ -174,13 +176,15 @@ fn substitute(value: &Value, vars: &[(&str, f64)]) -> Value {
     }
 }
 
-fn parse_batch_policy(policy: &str) -> Result<entk_pilot::BatchPolicy, EntkError> {
-    match policy {
-        "fifo" => Ok(entk_pilot::BatchPolicy::Fifo),
-        "backfill" => Ok(entk_pilot::BatchPolicy::Backfill),
-        "fair_share" => Ok(entk_pilot::BatchPolicy::FairShare),
-        other => Err(EntkError::Usage(format!("unknown batch_policy {other:?}"))),
-    }
+/// Resolves a declared batch-policy plugin through the scheduler registry:
+/// validates the name and params up front (unknown names list every
+/// registered scheduler), then hands the spec to the backend config, which
+/// builds one fresh scheduler per cluster at run time.
+fn resolve_batch_policy(
+    policy: &entk_core::ComponentSpec,
+) -> Result<entk_core::ComponentSpec, EntkError> {
+    entk_core::registry::schedulers().build(policy, &())?;
+    Ok(policy.clone())
 }
 
 fn bind(spec: &KernelSpec, vars: &[(&str, f64)]) -> KernelCall {
@@ -283,7 +287,7 @@ impl WorkloadSpec {
                     ..Default::default()
                 };
                 if let Some(policy) = &self.tuning.batch_policy {
-                    sim.batch_policy = parse_batch_policy(policy)?;
+                    sim.scheduler = Some(resolve_batch_policy(policy)?);
                 }
                 if let Some(n) = self.tuning.pilots {
                     sim.pilot_strategy = if n <= 1 {
@@ -332,7 +336,7 @@ impl WorkloadSpec {
                     ..Default::default()
                 };
                 if let Some(policy) = &self.tuning.batch_policy {
-                    config.batch_policy = parse_batch_policy(policy)?;
+                    config.scheduler = Some(resolve_batch_policy(policy)?);
                 }
                 if let Some(retries) = self.tuning.retries {
                     config.fault = entk_core::FaultConfig::retries(retries);

@@ -686,6 +686,7 @@ impl Cluster {
                     cores: j.description.cores,
                     walltime: j.description.walltime,
                     project: j.description.project.clone(),
+                    submitted: j.submitted_at,
                 }
             })
             .collect();

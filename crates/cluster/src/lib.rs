@@ -23,4 +23,7 @@ pub use fairshare::UsageLedger;
 pub use fault::{FaultInjector, FaultProfile};
 pub use job::{BatchJob, BatchJobDescription, BatchJobId, BatchJobState};
 pub use platform::PlatformSpec;
-pub use scheduler::{BatchScheduler, EasyBackfillScheduler, FairShareScheduler, FifoScheduler};
+pub use scheduler::{
+    BatchScheduler, EasyBackfillScheduler, FairShareScheduler, FifoScheduler, PendingView,
+    PriorityAgingScheduler, RoundRobinScheduler, RunningView, SchedulerFactory, SjfScheduler,
+};

@@ -15,6 +15,9 @@ pub struct PendingView {
     pub walltime: SimDuration,
     /// Project / allocation charged (used by fair-share policies).
     pub project: String,
+    /// Submission instant (used by aging policies; the queue itself is
+    /// already in arrival order).
+    pub submitted: SimTime,
 }
 
 /// Scheduler-facing view of one running job.
@@ -174,6 +177,220 @@ impl BatchScheduler for EasyBackfillScheduler {
     }
 }
 
+/// A cloneable, named constructor of fresh [`BatchScheduler`] instances.
+///
+/// Registries hand these out instead of boxed schedulers because stateful
+/// policies (fair share's usage ledger, round-robin's rotation cursor)
+/// must not be shared between independent clusters: a federated session
+/// builds one scheduler *per member* from the same factory.
+#[derive(Clone)]
+pub struct SchedulerFactory {
+    label: String,
+    make: std::sync::Arc<dyn Fn() -> Box<dyn BatchScheduler> + Send + Sync>,
+}
+
+impl SchedulerFactory {
+    /// Wraps a constructor closure under a display label.
+    pub fn new<F>(label: impl Into<String>, make: F) -> Self
+    where
+        F: Fn() -> Box<dyn BatchScheduler> + Send + Sync + 'static,
+    {
+        SchedulerFactory {
+            label: label.into(),
+            make: std::sync::Arc::new(make),
+        }
+    }
+
+    /// Builds a fresh scheduler instance.
+    pub fn build(&self) -> Box<dyn BatchScheduler> {
+        (self.make)()
+    }
+
+    /// The factory's display label (usually the registered name).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl std::fmt::Debug for SchedulerFactory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedulerFactory")
+            .field("label", &self.label)
+            .finish()
+    }
+}
+
+/// Priority aging: jobs are ranked by `wait × aging_rate − cores ×
+/// core_penalty`, so small jobs start first but every waiting job's
+/// priority grows without bound. Selection walks the ranked queue with
+/// head-of-line reservation (stop at the first job that does not fit),
+/// which is what bounds any job's wait: once a job ages to the top of the
+/// ranking, nothing behind it may start until it fits.
+#[derive(Debug, Clone)]
+pub struct PriorityAgingScheduler {
+    aging_rate: f64,
+    core_penalty: f64,
+}
+
+impl PriorityAgingScheduler {
+    /// `aging_rate`: priority gained per waiting second (clamped to a
+    /// positive minimum — a zero rate would reintroduce starvation).
+    /// `core_penalty`: priority subtracted per requested core.
+    pub fn new(aging_rate: f64, core_penalty: f64) -> Self {
+        PriorityAgingScheduler {
+            aging_rate: aging_rate.max(1e-9),
+            core_penalty: core_penalty.max(0.0),
+        }
+    }
+
+    fn priority(&self, job: &PendingView, now: SimTime) -> f64 {
+        let wait = now.saturating_since(job.submitted).as_secs_f64();
+        wait * self.aging_rate - job.cores as f64 * self.core_penalty
+    }
+}
+
+impl Default for PriorityAgingScheduler {
+    fn default() -> Self {
+        PriorityAgingScheduler::new(1.0, 4.0)
+    }
+}
+
+impl BatchScheduler for PriorityAgingScheduler {
+    fn name(&self) -> &'static str {
+        "priority-aging"
+    }
+
+    fn select(
+        &mut self,
+        queue: &[PendingView],
+        free_cores: usize,
+        now: SimTime,
+        _running: &[RunningView],
+    ) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..queue.len()).collect();
+        // Highest priority first; ties break by arrival order (the queue
+        // is arrival-ordered, so the index is the tie-break).
+        order.sort_by(|&a, &b| {
+            self.priority(&queue[b], now)
+                .partial_cmp(&self.priority(&queue[a], now))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut picked = Vec::new();
+        let mut free = free_cores;
+        for i in order {
+            if queue[i].cores <= free {
+                free -= queue[i].cores;
+                picked.push(i);
+            } else {
+                break; // reservation: the aged head blocks everything behind it
+            }
+        }
+        picked
+    }
+}
+
+/// Shortest-job-first: jobs are ranked by requested walltime (ties break
+/// by arrival order) and started greedily — a short job that fits never
+/// waits behind a long one. Long jobs can starve under sustained short
+/// traffic; that is the policy's documented trade-off (use
+/// `priority-aging` for a bounded-wait guarantee).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SjfScheduler;
+
+impl BatchScheduler for SjfScheduler {
+    fn name(&self) -> &'static str {
+        "sjf"
+    }
+
+    fn select(
+        &mut self,
+        queue: &[PendingView],
+        free_cores: usize,
+        _now: SimTime,
+        _running: &[RunningView],
+    ) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..queue.len()).collect();
+        // Walltime ascending; equal estimates keep arrival order.
+        order.sort_by_key(|&i| (queue[i].walltime, i));
+        let mut picked = Vec::new();
+        let mut free = free_cores;
+        for i in order {
+            if queue[i].cores <= free {
+                free -= queue[i].cores;
+                picked.push(i);
+            }
+        }
+        picked
+    }
+}
+
+/// Round-robin across projects: each selection round offers one start to
+/// every project with pending work, in a rotation that persists across
+/// calls, so no single project can monopolize a drained machine. Within a
+/// project, jobs keep arrival order.
+#[derive(Debug, Default, Clone)]
+pub struct RoundRobinScheduler {
+    /// Persistent rotation cursor (index into the per-call project ring).
+    cursor: usize,
+}
+
+impl BatchScheduler for RoundRobinScheduler {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn select(
+        &mut self,
+        queue: &[PendingView],
+        free_cores: usize,
+        _now: SimTime,
+        _running: &[RunningView],
+    ) -> Vec<usize> {
+        // Project ring in order of each project's oldest pending job.
+        let mut ring: Vec<&str> = Vec::new();
+        for job in queue {
+            if !ring.contains(&job.project.as_str()) {
+                ring.push(&job.project);
+            }
+        }
+        if ring.is_empty() {
+            return Vec::new();
+        }
+        let start = self.cursor % ring.len();
+        let mut taken = vec![false; queue.len()];
+        let mut picked = Vec::new();
+        let mut free = free_cores;
+        // Rounds: one start per project per round, until a full round
+        // places nothing.
+        loop {
+            let mut placed = false;
+            for r in 0..ring.len() {
+                let project = ring[(start + r) % ring.len()];
+                let next = queue
+                    .iter()
+                    .enumerate()
+                    .position(|(i, j)| !taken[i] && j.project == project && j.cores <= free);
+                if let Some(i) = next {
+                    taken[i] = true;
+                    free -= queue[i].cores;
+                    picked.push(i);
+                    placed = true;
+                }
+            }
+            if !placed {
+                break;
+            }
+        }
+        if !picked.is_empty() {
+            // Next call starts the rotation one project later, so drained
+            // queues hand the first offer around fairly.
+            self.cursor = (start + 1) % ring.len();
+        }
+        picked
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +413,7 @@ mod tests {
             cores,
             walltime: SimDuration::from_secs(wall_secs),
             project: "default".into(),
+            submitted: SimTime::ZERO,
         }
     }
 
@@ -381,6 +599,7 @@ mod fairshare_tests {
             cores,
             walltime: SimDuration::from_secs(wall),
             project: project.into(),
+            submitted: SimTime::ZERO,
         }
     }
 
@@ -560,6 +779,7 @@ mod backfill_property_tests {
             cores,
             walltime: SimDuration::from_secs(wall),
             project: "default".into(),
+            submitted: SimTime::ZERO,
         }
     }
 
@@ -595,6 +815,198 @@ mod backfill_property_tests {
                 t_easy <= t_fifo,
                 "backfill delayed the head: easy {t_easy:?} > fifo {t_fifo:?}"
             );
+        }
+    }
+}
+
+#[cfg(test)]
+mod plugin_scheduler_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pv_at(cores: usize, wall: u64, submitted: u64) -> PendingView {
+        PendingView {
+            cores,
+            walltime: SimDuration::from_secs(wall),
+            project: "default".into(),
+            submitted: SimTime::from_secs(submitted),
+        }
+    }
+
+    fn pvp(cores: usize, project: &str) -> PendingView {
+        PendingView {
+            cores,
+            walltime: SimDuration::from_secs(100),
+            project: project.into(),
+            submitted: SimTime::ZERO,
+        }
+    }
+
+    /// Forward-simulates until every queued job has *started* (jobs run
+    /// exactly their requested walltime). Returns the instant the last job
+    /// started, or `None` if the queue never drains.
+    fn drain_start_all(
+        sched: &mut dyn BatchScheduler,
+        mut queue: Vec<PendingView>,
+        total_cores: usize,
+    ) -> Option<SimTime> {
+        let mut free = total_cores;
+        let mut running: Vec<(SimTime, usize)> = Vec::new();
+        let mut now = SimTime::ZERO;
+        for _ in 0..10_000 {
+            if queue.is_empty() {
+                return Some(now);
+            }
+            let views: Vec<RunningView> = running
+                .iter()
+                .map(|&(end, cores)| RunningView {
+                    cores,
+                    expected_end: end,
+                })
+                .collect();
+            let mut picked = sched.select(&queue, free, now, &views);
+            picked.sort_unstable();
+            for &qi in picked.iter().rev() {
+                let job = queue.remove(qi);
+                free -= job.cores;
+                running.push((now + job.walltime, job.cores));
+            }
+            if queue.is_empty() {
+                return Some(now);
+            }
+            let next = running.iter().map(|&(end, _)| end).min()?;
+            now = next;
+            running.retain(|&(end, cores)| {
+                if end <= now {
+                    free += cores;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        None
+    }
+
+    #[test]
+    fn aging_reserves_cores_for_the_starved_head() {
+        // A big job that has waited 10 000 s outranks a fresh small one;
+        // the reservation holds every free core for it.
+        let queue = [pv_at(16, 100, 0), pv_at(1, 100, 10_000)];
+        let now = SimTime::from_secs(10_000);
+        let mut aging = PriorityAgingScheduler::default();
+        assert!(
+            aging.select(&queue, 8, now, &[]).is_empty(),
+            "aged head must block fresh jobs until it fits"
+        );
+        // SJF has no such guarantee: it happily starts the small job.
+        let mut sjf = SjfScheduler;
+        assert_eq!(sjf.select(&queue, 8, now, &[]), vec![1]);
+    }
+
+    #[test]
+    fn aging_prefers_small_jobs_when_fresh() {
+        // Equal wait: the core penalty ranks the 1-core job first.
+        let queue = [pv_at(8, 100, 0), pv_at(1, 100, 0)];
+        let mut aging = PriorityAgingScheduler::default();
+        assert_eq!(aging.select(&queue, 9, SimTime::ZERO, &[]), vec![1, 0]);
+    }
+
+    #[test]
+    fn sjf_starts_short_jobs_first() {
+        let queue = [pv_at(4, 1000, 0), pv_at(4, 10, 0), pv_at(4, 100, 0)];
+        let mut sjf = SjfScheduler;
+        assert_eq!(sjf.select(&queue, 12, SimTime::ZERO, &[]), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn round_robin_interleaves_projects_and_rotates() {
+        let mut rr = RoundRobinScheduler::default();
+        let queue = [pvp(1, "A"), pvp(1, "A"), pvp(1, "B"), pvp(1, "C")];
+        // One start per project per round: A, B, C before A's second job.
+        assert_eq!(rr.select(&queue, 3, SimTime::ZERO, &[]), vec![0, 2, 3]);
+        // The cursor advanced, so the next drained-queue offer goes to the
+        // second project in the ring.
+        let queue2 = [pvp(1, "A"), pvp(1, "B")];
+        assert_eq!(rr.select(&queue2, 1, SimTime::ZERO, &[]), vec![1]);
+    }
+
+    #[test]
+    fn factory_builds_fresh_stateful_instances() {
+        let factory =
+            SchedulerFactory::new("fair_share", || Box::new(FairShareScheduler::new(0.0)));
+        assert_eq!(factory.label(), "fair_share");
+        let mut charged = factory.build();
+        assert_eq!(charged.name(), "fair-share");
+        // Charge project A heavily on the first instance.
+        charged.select(&[pvp(8, "A")], 8, SimTime::ZERO, &[]);
+        let contended = [pvp(8, "A"), pvp(8, "B")];
+        // The charged instance lets B jump; a freshly built one must not
+        // have inherited that ledger and keeps arrival order.
+        assert_eq!(charged.select(&contended, 8, SimTime::ZERO, &[]), vec![1]);
+        let mut fresh = factory.build();
+        assert_eq!(fresh.select(&contended, 8, SimTime::ZERO, &[]), vec![0]);
+    }
+
+    #[test]
+    fn new_schedulers_respect_capacity_and_uniqueness() {
+        let queue: Vec<_> = (1..10).map(|i| pv_at(i, 100 * i as u64, 0)).collect();
+        let mut aging = PriorityAgingScheduler::default();
+        let mut sjf = SjfScheduler;
+        let mut rr = RoundRobinScheduler::default();
+        let scheds: [&mut dyn BatchScheduler; 3] = [&mut aging, &mut sjf, &mut rr];
+        for sched in scheds {
+            let picked = sched.select(&queue, 12, SimTime::ZERO, &[]);
+            let total: usize = picked.iter().map(|&i| queue[i].cores).sum();
+            assert!(total <= 12, "{} oversubscribed", sched.name());
+            let mut sorted = picked.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), picked.len(), "{} duplicated", sched.name());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Bounded wait: under priority aging every job starts no later
+        /// than the serial-execution bound (sum of all walltimes). The
+        /// reservation guarantees progress — once a job ages to the top,
+        /// nothing may leapfrog it.
+        #[test]
+        fn prop_priority_aging_never_starves(
+            jobs in proptest::collection::vec((1usize..17, 1u64..501), 1..12),
+            aging_rate in 0.01f64..10.0,
+            core_penalty in 0.0f64..100.0,
+        ) {
+            let total_cores = 16usize;
+            let serial: u64 = jobs.iter().map(|&(_, w)| w).sum();
+            let queue: Vec<PendingView> =
+                jobs.iter().map(|&(c, w)| pv_at(c, w, 0)).collect();
+            let mut sched = PriorityAgingScheduler::new(aging_rate, core_penalty);
+            let drained = drain_start_all(&mut sched, queue, total_cores);
+            prop_assert!(drained.is_some(), "queue never drained: starvation");
+            let last_start = drained.unwrap();
+            prop_assert!(
+                last_start <= SimTime::from_secs(serial),
+                "last start {last_start:?} exceeds serial bound {serial} s"
+            );
+        }
+
+        /// SJF determinism: equal walltime estimates keep arrival order —
+        /// the selection equals a stable sort of the queue by walltime.
+        #[test]
+        fn prop_sjf_ties_break_by_arrival_order(
+            walls in proptest::collection::vec(1u64..6, 1..16),
+        ) {
+            let queue: Vec<PendingView> =
+                walls.iter().map(|&w| pv_at(1, w, 0)).collect();
+            let mut sched = SjfScheduler;
+            // Every 1-core job fits: selection order IS the ranking.
+            let picked = sched.select(&queue, queue.len(), SimTime::ZERO, &[]);
+            let mut expect: Vec<usize> = (0..queue.len()).collect();
+            expect.sort_by_key(|&i| (walls[i], i));
+            prop_assert_eq!(picked, expect);
         }
     }
 }

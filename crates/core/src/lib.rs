@@ -41,6 +41,7 @@ pub mod overheads;
 pub mod pattern;
 mod plugin_local;
 mod plugin_sim;
+pub mod registry;
 pub mod report;
 pub mod resource;
 pub mod session;
@@ -57,6 +58,9 @@ pub use pattern::{
     BagOfTasks, ConcurrentPatterns, EnsembleExchange, EnsembleOfPipelines, ExchangeMode,
     ExecutionPattern, Pipeline, PstTask, PstWorkflow, SequencePattern, SimulationAnalysisLoop,
     Stage,
+};
+pub use registry::{
+    params_or_default, params_required, require_no_params, ComponentSpec, Registry,
 };
 pub use report::{ExecutionReport, OverheadBreakdown, TaskRecord};
 pub use resource::{

@@ -101,6 +101,10 @@ pub struct SimulatedConfig {
     pub background_load: Option<entk_cluster::cluster::BackgroundLoad>,
     /// Batch-queue policy of the target machine.
     pub batch_policy: BatchPolicy,
+    /// Registered scheduler plugin (see [`crate::registry::schedulers`]);
+    /// when set it overrides `batch_policy`, so a spec file alone can put
+    /// any registered policy on the machine.
+    pub scheduler: Option<crate::registry::ComponentSpec>,
     /// Platform-level fault injection (node crashes, task failures,
     /// stragglers); `None` models a fault-free machine.
     pub fault_profile: Option<entk_cluster::FaultProfile>,
@@ -125,6 +129,7 @@ impl Default for SimulatedConfig {
             pilot_strategy: PilotStrategy::single(),
             background_load: None,
             batch_policy: BatchPolicy::Fifo,
+            scheduler: None,
             fault_profile: None,
             telemetry: true,
         }
@@ -203,6 +208,10 @@ pub struct FederatedConfig {
     pub fault: FaultConfig,
     /// Batch-queue policy of every member cluster.
     pub batch_policy: BatchPolicy,
+    /// Registered scheduler plugin (see [`crate::registry::schedulers`]);
+    /// when set it overrides `batch_policy`. Each member cluster builds
+    /// its own fresh scheduler instance from the resolved factory.
+    pub scheduler: Option<crate::registry::ComponentSpec>,
     /// Wait for all pilots on all clusters before `allocate()` returns
     /// (`false` by default: first active pilot anywhere unblocks the
     /// session — late binding across clusters).
@@ -234,6 +243,7 @@ impl Default for FederatedConfig {
             runtime_overheads: RuntimeOverheads::radical_pilot(),
             fault: FaultConfig::default(),
             batch_policy: BatchPolicy::Fifo,
+            scheduler: None,
             wait_all: false,
             telemetry: true,
             drive: DriveMode::default(),
@@ -299,11 +309,17 @@ impl ResourceHandle {
                 platform.total_cores()
             )));
         }
+        let scheduler = sim
+            .scheduler
+            .as_ref()
+            .map(|spec| crate::registry::schedulers().build(spec, &()))
+            .transpose()?;
         let runtime_config = SimRuntimeConfig {
             overheads: sim.runtime_overheads,
             unit_failure_rate: sim.unit_failure_rate,
             seed: sim.seed ^ 0x52_55_4E,
             batch_policy: sim.batch_policy,
+            scheduler,
             telemetry: sim.telemetry,
         };
         let backend = EventBackend::single(
@@ -344,6 +360,11 @@ impl ResourceHandle {
             ));
         }
         let runtime_seed = config.seed ^ 0x52_55_4E;
+        let scheduler = config
+            .scheduler
+            .as_ref()
+            .map(|spec| crate::registry::schedulers().build(spec, &()))
+            .transpose()?;
         let mut inits = Vec::with_capacity(config.clusters.len());
         for (i, spec) in config.clusters.iter().enumerate() {
             let platform = match spec.platform.clone() {
@@ -373,6 +394,9 @@ impl ResourceHandle {
                     unit_failure_rate: spec.unit_failure_rate,
                     seed: cluster_seed,
                     batch_policy: config.batch_policy,
+                    // The factory is shared; each member's runtime builds
+                    // its own fresh scheduler instance from it.
+                    scheduler: scheduler.clone(),
                     telemetry: config.telemetry,
                 },
                 pilot_count: spec.pilots,

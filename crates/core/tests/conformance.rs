@@ -345,6 +345,90 @@ fn federated_reports_span_all_clusters() {
 }
 
 #[test]
+fn pattern_semantics_hold_under_every_registered_scheduler() {
+    // The registry sweep: every named scheduler plugin must preserve
+    // pattern semantics on the simulated backend and on both federated
+    // drive modes — scheduling policy may reorder starts, never outcomes.
+    for name in entk_core::registry::schedulers().names() {
+        let spec = entk_core::ComponentSpec::named(name);
+        let config = ResourceConfig::new("xsede.comet", 4, SimDuration::from_secs(100_000));
+        let sim = SimulatedConfig {
+            scheduler: Some(spec.clone()),
+            telemetry: false,
+            ..SimulatedConfig::default()
+        };
+        let mut h = ResourceHandle::simulated(config, sim).expect("simulated handle");
+        h.allocate().expect("allocate");
+        let mut pattern = tiny_eop();
+        let report = h.run(&mut pattern).expect("run");
+        h.deallocate().expect("deallocate");
+        assert_eq!(report.task_count(), 6, "{name}: sim task count");
+        assert_eq!(report.failed_tasks, 0, "{name}: sim failures");
+        assert!(!report.partial, "{name}: sim complete");
+
+        for drive in [DriveMode::Parallel, DriveMode::Serial] {
+            let config = FederatedConfig {
+                scheduler: Some(spec.clone()),
+                telemetry: false,
+                drive,
+                clusters: vec![
+                    ClusterSpec::new("xsede.comet", 2, SimDuration::from_secs(100_000)),
+                    ClusterSpec::new("xsede.stampede", 2, SimDuration::from_secs(100_000)),
+                ],
+                ..FederatedConfig::default()
+            };
+            let mut h = ResourceHandle::federated(config).expect("federated handle");
+            h.allocate().expect("allocate");
+            let mut pattern = tiny_eop();
+            let report = h.run(&mut pattern).expect("run");
+            h.deallocate().expect("deallocate");
+            assert_eq!(report.task_count(), 6, "{name}/{drive:?}: fed task count");
+            assert_eq!(report.failed_tasks, 0, "{name}/{drive:?}: fed failures");
+            assert!(!report.partial, "{name}/{drive:?}: fed complete");
+        }
+    }
+}
+
+#[test]
+fn named_fifo_plugin_is_trace_identical_to_the_default_policy() {
+    // Selecting "fifo" through the registry must not perturb a single
+    // event relative to the pre-registry default batch policy.
+    let run = |scheduler: Option<entk_core::ComponentSpec>| {
+        let config = ResourceConfig::new("xsede.comet", 4, SimDuration::from_secs(100_000));
+        let sim = SimulatedConfig {
+            seed: 11,
+            scheduler,
+            ..SimulatedConfig::default()
+        };
+        let mut pattern = tiny_eop();
+        let (report, telemetry) =
+            entk_core::resource::run_simulated_traced(config, sim, &mut pattern).expect("run");
+        (report.ttc, telemetry.tracer.to_jsonl())
+    };
+    let (default_ttc, default_trace) = run(None);
+    let (fifo_ttc, fifo_trace) = run(Some(entk_core::ComponentSpec::named("fifo")));
+    assert_eq!(default_ttc, fifo_ttc);
+    assert_eq!(default_trace, fifo_trace);
+}
+
+#[test]
+fn unknown_scheduler_plugin_fails_with_registered_names() {
+    let config = ResourceConfig::new("xsede.comet", 4, SimDuration::from_secs(100_000));
+    let sim = SimulatedConfig {
+        scheduler: Some(entk_core::ComponentSpec::named("priority")),
+        ..SimulatedConfig::default()
+    };
+    match ResourceHandle::simulated(config, sim).err() {
+        Some(EntkError::Usage(msg)) => {
+            assert!(msg.contains("unknown scheduler \"priority\""), "{msg}");
+            assert!(msg.contains("priority_aging"), "{msg}");
+            assert!(msg.contains("round_robin"), "{msg}");
+        }
+        other => panic!("unknown scheduler gave {other:?}"),
+    }
+}
+
+#[test]
 fn federated_survives_a_crash_heavy_member() {
     // One clean cluster + one crash-heavy cluster: the session retries
     // casualties and still completes every task.

@@ -59,10 +59,12 @@ impl KernelRegistry {
 
     /// Looks up a plugin.
     pub fn get(&self, name: &str) -> Result<Arc<dyn KernelPlugin>, KernelError> {
-        self.plugins
-            .get(name)
-            .cloned()
-            .ok_or_else(|| KernelError::new(format!("unknown kernel plugin {name:?}")))
+        self.plugins.get(name).cloned().ok_or_else(|| {
+            KernelError::new(format!(
+                "unknown kernel plugin {name:?} (registered: {})",
+                self.names().join(", ")
+            ))
+        })
     }
 
     /// Registered plugin names, sorted.

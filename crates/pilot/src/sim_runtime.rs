@@ -98,6 +98,11 @@ pub struct SimRuntimeConfig {
     pub seed: u64,
     /// Batch-queue policy of the target machine.
     pub batch_policy: BatchPolicy,
+    /// Plugin scheduler factory; when set it overrides `batch_policy`.
+    /// Federated sessions build one fresh scheduler per member cluster so
+    /// stateful policies (fair-share ledgers, rotation cursors) are never
+    /// shared across machines.
+    pub scheduler: Option<entk_cluster::SchedulerFactory>,
     /// Collect the cross-layer trace and metrics. Disabling skips every
     /// telemetry record, which matters at million-task scale where the
     /// trace itself (tens of millions of records) dominates memory and a
@@ -113,6 +118,7 @@ impl Default for SimRuntimeConfig {
             unit_failure_rate: 0.0,
             seed: 0x5EED,
             batch_policy: BatchPolicy::Fifo,
+            scheduler: None,
             telemetry: true,
         }
     }
@@ -212,10 +218,13 @@ impl SimRuntime {
         telemetry: SharedTelemetry,
     ) -> Self {
         let seed = config.seed;
-        let scheduler: Box<dyn entk_cluster::BatchScheduler> = match config.batch_policy {
-            BatchPolicy::Fifo => Box::new(FifoScheduler),
-            BatchPolicy::Backfill => Box::new(EasyBackfillScheduler),
-            BatchPolicy::FairShare => Box::new(FairShareScheduler::new(3600.0)),
+        let scheduler: Box<dyn entk_cluster::BatchScheduler> = match &config.scheduler {
+            Some(factory) => factory.build(),
+            None => match config.batch_policy {
+                BatchPolicy::Fifo => Box::new(FifoScheduler),
+                BatchPolicy::Backfill => Box::new(EasyBackfillScheduler),
+                BatchPolicy::FairShare => Box::new(FairShareScheduler::new(3600.0)),
+            },
         };
         let mut cluster = Cluster::with_scheduler(spec, seed ^ 0xC1u64, scheduler);
         cluster.set_telemetry(telemetry.clone());
@@ -1115,6 +1124,7 @@ pub(crate) mod tests {
             unit_failure_rate: 0.0,
             seed: 7,
             batch_policy: BatchPolicy::Fifo,
+            scheduler: None,
             telemetry: true,
         }
     }

@@ -448,7 +448,7 @@ impl ArrivalStream for OpenLoopStream {
                 burst_size,
                 mean_gap_secs,
             } => {
-                if i > 0 && i % burst_size == 0 {
+                if i > 0 && i.is_multiple_of(burst_size) {
                     self.rng.exponential(mean_gap_secs)
                 } else if i == 0 {
                     0.0

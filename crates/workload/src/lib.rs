@@ -36,22 +36,24 @@
 pub mod arrival;
 pub mod runner;
 pub mod service;
+pub mod sink;
 pub mod spec;
 pub mod trace;
 
 pub use arrival::{
-    ArrivalProcess, ArrivalStream, IntoArrivalStream, OpenLoopProcess, PatternKind,
-    SessionArrival, VecStream, WorkloadGenerator, SUPPORTED_KERNELS,
+    ArrivalProcess, ArrivalStream, IntoArrivalStream, OpenLoopProcess, PatternKind, SessionArrival,
+    VecStream, WorkloadGenerator, SUPPORTED_KERNELS,
 };
 pub use runner::{
     fnv64, fnv64_update, serve, SessionRecord, SessionStatus, StreamBackend, TenantLatency,
     WorkloadConfig, WorkloadOutcome, WorkloadReport, IN_SERVICE_GAUGE, QUEUE_DEPTH_GAUGE,
 };
 pub use service::{
-    session_seed, AdmissionPolicy, AdmissionSample, EngineOptions, SaturationMode, ServeStats,
-    ServiceCheckpoint, ServiceConfig, ServiceEngine,
+    admission_policies, session_seed, AdmissionPolicy, AdmissionSample, EngineOptions,
+    SaturationMode, ServeStats, ServiceCheckpoint, ServiceConfig, ServiceEngine,
 };
-pub use spec::{SourceSpec, StreamSpec};
+pub use sink::{dispatch, sinks, GaugesSink, JsonlSink, ReportSink, SummarySink};
+pub use spec::{sources, SourceCtx, SourceDecl, StreamSpec};
 pub use trace::{
     parse_trace, render_trace, CsvStream, CsvTrace, HotTenantTrace, SyntheticTrace, TRACE_HEADER,
 };

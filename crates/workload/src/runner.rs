@@ -76,6 +76,11 @@ pub struct WorkloadConfig {
     /// session's backend (0 = clean runs; 1 forces every session to
     /// degrade to a partial result).
     pub unit_failure_rate: f64,
+    /// Registered batch-scheduler plugin threaded into every session's
+    /// backend (`None` keeps the backend's policy default).
+    pub scheduler: Option<entk_core::ComponentSpec>,
+    /// Retry / timeout fault policy threaded into every session's backend.
+    pub fault: entk_core::FaultConfig,
 }
 
 impl Default for WorkloadConfig {
@@ -86,6 +91,8 @@ impl Default for WorkloadConfig {
             slots: 4,
             backend: StreamBackend::Simulated,
             unit_failure_rate: 0.0,
+            scheduler: None,
+            fault: entk_core::FaultConfig::default(),
         }
     }
 }
@@ -443,7 +450,11 @@ mod tests {
     #[test]
     fn stream_misuse_is_rejected() {
         let arrivals = small_stream();
-        assert!(serve(&WorkloadConfig::default(), Vec::<crate::SessionArrival>::new()).is_err());
+        assert!(serve(
+            &WorkloadConfig::default(),
+            Vec::<crate::SessionArrival>::new()
+        )
+        .is_err());
         assert!(serve(
             &WorkloadConfig {
                 slots: 0,

@@ -126,17 +126,10 @@ impl AdmissionPolicy {
         }
     }
 
-    /// Parses a policy name (`fifo`, `fair`, `fair-share`).
+    /// Parses a policy name through the registry (`fifo`, `fair`,
+    /// `fair-share`); unknown names list the registered alternatives.
     pub fn parse(s: &str) -> Result<Self, EntkError> {
-        match s {
-            "fifo" => Ok(AdmissionPolicy::Fifo),
-            "fair" | "fair-share" => Ok(AdmissionPolicy::FairShare {
-                half_life_secs: 0.0,
-            }),
-            other => Err(EntkError::Usage(format!(
-                "unknown admission policy {other:?} (use \"fifo\" or \"fair\")"
-            ))),
-        }
+        admission_policies().build_named(s, &())
     }
 
     fn half_life_secs(self) -> f64 {
@@ -145,6 +138,48 @@ impl AdmissionPolicy {
             AdmissionPolicy::FairShare { half_life_secs } => half_life_secs,
         }
     }
+}
+
+/// Params of the `fair` admission-policy plugin.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct FairAdmissionParams {
+    /// Usage decay half-life in virtual seconds (0 = no decay).
+    #[serde(default)]
+    half_life_secs: f64,
+}
+
+impl Default for FairAdmissionParams {
+    fn default() -> Self {
+        FairAdmissionParams {
+            half_life_secs: 0.0,
+        }
+    }
+}
+
+/// The admission-policy registry: every name `entk serve --policy` and the
+/// spec file's `"policy"` key accept. `fair` and `fair-share` are the same
+/// plugin; a zero half-life means "take the spec's top-level
+/// `half_life_secs`" (the pre-registry behaviour of `--policy fair`).
+pub fn admission_policies() -> &'static entk_core::Registry<AdmissionPolicy> {
+    static TABLE: std::sync::OnceLock<entk_core::Registry<AdmissionPolicy>> =
+        std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut r = entk_core::Registry::new("admission policy");
+        r.register("fifo", |_: &(), params| {
+            entk_core::require_no_params("admission policy", "fifo", params)?;
+            Ok(AdmissionPolicy::Fifo)
+        });
+        for name in ["fair", "fair-share"] {
+            r.register(name, move |_: &(), params| {
+                let p: FairAdmissionParams =
+                    entk_core::params_or_default("admission policy", name, params)?;
+                Ok(AdmissionPolicy::FairShare {
+                    half_life_secs: p.half_life_secs,
+                })
+            });
+        }
+        r
+    })
 }
 
 /// What happens to an arrival when the pending queue is at its bound.
@@ -278,6 +313,8 @@ fn evaluate_session(
             let sim = SimulatedConfig {
                 seed,
                 unit_failure_rate: config.unit_failure_rate,
+                fault: config.fault,
+                scheduler: config.scheduler.clone(),
                 ..Default::default()
             };
             run_simulated_traced(rc, sim, pattern.as_mut())
@@ -291,6 +328,8 @@ fn evaluate_session(
                         ..ClusterSpec::new(config.resource.clone(), arrival.cores, walltime)
                     })
                     .collect(),
+                fault: config.fault,
+                scheduler: config.scheduler.clone(),
                 ..FederatedConfig::default()
             };
             run_federated_traced(fed, pattern.as_mut())
@@ -479,9 +518,9 @@ pub struct ServeStats {
     pub stream_fp: String,
     /// Bytes of JSONL written to the sink.
     pub jsonl_bytes: u64,
-    /// Peak resident sessions (read-ahead + queued + deferred + in-flight
-    /// + reorder buffer) — the bounded-memory witness: independent of
-    /// stream length.
+    /// Peak resident sessions (read-ahead + queued + deferred +
+    /// in-flight + reorder buffer) — the bounded-memory witness:
+    /// independent of stream length.
     pub peak_resident_sessions: usize,
 }
 
@@ -610,6 +649,14 @@ pub struct ServiceCheckpoint {
     pub strict: bool,
     /// Per-unit failure-injection rate of the stream config.
     pub unit_failure_rate: f64,
+    /// Scheduler plugin of the stream config (`None` = backend default;
+    /// absent in pre-registry checkpoints, which restore as the default).
+    #[serde(default)]
+    pub scheduler: Option<entk_core::ComponentSpec>,
+    /// Session fault policy of the stream config (absent in pre-registry
+    /// checkpoints, which restore as the default).
+    #[serde(default)]
+    pub fault: Option<entk_core::FaultConfig>,
     /// FNV-1a 64 fingerprint of the rendered arrival-trace *prefix*
     /// ingested so far (header plus rows `0..next_arrival`), so a
     /// checkpoint cannot silently resume against a stream whose served
@@ -753,7 +800,11 @@ impl ServiceEngine {
 
     /// A fully-initialized engine at the start-of-stream state, before
     /// the read-ahead prime. Shared by construction and restore.
-    fn empty(config: ServiceConfig, options: EngineOptions, stream: Box<dyn ArrivalStream>) -> Self {
+    fn empty(
+        config: ServiceConfig,
+        options: EngineOptions,
+        stream: Box<dyn ArrivalStream>,
+    ) -> Self {
         let eval = EvalPool::new(config.stream.clone(), options.eval_workers);
         ServiceEngine {
             ledger: entk_cluster::UsageLedger::new(config.policy.half_life_secs()),
@@ -843,9 +894,7 @@ impl ServiceEngine {
     /// Arrival instant of the next not-yet-ingested session, if any.
     /// Valid only immediately after [`ServiceEngine::fill_readahead`].
     fn peek_arrival(&self) -> Option<SimTime> {
-        self.readahead
-            .front()
-            .map(|i| self.held[i].arrival)
+        self.readahead.front().map(|i| self.held[i].arrival)
     }
 
     /// Sessions resident right now, in any form — the quantity whose peak
@@ -1147,6 +1196,8 @@ impl ServiceEngine {
             saturation: self.config.saturation.label().to_string(),
             strict: self.config.strict,
             unit_failure_rate: s.unit_failure_rate,
+            scheduler: s.scheduler.clone(),
+            fault: Some(s.fault),
             arrivals_fp: format!("{:016x}", self.prefix_fp),
             clock_us: self.clock.as_micros(),
             next_arrival: self.next_arrival,
@@ -1223,6 +1274,8 @@ impl ServiceEngine {
                 ckpt.unit_failure_rate != s.unit_failure_rate,
                 "unit_failure_rate",
             ),
+            (ckpt.scheduler != s.scheduler, "scheduler"),
+            (ckpt.fault.unwrap_or_default() != s.fault, "fault"),
         ]
         .iter()
         .filter_map(|&(differs, name)| differs.then_some(name))

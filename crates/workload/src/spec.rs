@@ -1,6 +1,8 @@
-//! JSON stream specifications: declare a workload source (arrival process
-//! or trace) and the shared backend it is served on; used by
-//! `entk run --workload spec.json`.
+//! JSON stream specifications: one spec file selects the workload source,
+//! backend, admission policy, batch-scheduler plugin, fault grid, and
+//! report sinks of a run — every component resolved by name through the
+//! registries, never a `match` arm. Used by both `entk run --workload`
+//! and `entk serve` (one loader, same line-numbered errors).
 //!
 //! ```json
 //! {
@@ -8,19 +10,27 @@
 //!   "resource": "xsede.stampede",
 //!   "slots": 4,
 //!   "backend": "simulated",
+//!   "policy": "fair",
+//!   "scheduler": { "name": "priority_aging", "params": { "aging_rate": 2.0 } },
+//!   "fault": { "name": "retries", "params": { "max_retries": 2 } },
+//!   "sinks": [ { "name": "jsonl", "params": { "path": "rows.jsonl" } } ],
 //!   "source": { "kind": "poisson", "sessions": 50, "tenants": 8,
 //!               "mean_interarrival_secs": 30.0 }
 //! }
 //! ```
 
-use crate::arrival::{
-    ArrivalStream, OpenLoopProcess, SessionArrival, WorkloadGenerator,
-};
+use crate::arrival::{ArrivalStream, OpenLoopProcess, SessionArrival, WorkloadGenerator};
 use crate::runner::{StreamBackend, WorkloadConfig, WorkloadOutcome};
-use crate::service::{AdmissionPolicy, SaturationMode, ServiceConfig, ServiceEngine};
-use crate::trace::{CsvTrace, SyntheticTrace};
-use entk_core::EntkError;
-use serde::{Deserialize, Serialize};
+use crate::service::{
+    admission_policies, AdmissionPolicy, SaturationMode, ServiceConfig, ServiceEngine,
+};
+use crate::sink::{sinks, ReportSink};
+use crate::trace::{CsvTrace, HotTenantTrace, SyntheticTrace};
+use entk_core::registry::{faults, schedulers};
+use entk_core::{params_required, ComponentSpec, EntkError, Registry};
+use serde::{DeError, Deserialize, Serialize};
+use serde_json::Value;
+use std::sync::OnceLock;
 
 /// Top-level stream specification.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -40,10 +50,12 @@ pub struct StreamSpec {
     /// Member clusters per session on the federated backend.
     #[serde(default = "default_members")]
     pub members: usize,
-    /// Admission policy: `"fifo"` (default) or `"fair"`.
+    /// Admission policy plugin: `"fifo"` (default), `"fair"`, or an
+    /// object with params.
     #[serde(default = "default_policy")]
-    pub policy: String,
-    /// Fair-share usage half-life in virtual seconds (0 = no decay).
+    pub policy: ComponentSpec,
+    /// Fair-share usage half-life in virtual seconds (0 = no decay);
+    /// used when the policy's own params leave it unset.
     #[serde(default)]
     pub half_life_secs: f64,
     /// Bound on the pending admission queue (`null` = unbounded).
@@ -58,8 +70,19 @@ pub struct StreamSpec {
     /// Per-unit failure-injection probability for every session backend.
     #[serde(default)]
     pub unit_failure_rate: f64,
+    /// Batch-scheduler plugin threaded into every session's backend
+    /// (`null` keeps the backend's policy default).
+    #[serde(default)]
+    pub scheduler: Option<ComponentSpec>,
+    /// Fault-grid plugin threaded into every session's backend (`null`
+    /// means no retries, no watchdog).
+    #[serde(default)]
+    pub fault: Option<ComponentSpec>,
+    /// Report sinks fed as the stream is served (empty = report only).
+    #[serde(default)]
+    pub sinks: Vec<ComponentSpec>,
     /// Where the arrivals come from.
-    pub source: SourceSpec,
+    pub source: SourceDecl,
 }
 
 fn default_seed() -> u64 {
@@ -77,81 +100,249 @@ fn default_backend() -> String {
 fn default_members() -> usize {
     2
 }
-fn default_policy() -> String {
-    "fifo".into()
+fn default_policy() -> ComponentSpec {
+    ComponentSpec::named("fifo")
 }
 fn default_saturation() -> String {
     "reject".into()
 }
 
-/// The workload sources a spec may declare.
+/// A workload-source declaration: a JSON object whose `"kind"` names a
+/// registered source plugin; the rest of the object is that plugin's
+/// typed params (validated by the factory, not here).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceDecl {
+    /// Registered source name (`poisson`, `burst`, `synthetic`,
+    /// `hot_tenant`, `trace`/`csv`).
+    pub kind: String,
+    /// The full declaration object, `"kind"` included.
+    pub decl: Value,
+}
+
+impl SourceDecl {
+    /// A declaration assembled from a kind and its params object.
+    pub fn new(kind: impl Into<String>, decl: Value) -> Self {
+        SourceDecl {
+            kind: kind.into(),
+            decl,
+        }
+    }
+}
+
+impl Serialize for SourceDecl {
+    fn to_value(&self) -> Value {
+        self.decl.clone()
+    }
+}
+
+impl Deserialize for SourceDecl {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v.as_object().ok_or_else(|| {
+            DeError::custom("workload source must be an object with a \"kind\" field".to_string())
+        })?;
+        let kind = obj.get("kind").and_then(Value::as_str).ok_or_else(|| {
+            DeError::custom("workload source needs a string \"kind\" field".to_string())
+        })?;
+        Ok(SourceDecl {
+            kind: kind.to_string(),
+            decl: v.clone(),
+        })
+    }
+}
+
+/// Build context of workload-source factories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceCtx {
+    /// Master seed; every generated source derives from it.
+    pub seed: u64,
+}
+
+/// Params of the `poisson` source plugin.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-#[serde(tag = "kind", rename_all = "snake_case")]
-pub enum SourceSpec {
-    /// Seeded Poisson arrival process.
-    Poisson {
-        /// Sessions to emit.
-        sessions: usize,
-        /// Tenant population size.
-        tenants: u64,
-        /// Mean inter-arrival gap, seconds.
-        mean_interarrival_secs: f64,
-    },
-    /// Seeded bursty arrival process.
-    Burst {
-        /// Sessions to emit.
-        sessions: usize,
-        /// Tenant population size.
-        tenants: u64,
-        /// Sessions per burst.
-        burst_size: usize,
-        /// Mean gap between bursts, seconds.
-        mean_gap_secs: f64,
-    },
-    /// The in-repo synthetic trace mixture.
-    Synthetic {
-        /// Sessions to emit.
-        sessions: usize,
-        /// Tenant population size.
-        tenants: u64,
-    },
-    /// A CSV trace file in the canonical schema.
-    Trace {
-        /// Path to the trace file.
-        path: String,
-    },
+struct PoissonParams {
+    /// Sessions to emit.
+    sessions: usize,
+    /// Tenant population size.
+    tenants: u64,
+    /// Mean inter-arrival gap, seconds.
+    mean_interarrival_secs: f64,
+}
+
+/// Params of the `burst` source plugin.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BurstParams {
+    /// Sessions to emit.
+    sessions: usize,
+    /// Tenant population size.
+    tenants: u64,
+    /// Sessions per burst.
+    burst_size: usize,
+    /// Mean gap between bursts, seconds.
+    mean_gap_secs: f64,
+}
+
+/// Params of the `synthetic` and `hot_tenant` source plugins.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct MixtureParams {
+    /// Sessions to emit.
+    sessions: usize,
+    /// Tenant population size.
+    tenants: u64,
+}
+
+/// Params of the `trace` (alias `csv`) source plugin.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TraceParams {
+    /// Path to the trace file.
+    path: String,
+}
+
+/// The workload-source registry: every `"kind"` a spec's `"source"`
+/// object can name. Factories open the source as a lazy pull stream.
+pub fn sources() -> &'static Registry<Box<dyn ArrivalStream>, SourceCtx> {
+    static TABLE: OnceLock<Registry<Box<dyn ArrivalStream>, SourceCtx>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut r = Registry::new("workload source");
+        r.register("poisson", |ctx: &SourceCtx, params| {
+            let p: PoissonParams = params_required("workload source", "poisson", params)?;
+            OpenLoopProcess::poisson(ctx.seed, p.sessions, p.tenants, p.mean_interarrival_secs)
+                .stream()
+        });
+        r.register("burst", |ctx: &SourceCtx, params| {
+            let p: BurstParams = params_required("workload source", "burst", params)?;
+            OpenLoopProcess::burst(
+                ctx.seed,
+                p.sessions,
+                p.tenants,
+                p.burst_size,
+                p.mean_gap_secs,
+            )
+            .stream()
+        });
+        r.register("synthetic", |ctx: &SourceCtx, params| {
+            let p: MixtureParams = params_required("workload source", "synthetic", params)?;
+            SyntheticTrace::new(ctx.seed, p.sessions, p.tenants).stream()
+        });
+        r.register("hot_tenant", |ctx: &SourceCtx, params| {
+            let p: MixtureParams = params_required("workload source", "hot_tenant", params)?;
+            HotTenantTrace::new(ctx.seed, p.sessions, p.tenants).stream()
+        });
+        for name in ["trace", "csv"] {
+            r.register(name, move |_: &SourceCtx, params| {
+                let p: TraceParams = params_required("workload source", name, params)?;
+                CsvTrace::from_path(&p.path)?.stream()
+            });
+        }
+        r
+    })
+}
+
+/// 1-based line of the first occurrence of `"needle"` (quoted) in the
+/// spec text — good enough to point at the offending key or name.
+fn line_of(text: &str, needle: &str) -> Option<usize> {
+    let pos = text.find(&format!("\"{needle}\""))?;
+    Some(text[..pos].bytes().filter(|&b| b == b'\n').count() + 1)
+}
+
+/// Prefixes a usage message with the spec line the `needle` sits on.
+fn usage_at(text: &str, needle: &str, err: EntkError) -> EntkError {
+    match (line_of(text, needle), err) {
+        (Some(line), EntkError::Usage(msg)) => {
+            EntkError::Usage(format!("workload spec line {line}: {msg}"))
+        }
+        (_, err) => err,
+    }
 }
 
 impl StreamSpec {
-    /// Parses a spec from JSON text.
+    /// Parses and validates a spec from JSON text: unknown top-level keys
+    /// and unregistered component names fail as [`EntkError::Usage`] with
+    /// the offending line number and the valid alternatives. This is the
+    /// one loader behind `entk run --workload` and `entk serve`.
     pub fn from_json(text: &str) -> Result<Self, EntkError> {
-        serde_json::from_str(text).map_err(|e| EntkError::Usage(format!("bad workload spec: {e}")))
+        const KNOWN: [&str; 15] = [
+            "seed",
+            "resource",
+            "slots",
+            "backend",
+            "members",
+            "policy",
+            "half_life_secs",
+            "max_queue_depth",
+            "saturation",
+            "strict",
+            "unit_failure_rate",
+            "scheduler",
+            "fault",
+            "sinks",
+            "source",
+        ];
+        let value: Value = serde_json::from_str(text)
+            .map_err(|e| EntkError::Usage(format!("bad workload spec: {e}")))?;
+        let obj = value.as_object().ok_or_else(|| {
+            EntkError::Usage("bad workload spec: expected a JSON object".to_string())
+        })?;
+        for key in obj.keys() {
+            if !KNOWN.contains(&key.as_str()) {
+                return Err(usage_at(
+                    text,
+                    key,
+                    EntkError::Usage(format!(
+                        "unknown key {key:?} (known keys: {})",
+                        KNOWN.join(", ")
+                    )),
+                ));
+            }
+        }
+        let spec: StreamSpec = serde_json::from_value(&value)
+            .map_err(|e| EntkError::Usage(format!("bad workload spec: {e}")))?;
+        spec.check_names(text)?;
+        Ok(spec)
+    }
+
+    /// Rejects unregistered component names up front, pointing at the
+    /// spec line that names them.
+    fn check_names(&self, text: &str) -> Result<(), EntkError> {
+        let policies = admission_policies();
+        if !policies.contains(&self.policy.name) {
+            return Err(usage_at(
+                text,
+                &self.policy.name,
+                policies.unknown(&self.policy.name),
+            ));
+        }
+        if let Some(s) = &self.scheduler {
+            if !schedulers().contains(&s.name) {
+                return Err(usage_at(text, &s.name, schedulers().unknown(&s.name)));
+            }
+        }
+        if let Some(f) = &self.fault {
+            if !faults().contains(&f.name) {
+                return Err(usage_at(text, &f.name, faults().unknown(&f.name)));
+            }
+        }
+        for sink in &self.sinks {
+            if !sinks().contains(&sink.name) {
+                return Err(usage_at(text, &sink.name, sinks().unknown(&sink.name)));
+            }
+        }
+        if !sources().contains(&self.source.kind) {
+            return Err(usage_at(
+                text,
+                &self.source.kind,
+                sources().unknown(&self.source.kind),
+            ));
+        }
+        Ok(())
     }
 
     /// Opens the spec's arrival source as a lazy pull stream (without
     /// serving or materializing it).
     pub fn source_stream(&self) -> Result<Box<dyn ArrivalStream>, EntkError> {
-        match &self.source {
-            SourceSpec::Poisson {
-                sessions,
-                tenants,
-                mean_interarrival_secs,
-            } => OpenLoopProcess::poisson(self.seed, *sessions, *tenants, *mean_interarrival_secs)
-                .stream(),
-            SourceSpec::Burst {
-                sessions,
-                tenants,
-                burst_size,
-                mean_gap_secs,
-            } => {
-                OpenLoopProcess::burst(self.seed, *sessions, *tenants, *burst_size, *mean_gap_secs)
-                    .stream()
-            }
-            SourceSpec::Synthetic { sessions, tenants } => {
-                SyntheticTrace::new(self.seed, *sessions, *tenants).stream()
-            }
-            SourceSpec::Trace { path } => CsvTrace::from_path(path)?.stream(),
-        }
+        sources().build(
+            &ComponentSpec::with_params(self.source.kind.clone(), self.source.decl.clone()),
+            &SourceCtx { seed: self.seed },
+        )
     }
 
     /// Generates the spec's arrivals (without serving them).
@@ -164,7 +355,9 @@ impl StreamSpec {
         Ok(out)
     }
 
-    /// Compiles the backend/slots/seed fields into a runner config.
+    /// Compiles the backend/slots/seed fields — plus the scheduler and
+    /// fault plugins — into a runner config. Plugin params are built once
+    /// here so a bad params block fails before any session runs.
     pub fn config(&self) -> Result<WorkloadConfig, EntkError> {
         let backend = match self.backend.as_str() {
             "simulated" => StreamBackend::Simulated,
@@ -177,24 +370,35 @@ impl StreamSpec {
                 )))
             }
         };
+        if let Some(spec) = &self.scheduler {
+            schedulers().build(spec, &())?;
+        }
+        let fault = match &self.fault {
+            Some(spec) => faults().build(spec, &())?,
+            None => entk_core::FaultConfig::default(),
+        };
         Ok(WorkloadConfig {
             seed: self.seed,
             resource: self.resource.clone(),
             slots: self.slots,
             backend,
             unit_failure_rate: self.unit_failure_rate,
+            scheduler: self.scheduler.clone(),
+            fault,
         })
     }
 
     /// Compiles the full service configuration: the runner config plus
-    /// admission policy, backpressure, and failure-strictness.
+    /// admission policy, backpressure, and failure-strictness. A
+    /// fair-share policy whose params leave the half-life at zero takes
+    /// the spec's top-level `half_life_secs` (the pre-registry shape).
     pub fn service_config(&self) -> Result<ServiceConfig, EntkError> {
-        let policy = match AdmissionPolicy::parse(&self.policy)? {
-            AdmissionPolicy::Fifo => AdmissionPolicy::Fifo,
-            AdmissionPolicy::FairShare { .. } => AdmissionPolicy::FairShare {
-                half_life_secs: self.half_life_secs,
-            },
-        };
+        let mut policy = admission_policies().build(&self.policy, &())?;
+        if let AdmissionPolicy::FairShare { half_life_secs } = &mut policy {
+            if *half_life_secs == 0.0 {
+                *half_life_secs = self.half_life_secs;
+            }
+        }
         Ok(ServiceConfig {
             stream: self.config()?,
             policy,
@@ -204,8 +408,14 @@ impl StreamSpec {
         })
     }
 
+    /// Builds the spec's report sinks (opens their output files).
+    pub fn build_sinks(&self) -> Result<Vec<Box<dyn ReportSink>>, EntkError> {
+        self.sinks.iter().map(|s| sinks().build(s, &())).collect()
+    }
+
     /// Generates and serves the stream under the spec's full service
-    /// configuration.
+    /// configuration. Declared sinks are not driven here — callers that
+    /// want them feed the outcome through [`crate::sink::dispatch`].
     pub fn run(&self) -> Result<WorkloadOutcome, EntkError> {
         let arrivals = self.arrivals()?;
         ServiceEngine::new(self.service_config()?, &arrivals)?.run()
@@ -227,6 +437,7 @@ mod tests {
         let spec = StreamSpec::from_json(text).unwrap();
         assert_eq!(spec.backend, "simulated");
         assert_eq!(spec.resource, "xsede.stampede");
+        assert_eq!(spec.policy, ComponentSpec::named("fifo"));
         let out = spec.run().unwrap();
         assert_eq!(out.report.sessions, 8);
         assert!(out.report.max_cross_check_err_secs <= 1e-6);
@@ -260,5 +471,97 @@ mod tests {
             "source": { "kind": "trace", "path": "/nonexistent/trace.csv" }
         }"#;
         assert!(StreamSpec::from_json(missing_trace).unwrap().run().is_err());
+    }
+
+    #[test]
+    fn unknown_keys_fail_with_their_line_number() {
+        let text = r#"{
+            "seed": 7,
+            "polcy": "fifo",
+            "source": { "kind": "synthetic", "sessions": 4, "tenants": 2 }
+        }"#;
+        let err = StreamSpec::from_json(text).expect_err("typoed key");
+        let msg = err.to_string();
+        assert!(msg.contains("workload spec line 3"), "{msg}");
+        assert!(msg.contains("unknown key \"polcy\""), "{msg}");
+        assert!(msg.contains("policy"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_component_names_fail_with_line_and_alternatives() {
+        let text = r#"{
+            "policy": "priority",
+            "source": { "kind": "synthetic", "sessions": 4, "tenants": 2 }
+        }"#;
+        let err = StreamSpec::from_json(text).expect_err("unregistered policy");
+        let msg = err.to_string();
+        assert!(msg.contains("workload spec line 2"), "{msg}");
+        assert!(msg.contains("unknown admission policy"), "{msg}");
+        assert!(msg.contains("fifo") && msg.contains("fair"), "{msg}");
+
+        let text = r#"{
+            "scheduler": "sjw",
+            "source": { "kind": "synthetic", "sessions": 4, "tenants": 2 }
+        }"#;
+        let msg = StreamSpec::from_json(text).unwrap_err().to_string();
+        assert!(msg.contains("unknown scheduler \"sjw\""), "{msg}");
+        assert!(msg.contains("sjf"), "{msg}");
+
+        let text = r#"{
+            "source": { "kind": "cloud", "sessions": 4, "tenants": 2 }
+        }"#;
+        let msg = StreamSpec::from_json(text).unwrap_err().to_string();
+        assert!(msg.contains("unknown workload source \"cloud\""), "{msg}");
+        assert!(msg.contains("hot_tenant"), "{msg}");
+    }
+
+    #[test]
+    fn spec_selects_scheduler_fault_and_sinks_from_registries() {
+        let text = r#"{
+            "seed": 11,
+            "slots": 2,
+            "policy": "fair",
+            "half_life_secs": 600.0,
+            "scheduler": { "name": "priority_aging",
+                           "params": { "aging_rate": 2.0, "core_penalty": 1.0 } },
+            "fault": { "name": "retries", "params": { "max_retries": 2 } },
+            "source": { "kind": "hot_tenant", "sessions": 6, "tenants": 3 }
+        }"#;
+        let spec = StreamSpec::from_json(text).unwrap();
+        let service = spec.service_config().unwrap();
+        assert_eq!(
+            service.policy,
+            AdmissionPolicy::FairShare {
+                half_life_secs: 600.0
+            }
+        );
+        assert_eq!(service.stream.fault.max_retries, 2);
+        assert_eq!(
+            service.stream.scheduler.as_ref().map(|s| s.name.as_str()),
+            Some("priority_aging")
+        );
+        let out = spec.run().unwrap();
+        assert_eq!(out.report.sessions, 6);
+        assert_eq!(out.report.policy, "fair-share");
+    }
+
+    #[test]
+    fn scheduler_plugin_changes_the_stream_trajectory_deterministically() {
+        let base = r#"{
+            "seed": 5,
+            "slots": 2,
+            "source": { "kind": "synthetic", "sessions": 8, "tenants": 3 }
+        }"#;
+        let with_sjf = r#"{
+            "seed": 5,
+            "slots": 2,
+            "scheduler": "sjf",
+            "source": { "kind": "synthetic", "sessions": 8, "tenants": 3 }
+        }"#;
+        let a = StreamSpec::from_json(base).unwrap().run().unwrap();
+        let b = StreamSpec::from_json(with_sjf).unwrap().run().unwrap();
+        let b2 = StreamSpec::from_json(with_sjf).unwrap().run().unwrap();
+        assert_eq!(b.jsonl, b2.jsonl, "plugin runs replay byte-identically");
+        assert_eq!(a.report.sessions, b.report.sessions);
     }
 }

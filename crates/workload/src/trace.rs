@@ -78,9 +78,9 @@ fn parse_row(line: &str, lineno: usize) -> Result<SessionArrival, EntkError> {
             fields.len()
         )));
     }
-    let arrival_secs: f64 = fields[0]
-        .parse()
-        .map_err(|_| EntkError::Usage(format!("line {lineno}: bad arrival_time {:?}", fields[0])))?;
+    let arrival_secs: f64 = fields[0].parse().map_err(|_| {
+        EntkError::Usage(format!("line {lineno}: bad arrival_time {:?}", fields[0]))
+    })?;
     if !arrival_secs.is_finite() || arrival_secs < 0.0 {
         return Err(EntkError::Usage(format!(
             "line {lineno}: arrival_time must be a finite non-negative number"

@@ -19,6 +19,7 @@ fn base(backend: StreamBackend, slots: usize) -> WorkloadConfig {
         slots,
         backend,
         unit_failure_rate: 0.0,
+        ..WorkloadConfig::default()
     }
 }
 

@@ -14,6 +14,7 @@ fn small_config(backend: StreamBackend) -> WorkloadConfig {
         slots: 2,
         backend,
         unit_failure_rate: 0.0,
+        ..WorkloadConfig::default()
     }
 }
 
@@ -386,11 +387,10 @@ fn streaming_knobs_cannot_change_the_output() {
                 lookahead,
                 eval_workers,
             };
-            let out =
-                ServiceEngine::with_options(config.clone(), synth.stream().unwrap(), options)
-                    .unwrap()
-                    .run()
-                    .unwrap();
+            let out = ServiceEngine::with_options(config.clone(), synth.stream().unwrap(), options)
+                .unwrap()
+                .run()
+                .unwrap();
             assert_eq!(
                 out.jsonl, baseline.jsonl,
                 "lookahead={lookahead} eval_workers={eval_workers} changed the stream"
